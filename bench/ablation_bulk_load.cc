@@ -1,0 +1,76 @@
+// [Ablation-build] Index construction strategy: one-by-one R* insertion
+// (with forced reinsertion) vs. STR bulk loading. Reports build time, node
+// count, and the node accesses of a fixed query batch against each tree.
+
+#include "bench/bench_common.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+#include "workload/generators.h"
+
+namespace simq {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Ablation-build: R* insertion vs STR bulk load",
+      "claim: bulk load builds much faster with comparable query quality");
+
+  TablePrinter table({"num_series", "strategy", "build_ms", "nodes",
+                      "height", "query_nodes", "query_ms"});
+  const int kQueries = 15;
+
+  for (const int count : {1000, 4000, 12000}) {
+    const std::vector<TimeSeries> series = workload::RandomWalkSeries(
+        count, 128, 161 + static_cast<uint64_t>(count));
+
+    for (const bool bulk : {false, true}) {
+      Database db;
+      SIMQ_CHECK(db.CreateRelation("r").ok());
+      Stopwatch build_watch;
+      if (bulk) {
+        SIMQ_CHECK(db.BulkLoad("r", series).ok());
+      } else {
+        for (const TimeSeries& ts : series) {
+          SIMQ_CHECK(db.Insert("r", ts).ok());
+        }
+      }
+      const double build_ms = build_watch.ElapsedMillis();
+      const RTree& tree = db.GetRelation("r")->index();
+      SIMQ_CHECK(tree.CheckInvariants());
+
+      const double epsilon =
+          bench::CalibrateRangeEpsilon(db, "r", 3, nullptr, 20);
+      int64_t nodes = 0;
+      auto run_queries = [&] {
+        nodes = 0;
+        for (int q = 0; q < kQueries; ++q) {
+          Query query;
+          query.kind = QueryKind::kRange;
+          query.relation = "r";
+          query.query_series.id = (q * 41) % count;
+          query.epsilon = epsilon;
+          query.strategy = ExecutionStrategy::kIndex;
+          nodes += db.Execute(query).value().stats.node_accesses;
+        }
+      };
+      const double query_ms = bench::MedianMillis(run_queries, 5) / kQueries;
+
+      table.AddRow({TablePrinter::FormatInt(count),
+                    bulk ? "STR bulk load" : "R* insertion",
+                    TablePrinter::FormatDouble(build_ms, 2),
+                    TablePrinter::FormatInt(tree.node_count()),
+                    TablePrinter::FormatInt(tree.height()),
+                    TablePrinter::FormatInt(nodes / kQueries),
+                    TablePrinter::FormatDouble(query_ms, 4)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace simq
+
+int main() {
+  simq::Run();
+  return 0;
+}

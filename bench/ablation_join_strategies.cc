@@ -1,0 +1,107 @@
+// [Ablation-join] Similarity self-join strategies at the index level:
+//   * index nested loop -- one range query per series (Table 1 method c)
+//   * synchronized traversal -- both R-trees descended in lockstep
+//     ([BKSS90]-style tree join), with a conservative magnitude-band filter
+//     and exact postprocessing.
+// Both return identical answers; the synchronized join touches each node
+// pair once instead of re-descending the tree per probe.
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+#include "workload/generators.h"
+
+namespace simq {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Ablation-join: index nested loop vs synchronized tree join",
+      "claim: identical answers; the synchronized traversal does less "
+      "per-node work than N re-descents");
+
+  TablePrinter table({"num_series", "strategy", "time_ms", "node_accesses",
+                      "exact_checks", "pairs"});
+  for (const int count : {1067, 4000}) {
+    workload::StockMarketOptions options;
+    options.num_series = count;
+    const std::vector<TimeSeries> market = workload::StockMarket(options);
+    const auto db = bench::BuildDatabase(market);
+    const Relation* relation = db->GetRelation("r");
+    const RTree& tree = relation->index();
+    const double epsilon = 0.45;
+
+    // Strategy 1: index nested loop (method c).
+    QueryResult nested;
+    const double nested_ms = bench::MedianMillis(
+        [&] {
+          nested = db->SelfJoin("r", epsilon, nullptr,
+                                JoinMethod::kIndexNoTransform)
+                       .value();
+        },
+        5);
+
+    // Strategy 2: synchronized traversal. Conservative filter: magnitude
+    // dimensions of the polar layout (dims 2 and 4) must be within epsilon
+    // (|delta mag| <= |delta coeff| <= epsilon); angle and statistics
+    // dimensions cannot prune without wrap-aware logic, so they pass.
+    const int mag_dims[] = {2, 4};
+    auto pair_predicate = [&](const Rect& a, const Rect& b) {
+      for (const int d : mag_dims) {
+        if (a.lo(d) > b.hi(d) + epsilon || b.lo(d) > a.hi(d) + epsilon) {
+          return false;
+        }
+      }
+      return true;
+    };
+    int64_t sync_checks = 0;
+    int64_t sync_pairs = 0;
+    int64_t sync_nodes = 0;
+    const double sync_ms = bench::MedianMillis(
+        [&] {
+          sync_checks = sync_pairs = 0;
+          tree.ResetNodeAccesses();
+          tree.JoinWith(tree, pair_predicate, [&](int64_t i, int64_t j) {
+            if (i == j) {
+              return;
+            }
+            ++sync_checks;
+            const double distance = EuclideanDistanceEarlyAbandon(
+                relation->record(i).features.normal_spectrum,
+                relation->record(j).features.normal_spectrum, epsilon);
+            if (distance <= epsilon) {
+              ++sync_pairs;
+            }
+          });
+          sync_nodes = tree.node_accesses();
+        },
+        5);
+
+    table.AddRow({TablePrinter::FormatInt(count), "nested loop (c)",
+                  TablePrinter::FormatDouble(nested_ms, 2),
+                  TablePrinter::FormatInt(nested.stats.node_accesses),
+                  TablePrinter::FormatInt(nested.stats.exact_checks),
+                  TablePrinter::FormatInt(
+                      static_cast<int64_t>(nested.pairs.size()))});
+    table.AddRow({TablePrinter::FormatInt(count), "synchronized",
+                  TablePrinter::FormatDouble(sync_ms, 2),
+                  TablePrinter::FormatInt(sync_nodes),
+                  TablePrinter::FormatInt(sync_checks),
+                  TablePrinter::FormatInt(sync_pairs)});
+  }
+  table.Print();
+  std::printf(
+      "\n  note: the synchronized filter uses magnitude bands only, so it\n"
+      "  verifies more candidates; both strategies agree on the final\n"
+      "  pair count (both orientations).\n");
+}
+
+}  // namespace
+}  // namespace simq
+
+int main() {
+  simq::Run();
+  return 0;
+}

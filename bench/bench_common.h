@@ -1,0 +1,51 @@
+// Shared scaffolding for the experiment harnesses in bench/.
+//
+// Every figure/table reproduction follows the same pattern: build a
+// database from a generated workload, calibrate epsilon if the experiment
+// fixes the answer-set size, run a batch of queries per configuration, and
+// print one table row per sweep point. See EXPERIMENTS.md for the mapping
+// to the figures/tables of the papers.
+
+#ifndef SIMQ_BENCH_BENCH_COMMON_H_
+#define SIMQ_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "ts/time_series.h"
+
+namespace simq {
+namespace bench {
+
+// Builds a database with one relation "r" bulk-loaded from `series`.
+std::unique_ptr<Database> BuildDatabase(const std::vector<TimeSeries>& series,
+                                        FeatureConfig config = FeatureConfig());
+
+// Median wall-clock milliseconds of `fn` over `repetitions` runs (after one
+// untimed warm-up run).
+double MedianMillis(const std::function<void()>& fn, int repetitions);
+
+// An identity transformation routed through the full transformation
+// machinery: a moving average with window 1 (multiplier 1 everywhere).
+// Reproduces the T_i = (I, 0) device of [RM97] §5: query answers are
+// unchanged but every index rectangle/point is pushed through the
+// transformation path, exposing its CPU overhead.
+std::shared_ptr<const TransformationRule> IdentityViaTransformPath();
+
+// Epsilon such that a normal-form range query around `probe_id` returns
+// about `target_answers` series (distances computed exactly, by scan).
+double CalibrateRangeEpsilon(const Database& db, const std::string& relation,
+                             int64_t probe_id,
+                             const TransformationRule* rule,
+                             int target_answers);
+
+// Prints the standard experiment banner.
+void PrintHeader(const std::string& experiment_id, const std::string& claim);
+
+}  // namespace bench
+}  // namespace simq
+
+#endif  // SIMQ_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,65 @@
+// [JMM95-core-3] The query language layer: cost of parsing + planning +
+// executing textual queries vs. executing pre-built ASTs, and the planner's
+// index-vs-scan decision quality across query shapes.
+
+#include "bench/bench_common.h"
+#include "core/parser.h"
+#include "util/table_printer.h"
+#include "workload/generators.h"
+
+namespace simq {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "JMM95-core-3: query language overhead and planner decisions",
+      "claim: the language layer adds microseconds; the planner picks the "
+      "index exactly when the transformation is safely indexable");
+
+  const std::vector<TimeSeries> series =
+      workload::RandomWalkSeries(2000, 128, 2024);
+  const auto db = bench::BuildDatabase(series);
+
+  const struct {
+    const char* label;
+    const char* text;
+    bool expect_index;
+  } queries[] = {
+      {"identity range", "RANGE r WITHIN 2.0 OF #walk7", true},
+      {"smoothed range", "RANGE r WITHIN 2.0 OF #walk7 USING mavg(20)",
+       true},
+      {"reversed range", "RANGE r WITHIN 2.0 OF #walk7 USING reverse", true},
+      {"shift+scale (GK95)",
+       "RANGE r WITHIN 2.0 OF #walk7 USING shift(5)|scale(2)", true},
+      {"non-spectral rule",
+       "RANGE r WITHIN 2.0 OF #walk7 USING despike(2)", false},
+      {"raw mode", "RANGE r WITHIN 20 OF #walk7 MODE RAW", false},
+      {"nearest", "NEAREST 5 r TO #walk7 USING mavg(20)", true},
+  };
+
+  TablePrinter table({"query", "text_ms", "ast_ms", "parse_overhead_ms",
+                      "planner_choice", "as_expected"});
+  for (const auto& spec : queries) {
+    const Query ast = ParseQuery(spec.text).value();
+    QueryResult last;
+    const double text_ms = bench::MedianMillis(
+        [&] { last = db->ExecuteText(spec.text).value(); }, 9);
+    const double ast_ms =
+        bench::MedianMillis([&] { last = db->Execute(ast).value(); }, 9);
+    table.AddRow(
+        {spec.label, TablePrinter::FormatDouble(text_ms, 4),
+         TablePrinter::FormatDouble(ast_ms, 4),
+         TablePrinter::FormatDouble(text_ms - ast_ms, 4),
+         last.stats.used_index ? "index" : "scan",
+         last.stats.used_index == spec.expect_index ? "yes" : "NO"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace simq
+
+int main() {
+  simq::Run();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// [JMM95-core-1] Cost-bounded reducibility for editing-rule systems: the
+// polynomial special case of the framework. Measures the weighted edit
+// distance and DTW dynamic programs across sequence lengths; the claim is
+// the textbook O(n*m) scaling (time grows ~4x per doubling), with the
+// Sakoe-Chiba band giving the expected linear-in-band behaviour.
+
+#include "bench/bench_common.h"
+#include "core/edit_distance.h"
+#include "util/table_printer.h"
+#include "workload/generators.h"
+
+namespace simq {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "JMM95-core-1: reducibility via dynamic programming",
+      "claim: O(n*m) scaling for edit distance and DTW; banded DTW scales "
+      "with the band width");
+
+  TablePrinter table({"length", "edit_ms", "edit_ratio", "dtw_ms",
+                      "dtw_ratio", "dtw_band16_ms"});
+  double previous_edit = 0.0;
+  double previous_dtw = 0.0;
+  for (const int length : {64, 128, 256, 512, 1024}) {
+    const std::vector<TimeSeries> series = workload::RandomWalkSeries(
+        2, length, 5 + static_cast<uint64_t>(length));
+    const std::vector<double>& a = series[0].values;
+    const std::vector<double>& b = series[1].values;
+
+    const EditCosts costs;
+    volatile double sink = 0.0;
+    const double edit_ms = bench::MedianMillis(
+        [&] { sink = WeightedEditDistance(a, b, costs); }, 5);
+    const double dtw_ms =
+        bench::MedianMillis([&] { sink = DtwDistance(a, b); }, 5);
+    const double banded_ms =
+        bench::MedianMillis([&] { sink = DtwDistance(a, b, 16); }, 5);
+    (void)sink;
+
+    table.AddRow(
+        {TablePrinter::FormatInt(length),
+         TablePrinter::FormatDouble(edit_ms, 4),
+         previous_edit > 0.0
+             ? TablePrinter::FormatDouble(edit_ms / previous_edit, 2)
+             : "-",
+         TablePrinter::FormatDouble(dtw_ms, 4),
+         previous_dtw > 0.0
+             ? TablePrinter::FormatDouble(dtw_ms / previous_dtw, 2)
+             : "-",
+         TablePrinter::FormatDouble(banded_ms, 4)});
+    previous_edit = edit_ms;
+    previous_dtw = dtw_ms;
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace simq
+
+int main() {
+  simq::Run();
+  return 0;
+}

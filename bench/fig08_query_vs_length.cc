@@ -1,0 +1,93 @@
+// [RM97-Fig8] Range-query time vs. sequence length: index traversal with a
+// transformation vs. without. 1,000 random-walk sequences, lengths 64-1024.
+//
+// The transformation is the identity routed through the full transformation
+// machinery (T_i = (I, 0) realized as mavg(1)), so both configurations
+// return identical answers and differ only by the per-entry transformation
+// work -- the paper's claim is that the difference is a near-constant CPU
+// offset and the number of node (disk) accesses is identical.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/table_printer.h"
+#include "workload/generators.h"
+
+namespace simq {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "RM97-Fig8: time per range query varying the sequence length",
+      "claim: index-with-transformation tracks index-without at a constant "
+      "offset; identical node accesses");
+
+  TablePrinter table({"length", "no_transform_ms", "with_transform_ms",
+                      "overhead_ms", "nodes_no_t", "nodes_with_t",
+                      "answers"});
+  const int kNumSeries = 1000;
+  const int kQueries = 20;
+  const int kTargetAnswers = 10;
+
+  for (const int length : {64, 128, 256, 512, 1024}) {
+    const std::vector<TimeSeries> series = workload::RandomWalkSeries(
+        kNumSeries, length, 42 + static_cast<uint64_t>(length));
+    const auto db = bench::BuildDatabase(series);
+    const auto identity = bench::IdentityViaTransformPath();
+
+    // Per-probe calibration keeps every query's answer set near the target
+    // regardless of where the probe sits in the data distribution.
+    std::vector<double> epsilons(kQueries);
+    for (int q = 0; q < kQueries; ++q) {
+      epsilons[static_cast<size_t>(q)] = bench::CalibrateRangeEpsilon(
+          *db, "r", q % kNumSeries, nullptr, kTargetAnswers);
+    }
+
+    int64_t answers = 0;
+    int64_t nodes_plain = 0;
+    int64_t nodes_transform = 0;
+    auto run_queries = [&](bool with_transform) {
+      int64_t local_answers = 0;
+      int64_t local_nodes = 0;
+      for (int q = 0; q < kQueries; ++q) {
+        Query query;
+        query.kind = QueryKind::kRange;
+        query.relation = "r";
+        query.query_series.id = q % kNumSeries;
+        query.epsilon = epsilons[static_cast<size_t>(q)];
+        query.strategy = ExecutionStrategy::kIndex;
+        if (with_transform) {
+          query.transform = identity;
+        }
+        const Result<QueryResult> result = db->Execute(query);
+        local_answers += static_cast<int64_t>(result.value().matches.size());
+        local_nodes += result.value().stats.node_accesses;
+      }
+      answers = local_answers / kQueries;
+      (with_transform ? nodes_transform : nodes_plain) =
+          local_nodes / kQueries;
+    };
+
+    const double plain_ms =
+        bench::MedianMillis([&] { run_queries(false); }, 5) / kQueries;
+    const double transform_ms =
+        bench::MedianMillis([&] { run_queries(true); }, 5) / kQueries;
+
+    table.AddRow({TablePrinter::FormatInt(length),
+                  TablePrinter::FormatDouble(plain_ms, 4),
+                  TablePrinter::FormatDouble(transform_ms, 4),
+                  TablePrinter::FormatDouble(transform_ms - plain_ms, 4),
+                  TablePrinter::FormatInt(nodes_plain),
+                  TablePrinter::FormatInt(nodes_transform),
+                  TablePrinter::FormatInt(answers)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace simq
+
+int main() {
+  simq::Run();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// [RM97-Fig10] Index-based similarity search vs. early-abandoning
+// sequential scan over the frequency-domain relation, varying the sequence
+// length (1,000 sequences). Both sides evaluate the same transformed range
+// query; the claim is that the index wins and the gap grows with length.
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "util/table_printer.h"
+#include "workload/generators.h"
+
+namespace simq {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "RM97-Fig10: index vs sequential scan, varying sequence length",
+      "claim: the index is much faster than scanning and the advantage "
+      "grows with the sequence length");
+
+  TablePrinter table({"length", "index_ms", "scan_ms", "speedup",
+                      "index_candidates", "answers", "index_node_io",
+                      "scan_page_io", "io_advantage"});
+  const int kNumSeries = 1000;
+  const int kQueries = 20;
+
+
+  for (const int length : {64, 128, 256, 512, 1024}) {
+    // Normal-form norms grow with sqrt(n); a length-proportional threshold
+    // keeps the *relative* similarity level constant across the sweep.
+    const double kEpsilon = 0.2 * std::sqrt(static_cast<double>(length));
+    const std::vector<TimeSeries> series = workload::RandomWalkSeries(
+        kNumSeries, length, 7 + static_cast<uint64_t>(length));
+    const auto db = bench::BuildDatabase(series);
+    const auto identity = bench::IdentityViaTransformPath();
+    // Fixed, user-scale threshold: the paper's similarity queries operate
+    // in the near-exact-match regime ("competitive to ... exact match
+    // queries"); iid random walks are near-equidistant in high dimension,
+    // so answer-set-targeted thresholds would defeat any filter (the
+    // crossover regime is studied systematically in fig12).
+
+    int64_t candidates = 0;
+    int64_t answers = 0;
+    int64_t index_nodes = 0;
+    auto run_queries = [&](ExecutionStrategy strategy) {
+      int64_t local_candidates = 0;
+      int64_t local_answers = 0;
+      int64_t local_nodes = 0;
+      for (int q = 0; q < kQueries; ++q) {
+        Query query;
+        query.kind = QueryKind::kRange;
+        query.relation = "r";
+        query.query_series.id = q % kNumSeries;
+        query.epsilon = kEpsilon;
+        query.strategy = strategy;
+        query.transform = identity;
+        const Result<QueryResult> result = db->Execute(query);
+        local_candidates += result.value().stats.candidates;
+        local_nodes += result.value().stats.node_accesses;
+        local_answers += static_cast<int64_t>(result.value().matches.size());
+      }
+      if (strategy == ExecutionStrategy::kIndex) {
+        candidates = local_candidates / kQueries;
+        index_nodes = local_nodes / kQueries;
+      }
+      answers = local_answers / kQueries;
+    };
+
+    const double index_ms = bench::MedianMillis(
+        [&] { run_queries(ExecutionStrategy::kIndex); }, 5) / kQueries;
+    const double scan_ms = bench::MedianMillis(
+        [&] { run_queries(ExecutionStrategy::kScan); }, 5) / kQueries;
+
+    // 1995 economics: a sequential scan reads the whole coefficient
+    // relation (16 bytes per complex coefficient, 8 KiB pages), while the
+    // index reads one page per node it touches. In-memory wall clock hides
+    // this; the I/O columns make the paper's comparison visible.
+    const int64_t scan_pages =
+        (static_cast<int64_t>(kNumSeries) * length * 16 + 8191) / 8192;
+    table.AddRow({TablePrinter::FormatInt(length),
+                  TablePrinter::FormatDouble(index_ms, 4),
+                  TablePrinter::FormatDouble(scan_ms, 4),
+                  TablePrinter::FormatDouble(scan_ms / index_ms, 2),
+                  TablePrinter::FormatInt(candidates),
+                  TablePrinter::FormatInt(answers),
+                  TablePrinter::FormatInt(index_nodes),
+                  TablePrinter::FormatInt(scan_pages),
+                  TablePrinter::FormatDouble(
+                      static_cast<double>(scan_pages) /
+                          static_cast<double>(std::max<int64_t>(
+                              1, index_nodes)),
+                      1)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace simq
+
+int main() {
+  simq::Run();
+  return 0;
+}

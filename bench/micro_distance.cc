@@ -1,0 +1,80 @@
+// Microbenchmarks of the exact-distance kernels: full vs. early-abandoning
+// Euclidean distance in time and frequency domains. The frequency-domain
+// early abandon is what makes the paper's "good implementation" of the
+// sequential scan competitive (large coefficients first).
+
+#include <benchmark/benchmark.h>
+
+#include "ts/dft.h"
+#include "ts/transforms.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace simq {
+namespace {
+
+std::vector<double> RandomWalk(int n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<double> x(static_cast<size_t>(n));
+  x[0] = rng.UniformDouble(20.0, 99.0);
+  for (int t = 1; t < n; ++t) {
+    x[static_cast<size_t>(t)] =
+        x[static_cast<size_t>(t - 1)] + rng.UniformDouble(-4.0, 4.0);
+  }
+  return x;
+}
+
+void BM_TimeDomainDistanceFull(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::vector<double> a = ToNormalForm(RandomWalk(n, 1)).values;
+  const std::vector<double> b = ToNormalForm(RandomWalk(n, 2)).values;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EuclideanDistance(a, b));
+  }
+}
+BENCHMARK(BM_TimeDomainDistanceFull)->Arg(128)->Arg(1024);
+
+void BM_FreqDomainEarlyAbandon(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Spectrum a = Dft(ToNormalForm(RandomWalk(n, 3)).values);
+  const Spectrum b = Dft(ToNormalForm(RandomWalk(n, 4)).values);
+  // A tight threshold abandons within the first few coefficients because
+  // random-walk energy concentrates at the front of the spectrum.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EuclideanDistanceEarlyAbandon(a, b, 0.5));
+  }
+}
+BENCHMARK(BM_FreqDomainEarlyAbandon)->Arg(128)->Arg(1024);
+
+void BM_FreqDomainFull(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Spectrum a = Dft(ToNormalForm(RandomWalk(n, 5)).values);
+  const Spectrum b = Dft(ToNormalForm(RandomWalk(n, 6)).values);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EuclideanDistance(a, b));
+  }
+}
+BENCHMARK(BM_FreqDomainFull)->Arg(128)->Arg(1024);
+
+void BM_NormalForm(benchmark::State& state) {
+  const std::vector<double> x =
+      RandomWalk(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ToNormalForm(x));
+  }
+}
+BENCHMARK(BM_NormalForm)->Arg(128)->Arg(1024);
+
+void BM_MovingAverage(benchmark::State& state) {
+  const std::vector<double> x =
+      RandomWalk(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CircularMovingAverage(x, 20));
+  }
+}
+BENCHMARK(BM_MovingAverage)->Arg(128)->Arg(1024);
+
+}  // namespace
+}  // namespace simq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Microbenchmarks of the R*-tree substrate: insertion, range search, and
+// nearest-neighbor search on the 6-d feature layout of the paper.
+
+#include <benchmark/benchmark.h>
+
+#include "geom/search_region.h"
+#include "index/rtree.h"
+#include "ts/feature.h"
+#include "util/random.h"
+
+namespace simq {
+namespace {
+
+std::vector<Point> MakePoints(int count, int dims, uint64_t seed) {
+  Random rng(seed);
+  std::vector<Point> points(static_cast<size_t>(count));
+  for (Point& p : points) {
+    p.resize(static_cast<size_t>(dims));
+    for (double& v : p) {
+      v = rng.UniformDouble(-10.0, 10.0);
+    }
+  }
+  return points;
+}
+
+void BM_RTreeInsert(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  const std::vector<Point> points = MakePoints(count, 6, 1);
+  for (auto _ : state) {
+    RTree tree(6);
+    for (size_t i = 0; i < points.size(); ++i) {
+      tree.InsertPoint(points[i], static_cast<int64_t>(i));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  const std::vector<Point> points = MakePoints(count, 6, 2);
+  for (auto _ : state) {
+    RTree tree(6);
+    std::vector<std::pair<Rect, int64_t>> entries;
+    entries.reserve(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+      entries.emplace_back(Rect::FromPoint(points[i]),
+                           static_cast<int64_t>(i));
+    }
+    tree.BulkLoad(std::move(entries));
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(1000)->Arg(10000);
+
+void BM_RTreeRangeSearch(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  const std::vector<Point> points = MakePoints(count, 4, 3);
+  RTree tree(4);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.InsertPoint(points[i], static_cast<int64_t>(i));
+  }
+  FeatureConfig config;
+  config.num_coefficients = 2;
+  config.space = FeatureSpace::kRectangular;
+  config.include_mean_std = false;
+  const SearchRegion region = SearchRegion::MakeRange(
+      {Complex(0.0, 0.0), Complex(0.0, 0.0)}, 2.0, config);
+  for (auto _ : state) {
+    std::vector<int64_t> results;
+    tree.Search(region, nullptr, &results);
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_RTreeRangeSearch)->Arg(10000)->Arg(100000);
+
+void BM_RTreeNearestNeighbors(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  const std::vector<Point> points = MakePoints(count, 4, 4);
+  RTree tree(4);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.InsertPoint(points[i], static_cast<int64_t>(i));
+  }
+  FeatureConfig config;
+  config.num_coefficients = 2;
+  config.space = FeatureSpace::kRectangular;
+  config.include_mean_std = false;
+  const NnLowerBound bound({Complex(1.0, 1.0), Complex(-1.0, 0.5)}, config);
+  const std::vector<DimAffine> identity(4);
+  auto exact = [&](int64_t id) {
+    return bound.ToTransformedPoint(points[static_cast<size_t>(id)],
+                                    identity);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.NearestNeighbors(bound, nullptr, 10, exact));
+  }
+}
+BENCHMARK(BM_RTreeNearestNeighbors)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace simq
+
+BENCHMARK_MAIN();

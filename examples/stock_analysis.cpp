@@ -1,0 +1,112 @@
+// Stock data analysis: re-enacts the motivating examples of the paper.
+//
+//   Example 1.1  two stocks that look different but share a trend: the
+//                3-day moving average reveals the similarity (paper values:
+//                D = 11.92 raw, D = 0.47 smoothed).
+//   Example 2.1  shift -> scale (normal form) -> smooth pipeline reducing
+//                the distance step by step.
+//   Example 2.2  opposite movers: reversal plus smoothing.
+//   Example 2.3  dissimilar trends stay dissimilar no matter how much you
+//                smooth -- the reason transformations carry costs.
+//
+// Examples 2.1-2.3 used 1995 stock closes from a now-defunct FTP archive;
+// here they run on the synthetic market generator (see DESIGN.md).
+
+#include <cstdio>
+#include <vector>
+
+#include "core/transformation.h"
+#include "ts/transforms.h"
+#include "util/stats.h"
+#include "workload/generators.h"
+
+namespace {
+
+double Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  return simq::EuclideanDistance(a, b);
+}
+
+}  // namespace
+
+int main() {
+  using namespace simq;  // NOLINT: example brevity
+
+  // --- Example 1.1 -------------------------------------------------------
+  const std::vector<double> s1 = {36, 38, 40, 38, 42, 38, 36, 36,
+                                  37, 38, 39, 38, 40, 38, 37};
+  const std::vector<double> s2 = {40, 37, 37, 42, 41, 35, 40, 35,
+                                  34, 42, 38, 35, 45, 36, 34};
+  std::printf("Example 1.1 (paper: D=11.92 raw, D=0.47 after mavg(3))\n");
+  std::printf("  D(s1, s2)                 = %6.2f\n", Distance(s1, s2));
+  std::printf("  D(mavg3(s1), mavg3(s2))   = %6.2f\n\n",
+              Distance(CircularMovingAverage(s1, 3),
+                       CircularMovingAverage(s2, 3)));
+
+  // --- Example 2.1: shift, scale, smooth ---------------------------------
+  workload::StockMarketOptions options;
+  options.num_series = 100;
+  const std::vector<TimeSeries> market = workload::StockMarket(options);
+  // An engineered "similar after smoothing" pair (see generators.h layout).
+  const std::vector<double>& bba = market[0].values;
+  const std::vector<double>& ztr = market[1].values;
+
+  std::printf("Example 2.1: two synthetic stocks, same trend, own noise\n");
+  std::printf("  original:                 D = %7.2f\n", Distance(bba, ztr));
+  const NormalFormResult nf_a = ToNormalForm(bba);
+  const NormalFormResult nf_b = ToNormalForm(ztr);
+  std::vector<double> shifted_a(bba.size());
+  std::vector<double> shifted_b(ztr.size());
+  for (size_t i = 0; i < bba.size(); ++i) {
+    shifted_a[i] = bba[i] - nf_a.mean;
+    shifted_b[i] = ztr[i] - nf_b.mean;
+  }
+  std::printf("  shifted (mean to 0):      D = %7.2f\n",
+              Distance(shifted_a, shifted_b));
+  std::printf("  scaled (normal forms):    D = %7.2f\n",
+              Distance(nf_a.values, nf_b.values));
+  std::printf("  20-day moving average:    D = %7.2f\n\n",
+              Distance(CircularMovingAverage(nf_a.values, 20),
+                       CircularMovingAverage(nf_b.values, 20)));
+
+  // --- Example 2.2: opposite movers --------------------------------------
+  const int inverse_base = 2 * options.num_smoothed_similar_pairs;
+  const std::vector<double>& cc = market[static_cast<size_t>(inverse_base)]
+                                      .values;
+  const std::vector<double>& var =
+      market[static_cast<size_t>(inverse_base + 1)].values;
+  std::printf("Example 2.2: opposite price movements (hedging)\n");
+  std::printf("  original:                 D = %7.2f\n", Distance(cc, var));
+  const std::vector<double> nf_cc = ToNormalForm(cc).values;
+  const std::vector<double> nf_var = ToNormalForm(var).values;
+  std::printf("  normal forms:             D = %7.2f\n",
+              Distance(nf_cc, nf_var));
+  std::printf("  one side reversed:        D = %7.2f\n",
+              Distance(ReverseSeries(nf_var), nf_cc));
+  std::printf("  reversed + mavg(20):      D = %7.2f\n\n",
+              Distance(CircularMovingAverage(ReverseSeries(nf_var), 20),
+                       CircularMovingAverage(nf_cc, 20)));
+
+  // --- Example 2.3: genuinely different trends stay different ------------
+  const std::vector<double> nf_x =
+      ToNormalForm(market[60].values).values;  // two background stocks from
+  const std::vector<double> nf_y =
+      ToNormalForm(market[61].values).values;  // different sectors
+  std::printf("Example 2.3: dissimilar trends resist smoothing\n");
+  std::printf("  normal forms:             D = %7.2f\n",
+              Distance(nf_x, nf_y));
+  std::vector<double> smooth_x = nf_x;
+  std::vector<double> smooth_y = nf_y;
+  for (int round = 1; round <= 10; ++round) {
+    smooth_x = CircularMovingAverage(smooth_x, 20);
+    smooth_y = CircularMovingAverage(smooth_y, 20);
+    if (round == 1 || round == 2 || round == 3 || round == 10) {
+      std::printf("  after %2d x mavg(20):      D = %7.2f\n", round,
+                  Distance(smooth_x, smooth_y));
+    }
+  }
+  std::printf(
+      "\n  (distances shrink slowly: repeated smoothing flattens everything\n"
+      "   eventually, which is why the framework charges costs per rule --\n"
+      "   Section 2 and Equation 10 of the paper.)\n");
+  return 0;
+}

@@ -1,0 +1,807 @@
+#include "core/database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/parser.h"
+#include "geom/search_region.h"
+#include "ts/transforms.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace simq {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool PatternAdmits(const Record& record, const Pattern& pattern) {
+  if (pattern.mean_range.has_value()) {
+    if (record.features.mean < pattern.mean_range->first ||
+        record.features.mean > pattern.mean_range->second) {
+      return false;
+    }
+  }
+  if (pattern.std_range.has_value()) {
+    if (record.features.std_dev < pattern.std_range->first ||
+        record.features.std_dev > pattern.std_range->second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Multiplier values of a spectral rule for output frequencies 0..out_n-1,
+// materialized once per query so the per-candidate distance kernels stay a
+// tight multiply-subtract loop. Returns nullopt for the identity.
+std::optional<Spectrum> MaterializeMultiplier(const TransformationRule* rule,
+                                              int n) {
+  if (rule == nullptr) {
+    return std::nullopt;
+  }
+  const int out_n = rule->OutputLength(n);
+  Spectrum multiplier(static_cast<size_t>(out_n));
+  for (int f = 0; f < out_n; ++f) {
+    const std::optional<Complex> m = rule->Multiplier(f, n);
+    SIMQ_CHECK(m.has_value()) << "rule is not spectral";
+    multiplier[static_cast<size_t>(f)] = *m;
+  }
+  return multiplier;
+}
+
+// Exact frequency-domain distance between T(data) and the query spectrum,
+// early-abandoning once the partial sum exceeds threshold. `multiplier` is
+// the materialized spectral form of T (nullptr for the identity). Relies on
+// Parseval: this equals the time-domain distance between T(x) and q.
+double FreqDistance(const Spectrum& data, const Spectrum& query,
+                    const Spectrum* multiplier, double threshold) {
+  const int n = static_cast<int>(data.size());
+  const int out_n = multiplier != nullptr
+                        ? static_cast<int>(multiplier->size())
+                        : n;
+  SIMQ_CHECK_EQ(static_cast<int>(query.size()), out_n);
+  const double limit =
+      threshold == kInf ? kInf : threshold * threshold;
+  double sum = 0.0;
+  for (int f = 0; f < out_n; ++f) {
+    Complex value = data[static_cast<size_t>(f % n)];
+    if (multiplier != nullptr) {
+      value *= (*multiplier)[static_cast<size_t>(f)];
+    }
+    sum += std::norm(value - query[static_cast<size_t>(f)]);
+    if (sum > limit) {
+      return kInf;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+// Distance between T1(a) and T2(b) in the frequency domain; either
+// multiplier may be null (identity on that side).
+double FreqDistanceTwoSided(const Spectrum& a, const Spectrum& b,
+                            const Spectrum* left_mult,
+                            const Spectrum* right_mult, double threshold) {
+  SIMQ_CHECK_EQ(a.size(), b.size());
+  const int n = static_cast<int>(a.size());
+  int out_n = n;
+  if (left_mult != nullptr) {
+    out_n = static_cast<int>(left_mult->size());
+  }
+  if (right_mult != nullptr) {
+    SIMQ_CHECK(left_mult == nullptr ||
+               left_mult->size() == right_mult->size());
+    out_n = static_cast<int>(right_mult->size());
+  }
+  const double limit = threshold == kInf ? kInf : threshold * threshold;
+  double sum = 0.0;
+  for (int f = 0; f < out_n; ++f) {
+    Complex lhs = a[static_cast<size_t>(f % n)];
+    if (left_mult != nullptr) {
+      lhs *= (*left_mult)[static_cast<size_t>(f)];
+    }
+    Complex rhs = b[static_cast<size_t>(f % n)];
+    if (right_mult != nullptr) {
+      rhs *= (*right_mult)[static_cast<size_t>(f)];
+    }
+    sum += std::norm(lhs - rhs);
+    if (sum > limit) {
+      return kInf;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+void SortMatches(std::vector<Match>* matches) {
+  std::sort(matches->begin(), matches->end(),
+            [](const Match& a, const Match& b) {
+              if (a.distance != b.distance) {
+                return a.distance < b.distance;
+              }
+              return a.id < b.id;
+            });
+}
+
+}  // namespace
+
+Relation::Relation(std::string name, const FeatureConfig& config,
+                   RTree::Options index_options)
+    : name_(std::move(name)),
+      config_(config),
+      index_(std::make_unique<RTree>(FeatureDimension(config),
+                                     index_options)) {}
+
+const Record& Relation::record(int64_t id) const {
+  SIMQ_CHECK_GE(id, 0);
+  SIMQ_CHECK_LT(id, size());
+  return records_[static_cast<size_t>(id)];
+}
+
+Result<int64_t> Relation::FindByName(const std::string& series_name) const {
+  const auto it = by_name_.find(series_name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no series named '" + series_name +
+                            "' in relation '" + name_ + "'");
+  }
+  return it->second;
+}
+
+Database::Database(FeatureConfig config, RTree::Options index_options)
+    : config_(config), index_options_(index_options) {}
+
+Status Database::CreateRelation(const std::string& name) {
+  if (relations_.count(name) > 0) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  relations_[name] =
+      std::make_unique<Relation>(name, config_, index_options_);
+  return Status::Ok();
+}
+
+Result<int64_t> Database::Insert(const std::string& relation,
+                                 const TimeSeries& series) {
+  const auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + relation + "'");
+  }
+  Relation* rel = it->second.get();
+  if (series.values.empty()) {
+    return Status::InvalidArgument("cannot insert an empty series");
+  }
+  if (rel->series_length_ == 0) {
+    rel->series_length_ = series.length();
+  } else if (rel->series_length_ != series.length()) {
+    return Status::InvalidArgument(
+        "series length does not match relation '" + relation + "'");
+  }
+
+  Record record;
+  record.id = rel->size();
+  record.name =
+      series.id.empty() ? "s" + std::to_string(record.id) : series.id;
+  if (rel->by_name_.count(record.name) > 0) {
+    return Status::AlreadyExists("series '" + record.name +
+                                 "' already exists in relation");
+  }
+  record.raw = series.values;
+  record.normal_values = ToNormalForm(series.values).values;
+  record.features = ComputeFeatures(series.values);
+
+  rel->index_->InsertPoint(MakeFeaturePoint(record.features, config_),
+                           record.id);
+  rel->by_name_[record.name] = record.id;
+  rel->records_.push_back(std::move(record));
+  return rel->size() - 1;
+}
+
+Status Database::BulkLoad(const std::string& relation,
+                          const std::vector<TimeSeries>& series) {
+  const auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + relation + "'");
+  }
+  Relation* rel = it->second.get();
+  if (rel->size() != 0) {
+    return Status::FailedPrecondition(
+        "BulkLoad requires an empty relation; use Insert instead");
+  }
+  std::vector<std::pair<Rect, int64_t>> entries;
+  entries.reserve(series.size());
+  for (const TimeSeries& ts : series) {
+    if (ts.values.empty()) {
+      return Status::InvalidArgument("cannot insert an empty series");
+    }
+    if (rel->series_length_ == 0) {
+      rel->series_length_ = ts.length();
+    } else if (rel->series_length_ != ts.length()) {
+      return Status::InvalidArgument("series length mismatch in bulk load");
+    }
+    Record record;
+    record.id = rel->size();
+    record.name = ts.id.empty() ? "s" + std::to_string(record.id) : ts.id;
+    if (rel->by_name_.count(record.name) > 0) {
+      return Status::AlreadyExists("series '" + record.name +
+                                   "' already exists in relation");
+    }
+    record.raw = ts.values;
+    record.normal_values = ToNormalForm(ts.values).values;
+    record.features = ComputeFeatures(ts.values);
+    entries.emplace_back(
+        Rect::FromPoint(MakeFeaturePoint(record.features, config_)),
+        record.id);
+    rel->by_name_[record.name] = record.id;
+    rel->records_.push_back(std::move(record));
+  }
+  rel->index_->BulkLoad(std::move(entries));
+  return Status::Ok();
+}
+
+const Relation* Database::GetRelation(const std::string& name) const {
+  const auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, relation] : relations_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Result<std::vector<double>> Database::ResolveSeries(
+    const Relation& relation, const SeriesRef& ref) const {
+  if (ref.id.has_value()) {
+    if (*ref.id < 0 || *ref.id >= relation.size()) {
+      return Status::OutOfRange("series id out of range");
+    }
+    return relation.record(*ref.id).raw;
+  }
+  if (ref.name.has_value()) {
+    Result<int64_t> id = relation.FindByName(*ref.name);
+    if (!id.ok()) {
+      return id.status();
+    }
+    return relation.record(id.value()).raw;
+  }
+  if (ref.literal.empty()) {
+    return Status::InvalidArgument("query series is empty");
+  }
+  return ref.literal;
+}
+
+Result<QueryResult> Database::Execute(const Query& query) const {
+  const Relation* relation = GetRelation(query.relation);
+  if (relation == nullptr) {
+    return Status::NotFound("no relation named '" + query.relation + "'");
+  }
+  switch (query.kind) {
+    case QueryKind::kRange:
+      return ExecuteRange(*relation, query);
+    case QueryKind::kNearest:
+      return ExecuteNearest(*relation, query);
+    case QueryKind::kAllPairs: {
+      const TransformationRule* left_rule = query.transform.get();
+      const TransformationRule* right_rule =
+          query.transform_right != nullptr ? query.transform_right.get()
+                                           : left_rule;
+      if (query.mode != DistanceMode::kNormalForm) {
+        return Status::Unimplemented(
+            "all-pairs queries support normal-form distances only");
+      }
+      const int n = relation->series_length();
+      bool can_index = true;
+      for (const TransformationRule* rule : {left_rule, right_rule}) {
+        if (rule == nullptr || n == 0) {
+          continue;
+        }
+        const std::optional<LinearTransform> lowered =
+            rule->IndexTransform(n, config_.num_coefficients);
+        // Only the data-side (right) transformation must be safe in the
+        // index space; the left rule merely transforms the probe point.
+        const bool needs_safety = rule == right_rule;
+        can_index = can_index && lowered.has_value() &&
+                    (!needs_safety || lowered->IsSafeIn(config_.space)) &&
+                    rule->OutputLength(n) == n;
+      }
+      const bool any_rule = left_rule != nullptr || right_rule != nullptr;
+      JoinMethod method = JoinMethod::kScanEarlyAbandon;
+      switch (query.strategy) {
+        case ExecutionStrategy::kAuto:
+          method = can_index ? (any_rule ? JoinMethod::kIndexTransform
+                                         : JoinMethod::kIndexNoTransform)
+                             : JoinMethod::kScanEarlyAbandon;
+          break;
+        case ExecutionStrategy::kIndex:
+          if (!can_index) {
+            return Status::FailedPrecondition(
+                "transformation is not index-accelerable for this join");
+          }
+          method = any_rule ? JoinMethod::kIndexTransform
+                            : JoinMethod::kIndexNoTransform;
+          break;
+        case ExecutionStrategy::kScan:
+          method = JoinMethod::kScanEarlyAbandon;
+          break;
+        case ExecutionStrategy::kScanNoEarlyAbandon:
+          method = JoinMethod::kFullScan;
+          break;
+      }
+      return SelfJoin(query.relation, query.epsilon, left_rule, right_rule,
+                      method);
+    }
+  }
+  return Status::Internal("unknown query kind");
+}
+
+Result<QueryResult> Database::ExecuteText(const std::string& text) const {
+  Result<Query> query = ParseQuery(text);
+  if (!query.ok()) {
+    return query.status();
+  }
+  return Execute(query.value());
+}
+
+Result<QueryResult> Database::ExecuteRange(const Relation& relation,
+                                           const Query& query) const {
+  QueryResult out;
+  if (query.epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be nonnegative");
+  }
+  if (relation.size() == 0) {
+    return out;
+  }
+  Result<std::vector<double>> resolved =
+      ResolveSeries(relation, query.query_series);
+  if (!resolved.ok()) {
+    return resolved.status();
+  }
+  const std::vector<double>& raw_query = resolved.value();
+
+  const TransformationRule* rule = query.transform.get();
+  if (query.mode == DistanceMode::kNormalForm && rule != nullptr &&
+      rule->IsNormalFormInvariant()) {
+    rule = nullptr;  // the [GK95] shortcut: invisible to normal forms
+  }
+  const int n = relation.series_length();
+  const int out_n = rule != nullptr ? rule->OutputLength(n) : n;
+  if (static_cast<int>(raw_query.size()) != out_n) {
+    return Status::InvalidArgument(
+        "query series length does not match the transformed data length");
+  }
+
+  // Query-side representation.
+  std::vector<double> query_values;
+  if (query.mode == DistanceMode::kNormalForm && !query.query_prenormalized) {
+    query_values = ToNormalForm(raw_query).values;
+  } else {
+    query_values = raw_query;
+  }
+  const Spectrum query_spectrum = Dft(query_values);
+
+  const bool spectral = rule == nullptr || rule->IsSpectral(n);
+  std::optional<LinearTransform> index_transform;
+  if (rule != nullptr && spectral) {
+    index_transform = rule->IndexTransform(n, config_.num_coefficients);
+  }
+  const std::optional<Spectrum> multiplier =
+      spectral ? MaterializeMultiplier(rule, n) : std::nullopt;
+  const Spectrum* mult = multiplier.has_value() ? &*multiplier : nullptr;
+  const bool can_use_index =
+      query.mode == DistanceMode::kNormalForm &&
+      (rule == nullptr || (index_transform.has_value() &&
+                           index_transform->IsSafeIn(config_.space)));
+
+  ExecutionStrategy strategy = query.strategy;
+  if (strategy == ExecutionStrategy::kAuto) {
+    strategy =
+        can_use_index ? ExecutionStrategy::kIndex : ExecutionStrategy::kScan;
+  }
+  if (strategy == ExecutionStrategy::kIndex && !can_use_index) {
+    return Status::FailedPrecondition(
+        "query is not index-accelerable (requires normal-form mode and a "
+        "safe spectral transformation)");
+  }
+
+  // Trivial pattern "a given constant object": check that object directly.
+  if (query.pattern.kind == Pattern::Kind::kConstant) {
+    if (!query.pattern.constant_id.has_value() ||
+        *query.pattern.constant_id < 0 ||
+        *query.pattern.constant_id >= relation.size()) {
+      return Status::OutOfRange("pattern constant id out of range");
+    }
+    const Record& record = relation.record(*query.pattern.constant_id);
+    if (PatternAdmits(record, query.pattern)) {
+      ++out.stats.exact_checks;
+      double distance;
+      if (query.mode == DistanceMode::kNormalForm && spectral) {
+        distance = FreqDistance(record.features.normal_spectrum,
+                                query_spectrum, mult, query.epsilon);
+      } else {
+        const std::vector<double>& base =
+            query.mode == DistanceMode::kNormalForm ? record.normal_values
+                                                    : record.raw;
+        const std::vector<double> transformed =
+            rule != nullptr ? rule->Apply(base) : base;
+        distance = EuclideanDistanceEarlyAbandon(transformed, query_values,
+                                                 query.epsilon);
+      }
+      if (distance <= query.epsilon) {
+        out.matches.push_back(Match{record.id, record.name, distance});
+      }
+    }
+    return out;
+  }
+
+  if (strategy == ExecutionStrategy::kIndex) {
+    const std::vector<Complex> query_coeffs =
+        ExtractCoefficients(query_spectrum, config_.num_coefficients);
+    SearchRegion region =
+        SearchRegion::MakeRange(query_coeffs, query.epsilon, config_);
+    if (config_.include_mean_std) {
+      if (query.pattern.mean_range.has_value()) {
+        region.ConstrainMean(query.pattern.mean_range->first,
+                             query.pattern.mean_range->second);
+      }
+      if (query.pattern.std_range.has_value()) {
+        region.ConstrainStd(query.pattern.std_range->first,
+                            query.pattern.std_range->second);
+      }
+    }
+    std::vector<DimAffine> affines;
+    const std::vector<DimAffine>* affines_ptr = nullptr;
+    if (rule != nullptr) {
+      affines = LowerToFeatureSpace(*index_transform, config_);
+      affines_ptr = &affines;
+    }
+    const RTree& tree = relation.index();
+    const int64_t accesses_before = tree.node_accesses();
+    std::vector<int64_t> candidates;
+    tree.Search(region, affines_ptr, &candidates);
+    out.stats.used_index = true;
+    out.stats.node_accesses = tree.node_accesses() - accesses_before;
+    out.stats.candidates = static_cast<int64_t>(candidates.size());
+    for (const int64_t id : candidates) {
+      const Record& record = relation.record(id);
+      if (!PatternAdmits(record, query.pattern)) {
+        continue;
+      }
+      ++out.stats.exact_checks;
+      const double distance = FreqDistance(record.features.normal_spectrum,
+                                           query_spectrum, mult,
+                                           query.epsilon);
+      if (distance <= query.epsilon) {
+        out.matches.push_back(Match{record.id, record.name, distance});
+      }
+    }
+  } else {
+    const bool abandon = strategy != ExecutionStrategy::kScanNoEarlyAbandon;
+    const double threshold = abandon ? query.epsilon : kInf;
+    for (const Record& record : relation.records()) {
+      if (!PatternAdmits(record, query.pattern)) {
+        continue;
+      }
+      ++out.stats.exact_checks;
+      double distance;
+      if (query.mode == DistanceMode::kNormalForm && spectral) {
+        distance = FreqDistance(record.features.normal_spectrum,
+                                query_spectrum, mult, threshold);
+      } else {
+        const std::vector<double>& base =
+            query.mode == DistanceMode::kNormalForm ? record.normal_values
+                                                    : record.raw;
+        const std::vector<double> transformed =
+            rule != nullptr ? rule->Apply(base) : base;
+        distance =
+            abandon ? EuclideanDistanceEarlyAbandon(transformed, query_values,
+                                                    query.epsilon)
+                    : EuclideanDistance(transformed, query_values);
+      }
+      if (distance <= query.epsilon) {
+        out.matches.push_back(Match{record.id, record.name, distance});
+      }
+    }
+  }
+  SortMatches(&out.matches);
+  return out;
+}
+
+Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
+                                             const Query& query) const {
+  QueryResult out;
+  if (query.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (relation.size() == 0) {
+    return out;
+  }
+  Result<std::vector<double>> resolved =
+      ResolveSeries(relation, query.query_series);
+  if (!resolved.ok()) {
+    return resolved.status();
+  }
+  const std::vector<double>& raw_query = resolved.value();
+
+  const TransformationRule* rule = query.transform.get();
+  if (query.mode == DistanceMode::kNormalForm && rule != nullptr &&
+      rule->IsNormalFormInvariant()) {
+    rule = nullptr;
+  }
+  const int n = relation.series_length();
+  const int out_n = rule != nullptr ? rule->OutputLength(n) : n;
+  if (static_cast<int>(raw_query.size()) != out_n) {
+    return Status::InvalidArgument(
+        "query series length does not match the transformed data length");
+  }
+
+  std::vector<double> query_values;
+  if (query.mode == DistanceMode::kNormalForm && !query.query_prenormalized) {
+    query_values = ToNormalForm(raw_query).values;
+  } else {
+    query_values = raw_query;
+  }
+  const Spectrum query_spectrum = Dft(query_values);
+
+  const bool spectral = rule == nullptr || rule->IsSpectral(n);
+  std::optional<LinearTransform> index_transform;
+  if (rule != nullptr && spectral) {
+    index_transform = rule->IndexTransform(n, config_.num_coefficients);
+  }
+  const std::optional<Spectrum> multiplier =
+      spectral ? MaterializeMultiplier(rule, n) : std::nullopt;
+  const Spectrum* mult = multiplier.has_value() ? &*multiplier : nullptr;
+  const bool can_use_index =
+      query.mode == DistanceMode::kNormalForm &&
+      (rule == nullptr || (index_transform.has_value() &&
+                           index_transform->IsSafeIn(config_.space)));
+
+  ExecutionStrategy strategy = query.strategy;
+  if (strategy == ExecutionStrategy::kAuto) {
+    strategy =
+        can_use_index ? ExecutionStrategy::kIndex : ExecutionStrategy::kScan;
+  }
+  if (strategy == ExecutionStrategy::kIndex && !can_use_index) {
+    return Status::FailedPrecondition(
+        "query is not index-accelerable (requires normal-form mode and a "
+        "safe spectral transformation)");
+  }
+
+  if (strategy == ExecutionStrategy::kIndex) {
+    const std::vector<Complex> query_coeffs =
+        ExtractCoefficients(query_spectrum, config_.num_coefficients);
+    const NnLowerBound bound(query_coeffs, config_);
+    std::vector<DimAffine> affines;
+    const std::vector<DimAffine>* affines_ptr = nullptr;
+    if (rule != nullptr) {
+      affines = LowerToFeatureSpace(*index_transform, config_);
+      affines_ptr = &affines;
+    }
+    const RTree& tree = relation.index();
+    const int64_t accesses_before = tree.node_accesses();
+    const auto exact = [&](int64_t id) {
+      const Record& record = relation.record(id);
+      if (!PatternAdmits(record, query.pattern)) {
+        return kInf;  // excluded entries sort to the end and are dropped
+      }
+      ++out.stats.exact_checks;
+      return FreqDistance(record.features.normal_spectrum, query_spectrum,
+                          mult, kInf);
+    };
+    const std::vector<std::pair<int64_t, double>> neighbors =
+        tree.NearestNeighbors(bound, affines_ptr, query.k, exact);
+    out.stats.used_index = true;
+    out.stats.node_accesses = tree.node_accesses() - accesses_before;
+    for (const auto& [id, distance] : neighbors) {
+      if (distance == kInf) {
+        continue;
+      }
+      out.matches.push_back(Match{id, relation.record(id).name, distance});
+    }
+  } else {
+    std::vector<Match> all;
+    for (const Record& record : relation.records()) {
+      if (!PatternAdmits(record, query.pattern)) {
+        continue;
+      }
+      ++out.stats.exact_checks;
+      double distance;
+      if (query.mode == DistanceMode::kNormalForm && spectral) {
+        distance = FreqDistance(record.features.normal_spectrum,
+                                query_spectrum, mult, kInf);
+      } else {
+        const std::vector<double>& base =
+            query.mode == DistanceMode::kNormalForm ? record.normal_values
+                                                    : record.raw;
+        const std::vector<double> transformed =
+            rule != nullptr ? rule->Apply(base) : base;
+        distance = EuclideanDistance(transformed, query_values);
+      }
+      all.push_back(Match{record.id, record.name, distance});
+    }
+    SortMatches(&all);
+    if (static_cast<int>(all.size()) > query.k) {
+      all.resize(static_cast<size_t>(query.k));
+    }
+    out.matches = std::move(all);
+  }
+  SortMatches(&out.matches);
+  return out;
+}
+
+Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
+                                       double epsilon,
+                                       const TransformationRule* rule,
+                                       JoinMethod method) const {
+  return SelfJoin(relation_name, epsilon, rule, rule, method);
+}
+
+Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
+                                       double epsilon,
+                                       const TransformationRule* left_rule,
+                                       const TransformationRule* right_rule,
+                                       JoinMethod method) const {
+  const Relation* relation = GetRelation(relation_name);
+  if (relation == nullptr) {
+    return Status::NotFound("no relation named '" + relation_name + "'");
+  }
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be nonnegative");
+  }
+  QueryResult out;
+  const int64_t count = relation->size();
+  if (count == 0) {
+    return out;
+  }
+  const int n = relation->series_length();
+  const bool symmetric = left_rule == right_rule;
+  if (left_rule != nullptr && left_rule->IsNormalFormInvariant()) {
+    left_rule = nullptr;
+  }
+  if (right_rule != nullptr && right_rule->IsNormalFormInvariant()) {
+    right_rule = nullptr;
+  }
+  for (const TransformationRule* rule : {left_rule, right_rule}) {
+    if (rule != nullptr && rule->OutputLength(n) != n) {
+      return Status::InvalidArgument(
+          "self-join transformations must preserve series length");
+    }
+  }
+  const bool left_spectral = left_rule == nullptr || left_rule->IsSpectral(n);
+  const bool right_spectral =
+      right_rule == nullptr || right_rule->IsSpectral(n);
+  const std::optional<Spectrum> left_multiplier =
+      left_spectral ? MaterializeMultiplier(left_rule, n) : std::nullopt;
+  const std::optional<Spectrum> right_multiplier =
+      right_spectral ? MaterializeMultiplier(right_rule, n) : std::nullopt;
+  const Spectrum* left_mult =
+      left_multiplier.has_value() ? &*left_multiplier : nullptr;
+  const Spectrum* right_mult =
+      right_multiplier.has_value() ? &*right_multiplier : nullptr;
+
+  if (method == JoinMethod::kFullScan ||
+      method == JoinMethod::kScanEarlyAbandon) {
+    const double threshold =
+        method == JoinMethod::kFullScan ? kInf : epsilon;
+    if (left_spectral && right_spectral) {
+      for (int64_t i = 0; i < count; ++i) {
+        const Spectrum& a = relation->record(i).features.normal_spectrum;
+        for (int64_t j = symmetric ? i + 1 : 0; j < count; ++j) {
+          if (j == i) {
+            continue;
+          }
+          const Spectrum& b = relation->record(j).features.normal_spectrum;
+          ++out.stats.exact_checks;
+          const double distance =
+              FreqDistanceTwoSided(a, b, left_mult, right_mult, threshold);
+          if (distance <= epsilon) {
+            out.pairs.push_back(PairMatch{i, j, distance});
+          }
+        }
+      }
+    } else {
+      // Non-spectral rule(s): transform every series once per side, then
+      // compare in the time domain.
+      std::vector<std::vector<double>> left_values(
+          static_cast<size_t>(count));
+      std::vector<std::vector<double>> right_values(
+          static_cast<size_t>(count));
+      for (int64_t i = 0; i < count; ++i) {
+        const std::vector<double>& base = relation->record(i).normal_values;
+        left_values[static_cast<size_t>(i)] =
+            left_rule != nullptr ? left_rule->Apply(base) : base;
+        right_values[static_cast<size_t>(i)] =
+            right_rule != nullptr ? right_rule->Apply(base) : base;
+      }
+      for (int64_t i = 0; i < count; ++i) {
+        for (int64_t j = symmetric ? i + 1 : 0; j < count; ++j) {
+          if (j == i) {
+            continue;
+          }
+          ++out.stats.exact_checks;
+          const double distance =
+              method == JoinMethod::kFullScan
+                  ? EuclideanDistance(left_values[static_cast<size_t>(i)],
+                                      right_values[static_cast<size_t>(j)])
+                  : EuclideanDistanceEarlyAbandon(
+                        left_values[static_cast<size_t>(i)],
+                        right_values[static_cast<size_t>(j)], epsilon);
+          if (distance <= epsilon) {
+            out.pairs.push_back(PairMatch{i, j, distance});
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  // Index nested-loop methods (Table 1 c and d). Probe side: left rule
+  // applied to the probe's coefficients; data side: right rule applied to
+  // the index on the fly (Algorithm 1).
+  std::optional<LinearTransform> left_transform;
+  std::optional<LinearTransform> right_transform;
+  std::vector<DimAffine> affines;
+  const std::vector<DimAffine>* affines_ptr = nullptr;
+  const Spectrum* post_left = nullptr;
+  const Spectrum* post_right = nullptr;
+  if (method == JoinMethod::kIndexTransform) {
+    if (!left_spectral || !right_spectral) {
+      return Status::FailedPrecondition(
+          "index join requires spectral transformations");
+    }
+    if (left_rule != nullptr) {
+      left_transform = left_rule->IndexTransform(n, config_.num_coefficients);
+      if (!left_transform.has_value()) {
+        return Status::FailedPrecondition(
+            "left transformation has no index form");
+      }
+    }
+    if (right_rule != nullptr) {
+      right_transform =
+          right_rule->IndexTransform(n, config_.num_coefficients);
+      if (!right_transform.has_value() ||
+          !right_transform->IsSafeIn(config_.space)) {
+        return Status::FailedPrecondition(
+            "right transformation is not safe in the configured feature "
+            "space");
+      }
+      affines = LowerToFeatureSpace(*right_transform, config_);
+      affines_ptr = &affines;
+    }
+    post_left = left_mult;
+    post_right = right_mult;
+  }
+
+  const RTree& tree = relation->index();
+  const int64_t accesses_before = tree.node_accesses();
+  out.stats.used_index = true;
+  for (int64_t i = 0; i < count; ++i) {
+    const Record& probe = relation->record(i);
+    std::vector<Complex> query_coeffs = ExtractCoefficients(
+        probe.features.normal_spectrum, config_.num_coefficients);
+    if (left_transform.has_value()) {
+      query_coeffs = left_transform->Apply(query_coeffs);
+    }
+    const SearchRegion region =
+        SearchRegion::MakeRange(query_coeffs, epsilon, config_);
+    std::vector<int64_t> candidates;
+    tree.Search(region, affines_ptr, &candidates);
+    out.stats.candidates += static_cast<int64_t>(candidates.size());
+    for (const int64_t j : candidates) {
+      if (j == i) {
+        continue;
+      }
+      ++out.stats.exact_checks;
+      const double distance = FreqDistanceTwoSided(
+          probe.features.normal_spectrum,
+          relation->record(j).features.normal_spectrum, post_left,
+          post_right, epsilon);
+      if (distance <= epsilon) {
+        out.pairs.push_back(PairMatch{i, j, distance});
+      }
+    }
+  }
+  out.stats.node_accesses = tree.node_accesses() - accesses_before;
+  return out;
+}
+
+}  // namespace simq

@@ -1,0 +1,143 @@
+// The similarity database: named relations of equal-length time series,
+// each backed by an R*-tree over normal-form DFT features (the "k-index" of
+// [AFS93]/[RM97] §4), plus the planner/executor for the query language L.
+//
+// Execution strategies:
+//  * Index (Algorithm 2): build the search rectangle (geom/search_region.h)
+//    from the query's first k coefficients, traverse the R*-tree applying
+//    the safe transformation to every MBR/point on the fly, then postprocess
+//    candidates with the exact full-length frequency-domain distance (early
+//    abandoning). By Lemma 1 this never produces false dismissals.
+//  * Scan: early-abandoning sequential scan over the frequency-domain
+//    relation (the paper's "good implementation" of the baseline), or a
+//    full scan without abandoning (Table 1 method a).
+// The planner (strategy kAuto) uses the index whenever the distance mode is
+// normal-form and the transformation has a safe spectral lowering;
+// everything else falls back to scanning, including arbitrary non-spectral
+// rules (which are applied in the time domain).
+
+#ifndef SIMQ_CORE_DATABASE_H_
+#define SIMQ_CORE_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query.h"
+#include "core/transformation.h"
+#include "index/rtree.h"
+#include "ts/feature.h"
+#include "ts/time_series.h"
+#include "util/status.h"
+
+namespace simq {
+
+// One stored series with everything precomputed for query processing.
+struct Record {
+  int64_t id = 0;
+  std::string name;
+  std::vector<double> raw;            // original values
+  std::vector<double> normal_values;  // Goldin-Kanellakis normal form
+  SeriesFeatures features;            // mean, std, normal-form spectrum
+};
+
+// A unary relation of series. All members must have one common length
+// (established by the first insert); cross-length similarity is expressed
+// through time-warp transformations, not mixed relations.
+class Relation {
+ public:
+  Relation(std::string name, const FeatureConfig& config,
+           RTree::Options index_options);
+
+  const std::string& name() const { return name_; }
+  int64_t size() const { return static_cast<int64_t>(records_.size()); }
+  int series_length() const { return series_length_; }
+  const Record& record(int64_t id) const;
+  const std::vector<Record>& records() const { return records_; }
+  const RTree& index() const { return *index_; }
+
+  // Id of the series inserted under `name`, or NotFound.
+  Result<int64_t> FindByName(const std::string& series_name) const;
+
+ private:
+  friend class Database;
+
+  std::string name_;
+  FeatureConfig config_;
+  int series_length_ = 0;
+  std::vector<Record> records_;
+  std::unordered_map<std::string, int64_t> by_name_;
+  std::unique_ptr<RTree> index_;
+};
+
+// Self-join algorithms (Table 1 of [RM97]).
+enum class JoinMethod {
+  kFullScan,           // (a) nested scan, complete distance computation
+  kScanEarlyAbandon,   // (b) nested scan, abandon when distance exceeds eps
+  kIndexNoTransform,   // (c) per-series search rectangle, no transformation
+  kIndexTransform,     // (d) method c with T applied to index + rectangles
+};
+
+class Database {
+ public:
+  explicit Database(FeatureConfig config = FeatureConfig(),
+                    RTree::Options index_options = RTree::Options());
+
+  const FeatureConfig& config() const { return config_; }
+
+  Status CreateRelation(const std::string& name);
+  // Inserts one series (index maintained incrementally); returns its id.
+  Result<int64_t> Insert(const std::string& relation,
+                         const TimeSeries& series);
+  // Inserts a batch into an empty relation using STR bulk loading.
+  Status BulkLoad(const std::string& relation,
+                  const std::vector<TimeSeries>& series);
+
+  const Relation* GetRelation(const std::string& name) const;
+
+  // Names of all relations, in lexicographic order.
+  std::vector<std::string> RelationNames() const;
+
+  // Executes a parsed query.
+  Result<QueryResult> Execute(const Query& query) const;
+  // Parses and executes a textual query (core/parser.h grammar).
+  Result<QueryResult> ExecuteText(const std::string& text) const;
+
+  // Similarity self-join with an explicit algorithm choice; rules may be
+  // null (identity). Distances use normal-form semantics:
+  //   D( left_rule(x_i), right_rule(x_j) ) <= epsilon.
+  // Equal rules on both sides give the symmetric join of Table 1 (method d
+  // smooths both sides); different rules express joins between r and T(r),
+  // e.g. the paper's hedging join r >< T_rev(r). Index methods report every
+  // qualifying ordered pair; symmetric scan methods report each unordered
+  // pair once -- matching the answer-set accounting of Table 1.
+  // kIndexNoTransform ignores the rules (method c is defined that way).
+  Result<QueryResult> SelfJoin(const std::string& relation, double epsilon,
+                               const TransformationRule* left_rule,
+                               const TransformationRule* right_rule,
+                               JoinMethod method) const;
+
+  // Convenience: the same rule applied to both sides.
+  Result<QueryResult> SelfJoin(const std::string& relation, double epsilon,
+                               const TransformationRule* rule,
+                               JoinMethod method) const;
+
+ private:
+  Result<QueryResult> ExecuteRange(const Relation& relation,
+                                   const Query& query) const;
+  Result<QueryResult> ExecuteNearest(const Relation& relation,
+                                     const Query& query) const;
+  Result<std::vector<double>> ResolveSeries(const Relation& relation,
+                                            const SeriesRef& ref) const;
+
+  FeatureConfig config_;
+  RTree::Options index_options_;
+  std::map<std::string, std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace simq
+
+#endif  // SIMQ_CORE_DATABASE_H_

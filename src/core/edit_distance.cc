@@ -1,0 +1,77 @@
+#include "core/edit_distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace simq {
+
+double WeightedEditDistance(const std::vector<double>& a,
+                            const std::vector<double>& b,
+                            const EditCosts& costs) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  // Rolling single-row DP: row[j] = cost of reducing a[0..i) to b[0..j).
+  std::vector<double> row(m + 1);
+  for (size_t j = 0; j <= m; ++j) {
+    row[j] = static_cast<double>(j) * costs.insert_cost;
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    double diagonal = row[0];
+    row[0] = static_cast<double>(i) * costs.delete_cost;
+    for (size_t j = 1; j <= m; ++j) {
+      const double replace =
+          a[i - 1] == b[j - 1]
+              ? diagonal
+              : diagonal + costs.replace_flat +
+                    costs.replace_per_unit * std::fabs(a[i - 1] - b[j - 1]);
+      const double remove = row[j] + costs.delete_cost;
+      const double insert = row[j - 1] + costs.insert_cost;
+      diagonal = row[j];
+      row[j] = std::min({replace, remove, insert});
+    }
+  }
+  return row[m];
+}
+
+double DtwDistance(const std::vector<double>& a, const std::vector<double>& b,
+                   int band) {
+  SIMQ_CHECK(!a.empty());
+  SIMQ_CHECK(!b.empty());
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  const double inf = std::numeric_limits<double>::infinity();
+  if (band >= 0 && std::abs(n - m) > band) {
+    // No monotone alignment fits inside the band.
+    return inf;
+  }
+
+  std::vector<double> prev(static_cast<size_t>(m) + 1, inf);
+  std::vector<double> curr(static_cast<size_t>(m) + 1, inf);
+  prev[0] = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), inf);
+    int j_lo = 1;
+    int j_hi = m;
+    if (band >= 0) {
+      j_lo = std::max(1, i - band);
+      j_hi = std::min(m, i + band);
+    }
+    for (int j = j_lo; j <= j_hi; ++j) {
+      const double step = std::fabs(a[static_cast<size_t>(i - 1)] -
+                                    b[static_cast<size_t>(j - 1)]);
+      const double best =
+          std::min({prev[static_cast<size_t>(j)],       // stutter in b
+                    curr[static_cast<size_t>(j - 1)],   // stutter in a
+                    prev[static_cast<size_t>(j - 1)]})  // advance both
+          ;
+      curr[static_cast<size_t>(j)] = step + best;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[static_cast<size_t>(m)];
+}
+
+}  // namespace simq

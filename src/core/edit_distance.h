@@ -1,0 +1,43 @@
+// Closed-form reducibility solvers for discrete transformation-rule systems.
+//
+// [JMM95] relates its cost-bounded reducibility to classical sequence
+// comparison: when the rule set consists of local editing rules
+// (insert/delete/replace a sample, or stutter/drop for time warping
+// [SK83]), the cheapest reducing derivation is computed by dynamic
+// programming instead of searching over rule sequences. These solvers are
+// the framework's polynomial special cases; core/similarity.h provides the
+// general branch-and-bound search.
+
+#ifndef SIMQ_CORE_EDIT_DISTANCE_H_
+#define SIMQ_CORE_EDIT_DISTANCE_H_
+
+#include <vector>
+
+namespace simq {
+
+// Costs of the three editing rules. Replacement cost is
+//   replace_flat + replace_per_unit * |a - b|,
+// so both classic unit-cost edit distance (flat=1, per_unit=0) and
+// magnitude-sensitive variants are expressible.
+struct EditCosts {
+  double insert_cost = 1.0;
+  double delete_cost = 1.0;
+  double replace_flat = 0.0;
+  double replace_per_unit = 1.0;
+};
+
+// Minimum total rule cost reducing sequence `a` to sequence `b` using
+// insert/delete/replace rules. O(|a| * |b|) time, O(min) space.
+double WeightedEditDistance(const std::vector<double>& a,
+                            const std::vector<double>& b,
+                            const EditCosts& costs);
+
+// Dynamic time warping distance: minimum sum of |a_i - b_j| over monotone
+// alignments (the stutter/drop rule system). `band` restricts |i - j| to a
+// Sakoe-Chiba band; band < 0 means unconstrained.
+double DtwDistance(const std::vector<double>& a, const std::vector<double>& b,
+                   int band = -1);
+
+}  // namespace simq
+
+#endif  // SIMQ_CORE_EDIT_DISTANCE_H_

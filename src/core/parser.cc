@@ -1,0 +1,355 @@
+#include "core/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace simq {
+namespace {
+
+enum class TokenKind { kIdent, kNumber, kPunct, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // identifier or punctuation
+  double number = 0.0;  // kNumber payload
+  size_t position = 0;  // offset in the input, for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    while (i < text_.size()) {
+      const char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        const size_t start = i;
+        while (i < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[i])) ||
+                text_[i] == '_')) {
+          ++i;
+        }
+        Token token;
+        token.kind = TokenKind::kIdent;
+        token.text = text_.substr(start, i - start);
+        token.position = start;
+        tokens.push_back(std::move(token));
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '+' || c == '.') {
+        const size_t start = i;
+        const char* begin = text_.c_str() + start;
+        char* end = nullptr;
+        const double value = std::strtod(begin, &end);
+        if (end == begin) {
+          return Error(start, "malformed number");
+        }
+        i = start + static_cast<size_t>(end - begin);
+        Token token;
+        token.kind = TokenKind::kNumber;
+        token.number = value;
+        token.position = start;
+        tokens.push_back(std::move(token));
+        continue;
+      }
+      if (c == '#' || c == '[' || c == ']' || c == '(' || c == ')' ||
+          c == ',' || c == '|') {
+        Token token;
+        token.kind = TokenKind::kPunct;
+        token.text = std::string(1, c);
+        token.position = i;
+        tokens.push_back(std::move(token));
+        ++i;
+        continue;
+      }
+      return Error(i, std::string("unexpected character '") + c + "'");
+    }
+    Token end;
+    end.kind = TokenKind::kEnd;
+    end.position = text_.size();
+    tokens.push_back(end);
+    return tokens;
+  }
+
+ private:
+  Status Error(size_t position, const std::string& message) const {
+    std::ostringstream out;
+    out << message << " at offset " << position;
+    return Status::InvalidArgument(out.str());
+  }
+
+  const std::string& text_;
+};
+
+std::string ToUpper(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    Query query;
+    const Token& head = Peek();
+    if (head.kind != TokenKind::kIdent) {
+      return Error("expected RANGE, PAIRS, or NEAREST");
+    }
+    const std::string keyword = ToUpper(head.text);
+    if (keyword == "RANGE") {
+      Advance();
+      SIMQ_RETURN_IF_ERROR(ParseRange(&query));
+    } else if (keyword == "PAIRS") {
+      Advance();
+      SIMQ_RETURN_IF_ERROR(ParsePairs(&query));
+    } else if (keyword == "NEAREST") {
+      Advance();
+      SIMQ_RETURN_IF_ERROR(ParseNearest(&query));
+    } else {
+      return Error("expected RANGE, PAIRS, or NEAREST");
+    }
+    SIMQ_RETURN_IF_ERROR(ParseClauses(&query));
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after query");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  void Advance() { ++index_; }
+
+  Status Error(const std::string& message) const {
+    std::ostringstream out;
+    out << message << " at offset " << Peek().position;
+    return Status::InvalidArgument(out.str());
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (Peek().kind != TokenKind::kIdent || ToUpper(Peek().text) != keyword) {
+      return Error("expected " + keyword);
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Status ExpectPunct(const std::string& punct) {
+    if (Peek().kind != TokenKind::kPunct || Peek().text != punct) {
+      return Error("expected '" + punct + "'");
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Status ParseNumber(double* out) {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Error("expected a number");
+    }
+    *out = Peek().number;
+    Advance();
+    return Status::Ok();
+  }
+
+  Status ParseIdent(std::string* out) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected an identifier");
+    }
+    *out = Peek().text;
+    Advance();
+    return Status::Ok();
+  }
+
+  Status ParseSeries(SeriesRef* out) {
+    if (Peek().kind == TokenKind::kPunct && Peek().text == "#") {
+      Advance();
+      std::string name;
+      SIMQ_RETURN_IF_ERROR(ParseIdent(&name));
+      out->name = name;
+      return Status::Ok();
+    }
+    SIMQ_RETURN_IF_ERROR(ExpectPunct("["));
+    while (true) {
+      double value = 0.0;
+      SIMQ_RETURN_IF_ERROR(ParseNumber(&value));
+      out->literal.push_back(value);
+      if (Peek().kind == TokenKind::kPunct && Peek().text == ",") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return ExpectPunct("]");
+  }
+
+  Status ParseRange(Query* query) {
+    query->kind = QueryKind::kRange;
+    SIMQ_RETURN_IF_ERROR(ParseIdent(&query->relation));
+    SIMQ_RETURN_IF_ERROR(ExpectKeyword("WITHIN"));
+    SIMQ_RETURN_IF_ERROR(ParseNumber(&query->epsilon));
+    SIMQ_RETURN_IF_ERROR(ExpectKeyword("OF"));
+    return ParseSeries(&query->query_series);
+  }
+
+  Status ParsePairs(Query* query) {
+    query->kind = QueryKind::kAllPairs;
+    SIMQ_RETURN_IF_ERROR(ParseIdent(&query->relation));
+    SIMQ_RETURN_IF_ERROR(ExpectKeyword("WITHIN"));
+    return ParseNumber(&query->epsilon);
+  }
+
+  Status ParseNearest(Query* query) {
+    query->kind = QueryKind::kNearest;
+    double k = 0.0;
+    SIMQ_RETURN_IF_ERROR(ParseNumber(&k));
+    query->k = static_cast<int>(k);
+    if (query->k <= 0 || static_cast<double>(query->k) != k) {
+      return Error("NEAREST expects a positive integer count");
+    }
+    SIMQ_RETURN_IF_ERROR(ParseIdent(&query->relation));
+    SIMQ_RETURN_IF_ERROR(ExpectKeyword("TO"));
+    return ParseSeries(&query->query_series);
+  }
+
+  Status ParseTransform(std::shared_ptr<const TransformationRule>* out) {
+    std::vector<std::unique_ptr<TransformationRule>> rules;
+    while (true) {
+      std::string name;
+      SIMQ_RETURN_IF_ERROR(ParseIdent(&name));
+      std::vector<double> args;
+      if (Peek().kind == TokenKind::kPunct && Peek().text == "(") {
+        Advance();
+        while (true) {
+          double value = 0.0;
+          SIMQ_RETURN_IF_ERROR(ParseNumber(&value));
+          args.push_back(value);
+          if (Peek().kind == TokenKind::kPunct && Peek().text == ",") {
+            Advance();
+            continue;
+          }
+          break;
+        }
+        SIMQ_RETURN_IF_ERROR(ExpectPunct(")"));
+      }
+      Result<std::unique_ptr<TransformationRule>> rule =
+          MakeRuleByName(name, args);
+      if (!rule.ok()) {
+        return rule.status();
+      }
+      rules.push_back(std::move(rule).value());
+      if (Peek().kind == TokenKind::kPunct && Peek().text == "|") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (rules.size() == 1) {
+      *out = std::move(rules[0]);
+    } else {
+      *out = MakeCompositeRule(std::move(rules));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseClauses(Query* query) {
+    while (Peek().kind == TokenKind::kIdent) {
+      const std::string keyword = ToUpper(Peek().text);
+      if (keyword == "USING") {
+        Advance();
+        SIMQ_RETURN_IF_ERROR(ParseTransform(&query->transform));
+        // Optional per-side form for all-pairs joins: USING <left> VS
+        // <right> expresses the join r >< T(r).
+        if (Peek().kind == TokenKind::kIdent && ToUpper(Peek().text) == "VS") {
+          if (query->kind != QueryKind::kAllPairs) {
+            return Error("VS is only valid in PAIRS queries");
+          }
+          Advance();
+          SIMQ_RETURN_IF_ERROR(ParseTransform(&query->transform_right));
+        }
+      } else if (keyword == "MODE") {
+        Advance();
+        std::string mode;
+        SIMQ_RETURN_IF_ERROR(ParseIdent(&mode));
+        const std::string upper = ToUpper(mode);
+        if (upper == "NORMAL") {
+          query->mode = DistanceMode::kNormalForm;
+        } else if (upper == "RAW") {
+          query->mode = DistanceMode::kRaw;
+        } else {
+          return Error("MODE expects NORMAL or RAW");
+        }
+      } else if (keyword == "VIA") {
+        Advance();
+        std::string via;
+        SIMQ_RETURN_IF_ERROR(ParseIdent(&via));
+        const std::string upper = ToUpper(via);
+        if (upper == "AUTO") {
+          query->strategy = ExecutionStrategy::kAuto;
+        } else if (upper == "INDEX") {
+          query->strategy = ExecutionStrategy::kIndex;
+        } else if (upper == "SCAN") {
+          query->strategy = ExecutionStrategy::kScan;
+        } else if (upper == "FULLSCAN") {
+          query->strategy = ExecutionStrategy::kScanNoEarlyAbandon;
+        } else {
+          return Error("VIA expects AUTO, INDEX, SCAN, or FULLSCAN");
+        }
+      } else if (keyword == "PRENORMALIZED") {
+        Advance();
+        query->query_prenormalized = true;
+      } else if (keyword == "MEAN") {
+        Advance();
+        double lo = 0.0;
+        double hi = 0.0;
+        SIMQ_RETURN_IF_ERROR(ParseNumber(&lo));
+        SIMQ_RETURN_IF_ERROR(ParseNumber(&hi));
+        if (lo > hi) {
+          return Error("MEAN range must satisfy lo <= hi");
+        }
+        query->pattern.mean_range = {lo, hi};
+      } else if (keyword == "STD") {
+        Advance();
+        double lo = 0.0;
+        double hi = 0.0;
+        SIMQ_RETURN_IF_ERROR(ParseNumber(&lo));
+        SIMQ_RETURN_IF_ERROR(ParseNumber(&hi));
+        if (lo > hi) {
+          return Error("STD range must satisfy lo <= hi");
+        }
+        query->pattern.std_range = {lo, hi};
+      } else {
+        return Error("unexpected clause '" + Peek().text + "'");
+      }
+    }
+    return Status::Ok();
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& text) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) {
+    return tokens.status();
+  }
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace simq

@@ -1,0 +1,166 @@
+#include "core/persistence.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace simq {
+namespace {
+
+constexpr char kMagic[] = "SIMQDB1\n";
+constexpr size_t kMagicLength = 8;
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path)
+      : stream_(path, std::ios::binary | std::ios::trunc) {}
+
+  bool ok() const { return stream_.good(); }
+
+  void Bytes(const void* data, size_t size) {
+    stream_.write(static_cast<const char*>(data),
+                  static_cast<std::streamsize>(size));
+  }
+  void U8(uint8_t value) { Bytes(&value, sizeof(value)); }
+  void I32(int32_t value) { Bytes(&value, sizeof(value)); }
+  void U32(uint32_t value) { Bytes(&value, sizeof(value)); }
+  void U64(uint64_t value) { Bytes(&value, sizeof(value)); }
+  void String(const std::string& value) {
+    U32(static_cast<uint32_t>(value.size()));
+    Bytes(value.data(), value.size());
+  }
+  void Doubles(const std::vector<double>& values) {
+    U64(values.size());
+    Bytes(values.data(), values.size() * sizeof(double));
+  }
+
+ private:
+  std::ofstream stream_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path)
+      : stream_(path, std::ios::binary) {}
+
+  bool opened() const { return stream_.is_open(); }
+
+  Status Bytes(void* data, size_t size) {
+    stream_.read(static_cast<char*>(data),
+                 static_cast<std::streamsize>(size));
+    if (!stream_.good()) {
+      return Status::InvalidArgument("snapshot truncated or unreadable");
+    }
+    return Status::Ok();
+  }
+  Status U8(uint8_t* value) { return Bytes(value, sizeof(*value)); }
+  Status I32(int32_t* value) { return Bytes(value, sizeof(*value)); }
+  Status U32(uint32_t* value) { return Bytes(value, sizeof(*value)); }
+  Status U64(uint64_t* value) { return Bytes(value, sizeof(*value)); }
+  Status String(std::string* value) {
+    uint32_t length = 0;
+    SIMQ_RETURN_IF_ERROR(U32(&length));
+    if (length > (1u << 20)) {
+      return Status::InvalidArgument("snapshot string implausibly long");
+    }
+    value->resize(length);
+    return length == 0 ? Status::Ok() : Bytes(value->data(), length);
+  }
+  Status Doubles(std::vector<double>* values) {
+    uint64_t count = 0;
+    SIMQ_RETURN_IF_ERROR(U64(&count));
+    if (count > (1ull << 32)) {
+      return Status::InvalidArgument("snapshot array implausibly long");
+    }
+    values->resize(count);
+    return count == 0
+               ? Status::Ok()
+               : Bytes(values->data(), count * sizeof(double));
+  }
+
+ private:
+  std::ifstream stream_;
+};
+
+}  // namespace
+
+Status SaveDatabase(const Database& db, const std::string& path) {
+  Writer writer(path);
+  if (!writer.ok()) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  writer.Bytes(kMagic, kMagicLength);
+  const FeatureConfig& config = db.config();
+  writer.I32(config.num_coefficients);
+  writer.I32(static_cast<int32_t>(config.space));
+  writer.U8(config.include_mean_std ? 1 : 0);
+
+  const std::vector<std::string> names = db.RelationNames();
+  writer.U64(names.size());
+  for (const std::string& name : names) {
+    const Relation* relation = db.GetRelation(name);
+    writer.String(name);
+    writer.I32(relation->series_length());
+    writer.U64(static_cast<uint64_t>(relation->size()));
+    for (const Record& record : relation->records()) {
+      writer.String(record.name);
+      writer.Doubles(record.raw);
+    }
+  }
+  if (!writer.ok()) {
+    return Status::Internal("write to '" + path + "' failed");
+  }
+  return Status::Ok();
+}
+
+Result<Database> LoadDatabase(const std::string& path) {
+  Reader reader(path);
+  if (!reader.opened()) {
+    return Status::NotFound("cannot open snapshot '" + path + "'");
+  }
+  char magic[kMagicLength];
+  SIMQ_RETURN_IF_ERROR(reader.Bytes(magic, kMagicLength));
+  if (std::string(magic, kMagicLength) != std::string(kMagic, kMagicLength)) {
+    return Status::InvalidArgument("'" + path + "' is not a simq snapshot");
+  }
+
+  FeatureConfig config;
+  int32_t space = 0;
+  uint8_t include_mean_std = 0;
+  SIMQ_RETURN_IF_ERROR(reader.I32(&config.num_coefficients));
+  SIMQ_RETURN_IF_ERROR(reader.I32(&space));
+  SIMQ_RETURN_IF_ERROR(reader.U8(&include_mean_std));
+  if (config.num_coefficients <= 0 || space < 0 || space > 1) {
+    return Status::InvalidArgument("snapshot has a corrupt configuration");
+  }
+  config.space = static_cast<FeatureSpace>(space);
+  config.include_mean_std = include_mean_std != 0;
+
+  Database db(config);
+  uint64_t relation_count = 0;
+  SIMQ_RETURN_IF_ERROR(reader.U64(&relation_count));
+  for (uint64_t r = 0; r < relation_count; ++r) {
+    std::string relation_name;
+    SIMQ_RETURN_IF_ERROR(reader.String(&relation_name));
+    int32_t series_length = 0;
+    SIMQ_RETURN_IF_ERROR(reader.I32(&series_length));
+    uint64_t record_count = 0;
+    SIMQ_RETURN_IF_ERROR(reader.U64(&record_count));
+    SIMQ_RETURN_IF_ERROR(db.CreateRelation(relation_name));
+
+    std::vector<TimeSeries> series(record_count);
+    for (uint64_t i = 0; i < record_count; ++i) {
+      SIMQ_RETURN_IF_ERROR(reader.String(&series[i].id));
+      SIMQ_RETURN_IF_ERROR(reader.Doubles(&series[i].values));
+      if (series[i].length() != series_length) {
+        return Status::InvalidArgument(
+            "snapshot record length mismatch in relation '" + relation_name +
+            "'");
+      }
+    }
+    SIMQ_RETURN_IF_ERROR(db.BulkLoad(relation_name, series));
+  }
+  return db;
+}
+
+}  // namespace simq

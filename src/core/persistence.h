@@ -1,0 +1,35 @@
+// Binary snapshots of a Database.
+//
+// The snapshot stores the feature configuration plus every relation's raw
+// series; normal forms, spectra, and R*-trees are derived data and are
+// rebuilt deterministically on load (bulk loading). The format is a
+// single-machine, native-endian snapshot -- a checkpoint/restore facility,
+// not an interchange format.
+//
+// Layout (all integers little-endian on the machines we target):
+//   magic "SIMQDB1\n"
+//   i32 num_coefficients, i32 space, u8 include_mean_std
+//   u64 relation_count
+//   per relation:
+//     u32 name_length, bytes name, i32 series_length, u64 record_count
+//     per record: u32 name_length, bytes name, u64 n, n doubles (raw)
+
+#ifndef SIMQ_CORE_PERSISTENCE_H_
+#define SIMQ_CORE_PERSISTENCE_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "util/status.h"
+
+namespace simq {
+
+// Writes a snapshot of `db` to `path` (overwriting).
+Status SaveDatabase(const Database& db, const std::string& path);
+
+// Restores a database from a snapshot; indexes are rebuilt via bulk load.
+Result<Database> LoadDatabase(const std::string& path);
+
+}  // namespace simq
+
+#endif  // SIMQ_CORE_PERSISTENCE_H_

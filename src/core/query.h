@@ -1,0 +1,123 @@
+// The query language L of the framework: abstract syntax, patterns, and
+// result types.
+//
+// [JMM95] extends relational calculus with predicates asserting that an
+// object can be transformed into (a member of) the set denoted by a pattern
+// expression within a distance bound. The implementation surfaces the three
+// query shapes of [RM97] §1.2 -- range, all-pairs, and nearest neighbor --
+// over unary relations of time series:
+//
+//   RANGE   r WITHIN eps OF q [USING t]   ==  { o in r : D(t(o), q) <= eps }
+//   PAIRS   r WITHIN eps      [USING t]   ==  { (a,b) : D(t(a), t(b)) <= eps }
+//   NEAREST k r TO q          [USING t]   ==  k-argmin_{o in r} D(t(o), q)
+//
+// augmented with the pattern predicates of the trivial pattern language P
+// (a constant object or every object of a relation, optionally filtered by
+// mean/std ranges -- the [GK95] shift/scale predicates). The textual
+// grammar is documented in core/parser.h; core/database.h plans and
+// executes the AST.
+
+#ifndef SIMQ_CORE_QUERY_H_
+#define SIMQ_CORE_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/transformation.h"
+
+namespace simq {
+
+enum class QueryKind { kRange, kAllPairs, kNearest };
+
+// Distance semantics. kNormalForm replaces every series by its
+// Goldin-Kanellakis normal form before transformations and distances (what
+// [RM97] §5 evaluates and what the index accelerates); kRaw compares the
+// original values.
+enum class DistanceMode { kNormalForm, kRaw };
+
+// Execution strategy; kAuto lets the planner pick index vs. scan.
+enum class ExecutionStrategy { kAuto, kIndex, kScan, kScanNoEarlyAbandon };
+
+// The pattern language P: which data objects the query ranges over.
+struct Pattern {
+  enum class Kind { kAll, kConstant };
+  Kind kind = Kind::kAll;
+  // kConstant: the single object, by id within the relation.
+  std::optional<int64_t> constant_id;
+  // Optional statistic predicates (the [GK95] extension): inclusive ranges.
+  std::optional<std::pair<double, double>> mean_range;
+  std::optional<std::pair<double, double>> std_range;
+};
+
+// A query object: either a reference to a stored series or literal values.
+struct SeriesRef {
+  std::optional<int64_t> id;
+  std::optional<std::string> name;
+  std::vector<double> literal;  // used when id and name are empty
+
+  bool is_literal() const { return !id.has_value() && !name.has_value(); }
+};
+
+struct Query {
+  QueryKind kind = QueryKind::kRange;
+  std::string relation;
+  Pattern pattern;
+
+  // Range / nearest: the query object.
+  SeriesRef query_series;
+  double epsilon = 0.0;  // range / all-pairs threshold
+  int k = 1;             // nearest-neighbor count
+
+  // Transformation applied to the data side (and to both sides of an
+  // all-pairs query). Null means identity.
+  std::shared_ptr<const TransformationRule> transform;
+
+  // All-pairs queries only: when set, `transform` applies to the left side
+  // and `transform_right` to the right side, expressing the join
+  // r >< T(r) (e.g. the hedging join against reversed series). Textual
+  // syntax: USING <left> VS <right>.
+  std::shared_ptr<const TransformationRule> transform_right;
+
+  DistanceMode mode = DistanceMode::kNormalForm;
+  ExecutionStrategy strategy = ExecutionStrategy::kAuto;
+
+  // Normal-form mode only: when true, the query series is taken to already
+  // live in normal-form space (e.g. a smoothed normal form used as a search
+  // pattern) and is not re-normalized by the engine. Textual syntax:
+  // the PRENORMALIZED clause.
+  bool query_prenormalized = false;
+};
+
+struct Match {
+  int64_t id = 0;
+  std::string name;
+  double distance = 0.0;
+};
+
+struct PairMatch {
+  int64_t first = 0;
+  int64_t second = 0;
+  double distance = 0.0;
+};
+
+// How a query was actually executed, plus effort counters; the benchmark
+// harnesses report these next to wall-clock times.
+struct ExecutionStats {
+  bool used_index = false;
+  int64_t node_accesses = 0;   // R-tree nodes touched (disk-access proxy)
+  int64_t candidates = 0;      // entries surviving the index filter
+  int64_t exact_checks = 0;    // full-distance computations performed
+};
+
+struct QueryResult {
+  std::vector<Match> matches;     // range / nearest
+  std::vector<PairMatch> pairs;   // all-pairs
+  ExecutionStats stats;
+};
+
+}  // namespace simq
+
+#endif  // SIMQ_CORE_QUERY_H_

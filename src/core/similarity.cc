@@ -1,0 +1,129 @@
+#include "core/similarity.h"
+
+#include <cstring>
+#include <limits>
+#include <queue>
+#include <string>
+#include <unordered_map>
+
+#include "util/stats.h"
+
+namespace simq {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Exact state key: the raw bytes of both sequences. Used to avoid
+// re-expanding a (x', y') pair reached again at equal or higher cost.
+std::string StateKey(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  std::string key;
+  key.resize((x.size() + y.size()) * sizeof(double) + sizeof(size_t));
+  char* out = key.data();
+  const size_t x_size = x.size();
+  std::memcpy(out, &x_size, sizeof(size_t));
+  out += sizeof(size_t);
+  if (!x.empty()) {
+    std::memcpy(out, x.data(), x.size() * sizeof(double));
+    out += x.size() * sizeof(double);
+  }
+  if (!y.empty()) {
+    std::memcpy(out, y.data(), y.size() * sizeof(double));
+  }
+  return key;
+}
+
+double BaseDistance(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return kInf;
+  }
+  return EuclideanDistance(x, y);
+}
+
+struct State {
+  double cost;
+  int depth_x;
+  int depth_y;
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<std::string> applied_x;
+  std::vector<std::string> applied_y;
+};
+
+struct StateOrder {
+  bool operator()(const State& a, const State& b) const {
+    return a.cost > b.cost;  // min-heap by accumulated cost
+  }
+};
+
+}  // namespace
+
+SimilarityResult TransformationDistance(
+    const std::vector<double>& x, const std::vector<double>& y,
+    const std::vector<const TransformationRule*>& rules,
+    const SimilarityOptions& options) {
+  SimilarityResult result;
+  result.distance = BaseDistance(x, y);
+
+  std::priority_queue<State, std::vector<State>, StateOrder> queue;
+  queue.push(State{0.0, 0, 0, x, y, {}, {}});
+  std::unordered_map<std::string, double> visited;
+  visited[StateKey(x, y)] = 0.0;
+
+  while (!queue.empty()) {
+    State state = queue.top();
+    queue.pop();
+    // Branch-and-bound cut: accumulated cost alone already matches the best
+    // total, and every extension only adds nonnegative cost.
+    if (state.cost >= result.distance || state.cost > options.cost_budget) {
+      break;  // the queue is cost-ordered; nothing better remains
+    }
+    ++result.states_expanded;
+
+    const double base = BaseDistance(state.x, state.y);
+    const double total = state.cost + base;
+    if (total < result.distance) {
+      result.distance = total;
+      result.applied_to_x = state.applied_x;
+      result.applied_to_y = state.applied_y;
+    }
+
+    auto expand = [&](bool on_x, const TransformationRule* rule) {
+      const double new_cost = state.cost + rule->cost();
+      if (new_cost >= result.distance || new_cost > options.cost_budget) {
+        return;
+      }
+      State next;
+      next.cost = new_cost;
+      next.depth_x = state.depth_x + (on_x ? 1 : 0);
+      next.depth_y = state.depth_y + (on_x ? 0 : 1);
+      next.x = on_x ? rule->Apply(state.x) : state.x;
+      next.y = on_x ? state.y : rule->Apply(state.y);
+      next.applied_x = state.applied_x;
+      next.applied_y = state.applied_y;
+      (on_x ? next.applied_x : next.applied_y).push_back(rule->name());
+
+      const std::string key = StateKey(next.x, next.y);
+      auto it = visited.find(key);
+      if (it != visited.end() && it->second <= new_cost) {
+        return;
+      }
+      visited[key] = new_cost;
+      queue.push(std::move(next));
+    };
+
+    for (const TransformationRule* rule : rules) {
+      if (state.depth_x < options.max_rule_applications) {
+        expand(/*on_x=*/true, rule);
+      }
+      if (options.transform_both_sides &&
+          state.depth_y < options.max_rule_applications) {
+        expand(/*on_x=*/false, rule);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace simq

@@ -1,0 +1,58 @@
+// Cost-bounded transformation distance: the dissimilarity measure of the
+// [JMM95] framework (Equation 10 of [RM97]).
+//
+//   D(x, y) = min( D0(x, y),
+//                  min_T  cost(T) + D(T(x), y),
+//                  min_T  cost(T) + D(x, T(y)),
+//                  min_{T1,T2} cost(T1) + cost(T2) + D(T1(x), T2(y)) )
+//
+// where D0 is the Euclidean distance and T ranges over a caller-supplied
+// rule set. Computed by best-first branch-and-bound over rule application
+// sequences: states are (x', y', accumulated cost); a state is pruned when
+// its accumulated cost already reaches the best known total distance or the
+// cost budget. Zero-cost rules are admitted through a depth cap. This is
+// the general (exponential worst case) solver; the polynomial special cases
+// for editing-rule systems live in core/edit_distance.h.
+
+#ifndef SIMQ_CORE_SIMILARITY_H_
+#define SIMQ_CORE_SIMILARITY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/transformation.h"
+
+namespace simq {
+
+struct SimilarityOptions {
+  // Upper bound on the summed rule costs of a derivation, following the
+  // [JMM95] convention that similarity is only meaningful up to a cost
+  // budget (see [RM97] §2's discussion of repeated smoothing).
+  double cost_budget = 1e100;
+  // Maximum number of rule applications per side; bounds derivations even
+  // when rules are free.
+  int max_rule_applications = 3;
+  // If false, rules are applied to x only (the min over T(x) branches).
+  bool transform_both_sides = true;
+};
+
+struct SimilarityResult {
+  double distance = 0.0;
+  // Rule names applied to each side in the best derivation found.
+  std::vector<std::string> applied_to_x;
+  std::vector<std::string> applied_to_y;
+  // Search effort: number of (x', y') states expanded.
+  int64_t states_expanded = 0;
+};
+
+// Computes D(x, y) under `rules`. Sequences of different lengths have
+// infinite D0, so unless a length-changing rule (time warp) bridges them
+// the result may be infinity.
+SimilarityResult TransformationDistance(
+    const std::vector<double>& x, const std::vector<double>& y,
+    const std::vector<const TransformationRule*>& rules,
+    const SimilarityOptions& options);
+
+}  // namespace simq
+
+#endif  // SIMQ_CORE_SIMILARITY_H_

@@ -1,0 +1,81 @@
+#include "geom/circular_interval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace simq {
+
+double NormalizeAngle(double angle) {
+  double result = std::fmod(angle + M_PI, 2.0 * M_PI);
+  if (result < 0.0) {
+    result += 2.0 * M_PI;
+  }
+  return result - M_PI;
+}
+
+CircularInterval CircularInterval::FromCenter(double center,
+                                              double half_width) {
+  SIMQ_CHECK_GE(half_width, 0.0);
+  if (half_width >= M_PI) {
+    return FullCircle();
+  }
+  return CircularInterval(NormalizeAngle(center - half_width),
+                          2.0 * half_width, /*full=*/false);
+}
+
+CircularInterval CircularInterval::FromBounds(double lo, double hi) {
+  const double extent = hi - lo;
+  SIMQ_CHECK_GE(extent, 0.0);
+  if (extent >= 2.0 * M_PI) {
+    return FullCircle();
+  }
+  return CircularInterval(NormalizeAngle(lo), extent, /*full=*/false);
+}
+
+CircularInterval CircularInterval::FullCircle() {
+  return CircularInterval(-M_PI, 2.0 * M_PI, /*full=*/true);
+}
+
+CircularInterval CircularInterval::Rotated(double delta) const {
+  if (full_) {
+    return *this;
+  }
+  return CircularInterval(NormalizeAngle(lo_ + delta), extent_, false);
+}
+
+bool CircularInterval::Contains(double angle) const {
+  if (full_) {
+    return true;
+  }
+  // Offset of `angle` counterclockwise from lo_, in [0, 2*pi).
+  double offset = NormalizeAngle(angle) - lo_;
+  if (offset < 0.0) {
+    offset += 2.0 * M_PI;
+  }
+  return offset <= extent_;
+}
+
+bool CircularInterval::Overlaps(const CircularInterval& other) const {
+  if (full_ || other.full_) {
+    return true;
+  }
+  // Arcs overlap iff either start point lies within the other arc.
+  return Contains(other.lo_) || other.Contains(lo_);
+}
+
+double CircularInterval::AngularDistance(double angle) const {
+  if (Contains(angle)) {
+    return 0.0;
+  }
+  const double hi = lo_ + extent_;  // may exceed pi; endpoints compared below
+  const double a = NormalizeAngle(angle);
+  auto separation = [](double x, double y) {
+    double diff = std::fabs(NormalizeAngle(x - y));
+    return diff;  // NormalizeAngle output is in [-pi, pi): fabs is in [0, pi]
+  };
+  return std::min(separation(a, lo_), separation(a, hi));
+}
+
+}  // namespace simq

@@ -1,0 +1,58 @@
+// Intervals on the unit circle for phase-angle dimensions of the polar
+// feature space S_pol.
+//
+// Transformed MBRs and polar search rectangles rotate angle intervals
+// (Theorem 3: a polar-safe transformation shifts the angle dimension), so
+// they can cross the +-pi boundary. [RM97] elides this; we handle it
+// explicitly. Angles are normalized to [-pi, pi).
+
+#ifndef SIMQ_GEOM_CIRCULAR_INTERVAL_H_
+#define SIMQ_GEOM_CIRCULAR_INTERVAL_H_
+
+namespace simq {
+
+// Maps any angle to the equivalent value in [-pi, pi).
+double NormalizeAngle(double angle);
+
+// A closed arc travelled counterclockwise from `lo` to `hi`. If the
+// underlying extent reaches 2*pi the interval is the full circle.
+class CircularInterval {
+ public:
+  // Arc [center - half_width, center + half_width]; half_width >= 0.
+  // half_width >= pi yields the full circle.
+  static CircularInterval FromCenter(double center, double half_width);
+
+  // Arc from lo to hi counterclockwise (lo, hi in any representation;
+  // extent is hi - lo which must be in [0, 2*pi] after clamping).
+  static CircularInterval FromBounds(double lo, double hi);
+
+  static CircularInterval FullCircle();
+
+  bool is_full() const { return full_; }
+  // Start of the arc in [-pi, pi); meaningless when full.
+  double lo() const { return lo_; }
+  // Counterclockwise extent in [0, 2*pi].
+  double extent() const { return extent_; }
+
+  // Rotates the arc by `delta` radians.
+  CircularInterval Rotated(double delta) const;
+
+  bool Contains(double angle) const;
+  bool Overlaps(const CircularInterval& other) const;
+
+  // Smallest absolute angular separation between `angle` and the arc
+  // (0 if contained). Result in [0, pi].
+  double AngularDistance(double angle) const;
+
+ private:
+  CircularInterval(double lo, double extent, bool full)
+      : lo_(lo), extent_(extent), full_(full) {}
+
+  double lo_ = 0.0;
+  double extent_ = 0.0;
+  bool full_ = false;
+};
+
+}  // namespace simq
+
+#endif  // SIMQ_GEOM_CIRCULAR_INTERVAL_H_

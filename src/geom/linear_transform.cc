@@ -1,0 +1,140 @@
+#include "geom/linear_transform.h"
+
+#include <cmath>
+
+#include "geom/circular_interval.h"
+#include "util/logging.h"
+
+namespace simq {
+
+LinearTransform LinearTransform::Identity(int num_coefficients) {
+  SIMQ_CHECK_GT(num_coefficients, 0);
+  return LinearTransform(
+      std::vector<Complex>(static_cast<size_t>(num_coefficients),
+                           Complex(1.0, 0.0)),
+      std::vector<Complex>(static_cast<size_t>(num_coefficients),
+                           Complex(0.0, 0.0)));
+}
+
+LinearTransform LinearTransform::FromSpectrum(const Spectrum& multiplier,
+                                              int num_coefficients) {
+  SIMQ_CHECK_GT(num_coefficients, 0);
+  SIMQ_CHECK_GT(multiplier.size(), static_cast<size_t>(num_coefficients))
+      << "multiplier must cover frequencies 1..k";
+  std::vector<Complex> stretch(static_cast<size_t>(num_coefficients));
+  for (int c = 0; c < num_coefficients; ++c) {
+    stretch[static_cast<size_t>(c)] = multiplier[static_cast<size_t>(c) + 1];
+  }
+  return LinearTransform(
+      std::move(stretch),
+      std::vector<Complex>(static_cast<size_t>(num_coefficients),
+                           Complex(0.0, 0.0)));
+}
+
+LinearTransform::LinearTransform(std::vector<Complex> stretch,
+                                 std::vector<Complex> shift)
+    : stretch_(std::move(stretch)), shift_(std::move(shift)) {
+  SIMQ_CHECK(!stretch_.empty());
+  SIMQ_CHECK_EQ(stretch_.size(), shift_.size());
+}
+
+bool LinearTransform::IsIdentity() const {
+  for (size_t i = 0; i < stretch_.size(); ++i) {
+    if (stretch_[i] != Complex(1.0, 0.0) || shift_[i] != Complex(0.0, 0.0)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LinearTransform::IsSafeRectangular() const {
+  for (const Complex& a : stretch_) {
+    if (a.imag() != 0.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LinearTransform::IsSafePolar() const {
+  for (const Complex& b : shift_) {
+    if (b != Complex(0.0, 0.0)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LinearTransform::IsSafeIn(FeatureSpace space) const {
+  return space == FeatureSpace::kRectangular ? IsSafeRectangular()
+                                             : IsSafePolar();
+}
+
+std::vector<Complex> LinearTransform::Apply(
+    const std::vector<Complex>& x) const {
+  SIMQ_CHECK_EQ(x.size(), stretch_.size());
+  std::vector<Complex> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    out[i] = stretch_[i] * x[i] + shift_[i];
+  }
+  return out;
+}
+
+LinearTransform LinearTransform::ComposeAfter(
+    const LinearTransform& first) const {
+  SIMQ_CHECK_EQ(stretch_.size(), first.stretch_.size());
+  std::vector<Complex> stretch(stretch_.size());
+  std::vector<Complex> shift(stretch_.size());
+  for (size_t i = 0; i < stretch_.size(); ++i) {
+    stretch[i] = stretch_[i] * first.stretch_[i];
+    shift[i] = stretch_[i] * first.shift_[i] + shift_[i];
+  }
+  return LinearTransform(std::move(stretch), std::move(shift));
+}
+
+std::vector<DimAffine> LowerToFeatureSpace(const LinearTransform& transform,
+                                           const FeatureConfig& config) {
+  SIMQ_CHECK_EQ(transform.num_coefficients(), config.num_coefficients);
+  SIMQ_CHECK(transform.IsSafeIn(config.space))
+      << "transformation is not safe in the configured feature space";
+
+  std::vector<DimAffine> affines;
+  affines.reserve(static_cast<size_t>(FeatureDimension(config)));
+  if (config.include_mean_std) {
+    affines.push_back(DimAffine{});  // mean: identity
+    affines.push_back(DimAffine{});  // std: identity
+  }
+  for (int c = 0; c < config.num_coefficients; ++c) {
+    const Complex a = transform.stretch()[static_cast<size_t>(c)];
+    const Complex b = transform.shift()[static_cast<size_t>(c)];
+    if (config.space == FeatureSpace::kRectangular) {
+      // (Re, Im) both stretch by the real a; shift splits into components
+      // (proof of Theorem 2).
+      affines.push_back(DimAffine{a.real(), b.real(), /*is_angle=*/false});
+      affines.push_back(DimAffine{a.real(), b.imag(), /*is_angle=*/false});
+    } else {
+      // Magnitude scales by |a|, angle rotates by arg(a) (proof of
+      // Theorem 3).
+      affines.push_back(DimAffine{std::abs(a), 0.0, /*is_angle=*/false});
+      affines.push_back(DimAffine{1.0, std::arg(a), /*is_angle=*/true});
+    }
+  }
+  return affines;
+}
+
+std::vector<double> ApplyDimAffines(const std::vector<DimAffine>& affines,
+                                    const std::vector<double>& point) {
+  SIMQ_CHECK_EQ(affines.size(), point.size());
+  std::vector<double> out(point.size());
+  for (size_t d = 0; d < point.size(); ++d) {
+    if (affines[d].is_angle) {
+      SIMQ_DCHECK(affines[d].scale == 1.0);
+      out[d] = NormalizeAngle(point[d] + affines[d].offset);
+    } else {
+      out[d] = affines[d].scale * point[d] + affines[d].offset;
+    }
+  }
+  return out;
+}
+
+}  // namespace simq

@@ -1,0 +1,82 @@
+// The transformation language of the framework: a pair of vectors (a, b)
+// where a is a per-dimension stretch and b a per-dimension translation
+// ([JMM95] as specialized by [RM97] §3). Over k complex feature coefficients
+// the transformation maps x to a * x + b (element-wise).
+//
+// Safety (Definition 1 of [RM97]): a transformation is safe in a feature
+// space if it maps rectangles to rectangles, preserving interiority.
+//   Theorem 1: real a, real b       -> safe anywhere.
+//   Theorem 2: real a, complex b    -> safe in S_rect.
+//   Theorem 3: complex a, b = 0     -> safe in S_pol.
+// LowerToFeatureSpace() turns a safe transformation into the per-real-
+// dimension affine actions used by the index search (Algorithm 1: the
+// transformed index I' is constructed on the fly by transforming MBRs).
+
+#ifndef SIMQ_GEOM_LINEAR_TRANSFORM_H_
+#define SIMQ_GEOM_LINEAR_TRANSFORM_H_
+
+#include <vector>
+
+#include "ts/dft.h"
+#include "ts/feature.h"
+
+namespace simq {
+
+class LinearTransform {
+ public:
+  // Identity over k coefficients: a = 1, b = 0.
+  static LinearTransform Identity(int num_coefficients);
+
+  // Index-level transform from a full-length spectral multiplier: uses
+  // multiplier entries for frequencies 1..k (frequency 0 is the dropped
+  // normal-form mean coefficient).
+  static LinearTransform FromSpectrum(const Spectrum& multiplier,
+                                      int num_coefficients);
+
+  LinearTransform(std::vector<Complex> stretch, std::vector<Complex> shift);
+
+  int num_coefficients() const { return static_cast<int>(stretch_.size()); }
+  const std::vector<Complex>& stretch() const { return stretch_; }
+  const std::vector<Complex>& shift() const { return shift_; }
+
+  bool IsIdentity() const;
+  // Theorem 2 precondition: every stretch component is real.
+  bool IsSafeRectangular() const;
+  // Theorem 3 precondition: every shift component is zero.
+  bool IsSafePolar() const;
+  bool IsSafeIn(FeatureSpace space) const;
+
+  // a * x + b, element-wise. x must have num_coefficients entries.
+  std::vector<Complex> Apply(const std::vector<Complex>& x) const;
+
+  // The transformation "first, then this": x -> a2*(a1*x + b1) + b2.
+  LinearTransform ComposeAfter(const LinearTransform& first) const;
+
+ private:
+  std::vector<Complex> stretch_;
+  std::vector<Complex> shift_;
+};
+
+// Per-real-dimension action of a safe transformation on index coordinates.
+// Linear dimensions map x -> scale * x + offset; angle dimensions rotate by
+// `offset` (scale is fixed at 1 by Theorem 3).
+struct DimAffine {
+  double scale = 1.0;
+  double offset = 0.0;
+  bool is_angle = false;
+};
+
+// Lowers `transform` onto the real index layout described by `config`.
+// SIMQ_CHECKs that the transformation is safe in config.space.
+// Mean/std dimensions (if present) receive the identity action.
+std::vector<DimAffine> LowerToFeatureSpace(const LinearTransform& transform,
+                                           const FeatureConfig& config);
+
+// Applies per-dimension actions to an index point (angle dimensions are
+// renormalized into [-pi, pi)). Used at R-tree leaves and in tests.
+std::vector<double> ApplyDimAffines(const std::vector<DimAffine>& affines,
+                                    const std::vector<double>& point);
+
+}  // namespace simq
+
+#endif  // SIMQ_GEOM_LINEAR_TRANSFORM_H_

@@ -1,0 +1,67 @@
+// Axis-aligned hyper-rectangles (minimum bounding rectangles) with the
+// metrics needed by the R*-tree insertion and split heuristics: area,
+// margin, overlap, enlargement, and center distance.
+
+#ifndef SIMQ_GEOM_RECT_H_
+#define SIMQ_GEOM_RECT_H_
+
+#include <string>
+#include <vector>
+
+namespace simq {
+
+using Point = std::vector<double>;
+
+class Rect {
+ public:
+  Rect() = default;
+
+  // An "empty" rectangle: lo = +inf, hi = -inf in every dimension; the
+  // identity element of ExpandToInclude.
+  static Rect Empty(int dims);
+
+  // Degenerate rectangle covering exactly one point.
+  static Rect FromPoint(const Point& point);
+
+  // Requires lo[d] <= hi[d] for all d.
+  static Rect FromBounds(Point lo, Point hi);
+
+  int dims() const { return static_cast<int>(lo_.size()); }
+  double lo(int d) const { return lo_[static_cast<size_t>(d)]; }
+  double hi(int d) const { return hi_[static_cast<size_t>(d)]; }
+  bool IsEmpty() const;
+
+  bool Overlaps(const Rect& other) const;
+  bool Contains(const Rect& other) const;
+  bool ContainsPoint(const Point& point) const;
+
+  void ExpandToInclude(const Rect& other);
+  static Rect Union(const Rect& a, const Rect& b);
+
+  // Product of side lengths.
+  double Area() const;
+  // Sum of side lengths (the R* "margin").
+  double Margin() const;
+  // Area of the intersection with `other` (0 if disjoint).
+  double OverlapArea(const Rect& other) const;
+  // Area(Union(this, added)) - Area(this).
+  double Enlargement(const Rect& added) const;
+
+  Point Center() const;
+  double CenterDistanceSquared(const Rect& other) const;
+
+  // Squared MINDIST from a point to this rectangle (0 if inside).
+  double MinDistSquaredToPoint(const Point& point) const;
+
+  std::string DebugString() const;
+
+ private:
+  Rect(Point lo, Point hi) : lo_(std::move(lo)), hi_(std::move(hi)) {}
+
+  Point lo_;
+  Point hi_;
+};
+
+}  // namespace simq
+
+#endif  // SIMQ_GEOM_RECT_H_

@@ -1,0 +1,311 @@
+#include "geom/search_region.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace simq {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Transformed interval of [lo, hi] under a linear (non-angle) action;
+// a negative scale swaps the endpoints.
+void TransformLinearInterval(const DimAffine& affine, double lo, double hi,
+                             double* out_lo, double* out_hi) {
+  const double a = affine.scale * lo + affine.offset;
+  const double b = affine.scale * hi + affine.offset;
+  *out_lo = std::min(a, b);
+  *out_hi = std::max(a, b);
+}
+
+double PointToSegmentDistance(const Complex& p, const Complex& a,
+                              const Complex& b) {
+  const Complex ab = b - a;
+  const double len_sq = std::norm(ab);
+  if (len_sq == 0.0) {
+    return std::abs(p - a);
+  }
+  double t = ((p.real() - a.real()) * ab.real() +
+              (p.imag() - a.imag()) * ab.imag()) /
+             len_sq;
+  t = std::clamp(t, 0.0, 1.0);
+  const Complex closest = a + t * ab;
+  return std::abs(p - closest);
+}
+
+}  // namespace
+
+SearchRegion SearchRegion::MakeRange(const std::vector<Complex>& query_coeffs,
+                                     double epsilon,
+                                     const FeatureConfig& config) {
+  SIMQ_CHECK_EQ(static_cast<int>(query_coeffs.size()),
+                config.num_coefficients);
+  SIMQ_CHECK_GE(epsilon, 0.0);
+
+  SearchRegion region;
+  region.include_mean_std_ = config.include_mean_std;
+  if (config.include_mean_std) {
+    region.dims_.push_back(Dim{false, -kInf, kInf, CircularInterval::FullCircle()});
+    region.dims_.push_back(Dim{false, -kInf, kInf, CircularInterval::FullCircle()});
+  }
+  for (const Complex& q : query_coeffs) {
+    if (config.space == FeatureSpace::kRectangular) {
+      region.dims_.push_back(Dim{false, q.real() - epsilon, q.real() + epsilon,
+                                 CircularInterval::FullCircle()});
+      region.dims_.push_back(Dim{false, q.imag() - epsilon, q.imag() + epsilon,
+                                 CircularInterval::FullCircle()});
+    } else {
+      const double mag = std::abs(q);
+      const double angle = std::arg(q);
+      Dim mag_dim;
+      mag_dim.circular = false;
+      mag_dim.lo = std::max(0.0, mag - epsilon);
+      mag_dim.hi = mag + epsilon;
+      region.dims_.push_back(mag_dim);
+
+      Dim angle_dim;
+      angle_dim.circular = true;
+      if (epsilon >= mag) {
+        // The epsilon-ball contains the origin: every phase is possible.
+        angle_dim.arc = CircularInterval::FullCircle();
+      } else {
+        angle_dim.arc =
+            CircularInterval::FromCenter(angle, std::asin(epsilon / mag));
+      }
+      region.dims_.push_back(angle_dim);
+    }
+  }
+  return region;
+}
+
+void SearchRegion::ConstrainMean(double lo, double hi) {
+  SIMQ_CHECK(include_mean_std_);
+  SIMQ_CHECK_LE(lo, hi);
+  dims_[0].lo = lo;
+  dims_[0].hi = hi;
+}
+
+void SearchRegion::ConstrainStd(double lo, double hi) {
+  SIMQ_CHECK(include_mean_std_);
+  SIMQ_CHECK_LE(lo, hi);
+  dims_[1].lo = lo;
+  dims_[1].hi = hi;
+}
+
+bool SearchRegion::IntersectsRect(const Rect& rect) const {
+  SIMQ_DCHECK(rect.dims() == dims());
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    const Dim& dim = dims_[d];
+    const double lo = rect.lo(static_cast<int>(d));
+    const double hi = rect.hi(static_cast<int>(d));
+    if (dim.circular) {
+      if (hi - lo >= 2.0 * M_PI) {
+        continue;
+      }
+      if (!dim.arc.Overlaps(CircularInterval::FromBounds(lo, hi))) {
+        return false;
+      }
+    } else {
+      if (lo > dim.hi || hi < dim.lo) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool SearchRegion::ContainsPoint(const std::vector<double>& point) const {
+  SIMQ_DCHECK(static_cast<int>(point.size()) == dims());
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    const Dim& dim = dims_[d];
+    if (dim.circular) {
+      if (!dim.arc.Contains(point[d])) {
+        return false;
+      }
+    } else {
+      if (point[d] < dim.lo || point[d] > dim.hi) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool SearchRegion::IntersectsTransformedRect(
+    const Rect& rect, const std::vector<DimAffine>& affines) const {
+  SIMQ_DCHECK(rect.dims() == dims());
+  SIMQ_DCHECK(affines.size() == dims_.size());
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    const Dim& dim = dims_[d];
+    const DimAffine& affine = affines[d];
+    const double lo = rect.lo(static_cast<int>(d));
+    const double hi = rect.hi(static_cast<int>(d));
+    if (affine.is_angle) {
+      SIMQ_DCHECK(dim.circular);
+      if (hi - lo >= 2.0 * M_PI) {
+        continue;
+      }
+      const CircularInterval data_arc =
+          CircularInterval::FromBounds(lo, hi).Rotated(affine.offset);
+      if (!dim.arc.Overlaps(data_arc)) {
+        return false;
+      }
+    } else if (dim.circular) {
+      // Identity action on an angle dimension (e.g. no-transform query).
+      if (hi - lo >= 2.0 * M_PI) {
+        continue;
+      }
+      if (!dim.arc.Overlaps(CircularInterval::FromBounds(lo, hi))) {
+        return false;
+      }
+    } else {
+      double tlo;
+      double thi;
+      TransformLinearInterval(affine, lo, hi, &tlo, &thi);
+      if (tlo > dim.hi || thi < dim.lo) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool SearchRegion::ContainsTransformedPoint(
+    const std::vector<double>& point,
+    const std::vector<DimAffine>& affines) const {
+  SIMQ_DCHECK(point.size() == dims_.size());
+  SIMQ_DCHECK(affines.size() == dims_.size());
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    const Dim& dim = dims_[d];
+    const DimAffine& affine = affines[d];
+    if (affine.is_angle || dim.circular) {
+      const double angle = NormalizeAngle(point[d] + affine.offset);
+      if (!dim.arc.Contains(angle)) {
+        return false;
+      }
+    } else {
+      const double value = affine.scale * point[d] + affine.offset;
+      if (value < dim.lo || value > dim.hi) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double MinDistToAnnularSector(const Complex& p, double mag_lo, double mag_hi,
+                              const CircularInterval& arc) {
+  SIMQ_CHECK_GE(mag_lo, 0.0);
+  SIMQ_CHECK_LE(mag_lo, mag_hi);
+  const double mag = std::abs(p);
+  const double angle = std::arg(p);
+
+  if (arc.is_full() || arc.Contains(angle)) {
+    // Purely radial gap.
+    if (mag < mag_lo) {
+      return mag_lo - mag;
+    }
+    if (mag > mag_hi) {
+      return mag - mag_hi;
+    }
+    return 0.0;
+  }
+
+  // The nearest boundary point lies on one of the two radial edge segments
+  // (arc endpoints are segment endpoints, so corners are covered).
+  const double a0 = arc.lo();
+  const double a1 = arc.lo() + arc.extent();
+  auto edge_distance = [&](double theta) {
+    const Complex lo_pt(mag_lo * std::cos(theta), mag_lo * std::sin(theta));
+    const Complex hi_pt(mag_hi * std::cos(theta), mag_hi * std::sin(theta));
+    return PointToSegmentDistance(p, lo_pt, hi_pt);
+  };
+  return std::min(edge_distance(a0), edge_distance(a1));
+}
+
+NnLowerBound::NnLowerBound(std::vector<Complex> query_coeffs,
+                           const FeatureConfig& config)
+    : query_coeffs_(std::move(query_coeffs)), config_(config) {
+  SIMQ_CHECK_EQ(static_cast<int>(query_coeffs_.size()),
+                config_.num_coefficients);
+}
+
+double NnLowerBound::ToTransformedRect(
+    const Rect& rect, const std::vector<DimAffine>& affines) const {
+  SIMQ_DCHECK(rect.dims() == FeatureDimension(config_));
+  const int base = config_.include_mean_std ? 2 : 0;
+  double sum_sq = 0.0;
+  for (int c = 0; c < config_.num_coefficients; ++c) {
+    const int d0 = base + 2 * c;
+    const int d1 = d0 + 1;
+    const Complex& q = query_coeffs_[static_cast<size_t>(c)];
+    if (config_.space == FeatureSpace::kRectangular) {
+      double re_lo;
+      double re_hi;
+      double im_lo;
+      double im_hi;
+      TransformLinearInterval(affines[static_cast<size_t>(d0)], rect.lo(d0),
+                              rect.hi(d0), &re_lo, &re_hi);
+      TransformLinearInterval(affines[static_cast<size_t>(d1)], rect.lo(d1),
+                              rect.hi(d1), &im_lo, &im_hi);
+      double gap_re = 0.0;
+      if (q.real() < re_lo) {
+        gap_re = re_lo - q.real();
+      } else if (q.real() > re_hi) {
+        gap_re = q.real() - re_hi;
+      }
+      double gap_im = 0.0;
+      if (q.imag() < im_lo) {
+        gap_im = im_lo - q.imag();
+      } else if (q.imag() > im_hi) {
+        gap_im = q.imag() - im_hi;
+      }
+      sum_sq += gap_re * gap_re + gap_im * gap_im;
+    } else {
+      double mag_lo;
+      double mag_hi;
+      TransformLinearInterval(affines[static_cast<size_t>(d0)], rect.lo(d0),
+                              rect.hi(d0), &mag_lo, &mag_hi);
+      mag_lo = std::max(0.0, mag_lo);
+      mag_hi = std::max(0.0, mag_hi);
+      CircularInterval arc = CircularInterval::FullCircle();
+      if (rect.hi(d1) - rect.lo(d1) < 2.0 * M_PI) {
+        arc = CircularInterval::FromBounds(rect.lo(d1), rect.hi(d1))
+                  .Rotated(affines[static_cast<size_t>(d1)].offset);
+      }
+      const double dist = MinDistToAnnularSector(q, mag_lo, mag_hi, arc);
+      sum_sq += dist * dist;
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+double NnLowerBound::ToTransformedPoint(
+    const std::vector<double>& point,
+    const std::vector<DimAffine>& affines) const {
+  SIMQ_DCHECK(static_cast<int>(point.size()) == FeatureDimension(config_));
+  const int base = config_.include_mean_std ? 2 : 0;
+  double sum_sq = 0.0;
+  for (int c = 0; c < config_.num_coefficients; ++c) {
+    const size_t d0 = static_cast<size_t>(base + 2 * c);
+    const size_t d1 = d0 + 1;
+    const Complex& q = query_coeffs_[static_cast<size_t>(c)];
+    Complex value;
+    if (config_.space == FeatureSpace::kRectangular) {
+      const double re = affines[d0].scale * point[d0] + affines[d0].offset;
+      const double im = affines[d1].scale * point[d1] + affines[d1].offset;
+      value = Complex(re, im);
+    } else {
+      const double mag = affines[d0].scale * point[d0] + affines[d0].offset;
+      const double angle = point[d1] + affines[d1].offset;
+      value = std::polar(std::max(0.0, mag), angle);
+    }
+    sum_sq += std::norm(value - q);
+  }
+  return std::sqrt(sum_sq);
+}
+
+}  // namespace simq

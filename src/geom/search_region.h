@@ -1,0 +1,102 @@
+// Query-side geometry for similarity search over the feature index.
+//
+// SearchRegion is the "search rectangle" of [RM97] §3.1 (Figure 7): the
+// minimum bounding region, in index coordinates, of all feature points
+// within Euclidean distance epsilon of the query -- per-dimension
+// [q - eps, q + eps] boxes in S_rect; magnitude bands [m - eps, m + eps]
+// combined with angle arcs of half-width asin(eps/m) in S_pol. The region
+// answers overlap/containment tests against *transformed* index entries,
+// implementing the search step of Algorithm 2 (apply T to every MBR/point of
+// the index, test against the search rectangle).
+//
+// NnLowerBound provides the MINDIST-style lower bounds ([RKV95]) used by the
+// branch-and-bound nearest-neighbor search, generalized to transformed
+// rectangles and to the polar space (distance from a complex point to an
+// annular sector).
+
+#ifndef SIMQ_GEOM_SEARCH_REGION_H_
+#define SIMQ_GEOM_SEARCH_REGION_H_
+
+#include <vector>
+
+#include "geom/circular_interval.h"
+#include "geom/linear_transform.h"
+#include "geom/rect.h"
+#include "ts/dft.h"
+#include "ts/feature.h"
+
+namespace simq {
+
+class SearchRegion {
+ public:
+  // Builds the search region for "feature distance <= epsilon from the
+  // point whose first k coefficients are query_coeffs", laid out per
+  // `config`. Mean/std dimensions (if configured) start unconstrained.
+  static SearchRegion MakeRange(const std::vector<Complex>& query_coeffs,
+                                double epsilon, const FeatureConfig& config);
+
+  // Optional [GK95]-style predicates on the statistics dimensions.
+  // Requires config.include_mean_std.
+  void ConstrainMean(double lo, double hi);
+  void ConstrainStd(double lo, double hi);
+
+  // Tests against untransformed entries (identity transformation).
+  bool IntersectsRect(const Rect& rect) const;
+  bool ContainsPoint(const std::vector<double>& point) const;
+
+  // Tests against entries transformed by the per-dimension actions obtained
+  // from LowerToFeatureSpace. This is how one R-tree serves many
+  // transformations without rebuilding (Algorithm 1).
+  bool IntersectsTransformedRect(const Rect& rect,
+                                 const std::vector<DimAffine>& affines) const;
+  bool ContainsTransformedPoint(const std::vector<double>& point,
+                                const std::vector<DimAffine>& affines) const;
+
+  int dims() const { return static_cast<int>(dims_.size()); }
+
+ private:
+  struct Dim {
+    bool circular = false;
+    // Linear bounds; +-infinity when unconstrained. Unused if circular.
+    double lo = 0.0;
+    double hi = 0.0;
+    CircularInterval arc = CircularInterval::FullCircle();
+  };
+
+  SearchRegion() = default;
+
+  std::vector<Dim> dims_;
+  bool include_mean_std_ = false;
+};
+
+// Smallest Euclidean distance in the complex plane from point `p` to the
+// annular sector {r e^{i theta} : r in [mag_lo, mag_hi], theta in arc}.
+// Requires 0 <= mag_lo <= mag_hi.
+double MinDistToAnnularSector(const Complex& p, double mag_lo, double mag_hi,
+                              const CircularInterval& arc);
+
+// Lower bounds on the (full, frequency-domain) Euclidean distance between
+// the transformed data series and the query, computed from the k indexed
+// coefficients only. Valid for nearest-neighbor pruning by the Lemma 1
+// argument: dropped coefficients only add nonnegative terms.
+class NnLowerBound {
+ public:
+  NnLowerBound(std::vector<Complex> query_coeffs, const FeatureConfig& config);
+
+  // Lower bound against a node MBR transformed by `affines`.
+  double ToTransformedRect(const Rect& rect,
+                           const std::vector<DimAffine>& affines) const;
+
+  // Exact feature-subspace distance to a transformed leaf point (still a
+  // lower bound on the full distance).
+  double ToTransformedPoint(const std::vector<double>& point,
+                            const std::vector<DimAffine>& affines) const;
+
+ private:
+  std::vector<Complex> query_coeffs_;
+  FeatureConfig config_;
+};
+
+}  // namespace simq
+
+#endif  // SIMQ_GEOM_SEARCH_REGION_H_

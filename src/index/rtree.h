@@ -1,0 +1,160 @@
+// In-memory R*-tree over runtime-dimensional rectangles/points.
+//
+// Implements the R-tree of Guttman [Gut84] with the R* improvements of
+// Beckmann et al. [BKSS90]: least-overlap ChooseSubtree at the leaf level,
+// forced reinsertion on first overflow per level, and the margin-driven
+// topological split. This is the index substrate of [RM97] §4-5 (the paper
+// builds on Beckmann's R*-tree V2); disk pages are replaced by heap nodes
+// and a node-access counter stands in for disk accesses (see DESIGN.md).
+//
+// Similarity search plugs in through two generic entry points:
+//  * Search(region, affines): Algorithm 2 of [RM97] -- every node MBR and
+//    leaf point is passed through the safe transformation's per-dimension
+//    actions before being tested against the query's search region, which
+//    is exactly "constructing the index I' for T(D) on the fly"
+//    (Algorithm 1) without materializing it.
+//  * NearestNeighbors(bound, affines, k, exact): branch-and-bound k-NN in
+//    the style of [RKV95], generalized to transformed entries; candidates
+//    are re-ranked by a caller-supplied exact distance so the index only
+//    needs lower bounds.
+//
+// Not thread-safe: the node-access counters are plain mutable fields.
+
+#ifndef SIMQ_INDEX_RTREE_H_
+#define SIMQ_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "geom/linear_transform.h"
+#include "geom/rect.h"
+#include "geom/search_region.h"
+
+namespace simq {
+
+class RTree {
+ public:
+  struct Options {
+    int max_entries = 32;
+    int min_entries = 12;  // must satisfy 2 <= min_entries <= max_entries/2
+    bool forced_reinsert = true;
+    double reinsert_fraction = 0.3;  // p = 30% of M, the [BKSS90] default
+  };
+
+  // Tree node, exposed read-only for join algorithms and invariant checks.
+  // Entries of a level-L node are child nodes of level L-1 (internal) or
+  // data ids (leaves, level 0); rects[i] is the MBR of entry i.
+  struct Node {
+    bool is_leaf = true;
+    int level = 0;  // 0 = leaf
+    Node* parent = nullptr;
+    std::vector<Rect> rects;
+    std::vector<std::unique_ptr<Node>> children;  // internal nodes only
+    std::vector<int64_t> ids;                     // leaves only
+
+    int num_entries() const { return static_cast<int>(rects.size()); }
+  };
+
+  explicit RTree(int dims);
+  RTree(int dims, Options options);
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  // Inserts a rectangle (degenerate rectangles represent points).
+  void Insert(const Rect& box, int64_t id);
+  void InsertPoint(const Point& point, int64_t id);
+
+  // Removes the entry with exactly this bounding box and id; returns false
+  // if no such entry exists. Underfull nodes are condensed and their
+  // entries reinserted (Guttman's CondenseTree).
+  bool Delete(const Rect& box, int64_t id);
+
+  // Sort-Tile-Recursive bulk load. Requires an empty tree.
+  void BulkLoad(std::vector<std::pair<Rect, int64_t>> entries);
+
+  // Range search per Algorithm 2. `affines` (from LowerToFeatureSpace) is
+  // the safe transformation applied to the data side; pass nullptr for the
+  // identity. Appends matching ids to `results`.
+  void Search(const SearchRegion& region, const std::vector<DimAffine>* affines,
+              std::vector<int64_t>* results) const;
+
+  // Generic traversal: visits subtrees whose MBR satisfies node_predicate
+  // and emits leaf entries satisfying leaf_predicate.
+  void SearchGeneric(
+      const std::function<bool(const Rect&)>& node_predicate,
+      const std::function<bool(const Rect&, int64_t)>& leaf_predicate,
+      const std::function<void(int64_t)>& emit) const;
+
+  // Synchronized-traversal spatial join with `other` (which may be this
+  // tree: a self-join). Descends both trees in lockstep, pruning subtree
+  // pairs whose MBRs fail `pair_predicate`, and emits (id, other_id) for
+  // every leaf-entry pair whose rectangles satisfy it. The predicate must
+  // be conservative on MBRs: if any contained pair qualifies, the MBR pair
+  // must qualify. Self-joins emit both orientations and (id, id) pairs;
+  // callers filter as needed.
+  void JoinWith(
+      const RTree& other,
+      const std::function<bool(const Rect&, const Rect&)>& pair_predicate,
+      const std::function<void(int64_t, int64_t)>& emit) const;
+
+  // Branch-and-bound k-nearest neighbors under a transformation. Results
+  // are (id, exact_distance) pairs ordered by increasing exact distance,
+  // where exact_distance comes from the caller's callback (which must be
+  // >= the feature-space lower bound, e.g. a full-spectrum distance).
+  std::vector<std::pair<int64_t, double>> NearestNeighbors(
+      const NnLowerBound& bound, const std::vector<DimAffine>* affines, int k,
+      const std::function<double(int64_t)>& exact_distance) const;
+
+  int dims() const { return dims_; }
+  int64_t size() const { return size_; }
+  int height() const { return root_->level + 1; }
+  int64_t node_count() const { return node_count_; }
+  const Node* root() const { return root_.get(); }
+  Rect bounding_box() const;
+
+  // Node-access accounting: number of nodes touched by searches since the
+  // last reset. The in-memory proxy for the paper's disk accesses.
+  void ResetNodeAccesses() const { node_accesses_ = 0; }
+  int64_t node_accesses() const { return node_accesses_; }
+
+  // Structural validation for tests: MBR containment, fill factors, level
+  // consistency, parent links, and entry count. Returns false and logs the
+  // first violation (via stderr) on failure.
+  bool CheckInvariants() const;
+
+ private:
+  struct PendingEntry {
+    Rect rect;
+    int64_t id = -1;                  // valid when child == nullptr
+    std::unique_ptr<Node> child;      // valid for internal entries
+  };
+
+  Node* ChooseSubtree(Node* node, const Rect& rect) const;
+  void InsertAtLevel(PendingEntry entry, int level,
+                     std::vector<bool>* reinsert_used);
+  void AddEntryToNode(Node* node, PendingEntry entry);
+  void HandleOverflow(Node* node, std::vector<bool>* reinsert_used);
+  void ReinsertEntries(Node* node, std::vector<bool>* reinsert_used);
+  void SplitNode(Node* node, std::vector<bool>* reinsert_used);
+  void UpdateMbrsUpward(Node* node);
+  Rect NodeMbr(const Node* node) const;
+  void SearchNode(const Node* node, const SearchRegion& region,
+                  const std::vector<DimAffine>* affines,
+                  std::vector<int64_t>* results) const;
+  bool CheckNode(const Node* node, bool is_root, int64_t* leaf_entries) const;
+
+  int dims_;
+  Options options_;
+  std::unique_ptr<Node> root_;
+  int64_t size_ = 0;
+  int64_t node_count_ = 1;
+  mutable int64_t node_accesses_ = 0;
+};
+
+}  // namespace simq
+
+#endif  // SIMQ_INDEX_RTREE_H_

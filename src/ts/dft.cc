@@ -1,0 +1,209 @@
+#include "ts/dft.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace simq {
+namespace {
+
+// In-place non-normalized radix-2 FFT. sign = -1 forward, +1 inverse.
+void Radix2Fft(Spectrum* data, int sign) {
+  const size_t n = data->size();
+  SIMQ_DCHECK(IsPowerOfTwo(n));
+  Spectrum& a = *data;
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(a[i], a[j]);
+    }
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * M_PI / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+// Bluestein's chirp-z transform: expresses an arbitrary-length DFT as a
+// linear convolution, evaluated with zero-padded power-of-two FFTs.
+// Returns the non-normalized forward DFT (sign = -1) or inverse kernel
+// (sign = +1) of x.
+Spectrum BluesteinDft(const Spectrum& x, int sign) {
+  const size_t n = x.size();
+  SIMQ_CHECK_GT(n, 0u);
+  const size_t m = NextPowerOfTwo(2 * n - 1);
+
+  // Chirp c_j = exp(sign * i * pi * j^2 / n). j^2 is reduced mod 2n before
+  // the float division to keep the phase accurate for long inputs.
+  std::vector<Complex> chirp(n);
+  for (size_t j = 0; j < n; ++j) {
+    const int64_t j2 = static_cast<int64_t>(j) * static_cast<int64_t>(j) %
+                       static_cast<int64_t>(2 * n);
+    const double phase =
+        sign * M_PI * static_cast<double>(j2) / static_cast<double>(n);
+    chirp[j] = Complex(std::cos(phase), std::sin(phase));
+  }
+
+  Spectrum a(m, Complex(0.0, 0.0));
+  for (size_t j = 0; j < n; ++j) {
+    a[j] = x[j] * chirp[j];
+  }
+  Spectrum b(m, Complex(0.0, 0.0));
+  b[0] = std::conj(chirp[0]);
+  for (size_t j = 1; j < n; ++j) {
+    b[j] = std::conj(chirp[j]);
+    b[m - j] = std::conj(chirp[j]);
+  }
+
+  Radix2Fft(&a, -1);
+  Radix2Fft(&b, -1);
+  for (size_t j = 0; j < m; ++j) {
+    a[j] *= b[j];
+  }
+  Radix2Fft(&a, +1);
+
+  Spectrum out(n);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (size_t k = 0; k < n; ++k) {
+    out[k] = a[k] * inv_m * chirp[k];
+  }
+  return out;
+}
+
+// Non-normalized DFT dispatcher.
+Spectrum RawDft(const Spectrum& x, int sign) {
+  if (IsPowerOfTwo(x.size())) {
+    Spectrum copy = x;
+    Radix2Fft(&copy, sign);
+    return copy;
+  }
+  return BluesteinDft(x, sign);
+}
+
+}  // namespace
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+Spectrum Dft(const std::vector<double>& x) {
+  Spectrum input(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    input[i] = Complex(x[i], 0.0);
+  }
+  return Dft(input);
+}
+
+Spectrum Dft(const Spectrum& x) {
+  SIMQ_CHECK(!x.empty());
+  Spectrum out = RawDft(x, -1);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(x.size()));
+  for (Complex& value : out) {
+    value *= scale;
+  }
+  return out;
+}
+
+Spectrum InverseDft(const Spectrum& spectrum) {
+  SIMQ_CHECK(!spectrum.empty());
+  Spectrum out = RawDft(spectrum, +1);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(spectrum.size()));
+  for (Complex& value : out) {
+    value *= scale;
+  }
+  return out;
+}
+
+std::vector<double> InverseDftReal(const Spectrum& spectrum) {
+  const Spectrum complex_signal = InverseDft(spectrum);
+  std::vector<double> out(complex_signal.size());
+  for (size_t i = 0; i < complex_signal.size(); ++i) {
+    SIMQ_DCHECK(std::abs(complex_signal[i].imag()) < 1e-6)
+        << "spectrum is not that of a real signal";
+    out[i] = complex_signal[i].real();
+  }
+  return out;
+}
+
+Spectrum NaiveDft(const Spectrum& x) {
+  const size_t n = x.size();
+  SIMQ_CHECK_GT(n, 0u);
+  Spectrum out(n, Complex(0.0, 0.0));
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+  for (size_t f = 0; f < n; ++f) {
+    Complex sum(0.0, 0.0);
+    for (size_t t = 0; t < n; ++t) {
+      const double phase = -2.0 * M_PI * static_cast<double>(t) *
+                           static_cast<double>(f) / static_cast<double>(n);
+      sum += x[t] * Complex(std::cos(phase), std::sin(phase));
+    }
+    out[f] = sum * scale;
+  }
+  return out;
+}
+
+std::vector<double> CircularConvolution(const std::vector<double>& a,
+                                        const std::vector<double>& b) {
+  SIMQ_CHECK_EQ(a.size(), b.size());
+  const size_t n = a.size();
+  std::vector<double> out(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+      const size_t idx = (i + n - k) % n;
+      sum += a[k] * b[idx];
+    }
+    out[i] = sum;
+  }
+  return out;
+}
+
+double LowFrequencyEnergyFraction(const Spectrum& spectrum,
+                                  int num_coefficients) {
+  SIMQ_CHECK_GE(num_coefficients, 0);
+  double total = 0.0;
+  for (size_t f = 1; f < spectrum.size(); ++f) {
+    total += std::norm(spectrum[f]);
+  }
+  if (total == 0.0) {
+    return 1.0;
+  }
+  // Real signals have conjugate-symmetric spectra: coefficient f and n-f
+  // carry the same energy, so coefficient f "captures" both.
+  double captured = 0.0;
+  const size_t n = spectrum.size();
+  for (int f = 1; f <= num_coefficients && f < static_cast<int>(n); ++f) {
+    captured += std::norm(spectrum[f]);
+    const size_t mirror = n - static_cast<size_t>(f);
+    if (mirror != static_cast<size_t>(f) && mirror > 0) {
+      captured += std::norm(spectrum[mirror]);
+    }
+  }
+  return std::min(1.0, captured / total);
+}
+
+}  // namespace simq

@@ -1,0 +1,55 @@
+// Discrete Fourier transform with the unitary normalization of [RM97] §1.1:
+//
+//   X_f = (1/sqrt(n)) * sum_t x_t e^{-j 2 pi t f / n}
+//   x_t = (1/sqrt(n)) * sum_f X_f e^{+j 2 pi t f / n}
+//
+// With this convention energy is preserved exactly (Parseval, Equation 7),
+// so Euclidean distances are identical in the time and frequency domains
+// (Equation 8) -- the foundation of the k-index filter (Lemma 1).
+//
+// Implementation: iterative radix-2 Cooley-Tukey for power-of-two lengths,
+// Bluestein's chirp-z algorithm for arbitrary lengths (so every experiment
+// parameter is legal), and a naive O(n^2) reference used by tests.
+
+#ifndef SIMQ_TS_DFT_H_
+#define SIMQ_TS_DFT_H_
+
+#include <complex>
+#include <vector>
+
+namespace simq {
+
+using Complex = std::complex<double>;
+using Spectrum = std::vector<Complex>;
+
+bool IsPowerOfTwo(size_t n);
+
+// Forward unitary DFT of a real or complex signal.
+Spectrum Dft(const std::vector<double>& x);
+Spectrum Dft(const Spectrum& x);
+
+// Inverse unitary DFT.
+Spectrum InverseDft(const Spectrum& spectrum);
+
+// Inverse unitary DFT of a spectrum known to come from a real signal;
+// returns the real parts (imaginary parts are checked to be numerically 0
+// in debug builds).
+std::vector<double> InverseDftReal(const Spectrum& spectrum);
+
+// O(n^2) direct evaluation of the unitary DFT; reference for tests.
+Spectrum NaiveDft(const Spectrum& x);
+
+// Circular convolution (Equation 4): out_i = sum_k a_k b_{(i-k) mod n}.
+// Computed directly in O(n^2); used to define transformations and by tests.
+std::vector<double> CircularConvolution(const std::vector<double>& a,
+                                        const std::vector<double>& b);
+
+// Fraction of total signal energy captured by spectrum coefficients
+// 1..num_coefficients (coefficient 0 excluded, matching the normal-form
+// index layout). Used by the energy-concentration ablation.
+double LowFrequencyEnergyFraction(const Spectrum& spectrum,
+                                  int num_coefficients);
+
+}  // namespace simq
+
+#endif  // SIMQ_TS_DFT_H_

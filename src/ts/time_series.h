@@ -1,0 +1,23 @@
+// The basic data object of the library: a named sequence of real values.
+
+#ifndef SIMQ_TS_TIME_SERIES_H_
+#define SIMQ_TS_TIME_SERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace simq {
+
+// A time series is a finite sequence of real numbers, each representing a
+// value at a time point (stock closes, sensor readings, ...). Passive data
+// carrier; all operations live in ts/transforms.h and ts/dft.h.
+struct TimeSeries {
+  std::string id;
+  std::vector<double> values;
+
+  int length() const { return static_cast<int>(values.size()); }
+};
+
+}  // namespace simq
+
+#endif  // SIMQ_TS_TIME_SERIES_H_

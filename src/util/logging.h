@@ -1,0 +1,77 @@
+// Lightweight assertion macros used throughout simq.
+//
+// The library follows the Google C++ style rule of not using exceptions;
+// recoverable errors are reported through simq::Status (see util/status.h)
+// while violated internal invariants terminate the process with a message.
+//
+// SIMQ_CHECK(cond)        - always evaluated, aborts with file:line on failure.
+// SIMQ_CHECK_EQ/NE/...    - binary comparison forms that print both operands.
+// SIMQ_DCHECK(cond)       - compiled out in NDEBUG builds.
+
+#ifndef SIMQ_UTIL_LOGGING_H_
+#define SIMQ_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace simq {
+namespace internal_logging {
+
+// Accumulates a failure message and aborts the process when destroyed.
+// Usage is via the SIMQ_CHECK* macros only.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "SIMQ_CHECK failure at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace simq
+
+#define SIMQ_CHECK(condition)                                       \
+  if (condition) {                                                  \
+  } else                                                            \
+    ::simq::internal_logging::CheckFailure(__FILE__, __LINE__,      \
+                                           #condition)
+
+#define SIMQ_CHECK_OP(op, lhs, rhs)                                      \
+  if ((lhs)op(rhs)) {                                                    \
+  } else                                                                 \
+    ::simq::internal_logging::CheckFailure(__FILE__, __LINE__,           \
+                                           #lhs " " #op " " #rhs)        \
+        << " (lhs=" << (lhs) << ", rhs=" << (rhs) << ")"
+
+#define SIMQ_CHECK_EQ(lhs, rhs) SIMQ_CHECK_OP(==, lhs, rhs)
+#define SIMQ_CHECK_NE(lhs, rhs) SIMQ_CHECK_OP(!=, lhs, rhs)
+#define SIMQ_CHECK_LT(lhs, rhs) SIMQ_CHECK_OP(<, lhs, rhs)
+#define SIMQ_CHECK_LE(lhs, rhs) SIMQ_CHECK_OP(<=, lhs, rhs)
+#define SIMQ_CHECK_GT(lhs, rhs) SIMQ_CHECK_OP(>, lhs, rhs)
+#define SIMQ_CHECK_GE(lhs, rhs) SIMQ_CHECK_OP(>=, lhs, rhs)
+
+#ifdef NDEBUG
+#define SIMQ_DCHECK(condition) SIMQ_CHECK(true || (condition))
+#else
+#define SIMQ_DCHECK(condition) SIMQ_CHECK(condition)
+#endif
+
+#endif  // SIMQ_UTIL_LOGGING_H_

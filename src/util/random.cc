@@ -1,0 +1,88 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace simq {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotateLeft(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  // Expand the seed through SplitMix64 as recommended by the xoshiro authors;
+  // this guarantees a non-zero state even for seed 0.
+  uint64_t sm = seed;
+  for (uint64_t& word : state_) {
+    word = SplitMix64(&sm);
+  }
+}
+
+uint64_t Random::NextUint64() {
+  const uint64_t result = RotateLeft(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotateLeft(state_[3], 45);
+  return result;
+}
+
+double Random::NextDouble() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Random::UniformDouble(double lo, double hi) {
+  SIMQ_DCHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+int64_t Random::UniformInt(int64_t lo, int64_t hi) {
+  SIMQ_CHECK_LE(lo, hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) {
+    // [INT64_MIN, INT64_MAX]: the full range.
+    return static_cast<int64_t>(NextUint64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t draw = NextUint64();
+  while (draw >= limit) {
+    draw = NextUint64();
+  }
+  return lo + static_cast<int64_t>(draw % range);
+}
+
+double Random::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller transform; produces two deviates per two uniforms.
+  double u1 = NextDouble();
+  while (u1 <= 0.0) {
+    u1 = NextDouble();
+  }
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+}  // namespace simq

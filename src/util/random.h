@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// All simq workload generators are seeded explicitly so every experiment in
+// bench/ is reproducible bit-for-bit across runs.
+
+#ifndef SIMQ_UTIL_RANDOM_H_
+#define SIMQ_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace simq {
+
+// A small, fast, high-quality PRNG (xoshiro256**). Not cryptographic.
+// Copyable; copies continue the sequence independently.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextUint64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Standard normal deviate (Box-Muller).
+  double NextGaussian();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace simq
+
+#endif  // SIMQ_UTIL_RANDOM_H_

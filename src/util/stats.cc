@@ -1,0 +1,119 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace simq {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    sum_sq += d * d;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(values.size()));
+}
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  SIMQ_CHECK_EQ(a.size(), b.size());
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum_sq += d * d;
+  }
+  return std::sqrt(sum_sq);
+}
+
+double EuclideanDistance(const std::vector<std::complex<double>>& a,
+                         const std::vector<std::complex<double>>& b) {
+  SIMQ_CHECK_EQ(a.size(), b.size());
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum_sq += std::norm(a[i] - b[i]);
+  }
+  return std::sqrt(sum_sq);
+}
+
+double EuclideanDistanceEarlyAbandon(const std::vector<double>& a,
+                                     const std::vector<double>& b,
+                                     double threshold) {
+  SIMQ_CHECK_EQ(a.size(), b.size());
+  const double limit = threshold * threshold;
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum_sq += d * d;
+    if (sum_sq > limit) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+double EuclideanDistanceEarlyAbandon(
+    const std::vector<std::complex<double>>& a,
+    const std::vector<std::complex<double>>& b, double threshold) {
+  SIMQ_CHECK_EQ(a.size(), b.size());
+  const double limit = threshold * threshold;
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum_sq += std::norm(a[i] - b[i]);
+    if (sum_sq > limit) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+double Energy(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v * v;
+  }
+  return sum;
+}
+
+double Energy(const std::vector<std::complex<double>>& values) {
+  double sum = 0.0;
+  for (const std::complex<double>& v : values) {
+    sum += std::norm(v);
+  }
+  return sum;
+}
+
+Summary Summarize(std::vector<double> values) {
+  Summary summary;
+  if (values.empty()) {
+    return summary;
+  }
+  std::sort(values.begin(), values.end());
+  summary.min = values.front();
+  summary.max = values.back();
+  summary.mean = Mean(values);
+  const size_t mid = values.size() / 2;
+  summary.median = (values.size() % 2 == 1)
+                       ? values[mid]
+                       : 0.5 * (values[mid - 1] + values[mid]);
+  return summary;
+}
+
+}  // namespace simq

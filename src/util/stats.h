@@ -1,0 +1,56 @@
+// Descriptive statistics and distance primitives shared across simq.
+//
+// Distances are provided for both real and complex vectors because the
+// library computes them interchangeably in the time domain and in the
+// frequency domain (Parseval's relation, see ts/dft.h).
+
+#ifndef SIMQ_UTIL_STATS_H_
+#define SIMQ_UTIL_STATS_H_
+
+#include <complex>
+#include <vector>
+
+namespace simq {
+
+// Arithmetic mean. Returns 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+// Population standard deviation (divide by n). The Goldin-Kanellakis normal
+// form used throughout the library is defined with the population deviation;
+// see ts/transforms.h.
+double StdDev(const std::vector<double>& values);
+
+// Euclidean (L2) distance. Vectors must have equal length.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+double EuclideanDistance(const std::vector<std::complex<double>>& a,
+                         const std::vector<std::complex<double>>& b);
+
+// Early-abandoning Euclidean distance: accumulates squared differences and
+// returns +infinity as soon as the partial sum exceeds threshold^2. This is
+// the "stop the distance computation as soon as the distance exceeds eps"
+// optimization used by the sequential-scan baselines; scanning frequency
+// domain vectors (largest coefficients first) makes the abandon early.
+double EuclideanDistanceEarlyAbandon(const std::vector<double>& a,
+                                     const std::vector<double>& b,
+                                     double threshold);
+double EuclideanDistanceEarlyAbandon(
+    const std::vector<std::complex<double>>& a,
+    const std::vector<std::complex<double>>& b, double threshold);
+
+// Signal energy: sum of squared magnitudes (Equation 3 of [RM97]).
+double Energy(const std::vector<double>& values);
+double Energy(const std::vector<std::complex<double>>& values);
+
+// Order statistics over a sample; used by bench harnesses for robust timing.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+};
+Summary Summarize(std::vector<double> values);
+
+}  // namespace simq
+
+#endif  // SIMQ_UTIL_STATS_H_

@@ -1,0 +1,121 @@
+// Error model for the simq library.
+//
+// The library does not use exceptions (see the style notes in DESIGN.md).
+// Operations that can fail in ways a caller should handle return a Status,
+// or a Result<T> which is either a value or a Status. Internal invariant
+// violations use SIMQ_CHECK (util/logging.h) instead.
+
+#ifndef SIMQ_UTIL_STATUS_H_
+#define SIMQ_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace simq {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// A cheap value type describing the outcome of an operation.
+class Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Either a T or a non-OK Status. Callers must test ok() before value().
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from a non-OK Status keeps call
+  // sites readable: `return value;` / `return Status::InvalidArgument(...)`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    SIMQ_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SIMQ_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SIMQ_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SIMQ_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace simq
+
+// Propagates a non-OK status from an expression to the caller.
+#define SIMQ_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::simq::Status simq_status__ = (expr);  \
+    if (!simq_status__.ok()) {              \
+      return simq_status__;                 \
+    }                                       \
+  } while (false)
+
+#endif  // SIMQ_UTIL_STATUS_H_

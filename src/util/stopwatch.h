@@ -1,0 +1,36 @@
+// Monotonic wall-clock timer used by the benchmark harnesses.
+
+#ifndef SIMQ_UTIL_STOPWATCH_H_
+#define SIMQ_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace simq {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace simq
+
+#endif  // SIMQ_UTIL_STOPWATCH_H_

@@ -1,0 +1,62 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace simq {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SIMQ_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  SIMQ_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s%-*s", c == 0 ? "  " : "  |  ",
+                  static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+
+  print_row(headers_);
+  size_t total = 2;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 5);
+  }
+  std::printf("  %s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string TablePrinter::FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string TablePrinter::FormatInt(int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%lld",
+                static_cast<long long>(value));
+  return buffer;
+}
+
+}  // namespace simq

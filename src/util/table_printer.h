@@ -1,0 +1,36 @@
+// Fixed-width console table output for the experiment harnesses in bench/.
+//
+// Every figure/table reproduction prints its rows through this class so the
+// outputs share one format and are easy to diff against EXPERIMENTS.md.
+
+#ifndef SIMQ_UTIL_TABLE_PRINTER_H_
+#define SIMQ_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace simq {
+
+class TablePrinter {
+ public:
+  // Column headers define the number of columns of every subsequent row.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Cells accept preformatted strings; AddRow checks the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the header, a separator, and all rows to stdout.
+  void Print() const;
+
+  // Helpers for formatting numeric cells.
+  static std::string FormatDouble(double value, int precision = 3);
+  static std::string FormatInt(int64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace simq
+
+#endif  // SIMQ_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,159 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace simq {
+namespace workload {
+namespace {
+
+std::vector<double> RandomWalk(Random* rng, int length, double start_lo,
+                               double start_hi, double step) {
+  std::vector<double> values(static_cast<size_t>(length));
+  values[0] = rng->UniformDouble(start_lo, start_hi);
+  for (int t = 1; t < length; ++t) {
+    values[static_cast<size_t>(t)] =
+        values[static_cast<size_t>(t - 1)] + rng->UniformDouble(-step, step);
+  }
+  return values;
+}
+
+}  // namespace
+
+std::vector<TimeSeries> RandomWalkSeries(int count, int length,
+                                         uint64_t seed) {
+  SIMQ_CHECK_GT(count, 0);
+  SIMQ_CHECK_GT(length, 0);
+  Random rng(seed);
+  std::vector<TimeSeries> out(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out[static_cast<size_t>(i)].id = "walk" + std::to_string(i);
+    // x0 in [20, 99], z_t in [-4, 4]: the construction of [RM97] §5.
+    out[static_cast<size_t>(i)].values =
+        RandomWalk(&rng, length, 20.0, 99.0, 4.0);
+  }
+  return out;
+}
+
+std::vector<TimeSeries> StockMarket(const StockMarketOptions& options) {
+  SIMQ_CHECK_GT(options.num_series, 0);
+  SIMQ_CHECK_GT(options.length, 4);
+  SIMQ_CHECK_GT(options.num_sectors, 0);
+  const int engineered = 2 * (options.num_smoothed_similar_pairs +
+                              options.num_inverse_pairs +
+                              options.num_resampled_pairs);
+  SIMQ_CHECK_LE(engineered, options.num_series);
+
+  Random rng(options.seed);
+  const int length = options.length;
+
+  // Shared per-sector walks give the population realistic cross-correlation
+  // without making any specific pair trivially identical.
+  std::vector<std::vector<double>> sector_walks(
+      static_cast<size_t>(options.num_sectors));
+  for (auto& walk : sector_walks) {
+    walk = RandomWalk(&rng, length, -2.0, 2.0, 1.0);
+  }
+
+  std::vector<TimeSeries> out;
+  out.reserve(static_cast<size_t>(options.num_series));
+  auto emit = [&](std::vector<double> values, const std::string& tag) {
+    TimeSeries series;
+    series.id = tag + std::to_string(out.size());
+    series.values = std::move(values);
+    out.push_back(std::move(series));
+  };
+
+  auto sector_blend = [&](int sector) {
+    const std::vector<double>& shared =
+        sector_walks[static_cast<size_t>(sector)];
+    std::vector<double> own =
+        RandomWalk(&rng, length, 10.0, 80.0, options.idiosyncratic_step);
+    for (int t = 0; t < length; ++t) {
+      own[static_cast<size_t>(t)] += options.sector_correlation * 4.0 *
+                                     shared[static_cast<size_t>(t)];
+    }
+    return own;
+  };
+
+  // Engineered similar-after-smoothing pairs: identical long-term trend,
+  // independent high-frequency noise that a 20-day moving average removes.
+  for (int p = 0; p < options.num_smoothed_similar_pairs; ++p) {
+    const std::vector<double> trend =
+        RandomWalk(&rng, length, 15.0, 60.0, 1.2);
+    for (int member = 0; member < 2; ++member) {
+      std::vector<double> values = trend;
+      for (int t = 0; t < length; ++t) {
+        values[static_cast<size_t>(t)] += rng.UniformDouble(-0.6, 0.6);
+      }
+      emit(std::move(values), "smooth_pair");
+    }
+  }
+
+  // Inverse pairs: b ~ (2 * mean(a)) - a plus noise, so normal forms are
+  // close to negatives of each other (Example 2.2).
+  for (int p = 0; p < options.num_inverse_pairs; ++p) {
+    const std::vector<double> base = RandomWalk(&rng, length, 15.0, 60.0, 1.5);
+    double mean = 0.0;
+    for (double v : base) {
+      mean += v;
+    }
+    mean /= static_cast<double>(length);
+    std::vector<double> mirrored(static_cast<size_t>(length));
+    for (int t = 0; t < length; ++t) {
+      mirrored[static_cast<size_t>(t)] =
+          2.0 * mean - base[static_cast<size_t>(t)] +
+          rng.UniformDouble(-0.3, 0.3);
+    }
+    emit(std::vector<double>(base), "inverse_a");
+    emit(std::move(mirrored), "inverse_b");
+  }
+
+  // Resampled pairs: `slow` sampled every other day, `fast` is its 2x
+  // stutter (time-warp structure of Example 1.2).
+  for (int p = 0; p < options.num_resampled_pairs; ++p) {
+    const std::vector<double> slow =
+        RandomWalk(&rng, length / 2, 15.0, 60.0, 2.0);
+    std::vector<double> fast(static_cast<size_t>(length));
+    for (int t = 0; t < length; ++t) {
+      fast[static_cast<size_t>(t)] = slow[static_cast<size_t>(t / 2)];
+    }
+    std::vector<double> padded_slow(static_cast<size_t>(length));
+    for (int t = 0; t < length; ++t) {
+      // Store the slow series warped to full length as well so the relation
+      // stays rectangular; examples re-derive the half-rate series from it.
+      padded_slow[static_cast<size_t>(t)] = slow[static_cast<size_t>(t / 2)];
+    }
+    emit(std::move(fast), "resample_fast");
+    emit(std::move(padded_slow), "resample_slow");
+  }
+
+  // Background population: sector-correlated walks.
+  int sector = 0;
+  while (static_cast<int>(out.size()) < options.num_series) {
+    emit(sector_blend(sector), "stock");
+    sector = (sector + 1) % options.num_sectors;
+  }
+  return out;
+}
+
+double CalibrateEpsilon(const std::vector<double>& sorted_distances,
+                        int target_answer_size) {
+  SIMQ_CHECK(!sorted_distances.empty());
+  SIMQ_CHECK(std::is_sorted(sorted_distances.begin(), sorted_distances.end()));
+  if (target_answer_size <= 0) {
+    return std::max(0.0, sorted_distances.front() * 0.5);
+  }
+  const size_t index =
+      std::min(sorted_distances.size(), static_cast<size_t>(target_answer_size)) -
+      1;
+  // Nudge upward so ties at the boundary stay inside the answer set.
+  return sorted_distances[index] * (1.0 + 1e-9) + 1e-12;
+}
+
+}  // namespace workload
+}  // namespace simq

@@ -1,0 +1,60 @@
+// Workload generators for experiments, tests, and examples.
+//
+// RandomWalkSeries reproduces the synthetic data of [RM97] §5 exactly as
+// described: x_0 uniform in [20, 99], increments uniform in [-4, 4].
+//
+// StockMarket substitutes for the unavailable 1995 stock archive
+// (ftp.ai.mit.edu/pub/stocks/results/, 1067 series of 128 daily closes).
+// It produces sector-correlated random walks plus engineered structure --
+// pairs that become similar after smoothing, inverse (hedge) pairs, and
+// 2x-resampled pairs -- so that similarity joins and transformation queries
+// have non-trivial answers, which is the property of the real data the
+// evaluation depends on (see DESIGN.md "Data substitutions").
+
+#ifndef SIMQ_WORKLOAD_GENERATORS_H_
+#define SIMQ_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace simq {
+namespace workload {
+
+// The paper's synthetic random walks; deterministic in `seed`.
+std::vector<TimeSeries> RandomWalkSeries(int count, int length,
+                                         uint64_t seed);
+
+struct StockMarketOptions {
+  int num_series = 1067;  // matches the paper's stock relation
+  int length = 128;
+  int num_sectors = 20;
+  // Pairs engineered to be within a small distance after a 20-day moving
+  // average of their normal forms (they differ by short-term noise).
+  int num_smoothed_similar_pairs = 12;
+  // Pairs moving in opposite directions (Example 2.2 hedging candidates).
+  int num_inverse_pairs = 8;
+  // Pairs where one series is the 2x time-warp of the other's half-rate
+  // samples (Example 1.2).
+  int num_resampled_pairs = 4;
+  double sector_correlation = 0.55;  // weight of the shared sector walk
+  // Step size of each stock's own random walk relative to its sector trend;
+  // smaller values produce tighter co-movement (market-crash regimes).
+  double idiosyncratic_step = 1.5;
+  uint64_t seed = 19950523;          // PODS'95 presentation date
+};
+
+std::vector<TimeSeries> StockMarket(const StockMarketOptions& options);
+
+// Smallest epsilon (within `tolerance`) whose range-query answer around
+// `probe` has at least `target_answer_size` members, estimated against
+// precomputed normal-form distances. Utility for the answer-set-size sweep
+// (Figure 12).
+double CalibrateEpsilon(const std::vector<double>& sorted_distances,
+                        int target_answer_size);
+
+}  // namespace workload
+}  // namespace simq
+
+#endif  // SIMQ_WORKLOAD_GENERATORS_H_

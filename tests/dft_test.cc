@@ -1,0 +1,220 @@
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ts/dft.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace simq {
+namespace {
+
+std::vector<double> RandomSignal(Random* rng, int n) {
+  std::vector<double> x(static_cast<size_t>(n));
+  for (double& v : x) {
+    v = rng->UniformDouble(-10.0, 10.0);
+  }
+  return x;
+}
+
+Spectrum ToComplex(const std::vector<double>& x) {
+  Spectrum out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    out[i] = Complex(x[i], 0.0);
+  }
+  return out;
+}
+
+double MaxAbsDiff(const Spectrum& a, const Spectrum& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double max_diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
+  }
+  return max_diff;
+}
+
+TEST(DftTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(1023));
+}
+
+TEST(DftTest, ImpulseHasFlatSpectrum) {
+  // DFT of the unit impulse is 1/sqrt(n) everywhere.
+  const int n = 8;
+  std::vector<double> x(n, 0.0);
+  x[0] = 1.0;
+  const Spectrum spec = Dft(x);
+  for (const Complex& c : spec) {
+    EXPECT_NEAR(c.real(), 1.0 / std::sqrt(8.0), 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(DftTest, ConstantSignalConcentratesAtZero) {
+  const std::vector<double> x(16, 2.0);
+  const Spectrum spec = Dft(x);
+  // X_0 = sqrt(n) * mean = 4 * 2.
+  EXPECT_NEAR(spec[0].real(), 8.0, 1e-12);
+  for (size_t f = 1; f < spec.size(); ++f) {
+    EXPECT_NEAR(std::abs(spec[f]), 0.0, 1e-12);
+  }
+}
+
+class DftLengthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DftLengthTest, MatchesNaiveReference) {
+  const int n = GetParam();
+  Random rng(1000 + static_cast<uint64_t>(n));
+  const Spectrum x = ToComplex(RandomSignal(&rng, n));
+  EXPECT_LT(MaxAbsDiff(Dft(x), NaiveDft(x)), 1e-8);
+}
+
+TEST_P(DftLengthTest, InverseRoundTrip) {
+  const int n = GetParam();
+  Random rng(2000 + static_cast<uint64_t>(n));
+  const std::vector<double> x = RandomSignal(&rng, n);
+  const std::vector<double> back = InverseDftReal(Dft(x));
+  ASSERT_EQ(back.size(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-9);
+  }
+}
+
+TEST_P(DftLengthTest, ParsevalEnergyPreserved) {
+  const int n = GetParam();
+  Random rng(3000 + static_cast<uint64_t>(n));
+  const std::vector<double> x = RandomSignal(&rng, n);
+  EXPECT_NEAR(Energy(x), Energy(Dft(x)), 1e-8 * (1.0 + Energy(x)));
+}
+
+TEST_P(DftLengthTest, DistancePreserved) {
+  // Equation 8: Euclidean distance is identical in both domains.
+  const int n = GetParam();
+  Random rng(4000 + static_cast<uint64_t>(n));
+  const std::vector<double> x = RandomSignal(&rng, n);
+  const std::vector<double> y = RandomSignal(&rng, n);
+  const double time_domain = EuclideanDistance(x, y);
+  const double freq_domain = EuclideanDistance(Dft(x), Dft(y));
+  EXPECT_NEAR(time_domain, freq_domain, 1e-9 * (1.0 + time_domain));
+}
+
+TEST_P(DftLengthTest, Linearity) {
+  const int n = GetParam();
+  Random rng(5000 + static_cast<uint64_t>(n));
+  const std::vector<double> x = RandomSignal(&rng, n);
+  const std::vector<double> y = RandomSignal(&rng, n);
+  std::vector<double> combo(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    combo[static_cast<size_t>(i)] = 2.5 * x[static_cast<size_t>(i)] -
+                                    1.5 * y[static_cast<size_t>(i)];
+  }
+  const Spectrum sx = Dft(x);
+  const Spectrum sy = Dft(y);
+  const Spectrum sc = Dft(combo);
+  for (int f = 0; f < n; ++f) {
+    const Complex expected = 2.5 * sx[static_cast<size_t>(f)] -
+                             1.5 * sy[static_cast<size_t>(f)];
+    EXPECT_LT(std::abs(sc[static_cast<size_t>(f)] - expected), 1e-9);
+  }
+}
+
+TEST_P(DftLengthTest, ConvolutionMultiplicationProperty) {
+  // With the unitary convention, DFT(conv(x,y)) = sqrt(n) * X * Y
+  // element-wise (the sqrt(n) factor the paper's algebra drops).
+  const int n = GetParam();
+  Random rng(6000 + static_cast<uint64_t>(n));
+  const std::vector<double> x = RandomSignal(&rng, n);
+  const std::vector<double> y = RandomSignal(&rng, n);
+  const Spectrum conv_spec = Dft(CircularConvolution(x, y));
+  const Spectrum sx = Dft(x);
+  const Spectrum sy = Dft(y);
+  const double root_n = std::sqrt(static_cast<double>(n));
+  for (int f = 0; f < n; ++f) {
+    const Complex expected =
+        root_n * sx[static_cast<size_t>(f)] * sy[static_cast<size_t>(f)];
+    EXPECT_LT(std::abs(conv_spec[static_cast<size_t>(f)] - expected), 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, DftLengthTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 15, 16,
+                                           31, 32, 60, 64, 100, 128, 375,
+                                           512, 1000, 1024));
+
+TEST(DftTest, ConjugateSymmetryForRealSignals) {
+  Random rng(77);
+  const std::vector<double> x = RandomSignal(&rng, 64);
+  const Spectrum spec = Dft(x);
+  for (size_t f = 1; f < spec.size(); ++f) {
+    EXPECT_LT(std::abs(spec[f] - std::conj(spec[spec.size() - f])), 1e-9);
+  }
+}
+
+TEST(DftTest, CircularConvolutionCommutes) {
+  Random rng(88);
+  const std::vector<double> x = RandomSignal(&rng, 17);
+  const std::vector<double> y = RandomSignal(&rng, 17);
+  const std::vector<double> xy = CircularConvolution(x, y);
+  const std::vector<double> yx = CircularConvolution(y, x);
+  for (size_t i = 0; i < xy.size(); ++i) {
+    EXPECT_NEAR(xy[i], yx[i], 1e-10);
+  }
+}
+
+TEST(DftTest, ConvolutionWithDeltaIsIdentity) {
+  Random rng(99);
+  const std::vector<double> x = RandomSignal(&rng, 9);
+  std::vector<double> delta(9, 0.0);
+  delta[0] = 1.0;
+  const std::vector<double> out = CircularConvolution(x, delta);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(out[i], x[i], 1e-12);
+  }
+}
+
+TEST(DftTest, RandomWalkEnergyConcentratesInLowFrequencies) {
+  // The energy-concentration property that justifies the k-index: a random
+  // walk keeps most spectral energy in the first few coefficients.
+  Random rng(123);
+  std::vector<double> walk(256);
+  walk[0] = rng.UniformDouble(20.0, 99.0);
+  for (size_t i = 1; i < walk.size(); ++i) {
+    walk[i] = walk[i - 1] + rng.UniformDouble(-4.0, 4.0);
+  }
+  // Remove the mean so coefficient 0 does not dominate trivially.
+  double mean = 0.0;
+  for (double v : walk) {
+    mean += v;
+  }
+  mean /= static_cast<double>(walk.size());
+  for (double& v : walk) {
+    v -= mean;
+  }
+  const Spectrum spec = Dft(walk);
+  EXPECT_GT(LowFrequencyEnergyFraction(spec, 3), 0.6);
+  EXPECT_GT(LowFrequencyEnergyFraction(spec, 8), 0.8);
+}
+
+TEST(DftTest, EnergyFractionBounds) {
+  Random rng(321);
+  const std::vector<double> x = RandomSignal(&rng, 32);
+  const Spectrum spec = Dft(x);
+  double previous = 0.0;
+  for (int k = 1; k <= 16; ++k) {
+    const double fraction = LowFrequencyEnergyFraction(spec, k);
+    EXPECT_GE(fraction, previous - 1e-12);  // monotone in k
+    EXPECT_LE(fraction, 1.0 + 1e-12);
+    previous = fraction;
+  }
+  EXPECT_NEAR(LowFrequencyEnergyFraction(spec, 16), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace simq

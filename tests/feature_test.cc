@@ -1,0 +1,165 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ts/feature.h"
+#include "ts/transforms.h"
+#include "util/random.h"
+
+namespace simq {
+namespace {
+
+std::vector<double> RandomSignal(Random* rng, int n) {
+  std::vector<double> x(static_cast<size_t>(n));
+  for (double& v : x) {
+    v = rng->UniformDouble(10.0, 90.0);
+  }
+  return x;
+}
+
+TEST(FeatureConfigTest, DimensionCount) {
+  FeatureConfig config;
+  config.num_coefficients = 2;
+  config.include_mean_std = true;
+  EXPECT_EQ(FeatureDimension(config), 6);  // the paper's 6-d layout
+  config.include_mean_std = false;
+  EXPECT_EQ(FeatureDimension(config), 4);
+  config.num_coefficients = 5;
+  EXPECT_EQ(FeatureDimension(config), 10);
+}
+
+TEST(FeatureConfigTest, AngleDimensionsPolar) {
+  FeatureConfig config;
+  config.num_coefficients = 2;
+  config.space = FeatureSpace::kPolar;
+  config.include_mean_std = true;
+  const std::vector<bool> angles = AngleDimensions(config);
+  const std::vector<bool> expected = {false, false, false,
+                                      true,  false, true};
+  EXPECT_EQ(angles, expected);
+}
+
+TEST(FeatureConfigTest, AngleDimensionsRectangularAllLinear) {
+  FeatureConfig config;
+  config.space = FeatureSpace::kRectangular;
+  for (bool is_angle : AngleDimensions(config)) {
+    EXPECT_FALSE(is_angle);
+  }
+}
+
+TEST(ComputeFeaturesTest, NormalSpectrumFirstCoefficientIsZero) {
+  Random rng(1);
+  const SeriesFeatures features = ComputeFeatures(RandomSignal(&rng, 64));
+  // The normal form has zero mean, so DFT coefficient 0 vanishes -- the
+  // reason the index drops it.
+  EXPECT_NEAR(std::abs(features.normal_spectrum[0]), 0.0, 1e-9);
+}
+
+TEST(ComputeFeaturesTest, RecordsStatistics) {
+  const std::vector<double> x = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const SeriesFeatures features = ComputeFeatures(x);
+  EXPECT_DOUBLE_EQ(features.mean, 5.0);
+  EXPECT_DOUBLE_EQ(features.std_dev, 2.0);
+  EXPECT_EQ(features.length(), 8);
+}
+
+TEST(ExtractCoefficientsTest, SkipsCoefficientZero) {
+  Spectrum spectrum = {Complex(9.0, 0.0), Complex(1.0, 2.0),
+                       Complex(3.0, 4.0), Complex(5.0, 6.0)};
+  const std::vector<Complex> coeffs = ExtractCoefficients(spectrum, 2);
+  ASSERT_EQ(coeffs.size(), 2u);
+  EXPECT_EQ(coeffs[0], Complex(1.0, 2.0));
+  EXPECT_EQ(coeffs[1], Complex(3.0, 4.0));
+}
+
+TEST(ExtractCoefficientsTest, PadsMissingWithZero) {
+  Spectrum spectrum = {Complex(1.0, 0.0), Complex(2.0, 0.0)};
+  const std::vector<Complex> coeffs = ExtractCoefficients(spectrum, 3);
+  ASSERT_EQ(coeffs.size(), 3u);
+  EXPECT_EQ(coeffs[0], Complex(2.0, 0.0));
+  EXPECT_EQ(coeffs[1], Complex(0.0, 0.0));
+  EXPECT_EQ(coeffs[2], Complex(0.0, 0.0));
+}
+
+TEST(CoordsTest, RectangularLayout) {
+  const std::vector<Complex> coeffs = {Complex(1.0, 2.0), Complex(-3.0, 0.5)};
+  const std::vector<double> coords =
+      CoefficientsToCoords(coeffs, FeatureSpace::kRectangular);
+  const std::vector<double> expected = {1.0, 2.0, -3.0, 0.5};
+  ASSERT_EQ(coords.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(coords[i], expected[i]);
+  }
+}
+
+TEST(CoordsTest, PolarLayout) {
+  const std::vector<Complex> coeffs = {Complex(3.0, 4.0)};
+  const std::vector<double> coords =
+      CoefficientsToCoords(coeffs, FeatureSpace::kPolar);
+  ASSERT_EQ(coords.size(), 2u);
+  EXPECT_DOUBLE_EQ(coords[0], 5.0);
+  EXPECT_NEAR(coords[1], std::atan2(4.0, 3.0), 1e-12);
+}
+
+TEST(CoordsTest, PolarRoundTrip) {
+  Random rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Complex c(rng.UniformDouble(-5.0, 5.0),
+                    rng.UniformDouble(-5.0, 5.0));
+    const std::vector<double> coords =
+        CoefficientsToCoords({c}, FeatureSpace::kPolar);
+    const Complex back = std::polar(coords[0], coords[1]);
+    EXPECT_LT(std::abs(back - c), 1e-10);
+  }
+}
+
+TEST(MakeFeaturePointTest, PaperLayoutSixDims) {
+  Random rng(3);
+  const std::vector<double> series = RandomSignal(&rng, 128);
+  const SeriesFeatures features = ComputeFeatures(series);
+  FeatureConfig config;  // defaults: 2 coefficients, polar, mean/std
+  const std::vector<double> point = MakeFeaturePoint(features, config);
+  ASSERT_EQ(point.size(), 6u);
+  EXPECT_DOUBLE_EQ(point[0], features.mean);
+  EXPECT_DOUBLE_EQ(point[1], features.std_dev);
+  EXPECT_NEAR(point[2], std::abs(features.normal_spectrum[1]), 1e-12);
+  EXPECT_NEAR(point[3], std::arg(features.normal_spectrum[1]), 1e-12);
+  EXPECT_NEAR(point[4], std::abs(features.normal_spectrum[2]), 1e-12);
+  EXPECT_NEAR(point[5], std::arg(features.normal_spectrum[2]), 1e-12);
+}
+
+TEST(MakeFeaturePointTest, WithoutMeanStd) {
+  Random rng(4);
+  const SeriesFeatures features = ComputeFeatures(RandomSignal(&rng, 32));
+  FeatureConfig config;
+  config.include_mean_std = false;
+  config.space = FeatureSpace::kRectangular;
+  const std::vector<double> point = MakeFeaturePoint(features, config);
+  ASSERT_EQ(point.size(), 4u);
+  EXPECT_NEAR(point[0], features.normal_spectrum[1].real(), 1e-12);
+  EXPECT_NEAR(point[1], features.normal_spectrum[1].imag(), 1e-12);
+}
+
+TEST(MakeFeaturePointTest, ShiftScaleChangeOnlyMeanStdDims) {
+  // [GK95]: shifting/scaling moves a series only along the first two index
+  // dimensions; the normal-form coefficients are untouched.
+  Random rng(5);
+  const std::vector<double> series = RandomSignal(&rng, 64);
+  std::vector<double> shifted(series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    shifted[i] = 2.0 * series[i] + 30.0;
+  }
+  FeatureConfig config;
+  const std::vector<double> p1 =
+      MakeFeaturePoint(ComputeFeatures(series), config);
+  const std::vector<double> p2 =
+      MakeFeaturePoint(ComputeFeatures(shifted), config);
+  EXPECT_GT(std::fabs(p1[0] - p2[0]), 1.0);  // mean moved
+  for (size_t d = 2; d < p1.size(); ++d) {
+    EXPECT_NEAR(p1[d], p2[d], 1e-9) << "dim " << d;
+  }
+}
+
+}  // namespace
+}  // namespace simq

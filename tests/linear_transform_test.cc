@@ -1,0 +1,197 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geom/circular_interval.h"
+#include "geom/linear_transform.h"
+#include "ts/feature.h"
+#include "util/random.h"
+
+namespace simq {
+namespace {
+
+std::vector<Complex> RandomCoeffs(Random* rng, int k) {
+  std::vector<Complex> coeffs(static_cast<size_t>(k));
+  for (Complex& c : coeffs) {
+    c = Complex(rng->UniformDouble(-3.0, 3.0), rng->UniformDouble(-3.0, 3.0));
+  }
+  return coeffs;
+}
+
+TEST(LinearTransformTest, IdentityProperties) {
+  const LinearTransform identity = LinearTransform::Identity(3);
+  EXPECT_TRUE(identity.IsIdentity());
+  EXPECT_TRUE(identity.IsSafeRectangular());
+  EXPECT_TRUE(identity.IsSafePolar());
+  Random rng(1);
+  const std::vector<Complex> x = RandomCoeffs(&rng, 3);
+  const std::vector<Complex> y = identity.Apply(x);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(x[i], y[i]);
+  }
+}
+
+TEST(LinearTransformTest, ApplyStretchAndShift) {
+  const LinearTransform t({Complex(2.0, 0.0)}, {Complex(1.0, -1.0)});
+  const std::vector<Complex> out = t.Apply({Complex(3.0, 4.0)});
+  EXPECT_EQ(out[0], Complex(7.0, 7.0));
+}
+
+TEST(LinearTransformTest, SafetyTheorem2RealStretch) {
+  // Real a, complex b: safe in S_rect.
+  const LinearTransform t({Complex(2.0, 0.0), Complex(-1.0, 0.0)},
+                          {Complex(1.0, 2.0), Complex(0.0, -3.0)});
+  EXPECT_TRUE(t.IsSafeRectangular());
+  EXPECT_FALSE(t.IsSafePolar());
+}
+
+TEST(LinearTransformTest, SafetyTheorem3ComplexStretchZeroShift) {
+  // Complex a, b = 0: safe in S_pol.
+  const LinearTransform t({Complex(1.0, 2.0)}, {Complex(0.0, 0.0)});
+  EXPECT_FALSE(t.IsSafeRectangular());
+  EXPECT_TRUE(t.IsSafePolar());
+}
+
+TEST(LinearTransformTest, ComplexStretchUnsafeInRectangularSpace) {
+  // The paper's counterexample after Theorem 2: multiplying by s = 2 - 3j
+  // maps the rectangle [-5-5j, 5+5j] to one that no longer contains the
+  // image of the interior point -2+2j.
+  const Complex s(2.0, -3.0);
+  const Complex p(-5.0, -5.0);
+  const Complex q(5.0, 5.0);
+  const Complex r(-2.0, 2.0);
+  const Complex tp = p * s;
+  const Complex tq = q * s;
+  const Complex tr = r * s;
+  const double lo_re = std::min(tp.real(), tq.real());
+  const double hi_re = std::max(tp.real(), tq.real());
+  const double lo_im = std::min(tp.imag(), tq.imag());
+  const double hi_im = std::max(tp.imag(), tq.imag());
+  const bool inside = tr.real() >= lo_re && tr.real() <= hi_re &&
+                      tr.imag() >= lo_im && tr.imag() <= hi_im;
+  EXPECT_FALSE(inside);
+}
+
+TEST(LinearTransformTest, ComposeAfter) {
+  Random rng(2);
+  const LinearTransform first({Complex(2.0, 0.0)}, {Complex(1.0, 0.0)});
+  const LinearTransform second({Complex(0.0, 1.0)}, {Complex(0.0, 0.0)});
+  const LinearTransform composed = second.ComposeAfter(first);
+  const std::vector<Complex> x = RandomCoeffs(&rng, 1);
+  const std::vector<Complex> direct = second.Apply(first.Apply(x));
+  const std::vector<Complex> fused = composed.Apply(x);
+  EXPECT_LT(std::abs(direct[0] - fused[0]), 1e-12);
+}
+
+TEST(LinearTransformTest, FromSpectrumSkipsCoefficientZero) {
+  const Spectrum multiplier = {Complex(9.0, 0.0), Complex(1.0, 1.0),
+                               Complex(2.0, 2.0), Complex(3.0, 3.0)};
+  const LinearTransform t = LinearTransform::FromSpectrum(multiplier, 2);
+  EXPECT_EQ(t.num_coefficients(), 2);
+  EXPECT_EQ(t.stretch()[0], Complex(1.0, 1.0));
+  EXPECT_EQ(t.stretch()[1], Complex(2.0, 2.0));
+}
+
+class LoweringTest : public ::testing::TestWithParam<FeatureSpace> {};
+
+TEST_P(LoweringTest, LoweredActionsMatchComplexApplication) {
+  // The key consistency property behind Algorithm 2: applying the lowered
+  // per-dimension actions to an index point equals mapping the transformed
+  // complex coefficients into the feature space.
+  const FeatureSpace space = GetParam();
+  Random rng(3);
+  FeatureConfig config;
+  config.num_coefficients = 3;
+  config.space = space;
+  config.include_mean_std = true;
+
+  for (int trial = 0; trial < 100; ++trial) {
+    // Build a transformation safe in the chosen space.
+    std::vector<Complex> stretch(3);
+    std::vector<Complex> shift(3);
+    for (int c = 0; c < 3; ++c) {
+      if (space == FeatureSpace::kRectangular) {
+        stretch[static_cast<size_t>(c)] =
+            Complex(rng.UniformDouble(-2.0, 2.0), 0.0);
+        shift[static_cast<size_t>(c)] = Complex(
+            rng.UniformDouble(-1.0, 1.0), rng.UniformDouble(-1.0, 1.0));
+      } else {
+        stretch[static_cast<size_t>(c)] = Complex(
+            rng.UniformDouble(-2.0, 2.0), rng.UniformDouble(-2.0, 2.0));
+        shift[static_cast<size_t>(c)] = Complex(0.0, 0.0);
+      }
+    }
+    const LinearTransform transform(stretch, shift);
+    ASSERT_TRUE(transform.IsSafeIn(space));
+
+    const std::vector<Complex> coeffs = RandomCoeffs(&rng, 3);
+    std::vector<double> point = {rng.UniformDouble(0.0, 10.0),
+                                 rng.UniformDouble(0.1, 3.0)};
+    const std::vector<double> coeff_coords =
+        CoefficientsToCoords(coeffs, space);
+    point.insert(point.end(), coeff_coords.begin(), coeff_coords.end());
+
+    const std::vector<DimAffine> affines =
+        LowerToFeatureSpace(transform, config);
+    const std::vector<double> transformed_point =
+        ApplyDimAffines(affines, point);
+
+    // Mean/std dims are untouched.
+    EXPECT_DOUBLE_EQ(transformed_point[0], point[0]);
+    EXPECT_DOUBLE_EQ(transformed_point[1], point[1]);
+
+    const std::vector<Complex> transformed_coeffs = transform.Apply(coeffs);
+    for (int c = 0; c < 3; ++c) {
+      const size_t d0 = static_cast<size_t>(2 + 2 * c);
+      const size_t d1 = d0 + 1;
+      Complex reconstructed;
+      if (space == FeatureSpace::kRectangular) {
+        reconstructed =
+            Complex(transformed_point[d0], transformed_point[d1]);
+      } else {
+        reconstructed =
+            std::polar(transformed_point[d0], transformed_point[d1]);
+      }
+      EXPECT_LT(std::abs(reconstructed -
+                         transformed_coeffs[static_cast<size_t>(c)]),
+                1e-9)
+          << "trial " << trial << " coeff " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Spaces, LoweringTest,
+                         ::testing::Values(FeatureSpace::kRectangular,
+                                           FeatureSpace::kPolar));
+
+TEST(LoweringTest, PolarAngleDimsFlagged) {
+  FeatureConfig config;
+  config.num_coefficients = 2;
+  config.space = FeatureSpace::kPolar;
+  const LinearTransform t({Complex(0.0, 1.0), Complex(1.0, 0.0)},
+                          {Complex(0.0, 0.0), Complex(0.0, 0.0)});
+  const std::vector<DimAffine> affines = LowerToFeatureSpace(t, config);
+  ASSERT_EQ(affines.size(), 6u);
+  EXPECT_FALSE(affines[2].is_angle);
+  EXPECT_TRUE(affines[3].is_angle);
+  EXPECT_NEAR(affines[2].scale, 1.0, 1e-12);        // |i| = 1
+  EXPECT_NEAR(affines[3].offset, M_PI / 2, 1e-12);  // arg(i)
+}
+
+TEST(LoweringTest, RectangularNegativeStretch) {
+  FeatureConfig config;
+  config.num_coefficients = 1;
+  config.space = FeatureSpace::kRectangular;
+  config.include_mean_std = false;
+  const LinearTransform t({Complex(-1.0, 0.0)}, {Complex(0.5, -0.5)});
+  const std::vector<DimAffine> affines = LowerToFeatureSpace(t, config);
+  ASSERT_EQ(affines.size(), 2u);
+  EXPECT_DOUBLE_EQ(affines[0].scale, -1.0);
+  EXPECT_DOUBLE_EQ(affines[0].offset, 0.5);
+  EXPECT_DOUBLE_EQ(affines[1].scale, -1.0);
+  EXPECT_DOUBLE_EQ(affines[1].offset, -0.5);
+}
+
+}  // namespace
+}  // namespace simq

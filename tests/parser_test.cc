@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+
+namespace simq {
+namespace {
+
+TEST(ParserTest, RangeQueryMinimal) {
+  const Result<Query> result =
+      ParseQuery("RANGE stocks WITHIN 2.5 OF #ibm");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Query& query = result.value();
+  EXPECT_EQ(query.kind, QueryKind::kRange);
+  EXPECT_EQ(query.relation, "stocks");
+  EXPECT_DOUBLE_EQ(query.epsilon, 2.5);
+  ASSERT_TRUE(query.query_series.name.has_value());
+  EXPECT_EQ(*query.query_series.name, "ibm");
+  EXPECT_EQ(query.transform, nullptr);
+  EXPECT_EQ(query.mode, DistanceMode::kNormalForm);
+  EXPECT_EQ(query.strategy, ExecutionStrategy::kAuto);
+}
+
+TEST(ParserTest, RangeQueryWithLiteralSeries) {
+  const Result<Query> result =
+      ParseQuery("RANGE r WITHIN 1 OF [1.0, -2.5, 3]");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Query& query = result.value();
+  ASSERT_TRUE(query.query_series.is_literal());
+  ASSERT_EQ(query.query_series.literal.size(), 3u);
+  EXPECT_DOUBLE_EQ(query.query_series.literal[1], -2.5);
+}
+
+TEST(ParserTest, TransformClause) {
+  const Result<Query> result =
+      ParseQuery("RANGE r WITHIN 1 OF #q USING mavg(20)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result.value().transform, nullptr);
+  EXPECT_EQ(result.value().transform->name(), "mavg(20)");
+}
+
+TEST(ParserTest, CompositeTransform) {
+  const Result<Query> result =
+      ParseQuery("RANGE r WITHIN 1 OF #q USING mavg(20)|reverse|scale(2)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().transform->name(), "mavg(20)|reverse|scale(2)");
+}
+
+TEST(ParserTest, ModeAndViaClauses) {
+  const Result<Query> result =
+      ParseQuery("RANGE r WITHIN 1 OF #q MODE RAW VIA SCAN");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().mode, DistanceMode::kRaw);
+  EXPECT_EQ(result.value().strategy, ExecutionStrategy::kScan);
+}
+
+TEST(ParserTest, FullscanStrategy) {
+  const Result<Query> result =
+      ParseQuery("RANGE r WITHIN 1 OF #q VIA FULLSCAN");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().strategy,
+            ExecutionStrategy::kScanNoEarlyAbandon);
+}
+
+TEST(ParserTest, KeywordsCaseInsensitive) {
+  const Result<Query> result =
+      ParseQuery("range r within 1 of #q using reverse via index");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().strategy, ExecutionStrategy::kIndex);
+}
+
+TEST(ParserTest, PairsQuery) {
+  const Result<Query> result =
+      ParseQuery("PAIRS stocks WITHIN 1.5 USING mavg(20)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().kind, QueryKind::kAllPairs);
+  EXPECT_DOUBLE_EQ(result.value().epsilon, 1.5);
+}
+
+TEST(ParserTest, PairsQueryWithPerSideTransforms) {
+  const Result<Query> result = ParseQuery(
+      "PAIRS stocks WITHIN 3.0 USING mavg(20) VS reverse|mavg(20)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result.value().transform, nullptr);
+  ASSERT_NE(result.value().transform_right, nullptr);
+  EXPECT_EQ(result.value().transform->name(), "mavg(20)");
+  EXPECT_EQ(result.value().transform_right->name(), "reverse|mavg(20)");
+}
+
+TEST(ParserTest, VsOnlyValidInPairs) {
+  EXPECT_FALSE(
+      ParseQuery("RANGE r WITHIN 1 OF #q USING mavg(2) VS reverse").ok());
+}
+
+TEST(ParserTest, PrenormalizedClause) {
+  const Result<Query> result =
+      ParseQuery("RANGE r WITHIN 1 OF [0.5, -0.5] PRENORMALIZED");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().query_prenormalized);
+  EXPECT_FALSE(ParseQuery("RANGE r WITHIN 1 OF #q").value()
+                   .query_prenormalized);
+}
+
+TEST(ParserTest, NearestQuery) {
+  const Result<Query> result = ParseQuery("NEAREST 5 stocks TO #ibm");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().kind, QueryKind::kNearest);
+  EXPECT_EQ(result.value().k, 5);
+}
+
+TEST(ParserTest, MeanStdPatternClauses) {
+  const Result<Query> result =
+      ParseQuery("RANGE r WITHIN 1 OF #q MEAN 0 10 STD 0.5 2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result.value().pattern.mean_range.has_value());
+  EXPECT_DOUBLE_EQ(result.value().pattern.mean_range->first, 0.0);
+  EXPECT_DOUBLE_EQ(result.value().pattern.mean_range->second, 10.0);
+  ASSERT_TRUE(result.value().pattern.std_range.has_value());
+  EXPECT_DOUBLE_EQ(result.value().pattern.std_range->second, 2.0);
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t").ok());
+  EXPECT_FALSE(ParseQuery("RANGE r WITHIN OF #q").ok());
+  EXPECT_FALSE(ParseQuery("RANGE r WITHIN 1 OF").ok());
+  EXPECT_FALSE(ParseQuery("RANGE r WITHIN 1 OF #q USING nosuchrule").ok());
+  EXPECT_FALSE(ParseQuery("RANGE r WITHIN 1 OF #q MODE SIDEWAYS").ok());
+  EXPECT_FALSE(ParseQuery("RANGE r WITHIN 1 OF #q VIA TURBO").ok());
+  EXPECT_FALSE(ParseQuery("RANGE r WITHIN 1 OF #q trailing junk").ok());
+  EXPECT_FALSE(ParseQuery("NEAREST 0 r TO #q").ok());
+  EXPECT_FALSE(ParseQuery("NEAREST 2.5 r TO #q").ok());
+  EXPECT_FALSE(ParseQuery("RANGE r WITHIN 1 OF [1,]").ok());
+  EXPECT_FALSE(ParseQuery("RANGE r WITHIN 1 OF [").ok());
+  EXPECT_FALSE(ParseQuery("RANGE r WITHIN 1 OF #q MEAN 5 1").ok());
+  EXPECT_FALSE(ParseQuery("PAIRS r").ok());
+}
+
+TEST(ParserTest, ErrorMessagesMentionOffset) {
+  const Result<Query> result = ParseQuery("RANGE r WITHIN x OF #q");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ParserTest, RuleCostArgumentThroughParser) {
+  const Result<Query> result =
+      ParseQuery("RANGE r WITHIN 1 OF #q USING mavg(20, 2.5)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result.value().transform->cost(), 2.5);
+}
+
+TEST(ParserTest, NegativeNumbersInLiterals) {
+  const Result<Query> result =
+      ParseQuery("RANGE r WITHIN 0.5 OF [-1, -2.5, -3e2]");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result.value().query_series.literal[2], -300.0);
+}
+
+}  // namespace
+}  // namespace simq

@@ -1,0 +1,121 @@
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/persistence.h"
+#include "workload/generators.h"
+
+namespace simq {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::set<int64_t> MatchIds(const QueryResult& result) {
+  std::set<int64_t> ids;
+  for (const Match& match : result.matches) {
+    ids.insert(match.id);
+  }
+  return ids;
+}
+
+TEST(PersistenceTest, RoundTripPreservesQueryAnswers) {
+  FeatureConfig config;
+  config.num_coefficients = 3;
+  Database db(config);
+  ASSERT_TRUE(db.CreateRelation("stocks").ok());
+  ASSERT_TRUE(
+      db.BulkLoad("stocks", workload::RandomWalkSeries(150, 64, 5)).ok());
+  ASSERT_TRUE(db.CreateRelation("bonds").ok());
+  ASSERT_TRUE(
+      db.BulkLoad("bonds", workload::RandomWalkSeries(40, 32, 6)).ok());
+
+  const std::string path = TempPath("roundtrip.simqdb");
+  ASSERT_TRUE(SaveDatabase(db, path).ok());
+
+  Result<Database> loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Database& restored = loaded.value();
+
+  EXPECT_EQ(restored.config().num_coefficients, 3);
+  EXPECT_EQ(restored.RelationNames(), db.RelationNames());
+  EXPECT_EQ(restored.GetRelation("stocks")->size(), 150);
+  EXPECT_EQ(restored.GetRelation("bonds")->size(), 40);
+  EXPECT_TRUE(restored.GetRelation("stocks")->index().CheckInvariants());
+
+  for (const char* text :
+       {"RANGE stocks WITHIN 3.0 OF #walk7 USING mavg(20)",
+        "NEAREST 5 stocks TO #walk7 USING reverse",
+        "RANGE bonds WITHIN 5.0 OF #walk3"}) {
+    const Result<QueryResult> before = db.ExecuteText(text);
+    const Result<QueryResult> after = restored.ExecuteText(text);
+    ASSERT_TRUE(before.ok()) << text;
+    ASSERT_TRUE(after.ok()) << text;
+    EXPECT_EQ(MatchIds(before.value()), MatchIds(after.value())) << text;
+  }
+}
+
+TEST(PersistenceTest, RoundTripPreservesRawValuesExactly) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("r").ok());
+  ASSERT_TRUE(db.BulkLoad("r", workload::RandomWalkSeries(20, 48, 9)).ok());
+  const std::string path = TempPath("exact.simqdb");
+  ASSERT_TRUE(SaveDatabase(db, path).ok());
+  Result<Database> loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok());
+  const Relation* before = db.GetRelation("r");
+  const Relation* after = loaded.value().GetRelation("r");
+  for (int64_t id = 0; id < before->size(); ++id) {
+    EXPECT_EQ(before->record(id).name, after->record(id).name);
+    EXPECT_EQ(before->record(id).raw, after->record(id).raw);  // bit-exact
+  }
+}
+
+TEST(PersistenceTest, EmptyDatabaseRoundTrips) {
+  Database db;
+  const std::string path = TempPath("empty.simqdb");
+  ASSERT_TRUE(SaveDatabase(db, path).ok());
+  Result<Database> loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().RelationNames().empty());
+}
+
+TEST(PersistenceTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadDatabase(TempPath("does_not_exist.simqdb")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PersistenceTest, RejectsForeignFile) {
+  const std::string path = TempPath("foreign.bin");
+  std::ofstream out(path, std::ios::binary);
+  out << "definitely not a snapshot, but long enough to read";
+  out.close();
+  EXPECT_EQ(LoadDatabase(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PersistenceTest, RejectsTruncatedSnapshot) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("r").ok());
+  ASSERT_TRUE(db.BulkLoad("r", workload::RandomWalkSeries(10, 16, 3)).ok());
+  const std::string path = TempPath("full.simqdb");
+  ASSERT_TRUE(SaveDatabase(db, path).ok());
+
+  // Copy a truncated prefix.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  const std::string cut_path = TempPath("truncated.simqdb");
+  std::ofstream cut(cut_path, std::ios::binary);
+  cut.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  cut.close();
+
+  EXPECT_FALSE(LoadDatabase(cut_path).ok());
+}
+
+}  // namespace
+}  // namespace simq

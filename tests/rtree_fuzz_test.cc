@@ -1,0 +1,117 @@
+// Randomized stress test of the R*-tree: long interleaved sequences of
+// inserts, deletes, and searches, validated after every phase against a
+// shadow set and the structural invariant checker. Catches split/reinsert/
+// condense interactions that targeted unit tests miss.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/rtree.h"
+#include "util/random.h"
+
+namespace simq {
+namespace {
+
+struct FuzzCase {
+  int dims;
+  int max_entries;
+  bool forced_reinsert;
+  int operations;
+  uint64_t seed;
+};
+
+class RTreeFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(RTreeFuzzTest, RandomOperationsPreserveConsistency) {
+  const FuzzCase c = GetParam();
+  RTree::Options options;
+  options.max_entries = c.max_entries;
+  options.min_entries = std::max(2, c.max_entries / 3);
+  options.forced_reinsert = c.forced_reinsert;
+  RTree tree(c.dims, options);
+  Random rng(c.seed);
+
+  // Shadow state: id -> point. Ids are never reused.
+  std::map<int64_t, Point> live;
+  int64_t next_id = 0;
+
+  auto random_point = [&] {
+    Point p(static_cast<size_t>(c.dims));
+    for (double& v : p) {
+      // Clustered coordinates provoke interesting splits.
+      const double center = rng.Bernoulli(0.5) ? -50.0 : 50.0;
+      v = center + rng.UniformDouble(-30.0, 30.0);
+    }
+    return p;
+  };
+
+  for (int op = 0; op < c.operations; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.55 || live.empty()) {
+      const Point p = random_point();
+      tree.InsertPoint(p, next_id);
+      live[next_id] = p;
+      ++next_id;
+    } else if (dice < 0.85) {
+      // Delete a random live entry.
+      auto it = live.begin();
+      std::advance(it, static_cast<int64_t>(rng.UniformInt(
+                           0, static_cast<int64_t>(live.size()) - 1)));
+      ASSERT_TRUE(tree.Delete(Rect::FromPoint(it->second), it->first))
+          << "op " << op;
+      live.erase(it);
+    } else {
+      // Range search against the shadow set.
+      Point lo(static_cast<size_t>(c.dims));
+      Point hi(static_cast<size_t>(c.dims));
+      for (int d = 0; d < c.dims; ++d) {
+        const double a = rng.UniformDouble(-100.0, 100.0);
+        const double b = rng.UniformDouble(-100.0, 100.0);
+        lo[static_cast<size_t>(d)] = std::min(a, b);
+        hi[static_cast<size_t>(d)] = std::max(a, b);
+      }
+      const Rect box = Rect::FromBounds(lo, hi);
+      std::set<int64_t> expected;
+      for (const auto& [id, point] : live) {
+        if (box.ContainsPoint(point)) {
+          expected.insert(id);
+        }
+      }
+      std::set<int64_t> actual;
+      tree.SearchGeneric(
+          [&](const Rect& rect) { return box.Overlaps(rect); },
+          [&](const Rect& rect, int64_t) {
+            Point p(static_cast<size_t>(c.dims));
+            for (int d = 0; d < c.dims; ++d) {
+              p[static_cast<size_t>(d)] = rect.lo(d);
+            }
+            return box.ContainsPoint(p);
+          },
+          [&](int64_t id) { actual.insert(id); });
+      ASSERT_EQ(actual, expected) << "op " << op;
+    }
+
+    if (op % 250 == 249) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "op " << op;
+      ASSERT_EQ(tree.size(), static_cast<int64_t>(live.size())) << "op " << op;
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), static_cast<int64_t>(live.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RTreeFuzzTest,
+    ::testing::Values(FuzzCase{2, 8, true, 3000, 1},
+                      FuzzCase{2, 8, false, 3000, 2},
+                      FuzzCase{3, 4, true, 2000, 3},
+                      FuzzCase{4, 16, true, 3000, 4},
+                      FuzzCase{6, 32, true, 4000, 5},
+                      FuzzCase{6, 32, false, 4000, 6},
+                      FuzzCase{1, 6, true, 2000, 7}));
+
+}  // namespace
+}  // namespace simq

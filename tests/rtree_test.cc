@@ -1,0 +1,497 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geom/search_region.h"
+#include "index/rtree.h"
+#include "util/random.h"
+
+namespace simq {
+namespace {
+
+struct TreeCase {
+  int dims;
+  int count;
+  bool forced_reinsert;
+  int max_entries;
+};
+
+std::vector<Point> RandomPoints(Random* rng, int count, int dims,
+                                double lo = -100.0, double hi = 100.0) {
+  std::vector<Point> points(static_cast<size_t>(count));
+  for (Point& p : points) {
+    p.resize(static_cast<size_t>(dims));
+    for (double& v : p) {
+      v = rng->UniformDouble(lo, hi);
+    }
+  }
+  return points;
+}
+
+RTree::Options MakeOptions(const TreeCase& c) {
+  RTree::Options options;
+  options.max_entries = c.max_entries;
+  options.min_entries = std::max(2, c.max_entries / 3);
+  options.forced_reinsert = c.forced_reinsert;
+  return options;
+}
+
+class RTreeCaseTest : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(RTreeCaseTest, InsertMaintainsInvariantsAndSize) {
+  const TreeCase c = GetParam();
+  Random rng(100 + static_cast<uint64_t>(c.count * c.dims));
+  RTree tree(c.dims, MakeOptions(c));
+  const std::vector<Point> points = RandomPoints(&rng, c.count, c.dims);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.InsertPoint(points[i], static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(tree.size(), c.count);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_GE(tree.height(), 1);
+}
+
+TEST_P(RTreeCaseTest, RangeSearchMatchesBruteForce) {
+  const TreeCase c = GetParam();
+  Random rng(200 + static_cast<uint64_t>(c.count * c.dims));
+  RTree tree(c.dims, MakeOptions(c));
+  const std::vector<Point> points = RandomPoints(&rng, c.count, c.dims);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.InsertPoint(points[i], static_cast<int64_t>(i));
+  }
+
+  for (int query = 0; query < 25; ++query) {
+    Point lo(static_cast<size_t>(c.dims));
+    Point hi(static_cast<size_t>(c.dims));
+    for (int d = 0; d < c.dims; ++d) {
+      const double a = rng.UniformDouble(-110.0, 110.0);
+      const double b = rng.UniformDouble(-110.0, 110.0);
+      lo[static_cast<size_t>(d)] = std::min(a, b);
+      hi[static_cast<size_t>(d)] = std::max(a, b);
+    }
+    const Rect box = Rect::FromBounds(lo, hi);
+
+    std::set<int64_t> expected;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (box.ContainsPoint(points[i])) {
+        expected.insert(static_cast<int64_t>(i));
+      }
+    }
+
+    std::set<int64_t> actual;
+    tree.SearchGeneric(
+        [&](const Rect& rect) { return box.Overlaps(rect); },
+        [&](const Rect& rect, int64_t) {
+          Point p(static_cast<size_t>(c.dims));
+          for (int d = 0; d < c.dims; ++d) {
+            p[static_cast<size_t>(d)] = rect.lo(d);
+          }
+          return box.ContainsPoint(p);
+        },
+        [&](int64_t id) { actual.insert(id); });
+    EXPECT_EQ(actual, expected) << "query " << query;
+  }
+}
+
+TEST_P(RTreeCaseTest, DeleteHalfKeepsTreeConsistent) {
+  const TreeCase c = GetParam();
+  Random rng(300 + static_cast<uint64_t>(c.count * c.dims));
+  RTree tree(c.dims, MakeOptions(c));
+  const std::vector<Point> points = RandomPoints(&rng, c.count, c.dims);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.InsertPoint(points[i], static_cast<int64_t>(i));
+  }
+
+  for (size_t i = 0; i < points.size(); i += 2) {
+    EXPECT_TRUE(tree.Delete(Rect::FromPoint(points[i]),
+                            static_cast<int64_t>(i)))
+        << "delete " << i;
+  }
+  EXPECT_EQ(tree.size(), c.count - (c.count + 1) / 2);
+  EXPECT_TRUE(tree.CheckInvariants());
+
+  // Deleted entries are gone; survivors are still findable.
+  const Rect everything =
+      Rect::FromBounds(Point(static_cast<size_t>(c.dims), -1000.0),
+                       Point(static_cast<size_t>(c.dims), 1000.0));
+  std::set<int64_t> remaining;
+  tree.SearchGeneric(
+      [&](const Rect& rect) { return everything.Overlaps(rect); },
+      [&](const Rect&, int64_t) { return true; },
+      [&](int64_t id) { remaining.insert(id); });
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(remaining.count(static_cast<int64_t>(i)), i % 2 == 0 ? 0u : 1u);
+  }
+}
+
+TEST_P(RTreeCaseTest, BulkLoadEquivalentToIncremental) {
+  const TreeCase c = GetParam();
+  Random rng(400 + static_cast<uint64_t>(c.count * c.dims));
+  const std::vector<Point> points = RandomPoints(&rng, c.count, c.dims);
+
+  RTree bulk(c.dims, MakeOptions(c));
+  std::vector<std::pair<Rect, int64_t>> entries;
+  for (size_t i = 0; i < points.size(); ++i) {
+    entries.emplace_back(Rect::FromPoint(points[i]),
+                         static_cast<int64_t>(i));
+  }
+  bulk.BulkLoad(std::move(entries));
+  EXPECT_EQ(bulk.size(), c.count);
+  EXPECT_TRUE(bulk.CheckInvariants());
+
+  // Same query answers as brute force.
+  for (int query = 0; query < 10; ++query) {
+    Point lo(static_cast<size_t>(c.dims));
+    Point hi(static_cast<size_t>(c.dims));
+    for (int d = 0; d < c.dims; ++d) {
+      const double a = rng.UniformDouble(-110.0, 110.0);
+      const double b = rng.UniformDouble(-110.0, 110.0);
+      lo[static_cast<size_t>(d)] = std::min(a, b);
+      hi[static_cast<size_t>(d)] = std::max(a, b);
+    }
+    const Rect box = Rect::FromBounds(lo, hi);
+    std::set<int64_t> expected;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (box.ContainsPoint(points[i])) {
+        expected.insert(static_cast<int64_t>(i));
+      }
+    }
+    std::set<int64_t> actual;
+    bulk.SearchGeneric(
+        [&](const Rect& rect) { return box.Overlaps(rect); },
+        [&](const Rect& rect, int64_t) {
+          Point p(static_cast<size_t>(c.dims));
+          for (int d = 0; d < c.dims; ++d) {
+            p[static_cast<size_t>(d)] = rect.lo(d);
+          }
+          return box.ContainsPoint(p);
+        },
+        [&](int64_t id) { actual.insert(id); });
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RTreeCaseTest,
+    ::testing::Values(TreeCase{2, 100, true, 8}, TreeCase{2, 100, false, 8},
+                      TreeCase{2, 2000, true, 32},
+                      TreeCase{4, 500, true, 16},
+                      TreeCase{4, 500, false, 16},
+                      TreeCase{6, 1500, true, 32},
+                      TreeCase{6, 1500, false, 32},
+                      TreeCase{3, 50, true, 4}));
+
+TEST(RTreeTest, EmptyTreeBehaves) {
+  RTree tree(3);
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_TRUE(tree.bounding_box().IsEmpty());
+  std::vector<int64_t> results;
+  FeatureConfig config;
+  config.num_coefficients = 1;
+  config.space = FeatureSpace::kRectangular;
+  config.include_mean_std = false;
+  // 2-d region over a 3-d tree would be wrong; rebuild a 2-d tree.
+  RTree tree2(2);
+  const SearchRegion region = SearchRegion::MakeRange(
+      {Complex(0.0, 0.0)}, 1.0, config);
+  tree2.Search(region, nullptr, &results);
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(RTreeTest, DeleteNonexistentReturnsFalse) {
+  RTree tree(2);
+  tree.InsertPoint({1.0, 1.0}, 7);
+  EXPECT_FALSE(tree.Delete(Rect::FromPoint({2.0, 2.0}), 7));
+  EXPECT_FALSE(tree.Delete(Rect::FromPoint({1.0, 1.0}), 8));
+  EXPECT_TRUE(tree.Delete(Rect::FromPoint({1.0, 1.0}), 7));
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, DeleteEverythingThenReinsert) {
+  Random rng(55);
+  RTree tree(2);
+  const std::vector<Point> points = RandomPoints(&rng, 300, 2);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.InsertPoint(points[i], static_cast<int64_t>(i));
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(
+        tree.Delete(Rect::FromPoint(points[i]), static_cast<int64_t>(i)));
+  }
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.InsertPoint(points[i], static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(tree.size(), 300);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, DuplicatePointsSupported) {
+  RTree tree(2);
+  for (int i = 0; i < 100; ++i) {
+    tree.InsertPoint({1.0, 2.0}, i);
+  }
+  EXPECT_EQ(tree.size(), 100);
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::set<int64_t> found;
+  const Rect box = Rect::FromBounds({0.0, 0.0}, {3.0, 3.0});
+  tree.SearchGeneric([&](const Rect& r) { return box.Overlaps(r); },
+                     [&](const Rect&, int64_t) { return true; },
+                     [&](int64_t id) { found.insert(id); });
+  EXPECT_EQ(found.size(), 100u);
+}
+
+TEST(RTreeTest, SearchRegionIdentityMatchesBruteForce) {
+  Random rng(66);
+  FeatureConfig config;
+  config.num_coefficients = 2;
+  config.space = FeatureSpace::kRectangular;
+  config.include_mean_std = false;
+  RTree tree(FeatureDimension(config));
+  const std::vector<Point> points = RandomPoints(&rng, 800, 4, -3.0, 3.0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.InsertPoint(points[i], static_cast<int64_t>(i));
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<Complex> query = {
+        Complex(rng.UniformDouble(-3.0, 3.0), rng.UniformDouble(-3.0, 3.0)),
+        Complex(rng.UniformDouble(-3.0, 3.0), rng.UniformDouble(-3.0, 3.0))};
+    const double eps = rng.UniformDouble(0.2, 2.0);
+    const SearchRegion region = SearchRegion::MakeRange(query, eps, config);
+    std::set<int64_t> expected;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (region.ContainsPoint(points[i])) {
+        expected.insert(static_cast<int64_t>(i));
+      }
+    }
+    std::vector<int64_t> results;
+    tree.Search(region, nullptr, &results);
+    EXPECT_EQ(std::set<int64_t>(results.begin(), results.end()), expected);
+  }
+}
+
+TEST(RTreeTest, TransformedSearchMatchesBruteForce) {
+  // Algorithm 2 end-to-end at the index level, polar space with a complex
+  // multiplier (safe by Theorem 3).
+  Random rng(77);
+  FeatureConfig config;
+  config.num_coefficients = 2;
+  config.space = FeatureSpace::kPolar;
+  config.include_mean_std = false;
+  RTree tree(FeatureDimension(config));
+
+  std::vector<Point> points;
+  for (int i = 0; i < 1000; ++i) {
+    const std::vector<Complex> coeffs = {
+        Complex(rng.UniformDouble(-2.0, 2.0), rng.UniformDouble(-2.0, 2.0)),
+        Complex(rng.UniformDouble(-2.0, 2.0), rng.UniformDouble(-2.0, 2.0))};
+    points.push_back(CoefficientsToCoords(coeffs, FeatureSpace::kPolar));
+    tree.InsertPoint(points.back(), i);
+  }
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const LinearTransform transform(
+        {Complex(rng.UniformDouble(-1.5, 1.5), rng.UniformDouble(-1.5, 1.5)),
+         Complex(rng.UniformDouble(-1.5, 1.5), rng.UniformDouble(-1.5, 1.5))},
+        {Complex(0.0, 0.0), Complex(0.0, 0.0)});
+    const std::vector<DimAffine> affines =
+        LowerToFeatureSpace(transform, config);
+    const std::vector<Complex> query = {
+        Complex(rng.UniformDouble(-2.0, 2.0), rng.UniformDouble(-2.0, 2.0)),
+        Complex(rng.UniformDouble(-2.0, 2.0), rng.UniformDouble(-2.0, 2.0))};
+    const double eps = rng.UniformDouble(0.3, 1.5);
+    const SearchRegion region = SearchRegion::MakeRange(query, eps, config);
+
+    std::set<int64_t> expected;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (region.ContainsTransformedPoint(points[i], affines)) {
+        expected.insert(static_cast<int64_t>(i));
+      }
+    }
+    std::vector<int64_t> results;
+    tree.Search(region, &affines, &results);
+    EXPECT_EQ(std::set<int64_t>(results.begin(), results.end()), expected)
+        << "trial " << trial;
+  }
+}
+
+TEST(RTreeTest, NearestNeighborsMatchBruteForce) {
+  Random rng(88);
+  FeatureConfig config;
+  config.num_coefficients = 2;
+  config.space = FeatureSpace::kRectangular;
+  config.include_mean_std = false;
+  RTree tree(FeatureDimension(config));
+  std::vector<Point> points = RandomPoints(&rng, 600, 4, -5.0, 5.0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.InsertPoint(points[i], static_cast<int64_t>(i));
+  }
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<Complex> query = {
+        Complex(rng.UniformDouble(-5.0, 5.0), rng.UniformDouble(-5.0, 5.0)),
+        Complex(rng.UniformDouble(-5.0, 5.0), rng.UniformDouble(-5.0, 5.0))};
+    const NnLowerBound bound(query, config);
+    const std::vector<DimAffine> identity(4);
+
+    auto exact = [&](int64_t id) {
+      return bound.ToTransformedPoint(points[static_cast<size_t>(id)],
+                                      identity);
+    };
+    const int k = 7;
+    const auto result = tree.NearestNeighbors(bound, nullptr, k, exact);
+    ASSERT_EQ(static_cast<int>(result.size()), k);
+
+    std::vector<double> all;
+    for (size_t i = 0; i < points.size(); ++i) {
+      all.push_back(exact(static_cast<int64_t>(i)));
+    }
+    std::sort(all.begin(), all.end());
+    for (int i = 0; i < k; ++i) {
+      EXPECT_NEAR(result[static_cast<size_t>(i)].second,
+                  all[static_cast<size_t>(i)], 1e-9)
+          << "rank " << i;
+    }
+    // Results must come back sorted.
+    for (int i = 1; i < k; ++i) {
+      EXPECT_LE(result[static_cast<size_t>(i - 1)].second,
+                result[static_cast<size_t>(i)].second + 1e-12);
+    }
+  }
+}
+
+// Conservative epsilon pair predicate: rectangles whose per-dimension gap
+// is at most eps. Exact for point entries under the Chebyshev metric.
+bool WithinEps(const Rect& a, const Rect& b, double eps) {
+  for (int d = 0; d < a.dims(); ++d) {
+    if (a.lo(d) > b.hi(d) + eps || b.lo(d) > a.hi(d) + eps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(RTreeTest, SynchronizedSelfJoinMatchesBruteForce) {
+  Random rng(222);
+  RTree tree(3);
+  const std::vector<Point> points = RandomPoints(&rng, 400, 3, -20.0, 20.0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.InsertPoint(points[i], static_cast<int64_t>(i));
+  }
+  const double eps = 2.0;
+
+  std::set<std::pair<int64_t, int64_t>> expected;
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < points.size(); ++j) {
+      bool close = true;
+      for (int d = 0; d < 3; ++d) {
+        if (std::fabs(points[i][static_cast<size_t>(d)] -
+                      points[j][static_cast<size_t>(d)]) > eps) {
+          close = false;
+          break;
+        }
+      }
+      if (close) {
+        expected.insert({static_cast<int64_t>(i), static_cast<int64_t>(j)});
+      }
+    }
+  }
+
+  std::set<std::pair<int64_t, int64_t>> actual;
+  tree.ResetNodeAccesses();
+  tree.JoinWith(
+      tree, [&](const Rect& a, const Rect& b) { return WithinEps(a, b, eps); },
+      [&](int64_t a, int64_t b) { actual.insert({a, b}); });
+  EXPECT_EQ(actual, expected);
+  EXPECT_GT(tree.node_accesses(), 0);
+}
+
+TEST(RTreeTest, SynchronizedCrossJoinMatchesBruteForce) {
+  Random rng(333);
+  RTree left(2);
+  RTree right(2);
+  const std::vector<Point> left_points =
+      RandomPoints(&rng, 300, 2, -20.0, 20.0);
+  const std::vector<Point> right_points =
+      RandomPoints(&rng, 250, 2, -20.0, 20.0);
+  for (size_t i = 0; i < left_points.size(); ++i) {
+    left.InsertPoint(left_points[i], static_cast<int64_t>(i));
+  }
+  for (size_t j = 0; j < right_points.size(); ++j) {
+    right.InsertPoint(right_points[j], static_cast<int64_t>(j));
+  }
+  const double eps = 1.5;
+
+  std::set<std::pair<int64_t, int64_t>> expected;
+  for (size_t i = 0; i < left_points.size(); ++i) {
+    for (size_t j = 0; j < right_points.size(); ++j) {
+      if (std::fabs(left_points[i][0] - right_points[j][0]) <= eps &&
+          std::fabs(left_points[i][1] - right_points[j][1]) <= eps) {
+        expected.insert({static_cast<int64_t>(i), static_cast<int64_t>(j)});
+      }
+    }
+  }
+  std::set<std::pair<int64_t, int64_t>> actual;
+  left.JoinWith(
+      right,
+      [&](const Rect& a, const Rect& b) { return WithinEps(a, b, eps); },
+      [&](int64_t a, int64_t b) { actual.insert({a, b}); });
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(RTreeTest, JoinWithEmptyTreesEmitsNothing) {
+  RTree a(2);
+  RTree b(2);
+  a.InsertPoint({1.0, 1.0}, 0);
+  int emitted = 0;
+  a.JoinWith(b, [](const Rect&, const Rect&) { return true; },
+             [&](int64_t, int64_t) { ++emitted; });
+  EXPECT_EQ(emitted, 0);
+  b.JoinWith(a, [](const Rect&, const Rect&) { return true; },
+             [&](int64_t, int64_t) { ++emitted; });
+  EXPECT_EQ(emitted, 0);
+}
+
+TEST(RTreeTest, NodeAccessCountingIsSelective) {
+  Random rng(99);
+  FeatureConfig config;
+  config.num_coefficients = 1;
+  config.space = FeatureSpace::kRectangular;
+  config.include_mean_std = false;
+  RTree tree(2);
+  for (int i = 0; i < 5000; ++i) {
+    tree.InsertPoint({rng.UniformDouble(-100.0, 100.0),
+                      rng.UniformDouble(-100.0, 100.0)},
+                     i);
+  }
+  tree.ResetNodeAccesses();
+  const SearchRegion region =
+      SearchRegion::MakeRange({Complex(0.0, 0.0)}, 1.0, config);
+  std::vector<int64_t> results;
+  tree.Search(region, nullptr, &results);
+  const int64_t selective = tree.node_accesses();
+  EXPECT_GT(selective, 0);
+  EXPECT_LT(selective, tree.node_count() / 4)
+      << "a selective query should touch a small fraction of nodes";
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  Random rng(111);
+  RTree tree(2);
+  for (int i = 0; i < 10000; ++i) {
+    tree.InsertPoint({rng.UniformDouble(0.0, 1.0), rng.UniformDouble(0.0, 1.0)},
+                     i);
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_LE(tree.height(), 5);  // fanout >= 12 on 10k points
+}
+
+}  // namespace
+}  // namespace simq

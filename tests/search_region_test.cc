@@ -1,0 +1,337 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geom/search_region.h"
+#include "util/random.h"
+
+namespace simq {
+namespace {
+
+std::vector<Complex> RandomCoeffs(Random* rng, int k) {
+  std::vector<Complex> coeffs(static_cast<size_t>(k));
+  for (Complex& c : coeffs) {
+    c = Complex(rng->UniformDouble(-3.0, 3.0), rng->UniformDouble(-3.0, 3.0));
+  }
+  return coeffs;
+}
+
+double CoeffDistance(const std::vector<Complex>& a,
+                     const std::vector<Complex>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += std::norm(a[i] - b[i]);
+  }
+  return std::sqrt(sum);
+}
+
+// Builds an index point (mean, std, coefficient coords) for `coeffs`.
+std::vector<double> IndexPoint(const std::vector<Complex>& coeffs,
+                               const FeatureConfig& config, double mean,
+                               double std_dev) {
+  std::vector<double> point;
+  if (config.include_mean_std) {
+    point.push_back(mean);
+    point.push_back(std_dev);
+  }
+  const std::vector<double> coords =
+      CoefficientsToCoords(coeffs, config.space);
+  point.insert(point.end(), coords.begin(), coords.end());
+  return point;
+}
+
+class SearchRegionSpaceTest : public ::testing::TestWithParam<FeatureSpace> {};
+
+TEST_P(SearchRegionSpaceTest, NoFalseDismissalsOnPoints) {
+  // Every point within epsilon of the query must be inside the region
+  // (the region is the MBR of the epsilon-ball; Figure 7).
+  FeatureConfig config;
+  config.num_coefficients = 2;
+  config.space = GetParam();
+  Random rng(10);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::vector<Complex> query = RandomCoeffs(&rng, 2);
+    const double epsilon = rng.UniformDouble(0.01, 2.0);
+    const SearchRegion region =
+        SearchRegion::MakeRange(query, epsilon, config);
+    // Perturb the query by a vector of norm <= epsilon.
+    std::vector<Complex> inside = query;
+    double remaining = epsilon * 0.999;
+    for (Complex& c : inside) {
+      const double r = rng.UniformDouble(0.0, remaining);
+      const double theta = rng.UniformDouble(0.0, 2.0 * M_PI);
+      c += std::polar(r, theta);
+      remaining = std::sqrt(std::max(0.0, remaining * remaining - r * r));
+    }
+    ASSERT_LE(CoeffDistance(inside, query), epsilon);
+    const std::vector<double> point = IndexPoint(inside, config, 5.0, 1.0);
+    EXPECT_TRUE(region.ContainsPoint(point)) << "trial " << trial;
+  }
+}
+
+TEST_P(SearchRegionSpaceTest, FarPointsExcluded) {
+  // Points farther than sqrt(2k)*epsilon in every coefficient cannot be in
+  // the bounding region.
+  FeatureConfig config;
+  config.num_coefficients = 2;
+  config.space = GetParam();
+  Random rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::vector<Complex> query = RandomCoeffs(&rng, 2);
+    const double epsilon = rng.UniformDouble(0.01, 1.0);
+    const SearchRegion region =
+        SearchRegion::MakeRange(query, epsilon, config);
+    std::vector<Complex> far = query;
+    for (Complex& c : far) {
+      c += Complex(10.0 * epsilon + 1.0, 0.0);
+    }
+    const std::vector<double> point = IndexPoint(far, config, 5.0, 1.0);
+    EXPECT_FALSE(region.ContainsPoint(point)) << "trial " << trial;
+  }
+}
+
+TEST_P(SearchRegionSpaceTest, TransformedContainmentMatchesDirect) {
+  // ContainsTransformedPoint(p, lower(T)) must agree with testing T(p)
+  // against the region directly.
+  const FeatureSpace space = GetParam();
+  FeatureConfig config;
+  config.num_coefficients = 2;
+  config.space = space;
+  Random rng(12);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<Complex> stretch(2);
+    std::vector<Complex> shift(2);
+    for (int c = 0; c < 2; ++c) {
+      if (space == FeatureSpace::kRectangular) {
+        stretch[static_cast<size_t>(c)] =
+            Complex(rng.UniformDouble(-2.0, 2.0), 0.0);
+        shift[static_cast<size_t>(c)] = Complex(
+            rng.UniformDouble(-1.0, 1.0), rng.UniformDouble(-1.0, 1.0));
+      } else {
+        stretch[static_cast<size_t>(c)] = Complex(
+            rng.UniformDouble(-2.0, 2.0), rng.UniformDouble(-2.0, 2.0));
+        shift[static_cast<size_t>(c)] = Complex(0.0, 0.0);
+      }
+    }
+    const LinearTransform transform(stretch, shift);
+    const std::vector<DimAffine> affines =
+        LowerToFeatureSpace(transform, config);
+
+    const std::vector<Complex> query = RandomCoeffs(&rng, 2);
+    const double epsilon = rng.UniformDouble(0.1, 2.0);
+    const SearchRegion region =
+        SearchRegion::MakeRange(query, epsilon, config);
+
+    const std::vector<Complex> data = RandomCoeffs(&rng, 2);
+    const std::vector<double> data_point = IndexPoint(data, config, 1.0, 1.0);
+    const std::vector<double> transformed_point =
+        IndexPoint(transform.Apply(data), config, 1.0, 1.0);
+
+    EXPECT_EQ(region.ContainsTransformedPoint(data_point, affines),
+              region.ContainsPoint(transformed_point))
+        << "trial " << trial;
+  }
+}
+
+TEST_P(SearchRegionSpaceTest, RectIntersectionIsConservative) {
+  // If any corner-ish sample of a rect lands in the region, the rect must
+  // intersect the region (no false negatives on rectangles).
+  const FeatureSpace space = GetParam();
+  FeatureConfig config;
+  config.num_coefficients = 1;
+  config.space = space;
+  config.include_mean_std = false;
+  Random rng(13);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::vector<Complex> query = RandomCoeffs(&rng, 1);
+    const double epsilon = rng.UniformDouble(0.1, 1.5);
+    const SearchRegion region =
+        SearchRegion::MakeRange(query, epsilon, config);
+
+    const std::vector<Complex> sample = RandomCoeffs(&rng, 1);
+    std::vector<double> coords = CoefficientsToCoords(sample, space);
+    if (space == FeatureSpace::kPolar) {
+      coords[0] = std::fabs(coords[0]);
+    }
+    std::vector<double> lo = coords;
+    std::vector<double> hi = coords;
+    lo[0] -= 0.2;
+    hi[0] += 0.2;
+    lo[1] -= 0.2;
+    hi[1] += 0.2;
+    if (space == FeatureSpace::kPolar) {
+      lo[0] = std::max(0.0, lo[0]);
+    }
+    const Rect rect = Rect::FromBounds(lo, hi);
+    if (region.ContainsPoint(coords)) {
+      EXPECT_TRUE(region.IntersectsRect(rect)) << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Spaces, SearchRegionSpaceTest,
+                         ::testing::Values(FeatureSpace::kRectangular,
+                                           FeatureSpace::kPolar));
+
+TEST(SearchRegionTest, PolarBallContainingOriginCoversAllAngles) {
+  FeatureConfig config;
+  config.num_coefficients = 1;
+  config.space = FeatureSpace::kPolar;
+  config.include_mean_std = false;
+  // epsilon exceeds |q|: every angle is admissible, magnitude up to |q|+eps.
+  const std::vector<Complex> query = {Complex(0.5, 0.0)};
+  const SearchRegion region = SearchRegion::MakeRange(query, 1.0, config);
+  for (double angle = -3.0; angle <= 3.0; angle += 0.5) {
+    EXPECT_TRUE(region.ContainsPoint({0.2, angle}));
+  }
+  EXPECT_FALSE(region.ContainsPoint({1.6, 0.0}));
+}
+
+TEST(SearchRegionTest, MeanStdConstraints) {
+  FeatureConfig config;  // includes mean/std
+  const std::vector<Complex> query = {Complex(1.0, 0.0), Complex(0.0, 1.0)};
+  SearchRegion region = SearchRegion::MakeRange(query, 10.0, config);
+  region.ConstrainMean(0.0, 5.0);
+  region.ConstrainStd(1.0, 2.0);
+  std::vector<double> point = IndexPoint(query, config, 3.0, 1.5);
+  EXPECT_TRUE(region.ContainsPoint(point));
+  point[0] = 9.0;  // mean outside range
+  EXPECT_FALSE(region.ContainsPoint(point));
+  point[0] = 3.0;
+  point[1] = 0.5;  // std outside range
+  EXPECT_FALSE(region.ContainsPoint(point));
+}
+
+TEST(MinDistAnnularSectorTest, InsideSectorIsZero) {
+  const CircularInterval arc = CircularInterval::FromCenter(0.0, 0.5);
+  EXPECT_DOUBLE_EQ(
+      MinDistToAnnularSector(std::polar(2.0, 0.1), 1.0, 3.0, arc), 0.0);
+}
+
+TEST(MinDistAnnularSectorTest, RadialGaps) {
+  const CircularInterval arc = CircularInterval::FromCenter(0.0, 0.5);
+  EXPECT_NEAR(MinDistToAnnularSector(std::polar(0.5, 0.0), 1.0, 3.0, arc),
+              0.5, 1e-12);
+  EXPECT_NEAR(MinDistToAnnularSector(std::polar(4.0, 0.0), 1.0, 3.0, arc),
+              1.0, 1e-12);
+}
+
+TEST(MinDistAnnularSectorTest, FullCircleIsRadialOnly) {
+  const CircularInterval full = CircularInterval::FullCircle();
+  EXPECT_NEAR(MinDistToAnnularSector(std::polar(5.0, 2.2), 1.0, 3.0, full),
+              2.0, 1e-12);
+  EXPECT_NEAR(MinDistToAnnularSector(Complex(0.0, 0.0), 1.0, 3.0, full), 1.0,
+              1e-12);
+}
+
+TEST(MinDistAnnularSectorTest, MatchesBruteForceSampling) {
+  Random rng(14);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double mag_lo = rng.UniformDouble(0.0, 2.0);
+    const double mag_hi = mag_lo + rng.UniformDouble(0.0, 2.0);
+    const double center = rng.UniformDouble(-M_PI, M_PI);
+    const double half_width = rng.UniformDouble(0.05, 2.5);
+    const CircularInterval arc =
+        CircularInterval::FromCenter(center, half_width);
+    const Complex p(rng.UniformDouble(-4.0, 4.0),
+                    rng.UniformDouble(-4.0, 4.0));
+
+    const double fast = MinDistToAnnularSector(p, mag_lo, mag_hi, arc);
+
+    double sampled = 1e300;
+    const int kSteps = 400;
+    for (int a = 0; a <= kSteps; ++a) {
+      const double theta =
+          arc.is_full()
+              ? -M_PI + 2.0 * M_PI * a / kSteps
+              : arc.lo() + arc.extent() * a / kSteps;
+      for (int r = 0; r <= 60; ++r) {
+        const double mag = mag_lo + (mag_hi - mag_lo) * r / 60.0;
+        sampled = std::min(sampled, std::abs(p - std::polar(mag, theta)));
+      }
+    }
+    // The analytic distance must lower-bound the sampled one and be close.
+    EXPECT_LE(fast, sampled + 1e-9) << "trial " << trial;
+    EXPECT_NEAR(fast, sampled, 0.05) << "trial " << trial;
+  }
+}
+
+TEST(NnLowerBoundTest, PointBoundIsExactFeatureDistance) {
+  FeatureConfig config;
+  config.num_coefficients = 2;
+  config.space = FeatureSpace::kPolar;
+  Random rng(15);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::vector<Complex> query = RandomCoeffs(&rng, 2);
+    const std::vector<Complex> data = RandomCoeffs(&rng, 2);
+    const NnLowerBound bound(query, config);
+    const std::vector<double> point = IndexPoint(data, config, 0.0, 1.0);
+    const std::vector<DimAffine> identity(6);
+    EXPECT_NEAR(bound.ToTransformedPoint(point, identity),
+                CoeffDistance(query, data), 1e-9);
+  }
+}
+
+TEST(NnLowerBoundTest, RectBoundBelowContainedPointDistances) {
+  // For any point inside a rect, the rect lower bound must not exceed the
+  // point's feature distance -- in both spaces, with transformations.
+  Random rng(16);
+  for (const FeatureSpace space :
+       {FeatureSpace::kRectangular, FeatureSpace::kPolar}) {
+    FeatureConfig config;
+    config.num_coefficients = 2;
+    config.space = space;
+    config.include_mean_std = false;
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<Complex> stretch(2);
+      for (Complex& s : stretch) {
+        s = space == FeatureSpace::kRectangular
+                ? Complex(rng.UniformDouble(-2.0, 2.0), 0.0)
+                : Complex(rng.UniformDouble(-2.0, 2.0),
+                          rng.UniformDouble(-2.0, 2.0));
+      }
+      const LinearTransform transform(
+          stretch, std::vector<Complex>(2, Complex(0.0, 0.0)));
+      const std::vector<DimAffine> affines =
+          LowerToFeatureSpace(transform, config);
+
+      const std::vector<Complex> query = RandomCoeffs(&rng, 2);
+      const NnLowerBound bound(query, config);
+
+      const std::vector<Complex> center_coeffs = RandomCoeffs(&rng, 2);
+      std::vector<double> center =
+          CoefficientsToCoords(center_coeffs, space);
+      if (space == FeatureSpace::kPolar) {
+        center[0] = std::fabs(center[0]);
+        center[2] = std::fabs(center[2]);
+      }
+      std::vector<double> lo = center;
+      std::vector<double> hi = center;
+      for (size_t d = 0; d < lo.size(); ++d) {
+        lo[d] -= 0.15;
+        hi[d] += 0.15;
+      }
+      if (space == FeatureSpace::kPolar) {
+        lo[0] = std::max(0.0, lo[0]);
+        lo[2] = std::max(0.0, lo[2]);
+      }
+      const Rect rect = Rect::FromBounds(lo, hi);
+
+      const double rect_bound = bound.ToTransformedRect(rect, affines);
+      // Sample points inside the rect.
+      for (int s = 0; s < 20; ++s) {
+        std::vector<double> point(lo.size());
+        for (size_t d = 0; d < lo.size(); ++d) {
+          point[d] = rng.UniformDouble(lo[d], hi[d]);
+        }
+        const double point_dist = bound.ToTransformedPoint(point, affines);
+        EXPECT_LE(rect_bound, point_dist + 1e-9)
+            << "space=" << static_cast<int>(space) << " trial=" << trial;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simq

@@ -1,0 +1,302 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/edit_distance.h"
+#include "core/similarity.h"
+#include "core/transformation.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace simq {
+namespace {
+
+std::vector<double> RandomSignal(Random* rng, int n) {
+  std::vector<double> x(static_cast<size_t>(n));
+  for (double& v : x) {
+    v = rng->UniformDouble(-3.0, 3.0);
+  }
+  return x;
+}
+
+TEST(TransformationDistanceTest, NoRulesIsEuclidean) {
+  Random rng(1);
+  const std::vector<double> x = RandomSignal(&rng, 16);
+  const std::vector<double> y = RandomSignal(&rng, 16);
+  const SimilarityResult result =
+      TransformationDistance(x, y, {}, SimilarityOptions());
+  EXPECT_NEAR(result.distance, EuclideanDistance(x, y), 1e-12);
+  EXPECT_TRUE(result.applied_to_x.empty());
+  EXPECT_TRUE(result.applied_to_y.empty());
+}
+
+TEST(TransformationDistanceTest, ReverseRuleRecognizesMirrors) {
+  Random rng(2);
+  const std::vector<double> x = RandomSignal(&rng, 12);
+  std::vector<double> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] = -x[i];
+  }
+  const auto reverse = MakeReverseRule(0.25);
+  const SimilarityResult result =
+      TransformationDistance(x, y, {reverse.get()}, SimilarityOptions());
+  // One reverse application at cost 0.25 makes them identical.
+  EXPECT_NEAR(result.distance, 0.25, 1e-9);
+  ASSERT_EQ(result.applied_to_x.size() + result.applied_to_y.size(), 1u);
+}
+
+TEST(TransformationDistanceTest, WarpBridgesDifferentLengths) {
+  // Example 1.2: p warped by 2 equals s; without the rule the distance is
+  // infinite (different lengths).
+  const std::vector<double> p = {20, 21, 20, 23};
+  const std::vector<double> s = {20, 20, 21, 21, 20, 20, 23, 23};
+  const auto warp = MakeTimeWarpRule(2, /*cost=*/1.0);
+
+  const SimilarityResult without =
+      TransformationDistance(p, s, {}, SimilarityOptions());
+  EXPECT_TRUE(std::isinf(without.distance));
+
+  const SimilarityResult with_warp =
+      TransformationDistance(p, s, {warp.get()}, SimilarityOptions());
+  EXPECT_NEAR(with_warp.distance, 1.0, 1e-9);
+  ASSERT_EQ(with_warp.applied_to_x.size(), 1u);
+  EXPECT_EQ(with_warp.applied_to_x[0], "warp(2)");
+}
+
+TEST(TransformationDistanceTest, CostBudgetPrunesDerivations) {
+  Random rng(3);
+  const std::vector<double> x = RandomSignal(&rng, 12);
+  std::vector<double> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] = -x[i];
+  }
+  const double direct = EuclideanDistance(x, y);
+  const auto expensive_reverse = MakeReverseRule(direct + 10.0);
+  const SimilarityResult result = TransformationDistance(
+      x, y, {expensive_reverse.get()}, SimilarityOptions());
+  // Using the rule would cost more than the plain distance: not applied.
+  EXPECT_NEAR(result.distance, direct, 1e-12);
+  EXPECT_TRUE(result.applied_to_x.empty());
+}
+
+TEST(TransformationDistanceTest, ExplicitBudgetLimitsSearch) {
+  Random rng(4);
+  const std::vector<double> x = RandomSignal(&rng, 10);
+  std::vector<double> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] = -x[i];
+  }
+  const auto reverse = MakeReverseRule(2.0);
+  SimilarityOptions options;
+  options.cost_budget = 1.0;  // cheaper than the rule
+  const SimilarityResult result =
+      TransformationDistance(x, y, {reverse.get()}, options);
+  EXPECT_NEAR(result.distance, EuclideanDistance(x, y), 1e-12);
+}
+
+TEST(TransformationDistanceTest, SmoothingBothSidesHelps) {
+  // Two noisy versions of one trend: smoothing *both* sides (the fourth
+  // branch of Equation 10) beats smoothing either side alone.
+  Random rng(5);
+  const int n = 64;
+  std::vector<double> trend(static_cast<size_t>(n));
+  trend[0] = 0.0;
+  for (int i = 1; i < n; ++i) {
+    trend[static_cast<size_t>(i)] =
+        trend[static_cast<size_t>(i - 1)] + rng.UniformDouble(-1.0, 1.0);
+  }
+  std::vector<double> x = trend;
+  std::vector<double> y = trend;
+  for (int i = 0; i < n; ++i) {
+    x[static_cast<size_t>(i)] += rng.UniformDouble(-1.0, 1.0);
+    y[static_cast<size_t>(i)] += rng.UniformDouble(-1.0, 1.0);
+  }
+  const auto smooth = MakeMovingAverageRule(10, /*cost=*/0.1);
+  SimilarityOptions both;
+  both.max_rule_applications = 1;
+  const SimilarityResult with_both =
+      TransformationDistance(x, y, {smooth.get()}, both);
+
+  SimilarityOptions one_side = both;
+  one_side.transform_both_sides = false;
+  const SimilarityResult with_one =
+      TransformationDistance(x, y, {smooth.get()}, one_side);
+
+  EXPECT_LT(with_both.distance, with_one.distance);
+  EXPECT_EQ(with_both.applied_to_x.size(), 1u);
+  EXPECT_EQ(with_both.applied_to_y.size(), 1u);
+}
+
+TEST(TransformationDistanceTest, DepthCapBoundsApplications) {
+  Random rng(6);
+  const std::vector<double> x = RandomSignal(&rng, 16);
+  const std::vector<double> y = RandomSignal(&rng, 16);
+  const auto smooth = MakeMovingAverageRule(4, /*cost=*/0.0);
+  SimilarityOptions options;
+  options.max_rule_applications = 2;
+  const SimilarityResult result =
+      TransformationDistance(x, y, {smooth.get()}, options);
+  EXPECT_LE(result.applied_to_x.size(), 2u);
+  EXPECT_LE(result.applied_to_y.size(), 2u);
+  EXPECT_GT(result.states_expanded, 0);
+}
+
+TEST(TransformationDistanceTest, ZeroCostSmoothingMonotone) {
+  // With free smoothing and growing depth, the distance never increases:
+  // a superset of derivations can only improve the minimum.
+  Random rng(7);
+  const std::vector<double> x = RandomSignal(&rng, 32);
+  const std::vector<double> y = RandomSignal(&rng, 32);
+  const auto smooth = MakeMovingAverageRule(8, 0.0);
+  double previous = 1e300;
+  for (int depth = 0; depth <= 3; ++depth) {
+    SimilarityOptions options;
+    options.max_rule_applications = depth;
+    const SimilarityResult result =
+        TransformationDistance(x, y, {smooth.get()}, options);
+    EXPECT_LE(result.distance, previous + 1e-9) << "depth " << depth;
+    previous = result.distance;
+  }
+}
+
+TEST(TransformationDistanceTest, PicksCheapestOfSeveralRules) {
+  Random rng(8);
+  const std::vector<double> x = RandomSignal(&rng, 12);
+  std::vector<double> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] = -x[i];
+  }
+  const auto cheap = MakeReverseRule(0.5);
+  const auto costly = MakeMovingAverageRule(3, 5.0);
+  const SimilarityResult result = TransformationDistance(
+      x, y, {costly.get(), cheap.get()}, SimilarityOptions());
+  EXPECT_NEAR(result.distance, 0.5, 1e-9);
+}
+
+TEST(TransformationDistanceTest, SymmetricWhenBothSidesAllowed) {
+  Random rng(9);
+  const std::vector<double> x = RandomSignal(&rng, 16);
+  const std::vector<double> y = RandomSignal(&rng, 16);
+  const auto reverse = MakeReverseRule(0.3);
+  const auto smooth = MakeMovingAverageRule(4, 0.2);
+  SimilarityOptions options;
+  options.max_rule_applications = 2;
+  const SimilarityResult xy = TransformationDistance(
+      x, y, {reverse.get(), smooth.get()}, options);
+  const SimilarityResult yx = TransformationDistance(
+      y, x, {reverse.get(), smooth.get()}, options);
+  EXPECT_NEAR(xy.distance, yx.distance, 1e-9);
+}
+
+// --- Edit-distance solvers -------------------------------------------------
+
+TEST(EditDistanceTest, IdenticalSequencesAreFree) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(WeightedEditDistance(a, a, EditCosts()), 0.0);
+}
+
+TEST(EditDistanceTest, PureInsertionsAndDeletions) {
+  EditCosts costs;
+  costs.insert_cost = 2.0;
+  costs.delete_cost = 3.0;
+  const std::vector<double> empty;
+  const std::vector<double> abc = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(WeightedEditDistance(empty, abc, costs), 6.0);
+  EXPECT_DOUBLE_EQ(WeightedEditDistance(abc, empty, costs), 9.0);
+}
+
+TEST(EditDistanceTest, UnitCostsMatchClassicEditDistance) {
+  EditCosts costs;
+  costs.insert_cost = 1.0;
+  costs.delete_cost = 1.0;
+  costs.replace_flat = 1.0;
+  costs.replace_per_unit = 0.0;
+  // "kitten" -> "sitting" analogue over digit sequences: distance 3.
+  const std::vector<double> kitten = {10, 8, 19, 19, 4, 13};
+  const std::vector<double> sitting = {18, 8, 19, 19, 8, 13, 6};
+  EXPECT_DOUBLE_EQ(WeightedEditDistance(kitten, sitting, costs), 3.0);
+}
+
+TEST(EditDistanceTest, MagnitudeSensitiveReplacement) {
+  EditCosts costs;  // replace cost = |a - b|, insert/delete cost 1 each
+  const std::vector<double> a = {1.0, 5.0};
+  const std::vector<double> b = {1.0, 7.5};
+  // Replacing 5.0 by 7.5 costs 2.5, but delete+insert costs 2.0: the DP
+  // must take the cheaper derivation.
+  EXPECT_DOUBLE_EQ(WeightedEditDistance(a, b, costs), 2.0);
+  // With expensive insert/delete rules, replacement wins.
+  costs.insert_cost = 5.0;
+  costs.delete_cost = 5.0;
+  EXPECT_DOUBLE_EQ(WeightedEditDistance(a, b, costs), 2.5);
+}
+
+TEST(EditDistanceTest, SymmetricUnderSymmetricCosts) {
+  Random rng(10);
+  EditCosts costs;
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> a =
+        RandomSignal(&rng, static_cast<int>(rng.UniformInt(1, 12)));
+    const std::vector<double> b =
+        RandomSignal(&rng, static_cast<int>(rng.UniformInt(1, 12)));
+    EXPECT_NEAR(WeightedEditDistance(a, b, costs),
+                WeightedEditDistance(b, a, costs), 1e-9);
+  }
+}
+
+TEST(EditDistanceTest, TriangleInequalityHolds) {
+  Random rng(11);
+  EditCosts costs;
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> a = RandomSignal(&rng, 8);
+    const std::vector<double> b = RandomSignal(&rng, 8);
+    const std::vector<double> c = RandomSignal(&rng, 8);
+    const double ab = WeightedEditDistance(a, b, costs);
+    const double bc = WeightedEditDistance(b, c, costs);
+    const double ac = WeightedEditDistance(a, c, costs);
+    EXPECT_LE(ac, ab + bc + 1e-9);
+  }
+}
+
+TEST(DtwTest, IdenticalSequencesZero) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a), 0.0);
+}
+
+TEST(DtwTest, StutterIsFree) {
+  // DTW absorbs time warping: the stuttered sequence aligns at zero cost.
+  const std::vector<double> p = {20, 21, 20, 23};
+  const std::vector<double> s = {20, 20, 21, 21, 20, 20, 23, 23};
+  EXPECT_DOUBLE_EQ(DtwDistance(p, s), 0.0);
+}
+
+TEST(DtwTest, AtMostEuclideanOnEqualLengths) {
+  Random rng(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> a = RandomSignal(&rng, 16);
+    const std::vector<double> b = RandomSignal(&rng, 16);
+    double l1 = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      l1 += std::fabs(a[i] - b[i]);
+    }
+    EXPECT_LE(DtwDistance(a, b), l1 + 1e-9);
+  }
+}
+
+TEST(DtwTest, BandRestrictsAlignment) {
+  const std::vector<double> p = {20, 21, 20, 23};
+  const std::vector<double> s = {20, 20, 21, 21, 20, 20, 23, 23};
+  // Unbounded DTW is 0; a zero-width band cannot bridge the length gap.
+  EXPECT_TRUE(std::isinf(DtwDistance(p, s, 0)));
+  EXPECT_DOUBLE_EQ(DtwDistance(p, s, 4), 0.0);
+}
+
+TEST(DtwTest, WideBandEqualsUnbounded) {
+  Random rng(13);
+  const std::vector<double> a = RandomSignal(&rng, 10);
+  const std::vector<double> b = RandomSignal(&rng, 12);
+  EXPECT_NEAR(DtwDistance(a, b, 100), DtwDistance(a, b), 1e-12);
+}
+
+}  // namespace
+}  // namespace simq

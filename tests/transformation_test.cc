@@ -1,0 +1,302 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/transformation.h"
+#include "ts/dft.h"
+#include "ts/transforms.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace simq {
+namespace {
+
+std::vector<double> RandomSignal(Random* rng, int n) {
+  std::vector<double> x(static_cast<size_t>(n));
+  for (double& v : x) {
+    v = rng->UniformDouble(-5.0, 5.0);
+  }
+  return x;
+}
+
+// Property shared by every spectral rule: applying the rule in the time
+// domain and transforming equals multiplying the spectrum element-wise.
+void CheckSpectralConsistency(const TransformationRule& rule, int n,
+                              uint64_t seed) {
+  Random rng(seed);
+  const std::vector<double> x = RandomSignal(&rng, n);
+  const std::vector<double> applied = rule.Apply(x);
+  const Spectrum direct = Dft(applied);
+  const Spectrum base = Dft(x);
+  const int out_n = rule.OutputLength(n);
+  ASSERT_EQ(static_cast<int>(applied.size()), out_n);
+  for (int f = 0; f < out_n; ++f) {
+    const std::optional<Complex> m = rule.Multiplier(f, n);
+    ASSERT_TRUE(m.has_value());
+    const Complex expected = *m * base[static_cast<size_t>(f % n)];
+    EXPECT_LT(std::abs(direct[static_cast<size_t>(f)] - expected), 1e-8)
+        << rule.name() << " n=" << n << " f=" << f;
+  }
+}
+
+TEST(TransformationRuleTest, IdentityRule) {
+  const auto rule = MakeIdentityRule(0.5);
+  EXPECT_EQ(rule->name(), "identity");
+  EXPECT_DOUBLE_EQ(rule->cost(), 0.5);
+  EXPECT_TRUE(rule->IsNormalFormInvariant());
+  CheckSpectralConsistency(*rule, 16, 1);
+}
+
+TEST(TransformationRuleTest, MovingAverageRule) {
+  const auto rule = MakeMovingAverageRule(5);
+  EXPECT_EQ(rule->name(), "mavg(5)");
+  Random rng(2);
+  const std::vector<double> x = RandomSignal(&rng, 32);
+  const std::vector<double> expected = CircularMovingAverage(x, 5);
+  const std::vector<double> actual = rule->Apply(x);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-12);
+  }
+  CheckSpectralConsistency(*rule, 32, 3);
+  CheckSpectralConsistency(*rule, 45, 4);  // non-power-of-two
+}
+
+TEST(TransformationRuleTest, ReverseRule) {
+  const auto rule = MakeReverseRule();
+  CheckSpectralConsistency(*rule, 24, 5);
+  EXPECT_FALSE(rule->IsNormalFormInvariant());
+}
+
+TEST(TransformationRuleTest, TimeWarpRule) {
+  const auto rule = MakeTimeWarpRule(3);
+  EXPECT_EQ(rule->OutputLength(8), 24);
+  CheckSpectralConsistency(*rule, 8, 6);
+  CheckSpectralConsistency(*rule, 16, 7);
+}
+
+TEST(TransformationRuleTest, ShiftRuleIsNormalFormInvariantNotSpectral) {
+  const auto rule = MakeShiftRule(10.0);
+  EXPECT_TRUE(rule->IsNormalFormInvariant());
+  EXPECT_FALSE(rule->IsSpectral(16));
+  const std::vector<double> out = rule->Apply({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(out[0], 11.0);
+  EXPECT_DOUBLE_EQ(out[1], 12.0);
+}
+
+TEST(TransformationRuleTest, ScaleRule) {
+  const auto positive = MakeScaleRule(2.0);
+  EXPECT_TRUE(positive->IsNormalFormInvariant());
+  CheckSpectralConsistency(*positive, 16, 8);
+  const auto negative = MakeScaleRule(-1.5);
+  EXPECT_FALSE(negative->IsNormalFormInvariant());
+  CheckSpectralConsistency(*negative, 16, 9);
+}
+
+TEST(TransformationRuleTest, DespikeRuleClampsSpikes) {
+  const auto rule = MakeDespikeRule(2.0);
+  EXPECT_FALSE(rule->IsSpectral(8));
+  const std::vector<double> x = {1.0, 1.0, 9.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> out = rule->Apply(x);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);  // spike removed
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+}
+
+TEST(TransformationRuleTest, DespikeKeepsSmallVariation) {
+  const auto rule = MakeDespikeRule(5.0);
+  const std::vector<double> x = {1.0, 2.0, 3.0, 2.0, 1.0};
+  const std::vector<double> out = rule->Apply(x);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], x[i]);
+  }
+}
+
+TEST(TransformationRuleTest, DifferenceRule) {
+  const auto rule = MakeDifferenceRule();
+  EXPECT_EQ(rule->name(), "diff");
+  const std::vector<double> out = rule->Apply({3.0, 5.0, 4.0, 7.0});
+  // Circular: first entry differences against the last.
+  EXPECT_DOUBLE_EQ(out[0], 3.0 - 7.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], -1.0);
+  EXPECT_DOUBLE_EQ(out[3], 3.0);
+  CheckSpectralConsistency(*rule, 32, 20);
+  CheckSpectralConsistency(*rule, 45, 21);
+}
+
+TEST(TransformationRuleTest, DifferenceOfConstantIsZero) {
+  const auto rule = MakeDifferenceRule();
+  for (const double v : rule->Apply({5.0, 5.0, 5.0, 5.0})) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(TransformationRuleTest, ExponentialSmoothingRule) {
+  const auto rule = MakeExponentialSmoothingRule(0.5);
+  CheckSpectralConsistency(*rule, 64, 22);
+  // Weights sum to 1: the mean is preserved.
+  Random rng(23);
+  const std::vector<double> x = RandomSignal(&rng, 64);
+  double mean_in = 0.0;
+  double mean_out = 0.0;
+  const std::vector<double> out = rule->Apply(x);
+  for (size_t i = 0; i < x.size(); ++i) {
+    mean_in += x[i];
+    mean_out += out[i];
+  }
+  EXPECT_NEAR(mean_in, mean_out, 1e-9);
+}
+
+TEST(TransformationRuleTest, ExponentialSmoothingLongTailOnShortSeries) {
+  // alpha = 0.05 has a geometric tail far longer than 16 samples; the
+  // kernel must fold circularly rather than fail.
+  const auto rule = MakeExponentialSmoothingRule(0.05);
+  CheckSpectralConsistency(*rule, 16, 24);
+}
+
+TEST(TransformationRuleTest, ExponentialSmoothingReducesVariance) {
+  Random rng(25);
+  const std::vector<double> x = RandomSignal(&rng, 128);
+  const auto rule = MakeExponentialSmoothingRule(0.3);
+  const std::vector<double> out = rule->Apply(x);
+  EXPECT_LT(StdDev(out), StdDev(x));
+}
+
+TEST(TransformationRuleTest, DifferenceIndexableInPolarSpace) {
+  const auto rule = MakeDifferenceRule();
+  const std::optional<LinearTransform> t = rule->IndexTransform(128, 2);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->IsSafePolar());
+  EXPECT_FALSE(t->IsSafeRectangular());  // genuinely complex multiplier
+}
+
+TEST(CompositeRuleTest, AppliesInOrder) {
+  std::vector<std::unique_ptr<TransformationRule>> rules;
+  rules.push_back(MakeShiftRule(1.0));
+  rules.push_back(MakeScaleRule(2.0));
+  const auto composite = MakeCompositeRule(std::move(rules));
+  // (x + 1) * 2, not (x * 2) + 1.
+  const std::vector<double> out = composite->Apply({3.0});
+  EXPECT_DOUBLE_EQ(out[0], 8.0);
+  EXPECT_EQ(composite->name(), "shift(1)|scale(2)");
+}
+
+TEST(CompositeRuleTest, CostIsSum) {
+  std::vector<std::unique_ptr<TransformationRule>> rules;
+  rules.push_back(MakeReverseRule(1.5));
+  rules.push_back(MakeMovingAverageRule(3, 2.5));
+  const auto composite = MakeCompositeRule(std::move(rules));
+  EXPECT_DOUBLE_EQ(composite->cost(), 4.0);
+}
+
+TEST(CompositeRuleTest, SpectralCompositionSameLength) {
+  std::vector<std::unique_ptr<TransformationRule>> rules;
+  rules.push_back(MakeMovingAverageRule(4));
+  rules.push_back(MakeReverseRule());
+  const auto composite = MakeCompositeRule(std::move(rules));
+  CheckSpectralConsistency(*composite, 32, 10);
+}
+
+TEST(CompositeRuleTest, SpectralCompositionWithTrailingWarp) {
+  std::vector<std::unique_ptr<TransformationRule>> rules;
+  rules.push_back(MakeMovingAverageRule(3));
+  rules.push_back(MakeTimeWarpRule(2));
+  const auto composite = MakeCompositeRule(std::move(rules));
+  EXPECT_EQ(composite->OutputLength(16), 32);
+  CheckSpectralConsistency(*composite, 16, 11);
+}
+
+TEST(CompositeRuleTest, SpectralCompositionWithLeadingWarp) {
+  std::vector<std::unique_ptr<TransformationRule>> rules;
+  rules.push_back(MakeTimeWarpRule(2));
+  rules.push_back(MakeReverseRule());
+  const auto composite = MakeCompositeRule(std::move(rules));
+  EXPECT_EQ(composite->OutputLength(8), 16);
+  CheckSpectralConsistency(*composite, 8, 12);
+}
+
+TEST(CompositeRuleTest, NonSpectralMemberBlocksMultiplier) {
+  std::vector<std::unique_ptr<TransformationRule>> rules;
+  rules.push_back(MakeMovingAverageRule(3));
+  rules.push_back(MakeDespikeRule(1.0));
+  const auto composite = MakeCompositeRule(std::move(rules));
+  EXPECT_FALSE(composite->Multiplier(1, 16).has_value());
+  EXPECT_FALSE(composite->IndexTransform(16, 2).has_value());
+}
+
+TEST(IndexTransformTest, MatchesMultiplier) {
+  const auto rule = MakeMovingAverageRule(5);
+  const std::optional<LinearTransform> t = rule->IndexTransform(64, 3);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->num_coefficients(), 3);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_LT(std::abs(t->stretch()[static_cast<size_t>(c)] -
+                       *rule->Multiplier(c + 1, 64)),
+              1e-12);
+    EXPECT_EQ(t->shift()[static_cast<size_t>(c)], Complex(0.0, 0.0));
+  }
+  EXPECT_TRUE(t->IsSafePolar());
+}
+
+TEST(IndexTransformTest, MovingAverageUnsafeInRectangularSpace) {
+  // A moving-average multiplier is genuinely complex, so it is safe in
+  // S_pol but not S_rect -- the reason [RM97] §5 chose polar coordinates.
+  const auto rule = MakeMovingAverageRule(20);
+  const std::optional<LinearTransform> t = rule->IndexTransform(128, 2);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->IsSafePolar());
+  EXPECT_FALSE(t->IsSafeRectangular());
+}
+
+TEST(IndexTransformTest, ReverseSafeInBothSpaces) {
+  const auto rule = MakeReverseRule();
+  const std::optional<LinearTransform> t = rule->IndexTransform(128, 2);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->IsSafePolar());
+  EXPECT_TRUE(t->IsSafeRectangular());
+}
+
+TEST(MakeRuleByNameTest, ValidRules) {
+  EXPECT_TRUE(MakeRuleByName("identity", {}).ok());
+  EXPECT_TRUE(MakeRuleByName("mavg", {20}).ok());
+  EXPECT_TRUE(MakeRuleByName("reverse", {}).ok());
+  EXPECT_TRUE(MakeRuleByName("warp", {2}).ok());
+  EXPECT_TRUE(MakeRuleByName("shift", {3.5}).ok());
+  EXPECT_TRUE(MakeRuleByName("scale", {-1.0}).ok());
+  EXPECT_TRUE(MakeRuleByName("despike", {1.0}).ok());
+  EXPECT_TRUE(MakeRuleByName("diff", {}).ok());
+  EXPECT_TRUE(MakeRuleByName("ewma", {0.3}).ok());
+}
+
+TEST(MakeRuleByNameTest, CostArgument) {
+  const auto rule = MakeRuleByName("mavg", {20, 2.5});
+  ASSERT_TRUE(rule.ok());
+  EXPECT_DOUBLE_EQ(rule.value()->cost(), 2.5);
+}
+
+TEST(MakeRuleByNameTest, Errors) {
+  EXPECT_FALSE(MakeRuleByName("nope", {}).ok());
+  EXPECT_FALSE(MakeRuleByName("mavg", {}).ok());
+  EXPECT_FALSE(MakeRuleByName("mavg", {-2}).ok());
+  EXPECT_FALSE(MakeRuleByName("mavg", {2.5}).ok());
+  EXPECT_FALSE(MakeRuleByName("warp", {0}).ok());
+  EXPECT_FALSE(MakeRuleByName("shift", {}).ok());
+  EXPECT_FALSE(MakeRuleByName("identity", {1.0, 2.0}).ok());
+  EXPECT_FALSE(MakeRuleByName("ewma", {}).ok());
+  EXPECT_FALSE(MakeRuleByName("ewma", {1.5}).ok());
+  EXPECT_FALSE(MakeRuleByName("ewma", {0.0}).ok());
+}
+
+TEST(TransformationRuleTest, Example11ViaRuleMatchesPaper) {
+  // The motivating example, end to end through the rule interface.
+  const std::vector<double> s1 = {36, 38, 40, 38, 42, 38, 36, 36,
+                                  37, 38, 39, 38, 40, 38, 37};
+  const std::vector<double> s2 = {40, 37, 37, 42, 41, 35, 40, 35,
+                                  34, 42, 38, 35, 45, 36, 34};
+  const auto mavg3 = MakeMovingAverageRule(3);
+  EXPECT_NEAR(EuclideanDistance(mavg3->Apply(s1), mavg3->Apply(s2)), 0.47,
+              0.005);
+}
+
+}  // namespace
+}  // namespace simq

@@ -1,0 +1,310 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ts/dft.h"
+#include "ts/transforms.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace simq {
+namespace {
+
+// The two stock series of Example 1.1 of [RM97].
+const std::vector<double> kSeries1 = {36, 38, 40, 38, 42, 38, 36, 36,
+                                      37, 38, 39, 38, 40, 38, 37};
+const std::vector<double> kSeries2 = {40, 37, 37, 42, 41, 35, 40, 35,
+                                      34, 42, 38, 35, 45, 36, 34};
+
+std::vector<double> RandomSignal(Random* rng, int n) {
+  std::vector<double> x(static_cast<size_t>(n));
+  for (double& v : x) {
+    v = rng->UniformDouble(-5.0, 5.0);
+  }
+  return x;
+}
+
+TEST(NormalFormTest, MeanZeroStdOne) {
+  Random rng(42);
+  const std::vector<double> x = RandomSignal(&rng, 100);
+  const NormalFormResult normal = ToNormalForm(x);
+  EXPECT_NEAR(Mean(normal.values), 0.0, 1e-10);
+  EXPECT_NEAR(StdDev(normal.values), 1.0, 1e-10);
+}
+
+TEST(NormalFormTest, RecordsOriginalStatistics) {
+  const std::vector<double> x = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const NormalFormResult normal = ToNormalForm(x);
+  EXPECT_DOUBLE_EQ(normal.mean, 5.0);
+  EXPECT_DOUBLE_EQ(normal.std_dev, 2.0);
+}
+
+TEST(NormalFormTest, ConstantSeriesBecomesZero) {
+  const NormalFormResult normal = ToNormalForm({7.0, 7.0, 7.0});
+  EXPECT_DOUBLE_EQ(normal.std_dev, 0.0);
+  for (double v : normal.values) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(NormalFormTest, InvariantUnderShiftAndPositiveScale) {
+  // The [GK95] property: shift/scale disappear in the normal form.
+  Random rng(43);
+  const std::vector<double> x = RandomSignal(&rng, 64);
+  std::vector<double> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] = 3.5 * x[i] + 11.0;
+  }
+  const std::vector<double> nx = ToNormalForm(x).values;
+  const std::vector<double> ny = ToNormalForm(y).values;
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(nx[i], ny[i], 1e-9);
+  }
+}
+
+TEST(NormalFormTest, NegativeScaleFlipsSign) {
+  Random rng(44);
+  const std::vector<double> x = RandomSignal(&rng, 32);
+  std::vector<double> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] = -2.0 * x[i];
+  }
+  const std::vector<double> nx = ToNormalForm(x).values;
+  const std::vector<double> ny = ToNormalForm(y).values;
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(ny[i], -nx[i], 1e-9);
+  }
+}
+
+TEST(MovingAverageTest, WindowOneIsIdentity) {
+  Random rng(45);
+  const std::vector<double> x = RandomSignal(&rng, 20);
+  const std::vector<double> ma = CircularMovingAverage(x, 1);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ma[i], x[i]);
+  }
+}
+
+TEST(MovingAverageTest, FullWindowIsConstantMean) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ma =
+      CircularMovingAverage(x, static_cast<int>(x.size()));
+  for (double v : ma) {
+    EXPECT_NEAR(v, 2.5, 1e-12);
+  }
+}
+
+TEST(MovingAverageTest, EqualsCircularConvolutionWithWindowKernel) {
+  Random rng(46);
+  const int n = 24;
+  const int window = 5;
+  const std::vector<double> x = RandomSignal(&rng, n);
+  std::vector<double> kernel(static_cast<size_t>(n), 0.0);
+  for (int t = 0; t < window; ++t) {
+    kernel[static_cast<size_t>(t)] = 1.0 / window;
+  }
+  const std::vector<double> via_conv = CircularConvolution(x, kernel);
+  const std::vector<double> via_ma = CircularMovingAverage(x, window);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(via_ma[static_cast<size_t>(i)],
+                via_conv[static_cast<size_t>(i)], 1e-10);
+  }
+}
+
+TEST(MovingAverageTest, PreservesMean) {
+  Random rng(47);
+  const std::vector<double> x = RandomSignal(&rng, 50);
+  const std::vector<double> ma = CircularMovingAverage(x, 7);
+  EXPECT_NEAR(Mean(ma), Mean(x), 1e-10);
+}
+
+TEST(MovingAverageTest, Example11RawDistance) {
+  // D(s1, s2) = 11.92 in the paper.
+  EXPECT_NEAR(EuclideanDistance(kSeries1, kSeries2), 11.92, 0.005);
+}
+
+TEST(MovingAverageTest, Example11ThreeDayMovingAverageDistance) {
+  // D(mavg3(s1), mavg3(s2)) = 0.47 in the paper.
+  const std::vector<double> m1 = CircularMovingAverage(kSeries1, 3);
+  const std::vector<double> m2 = CircularMovingAverage(kSeries2, 3);
+  EXPECT_NEAR(EuclideanDistance(m1, m2), 0.47, 0.005);
+}
+
+TEST(MovingAverageTest, SmoothingReducesDistanceOfNoisyTwins) {
+  // Two series sharing a trend but with independent noise move closer
+  // under smoothing (the Example 2.1 phenomenon).
+  Random rng(48);
+  const int n = 128;
+  std::vector<double> trend(static_cast<size_t>(n));
+  trend[0] = 10.0;
+  for (int i = 1; i < n; ++i) {
+    trend[static_cast<size_t>(i)] =
+        trend[static_cast<size_t>(i - 1)] + rng.UniformDouble(-1.0, 1.0);
+  }
+  std::vector<double> a = trend;
+  std::vector<double> b = trend;
+  for (int i = 0; i < n; ++i) {
+    a[static_cast<size_t>(i)] += rng.UniformDouble(-1.0, 1.0);
+    b[static_cast<size_t>(i)] += rng.UniformDouble(-1.0, 1.0);
+  }
+  const double before = EuclideanDistance(a, b);
+  const double after = EuclideanDistance(CircularMovingAverage(a, 20),
+                                         CircularMovingAverage(b, 20));
+  EXPECT_LT(after, 0.5 * before);
+}
+
+TEST(ReverseTest, NegatesValues) {
+  const std::vector<double> x = {1.0, -2.0, 3.0};
+  const std::vector<double> reversed = ReverseSeries(x);
+  EXPECT_DOUBLE_EQ(reversed[0], -1.0);
+  EXPECT_DOUBLE_EQ(reversed[1], 2.0);
+  EXPECT_DOUBLE_EQ(reversed[2], -3.0);
+}
+
+TEST(ReverseTest, Involution) {
+  Random rng(49);
+  const std::vector<double> x = RandomSignal(&rng, 10);
+  const std::vector<double> twice = ReverseSeries(ReverseSeries(x));
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(twice[i], x[i]);
+  }
+}
+
+TEST(TimeWarpTest, StuttersValues) {
+  const std::vector<double> warped = TimeWarpSeries({20, 21, 20, 23}, 2);
+  const std::vector<double> expected = {20, 20, 21, 21, 20, 20, 23, 23};
+  ASSERT_EQ(warped.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(warped[i], expected[i]);
+  }
+}
+
+TEST(TimeWarpTest, FactorOneIsIdentity) {
+  Random rng(50);
+  const std::vector<double> x = RandomSignal(&rng, 12);
+  const std::vector<double> warped = TimeWarpSeries(x, 1);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(warped[i], x[i]);
+  }
+}
+
+TEST(TimeWarpTest, Example12WarpedSeriesMatches) {
+  // Example 1.2: warping p by 2 yields a series identical to s.
+  const std::vector<double> p = {20, 21, 20, 23};
+  const std::vector<double> s = {20, 20, 21, 21, 20, 20, 23, 23};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(TimeWarpSeries(p, 2), s), 0.0);
+}
+
+// --- Spectral equivalence: the frequency-domain multipliers must agree
+// --- exactly with the time-domain definitions (DESIGN.md corrections).
+
+class SpectralEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SpectralEquivalenceTest, MovingAverageMultiplier) {
+  const auto [n, window] = GetParam();
+  if (window > n) {
+    GTEST_SKIP() << "window larger than series";
+  }
+  Random rng(600 + static_cast<uint64_t>(n));
+  const std::vector<double> x = RandomSignal(&rng, n);
+  const Spectrum direct = Dft(CircularMovingAverage(x, window));
+  const Spectrum base = Dft(x);
+  const Spectrum multiplier = MovingAverageSpectrum(n, window);
+  for (int f = 0; f < n; ++f) {
+    const Complex expected =
+        multiplier[static_cast<size_t>(f)] * base[static_cast<size_t>(f)];
+    EXPECT_LT(std::abs(direct[static_cast<size_t>(f)] - expected), 1e-8)
+        << "n=" << n << " window=" << window << " f=" << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpectralEquivalenceTest,
+    ::testing::Combine(::testing::Values(8, 15, 16, 64, 128),
+                       ::testing::Values(1, 2, 3, 5, 8, 20)));
+
+TEST(SpectralEquivalenceTest, ReverseMultiplier) {
+  Random rng(61);
+  const int n = 32;
+  const std::vector<double> x = RandomSignal(&rng, n);
+  const Spectrum direct = Dft(ReverseSeries(x));
+  const Spectrum base = Dft(x);
+  const Spectrum multiplier = ReverseSpectrum(n);
+  for (int f = 0; f < n; ++f) {
+    EXPECT_LT(std::abs(direct[static_cast<size_t>(f)] -
+                       multiplier[static_cast<size_t>(f)] *
+                           base[static_cast<size_t>(f)]),
+              1e-9);
+  }
+}
+
+TEST(SpectralEquivalenceTest, IdentityMultiplier) {
+  const Spectrum multiplier = IdentitySpectrum(5);
+  for (const Complex& c : multiplier) {
+    EXPECT_EQ(c, Complex(1.0, 0.0));
+  }
+}
+
+class TimeWarpSpectrumTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TimeWarpSpectrumTest, FirstCoefficientsMatch) {
+  // Appendix A (corrected): DFT_{mn}(warp_m(x))_f = a_f * DFT_n(x)_f for
+  // the first coefficients.
+  const auto [n, m] = GetParam();
+  Random rng(700 + static_cast<uint64_t>(n * m));
+  const std::vector<double> x = RandomSignal(&rng, n);
+  const Spectrum warped_spec = Dft(TimeWarpSeries(x, m));
+  const Spectrum base = Dft(x);
+  const int k = std::min(n, 8);
+  const Spectrum multiplier = TimeWarpSpectrum(n, m, k);
+  for (int f = 0; f < k; ++f) {
+    const Complex expected =
+        multiplier[static_cast<size_t>(f)] * base[static_cast<size_t>(f)];
+    EXPECT_LT(std::abs(warped_spec[static_cast<size_t>(f)] - expected), 1e-8)
+        << "n=" << n << " m=" << m << " f=" << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TimeWarpSpectrumTest,
+                         ::testing::Combine(::testing::Values(4, 8, 12, 64),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+TEST(WeightedMovingAverageTest, TrendWeightsMatchSpectralForm) {
+  Random rng(62);
+  const int n = 64;
+  // Heavier weights at the window end, as used for trend prediction.
+  const std::vector<double> weights = {0.1, 0.15, 0.2, 0.25, 0.3};
+  const std::vector<double> x = RandomSignal(&rng, n);
+  const Spectrum direct = Dft(WeightedCircularMovingAverage(x, weights));
+  const Spectrum base = Dft(x);
+  const Spectrum multiplier = WeightedMovingAverageSpectrum(n, weights);
+  for (int f = 0; f < n; ++f) {
+    EXPECT_LT(std::abs(direct[static_cast<size_t>(f)] -
+                       multiplier[static_cast<size_t>(f)] *
+                           base[static_cast<size_t>(f)]),
+              1e-8);
+  }
+}
+
+TEST(MovingAverageTest, RepeatedSmoothingConvergesTowardFlatLine) {
+  // Section 2's remark: iterating the moving average eventually flattens
+  // any series (motivating cost budgets on derivations).
+  Random rng(63);
+  std::vector<double> x = RandomSignal(&rng, 64);
+  const double mean = Mean(x);
+  double previous_spread = StdDev(x);
+  for (int round = 0; round < 10; ++round) {
+    x = CircularMovingAverage(x, 8);
+    const double spread = StdDev(x);
+    EXPECT_LE(spread, previous_spread + 1e-12);
+    previous_spread = spread;
+  }
+  EXPECT_NEAR(Mean(x), mean, 1e-9);
+  EXPECT_LT(previous_spread, 0.5);
+}
+
+}  // namespace
+}  // namespace simq

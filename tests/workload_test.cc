@@ -1,0 +1,147 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ts/transforms.h"
+#include "util/stats.h"
+#include "workload/generators.h"
+
+namespace simq {
+namespace {
+
+TEST(RandomWalkSeriesTest, ShapeAndDeterminism) {
+  const std::vector<TimeSeries> a = workload::RandomWalkSeries(50, 128, 9);
+  const std::vector<TimeSeries> b = workload::RandomWalkSeries(50, 128, 9);
+  ASSERT_EQ(a.size(), 50u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].length(), 128);
+    EXPECT_EQ(a[i].values, b[i].values) << "not deterministic at " << i;
+  }
+  const std::vector<TimeSeries> c = workload::RandomWalkSeries(50, 128, 10);
+  EXPECT_NE(a[0].values, c[0].values);
+}
+
+TEST(RandomWalkSeriesTest, MatchesPaperConstruction) {
+  // x0 in [20, 99], steps within [-4, 4].
+  const std::vector<TimeSeries> series =
+      workload::RandomWalkSeries(200, 64, 123);
+  for (const TimeSeries& ts : series) {
+    EXPECT_GE(ts.values[0], 20.0);
+    EXPECT_LT(ts.values[0], 99.0);
+    for (int t = 1; t < ts.length(); ++t) {
+      const double step = ts.values[static_cast<size_t>(t)] -
+                          ts.values[static_cast<size_t>(t - 1)];
+      EXPECT_LE(std::fabs(step), 4.0);
+    }
+  }
+}
+
+TEST(RandomWalkSeriesTest, UniqueIds) {
+  const std::vector<TimeSeries> series =
+      workload::RandomWalkSeries(100, 16, 5);
+  std::set<std::string> ids;
+  for (const TimeSeries& ts : series) {
+    ids.insert(ts.id);
+  }
+  EXPECT_EQ(ids.size(), series.size());
+}
+
+TEST(StockMarketTest, ShapeAndDeterminism) {
+  workload::StockMarketOptions options;
+  options.num_series = 300;
+  const std::vector<TimeSeries> a = workload::StockMarket(options);
+  const std::vector<TimeSeries> b = workload::StockMarket(options);
+  ASSERT_EQ(a.size(), 300u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].length(), options.length);
+    EXPECT_EQ(a[i].values, b[i].values);
+  }
+}
+
+TEST(StockMarketTest, DefaultMatchesPaperRelationShape) {
+  const std::vector<TimeSeries> market =
+      workload::StockMarket(workload::StockMarketOptions());
+  EXPECT_EQ(market.size(), 1067u);  // the paper's stock relation size
+  EXPECT_EQ(market[0].length(), 128);
+}
+
+TEST(StockMarketTest, SmoothedPairsAreSimilarAfterMovingAverage) {
+  workload::StockMarketOptions options;
+  options.num_series = 200;
+  const std::vector<TimeSeries> market = workload::StockMarket(options);
+  // The first 2*num_smoothed_similar_pairs series are the engineered pairs.
+  for (int p = 0; p < options.num_smoothed_similar_pairs; ++p) {
+    const std::vector<double>& a =
+        market[static_cast<size_t>(2 * p)].values;
+    const std::vector<double>& b =
+        market[static_cast<size_t>(2 * p + 1)].values;
+    const std::vector<double> na = ToNormalForm(a).values;
+    const std::vector<double> nb = ToNormalForm(b).values;
+    const double raw = EuclideanDistance(na, nb);
+    const double smoothed = EuclideanDistance(
+        CircularMovingAverage(na, 20), CircularMovingAverage(nb, 20));
+    EXPECT_LT(smoothed, raw) << "pair " << p;
+    EXPECT_LT(smoothed, 1.0) << "pair " << p;
+  }
+}
+
+TEST(StockMarketTest, InversePairsCloseUnderReversal) {
+  workload::StockMarketOptions options;
+  options.num_series = 200;
+  const std::vector<TimeSeries> market = workload::StockMarket(options);
+  const int base = 2 * options.num_smoothed_similar_pairs;
+  for (int p = 0; p < options.num_inverse_pairs; ++p) {
+    const std::vector<double> na =
+        ToNormalForm(market[static_cast<size_t>(base + 2 * p)].values).values;
+    const std::vector<double> nb =
+        ToNormalForm(market[static_cast<size_t>(base + 2 * p + 1)].values)
+            .values;
+    // Reversing one side must bring the normal forms close (Example 2.2).
+    const double reversed_distance =
+        EuclideanDistance(ReverseSeries(na), nb);
+    const double direct_distance = EuclideanDistance(na, nb);
+    EXPECT_LT(reversed_distance, 0.25 * direct_distance) << "pair " << p;
+  }
+}
+
+TEST(StockMarketTest, ResampledPairsMatchExactlyAfterWarpStorage) {
+  workload::StockMarketOptions options;
+  options.num_series = 200;
+  const std::vector<TimeSeries> market = workload::StockMarket(options);
+  const int base = 2 * (options.num_smoothed_similar_pairs +
+                        options.num_inverse_pairs);
+  for (int p = 0; p < options.num_resampled_pairs; ++p) {
+    const TimeSeries& fast = market[static_cast<size_t>(base + 2 * p)];
+    const TimeSeries& slow = market[static_cast<size_t>(base + 2 * p + 1)];
+    // Both stored at full length; they are stutters of the same half-rate
+    // walk, hence identical.
+    EXPECT_EQ(fast.values, slow.values) << "pair " << p;
+    // And each is exactly a 2x stutter: even/odd samples equal.
+    for (int t = 0; t < fast.length(); t += 2) {
+      EXPECT_DOUBLE_EQ(fast.values[static_cast<size_t>(t)],
+                       fast.values[static_cast<size_t>(t + 1)]);
+    }
+  }
+}
+
+TEST(StockMarketTest, RejectsTooManyEngineeredPairs) {
+  workload::StockMarketOptions options;
+  options.num_series = 10;  // smaller than the engineered population
+  EXPECT_DEATH(workload::StockMarket(options), "SIMQ_CHECK");
+}
+
+TEST(CalibrateEpsilonTest, PicksThresholdForTargetSize) {
+  const std::vector<double> distances = {0.1, 0.5, 1.0, 2.0, 5.0};
+  EXPECT_GE(workload::CalibrateEpsilon(distances, 3), 1.0);
+  EXPECT_LT(workload::CalibrateEpsilon(distances, 3), 2.0);
+  // Requesting more answers than data yields the maximum distance.
+  EXPECT_GE(workload::CalibrateEpsilon(distances, 10), 5.0);
+  // Zero target: strictly below the smallest distance.
+  EXPECT_LT(workload::CalibrateEpsilon(distances, 0), 0.1);
+}
+
+}  // namespace
+}  // namespace simq
