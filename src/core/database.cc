@@ -9,26 +9,39 @@
 #include "ts/transforms.h"
 #include "util/logging.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace simq {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-bool PatternAdmits(const Record& record, const Pattern& pattern) {
+bool StatsAdmit(double mean, double std_dev, const Pattern& pattern) {
   if (pattern.mean_range.has_value()) {
-    if (record.features.mean < pattern.mean_range->first ||
-        record.features.mean > pattern.mean_range->second) {
+    if (mean < pattern.mean_range->first ||
+        mean > pattern.mean_range->second) {
       return false;
     }
   }
   if (pattern.std_range.has_value()) {
-    if (record.features.std_dev < pattern.std_range->first ||
-        record.features.std_dev > pattern.std_range->second) {
+    if (std_dev < pattern.std_range->first ||
+        std_dev > pattern.std_range->second) {
       return false;
     }
   }
   return true;
+}
+
+bool PatternAdmits(const Record& record, const Pattern& pattern) {
+  return StatsAdmit(record.features.mean, record.features.std_dev, pattern);
+}
+
+// Work granularity for ParallelFor over records: aim for blocks of at
+// least ~2^19 doubles of kernel work so scheduling overhead stays
+// negligible even for short series.
+int64_t RecordGrain(int series_length) {
+  return std::max<int64_t>(
+      64, (int64_t{1} << 19) / std::max(1, 2 * series_length));
 }
 
 // Multiplier values of a spectral rule for output frequencies 0..out_n-1,
@@ -76,40 +89,90 @@ double FreqDistance(const Spectrum& data, const Spectrum& query,
   return std::sqrt(sum);
 }
 
-// Distance between T1(a) and T2(b) in the frequency domain; either
-// multiplier may be null (identity on that side).
-double FreqDistanceTwoSided(const Spectrum& a, const Spectrum& b,
-                            const Spectrum* left_mult,
-                            const Spectrum* right_mult, double threshold) {
-  SIMQ_CHECK_EQ(a.size(), b.size());
-  const int n = static_cast<int>(a.size());
-  int out_n = n;
-  if (left_mult != nullptr) {
-    out_n = static_cast<int>(left_mult->size());
-  }
-  if (right_mult != nullptr) {
-    SIMQ_CHECK(left_mult == nullptr ||
-               left_mult->size() == right_mult->size());
-    out_n = static_cast<int>(right_mult->size());
-  }
-  const double limit = threshold == kInf ? kInf : threshold * threshold;
-  double sum = 0.0;
-  for (int f = 0; f < out_n; ++f) {
-    Complex lhs = a[static_cast<size_t>(f % n)];
-    if (left_mult != nullptr) {
-      lhs *= (*left_mult)[static_cast<size_t>(f)];
-    }
-    Complex rhs = b[static_cast<size_t>(f % n)];
-    if (right_mult != nullptr) {
-      rhs *= (*right_mult)[static_cast<size_t>(f)];
-    }
-    sum += std::norm(lhs - rhs);
-    if (sum > limit) {
-      return kInf;
+// Query-side state for the exact checks of ExecuteRange/ExecuteNearest:
+// columnar kernels over the FeatureStore whenever the check runs in the
+// frequency domain over same-length spectra (the common case); generic
+// wraparound/time-domain fallbacks otherwise (expanding rules,
+// non-spectral rules, raw mode). Holds references to its constructor
+// arguments -- valid within one Execute call.
+class ExactChecker {
+ public:
+  ExactChecker(const Relation& relation, const Query& query,
+               const TransformationRule* rule, bool spectral, int out_n,
+               const Spectrum& query_spectrum, const Spectrum* mult,
+               const std::vector<double>& query_values)
+      : relation_(relation),
+        store_(relation.store()),
+        query_(query),
+        rule_(rule),
+        spectral_(spectral),
+        n_(relation.series_length()),
+        query_spectrum_(query_spectrum),
+        mult_(mult),
+        query_values_(query_values),
+        columnar_(query.mode == DistanceMode::kNormalForm && spectral &&
+                  out_n == relation.series_length()) {
+    if (columnar_) {
+      query_ri_ = InterleaveSpectrum(query_spectrum);
+      if (mult != nullptr) {
+        mult_ri_ = InterleaveSpectrum(*mult);
+      }
     }
   }
-  return std::sqrt(sum);
-}
+
+  bool columnar() const { return columnar_; }
+  // Interleaved query spectrum / multiplier; empty / null when not
+  // columnar (or no multiplier).
+  const std::vector<double>& query_ri() const { return query_ri_; }
+  const double* mult_ri() const {
+    return mult_ri_.empty() ? nullptr : mult_ri_.data();
+  }
+
+  // Early-abandoning exact distance to record `id`; `threshold` bounds the
+  // distance of interest (kInf disables abandoning).
+  double Distance(int64_t id, double threshold) const {
+    if (columnar_) {
+      const double limit_sq =
+          threshold == kInf ? kInf : threshold * threshold;
+      const double* mult_ptr = mult_ri();
+      const double dist_sq =
+          mult_ptr != nullptr
+              ? RowDistanceSqMult(store_.SpectrumRow(id), mult_ptr,
+                                  query_ri_.data(), n_, limit_sq)
+              : RowDistanceSq(store_.SpectrumRow(id), query_ri_.data(), n_,
+                              limit_sq);
+      return std::sqrt(dist_sq);
+    }
+    const Record& record = relation_.record(id);
+    if (query_.mode == DistanceMode::kNormalForm && spectral_) {
+      return FreqDistance(record.features.normal_spectrum, query_spectrum_,
+                          mult_, threshold);
+    }
+    const std::vector<double>& base =
+        query_.mode == DistanceMode::kNormalForm ? record.normal_values
+                                                 : record.raw;
+    const std::vector<double> transformed =
+        rule_ != nullptr ? rule_->Apply(base) : base;
+    return threshold == kInf
+               ? EuclideanDistance(transformed, query_values_)
+               : EuclideanDistanceEarlyAbandon(transformed, query_values_,
+                                               threshold);
+  }
+
+ private:
+  const Relation& relation_;
+  const FeatureStore& store_;
+  const Query& query_;
+  const TransformationRule* rule_;
+  const bool spectral_;
+  const int n_;
+  const Spectrum& query_spectrum_;
+  const Spectrum* mult_;
+  const std::vector<double>& query_values_;
+  const bool columnar_;
+  std::vector<double> query_ri_;
+  std::vector<double> mult_ri_;
+};
 
 void SortMatches(std::vector<Match>* matches) {
   std::sort(matches->begin(), matches->end(),
@@ -189,6 +252,7 @@ Result<int64_t> Database::Insert(const std::string& relation,
   rel->index_->InsertPoint(MakeFeaturePoint(record.features, config_),
                            record.id);
   rel->by_name_[record.name] = record.id;
+  rel->store_.Append(record.features, record.normal_values);
   rel->records_.push_back(std::move(record));
   return rel->size() - 1;
 }
@@ -229,6 +293,7 @@ Status Database::BulkLoad(const std::string& relation,
         Rect::FromPoint(MakeFeaturePoint(record.features, config_)),
         record.id);
     rel->by_name_[record.name] = record.id;
+    rel->store_.Append(record.features, record.normal_values);
     rel->records_.push_back(std::move(record));
   }
   rel->index_->BulkLoad(std::move(entries));
@@ -403,6 +468,15 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
         "safe spectral transformation)");
   }
 
+  // Columnar kernels apply whenever the exact check runs in the frequency
+  // domain over same-length spectra (the common case); expanding rules
+  // (out_n != n, e.g. time warps) fall back to the generic wraparound
+  // distance inside the checker.
+  const ExactChecker checker(relation, query, rule, spectral, out_n,
+                             query_spectrum, mult, query_values);
+  const bool columnar = checker.columnar();
+  const FeatureStore& store = relation.store();
+
   // Trivial pattern "a given constant object": check that object directly.
   if (query.pattern.kind == Pattern::Kind::kConstant) {
     if (!query.pattern.constant_id.has_value() ||
@@ -413,19 +487,7 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
     const Record& record = relation.record(*query.pattern.constant_id);
     if (PatternAdmits(record, query.pattern)) {
       ++out.stats.exact_checks;
-      double distance;
-      if (query.mode == DistanceMode::kNormalForm && spectral) {
-        distance = FreqDistance(record.features.normal_spectrum,
-                                query_spectrum, mult, query.epsilon);
-      } else {
-        const std::vector<double>& base =
-            query.mode == DistanceMode::kNormalForm ? record.normal_values
-                                                    : record.raw;
-        const std::vector<double> transformed =
-            rule != nullptr ? rule->Apply(base) : base;
-        distance = EuclideanDistanceEarlyAbandon(transformed, query_values,
-                                                 query.epsilon);
-      }
+      const double distance = checker.Distance(record.id, query.epsilon);
       if (distance <= query.epsilon) {
         out.matches.push_back(Match{record.id, record.name, distance});
       }
@@ -462,44 +524,75 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
     out.stats.node_accesses = tree.node_accesses() - accesses_before;
     out.stats.candidates = static_cast<int64_t>(candidates.size());
     for (const int64_t id : candidates) {
-      const Record& record = relation.record(id);
-      if (!PatternAdmits(record, query.pattern)) {
+      if (!StatsAdmit(store.mean(id), store.std_dev(id), query.pattern)) {
         continue;
       }
       ++out.stats.exact_checks;
-      const double distance = FreqDistance(record.features.normal_spectrum,
-                                           query_spectrum, mult,
-                                           query.epsilon);
+      const double distance = checker.Distance(id, query.epsilon);
       if (distance <= query.epsilon) {
-        out.matches.push_back(Match{record.id, record.name, distance});
+        out.matches.push_back(
+            Match{id, relation.record(id).name, distance});
       }
     }
   } else {
     const bool abandon = strategy != ExecutionStrategy::kScanNoEarlyAbandon;
     const double threshold = abandon ? query.epsilon : kInf;
-    for (const Record& record : relation.records()) {
-      if (!PatternAdmits(record, query.pattern)) {
-        continue;
-      }
-      ++out.stats.exact_checks;
-      double distance;
-      if (query.mode == DistanceMode::kNormalForm && spectral) {
-        distance = FreqDistance(record.features.normal_spectrum,
-                                query_spectrum, mult, threshold);
-      } else {
-        const std::vector<double>& base =
-            query.mode == DistanceMode::kNormalForm ? record.normal_values
-                                                    : record.raw;
-        const std::vector<double> transformed =
-            rule != nullptr ? rule->Apply(base) : base;
-        distance =
-            abandon ? EuclideanDistanceEarlyAbandon(transformed, query_values,
-                                                    query.epsilon)
-                    : EuclideanDistance(transformed, query_values);
-      }
-      if (distance <= query.epsilon) {
-        out.matches.push_back(Match{record.id, record.name, distance});
-      }
+    const int64_t count = relation.size();
+    // Blocked scan, parallelized over record blocks for the columnar and
+    // fallback paths alike; per-block buffers merged in block order keep
+    // results deterministic. Columnar early-abandoning scans first screen
+    // against the packed prefix column (32 sequential bytes per record)
+    // and touch the full strided row only for survivors.
+    const bool screen = columnar && abandon && threshold != kInf && n >= 2;
+    const double limit_sq = threshold * threshold;
+    double q0 = 0.0, q1 = 0.0, q2 = 0.0, q3 = 0.0;
+    const double* mult_ri_ptr = nullptr;
+    if (screen) {
+      const std::vector<double>& query_ri = checker.query_ri();
+      q0 = query_ri[0];
+      q1 = query_ri[1];
+      q2 = query_ri[2];
+      q3 = query_ri[3];
+      mult_ri_ptr = checker.mult_ri();
+    }
+    ThreadPool& pool = ThreadPool::Global();
+    const size_t max_blocks = static_cast<size_t>(pool.max_blocks());
+    std::vector<std::vector<Match>> block_matches(max_blocks);
+    std::vector<int64_t> block_checks(max_blocks, 0);
+    pool.ParallelFor(
+        0, count, RecordGrain(n),
+        [&](int64_t block, int64_t lo, int64_t hi) {
+          std::vector<Match>& local =
+              block_matches[static_cast<size_t>(block)];
+          int64_t checks = 0;
+          for (int64_t i = lo; i < hi; ++i) {
+            if (!StatsAdmit(store.mean(i), store.std_dev(i),
+                            query.pattern)) {
+              continue;
+            }
+            ++checks;
+            if (screen) {
+              const double* p = store.PrefixRow(i);
+              const bool dead =
+                  mult_ri_ptr != nullptr
+                      ? PrefixScreenMultDead(p, mult_ri_ptr, q0, q1, q2, q3,
+                                             limit_sq)
+                      : PrefixScreenDead(p, q0, q1, q2, q3, limit_sq);
+              if (dead) {
+                continue;
+              }
+            }
+            const double distance = checker.Distance(i, threshold);
+            if (distance <= query.epsilon) {
+              local.push_back(Match{i, relation.record(i).name, distance});
+            }
+          }
+          block_checks[static_cast<size_t>(block)] = checks;
+        });
+    for (size_t block = 0; block < max_blocks; ++block) {
+      out.stats.exact_checks += block_checks[block];
+      out.matches.insert(out.matches.end(), block_matches[block].begin(),
+                         block_matches[block].end());
     }
   }
   SortMatches(&out.matches);
@@ -566,6 +659,12 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
         "safe spectral transformation)");
   }
 
+  // All nearest-neighbor exact checks are unbounded (kInf threshold); the
+  // checker picks columnar kernels or fallbacks exactly as in ExecuteRange.
+  const ExactChecker checker(relation, query, rule, spectral, out_n,
+                             query_spectrum, mult, query_values);
+  const FeatureStore& store = relation.store();
+
   if (strategy == ExecutionStrategy::kIndex) {
     const std::vector<Complex> query_coeffs =
         ExtractCoefficients(query_spectrum, config_.num_coefficients);
@@ -579,13 +678,11 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
     const RTree& tree = relation.index();
     const int64_t accesses_before = tree.node_accesses();
     const auto exact = [&](int64_t id) {
-      const Record& record = relation.record(id);
-      if (!PatternAdmits(record, query.pattern)) {
+      if (!StatsAdmit(store.mean(id), store.std_dev(id), query.pattern)) {
         return kInf;  // excluded entries sort to the end and are dropped
       }
       ++out.stats.exact_checks;
-      return FreqDistance(record.features.normal_spectrum, query_spectrum,
-                          mult, kInf);
+      return checker.Distance(id, kInf);
     };
     const std::vector<std::pair<int64_t, double>> neighbors =
         tree.NearestNeighbors(bound, affines_ptr, query.k, exact);
@@ -598,25 +695,35 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
       out.matches.push_back(Match{id, relation.record(id).name, distance});
     }
   } else {
+    const int64_t count = relation.size();
+    // Batched scan: all exact distances are needed (no abandoning), so the
+    // distance column is filled in parallel and ranked afterwards.
+    std::vector<double> distances(static_cast<size_t>(count), -1.0);
+    ThreadPool& pool = ThreadPool::Global();
+    const size_t max_blocks = static_cast<size_t>(pool.max_blocks());
+    std::vector<int64_t> block_checks(max_blocks, 0);
+    pool.ParallelFor(
+        0, count, RecordGrain(n), [&](int64_t block, int64_t lo, int64_t hi) {
+          int64_t checks = 0;
+          for (int64_t i = lo; i < hi; ++i) {
+            if (!StatsAdmit(store.mean(i), store.std_dev(i), query.pattern)) {
+              continue;  // sentinel -1 marks excluded records
+            }
+            ++checks;
+            distances[static_cast<size_t>(i)] = checker.Distance(i, kInf);
+          }
+          block_checks[static_cast<size_t>(block)] = checks;
+        });
+    for (size_t block = 0; block < max_blocks; ++block) {
+      out.stats.exact_checks += block_checks[block];
+    }
     std::vector<Match> all;
-    for (const Record& record : relation.records()) {
-      if (!PatternAdmits(record, query.pattern)) {
-        continue;
+    all.reserve(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      if (distances[static_cast<size_t>(i)] >= 0.0) {
+        all.push_back(Match{i, relation.record(i).name,
+                            distances[static_cast<size_t>(i)]});
       }
-      ++out.stats.exact_checks;
-      double distance;
-      if (query.mode == DistanceMode::kNormalForm && spectral) {
-        distance = FreqDistance(record.features.normal_spectrum,
-                                query_spectrum, mult, kInf);
-      } else {
-        const std::vector<double>& base =
-            query.mode == DistanceMode::kNormalForm ? record.normal_values
-                                                    : record.raw;
-        const std::vector<double> transformed =
-            rule != nullptr ? rule->Apply(base) : base;
-        distance = EuclideanDistance(transformed, query_values);
-      }
-      all.push_back(Match{record.id, record.name, distance});
     }
     SortMatches(&all);
     if (static_cast<int>(all.size()) > query.k) {
@@ -683,20 +790,123 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
     const double threshold =
         method == JoinMethod::kFullScan ? kInf : epsilon;
     if (left_spectral && right_spectral) {
-      for (int64_t i = 0; i < count; ++i) {
-        const Spectrum& a = relation->record(i).features.normal_spectrum;
-        for (int64_t j = symmetric ? i + 1 : 0; j < count; ++j) {
-          if (j == i) {
-            continue;
-          }
-          const Spectrum& b = relation->record(j).features.normal_spectrum;
-          ++out.stats.exact_checks;
-          const double distance =
-              FreqDistanceTwoSided(a, b, left_mult, right_mult, threshold);
-          if (distance <= epsilon) {
-            out.pairs.push_back(PairMatch{i, j, distance});
-          }
+      // Batched nested-loop scan over the columnar store. Spectral
+      // multipliers are applied to every row ONCE up front (O(N n)), so
+      // the O(N^2) inner loop runs the plain subtract-square kernel --
+      // the per-pair multiplier application of the row-at-a-time
+      // implementation was the dominant cost of early-abandoned pairs.
+      // Parallelized over outer-row blocks; per-block pair buffers merged
+      // in block order keep the output deterministic.
+      const FeatureStore& store = relation->store();
+      ThreadPool& pool = ThreadPool::Global();
+      const int64_t row_stride = (2 * static_cast<int64_t>(n) + 7) &
+                                 ~int64_t{7};  // cache-line aligned rows
+      const auto materialize = [&](const Spectrum& mult) {
+        const std::vector<double> mult_ri = InterleaveSpectrum(mult);
+        std::vector<double> rows(static_cast<size_t>(count * row_stride),
+                                 0.0);
+        pool.ParallelFor(
+            0, count, RecordGrain(n),
+            [&](int64_t /*block*/, int64_t lo, int64_t hi) {
+              for (int64_t i = lo; i < hi; ++i) {
+                const double* src = store.SpectrumRow(i);
+                double* dst = rows.data() + i * row_stride;
+                for (int f = 0; f < 2 * n; f += 2) {
+                  const double ar = src[f], ai = src[f + 1];
+                  const double mr = mult_ri[static_cast<size_t>(f)];
+                  const double mi = mult_ri[static_cast<size_t>(f + 1)];
+                  dst[f] = ar * mr - ai * mi;
+                  dst[f + 1] = ar * mi + ai * mr;
+                }
+              }
+            });
+        return rows;
+      };
+      // A symmetric join transforms both sides identically: share the
+      // left side's premultiplied rows.
+      const bool share_rows = symmetric && left_mult != nullptr;
+      std::vector<double> left_rows;
+      std::vector<double> right_rows;
+      if (left_mult != nullptr) {
+        left_rows = materialize(*left_mult);
+      }
+      if (right_mult != nullptr && !share_rows) {
+        right_rows = materialize(*right_mult);
+      }
+      const auto left_row = [&](int64_t i) {
+        return left_mult != nullptr ? left_rows.data() + i * row_stride
+                                    : store.SpectrumRow(i);
+      };
+      const auto right_row = [&](int64_t j) -> const double* {
+        if (right_mult == nullptr) {
+          return store.SpectrumRow(j);
         }
+        return (share_rows ? left_rows : right_rows).data() +
+               j * row_stride;
+      };
+      const double limit_sq =
+          threshold == kInf ? kInf : threshold * threshold;
+      const double eps_sq = epsilon * epsilon;
+      // Prefix screen for the early-abandoning method: the first two
+      // coefficients of every (transformed) row packed contiguously, so a
+      // pair that abandons immediately -- almost all of them at similarity
+      // thresholds -- touches 32 sequential bytes instead of a cache line
+      // of a 2 n-double strided row. The screen replays exactly the
+      // kernels' prefix check, so it never changes the outcome.
+      const bool screen = limit_sq != kInf && n >= 2;
+      std::vector<double> right_prefix;
+      if (screen) {
+        right_prefix.resize(static_cast<size_t>(count) * 4);
+        for (int64_t j = 0; j < count; ++j) {
+          const double* row = right_row(j);
+          double* p = right_prefix.data() + 4 * j;
+          p[0] = row[0];
+          p[1] = row[1];
+          p[2] = row[2];
+          p[3] = row[3];
+        }
+      }
+      const size_t max_blocks = static_cast<size_t>(pool.max_blocks());
+      std::vector<std::vector<PairMatch>> block_pairs(max_blocks);
+      std::vector<int64_t> block_checks(max_blocks, 0);
+      // Each outer row costs up to count * n work: one row of outer loop
+      // is already a coarse unit for any nontrivial relation.
+      const int64_t grain =
+          std::max<int64_t>(1, RecordGrain(n) / std::max<int64_t>(1, count));
+      pool.ParallelFor(
+          0, count, grain, [&](int64_t block, int64_t lo, int64_t hi) {
+            std::vector<PairMatch>& local =
+                block_pairs[static_cast<size_t>(block)];
+            int64_t checks = 0;
+            for (int64_t i = lo; i < hi; ++i) {
+              const double* a = left_row(i);
+              const double a0 = a[0], a1 = a[1];
+              const double a2 = n >= 2 ? a[2] : 0.0;
+              const double a3 = n >= 2 ? a[3] : 0.0;
+              for (int64_t j = symmetric ? i + 1 : 0; j < count; ++j) {
+                if (j == i) {
+                  continue;
+                }
+                ++checks;
+                if (screen &&
+                    PrefixScreenDead(right_prefix.data() + 4 * j, a0, a1,
+                                     a2, a3, limit_sq)) {
+                  continue;
+                }
+                const double dist_sq =
+                    RowDistanceSq(a, right_row(j), n, limit_sq);
+                // Squared-domain compare: sqrt only for accepted pairs.
+                if (dist_sq <= eps_sq) {
+                  local.push_back(PairMatch{i, j, std::sqrt(dist_sq)});
+                }
+              }
+            }
+            block_checks[static_cast<size_t>(block)] = checks;
+          });
+      for (size_t block = 0; block < max_blocks; ++block) {
+        out.stats.exact_checks += block_checks[block];
+        out.pairs.insert(out.pairs.end(), block_pairs[block].begin(),
+                         block_pairs[block].end());
       }
     } else {
       // Non-spectral rule(s): transform every series once per side, then
@@ -771,34 +981,73 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
     post_right = right_mult;
   }
 
+  // Index nested loop, parallelized over probe blocks: concurrent R-tree
+  // read traversals are safe (the node-access counters are atomic), and
+  // per-block pair buffers merged in block order keep the output identical
+  // to the serial loop.
   const RTree& tree = relation->index();
+  const FeatureStore& store = relation->store();
+  std::vector<double> post_left_ri;
+  std::vector<double> post_right_ri;
+  const double* post_left_ptr = nullptr;
+  const double* post_right_ptr = nullptr;
+  if (post_left != nullptr) {
+    post_left_ri = InterleaveSpectrum(*post_left);
+    post_left_ptr = post_left_ri.data();
+  }
+  if (post_right != nullptr) {
+    post_right_ri = InterleaveSpectrum(*post_right);
+    post_right_ptr = post_right_ri.data();
+  }
+  const double eps_sq = epsilon * epsilon;
   const int64_t accesses_before = tree.node_accesses();
   out.stats.used_index = true;
-  for (int64_t i = 0; i < count; ++i) {
-    const Record& probe = relation->record(i);
-    std::vector<Complex> query_coeffs = ExtractCoefficients(
-        probe.features.normal_spectrum, config_.num_coefficients);
-    if (left_transform.has_value()) {
-      query_coeffs = left_transform->Apply(query_coeffs);
-    }
-    const SearchRegion region =
-        SearchRegion::MakeRange(query_coeffs, epsilon, config_);
-    std::vector<int64_t> candidates;
-    tree.Search(region, affines_ptr, &candidates);
-    out.stats.candidates += static_cast<int64_t>(candidates.size());
-    for (const int64_t j : candidates) {
-      if (j == i) {
-        continue;
-      }
-      ++out.stats.exact_checks;
-      const double distance = FreqDistanceTwoSided(
-          probe.features.normal_spectrum,
-          relation->record(j).features.normal_spectrum, post_left,
-          post_right, epsilon);
-      if (distance <= epsilon) {
-        out.pairs.push_back(PairMatch{i, j, distance});
-      }
-    }
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t max_blocks = static_cast<size_t>(pool.max_blocks());
+  std::vector<std::vector<PairMatch>> block_pairs(max_blocks);
+  std::vector<int64_t> block_checks(max_blocks, 0);
+  std::vector<int64_t> block_candidates(max_blocks, 0);
+  pool.ParallelFor(
+      0, count, /*min_grain=*/16, [&](int64_t block, int64_t lo, int64_t hi) {
+        std::vector<PairMatch>& local =
+            block_pairs[static_cast<size_t>(block)];
+        std::vector<int64_t> candidates;
+        int64_t checks = 0;
+        int64_t candidate_count = 0;
+        for (int64_t i = lo; i < hi; ++i) {
+          const Record& probe = relation->record(i);
+          std::vector<Complex> query_coeffs = ExtractCoefficients(
+              probe.features.normal_spectrum, config_.num_coefficients);
+          if (left_transform.has_value()) {
+            query_coeffs = left_transform->Apply(query_coeffs);
+          }
+          const SearchRegion region =
+              SearchRegion::MakeRange(query_coeffs, epsilon, config_);
+          candidates.clear();
+          tree.Search(region, affines_ptr, &candidates);
+          candidate_count += static_cast<int64_t>(candidates.size());
+          const double* a = store.SpectrumRow(i);
+          for (const int64_t j : candidates) {
+            if (j == i) {
+              continue;
+            }
+            ++checks;
+            const double dist_sq = RowDistanceSqTwoSided(
+                a, store.SpectrumRow(j), post_left_ptr, post_right_ptr, n,
+                eps_sq);
+            if (dist_sq <= eps_sq) {
+              local.push_back(PairMatch{i, j, std::sqrt(dist_sq)});
+            }
+          }
+        }
+        block_checks[static_cast<size_t>(block)] = checks;
+        block_candidates[static_cast<size_t>(block)] = candidate_count;
+      });
+  for (size_t block = 0; block < max_blocks; ++block) {
+    out.stats.exact_checks += block_checks[block];
+    out.stats.candidates += block_candidates[block];
+    out.pairs.insert(out.pairs.end(), block_pairs[block].begin(),
+                     block_pairs[block].end());
   }
   out.stats.node_accesses = tree.node_accesses() - accesses_before;
   return out;

@@ -10,7 +10,10 @@
 //    abandoning). By Lemma 1 this never produces false dismissals.
 //  * Scan: early-abandoning sequential scan over the frequency-domain
 //    relation (the paper's "good implementation" of the baseline), or a
-//    full scan without abandoning (Table 1 method a).
+//    full scan without abandoning (Table 1 method a). Scans and the
+//    nested-loop sides of joins execute as batched columnar kernels over
+//    the relation's FeatureStore, parallelized over record blocks (see
+//    DESIGN.md "Columnar execution").
 // The planner (strategy kAuto) uses the index whenever the distance mode is
 // normal-form and the transformation has a safe spectral lowering;
 // everything else falls back to scanning, including arbitrary non-spectral
@@ -26,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/feature_store.h"
 #include "core/query.h"
 #include "core/transformation.h"
 #include "index/rtree.h"
@@ -58,6 +62,9 @@ class Relation {
   const Record& record(int64_t id) const;
   const std::vector<Record>& records() const { return records_; }
   const RTree& index() const { return *index_; }
+  // Columnar mirror of the records' derived data; the scan/join kernels
+  // read from here instead of walking records().
+  const FeatureStore& store() const { return store_; }
 
   // Id of the series inserted under `name`, or NotFound.
   Result<int64_t> FindByName(const std::string& series_name) const;
@@ -69,6 +76,7 @@ class Relation {
   FeatureConfig config_;
   int series_length_ = 0;
   std::vector<Record> records_;
+  FeatureStore store_;
   std::unordered_map<std::string, int64_t> by_name_;
   std::unique_ptr<RTree> index_;
 };

@@ -566,13 +566,17 @@ void RTree::Search(const SearchRegion& region,
                    const std::vector<DimAffine>* affines,
                    std::vector<int64_t>* results) const {
   SIMQ_CHECK_EQ(region.dims(), dims_);
+  if (results->capacity() == results->size()) {
+    results->reserve(results->size() +
+                     static_cast<size_t>(std::min<int64_t>(size_, 64)) + 1);
+  }
   SearchNode(root_.get(), region, affines, results);
 }
 
 void RTree::SearchNode(const Node* node, const SearchRegion& region,
                        const std::vector<DimAffine>* affines,
                        std::vector<int64_t>* results) const {
-  ++node_accesses_;
+  CountNodeAccess();
   if (node->is_leaf) {
     // Leaf entries are points (degenerate rects): test exact membership of
     // the transformed point. One scratch buffer serves the whole node.
@@ -603,28 +607,13 @@ void RTree::SearchNode(const Node* node, const SearchRegion& region,
   }
 }
 
+// Type-erased wrappers: the traversal logic lives in the templated
+// *Impl member functions (rtree.h) so concrete predicates inline.
 void RTree::SearchGeneric(
     const std::function<bool(const Rect&)>& node_predicate,
     const std::function<bool(const Rect&, int64_t)>& leaf_predicate,
     const std::function<void(int64_t)>& emit) const {
-  std::function<void(const Node*)> visit = [&](const Node* node) {
-    ++node_accesses_;
-    if (node->is_leaf) {
-      for (int i = 0; i < node->num_entries(); ++i) {
-        if (leaf_predicate(node->rects[static_cast<size_t>(i)],
-                           node->ids[static_cast<size_t>(i)])) {
-          emit(node->ids[static_cast<size_t>(i)]);
-        }
-      }
-      return;
-    }
-    for (int i = 0; i < node->num_entries(); ++i) {
-      if (node_predicate(node->rects[static_cast<size_t>(i)])) {
-        visit(node->children[static_cast<size_t>(i)].get());
-      }
-    }
-  };
-  visit(root_.get());
+  SearchGenericImpl(root_.get(), node_predicate, leaf_predicate, emit);
 }
 
 void RTree::JoinWith(
@@ -632,102 +621,13 @@ void RTree::JoinWith(
     const std::function<bool(const Rect&, const Rect&)>& pair_predicate,
     const std::function<void(int64_t, int64_t)>& emit) const {
   SIMQ_CHECK_EQ(dims_, other.dims_);
-  std::function<void(const Node*, const Node*)> join = [&](const Node* a,
-                                                           const Node* b) {
-    ++node_accesses_;
-    if (&other != this || a != b) {
-      ++other.node_accesses_;
-    }
-    if (a->is_leaf && b->is_leaf) {
-      for (int i = 0; i < a->num_entries(); ++i) {
-        for (int j = 0; j < b->num_entries(); ++j) {
-          if (pair_predicate(a->rects[static_cast<size_t>(i)],
-                             b->rects[static_cast<size_t>(j)])) {
-            emit(a->ids[static_cast<size_t>(i)],
-                 b->ids[static_cast<size_t>(j)]);
-          }
-        }
-      }
-      return;
-    }
-    // Descend the deeper (or only internal) side so both reach the leaf
-    // level together.
-    if (!a->is_leaf && (b->is_leaf || a->level >= b->level)) {
-      const Rect b_mbr = other.NodeMbr(b);
-      for (int i = 0; i < a->num_entries(); ++i) {
-        if (pair_predicate(a->rects[static_cast<size_t>(i)], b_mbr)) {
-          join(a->children[static_cast<size_t>(i)].get(), b);
-        }
-      }
-      return;
-    }
-    const Rect a_mbr = NodeMbr(a);
-    for (int j = 0; j < b->num_entries(); ++j) {
-      if (pair_predicate(a_mbr, b->rects[static_cast<size_t>(j)])) {
-        join(a, b->children[static_cast<size_t>(j)].get());
-      }
-    }
-  };
-  join(root_.get(), other.root_.get());
+  JoinWithImpl(root_.get(), other.root_.get(), other, pair_predicate, emit);
 }
 
 std::vector<std::pair<int64_t, double>> RTree::NearestNeighbors(
     const NnLowerBound& bound, const std::vector<DimAffine>* affines, int k,
     const std::function<double(int64_t)>& exact_distance) const {
-  SIMQ_CHECK_GT(k, 0);
-  const std::vector<DimAffine> identity(
-      static_cast<size_t>(dims_), DimAffine{});
-  const std::vector<DimAffine>& actions =
-      affines != nullptr ? *affines : identity;
-
-  struct Item {
-    double priority;
-    const Node* node;    // non-null for subtree items
-    int64_t id;          // valid for entry items
-    bool resolved;       // entry with exact distance computed
-  };
-  auto cmp = [](const Item& a, const Item& b) {
-    return a.priority > b.priority;
-  };
-  std::priority_queue<Item, std::vector<Item>, decltype(cmp)> queue(cmp);
-  queue.push(Item{0.0, root_.get(), -1, false});
-
-  std::vector<std::pair<int64_t, double>> results;
-  while (!queue.empty() && static_cast<int>(results.size()) < k) {
-    const Item item = queue.top();
-    queue.pop();
-    if (item.node != nullptr) {
-      ++node_accesses_;
-      const Node* node = item.node;
-      if (node->is_leaf) {
-        Point point(static_cast<size_t>(dims_));
-        for (int i = 0; i < node->num_entries(); ++i) {
-          const Rect& rect = node->rects[static_cast<size_t>(i)];
-          for (int d = 0; d < dims_; ++d) {
-            point[static_cast<size_t>(d)] = rect.lo(d);
-          }
-          const double lower = bound.ToTransformedPoint(point, actions);
-          queue.push(
-              Item{lower, nullptr, node->ids[static_cast<size_t>(i)], false});
-        }
-      } else {
-        for (int i = 0; i < node->num_entries(); ++i) {
-          const double lower = bound.ToTransformedRect(
-              node->rects[static_cast<size_t>(i)], actions);
-          queue.push(Item{lower, node->children[static_cast<size_t>(i)].get(),
-                          -1, false});
-        }
-      }
-    } else if (!item.resolved) {
-      // First pop of an entry: upgrade the feature-space bound to the exact
-      // distance and re-queue; when it surfaces again it is final.
-      const double exact = exact_distance(item.id);
-      queue.push(Item{exact, nullptr, item.id, true});
-    } else {
-      results.emplace_back(item.id, item.priority);
-    }
-  }
-  return results;
+  return NearestNeighborsImpl(bound, affines, k, exact_distance);
 }
 
 bool RTree::CheckNode(const Node* node, bool is_root,

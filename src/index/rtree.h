@@ -7,31 +7,42 @@
 // builds on Beckmann's R*-tree V2); disk pages are replaced by heap nodes
 // and a node-access counter stands in for disk accesses (see DESIGN.md).
 //
-// Similarity search plugs in through two generic entry points:
+// Similarity search plugs in through generic entry points:
 //  * Search(region, affines): Algorithm 2 of [RM97] -- every node MBR and
 //    leaf point is passed through the safe transformation's per-dimension
 //    actions before being tested against the query's search region, which
 //    is exactly "constructing the index I' for T(D) on the fly"
 //    (Algorithm 1) without materializing it.
+//  * SearchGeneric / JoinWith / NearestNeighbors: templated visitor
+//    traversals. Pass any callable (lambda, function object) and the
+//    predicate calls inline into the traversal loop; the std::function
+//    overloads are thin wrappers kept for API compatibility with callers
+//    that store type-erased predicates.
 //  * NearestNeighbors(bound, affines, k, exact): branch-and-bound k-NN in
 //    the style of [RKV95], generalized to transformed entries; candidates
 //    are re-ranked by a caller-supplied exact distance so the index only
 //    needs lower bounds.
 //
-// Not thread-safe: the node-access counters are plain mutable fields.
+// Concurrent read traversals (Search/SearchGeneric/JoinWith/
+// NearestNeighbors) from multiple threads are safe: the node-access
+// counters are relaxed atomics and nothing else mutates. Mutations
+// (Insert/Delete/BulkLoad) still require exclusive access.
 
 #ifndef SIMQ_INDEX_RTREE_H_
 #define SIMQ_INDEX_RTREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <queue>
 #include <utility>
 #include <vector>
 
 #include "geom/linear_transform.h"
 #include "geom/rect.h"
 #include "geom/search_region.h"
+#include "util/logging.h"
 
 namespace simq {
 
@@ -83,7 +94,13 @@ class RTree {
               std::vector<int64_t>* results) const;
 
   // Generic traversal: visits subtrees whose MBR satisfies node_predicate
-  // and emits leaf entries satisfying leaf_predicate.
+  // and emits leaf entries satisfying leaf_predicate. The templated form
+  // inlines the callables into the traversal.
+  template <typename NodePred, typename LeafPred, typename Emit>
+  void SearchGeneric(NodePred&& node_predicate, LeafPred&& leaf_predicate,
+                     Emit&& emit) const {
+    SearchGenericImpl(root_.get(), node_predicate, leaf_predicate, emit);
+  }
   void SearchGeneric(
       const std::function<bool(const Rect&)>& node_predicate,
       const std::function<bool(const Rect&, int64_t)>& leaf_predicate,
@@ -96,6 +113,11 @@ class RTree {
   // be conservative on MBRs: if any contained pair qualifies, the MBR pair
   // must qualify. Self-joins emit both orientations and (id, id) pairs;
   // callers filter as needed.
+  template <typename PairPred, typename Emit>
+  void JoinWith(const RTree& other, PairPred&& pair_predicate,
+                Emit&& emit) const {
+    JoinWithImpl(root_.get(), other.root_.get(), other, pair_predicate, emit);
+  }
   void JoinWith(
       const RTree& other,
       const std::function<bool(const Rect&, const Rect&)>& pair_predicate,
@@ -105,6 +127,12 @@ class RTree {
   // are (id, exact_distance) pairs ordered by increasing exact distance,
   // where exact_distance comes from the caller's callback (which must be
   // >= the feature-space lower bound, e.g. a full-spectrum distance).
+  template <typename ExactFn>
+  std::vector<std::pair<int64_t, double>> NearestNeighbors(
+      const NnLowerBound& bound, const std::vector<DimAffine>* affines, int k,
+      ExactFn&& exact_distance) const {
+    return NearestNeighborsImpl(bound, affines, k, exact_distance);
+  }
   std::vector<std::pair<int64_t, double>> NearestNeighbors(
       const NnLowerBound& bound, const std::vector<DimAffine>* affines, int k,
       const std::function<double(int64_t)>& exact_distance) const;
@@ -118,8 +146,14 @@ class RTree {
 
   // Node-access accounting: number of nodes touched by searches since the
   // last reset. The in-memory proxy for the paper's disk accesses.
-  void ResetNodeAccesses() const { node_accesses_ = 0; }
-  int64_t node_accesses() const { return node_accesses_; }
+  // Maintained with relaxed atomics so concurrent read traversals can
+  // share a tree; see DESIGN.md "Node-access accounting".
+  void ResetNodeAccesses() const {
+    node_accesses_.store(0, std::memory_order_relaxed);
+  }
+  int64_t node_accesses() const {
+    return node_accesses_.load(std::memory_order_relaxed);
+  }
 
   // Structural validation for tests: MBR containment, fill factors, level
   // consistency, parent links, and entry count. Returns false and logs the
@@ -147,12 +181,143 @@ class RTree {
                   std::vector<int64_t>* results) const;
   bool CheckNode(const Node* node, bool is_root, int64_t* leaf_entries) const;
 
+  void CountNodeAccess() const {
+    node_accesses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  template <typename NodePred, typename LeafPred, typename Emit>
+  void SearchGenericImpl(const Node* node, NodePred& node_predicate,
+                         LeafPred& leaf_predicate, Emit& emit) const {
+    CountNodeAccess();
+    if (node->is_leaf) {
+      for (int i = 0; i < node->num_entries(); ++i) {
+        if (leaf_predicate(node->rects[static_cast<size_t>(i)],
+                           node->ids[static_cast<size_t>(i)])) {
+          emit(node->ids[static_cast<size_t>(i)]);
+        }
+      }
+      return;
+    }
+    for (int i = 0; i < node->num_entries(); ++i) {
+      if (node_predicate(node->rects[static_cast<size_t>(i)])) {
+        SearchGenericImpl(node->children[static_cast<size_t>(i)].get(),
+                          node_predicate, leaf_predicate, emit);
+      }
+    }
+  }
+
+  template <typename PairPred, typename Emit>
+  void JoinWithImpl(const Node* a, const Node* b, const RTree& other,
+                    PairPred& pair_predicate, Emit& emit) const {
+    CountNodeAccess();
+    if (&other != this || a != b) {
+      other.CountNodeAccess();
+    }
+    if (a->is_leaf && b->is_leaf) {
+      for (int i = 0; i < a->num_entries(); ++i) {
+        for (int j = 0; j < b->num_entries(); ++j) {
+          if (pair_predicate(a->rects[static_cast<size_t>(i)],
+                             b->rects[static_cast<size_t>(j)])) {
+            emit(a->ids[static_cast<size_t>(i)],
+                 b->ids[static_cast<size_t>(j)]);
+          }
+        }
+      }
+      return;
+    }
+    // Descend the deeper (or only internal) side so both reach the leaf
+    // level together.
+    if (!a->is_leaf && (b->is_leaf || a->level >= b->level)) {
+      const Rect b_mbr = other.NodeMbr(b);
+      for (int i = 0; i < a->num_entries(); ++i) {
+        if (pair_predicate(a->rects[static_cast<size_t>(i)], b_mbr)) {
+          JoinWithImpl(a->children[static_cast<size_t>(i)].get(), b, other,
+                       pair_predicate, emit);
+        }
+      }
+      return;
+    }
+    const Rect a_mbr = NodeMbr(a);
+    for (int j = 0; j < b->num_entries(); ++j) {
+      if (pair_predicate(a_mbr, b->rects[static_cast<size_t>(j)])) {
+        JoinWithImpl(a, b->children[static_cast<size_t>(j)].get(), other,
+                     pair_predicate, emit);
+      }
+    }
+  }
+
+  template <typename ExactFn>
+  std::vector<std::pair<int64_t, double>> NearestNeighborsImpl(
+      const NnLowerBound& bound, const std::vector<DimAffine>* affines, int k,
+      ExactFn& exact_distance) const {
+    SIMQ_CHECK_GT(k, 0);
+    const std::vector<DimAffine> identity(static_cast<size_t>(dims_),
+                                          DimAffine{});
+    const std::vector<DimAffine>& actions =
+        affines != nullptr ? *affines : identity;
+
+    struct Item {
+      double priority;
+      const Node* node;  // non-null for subtree items
+      int64_t id;        // valid for entry items
+      bool resolved;     // entry with exact distance computed
+    };
+    const auto cmp = [](const Item& a, const Item& b) {
+      return a.priority > b.priority;
+    };
+    std::vector<Item> storage;
+    storage.reserve(static_cast<size_t>(k) +
+                    2 * static_cast<size_t>(options_.max_entries) + 16);
+    std::priority_queue<Item, std::vector<Item>, decltype(cmp)> queue(
+        cmp, std::move(storage));
+    queue.push(Item{0.0, root_.get(), -1, false});
+
+    std::vector<std::pair<int64_t, double>> results;
+    results.reserve(static_cast<size_t>(k));
+    while (!queue.empty() && static_cast<int>(results.size()) < k) {
+      const Item item = queue.top();
+      queue.pop();
+      if (item.node != nullptr) {
+        CountNodeAccess();
+        const Node* node = item.node;
+        if (node->is_leaf) {
+          Point point(static_cast<size_t>(dims_));
+          for (int i = 0; i < node->num_entries(); ++i) {
+            const Rect& rect = node->rects[static_cast<size_t>(i)];
+            for (int d = 0; d < dims_; ++d) {
+              point[static_cast<size_t>(d)] = rect.lo(d);
+            }
+            const double lower = bound.ToTransformedPoint(point, actions);
+            queue.push(Item{lower, nullptr,
+                            node->ids[static_cast<size_t>(i)], false});
+          }
+        } else {
+          for (int i = 0; i < node->num_entries(); ++i) {
+            const double lower = bound.ToTransformedRect(
+                node->rects[static_cast<size_t>(i)], actions);
+            queue.push(Item{lower,
+                            node->children[static_cast<size_t>(i)].get(), -1,
+                            false});
+          }
+        }
+      } else if (!item.resolved) {
+        // First pop of an entry: upgrade the feature-space bound to the
+        // exact distance and re-queue; when it surfaces again it is final.
+        const double exact = exact_distance(item.id);
+        queue.push(Item{exact, nullptr, item.id, true});
+      } else {
+        results.emplace_back(item.id, item.priority);
+      }
+    }
+    return results;
+  }
+
   int dims_;
   Options options_;
   std::unique_ptr<Node> root_;
   int64_t size_ = 0;
   int64_t node_count_ = 1;
-  mutable int64_t node_accesses_ = 0;
+  mutable std::atomic<int64_t> node_accesses_{0};
 };
 
 }  // namespace simq

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
 
 #include "util/logging.h"
 
@@ -50,6 +51,58 @@ size_t NextPowerOfTwo(size_t n) {
   return p;
 }
 
+// Precomputed state for Bluestein's chirp-z transform of one (n, sign)
+// pair: the chirp and the FFT of the (input-independent) convolution
+// kernel. Cached per thread so repeated transforms of the same length --
+// the normal case: every series in a relation has one length -- do two
+// power-of-two FFTs instead of three, with no per-call allocation beyond
+// the output.
+struct BluesteinPlan {
+  size_t n = 0;
+  int sign = 0;
+  size_t m = 0;
+  std::vector<Complex> chirp;  // c_j = exp(sign * i * pi * j^2 / n)
+  Spectrum kernel_fft;         // forward FFT of the padded conj-chirp kernel
+};
+
+const BluesteinPlan& GetBluesteinPlan(size_t n, int sign) {
+  static thread_local std::vector<std::unique_ptr<BluesteinPlan>> cache;
+  for (const auto& plan : cache) {
+    if (plan->n == n && plan->sign == sign) {
+      return *plan;
+    }
+  }
+  auto plan = std::make_unique<BluesteinPlan>();
+  plan->n = n;
+  plan->sign = sign;
+  plan->m = NextPowerOfTwo(2 * n - 1);
+
+  // Chirp c_j = exp(sign * i * pi * j^2 / n). j^2 is reduced mod 2n before
+  // the float division to keep the phase accurate for long inputs.
+  plan->chirp.resize(n);
+  for (size_t j = 0; j < n; ++j) {
+    const int64_t j2 = static_cast<int64_t>(j) * static_cast<int64_t>(j) %
+                       static_cast<int64_t>(2 * n);
+    const double phase =
+        sign * M_PI * static_cast<double>(j2) / static_cast<double>(n);
+    plan->chirp[j] = Complex(std::cos(phase), std::sin(phase));
+  }
+
+  plan->kernel_fft.assign(plan->m, Complex(0.0, 0.0));
+  plan->kernel_fft[0] = std::conj(plan->chirp[0]);
+  for (size_t j = 1; j < n; ++j) {
+    plan->kernel_fft[j] = std::conj(plan->chirp[j]);
+    plan->kernel_fft[plan->m - j] = std::conj(plan->chirp[j]);
+  }
+  Radix2Fft(&plan->kernel_fft, -1);
+
+  if (cache.size() >= 8) {
+    cache.erase(cache.begin());  // FIFO: keep the most recent lengths
+  }
+  cache.push_back(std::move(plan));
+  return *cache.back();
+}
+
 // Bluestein's chirp-z transform: expresses an arbitrary-length DFT as a
 // linear convolution, evaluated with zero-padded power-of-two FFTs.
 // Returns the non-normalized forward DFT (sign = -1) or inverse kernel
@@ -57,41 +110,23 @@ size_t NextPowerOfTwo(size_t n) {
 Spectrum BluesteinDft(const Spectrum& x, int sign) {
   const size_t n = x.size();
   SIMQ_CHECK_GT(n, 0u);
-  const size_t m = NextPowerOfTwo(2 * n - 1);
+  const BluesteinPlan& plan = GetBluesteinPlan(n, sign);
 
-  // Chirp c_j = exp(sign * i * pi * j^2 / n). j^2 is reduced mod 2n before
-  // the float division to keep the phase accurate for long inputs.
-  std::vector<Complex> chirp(n);
+  static thread_local Spectrum scratch;
+  scratch.assign(plan.m, Complex(0.0, 0.0));
   for (size_t j = 0; j < n; ++j) {
-    const int64_t j2 = static_cast<int64_t>(j) * static_cast<int64_t>(j) %
-                       static_cast<int64_t>(2 * n);
-    const double phase =
-        sign * M_PI * static_cast<double>(j2) / static_cast<double>(n);
-    chirp[j] = Complex(std::cos(phase), std::sin(phase));
+    scratch[j] = x[j] * plan.chirp[j];
   }
-
-  Spectrum a(m, Complex(0.0, 0.0));
-  for (size_t j = 0; j < n; ++j) {
-    a[j] = x[j] * chirp[j];
+  Radix2Fft(&scratch, -1);
+  for (size_t j = 0; j < plan.m; ++j) {
+    scratch[j] *= plan.kernel_fft[j];
   }
-  Spectrum b(m, Complex(0.0, 0.0));
-  b[0] = std::conj(chirp[0]);
-  for (size_t j = 1; j < n; ++j) {
-    b[j] = std::conj(chirp[j]);
-    b[m - j] = std::conj(chirp[j]);
-  }
-
-  Radix2Fft(&a, -1);
-  Radix2Fft(&b, -1);
-  for (size_t j = 0; j < m; ++j) {
-    a[j] *= b[j];
-  }
-  Radix2Fft(&a, +1);
+  Radix2Fft(&scratch, +1);
 
   Spectrum out(n);
-  const double inv_m = 1.0 / static_cast<double>(m);
+  const double inv_m = 1.0 / static_cast<double>(plan.m);
   for (size_t k = 0; k < n; ++k) {
-    out[k] = a[k] * inv_m * chirp[k];
+    out[k] = scratch[k] * inv_m * plan.chirp[k];
   }
   return out;
 }
@@ -166,8 +201,8 @@ Spectrum NaiveDft(const Spectrum& x) {
   return out;
 }
 
-std::vector<double> CircularConvolution(const std::vector<double>& a,
-                                        const std::vector<double>& b) {
+std::vector<double> CircularConvolutionNaive(const std::vector<double>& a,
+                                             const std::vector<double>& b) {
   SIMQ_CHECK_EQ(a.size(), b.size());
   const size_t n = a.size();
   std::vector<double> out(n, 0.0);
@@ -178,6 +213,40 @@ std::vector<double> CircularConvolution(const std::vector<double>& a,
       sum += a[k] * b[idx];
     }
     out[i] = sum;
+  }
+  return out;
+}
+
+std::vector<double> CircularConvolution(const std::vector<double>& a,
+                                        const std::vector<double>& b) {
+  SIMQ_CHECK_EQ(a.size(), b.size());
+  const size_t n = a.size();
+  // Below the cutoff the O(n^2) loop beats the transform overhead.
+  if (n < 32) {
+    return CircularConvolutionNaive(a, b);
+  }
+  // Pack both real signals into one complex transform: with
+  // c_t = a_t + i b_t, the halves unpack as A_f = (C_f + conj(C_{-f}))/2
+  // and B_f = (C_f - conj(C_{-f}))/(2i).
+  Spectrum packed(n);
+  for (size_t t = 0; t < n; ++t) {
+    packed[t] = Complex(a[t], b[t]);
+  }
+  const Spectrum c = RawDft(packed, -1);
+  Spectrum product(n);
+  for (size_t f = 0; f < n; ++f) {
+    const Complex cf = c[f];
+    const Complex cm = std::conj(c[(n - f) % n]);
+    const Complex af = 0.5 * (cf + cm);
+    const Complex bf = Complex(0.0, -0.5) * (cf - cm);
+    product[f] = af * bf;
+  }
+  // conv = IDFT_raw(A .* B) / n (the raw transforms are unnormalized).
+  const Spectrum inverse = RawDft(product, +1);
+  std::vector<double> out(n);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = inverse[i].real() * inv_n;
   }
   return out;
 }

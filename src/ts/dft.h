@@ -40,9 +40,15 @@ std::vector<double> InverseDftReal(const Spectrum& spectrum);
 Spectrum NaiveDft(const Spectrum& x);
 
 // Circular convolution (Equation 4): out_i = sum_k a_k b_{(i-k) mod n}.
-// Computed directly in O(n^2); used to define transformations and by tests.
+// Evaluated through the FFT (O(n log n), both real signals packed into one
+// complex transform) above a small-size cutoff, directly below it.
 std::vector<double> CircularConvolution(const std::vector<double>& a,
                                         const std::vector<double>& b);
+
+// O(n^2) direct evaluation of the circular convolution; the reference
+// oracle for the FFT path in tests.
+std::vector<double> CircularConvolutionNaive(const std::vector<double>& a,
+                                             const std::vector<double>& b);
 
 // Fraction of total signal energy captured by spectrum coefficients
 // 1..num_coefficients (coefficient 0 excluded, matching the normal-form

@@ -1,0 +1,226 @@
+// A small fixed-size thread pool with a blocked parallel-for, used by the
+// batch execution kernels (core/database.cc) to spread scans and the
+// nested-loop sides of joins over record blocks.
+//
+// Design constraints, in order:
+//  * Determinism: ParallelFor hands the body contiguous index ranges plus a
+//    dense block number, so callers can write per-block buffers and merge
+//    them in block order; results are then independent of thread count and
+//    scheduling. The kernels themselves never share mutable state.
+//  * Zero overhead when parallelism is off: with one thread (or ranges at
+//    or below the grain) ParallelFor degenerates to a direct call of the
+//    body on the full range -- no queue, no atomics.
+//  * Simplicity over throughput: one global mutex-guarded task queue. The
+//    bodies scheduled here are coarse (>= ~1e6 doubles of work per block),
+//    so queue contention is irrelevant.
+//
+// The pool size defaults to std::thread::hardware_concurrency() and can be
+// pinned with the SIMQ_THREADS environment variable (SIMQ_THREADS=1
+// disables worker threads entirely). Nested ParallelFor calls from inside a
+// pool worker run serially on the calling thread.
+
+#ifndef SIMQ_UTIL_THREAD_POOL_H_
+#define SIMQ_UTIL_THREAD_POOL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simq {
+
+class ThreadPool {
+ public:
+  // body(block, begin, end): process [begin, end); `block` is the dense
+  // 0-based block number (blocks partition the range in increasing order).
+  using BlockFn = std::function<void(int64_t block, int64_t begin,
+                                     int64_t end)>;
+
+  explicit ThreadPool(int num_threads) {
+    for (int i = 1; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Worker threads plus the calling thread.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Upper bound on the number of blocks a single ParallelFor call will
+  // create, and therefore on the block ids passed to the body. Callers
+  // sizing per-block buffers must use this, not a copy of the formula.
+  int64_t max_blocks() const { return static_cast<int64_t>(num_threads()) * 4; }
+
+  // The process-wide pool used by the query kernels.
+  static ThreadPool& Global() {
+    static ThreadPool pool(DefaultThreadCount());
+    return pool;
+  }
+
+  static int DefaultThreadCount() {
+    if (const char* env = std::getenv("SIMQ_THREADS")) {
+      const int value = std::atoi(env);
+      if (value > 0) {
+        return value;
+      }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+  // Splits [begin, end) into contiguous blocks of at least `min_grain`
+  // items and runs `body` over them on the pool (the calling thread
+  // participates). Returns after every block has finished. Blocks are
+  // numbered 0..num_blocks-1 in range order. If a body throws, remaining
+  // unstarted blocks are skipped and the first exception is rethrown on
+  // the calling thread after all workers have finished.
+  void ParallelFor(int64_t begin, int64_t end, int64_t min_grain,
+                   const BlockFn& body) {
+    const int64_t total = end - begin;
+    if (total <= 0) {
+      return;
+    }
+    min_grain = std::max<int64_t>(min_grain, 1);
+    const int threads = num_threads();
+    if (threads == 1 || total <= min_grain || InWorkerFlag()) {
+      body(0, begin, end);
+      return;
+    }
+    const int64_t by_grain = (total + min_grain - 1) / min_grain;
+    const int64_t num_blocks = std::min<int64_t>(by_grain, max_blocks());
+
+    auto state = std::make_shared<ForState>();
+    state->begin = begin;
+    state->total = total;
+    state->num_blocks = num_blocks;
+    state->body = body;
+
+    const auto work = [state] { RunBlocks(*state); };
+    // One helper per block beyond the caller's own; extra helpers would
+    // only wake, find no block, and exit.
+    const int64_t helpers =
+        std::min<int64_t>(threads - 1, num_blocks - 1);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (int64_t t = 0; t < helpers; ++t) {
+        tasks_.push_back(work);
+      }
+    }
+    cv_.notify_all();
+    work();  // the caller participates
+    // The caller's own pass has claimed past the last block, so helpers
+    // that have not started yet will no-op; wait only for in-flight ones.
+    std::unique_lock<std::mutex> lock(state->done_mutex);
+    state->done_cv.wait(lock, [&state] {
+      return state->active.load(std::memory_order_acquire) == 0;
+    });
+    if (state->error != nullptr) {
+      // First exception thrown by a body, rethrown only after every
+      // worker has quiesced so no helper still references caller state.
+      const std::exception_ptr error = state->error;
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  struct ForState {
+    int64_t begin = 0;
+    int64_t total = 0;
+    int64_t num_blocks = 0;
+    BlockFn body;
+    std::atomic<int64_t> next_block{0};
+    std::atomic<int64_t> active{0};  // workers inside RunBlocks
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;  // first body exception; guarded by done_mutex
+  };
+
+  // True while this thread is executing ParallelFor blocks; nested
+  // ParallelFor calls from such a thread run serially.
+  static bool& InWorkerFlag() {
+    static thread_local bool flag = false;
+    return flag;
+  }
+
+  static void RunBlocks(ForState& state) {
+    InWorkerFlag() = true;
+    state.active.fetch_add(1, std::memory_order_acq_rel);
+    while (true) {
+      const int64_t block =
+          state.next_block.fetch_add(1, std::memory_order_relaxed);
+      if (block >= state.num_blocks) {
+        break;
+      }
+      // Proportional split: block b covers [total*b/B, total*(b+1)/B).
+      const int64_t lo = state.begin + state.total * block / state.num_blocks;
+      const int64_t hi =
+          state.begin + state.total * (block + 1) / state.num_blocks;
+      try {
+        state.body(block, lo, hi);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(state.done_mutex);
+          if (state.error == nullptr) {
+            state.error = std::current_exception();
+          }
+        }
+        // Stop claiming further blocks; workers already past the claim
+        // finish theirs. The caller rethrows after the join.
+        state.next_block.store(state.num_blocks,
+                               std::memory_order_relaxed);
+      }
+    }
+    if (state.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(state.done_mutex);
+      state.done_cv.notify_all();
+    }
+    InWorkerFlag() = false;
+  }
+
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+        if (stop_ && tasks_.empty()) {
+          return;
+        }
+        task = std::move(tasks_.back());
+        tasks_.pop_back();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace simq
+
+#endif  // SIMQ_UTIL_THREAD_POOL_H_

@@ -168,6 +168,28 @@ TEST(DftTest, CircularConvolutionCommutes) {
   }
 }
 
+TEST(DftTest, FftConvolutionMatchesNaiveOracle) {
+  // The production CircularConvolution takes the FFT path above its
+  // small-size cutoff; the O(n^2) loop is the oracle. Cover power-of-two
+  // and Bluestein lengths on both sides of the cutoff.
+  for (const int n : {8, 31, 32, 33, 64, 100, 128, 375}) {
+    Random rng(4200 + static_cast<uint64_t>(n));
+    const std::vector<double> x = RandomSignal(&rng, n);
+    const std::vector<double> y = RandomSignal(&rng, n);
+    const std::vector<double> fast = CircularConvolution(x, y);
+    const std::vector<double> naive = CircularConvolutionNaive(x, y);
+    ASSERT_EQ(fast.size(), naive.size());
+    double scale = 1.0;
+    for (const double v : naive) {
+      scale = std::max(scale, std::abs(v));
+    }
+    for (size_t i = 0; i < naive.size(); ++i) {
+      EXPECT_NEAR(fast[i], naive[i], 1e-10 * scale)
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
 TEST(DftTest, ConvolutionWithDeltaIsIdentity) {
   Random rng(99);
   const std::vector<double> x = RandomSignal(&rng, 9);

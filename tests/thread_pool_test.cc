@@ -1,0 +1,143 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace simq {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.ParallelFor(0, 1000, 1, [&](int64_t /*block*/, int64_t lo,
+                                   int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      ++hits[static_cast<size_t>(i)];  // blocks are disjoint by contract
+    }
+  });
+  for (const int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPoolTest, BlockIdsAreDenseAndOrdered) {
+  ThreadPool pool(3);
+  std::vector<std::pair<int64_t, int64_t>> ranges(
+      static_cast<size_t>(4 * pool.num_threads()), {-1, -1});
+  std::atomic<int64_t> max_block{-1};
+  pool.ParallelFor(100, 1100, 10, [&](int64_t block, int64_t lo,
+                                      int64_t hi) {
+    ranges[static_cast<size_t>(block)] = {lo, hi};
+    int64_t seen = max_block.load();
+    while (seen < block && !max_block.compare_exchange_weak(seen, block)) {
+    }
+  });
+  const int64_t blocks = max_block.load() + 1;
+  ASSERT_GT(blocks, 1);
+  ASSERT_LE(blocks, 4 * pool.num_threads());
+  // Blocks partition [100, 1100) in increasing order.
+  EXPECT_EQ(ranges[0].first, 100);
+  for (int64_t b = 1; b < blocks; ++b) {
+    EXPECT_EQ(ranges[static_cast<size_t>(b)].first,
+              ranges[static_cast<size_t>(b - 1)].second);
+  }
+  EXPECT_EQ(ranges[static_cast<size_t>(blocks - 1)].second, 1100);
+}
+
+TEST(ThreadPoolTest, SmallRangeRunsInline) {
+  ThreadPool pool(4);
+  int64_t calls = 0;
+  pool.ParallelFor(0, 10, 100, [&](int64_t block, int64_t lo, int64_t hi) {
+    ++calls;  // single inline call: no synchronization needed
+    EXPECT_EQ(block, 0);
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 10);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeDoesNothing) {
+  ThreadPool pool(2);
+  int64_t calls = 0;
+  pool.ParallelFor(5, 5, 1,
+                   [&](int64_t, int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1,
+                   [&](int64_t, int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsSerially) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(0, 8, 1, [&](int64_t, int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      // A nested call from a worker must degrade to one inline block.
+      pool.ParallelFor(0, 100, 1, [&](int64_t block, int64_t nlo,
+                                      int64_t nhi) {
+        EXPECT_EQ(block, 0);
+        total.fetch_add(nhi - nlo);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  const int64_t count = 123457;
+  std::vector<int64_t> block_sums(
+      static_cast<size_t>(4 * pool.num_threads()), 0);
+  pool.ParallelFor(0, count, 1000, [&](int64_t block, int64_t lo,
+                                       int64_t hi) {
+    int64_t sum = 0;
+    for (int64_t i = lo; i < hi; ++i) {
+      sum += i;
+    }
+    block_sums[static_cast<size_t>(block)] = sum;
+  });
+  const int64_t total = std::accumulate(block_sums.begin(),
+                                        block_sums.end(), int64_t{0});
+  EXPECT_EQ(total, count * (count - 1) / 2);
+}
+
+TEST(ThreadPoolTest, BodyExceptionPropagatesAfterAllWorkersFinish) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> processed{0};
+  EXPECT_THROW(
+      pool.ParallelFor(0, 10000, 1,
+                       [&](int64_t block, int64_t lo, int64_t hi) {
+                         if (block == 1) {
+                           throw std::runtime_error("body failure");
+                         }
+                         processed.fetch_add(hi - lo);
+                       }),
+      std::runtime_error);
+  // After the rethrow no worker may still be running the body; a second
+  // ParallelFor over the same pool must work normally.
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(0, 100, 1, [&](int64_t, int64_t lo, int64_t hi) {
+    total.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int64_t calls = 0;
+  pool.ParallelFor(0, 100000, 1, [&](int64_t block, int64_t lo,
+                                     int64_t hi) {
+    ++calls;
+    EXPECT_EQ(block, 0);
+    EXPECT_EQ(hi - lo, 100000);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace simq
