@@ -174,6 +174,25 @@ class ExactChecker {
   std::vector<double> mult_ri_;
 };
 
+// Runs `body` on the relation's index through the chosen traversal engine
+// (both engines expose the same Search/NearestNeighbors signatures) and
+// returns the node-access delta -- the single place the paper's node-I/O
+// accounting is read, so all strategies report it identically.
+template <typename Body>
+int64_t RunOnIndexEngine(const Relation& relation, IndexEngine engine,
+                         Body&& body) {
+  if (engine == IndexEngine::kPacked) {
+    const PackedRTree& tree = relation.packed_index();
+    const int64_t before = tree.node_accesses();
+    body(tree);
+    return tree.node_accesses() - before;
+  }
+  const RTree& tree = relation.index();
+  const int64_t before = tree.node_accesses();
+  body(tree);
+  return tree.node_accesses() - before;
+}
+
 void SortMatches(std::vector<Match>* matches) {
   std::sort(matches->begin(), matches->end(),
             [](const Match& a, const Match& b) {
@@ -199,6 +218,10 @@ const Record& Relation::record(int64_t id) const {
   return records_[static_cast<size_t>(id)];
 }
 
+const PackedRTree& Relation::packed_index() const {
+  return packed_.Get(*index_);
+}
+
 Result<int64_t> Relation::FindByName(const std::string& series_name) const {
   const auto it = by_name_.find(series_name);
   if (it == by_name_.end()) {
@@ -210,6 +233,14 @@ Result<int64_t> Relation::FindByName(const std::string& series_name) const {
 
 Database::Database(FeatureConfig config, RTree::Options index_options)
     : config_(config), index_options_(index_options) {}
+
+IndexEngine Database::EffectiveIndexEngine() const {
+  if (index_engine_ == IndexEngine::kPacked &&
+      PackedRTree::SupportsFanout(index_options_.max_entries)) {
+    return IndexEngine::kPacked;
+  }
+  return IndexEngine::kPointer;
+}
 
 Status Database::CreateRelation(const std::string& name) {
   if (relations_.count(name) > 0) {
@@ -251,6 +282,7 @@ Result<int64_t> Database::Insert(const std::string& relation,
 
   rel->index_->InsertPoint(MakeFeaturePoint(record.features, config_),
                            record.id);
+  rel->packed_.Invalidate();
   rel->by_name_[record.name] = record.id;
   rel->store_.Append(record.features, record.normal_values);
   rel->records_.push_back(std::move(record));
@@ -297,6 +329,7 @@ Status Database::BulkLoad(const std::string& relation,
     rel->records_.push_back(std::move(record));
   }
   rel->index_->BulkLoad(std::move(entries));
+  rel->packed_.Invalidate();
   return Status::Ok();
 }
 
@@ -516,12 +549,12 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
       affines = LowerToFeatureSpace(*index_transform, config_);
       affines_ptr = &affines;
     }
-    const RTree& tree = relation.index();
-    const int64_t accesses_before = tree.node_accesses();
     std::vector<int64_t> candidates;
-    tree.Search(region, affines_ptr, &candidates);
+    const int64_t node_accesses = RunOnIndexEngine(
+        relation, EffectiveIndexEngine(),
+        [&](const auto& tree) { tree.Search(region, affines_ptr, &candidates); });
     out.stats.used_index = true;
-    out.stats.node_accesses = tree.node_accesses() - accesses_before;
+    out.stats.node_accesses = node_accesses;
     out.stats.candidates = static_cast<int64_t>(candidates.size());
     for (const int64_t id : candidates) {
       if (!StatsAdmit(store.mean(id), store.std_dev(id), query.pattern)) {
@@ -675,8 +708,6 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
       affines = LowerToFeatureSpace(*index_transform, config_);
       affines_ptr = &affines;
     }
-    const RTree& tree = relation.index();
-    const int64_t accesses_before = tree.node_accesses();
     const auto exact = [&](int64_t id) {
       if (!StatsAdmit(store.mean(id), store.std_dev(id), query.pattern)) {
         return kInf;  // excluded entries sort to the end and are dropped
@@ -684,10 +715,13 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
       ++out.stats.exact_checks;
       return checker.Distance(id, kInf);
     };
-    const std::vector<std::pair<int64_t, double>> neighbors =
-        tree.NearestNeighbors(bound, affines_ptr, query.k, exact);
+    std::vector<std::pair<int64_t, double>> neighbors;
+    const int64_t node_accesses = RunOnIndexEngine(
+        relation, EffectiveIndexEngine(), [&](const auto& tree) {
+          neighbors = tree.NearestNeighbors(bound, affines_ptr, query.k, exact);
+        });
     out.stats.used_index = true;
-    out.stats.node_accesses = tree.node_accesses() - accesses_before;
+    out.stats.node_accesses = node_accesses;
     for (const auto& [id, distance] : neighbors) {
       if (distance == kInf) {
         continue;
@@ -981,11 +1015,12 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
     post_right = right_mult;
   }
 
-  // Index nested loop, parallelized over probe blocks: concurrent R-tree
-  // read traversals are safe (the node-access counters are atomic), and
-  // per-block pair buffers merged in block order keep the output identical
-  // to the serial loop.
-  const RTree& tree = relation->index();
+  // Index nested loop, parallelized over probe blocks: concurrent index
+  // read traversals are safe on both engines (the node-access counters are
+  // atomic, the packed snapshot is immutable), and per-block pair buffers
+  // merged in block order keep the output identical to the serial loop.
+  // RunOnIndexEngine resolves the engine before the fan-out, so workers
+  // never contend on the snapshot rebuild lock.
   const FeatureStore& store = relation->store();
   std::vector<double> post_left_ri;
   std::vector<double> post_right_ri;
@@ -1000,48 +1035,51 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
     post_right_ptr = post_right_ri.data();
   }
   const double eps_sq = epsilon * epsilon;
-  const int64_t accesses_before = tree.node_accesses();
   out.stats.used_index = true;
   ThreadPool& pool = ThreadPool::Global();
   const size_t max_blocks = static_cast<size_t>(pool.max_blocks());
   std::vector<std::vector<PairMatch>> block_pairs(max_blocks);
   std::vector<int64_t> block_checks(max_blocks, 0);
   std::vector<int64_t> block_candidates(max_blocks, 0);
-  pool.ParallelFor(
-      0, count, /*min_grain=*/16, [&](int64_t block, int64_t lo, int64_t hi) {
-        std::vector<PairMatch>& local =
-            block_pairs[static_cast<size_t>(block)];
-        std::vector<int64_t> candidates;
-        int64_t checks = 0;
-        int64_t candidate_count = 0;
-        for (int64_t i = lo; i < hi; ++i) {
-          const Record& probe = relation->record(i);
-          std::vector<Complex> query_coeffs = ExtractCoefficients(
-              probe.features.normal_spectrum, config_.num_coefficients);
-          if (left_transform.has_value()) {
-            query_coeffs = left_transform->Apply(query_coeffs);
-          }
-          const SearchRegion region =
-              SearchRegion::MakeRange(query_coeffs, epsilon, config_);
-          candidates.clear();
-          tree.Search(region, affines_ptr, &candidates);
-          candidate_count += static_cast<int64_t>(candidates.size());
-          const double* a = store.SpectrumRow(i);
-          for (const int64_t j : candidates) {
-            if (j == i) {
-              continue;
-            }
-            ++checks;
-            const double dist_sq = RowDistanceSqTwoSided(
-                a, store.SpectrumRow(j), post_left_ptr, post_right_ptr, n,
-                eps_sq);
-            if (dist_sq <= eps_sq) {
-              local.push_back(PairMatch{i, j, std::sqrt(dist_sq)});
-            }
-          }
-        }
-        block_checks[static_cast<size_t>(block)] = checks;
-        block_candidates[static_cast<size_t>(block)] = candidate_count;
+  out.stats.node_accesses = RunOnIndexEngine(
+      *relation, EffectiveIndexEngine(), [&](const auto& tree) {
+        pool.ParallelFor(
+            0, count, /*min_grain=*/16,
+            [&](int64_t block, int64_t lo, int64_t hi) {
+              std::vector<PairMatch>& local =
+                  block_pairs[static_cast<size_t>(block)];
+              std::vector<int64_t> candidates;
+              int64_t checks = 0;
+              int64_t candidate_count = 0;
+              for (int64_t i = lo; i < hi; ++i) {
+                const Record& probe = relation->record(i);
+                std::vector<Complex> query_coeffs = ExtractCoefficients(
+                    probe.features.normal_spectrum, config_.num_coefficients);
+                if (left_transform.has_value()) {
+                  query_coeffs = left_transform->Apply(query_coeffs);
+                }
+                const SearchRegion region =
+                    SearchRegion::MakeRange(query_coeffs, epsilon, config_);
+                candidates.clear();
+                tree.Search(region, affines_ptr, &candidates);
+                candidate_count += static_cast<int64_t>(candidates.size());
+                const double* a = store.SpectrumRow(i);
+                for (const int64_t j : candidates) {
+                  if (j == i) {
+                    continue;
+                  }
+                  ++checks;
+                  const double dist_sq = RowDistanceSqTwoSided(
+                      a, store.SpectrumRow(j), post_left_ptr, post_right_ptr,
+                      n, eps_sq);
+                  if (dist_sq <= eps_sq) {
+                    local.push_back(PairMatch{i, j, std::sqrt(dist_sq)});
+                  }
+                }
+              }
+              block_checks[static_cast<size_t>(block)] = checks;
+              block_candidates[static_cast<size_t>(block)] = candidate_count;
+            });
       });
   for (size_t block = 0; block < max_blocks; ++block) {
     out.stats.exact_checks += block_checks[block];
@@ -1049,7 +1087,6 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
     out.pairs.insert(out.pairs.end(), block_pairs[block].begin(),
                      block_pairs[block].end());
   }
-  out.stats.node_accesses = tree.node_accesses() - accesses_before;
   return out;
 }
 

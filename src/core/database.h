@@ -32,6 +32,7 @@
 #include "core/feature_store.h"
 #include "core/query.h"
 #include "core/transformation.h"
+#include "index/packed_rtree.h"
 #include "index/rtree.h"
 #include "ts/feature.h"
 #include "ts/time_series.h"
@@ -66,6 +67,12 @@ class Relation {
   // read from here instead of walking records().
   const FeatureStore& store() const { return store_; }
 
+  // Packed snapshot of index(): the traversal engine the query hot paths
+  // run on. Mutations (Insert/BulkLoad) mark the snapshot stale; the next
+  // call recompiles it from the pointer tree. Thread-safe against
+  // concurrent queries (mutations already require exclusive access).
+  const PackedRTree& packed_index() const;
+
   // Id of the series inserted under `name`, or NotFound.
   Result<int64_t> FindByName(const std::string& series_name) const;
 
@@ -79,7 +86,15 @@ class Relation {
   FeatureStore store_;
   std::unordered_map<std::string, int64_t> by_name_;
   std::unique_ptr<RTree> index_;
+  PackedSnapshotCache packed_;
 };
+
+// Which traversal engine index strategies run on. kPacked (the default)
+// routes ExecuteRange/ExecuteNearest and the index-join methods through
+// the relation's PackedRTree snapshot; kPointer keeps them on the dynamic
+// R*-tree (the ground-truth engine, kept for comparison benches and
+// equivalence tests).
+enum class IndexEngine { kPointer, kPacked };
 
 // Self-join algorithms (Table 1 of [RM97]).
 enum class JoinMethod {
@@ -95,6 +110,11 @@ class Database {
                     RTree::Options index_options = RTree::Options());
 
   const FeatureConfig& config() const { return config_; }
+
+  // Traversal engine for index strategies (default kPacked). Set before
+  // issuing queries; benches flip it to report both engines side by side.
+  IndexEngine index_engine() const { return index_engine_; }
+  void set_index_engine(IndexEngine engine) { index_engine_ = engine; }
 
   Status CreateRelation(const std::string& name);
   // Inserts one series (index maintained incrementally); returns its id.
@@ -134,6 +154,11 @@ class Database {
                                JoinMethod method) const;
 
  private:
+  // Engine actually used by index strategies: the configured engine,
+  // demoted to kPointer when the index options exceed the packed layout's
+  // fanout limit (PackedRTree::SupportsFanout).
+  IndexEngine EffectiveIndexEngine() const;
+
   Result<QueryResult> ExecuteRange(const Relation& relation,
                                    const Query& query) const;
   Result<QueryResult> ExecuteNearest(const Relation& relation,
@@ -143,6 +168,7 @@ class Database {
 
   FeatureConfig config_;
   RTree::Options index_options_;
+  IndexEngine index_engine_ = IndexEngine::kPacked;
   std::map<std::string, std::unique_ptr<Relation>> relations_;
 };
 

@@ -7,14 +7,6 @@
 
 namespace simq {
 
-double NormalizeAngle(double angle) {
-  double result = std::fmod(angle + M_PI, 2.0 * M_PI);
-  if (result < 0.0) {
-    result += 2.0 * M_PI;
-  }
-  return result - M_PI;
-}
-
 CircularInterval CircularInterval::FromCenter(double center,
                                               double half_width) {
   SIMQ_CHECK_GE(half_width, 0.0);
@@ -36,33 +28,6 @@ CircularInterval CircularInterval::FromBounds(double lo, double hi) {
 
 CircularInterval CircularInterval::FullCircle() {
   return CircularInterval(-M_PI, 2.0 * M_PI, /*full=*/true);
-}
-
-CircularInterval CircularInterval::Rotated(double delta) const {
-  if (full_) {
-    return *this;
-  }
-  return CircularInterval(NormalizeAngle(lo_ + delta), extent_, false);
-}
-
-bool CircularInterval::Contains(double angle) const {
-  if (full_) {
-    return true;
-  }
-  // Offset of `angle` counterclockwise from lo_, in [0, 2*pi).
-  double offset = NormalizeAngle(angle) - lo_;
-  if (offset < 0.0) {
-    offset += 2.0 * M_PI;
-  }
-  return offset <= extent_;
-}
-
-bool CircularInterval::Overlaps(const CircularInterval& other) const {
-  if (full_ || other.full_) {
-    return true;
-  }
-  // Arcs overlap iff either start point lies within the other arc.
-  return Contains(other.lo_) || other.Contains(lo_);
 }
 
 double CircularInterval::AngularDistance(double angle) const {

@@ -9,10 +9,31 @@
 #ifndef SIMQ_GEOM_CIRCULAR_INTERVAL_H_
 #define SIMQ_GEOM_CIRCULAR_INTERVAL_H_
 
+#include <cmath>
+
 namespace simq {
 
-// Maps any angle to the equivalent value in [-pi, pi).
-double NormalizeAngle(double angle);
+// Maps any angle to the equivalent value in [-pi, pi). Defined inline
+// (with branch-only fast tiers for the near-range inputs the index hot
+// paths produce: stored angles are already normalized, rotations add at
+// most 2*pi) so the arc tests in both traversal engines avoid the fmod.
+inline double NormalizeAngle(double angle) {
+  if (angle < M_PI) {
+    if (angle >= -M_PI) {
+      return angle;
+    }
+    if (angle >= -3.0 * M_PI) {
+      return angle + 2.0 * M_PI;
+    }
+  } else if (angle < 3.0 * M_PI) {
+    return angle - 2.0 * M_PI;
+  }
+  double result = std::fmod(angle + M_PI, 2.0 * M_PI);
+  if (result < 0.0) {
+    result += 2.0 * M_PI;
+  }
+  return result - M_PI;
+}
 
 // A closed arc travelled counterclockwise from `lo` to `hi`. If the
 // underlying extent reaches 2*pi the interval is the full circle.
@@ -35,10 +56,32 @@ class CircularInterval {
   double extent() const { return extent_; }
 
   // Rotates the arc by `delta` radians.
-  CircularInterval Rotated(double delta) const;
+  CircularInterval Rotated(double delta) const {
+    if (full_) {
+      return *this;
+    }
+    return CircularInterval(NormalizeAngle(lo_ + delta), extent_, false);
+  }
 
-  bool Contains(double angle) const;
-  bool Overlaps(const CircularInterval& other) const;
+  bool Contains(double angle) const {
+    if (full_) {
+      return true;
+    }
+    // Offset of `angle` counterclockwise from lo_, in [0, 2*pi).
+    double offset = NormalizeAngle(angle) - lo_;
+    if (offset < 0.0) {
+      offset += 2.0 * M_PI;
+    }
+    return offset <= extent_;
+  }
+
+  bool Overlaps(const CircularInterval& other) const {
+    if (full_ || other.full_) {
+      return true;
+    }
+    // Arcs overlap iff either start point lies within the other arc.
+    return Contains(other.lo_) || other.Contains(lo_);
+  }
 
   // Smallest absolute angular separation between `angle` and the arc
   // (0 if contained). Result in [0, pi].

@@ -29,6 +29,10 @@ class Rect {
   int dims() const { return static_cast<int>(lo_.size()); }
   double lo(int d) const { return lo_[static_cast<size_t>(d)]; }
   double hi(int d) const { return hi_[static_cast<size_t>(d)]; }
+  // Contiguous per-dimension bounds (stride 1), for the strided geometry
+  // cores shared with the packed index arena.
+  const double* lo_data() const { return lo_.data(); }
+  const double* hi_data() const { return hi_.data(); }
   bool IsEmpty() const;
 
   bool Overlaps(const Rect& other) const;

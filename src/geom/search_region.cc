@@ -236,21 +236,31 @@ NnLowerBound::NnLowerBound(std::vector<Complex> query_coeffs,
 double NnLowerBound::ToTransformedRect(
     const Rect& rect, const std::vector<DimAffine>& affines) const {
   SIMQ_DCHECK(rect.dims() == FeatureDimension(config_));
+  return ToTransformedBounds(rect.lo_data(), rect.hi_data(), 1, affines);
+}
+
+double NnLowerBound::ToTransformedBounds(
+    const double* lo, const double* hi, int64_t stride,
+    const std::vector<DimAffine>& affines) const {
   const int base = config_.include_mean_std ? 2 : 0;
   double sum_sq = 0.0;
   for (int c = 0; c < config_.num_coefficients; ++c) {
     const int d0 = base + 2 * c;
     const int d1 = d0 + 1;
+    const double lo0 = lo[d0 * stride];
+    const double hi0 = hi[d0 * stride];
+    const double lo1 = lo[d1 * stride];
+    const double hi1 = hi[d1 * stride];
     const Complex& q = query_coeffs_[static_cast<size_t>(c)];
     if (config_.space == FeatureSpace::kRectangular) {
       double re_lo;
       double re_hi;
       double im_lo;
       double im_hi;
-      TransformLinearInterval(affines[static_cast<size_t>(d0)], rect.lo(d0),
-                              rect.hi(d0), &re_lo, &re_hi);
-      TransformLinearInterval(affines[static_cast<size_t>(d1)], rect.lo(d1),
-                              rect.hi(d1), &im_lo, &im_hi);
+      TransformLinearInterval(affines[static_cast<size_t>(d0)], lo0, hi0,
+                              &re_lo, &re_hi);
+      TransformLinearInterval(affines[static_cast<size_t>(d1)], lo1, hi1,
+                              &im_lo, &im_hi);
       double gap_re = 0.0;
       if (q.real() < re_lo) {
         gap_re = re_lo - q.real();
@@ -267,13 +277,13 @@ double NnLowerBound::ToTransformedRect(
     } else {
       double mag_lo;
       double mag_hi;
-      TransformLinearInterval(affines[static_cast<size_t>(d0)], rect.lo(d0),
-                              rect.hi(d0), &mag_lo, &mag_hi);
+      TransformLinearInterval(affines[static_cast<size_t>(d0)], lo0, hi0,
+                              &mag_lo, &mag_hi);
       mag_lo = std::max(0.0, mag_lo);
       mag_hi = std::max(0.0, mag_hi);
       CircularInterval arc = CircularInterval::FullCircle();
-      if (rect.hi(d1) - rect.lo(d1) < 2.0 * M_PI) {
-        arc = CircularInterval::FromBounds(rect.lo(d1), rect.hi(d1))
+      if (hi1 - lo1 < 2.0 * M_PI) {
+        arc = CircularInterval::FromBounds(lo1, hi1)
                   .Rotated(affines[static_cast<size_t>(d1)].offset);
       }
       const double dist = MinDistToAnnularSector(q, mag_lo, mag_hi, arc);
@@ -287,20 +297,28 @@ double NnLowerBound::ToTransformedPoint(
     const std::vector<double>& point,
     const std::vector<DimAffine>& affines) const {
   SIMQ_DCHECK(static_cast<int>(point.size()) == FeatureDimension(config_));
+  return ToTransformedPoint(point.data(), 1, affines);
+}
+
+double NnLowerBound::ToTransformedPoint(
+    const double* point, int64_t stride,
+    const std::vector<DimAffine>& affines) const {
   const int base = config_.include_mean_std ? 2 : 0;
   double sum_sq = 0.0;
   for (int c = 0; c < config_.num_coefficients; ++c) {
     const size_t d0 = static_cast<size_t>(base + 2 * c);
     const size_t d1 = d0 + 1;
+    const double p0 = point[static_cast<int64_t>(d0) * stride];
+    const double p1 = point[static_cast<int64_t>(d1) * stride];
     const Complex& q = query_coeffs_[static_cast<size_t>(c)];
     Complex value;
     if (config_.space == FeatureSpace::kRectangular) {
-      const double re = affines[d0].scale * point[d0] + affines[d0].offset;
-      const double im = affines[d1].scale * point[d1] + affines[d1].offset;
+      const double re = affines[d0].scale * p0 + affines[d0].offset;
+      const double im = affines[d1].scale * p1 + affines[d1].offset;
       value = Complex(re, im);
     } else {
-      const double mag = affines[d0].scale * point[d0] + affines[d0].offset;
-      const double angle = point[d1] + affines[d1].offset;
+      const double mag = affines[d0].scale * p0 + affines[d0].offset;
+      const double angle = p1 + affines[d1].offset;
       value = std::polar(std::max(0.0, mag), angle);
     }
     sum_sq += std::norm(value - q);

@@ -54,6 +54,19 @@ class SearchRegion {
 
   int dims() const { return static_cast<int>(dims_.size()); }
 
+  // Plane-at-a-time access for engines that evaluate one dimension across
+  // many entries (index/packed_rtree.cc compiles these into a per-query
+  // dimension plan). Linear dimensions expose [DimLo, DimHi]; circular
+  // dimensions expose the arc.
+  bool DimIsCircular(int d) const {
+    return dims_[static_cast<size_t>(d)].circular;
+  }
+  double DimLo(int d) const { return dims_[static_cast<size_t>(d)].lo; }
+  double DimHi(int d) const { return dims_[static_cast<size_t>(d)].hi; }
+  const CircularInterval& DimArc(int d) const {
+    return dims_[static_cast<size_t>(d)].arc;
+  }
+
  private:
   struct Dim {
     bool circular = false;
@@ -90,6 +103,16 @@ class NnLowerBound {
   // Exact feature-subspace distance to a transformed leaf point (still a
   // lower bound on the full distance).
   double ToTransformedPoint(const std::vector<double>& point,
+                            const std::vector<DimAffine>& affines) const;
+
+  // Strided cores of the two bounds above: dimension d lives at
+  // lo[d * stride] / hi[d * stride] (point[d * stride]). The Rect/vector
+  // overloads forward here with stride 1, so both index engines run
+  // bit-identical arithmetic (node-access parity depends on it).
+  double ToTransformedBounds(const double* lo, const double* hi,
+                             int64_t stride,
+                             const std::vector<DimAffine>& affines) const;
+  double ToTransformedPoint(const double* point, int64_t stride,
                             const std::vector<DimAffine>& affines) const;
 
  private:

@@ -35,13 +35,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <utility>
 #include <vector>
 
 #include "geom/linear_transform.h"
 #include "geom/rect.h"
 #include "geom/search_region.h"
+#include "index/knn_best_first.h"
 #include "util/logging.h"
 
 namespace simq {
@@ -246,70 +246,45 @@ class RTree {
     }
   }
 
+  // Best-first k-NN: the engine-shared driver (index/knn_best_first.h)
+  // owns the queue, tie draining, and deterministic (distance, id)
+  // ordering; this engine only expands nodes.
   template <typename ExactFn>
   std::vector<std::pair<int64_t, double>> NearestNeighborsImpl(
       const NnLowerBound& bound, const std::vector<DimAffine>* affines, int k,
       ExactFn& exact_distance) const {
-    SIMQ_CHECK_GT(k, 0);
     const std::vector<DimAffine> identity(static_cast<size_t>(dims_),
                                           DimAffine{});
     const std::vector<DimAffine>& actions =
         affines != nullptr ? *affines : identity;
-
-    struct Item {
-      double priority;
-      const Node* node;  // non-null for subtree items
-      int64_t id;        // valid for entry items
-      bool resolved;     // entry with exact distance computed
-    };
-    const auto cmp = [](const Item& a, const Item& b) {
-      return a.priority > b.priority;
-    };
-    std::vector<Item> storage;
-    storage.reserve(static_cast<size_t>(k) +
-                    2 * static_cast<size_t>(options_.max_entries) + 16);
-    std::priority_queue<Item, std::vector<Item>, decltype(cmp)> queue(
-        cmp, std::move(storage));
-    queue.push(Item{0.0, root_.get(), -1, false});
-
-    std::vector<std::pair<int64_t, double>> results;
-    results.reserve(static_cast<size_t>(k));
-    while (!queue.empty() && static_cast<int>(results.size()) < k) {
-      const Item item = queue.top();
-      queue.pop();
-      if (item.node != nullptr) {
-        CountNodeAccess();
-        const Node* node = item.node;
-        if (node->is_leaf) {
-          Point point(static_cast<size_t>(dims_));
-          for (int i = 0; i < node->num_entries(); ++i) {
-            const Rect& rect = node->rects[static_cast<size_t>(i)];
-            for (int d = 0; d < dims_; ++d) {
-              point[static_cast<size_t>(d)] = rect.lo(d);
+    const size_t queue_reserve =
+        static_cast<size_t>(k) +
+        static_cast<size_t>(height() + 1) *
+            static_cast<size_t>(options_.max_entries) +
+        64;
+    Point point(static_cast<size_t>(dims_));
+    return internal::BestFirstNearestNeighbors<const Node*>(
+        root_.get(), k, queue_reserve,
+        [&](const Node* node, auto&& push_node, auto&& push_entry) {
+          CountNodeAccess();
+          if (node->is_leaf) {
+            for (int i = 0; i < node->num_entries(); ++i) {
+              const Rect& rect = node->rects[static_cast<size_t>(i)];
+              for (int d = 0; d < dims_; ++d) {
+                point[static_cast<size_t>(d)] = rect.lo(d);
+              }
+              push_entry(bound.ToTransformedPoint(point, actions),
+                         node->ids[static_cast<size_t>(i)]);
             }
-            const double lower = bound.ToTransformedPoint(point, actions);
-            queue.push(Item{lower, nullptr,
-                            node->ids[static_cast<size_t>(i)], false});
+          } else {
+            for (int i = 0; i < node->num_entries(); ++i) {
+              push_node(bound.ToTransformedRect(
+                            node->rects[static_cast<size_t>(i)], actions),
+                        node->children[static_cast<size_t>(i)].get());
+            }
           }
-        } else {
-          for (int i = 0; i < node->num_entries(); ++i) {
-            const double lower = bound.ToTransformedRect(
-                node->rects[static_cast<size_t>(i)], actions);
-            queue.push(Item{lower,
-                            node->children[static_cast<size_t>(i)].get(), -1,
-                            false});
-          }
-        }
-      } else if (!item.resolved) {
-        // First pop of an entry: upgrade the feature-space bound to the
-        // exact distance and re-queue; when it surfaces again it is final.
-        const double exact = exact_distance(item.id);
-        queue.push(Item{exact, nullptr, item.id, true});
-      } else {
-        results.emplace_back(item.id, item.priority);
-      }
-    }
-    return results;
+        },
+        exact_distance);
   }
 
   int dims_;

@@ -217,7 +217,12 @@ Result<int64_t> SubsequenceIndex::AddSeries(const TimeSeries& series) {
   }
   flush_trail();
   num_windows_ += num_offsets;
+  packed_.Invalidate();
   return series_id;
+}
+
+const PackedRTree& SubsequenceIndex::packed_rtree() const {
+  return packed_.Get(*tree_);
 }
 
 std::vector<SubsequenceIndex::SubsequenceMatch> SubsequenceIndex::RangeSearch(
@@ -239,12 +244,34 @@ std::vector<SubsequenceIndex::SubsequenceMatch> SubsequenceIndex::RangeSearch(
   }
   const Rect box = Rect::FromBounds(lo, hi);
 
-  const int64_t accesses_before = tree_->node_accesses();
+  // Packed traversal with inlined visitor lambdas (the generic overlap
+  // predicate works for both entry MBR views and pointer-tree Rects).
+  // Oversized-fanout configurations stay on the pointer tree: the packed
+  // layout caps node fanout at PackedRTree::kMaxFanout.
+  const auto overlaps_box = [&](const auto& rect) {
+    for (int d = 0; d < box.dims(); ++d) {
+      if (rect.lo(d) > box.hi(d) || rect.hi(d) < box.lo(d)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const bool use_packed =
+      PackedRTree::SupportsFanout(options_.rtree.max_entries);
+  const PackedRTree* packed = use_packed ? &packed_rtree() : nullptr;
+  const int64_t accesses_before =
+      use_packed ? packed->node_accesses() : tree_->node_accesses();
   std::vector<int64_t> trail_ids;
-  tree_->SearchGeneric(
-      [&](const Rect& rect) { return box.Overlaps(rect); },
-      [&](const Rect& rect, int64_t) { return box.Overlaps(rect); },
-      [&](int64_t id) { trail_ids.push_back(id); });
+  trail_ids.reserve(64);
+  const auto leaf_predicate = [&](const auto& rect, int64_t) {
+    return overlaps_box(rect);
+  };
+  const auto emit = [&](int64_t id) { trail_ids.push_back(id); };
+  if (use_packed) {
+    packed->SearchGeneric(overlaps_box, leaf_predicate, emit);
+  } else {
+    tree_->SearchGeneric(overlaps_box, leaf_predicate, emit);
+  }
 
   std::vector<SubsequenceMatch> matches;
   int64_t windows_checked = 0;
@@ -263,7 +290,9 @@ std::vector<SubsequenceIndex::SubsequenceMatch> SubsequenceIndex::RangeSearch(
     }
   }
   if (stats != nullptr) {
-    stats->node_accesses = tree_->node_accesses() - accesses_before;
+    stats->node_accesses =
+        (use_packed ? packed->node_accesses() : tree_->node_accesses()) -
+        accesses_before;
     stats->trails_retrieved = static_cast<int64_t>(trail_ids.size());
     stats->windows_checked = windows_checked;
   }

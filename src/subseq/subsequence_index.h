@@ -32,6 +32,7 @@
 #include <memory>
 #include <vector>
 
+#include "index/packed_rtree.h"
 #include "index/rtree.h"
 #include "ts/dft.h"
 #include "ts/time_series.h"
@@ -84,6 +85,10 @@ class SubsequenceIndex {
   int64_t num_windows() const { return num_windows_; }
   int64_t num_trails() const { return static_cast<int64_t>(trails_.size()); }
   const RTree& rtree() const { return *tree_; }
+  // Packed snapshot of rtree(); RangeSearch traverses this. AddSeries
+  // marks it stale, the next query recompiles it (thread-safe against
+  // concurrent queries).
+  const PackedRTree& packed_rtree() const;
   const Options& options() const { return options_; }
 
   // Feature layout: Re(X0), then (Re, Im) of X1..X{k-1}. X0 of a real
@@ -107,6 +112,7 @@ class SubsequenceIndex {
   std::vector<std::vector<double>> series_;
   std::vector<Trail> trails_;
   std::unique_ptr<RTree> tree_;
+  PackedSnapshotCache packed_;
   int64_t num_windows_ = 0;
 };
 
