@@ -1,0 +1,363 @@
+// simq_shell: an interactive shell over the concurrent query service.
+//
+// Lines are either dot-commands (data management, prepared statements,
+// service stats) or query text in the language of core/parser.h, with the
+// EXPLAIN prefix rendering the plan (strategy, traversal engine, cache
+// status, relation epoch) instead of the answer rows. See
+// examples/README.md for a quickstart transcript.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/persistence.h"
+#include "service/query_service.h"
+#include "workload/generators.h"
+
+namespace simq {
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  .gen <relation> <count> <length> [seed]  create + bulk-load random"
+      " walks\n"
+      "  .stock <relation>                        bulk-load the 1067x128"
+      " stock workload\n"
+      "  .load <path> | .save <path> [version]    snapshot restore / save\n"
+      "  .relations                               list relations and"
+      " epochs\n"
+      "  .prepare <name> <query text>             prepare a statement\n"
+      "  .exec <name> [eps=<v>] [k=<n>] [of=#<s>] execute a prepared"
+      " statement\n"
+      "  .stats                                   service counters +"
+      " latency percentiles\n"
+      "  .help | .quit\n"
+      "anything else is parsed as a query; prefix with EXPLAIN to see the"
+      " plan.\n");
+}
+
+void PrintPlan(const ServiceResult& result) {
+  std::printf(
+      "plan: strategy=%s engine=%s cache=%s epoch=%llu prepared=%s "
+      "fingerprint=%016llx\n",
+      result.plan.strategy.c_str(), result.plan.engine.c_str(),
+      result.plan.cache_hit ? "hit" : "miss",
+      static_cast<unsigned long long>(result.plan.relation_epoch),
+      result.plan.prepared ? "yes" : "no",
+      static_cast<unsigned long long>(result.plan.fingerprint));
+  std::printf(
+      "stats: node_accesses=%lld candidates=%lld exact_checks=%lld "
+      "(%.3f ms)\n",
+      static_cast<long long>(result.result.stats.node_accesses),
+      static_cast<long long>(result.result.stats.candidates),
+      static_cast<long long>(result.result.stats.exact_checks),
+      result.elapsed_ms);
+}
+
+void PrintResult(const ServiceResult& result, bool explain) {
+  if (explain) {
+    PrintPlan(result);
+    return;
+  }
+  const QueryResult& answer = result.result;
+  if (!answer.pairs.empty() || answer.matches.empty()) {
+    std::printf("%zu pairs, %zu matches", answer.pairs.size(),
+                answer.matches.size());
+  } else {
+    std::printf("%zu matches", answer.matches.size());
+  }
+  std::printf(" in %.3f ms%s\n", result.elapsed_ms,
+              result.plan.cache_hit ? " (cached)" : "");
+  const size_t show = std::min<size_t>(answer.matches.size(), 10);
+  for (size_t i = 0; i < show; ++i) {
+    std::printf("  %6lld  %-16s  %.6f\n",
+                static_cast<long long>(answer.matches[i].id),
+                answer.matches[i].name.c_str(), answer.matches[i].distance);
+  }
+  if (answer.matches.size() > show) {
+    std::printf("  ... %zu more\n", answer.matches.size() - show);
+  }
+  const size_t show_pairs = std::min<size_t>(answer.pairs.size(), 10);
+  for (size_t i = 0; i < show_pairs; ++i) {
+    std::printf("  (%lld, %lld)  %.6f\n",
+                static_cast<long long>(answer.pairs[i].first),
+                static_cast<long long>(answer.pairs[i].second),
+                answer.pairs[i].distance);
+  }
+  if (answer.pairs.size() > show_pairs) {
+    std::printf("  ... %zu more\n", answer.pairs.size() - show_pairs);
+  }
+}
+
+void PrintStats(const ServiceStats& stats) {
+  std::printf(
+      "queries=%lld (prepared=%lld, parses=%lld)  mutations=%lld  "
+      "admission_waits=%lld\n",
+      static_cast<long long>(stats.queries),
+      static_cast<long long>(stats.prepared_executions),
+      static_cast<long long>(stats.cold_parses),
+      static_cast<long long>(stats.mutations),
+      static_cast<long long>(stats.admission_waits));
+  const int64_t lookups = stats.cache.hits + stats.cache.misses;
+  std::printf(
+      "cache: hits=%lld misses=%lld hit_rate=%.1f%% entries_invalidated="
+      "%lld\n",
+      static_cast<long long>(stats.cache.hits),
+      static_cast<long long>(stats.cache.misses),
+      lookups > 0 ? 100.0 * static_cast<double>(stats.cache.hits) /
+                        static_cast<double>(lookups)
+                  : 0.0,
+      static_cast<long long>(stats.cache.invalidated_entries));
+  std::printf("latency: p50=%.3f ms  p95=%.3f ms  p99=%.3f ms\n",
+              stats.latency_p50_ms, stats.latency_p95_ms,
+              stats.latency_p99_ms);
+  std::printf("sessions: open=%lld total=%lld\n",
+              static_cast<long long>(stats.active_sessions),
+              static_cast<long long>(stats.sessions_opened));
+}
+
+// A `key=value`-style token of the .exec command; returns true on match.
+bool ConsumeOption(const std::string& token, const std::string& key,
+                   std::string* value) {
+  if (token.rfind(key, 0) != 0) {
+    return false;
+  }
+  *value = token.substr(key.size());
+  return true;
+}
+
+class Shell {
+ public:
+  Shell()
+      : service_(std::make_unique<QueryService>(Database())),
+        session_(service_->OpenSession()) {}
+
+  // Returns false when the shell should exit.
+  bool HandleLine(const std::string& line) {
+    std::istringstream in(line);
+    std::string head;
+    if (!(in >> head)) {
+      return true;  // blank line
+    }
+    if (head == ".quit" || head == ".exit") {
+      return false;
+    }
+    if (head == ".help") {
+      PrintHelp();
+    } else if (head == ".gen") {
+      CmdGenerate(in);
+    } else if (head == ".stock") {
+      CmdStock(in);
+    } else if (head == ".load") {
+      CmdLoad(in);
+    } else if (head == ".save") {
+      CmdSave(in);
+    } else if (head == ".relations") {
+      CmdRelations();
+    } else if (head == ".prepare") {
+      CmdPrepare(in, line);
+    } else if (head == ".exec") {
+      CmdExec(in);
+    } else if (head == ".stats") {
+      PrintStats(service_->stats());
+    } else if (!head.empty() && head[0] == '.') {
+      std::printf("unknown command '%s' (try .help)\n", head.c_str());
+    } else {
+      CmdQuery(line);
+    }
+    return true;
+  }
+
+ private:
+  void CmdGenerate(std::istringstream& in) {
+    std::string relation;
+    int count = 0;
+    int length = 0;
+    uint64_t seed = 42;
+    if (!(in >> relation >> count >> length)) {
+      std::printf("usage: .gen <relation> <count> <length> [seed]\n");
+      return;
+    }
+    in >> seed;
+    Status status = service_->CreateRelation(relation);
+    if (status.ok()) {
+      status = service_->BulkLoad(
+          relation, workload::RandomWalkSeries(count, length, seed));
+    }
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      return;
+    }
+    std::printf("loaded %d random walks of length %d into '%s'\n", count,
+                length, relation.c_str());
+  }
+
+  void CmdStock(std::istringstream& in) {
+    std::string relation;
+    if (!(in >> relation)) {
+      std::printf("usage: .stock <relation>\n");
+      return;
+    }
+    Status status = service_->CreateRelation(relation);
+    if (status.ok()) {
+      status = service_->BulkLoad(
+          relation, workload::StockMarket(workload::StockMarketOptions()));
+    }
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      return;
+    }
+    std::printf("loaded the stock workload into '%s'\n", relation.c_str());
+  }
+
+  void CmdLoad(std::istringstream& in) {
+    std::string path;
+    if (!(in >> path)) {
+      std::printf("usage: .load <path>\n");
+      return;
+    }
+    Result<Database> loaded = LoadDatabase(path);
+    if (!loaded.ok()) {
+      std::printf("error: %s\n", loaded.status().ToString().c_str());
+      return;
+    }
+    // Replace the whole service: prepared statements refer to the old
+    // data and are dropped with the old session.
+    session_.reset();
+    statements_.clear();
+    service_ = std::make_unique<QueryService>(std::move(loaded).value());
+    session_ = service_->OpenSession();
+    std::printf("loaded '%s'\n", path.c_str());
+    CmdRelations();
+  }
+
+  void CmdSave(std::istringstream& in) {
+    std::string path;
+    int version = 2;
+    if (!(in >> path)) {
+      std::printf("usage: .save <path> [version]\n");
+      return;
+    }
+    in >> version;
+    const Status status =
+        SaveDatabase(service_->database_unlocked(), path, version);
+    std::printf("%s\n", status.ok() ? "saved" : status.ToString().c_str());
+  }
+
+  void CmdRelations() {
+    for (const std::string& name :
+         service_->database_unlocked().RelationNames()) {
+      const Relation* relation =
+          service_->database_unlocked().GetRelation(name);
+      std::printf("  %-16s %lld series x %d  (epoch %llu)\n", name.c_str(),
+                  static_cast<long long>(relation->size()),
+                  relation->series_length(),
+                  static_cast<unsigned long long>(
+                      service_->RelationEpoch(name)));
+    }
+  }
+
+  void CmdPrepare(std::istringstream& in, const std::string& line) {
+    std::string name;
+    if (!(in >> name)) {
+      std::printf("usage: .prepare <name> <query text>\n");
+      return;
+    }
+    // Everything after the statement name is the query text; tellg points
+    // just past the token the stream consumed.
+    const std::streampos text_start = in.tellg();
+    if (text_start < 0) {
+      std::printf("usage: .prepare <name> <query text>\n");
+      return;
+    }
+    const std::string text = line.substr(static_cast<size_t>(text_start));
+    const Result<int64_t> statement = session_->Prepare(text);
+    if (!statement.ok()) {
+      std::printf("error: %s\n", statement.status().ToString().c_str());
+      return;
+    }
+    statements_[name] = statement.value();
+    std::printf("prepared '%s' as statement %lld\n", name.c_str(),
+                static_cast<long long>(statement.value()));
+  }
+
+  void CmdExec(std::istringstream& in) {
+    std::string name;
+    if (!(in >> name)) {
+      std::printf("usage: .exec <name> [eps=<v>] [k=<n>] [of=#<series>]\n");
+      return;
+    }
+    const auto it = statements_.find(name);
+    if (it == statements_.end()) {
+      std::printf("no prepared statement named '%s'\n", name.c_str());
+      return;
+    }
+    BindParams params;
+    std::string token;
+    while (in >> token) {
+      std::string value;
+      if (ConsumeOption(token, "eps=", &value)) {
+        params.epsilon = std::stod(value);
+      } else if (ConsumeOption(token, "k=", &value)) {
+        params.k = std::stoi(value);
+      } else if (ConsumeOption(token, "of=#", &value)) {
+        params.series.emplace();
+        params.series->name = value;
+      } else {
+        std::printf("unknown option '%s'\n", token.c_str());
+        return;
+      }
+    }
+    const Result<ServiceResult> result =
+        session_->ExecutePrepared(it->second, params);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    PrintResult(result.value(), /*explain=*/false);
+  }
+
+  void CmdQuery(const std::string& text) {
+    const Result<ServiceResult> result = session_->Execute(text);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    PrintResult(result.value(), result.value().plan.explain);
+  }
+
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<Session> session_;
+  std::map<std::string, int64_t> statements_;
+};
+
+int Main() {
+  std::printf("simq shell -- .help for commands, .quit to exit\n");
+  Shell shell;
+  std::string line;
+  while (true) {
+    std::printf("simq> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) {
+      break;
+    }
+    if (!shell.HandleLine(line)) {
+      break;
+    }
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace simq
+
+int main() { return simq::Main(); }

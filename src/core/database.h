@@ -116,6 +116,12 @@ class Database {
   IndexEngine index_engine() const { return index_engine_; }
   void set_index_engine(IndexEngine engine) { index_engine_ = engine; }
 
+  // Engine actually used by index strategies: the configured engine,
+  // demoted to kPointer when the index options exceed the packed layout's
+  // fanout limit (PackedRTree::SupportsFanout). Public so execution front
+  // ends (the query service's EXPLAIN) can report the real engine.
+  IndexEngine EffectiveIndexEngine() const;
+
   Status CreateRelation(const std::string& name);
   // Inserts one series (index maintained incrementally); returns its id.
   Result<int64_t> Insert(const std::string& relation,
@@ -154,11 +160,6 @@ class Database {
                                JoinMethod method) const;
 
  private:
-  // Engine actually used by index strategies: the configured engine,
-  // demoted to kPointer when the index options exceed the packed layout's
-  // fanout limit (PackedRTree::SupportsFanout).
-  IndexEngine EffectiveIndexEngine() const;
-
   Result<QueryResult> ExecuteRange(const Relation& relation,
                                    const Query& query) const;
   Result<QueryResult> ExecuteNearest(const Relation& relation,

@@ -104,6 +104,10 @@ class Parser {
 
   Result<Query> Parse() {
     Query query;
+    if (Peek().kind == TokenKind::kIdent && ToUpper(Peek().text) == "EXPLAIN") {
+      Advance();
+      query.explain = true;
+    }
     const Token& head = Peek();
     if (head.kind != TokenKind::kIdent) {
       return Error("expected RANGE, PAIRS, or NEAREST");
@@ -133,8 +137,15 @@ class Parser {
   void Advance() { ++index_; }
 
   Status Error(const std::string& message) const {
+    return ErrorAt(Peek().position, message);
+  }
+
+  // Anchors the message at an explicit offset -- used when the offending
+  // token has already been consumed (e.g. a bad VIA/MODE argument or an
+  // unknown rule name), so the position points at it, not past it.
+  Status ErrorAt(size_t position, const std::string& message) const {
     std::ostringstream out;
-    out << message << " at offset " << Peek().position;
+    out << message << " at offset " << position;
     return Status::InvalidArgument(out.str());
   }
 
@@ -226,6 +237,7 @@ class Parser {
   Status ParseTransform(std::shared_ptr<const TransformationRule>* out) {
     std::vector<std::unique_ptr<TransformationRule>> rules;
     while (true) {
+      const size_t name_position = Peek().position;
       std::string name;
       SIMQ_RETURN_IF_ERROR(ParseIdent(&name));
       std::vector<double> args;
@@ -246,7 +258,7 @@ class Parser {
       Result<std::unique_ptr<TransformationRule>> rule =
           MakeRuleByName(name, args);
       if (!rule.ok()) {
-        return rule.status();
+        return ErrorAt(name_position, rule.status().message());
       }
       rules.push_back(std::move(rule).value());
       if (Peek().kind == TokenKind::kPunct && Peek().text == "|") {
@@ -280,6 +292,7 @@ class Parser {
         }
       } else if (keyword == "MODE") {
         Advance();
+        const size_t arg_position = Peek().position;
         std::string mode;
         SIMQ_RETURN_IF_ERROR(ParseIdent(&mode));
         const std::string upper = ToUpper(mode);
@@ -288,10 +301,11 @@ class Parser {
         } else if (upper == "RAW") {
           query->mode = DistanceMode::kRaw;
         } else {
-          return Error("MODE expects NORMAL or RAW");
+          return ErrorAt(arg_position, "MODE expects NORMAL or RAW");
         }
       } else if (keyword == "VIA") {
         Advance();
+        const size_t arg_position = Peek().position;
         std::string via;
         SIMQ_RETURN_IF_ERROR(ParseIdent(&via));
         const std::string upper = ToUpper(via);
@@ -304,7 +318,8 @@ class Parser {
         } else if (upper == "FULLSCAN") {
           query->strategy = ExecutionStrategy::kScanNoEarlyAbandon;
         } else {
-          return Error("VIA expects AUTO, INDEX, SCAN, or FULLSCAN");
+          return ErrorAt(arg_position,
+                         "VIA expects AUTO, INDEX, SCAN, or FULLSCAN");
         }
       } else if (keyword == "PRENORMALIZED") {
         Advance();

@@ -2,7 +2,7 @@
 //
 // Grammar (keywords case-insensitive, '#' introduces a stored-series name):
 //
-//   query    := range | pairs | nearest
+//   query    := [EXPLAIN] (range | pairs | nearest)
 //   range    := RANGE ident WITHIN number OF series clauses
 //   pairs    := PAIRS ident WITHIN number clauses
 //   nearest  := NEAREST integer ident TO series clauses
@@ -25,7 +25,9 @@
 //
 // Rule names accepted in tcall are those of core/transformation.h's
 // MakeRuleByName. MEAN/STD clauses attach [GK95] statistic predicates to
-// the pattern.
+// the pattern. The EXPLAIN prefix sets Query::explain; execution front
+// ends then report the plan (strategy, engine, cache status) with the
+// result.
 
 #ifndef SIMQ_CORE_PARSER_H_
 #define SIMQ_CORE_PARSER_H_

@@ -1,13 +1,17 @@
 #include "core/persistence.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <string>
 #include <vector>
 
 namespace simq {
 namespace {
 
-constexpr char kMagic[] = "SIMQDB1\n";
+constexpr char kMagicV1[] = "SIMQDB1\n";
+constexpr char kMagicV2[] = "SIMQDB2\n";
 constexpr size_t kMagicLength = 8;
 
 class Writer {
@@ -82,14 +86,49 @@ class Reader {
   std::ifstream stream_;
 };
 
+// The SIMQDB2 per-relation summary block: min/max of the records' means
+// and standard deviations. Derived bit-for-bit from the stored features,
+// so the loader can recompute and compare exactly.
+struct StatsSummary {
+  double mean_min = 0.0;
+  double mean_max = 0.0;
+  double std_min = 0.0;
+  double std_max = 0.0;
+};
+
+StatsSummary SummarizeRelation(const Relation& relation) {
+  StatsSummary stats;
+  bool first = true;
+  for (const Record& record : relation.records()) {
+    const double mean = record.features.mean;
+    const double std_dev = record.features.std_dev;
+    if (first) {
+      stats.mean_min = stats.mean_max = mean;
+      stats.std_min = stats.std_max = std_dev;
+      first = false;
+    } else {
+      stats.mean_min = std::min(stats.mean_min, mean);
+      stats.mean_max = std::max(stats.mean_max, mean);
+      stats.std_min = std::min(stats.std_min, std_dev);
+      stats.std_max = std::max(stats.std_max, std_dev);
+    }
+  }
+  return stats;
+}
+
 }  // namespace
 
-Status SaveDatabase(const Database& db, const std::string& path) {
+Status SaveDatabase(const Database& db, const std::string& path,
+                    int format_version) {
+  if (format_version != 1 && format_version != 2) {
+    return Status::InvalidArgument("unsupported snapshot format version " +
+                                   std::to_string(format_version));
+  }
   Writer writer(path);
   if (!writer.ok()) {
     return Status::InvalidArgument("cannot open '" + path + "' for writing");
   }
-  writer.Bytes(kMagic, kMagicLength);
+  writer.Bytes(format_version == 2 ? kMagicV2 : kMagicV1, kMagicLength);
   const FeatureConfig& config = db.config();
   writer.I32(config.num_coefficients);
   writer.I32(static_cast<int32_t>(config.space));
@@ -102,7 +141,14 @@ Status SaveDatabase(const Database& db, const std::string& path) {
     writer.String(name);
     writer.I32(relation->series_length());
     writer.U64(static_cast<uint64_t>(relation->size()));
+    if (format_version == 2) {
+      const StatsSummary stats = SummarizeRelation(*relation);
+      writer.Bytes(&stats, sizeof(stats));
+    }
     for (const Record& record : relation->records()) {
+      if (format_version == 2) {
+        writer.U64(static_cast<uint64_t>(record.id));
+      }
       writer.String(record.name);
       writer.Doubles(record.raw);
     }
@@ -120,7 +166,13 @@ Result<Database> LoadDatabase(const std::string& path) {
   }
   char magic[kMagicLength];
   SIMQ_RETURN_IF_ERROR(reader.Bytes(magic, kMagicLength));
-  if (std::string(magic, kMagicLength) != std::string(kMagic, kMagicLength)) {
+  const std::string magic_str(magic, kMagicLength);
+  int version = 0;
+  if (magic_str == std::string(kMagicV1, kMagicLength)) {
+    version = 1;
+  } else if (magic_str == std::string(kMagicV2, kMagicLength)) {
+    version = 2;
+  } else {
     return Status::InvalidArgument("'" + path + "' is not a simq snapshot");
   }
 
@@ -146,10 +198,26 @@ Result<Database> LoadDatabase(const std::string& path) {
     SIMQ_RETURN_IF_ERROR(reader.I32(&series_length));
     uint64_t record_count = 0;
     SIMQ_RETURN_IF_ERROR(reader.U64(&record_count));
+    StatsSummary stored_stats;
+    if (version == 2) {
+      SIMQ_RETURN_IF_ERROR(reader.Bytes(&stored_stats, sizeof(stored_stats)));
+    }
     SIMQ_RETURN_IF_ERROR(db.CreateRelation(relation_name));
 
     std::vector<TimeSeries> series(record_count);
     for (uint64_t i = 0; i < record_count; ++i) {
+      if (version == 2) {
+        uint64_t id = 0;
+        SIMQ_RETURN_IF_ERROR(reader.U64(&id));
+        // The engine assigns dense ids in insertion order; a snapshot with
+        // any other sequence is corrupt (and restoring it would silently
+        // renumber the records).
+        if (id != i) {
+          return Status::InvalidArgument(
+              "snapshot record ids are not the dense insertion sequence in "
+              "relation '" + relation_name + "'");
+        }
+      }
       SIMQ_RETURN_IF_ERROR(reader.String(&series[i].id));
       SIMQ_RETURN_IF_ERROR(reader.Doubles(&series[i].values));
       if (series[i].length() != series_length) {
@@ -159,6 +227,17 @@ Result<Database> LoadDatabase(const std::string& path) {
       }
     }
     SIMQ_RETURN_IF_ERROR(db.BulkLoad(relation_name, series));
+    if (version == 2 && record_count > 0) {
+      const StatsSummary recomputed =
+          SummarizeRelation(*db.GetRelation(relation_name));
+      // Bit-pattern comparison (not ==): NaN stats from NaN-bearing series
+      // must round-trip like any other value.
+      if (std::memcmp(&recomputed, &stored_stats, sizeof(recomputed)) != 0) {
+        return Status::InvalidArgument(
+            "snapshot relation stats do not match the restored records in "
+            "relation '" + relation_name + "'");
+      }
+    }
   }
   return db;
 }

@@ -89,6 +89,12 @@ struct Query {
   // pattern) and is not re-normalized by the engine. Textual syntax:
   // the PRENORMALIZED clause.
   bool query_prenormalized = false;
+
+  // Set by the EXPLAIN prefix of the textual grammar. The engine executes
+  // the query normally; front ends (the query service / simq_shell) report
+  // the chosen strategy, traversal engine, and cache status instead of --
+  // or alongside -- the answer set.
+  bool explain = false;
 };
 
 struct Match {

@@ -1,6 +1,7 @@
 #include "core/transformation.h"
 
 #include <cmath>
+#include <iomanip>
 #include <sstream>
 #include <utility>
 
@@ -9,6 +10,17 @@
 
 namespace simq {
 namespace {
+
+// Renders a rule's double argument at full round-trip precision
+// (max_digits10): name() is the canonical textual identity of a rule --
+// the parser reconstructs rules from it and the query service fingerprints
+// cache entries with it -- so two rules that behave differently must never
+// print identically. Integer-valued doubles keep their short form.
+std::string FormatRuleArg(double value) {
+  std::ostringstream out;
+  out << std::setprecision(17) << value;
+  return out.str();
+}
 
 class IdentityRule : public TransformationRule {
  public:
@@ -130,7 +142,7 @@ class ShiftRule : public TransformationRule {
   ShiftRule(double amount, double cost) : amount_(amount), cost_(cost) {}
   std::string name() const override {
     std::ostringstream out;
-    out << "shift(" << amount_ << ")";
+    out << "shift(" << FormatRuleArg(amount_) << ")";
     return out.str();
   }
   double cost() const override { return cost_; }
@@ -156,7 +168,7 @@ class ScaleRule : public TransformationRule {
   ScaleRule(double factor, double cost) : factor_(factor), cost_(cost) {}
   std::string name() const override {
     std::ostringstream out;
-    out << "scale(" << factor_ << ")";
+    out << "scale(" << FormatRuleArg(factor_) << ")";
     return out.str();
   }
   double cost() const override { return cost_; }
@@ -212,7 +224,7 @@ class DespikeRule : public TransformationRule {
   }
   std::string name() const override {
     std::ostringstream out;
-    out << "despike(" << threshold_ << ")";
+    out << "despike(" << FormatRuleArg(threshold_) << ")";
     return out.str();
   }
   double cost() const override { return cost_; }
@@ -346,8 +358,14 @@ std::unique_ptr<TransformationRule> MakeMovingAverageRule(int window,
 
 std::unique_ptr<TransformationRule> MakeWeightedMovingAverageRule(
     std::vector<double> weights, double cost) {
+  std::ostringstream name;
+  name << "wmavg(";
+  for (size_t i = 0; i < weights.size(); ++i) {
+    name << (i > 0 ? "," : "") << FormatRuleArg(weights[i]);
+  }
+  name << ")";
   return std::make_unique<WeightedMovingAverageRule>(std::move(weights),
-                                                     "wmavg", cost);
+                                                     name.str(), cost);
 }
 
 std::unique_ptr<TransformationRule> MakeReverseRule(double cost) {
@@ -388,7 +406,7 @@ std::unique_ptr<TransformationRule> MakeExponentialSmoothingRule(
     w /= total;
   }
   std::ostringstream name;
-  name << "ewma(" << alpha << ")";
+  name << "ewma(" << FormatRuleArg(alpha) << ")";
   return std::make_unique<WeightedMovingAverageRule>(std::move(weights),
                                                      name.str(), cost);
 }

@@ -1,0 +1,99 @@
+#include "service/fingerprint.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace simq {
+namespace {
+
+// Exact bit-pattern rendering: equal doubles (including signed zeros and
+// NaN payloads) produce equal text, distinct doubles distinct text.
+void AppendBits(std::ostringstream* out, double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  *out << std::hex << bits << std::dec;
+}
+
+void AppendSeries(std::ostringstream* out, const SeriesRef& series) {
+  if (series.id.has_value()) {
+    *out << "i" << *series.id;
+  } else if (series.name.has_value()) {
+    *out << "n" << series.name->size() << ":" << *series.name;
+  } else {
+    *out << "l";
+    for (const double value : series.literal) {
+      *out << ",";
+      AppendBits(out, value);
+    }
+  }
+}
+
+void AppendRange(std::ostringstream* out, const char* tag,
+                 const std::optional<std::pair<double, double>>& range) {
+  if (!range.has_value()) {
+    return;
+  }
+  *out << "|" << tag << "=";
+  AppendBits(out, range->first);
+  *out << ":";
+  AppendBits(out, range->second);
+}
+
+}  // namespace
+
+std::string CanonicalQueryKey(const Query& query) {
+  std::ostringstream out;
+  switch (query.kind) {
+    case QueryKind::kRange:
+      out << "R";
+      break;
+    case QueryKind::kAllPairs:
+      out << "P";
+      break;
+    case QueryKind::kNearest:
+      out << "N";
+      break;
+  }
+  // Length-prefix the relation name so it can never run into the clauses.
+  out << "|" << query.relation.size() << ":" << query.relation;
+
+  if (query.kind == QueryKind::kNearest) {
+    out << "|k=" << query.k;
+  } else {
+    out << "|e=";
+    AppendBits(&out, query.epsilon);
+  }
+  if (query.kind != QueryKind::kAllPairs) {
+    out << "|q=";
+    AppendSeries(&out, query.query_series);
+  }
+  if (query.transform != nullptr) {
+    out << "|t=" << query.transform->name();
+  }
+  if (query.transform_right != nullptr) {
+    out << "|tr=" << query.transform_right->name();
+  }
+  out << "|m=" << (query.mode == DistanceMode::kNormalForm ? "N" : "R");
+  out << "|s=" << static_cast<int>(query.strategy);
+  if (query.query_prenormalized) {
+    out << "|pn";
+  }
+  if (query.pattern.kind == Pattern::Kind::kConstant) {
+    out << "|pc=" << query.pattern.constant_id.value_or(-1);
+  }
+  AppendRange(&out, "mean", query.pattern.mean_range);
+  AppendRange(&out, "std", query.pattern.std_range);
+  return out.str();
+}
+
+uint64_t QueryFingerprint(const Query& query) {
+  const std::string key = CanonicalQueryKey(query);
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const char c : key) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+}  // namespace simq

@@ -1,0 +1,318 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/parser.h"
+#include "service/fingerprint.h"
+#include "ts/transforms.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace simq {
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Session::~Session() { service_->OnSessionClosed(); }
+
+Result<int64_t> Session::Prepare(const std::string& text) {
+  Result<Query> parsed = service_->ParseTracked(text);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  PreparedStatement statement;
+  statement.text = text;
+  statement.query = std::move(parsed).value();
+  // Normalize a literal query series once: every execution that keeps the
+  // template's series skips ToNormalForm + re-validation. Substituting the
+  // normal form with query_prenormalized set is answer-preserving by
+  // definition of the PRENORMALIZED clause (the engine would compute the
+  // same doubles itself).
+  if (statement.query.kind != QueryKind::kAllPairs &&
+      statement.query.mode == DistanceMode::kNormalForm &&
+      !statement.query.query_prenormalized &&
+      statement.query.query_series.is_literal() &&
+      !statement.query.query_series.literal.empty()) {
+    statement.normalized_literal =
+        ToNormalForm(statement.query.query_series.literal).values;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int64_t id = next_statement_id_++;
+  statements_[id] = std::move(statement);
+  return id;
+}
+
+Result<ServiceResult> Session::ExecutePrepared(int64_t statement_id,
+                                               const BindParams& params) {
+  Query query;
+  std::vector<double> normalized_literal;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = statements_.find(statement_id);
+    if (it == statements_.end()) {
+      return Status::NotFound("no prepared statement with id " +
+                              std::to_string(statement_id));
+    }
+    query = it->second.query;  // cheap: shares the compiled rule chain
+    normalized_literal = it->second.normalized_literal;
+  }
+  if (params.epsilon.has_value()) {
+    if (query.kind == QueryKind::kNearest) {
+      return Status::InvalidArgument(
+          "epsilon parameter is not bindable on a NEAREST statement");
+    }
+    query.epsilon = *params.epsilon;
+  }
+  if (params.k.has_value()) {
+    if (query.kind != QueryKind::kNearest) {
+      return Status::InvalidArgument(
+          "k parameter is only bindable on NEAREST statements");
+    }
+    query.k = *params.k;
+  }
+  if (params.series.has_value()) {
+    if (query.kind == QueryKind::kAllPairs) {
+      return Status::InvalidArgument(
+          "series parameter is not bindable on a PAIRS statement");
+    }
+    query.query_series = *params.series;
+  } else if (!normalized_literal.empty()) {
+    query.query_series.literal = std::move(normalized_literal);
+    query.query_prenormalized = true;
+  }
+  return service_->ExecuteInternal(query, /*prepared=*/true);
+}
+
+Result<ServiceResult> Session::Execute(const std::string& text) {
+  return service_->ExecuteText(text);
+}
+
+Status Session::Close(int64_t statement_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (statements_.erase(statement_id) == 0) {
+    return Status::NotFound("no prepared statement with id " +
+                            std::to_string(statement_id));
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// QueryService
+// ---------------------------------------------------------------------------
+
+// Blocks until the service is below its concurrency limit, then divides
+// the pool between the queries now running: with R running queries the
+// newcomer gets floor(threads / R) threads (at least 1). The budget is
+// computed at admission and kept for the query's lifetime -- a fixed
+// contract per execution rather than a moving target.
+class QueryService::AdmissionSlot {
+ public:
+  explicit AdmissionSlot(QueryService* service) : service_(service) {
+    std::unique_lock<std::mutex> lock(service_->admission_mutex_);
+    waited_ = service_->running_queries_ >= service_->max_concurrent_;
+    service_->admission_cv_.wait(lock, [this] {
+      return service_->running_queries_ < service_->max_concurrent_;
+    });
+    ++service_->running_queries_;
+    budget_ = std::max(
+        1, ThreadPool::Global().num_threads() / service_->running_queries_);
+  }
+
+  ~AdmissionSlot() {
+    {
+      std::lock_guard<std::mutex> lock(service_->admission_mutex_);
+      --service_->running_queries_;
+    }
+    service_->admission_cv_.notify_one();
+  }
+
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+  int budget() const { return budget_; }
+  bool waited() const { return waited_; }
+
+ private:
+  QueryService* service_;
+  int budget_ = 1;
+  bool waited_ = false;
+};
+
+QueryService::QueryService(Database db, ServiceOptions options)
+    : db_(std::move(db)),
+      options_(options),
+      max_concurrent_(options.max_concurrent_queries > 0
+                          ? options.max_concurrent_queries
+                          : ThreadPool::Global().num_threads()),
+      cache_(options.enable_result_cache ? options.result_cache_capacity
+                                         : 0) {
+  latencies_.reserve(std::max<size_t>(options_.latency_reservoir, 1));
+}
+
+QueryService::~QueryService() = default;
+
+std::unique_ptr<Session> QueryService::OpenSession() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.sessions_opened;
+  ++stats_.active_sessions;
+  return std::unique_ptr<Session>(new Session(this, next_session_id_++));
+}
+
+void QueryService::OnSessionClosed() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  --stats_.active_sessions;
+}
+
+Status QueryService::CreateRelation(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(data_mutex_);
+  const Status status = db_.CreateRelation(name);
+  if (status.ok()) {
+    ++epochs_[name];
+    lock.unlock();
+    cache_.InvalidateRelation(name);
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.mutations;
+  }
+  return status;
+}
+
+Result<int64_t> QueryService::Insert(const std::string& relation,
+                                     const TimeSeries& series) {
+  std::unique_lock<std::shared_mutex> lock(data_mutex_);
+  Result<int64_t> result = db_.Insert(relation, series);
+  if (result.ok()) {
+    ++epochs_[relation];
+    lock.unlock();
+    cache_.InvalidateRelation(relation);
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.mutations;
+  }
+  return result;
+}
+
+Status QueryService::BulkLoad(const std::string& relation,
+                              const std::vector<TimeSeries>& series) {
+  std::unique_lock<std::shared_mutex> lock(data_mutex_);
+  const Status status = db_.BulkLoad(relation, series);
+  if (status.ok()) {
+    ++epochs_[relation];
+    lock.unlock();
+    cache_.InvalidateRelation(relation);
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.mutations;
+  }
+  return status;
+}
+
+uint64_t QueryService::RelationEpoch(const std::string& relation) const {
+  std::shared_lock<std::shared_mutex> lock(data_mutex_);
+  const auto it = epochs_.find(relation);
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+Result<Query> QueryService::ParseTracked(const std::string& text) {
+  Result<Query> parsed = ParseQuery(text);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.cold_parses;
+  return parsed;
+}
+
+Result<ServiceResult> QueryService::Execute(const Query& query) {
+  return ExecuteInternal(query, /*prepared=*/false);
+}
+
+Result<ServiceResult> QueryService::ExecuteText(const std::string& text) {
+  Result<Query> parsed = ParseTracked(text);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  return ExecuteInternal(parsed.value(), /*prepared=*/false);
+}
+
+Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
+                                                    bool prepared) {
+  Stopwatch watch;
+  AdmissionSlot slot(this);
+  ThreadPool::ScopedParallelismBudget budget(slot.budget());
+
+  ServiceResult out;
+  bool cache_hit = false;
+  uint64_t epoch = 0;
+  {
+    // Shared lock: the query -- including its cache probe/fill -- runs
+    // against one data version; writers wait, other readers do not.
+    std::shared_lock<std::shared_mutex> lock(data_mutex_);
+    const auto it = epochs_.find(query.relation);
+    epoch = it == epochs_.end() ? 0 : it->second;
+    const std::string key =
+        CanonicalQueryKey(query) + "@" + std::to_string(epoch);
+    if (!cache_.Get(key, &out.result)) {
+      Result<QueryResult> executed = db_.Execute(query);
+      if (!executed.ok()) {
+        return executed.status();
+      }
+      out.result = std::move(executed).value();
+      cache_.Put(key, query.relation, out.result);
+    } else {
+      cache_hit = true;
+    }
+    out.plan.engine =
+        out.result.stats.used_index
+            ? (db_.EffectiveIndexEngine() == IndexEngine::kPacked ? "packed"
+                                                                  : "pointer")
+            : "columnar";
+  }
+  out.plan.strategy = out.result.stats.used_index ? "index" : "scan";
+  out.plan.cache_hit = cache_hit;
+  out.plan.prepared = prepared;
+  out.plan.explain = query.explain;
+  out.plan.relation_epoch = epoch;
+  out.plan.fingerprint = QueryFingerprint(query);
+  out.elapsed_ms = watch.ElapsedMillis();
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.queries;
+    if (prepared) {
+      ++stats_.prepared_executions;
+    }
+    if (slot.waited()) {
+      ++stats_.admission_waits;
+    }
+  }
+  RecordLatency(out.elapsed_ms);
+  return out;
+}
+
+void QueryService::RecordLatency(double millis) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  const size_t capacity = std::max<size_t>(options_.latency_reservoir, 1);
+  if (latencies_.size() < capacity) {
+    latencies_.push_back(millis);
+  } else {
+    latencies_[latency_next_] = millis;
+  }
+  latency_next_ = (latency_next_ + 1) % capacity;
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats out;
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = stats_;
+    samples = latencies_;
+  }
+  out.cache = cache_.stats();
+  if (!samples.empty()) {
+    out.latency_p50_ms = Percentile(samples, 50.0);
+    out.latency_p95_ms = Percentile(samples, 95.0);
+    out.latency_p99_ms = Percentile(samples, 99.0);
+  }
+  return out;
+}
+
+}  // namespace simq

@@ -1,0 +1,72 @@
+#include "service/result_cache.h"
+
+namespace simq {
+
+bool ResultCache::Get(const std::string& key, QueryResult* out) {
+  if (capacity_ == 0) {
+    return false;  // disabled: not even a counted miss
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->result;
+  ++stats_.hits;
+  return true;
+}
+
+void ResultCache::Put(const std::string& key, const std::string& relation,
+                      const QueryResult& result) {
+  if (capacity_ == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->result = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, relation, result});
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void ResultCache::InvalidateRelation(const std::string& relation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->relation == relation) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++stats_.invalidated_entries;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  index_.clear();
+  lru_.clear();
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace simq

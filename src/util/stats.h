@@ -51,6 +51,11 @@ struct Summary {
 };
 Summary Summarize(std::vector<double> values);
 
+// The p-th percentile (p in [0, 100]) of a sample by linear interpolation
+// between closest ranks. Returns 0 for an empty sample. Used by the query
+// service's latency accounting (p50/p95/p99).
+double Percentile(std::vector<double> values, double p);
+
 }  // namespace simq
 
 #endif  // SIMQ_UTIL_STATS_H_

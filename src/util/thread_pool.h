@@ -1,6 +1,8 @@
-// A small fixed-size thread pool with a blocked parallel-for, used by the
-// batch execution kernels (core/database.cc) to spread scans and the
-// nested-loop sides of joins over record blocks.
+// A small fixed-size thread pool with a blocked parallel-for and a
+// fire-and-forget task queue. The batch execution kernels
+// (core/database.cc) use ParallelFor to spread scans and the nested-loop
+// sides of joins over record blocks; the query service (service/) uses
+// Submit for asynchronous session work.
 //
 // Design constraints, in order:
 //  * Determinism: ParallelFor hands the body contiguous index ranges plus a
@@ -18,6 +20,17 @@
 // pinned with the SIMQ_THREADS environment variable (SIMQ_THREADS=1
 // disables worker threads entirely). Nested ParallelFor calls from inside a
 // pool worker run serially on the calling thread.
+//
+// Shutdown and re-entrancy contract:
+//  * Submit never deadlocks and never loses a task. With no worker threads
+//    (a 1-thread pool) or once shutdown has begun, the task runs inline on
+//    the submitting thread; a task running on a pool worker may Submit
+//    more work (it is enqueued, not nested).
+//  * The destructor drains the queue: every task submitted before (or
+//    inline during) shutdown finishes before the destructor returns.
+//  * Submit provides no completion handle by design; callers that must
+//    wait use their own latch. A pooled task must never block on work it
+//    just submitted (with one worker that is a deadlock by construction).
 
 #ifndef SIMQ_UTIL_THREAD_POOL_H_
 #define SIMQ_UTIL_THREAD_POOL_H_
@@ -88,6 +101,44 @@ class ThreadPool {
     return hw == 0 ? 1 : static_cast<int>(hw);
   }
 
+  // Enqueues one task for asynchronous execution on a worker thread.
+  // Degenerate paths that run the task inline on the calling thread, so
+  // progress never depends on a worker existing: a pool with no workers
+  // (num_threads() == 1, e.g. SIMQ_THREADS=1) and submission during or
+  // after shutdown. Safe to call from inside a pooled task.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!stop_ && !workers_.empty()) {
+        tasks_.push_back(std::move(task));
+        cv_.notify_one();
+        return;
+      }
+    }
+    task();
+  }
+
+  // Caps the number of threads (including the caller) that ParallelFor
+  // calls issued from the current thread may use, until the scope exits.
+  // The query service's admission scheduler uses this to divide the pool
+  // between concurrently running queries. Budgets nest, restoring the
+  // previous cap on destruction; values below 1 clamp to 1 (a budget can
+  // only narrow -- "unlimited" is the state with no budget installed).
+  class ScopedParallelismBudget {
+   public:
+    explicit ScopedParallelismBudget(int max_threads)
+        : previous_(BudgetFlag()) {
+      BudgetFlag() = max_threads < 1 ? 1 : max_threads;
+    }
+    ~ScopedParallelismBudget() { BudgetFlag() = previous_; }
+    ScopedParallelismBudget(const ScopedParallelismBudget&) = delete;
+    ScopedParallelismBudget& operator=(const ScopedParallelismBudget&) =
+        delete;
+
+   private:
+    int previous_;
+  };
+
   // Splits [begin, end) into contiguous blocks of at least `min_grain`
   // items and runs `body` over them on the pool (the calling thread
   // participates). Returns after every block has finished. Blocks are
@@ -101,13 +152,19 @@ class ThreadPool {
       return;
     }
     min_grain = std::max<int64_t>(min_grain, 1);
-    const int threads = num_threads();
+    const int budget = BudgetFlag();
+    const int threads =
+        budget > 0 ? std::min(num_threads(), budget) : num_threads();
     if (threads == 1 || total <= min_grain || InWorkerFlag()) {
       body(0, begin, end);
       return;
     }
     const int64_t by_grain = (total + min_grain - 1) / min_grain;
-    const int64_t num_blocks = std::min<int64_t>(by_grain, max_blocks());
+    // A thread budget narrows the fan-out of this one call; max_blocks()
+    // stays the pool-wide bound callers size per-block buffers against.
+    const int64_t num_blocks = std::min<int64_t>(
+        by_grain, std::min<int64_t>(static_cast<int64_t>(threads) * 4,
+                                    max_blocks()));
 
     auto state = std::make_shared<ForState>();
     state->begin = begin;
@@ -161,6 +218,13 @@ class ThreadPool {
   static bool& InWorkerFlag() {
     static thread_local bool flag = false;
     return flag;
+  }
+
+  // Per-thread ParallelFor width cap installed by ScopedParallelismBudget;
+  // 0 means unlimited. Read once at fan-out time on the calling thread.
+  static int& BudgetFlag() {
+    static thread_local int budget = 0;
+    return budget;
   }
 
   static void RunBlocks(ForState& state) {

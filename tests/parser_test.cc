@@ -155,5 +155,79 @@ TEST(ParserTest, NegativeNumbersInLiterals) {
   EXPECT_DOUBLE_EQ(result.value().query_series.literal[2], -300.0);
 }
 
+TEST(ParserTest, ExplainPrefixOnEveryQueryKind) {
+  for (const char* text :
+       {"EXPLAIN RANGE stocks WITHIN 2.5 OF #ibm",
+        "explain PAIRS stocks WITHIN 1.0 USING mavg(20)",
+        "Explain NEAREST 3 stocks TO #ibm VIA SCAN"}) {
+    const Result<Query> result = ParseQuery(text);
+    ASSERT_TRUE(result.ok()) << text << ": " << result.status().ToString();
+    EXPECT_TRUE(result.value().explain) << text;
+  }
+  EXPECT_FALSE(ParseQuery("RANGE r WITHIN 1 OF #q").value().explain);
+}
+
+TEST(ParserTest, ExplainAloneIsNotAQuery) {
+  EXPECT_FALSE(ParseQuery("EXPLAIN").ok());
+  EXPECT_FALSE(ParseQuery("EXPLAIN EXPLAIN RANGE r WITHIN 1 OF #q").ok());
+}
+
+// The offset annotation must point at the offending token, not past it --
+// the shell underlines the position it names.
+TEST(ParserTest, MalformedViaErrorPointsAtArgument) {
+  const std::string text = "RANGE r WITHIN 1 OF #q VIA TURBO";
+  const Result<Query> result = ParseQuery(text);
+  ASSERT_FALSE(result.ok());
+  const std::string expected =
+      "at offset " + std::to_string(text.find("TURBO"));
+  EXPECT_NE(result.status().message().find(expected), std::string::npos)
+      << result.status().message();
+}
+
+TEST(ParserTest, MissingViaArgumentErrorPointsAtEnd) {
+  const std::string text = "RANGE r WITHIN 1 OF #q VIA";
+  const Result<Query> result = ParseQuery(text);
+  ASSERT_FALSE(result.ok());
+  const std::string expected = "at offset " + std::to_string(text.size());
+  EXPECT_NE(result.status().message().find(expected), std::string::npos)
+      << result.status().message();
+}
+
+TEST(ParserTest, MalformedModeErrorPointsAtArgument) {
+  const std::string text = "RANGE r WITHIN 1 OF #q MODE SIDEWAYS";
+  const Result<Query> result = ParseQuery(text);
+  ASSERT_FALSE(result.ok());
+  const std::string expected =
+      "at offset " + std::to_string(text.find("SIDEWAYS"));
+  EXPECT_NE(result.status().message().find(expected), std::string::npos)
+      << result.status().message();
+}
+
+TEST(ParserTest, UnknownRuleErrorPointsAtRuleName) {
+  const std::string text = "RANGE r WITHIN 1 OF #q USING mavg(20)|nosuchrule";
+  const Result<Query> result = ParseQuery(text);
+  ASSERT_FALSE(result.ok());
+  const std::string expected =
+      "at offset " + std::to_string(text.find("nosuchrule"));
+  EXPECT_NE(result.status().message().find(expected), std::string::npos)
+      << result.status().message();
+}
+
+TEST(ParserTest, MalformedUsingClauses) {
+  // Each malformed USING form must fail with a position annotation.
+  for (const char* text :
+       {"RANGE r WITHIN 1 OF #q USING",         // missing rule
+        "RANGE r WITHIN 1 OF #q USING mavg(",   // unterminated args
+        "RANGE r WITHIN 1 OF #q USING mavg(20", // missing ')'
+        "RANGE r WITHIN 1 OF #q USING mavg(x)", // non-numeric arg
+        "RANGE r WITHIN 1 OF #q USING |mavg",   // leading pipe
+        "PAIRS r WITHIN 1 USING mavg(20) VS"}) {  // missing right side
+    const Result<Query> result = ParseQuery(text);
+    ASSERT_FALSE(result.ok()) << text;
+    EXPECT_NE(result.status().message().find("at offset"), std::string::npos)
+        << text << ": " << result.status().message();
+  }
+}
+
 }  // namespace
 }  // namespace simq

@@ -98,6 +98,112 @@ TEST(PersistenceTest, RejectsForeignFile) {
             StatusCode::kInvalidArgument);
 }
 
+std::string ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(PersistenceTest, DefaultFormatIsV2WithPreservedIds) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("r").ok());
+  ASSERT_TRUE(db.BulkLoad("r", workload::RandomWalkSeries(25, 32, 11)).ok());
+  const std::string path = TempPath("v2.simqdb");
+  ASSERT_TRUE(SaveDatabase(db, path).ok());
+  EXPECT_EQ(ReadAllBytes(path).substr(0, 8), "SIMQDB2\n");
+
+  Result<Database> loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Relation* restored = loaded.value().GetRelation("r");
+  ASSERT_NE(restored, nullptr);
+  for (int64_t id = 0; id < restored->size(); ++id) {
+    EXPECT_EQ(restored->record(id).id, db.GetRelation("r")->record(id).id);
+    EXPECT_EQ(restored->record(id).name, db.GetRelation("r")->record(id).name);
+  }
+}
+
+TEST(PersistenceTest, VersionRoundTrip) {
+  // The same database through both on-disk versions must restore to
+  // identical contents: v1 snapshots from older builds stay readable, and
+  // v2 adds ids + stats without changing what is restored.
+  FeatureConfig config;
+  config.num_coefficients = 2;
+  Database db(config);
+  ASSERT_TRUE(db.CreateRelation("stocks").ok());
+  ASSERT_TRUE(
+      db.BulkLoad("stocks", workload::RandomWalkSeries(60, 64, 21)).ok());
+
+  const std::string v1_path = TempPath("roundtrip_v1.simqdb");
+  const std::string v2_path = TempPath("roundtrip_v2.simqdb");
+  ASSERT_TRUE(SaveDatabase(db, v1_path, /*format_version=*/1).ok());
+  ASSERT_TRUE(SaveDatabase(db, v2_path, /*format_version=*/2).ok());
+  EXPECT_EQ(ReadAllBytes(v1_path).substr(0, 8), "SIMQDB1\n");
+
+  Result<Database> from_v1 = LoadDatabase(v1_path);
+  Result<Database> from_v2 = LoadDatabase(v2_path);
+  ASSERT_TRUE(from_v1.ok()) << from_v1.status().ToString();
+  ASSERT_TRUE(from_v2.ok()) << from_v2.status().ToString();
+  const Relation* r1 = from_v1.value().GetRelation("stocks");
+  const Relation* r2 = from_v2.value().GetRelation("stocks");
+  ASSERT_EQ(r1->size(), r2->size());
+  for (int64_t id = 0; id < r1->size(); ++id) {
+    EXPECT_EQ(r1->record(id).raw, r2->record(id).raw);  // bit-exact
+    EXPECT_EQ(r1->record(id).name, r2->record(id).name);
+  }
+
+  const char* text = "RANGE stocks WITHIN 4.0 OF #walk5";
+  const Result<QueryResult> a = from_v1.value().ExecuteText(text);
+  const Result<QueryResult> b = from_v2.value().ExecuteText(text);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(MatchIds(a.value()), MatchIds(b.value()));
+}
+
+TEST(PersistenceTest, RejectsUnsupportedSaveVersion) {
+  Database db;
+  EXPECT_EQ(SaveDatabase(db, TempPath("v3.simqdb"), 3).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PersistenceTest, V2RejectsCorruptIdsAndStats) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("r").ok());
+  ASSERT_TRUE(db.BulkLoad("r", workload::RandomWalkSeries(10, 16, 3)).ok());
+  const std::string path = TempPath("v2_corrupt_base.simqdb");
+  ASSERT_TRUE(SaveDatabase(db, path).ok());
+  const std::string bytes = ReadAllBytes(path);
+
+  // Fixed offsets for relation "r" (name length 1), per the layout in
+  // persistence.h: header 8+4+4+1, relation count 8, name 4+1, series
+  // length 4, record count 8 -> stats at 42, first record id at 74.
+  const size_t stats_offset = 42;
+  const size_t first_id_offset = stats_offset + 4 * sizeof(double);
+
+  {
+    std::string corrupt = bytes;
+    corrupt[first_id_offset] = 5;  // first record claims id 5, not 0
+    const std::string bad_path = TempPath("v2_bad_ids.simqdb");
+    std::ofstream out(bad_path, std::ios::binary);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    out.close();
+    const Result<Database> loaded = LoadDatabase(bad_path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("record ids"),
+              std::string::npos);
+  }
+  {
+    std::string corrupt = bytes;
+    corrupt[stats_offset + 3] =
+        static_cast<char>(corrupt[stats_offset + 3] + 1);  // mangle mean_min
+    const std::string bad_path = TempPath("v2_bad_stats.simqdb");
+    std::ofstream out(bad_path, std::ios::binary);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    out.close();
+    const Result<Database> loaded = LoadDatabase(bad_path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("stats"), std::string::npos);
+  }
+}
+
 TEST(PersistenceTest, RejectsTruncatedSnapshot) {
   Database db;
   ASSERT_TRUE(db.CreateRelation("r").ok());

@@ -1,0 +1,242 @@
+// Reader/writer races through the query service: N query threads against
+// concurrent Insert and BulkLoad writers. Run under the SIMQ_SANITIZE CI
+// job, this is the regression net for the snapshot-isolation scheme --
+// torn reads of the records/FeatureStore/PackedRTree trio, stale packed
+// snapshots, or cache entries surviving a mutation all surface here.
+
+#include "service/query_service.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace simq {
+namespace {
+
+std::set<std::string> MatchNames(const QueryResult& result) {
+  std::set<std::string> names;
+  for (const Match& match : result.matches) {
+    names.insert(match.name);
+  }
+  return names;
+}
+
+TEST(ServiceStressTest, ReadersRunAgainstConcurrentWriters) {
+  constexpr int kReaders = 4;
+  constexpr int kQueriesPerReader = 30;
+  constexpr int kInsertsPerWriter = 25;
+  constexpr int kSeriesLength = 32;
+
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("r").ok());
+  ASSERT_TRUE(
+      db.BulkLoad("r", workload::RandomWalkSeries(80, kSeriesLength, 13))
+          .ok());
+  ServiceOptions options;
+  options.result_cache_capacity = 64;
+  QueryService service(std::move(db), options);
+
+  const std::vector<std::string> texts = {
+      "RANGE r WITHIN 3.0 OF #walk1",
+      "RANGE r WITHIN 5.0 OF #walk2 USING mavg(4)",
+      "NEAREST 5 r TO #walk3",
+      "RANGE r WITHIN 3.0 OF #walk4 VIA SCAN",
+  };
+
+  std::atomic<int> failures{0};
+  std::atomic<int64_t> total_queries{0};
+
+  // Each reader records, per query text, the largest answer set seen so
+  // far (by name). Inserts only add records, so answers must only grow:
+  // a shrinking answer means a stale cache entry or a torn read.
+  auto reader = [&](int reader_id) {
+    auto session = service.OpenSession();
+    std::map<std::string, std::set<std::string>> seen;
+    std::vector<int64_t> statements;
+    for (const std::string& text : texts) {
+      const Result<int64_t> statement = session->Prepare(text);
+      if (!statement.ok()) {
+        ++failures;
+        return;
+      }
+      statements.push_back(statement.value());
+    }
+    for (int i = 0; i < kQueriesPerReader; ++i) {
+      const size_t which =
+          static_cast<size_t>((i + reader_id) % static_cast<int>(texts.size()));
+      const Result<ServiceResult> executed =
+          (i % 2 == 0) ? session->ExecutePrepared(statements[which])
+                       : session->Execute(texts[which]);
+      if (!executed.ok()) {
+        ++failures;
+        continue;
+      }
+      ++total_queries;
+      const QueryResult& result = executed.value().result;
+      if (texts[which].rfind("NEAREST", 0) == 0) {
+        continue;  // k-NN answers change membership as records arrive
+      }
+      const std::set<std::string> names = MatchNames(result);
+      std::set<std::string>& best = seen[texts[which]];
+      for (const std::string& name : best) {
+        if (names.count(name) == 0) {
+          ++failures;  // an answer set shrank: stale data was served
+        }
+      }
+      if (names.size() >= best.size()) {
+        best = names;
+      }
+    }
+  };
+
+  // Writers append fresh random series under unique names; one writer
+  // also bulk-loads new relations to exercise CreateRelation+BulkLoad
+  // under the exclusive lock.
+  auto insert_writer = [&](int writer_id) {
+    const std::vector<TimeSeries> series = workload::RandomWalkSeries(
+        kInsertsPerWriter, kSeriesLength, 1000 + static_cast<uint64_t>(writer_id));
+    for (int i = 0; i < kInsertsPerWriter; ++i) {
+      TimeSeries fresh = series[static_cast<size_t>(i)];
+      fresh.id = "w" + std::to_string(writer_id) + "_" + std::to_string(i);
+      if (!service.Insert("r", fresh).ok()) {
+        ++failures;
+      }
+    }
+  };
+  auto bulk_writer = [&] {
+    for (int batch = 0; batch < 3; ++batch) {
+      const std::string name = "batch" + std::to_string(batch);
+      if (!service.CreateRelation(name).ok() ||
+          !service
+               .BulkLoad(name, workload::RandomWalkSeries(
+                                   20, kSeriesLength,
+                                   2000 + static_cast<uint64_t>(batch)))
+               .ok()) {
+        ++failures;
+        continue;
+      }
+      const Result<ServiceResult> check = service.ExecuteText(
+          "RANGE " + name + " WITHIN 2.0 OF #walk0");
+      if (!check.ok()) {
+        ++failures;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back(reader, r);
+  }
+  threads.emplace_back(insert_writer, 0);
+  threads.emplace_back(insert_writer, 1);
+  threads.emplace_back(bulk_writer);
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(total_queries.load(), kReaders * kQueriesPerReader);
+
+  // Quiesced: the service's view must now equal a cold scan of the final
+  // data, and the epoch must reflect every mutation.
+  EXPECT_EQ(service.RelationEpoch("r"),
+            static_cast<uint64_t>(2 * kInsertsPerWriter));
+  const Result<ServiceResult> final_range =
+      service.ExecuteText("RANGE r WITHIN 3.0 OF #walk1");
+  const Result<ServiceResult> final_scan =
+      service.ExecuteText("RANGE r WITHIN 3.0 OF #walk1 VIA FULLSCAN");
+  ASSERT_TRUE(final_range.ok() && final_scan.ok());
+  EXPECT_EQ(MatchNames(final_range.value().result),
+            MatchNames(final_scan.value().result));
+  EXPECT_EQ(service.database_unlocked().GetRelation("r")->size(),
+            80 + 2 * kInsertsPerWriter);
+}
+
+TEST(ServiceStressTest, CacheInvalidationRaceServesOnlyCurrentEpoch) {
+  // One hot query, hammered by readers while a writer keeps inserting
+  // records that match it (duplicates of walk0). Every served answer must
+  // be consistent with SOME epoch: the number of clones in the answer
+  // can never exceed the clones inserted so far (stale-cache overshoot is
+  // impossible by construction) and must never decrease per reader.
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("r").ok());
+  ASSERT_TRUE(db.BulkLoad("r", workload::RandomWalkSeries(40, 24, 29)).ok());
+  ServiceOptions options;
+  options.result_cache_capacity = 16;
+  QueryService service(std::move(db), options);
+  const std::vector<double> base =
+      service.database_unlocked().GetRelation("r")->record(0).raw;
+
+  constexpr int kClones = 20;
+  std::atomic<int> inserted{0};
+  std::atomic<int> failures{0};
+
+  auto writer = [&] {
+    for (int i = 0; i < kClones; ++i) {
+      TimeSeries clone;
+      clone.id = "clone" + std::to_string(i);
+      clone.values = base;
+      // Count BEFORE the insert commits: `inserted` is then always an
+      // upper bound on the clones any in-flight query can observe.
+      inserted.fetch_add(1);
+      if (!service.Insert("r", clone).ok()) {
+        ++failures;
+      }
+    }
+  };
+  auto reader = [&] {
+    int last_clones = 0;
+    for (int i = 0; i < 60; ++i) {
+      // Upper bound read BEFORE the query: anything the answer contains
+      // beyond this count would prove a result from the future or a
+      // miscounted epoch; a count below last_clones proves staleness.
+      const Result<ServiceResult> executed =
+          service.ExecuteText("RANGE r WITHIN 0.25 OF #walk0");
+      const int bound_after = inserted.load();
+      if (!executed.ok()) {
+        ++failures;
+        continue;
+      }
+      int clones = 0;
+      for (const Match& match : executed.value().result.matches) {
+        if (match.name.rfind("clone", 0) == 0) {
+          ++clones;
+        }
+      }
+      if (clones > bound_after || clones < last_clones) {
+        ++failures;
+      }
+      last_clones = clones;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back(reader);
+  }
+  threads.emplace_back(writer);
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  const Result<ServiceResult> final_result =
+      service.ExecuteText("RANGE r WITHIN 0.25 OF #walk0");
+  ASSERT_TRUE(final_result.ok());
+  int clones = 0;
+  for (const Match& match : final_result.value().result.matches) {
+    clones += match.name.rfind("clone", 0) == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(clones, kClones);
+}
+
+}  // namespace
+}  // namespace simq

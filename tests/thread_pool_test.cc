@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -137,6 +138,89 @@ TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
     EXPECT_EQ(hi - lo, 100000);
   });
   EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  std::atomic<int64_t> done{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+    // Destructor drains the queue: all 100 tasks finish before it returns.
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitFromPooledTaskDoesNotDeadlock) {
+  // A pooled task that submits more work must not deadlock, and the
+  // re-submitted work must still run -- including tasks enqueued while the
+  // destructor is already draining.
+  std::atomic<int64_t> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&pool, &done] {
+        pool.Submit([&pool, &done] {
+          pool.Submit([&done] { done.fetch_add(1); });
+          done.fetch_add(1);
+        });
+        done.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(done.load(), 24);
+}
+
+TEST(ThreadPoolTest, SubmitSingleThreadRunsInline) {
+  // The SIMQ_THREADS=1 degenerate path: no workers exist, so Submit must
+  // execute on the calling thread -- progress cannot depend on the queue.
+  ThreadPool pool(1);
+  bool ran = false;
+  std::thread::id runner;
+  pool.Submit([&] {
+    ran = true;
+    runner = std::this_thread::get_id();
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(runner, std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, ParallelismBudgetLimitsFanOut) {
+  ThreadPool pool(4);
+  {
+    // Budget 1: the call degenerates to one inline block.
+    ThreadPool::ScopedParallelismBudget budget(1);
+    int64_t calls = 0;
+    pool.ParallelFor(0, 100000, 1,
+                     [&](int64_t block, int64_t lo, int64_t hi) {
+                       ++calls;
+                       EXPECT_EQ(block, 0);
+                       EXPECT_EQ(hi - lo, 100000);
+                     });
+    EXPECT_EQ(calls, 1);
+  }
+  {
+    // Budget 2: at most 2*4 blocks even though the pool allows 16.
+    ThreadPool::ScopedParallelismBudget budget(2);
+    std::atomic<int64_t> max_block{-1};
+    pool.ParallelFor(0, 100000, 1,
+                     [&](int64_t block, int64_t, int64_t) {
+                       int64_t seen = max_block.load();
+                       while (seen < block &&
+                              !max_block.compare_exchange_weak(seen, block)) {
+                       }
+                     });
+    EXPECT_LT(max_block.load(), 8);
+  }
+  // The budget is scoped: after the blocks above, full width is back.
+  std::atomic<int64_t> max_block{-1};
+  pool.ParallelFor(0, 100000, 1, [&](int64_t block, int64_t, int64_t) {
+    int64_t seen = max_block.load();
+    while (seen < block && !max_block.compare_exchange_weak(seen, block)) {
+    }
+  });
+  EXPECT_GE(max_block.load(), 8);
 }
 
 }  // namespace

@@ -214,6 +214,21 @@ TEST(StatsTest, SummarizeEvenCountMedian) {
   EXPECT_DOUBLE_EQ(summary.median, 2.5);
 }
 
+TEST(StatsTest, PercentileInterpolatesBetweenRanks) {
+  const std::vector<double> sample = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(Percentile(sample, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(sample, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(sample, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(sample, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile(sample, 90.0), 46.0);  // between ranks 3 and 4
+}
+
+TEST(StatsTest, PercentileDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 99.0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0}, 200.0), 3.0);  // clamped
+}
+
 TEST(TablePrinterTest, FormatHelpers) {
   EXPECT_EQ(TablePrinter::FormatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(TablePrinter::FormatInt(12345), "12345");
