@@ -28,12 +28,14 @@
 #include <vector>
 
 #include "bench/bench_common.h"
-#include "util/logging.h"
+#include "core/sharded_relation.h"
 #include "core/transformation.h"
 #include "service/query_service.h"
+#include "util/logging.h"
 #include "util/stats.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 #include "workload/generators.h"
 
 namespace simq {
@@ -187,10 +189,14 @@ void Run(int clients, int queries, int probes, const std::string& out_path) {
 
   // Two services over identically generated data: cold and prepared run
   // uncached (the engine must execute), the cached mode gets the cache.
+  // SIMQ_SHARDS shards the relation so the serve trajectory can be read
+  // against the shard bench; the shard count and thread budget land in
+  // the JSON metadata either way.
+  const ShardingOptions sharding = ShardingOptions::FromEnv();
   ServiceOptions uncached;
   uncached.enable_result_cache = false;
   auto BuildService = [&](const ServiceOptions& options) {
-    Database db;
+    Database db(FeatureConfig(), RTree::Options(), sharding);
     SIMQ_CHECK(db.CreateRelation("r").ok());
     SIMQ_CHECK(db.BulkLoad("r", market).ok());
     return std::make_unique<QueryService>(std::move(db), options);
@@ -250,9 +256,17 @@ void Run(int clients, int queries, int probes, const std::string& out_path) {
                "  \"clients\": %d,\n"
                "  \"queries_per_mode\": %d,\n"
                "  \"probes\": %d,\n"
+               "  \"num_shards\": %d,\n"
+               "  \"pool_threads\": %d,\n"
+               "  \"max_concurrent_queries\": %d,\n"
                "  \"epsilon\": %.17g,\n"
                "  \"modes\": [\n",
-               clients, queries, probes, epsilon);
+               clients, queries, probes, sharding.num_shards,
+               ThreadPool::Global().num_threads(),
+               uncached.max_concurrent_queries > 0
+                   ? uncached.max_concurrent_queries
+                   : ThreadPool::Global().num_threads(),
+               epsilon);
   for (size_t m = 0; m < modes.size(); ++m) {
     std::fprintf(out,
                  "    {\"name\": \"%s\", \"qps\": %.1f, \"p50_ms\": %.4f, "

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/persistence.h"
+#include "core/sharded_relation.h"
 #include "service/query_service.h"
 #include "workload/generators.h"
 
@@ -41,15 +42,17 @@ void PrintHelp() {
       " latency percentiles\n"
       "  .help | .quit\n"
       "anything else is parsed as a query; prefix with EXPLAIN to see the"
-      " plan.\n");
+      " plan.\n"
+      "query language reference (grammar + worked examples):"
+      " docs/QUERY_LANGUAGE.md\n");
 }
 
 void PrintPlan(const ServiceResult& result) {
   std::printf(
-      "plan: strategy=%s engine=%s cache=%s epoch=%llu prepared=%s "
-      "fingerprint=%016llx\n",
+      "plan: strategy=%s engine=%s shards=%d cache=%s epoch=%llu "
+      "prepared=%s fingerprint=%016llx\n",
       result.plan.strategy.c_str(), result.plan.engine.c_str(),
-      result.plan.cache_hit ? "hit" : "miss",
+      result.plan.shards, result.plan.cache_hit ? "hit" : "miss",
       static_cast<unsigned long long>(result.plan.relation_epoch),
       result.plan.prepared ? "yes" : "no",
       static_cast<unsigned long long>(result.plan.fingerprint));
@@ -136,8 +139,11 @@ bool ConsumeOption(const std::string& token, const std::string& key,
 
 class Shell {
  public:
+  // SIMQ_SHARDS=<n> shards every relation's data plane n ways
+  // (core/sharded_relation.h); EXPLAIN then reports the scatter width.
   Shell()
-      : service_(std::make_unique<QueryService>(Database())),
+      : service_(std::make_unique<QueryService>(Database(
+            FeatureConfig(), RTree::Options(), ShardingOptions::FromEnv()))),
         session_(service_->OpenSession()) {}
 
   // Returns false when the shell should exit.

@@ -90,11 +90,14 @@ double FreqDistance(const Spectrum& data, const Spectrum& query,
 }
 
 // Query-side state for the exact checks of ExecuteRange/ExecuteNearest:
-// columnar kernels over the FeatureStore whenever the check runs in the
-// frequency domain over same-length spectra (the common case); generic
-// wraparound/time-domain fallbacks otherwise (expanding rules,
+// columnar kernels over the sharded FeatureStores whenever the check runs
+// in the frequency domain over same-length spectra (the common case);
+// generic wraparound/time-domain fallbacks otherwise (expanding rules,
 // non-spectral rules, raw mode). Holds references to its constructor
-// arguments -- valid within one Execute call.
+// arguments -- valid within one Execute call. Distance(id) addresses rows
+// by global id through the relation's shard locator; the arithmetic is
+// identical for every shard count because each kernel reads only that
+// record's row.
 class ExactChecker {
  public:
   ExactChecker(const Relation& relation, const Query& query,
@@ -102,7 +105,7 @@ class ExactChecker {
                const Spectrum& query_spectrum, const Spectrum* mult,
                const std::vector<double>& query_values)
       : relation_(relation),
-        store_(relation.store()),
+        data_(relation.sharded()),
         query_(query),
         rule_(rule),
         spectral_(spectral),
@@ -137,9 +140,9 @@ class ExactChecker {
       const double* mult_ptr = mult_ri();
       const double dist_sq =
           mult_ptr != nullptr
-              ? RowDistanceSqMult(store_.SpectrumRow(id), mult_ptr,
+              ? RowDistanceSqMult(data_.SpectrumRow(id), mult_ptr,
                                   query_ri_.data(), n_, limit_sq)
-              : RowDistanceSq(store_.SpectrumRow(id), query_ri_.data(), n_,
+              : RowDistanceSq(data_.SpectrumRow(id), query_ri_.data(), n_,
                               limit_sq);
       return std::sqrt(dist_sq);
     }
@@ -161,7 +164,7 @@ class ExactChecker {
 
  private:
   const Relation& relation_;
-  const FeatureStore& store_;
+  const ShardedRelation& data_;
   const Query& query_;
   const TransformationRule* rule_;
   const bool spectral_;
@@ -174,23 +177,98 @@ class ExactChecker {
   std::vector<double> mult_ri_;
 };
 
-// Runs `body` on the relation's index through the chosen traversal engine
+// Runs `body` on one shard's index through the chosen traversal engine
 // (both engines expose the same Search/NearestNeighbors signatures) and
 // returns the node-access delta -- the single place the paper's node-I/O
 // accounting is read, so all strategies report it identically.
 template <typename Body>
-int64_t RunOnIndexEngine(const Relation& relation, IndexEngine engine,
+int64_t RunOnShardEngine(const RelationShard& shard, IndexEngine engine,
                          Body&& body) {
   if (engine == IndexEngine::kPacked) {
-    const PackedRTree& tree = relation.packed_index();
+    const PackedRTree& tree = shard.packed_index();
     const int64_t before = tree.node_accesses();
     body(tree);
     return tree.node_accesses() - before;
   }
-  const RTree& tree = relation.index();
+  const RTree& tree = shard.index();
   const int64_t before = tree.node_accesses();
   body(tree);
   return tree.node_accesses() - before;
+}
+
+// Scatter driver for whole-relation index operations: resolves every
+// shard's traversal engine up front (so parallel fan-outs never contend
+// on a snapshot rebuild), hands the full tree array to `body`, and
+// returns the summed node-access delta across the shards.
+template <typename Body>
+int64_t RunOnShardEngines(const ShardedRelation& data, IndexEngine engine,
+                          Body&& body) {
+  const int num_shards = data.num_shards();
+  const auto run = [&](const auto& trees) {
+    int64_t before = 0;
+    for (const auto* tree : trees) {
+      before += tree->node_accesses();
+    }
+    body(trees);
+    int64_t after = 0;
+    for (const auto* tree : trees) {
+      after += tree->node_accesses();
+    }
+    return after - before;
+  };
+  if (engine == IndexEngine::kPacked) {
+    std::vector<const PackedRTree*> trees;
+    trees.reserve(static_cast<size_t>(num_shards));
+    for (int s = 0; s < num_shards; ++s) {
+      trees.push_back(&data.shard(s).packed_index());
+    }
+    return run(trees);
+  }
+  std::vector<const RTree*> trees;
+  trees.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    trees.push_back(&data.shard(s).index());
+  }
+  return run(trees);
+}
+
+// One contiguous local-row range of one shard: the work unit of the
+// sharded scan drivers. Units are ordered (shard, row range); a
+// ParallelFor over the unit list with per-block buffers merged in block
+// order is deterministic for any thread count, exactly like the
+// pre-sharding blocked scans.
+struct ScanUnit {
+  int shard = 0;
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+std::vector<ScanUnit> MakeScanUnits(const ShardedRelation& data,
+                                    int64_t grain) {
+  std::vector<ScanUnit> units;
+  for (int s = 0; s < data.num_shards(); ++s) {
+    const int64_t n = data.shard(s).size();
+    for (int64_t lo = 0; lo < n; lo += grain) {
+      units.push_back(ScanUnit{s, lo, std::min(n, lo + grain)});
+    }
+  }
+  return units;
+}
+
+// Spectrum-row pointer per global id, gathered once per join so the
+// O(N^2) kernels below index records flat regardless of how rows are
+// sharded -- the gather is what makes the join answers independent of
+// the shard count by construction.
+std::vector<const double*> GatherSpectrumRows(const ShardedRelation& data) {
+  std::vector<const double*> rows(static_cast<size_t>(data.size()));
+  for (int s = 0; s < data.num_shards(); ++s) {
+    const RelationShard& shard = data.shard(s);
+    const FeatureStore& store = shard.store();
+    for (int64_t i = 0; i < shard.size(); ++i) {
+      rows[static_cast<size_t>(shard.global_id(i))] = store.SpectrumRow(i);
+    }
+  }
+  return rows;
 }
 
 void SortMatches(std::vector<Match>* matches) {
@@ -206,11 +284,11 @@ void SortMatches(std::vector<Match>* matches) {
 }  // namespace
 
 Relation::Relation(std::string name, const FeatureConfig& config,
-                   RTree::Options index_options)
+                   RTree::Options index_options,
+                   const ShardingOptions& sharding)
     : name_(std::move(name)),
       config_(config),
-      index_(std::make_unique<RTree>(FeatureDimension(config),
-                                     index_options)) {}
+      data_(FeatureDimension(config), index_options, sharding) {}
 
 const Record& Relation::record(int64_t id) const {
   SIMQ_CHECK_GE(id, 0);
@@ -218,8 +296,25 @@ const Record& Relation::record(int64_t id) const {
   return records_[static_cast<size_t>(id)];
 }
 
+const RTree& Relation::index() const {
+  SIMQ_CHECK_EQ(data_.num_shards(), 1)
+      << "Relation::index() is only defined for unsharded relations; use "
+         "sharded().shard(s).index()";
+  return data_.shard(0).index();
+}
+
+const FeatureStore& Relation::store() const {
+  SIMQ_CHECK_EQ(data_.num_shards(), 1)
+      << "Relation::store() is only defined for unsharded relations; use "
+         "sharded().shard(s).store()";
+  return data_.shard(0).store();
+}
+
 const PackedRTree& Relation::packed_index() const {
-  return packed_.Get(*index_);
+  SIMQ_CHECK_EQ(data_.num_shards(), 1)
+      << "Relation::packed_index() is only defined for unsharded "
+         "relations; use sharded().shard(s).packed_index()";
+  return data_.shard(0).packed_index();
 }
 
 Result<int64_t> Relation::FindByName(const std::string& series_name) const {
@@ -231,8 +326,11 @@ Result<int64_t> Relation::FindByName(const std::string& series_name) const {
   return it->second;
 }
 
-Database::Database(FeatureConfig config, RTree::Options index_options)
-    : config_(config), index_options_(index_options) {}
+Database::Database(FeatureConfig config, RTree::Options index_options,
+                   ShardingOptions sharding)
+    : config_(config), index_options_(index_options), sharding_(sharding) {
+  sharding_.num_shards = std::max(1, sharding_.num_shards);
+}
 
 IndexEngine Database::EffectiveIndexEngine() const {
   if (index_engine_ == IndexEngine::kPacked &&
@@ -247,7 +345,7 @@ Status Database::CreateRelation(const std::string& name) {
     return Status::AlreadyExists("relation '" + name + "' already exists");
   }
   relations_[name] =
-      std::make_unique<Relation>(name, config_, index_options_);
+      std::make_unique<Relation>(name, config_, index_options_, sharding_);
   return Status::Ok();
 }
 
@@ -280,11 +378,12 @@ Result<int64_t> Database::Insert(const std::string& relation,
   record.normal_values = ToNormalForm(series.values).values;
   record.features = ComputeFeatures(series.values);
 
-  rel->index_->InsertPoint(MakeFeaturePoint(record.features, config_),
-                           record.id);
-  rel->packed_.Invalidate();
+  // Route the record's derived data to its shard: the shard's store and
+  // tree grow, that shard's epoch bumps, and only that shard's packed
+  // snapshot is invalidated -- the other shards' snapshots stay warm.
+  rel->data_.Append(record.features, record.normal_values,
+                    MakeFeaturePoint(record.features, config_));
   rel->by_name_[record.name] = record.id;
-  rel->store_.Append(record.features, record.normal_values);
   rel->records_.push_back(std::move(record));
   return rel->size() - 1;
 }
@@ -300,36 +399,55 @@ Status Database::BulkLoad(const std::string& relation,
     return Status::FailedPrecondition(
         "BulkLoad requires an empty relation; use Insert instead");
   }
-  std::vector<std::pair<Rect, int64_t>> entries;
-  entries.reserve(series.size());
+  // Validation pass (serial, all-or-nothing: an invalid batch leaves the
+  // relation empty, including the series-length sentinel a partial pass
+  // may have set). Only cheap checks run here; the expensive per-record
+  // derivations happen inside the parallel shard builds below.
+  const int prior_length = rel->series_length_;
+  const auto fail = [&](Status status) {
+    rel->by_name_.clear();
+    rel->records_.clear();
+    rel->series_length_ = prior_length;
+    return status;
+  };
+  rel->records_.reserve(series.size());
   for (const TimeSeries& ts : series) {
     if (ts.values.empty()) {
-      return Status::InvalidArgument("cannot insert an empty series");
+      return fail(Status::InvalidArgument("cannot insert an empty series"));
     }
     if (rel->series_length_ == 0) {
       rel->series_length_ = ts.length();
     } else if (rel->series_length_ != ts.length()) {
-      return Status::InvalidArgument("series length mismatch in bulk load");
+      return fail(
+          Status::InvalidArgument("series length mismatch in bulk load"));
     }
     Record record;
     record.id = rel->size();
     record.name = ts.id.empty() ? "s" + std::to_string(record.id) : ts.id;
     if (rel->by_name_.count(record.name) > 0) {
-      return Status::AlreadyExists("series '" + record.name +
-                                   "' already exists in relation");
+      return fail(Status::AlreadyExists("series '" + record.name +
+                                        "' already exists in relation"));
     }
     record.raw = ts.values;
-    record.normal_values = ToNormalForm(ts.values).values;
-    record.features = ComputeFeatures(ts.values);
-    entries.emplace_back(
-        Rect::FromPoint(MakeFeaturePoint(record.features, config_)),
-        record.id);
     rel->by_name_[record.name] = record.id;
-    rel->store_.Append(record.features, record.normal_values);
     rel->records_.push_back(std::move(record));
   }
-  rel->index_->BulkLoad(std::move(entries));
-  rel->packed_.Invalidate();
+  // Parallel per-shard build: every shard task computes its own records'
+  // normal forms and spectra (each id writes only its own records_ slot,
+  // so the fan-out is deterministic), fills the shard's columnar store,
+  // and STR-loads the shard's tree. With one shard this degenerates to
+  // the pre-sharding serial load.
+  rel->data_.BulkLoad(
+      static_cast<int64_t>(series.size()), [&](int64_t id) {
+        Record& record = rel->records_[static_cast<size_t>(id)];
+        record.normal_values = ToNormalForm(record.raw).values;
+        record.features = ComputeFeatures(record.raw);
+        ShardedRelation::RowData row;
+        row.features = &record.features;
+        row.normal_values = &record.normal_values;
+        row.point = MakeFeaturePoint(record.features, config_);
+        return row;
+      });
   return Status::Ok();
 }
 
@@ -508,7 +626,7 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
   const ExactChecker checker(relation, query, rule, spectral, out_n,
                              query_spectrum, mult, query_values);
   const bool columnar = checker.columnar();
-  const FeatureStore& store = relation.store();
+  const ShardedRelation& data = relation.sharded();
 
   // Trivial pattern "a given constant object": check that object directly.
   if (query.pattern.kind == Pattern::Kind::kConstant) {
@@ -549,32 +667,65 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
       affines = LowerToFeatureSpace(*index_transform, config_);
       affines_ptr = &affines;
     }
-    std::vector<int64_t> candidates;
-    const int64_t node_accesses = RunOnIndexEngine(
-        relation, EffectiveIndexEngine(),
-        [&](const auto& tree) { tree.Search(region, affines_ptr, &candidates); });
+    // Scatter: every shard's tree is searched (in parallel across shards;
+    // the admission scheduler's per-query parallelism budget caps this
+    // fan-out like any other ParallelFor). Gather: per-shard match
+    // buffers are concatenated in shard order and canonically sorted
+    // below, so the answer is independent of shard count and scheduling.
+    const int num_shards = data.num_shards();
+    std::vector<std::vector<Match>> shard_matches(
+        static_cast<size_t>(num_shards));
+    std::vector<int64_t> shard_candidates(static_cast<size_t>(num_shards), 0);
+    std::vector<int64_t> shard_checks(static_cast<size_t>(num_shards), 0);
+    const int64_t node_accesses = RunOnShardEngines(
+        data, EffectiveIndexEngine(), [&](const auto& trees) {
+          ThreadPool::Global().ParallelFor(
+              0, num_shards, /*min_grain=*/1,
+              [&](int64_t /*block*/, int64_t lo, int64_t hi) {
+                for (int64_t s = lo; s < hi; ++s) {
+                  std::vector<int64_t> candidates;
+                  trees[static_cast<size_t>(s)]->Search(region, affines_ptr,
+                                                        &candidates);
+                  shard_candidates[static_cast<size_t>(s)] =
+                      static_cast<int64_t>(candidates.size());
+                  std::vector<Match>& local =
+                      shard_matches[static_cast<size_t>(s)];
+                  int64_t checks = 0;
+                  for (const int64_t id : candidates) {
+                    if (!StatsAdmit(data.mean(id), data.std_dev(id),
+                                    query.pattern)) {
+                      continue;
+                    }
+                    ++checks;
+                    const double distance =
+                        checker.Distance(id, query.epsilon);
+                    if (distance <= query.epsilon) {
+                      local.push_back(
+                          Match{id, relation.record(id).name, distance});
+                    }
+                  }
+                  shard_checks[static_cast<size_t>(s)] = checks;
+                }
+              });
+        });
     out.stats.used_index = true;
     out.stats.node_accesses = node_accesses;
-    out.stats.candidates = static_cast<int64_t>(candidates.size());
-    for (const int64_t id : candidates) {
-      if (!StatsAdmit(store.mean(id), store.std_dev(id), query.pattern)) {
-        continue;
-      }
-      ++out.stats.exact_checks;
-      const double distance = checker.Distance(id, query.epsilon);
-      if (distance <= query.epsilon) {
-        out.matches.push_back(
-            Match{id, relation.record(id).name, distance});
-      }
+    for (int s = 0; s < num_shards; ++s) {
+      out.stats.candidates += shard_candidates[static_cast<size_t>(s)];
+      out.stats.exact_checks += shard_checks[static_cast<size_t>(s)];
+      out.matches.insert(out.matches.end(),
+                         shard_matches[static_cast<size_t>(s)].begin(),
+                         shard_matches[static_cast<size_t>(s)].end());
     }
   } else {
     const bool abandon = strategy != ExecutionStrategy::kScanNoEarlyAbandon;
     const double threshold = abandon ? query.epsilon : kInf;
-    const int64_t count = relation.size();
-    // Blocked scan, parallelized over record blocks for the columnar and
-    // fallback paths alike; per-block buffers merged in block order keep
-    // results deterministic. Columnar early-abandoning scans first screen
-    // against the packed prefix column (32 sequential bytes per record)
+    // Sharded blocked scan: the unit list enumerates contiguous local-row
+    // ranges shard by shard, and the fan-out parallelizes over units --
+    // across shards and within them -- with per-block buffers merged in
+    // block order, so results stay deterministic for any thread count and
+    // shard count. Columnar early-abandoning scans first screen against
+    // the shard's packed prefix column (32 sequential bytes per record)
     // and touch the full strided row only for survivors.
     const bool screen = columnar && abandon && threshold != kInf && n >= 2;
     const double limit_sq = threshold * threshold;
@@ -589,35 +740,43 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
       mult_ri_ptr = checker.mult_ri();
     }
     ThreadPool& pool = ThreadPool::Global();
+    const std::vector<ScanUnit> units = MakeScanUnits(data, RecordGrain(n));
     const size_t max_blocks = static_cast<size_t>(pool.max_blocks());
     std::vector<std::vector<Match>> block_matches(max_blocks);
     std::vector<int64_t> block_checks(max_blocks, 0);
     pool.ParallelFor(
-        0, count, RecordGrain(n),
-        [&](int64_t block, int64_t lo, int64_t hi) {
+        0, static_cast<int64_t>(units.size()), /*min_grain=*/1,
+        [&](int64_t block, int64_t unit_lo, int64_t unit_hi) {
           std::vector<Match>& local =
               block_matches[static_cast<size_t>(block)];
           int64_t checks = 0;
-          for (int64_t i = lo; i < hi; ++i) {
-            if (!StatsAdmit(store.mean(i), store.std_dev(i),
-                            query.pattern)) {
-              continue;
-            }
-            ++checks;
-            if (screen) {
-              const double* p = store.PrefixRow(i);
-              const bool dead =
-                  mult_ri_ptr != nullptr
-                      ? PrefixScreenMultDead(p, mult_ri_ptr, q0, q1, q2, q3,
-                                             limit_sq)
-                      : PrefixScreenDead(p, q0, q1, q2, q3, limit_sq);
-              if (dead) {
+          for (int64_t u = unit_lo; u < unit_hi; ++u) {
+            const ScanUnit& unit = units[static_cast<size_t>(u)];
+            const RelationShard& shard = data.shard(unit.shard);
+            const FeatureStore& store = shard.store();
+            for (int64_t i = unit.lo; i < unit.hi; ++i) {
+              if (!StatsAdmit(store.mean(i), store.std_dev(i),
+                              query.pattern)) {
                 continue;
               }
-            }
-            const double distance = checker.Distance(i, threshold);
-            if (distance <= query.epsilon) {
-              local.push_back(Match{i, relation.record(i).name, distance});
+              ++checks;
+              if (screen) {
+                const double* p = store.PrefixRow(i);
+                const bool dead =
+                    mult_ri_ptr != nullptr
+                        ? PrefixScreenMultDead(p, mult_ri_ptr, q0, q1, q2,
+                                               q3, limit_sq)
+                        : PrefixScreenDead(p, q0, q1, q2, q3, limit_sq);
+                if (dead) {
+                  continue;
+                }
+              }
+              const int64_t id = shard.global_id(i);
+              const double distance = checker.Distance(id, threshold);
+              if (distance <= query.epsilon) {
+                local.push_back(
+                    Match{id, relation.record(id).name, distance});
+              }
             }
           }
           block_checks[static_cast<size_t>(block)] = checks;
@@ -696,7 +855,7 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
   // checker picks columnar kernels or fallbacks exactly as in ExecuteRange.
   const ExactChecker checker(relation, query, rule, spectral, out_n,
                              query_spectrum, mult, query_values);
-  const FeatureStore& store = relation.store();
+  const ShardedRelation& data = relation.sharded();
 
   if (strategy == ExecutionStrategy::kIndex) {
     const std::vector<Complex> query_coeffs =
@@ -709,20 +868,51 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
       affines_ptr = &affines;
     }
     const auto exact = [&](int64_t id) {
-      if (!StatsAdmit(store.mean(id), store.std_dev(id), query.pattern)) {
+      if (!StatsAdmit(data.mean(id), data.std_dev(id), query.pattern)) {
         return kInf;  // excluded entries sort to the end and are dropped
       }
       ++out.stats.exact_checks;
       return checker.Distance(id, kInf);
     };
-    std::vector<std::pair<int64_t, double>> neighbors;
-    const int64_t node_accesses = RunOnIndexEngine(
-        relation, EffectiveIndexEngine(), [&](const auto& tree) {
-          neighbors = tree.NearestNeighbors(bound, affines_ptr, query.k, exact);
-        });
+    // Scatter-gather kNN: the shared best-first driver runs per shard,
+    // sequentially, and every shard after the first receives the merged
+    // k-th distance so far as its pruning bound (answer-preserving: ties
+    // at the bound are drained; see index/knn_best_first.h and DESIGN.md
+    // "Sharded execution" for the argument). After each shard the merged
+    // list is re-sorted by (distance, id) and cut to k -- any record a
+    // cut drops is beaten by k results under the final tie-break order
+    // and can never re-enter.
+    std::vector<std::pair<int64_t, double>> merged;
+    int64_t node_accesses = 0;
+    const int num_shards = data.num_shards();
+    for (int s = 0; s < num_shards; ++s) {
+      double prune_bound = kInf;
+      if (cross_shard_knn_pruning_ &&
+          static_cast<int>(merged.size()) >= query.k) {
+        prune_bound = merged[static_cast<size_t>(query.k - 1)].second;
+      }
+      node_accesses += RunOnShardEngine(
+          data.shard(s), EffectiveIndexEngine(), [&](const auto& tree) {
+            const auto shard_results = tree.NearestNeighbors(
+                bound, affines_ptr, query.k, exact, prune_bound);
+            merged.insert(merged.end(), shard_results.begin(),
+                          shard_results.end());
+          });
+      std::sort(merged.begin(), merged.end(),
+                [](const std::pair<int64_t, double>& a,
+                   const std::pair<int64_t, double>& b) {
+                  if (a.second != b.second) {
+                    return a.second < b.second;
+                  }
+                  return a.first < b.first;
+                });
+      if (static_cast<int>(merged.size()) > query.k) {
+        merged.resize(static_cast<size_t>(query.k));
+      }
+    }
     out.stats.used_index = true;
     out.stats.node_accesses = node_accesses;
-    for (const auto& [id, distance] : neighbors) {
+    for (const auto& [id, distance] : merged) {
       if (distance == kInf) {
         continue;
       }
@@ -731,20 +921,31 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
   } else {
     const int64_t count = relation.size();
     // Batched scan: all exact distances are needed (no abandoning), so the
-    // distance column is filled in parallel and ranked afterwards.
+    // global distance column is filled in parallel -- across shards and
+    // within them, via the shard-local unit list -- and ranked afterwards
+    // in global id order, exactly like the unsharded engine.
     std::vector<double> distances(static_cast<size_t>(count), -1.0);
     ThreadPool& pool = ThreadPool::Global();
+    const std::vector<ScanUnit> units = MakeScanUnits(data, RecordGrain(n));
     const size_t max_blocks = static_cast<size_t>(pool.max_blocks());
     std::vector<int64_t> block_checks(max_blocks, 0);
     pool.ParallelFor(
-        0, count, RecordGrain(n), [&](int64_t block, int64_t lo, int64_t hi) {
+        0, static_cast<int64_t>(units.size()), /*min_grain=*/1,
+        [&](int64_t block, int64_t unit_lo, int64_t unit_hi) {
           int64_t checks = 0;
-          for (int64_t i = lo; i < hi; ++i) {
-            if (!StatsAdmit(store.mean(i), store.std_dev(i), query.pattern)) {
-              continue;  // sentinel -1 marks excluded records
+          for (int64_t u = unit_lo; u < unit_hi; ++u) {
+            const ScanUnit& unit = units[static_cast<size_t>(u)];
+            const RelationShard& shard = data.shard(unit.shard);
+            const FeatureStore& store = shard.store();
+            for (int64_t i = unit.lo; i < unit.hi; ++i) {
+              if (!StatsAdmit(store.mean(i), store.std_dev(i),
+                              query.pattern)) {
+                continue;  // sentinel -1 marks excluded records
+              }
+              ++checks;
+              const int64_t id = shard.global_id(i);
+              distances[static_cast<size_t>(id)] = checker.Distance(id, kInf);
             }
-            ++checks;
-            distances[static_cast<size_t>(i)] = checker.Distance(i, kInf);
           }
           block_checks[static_cast<size_t>(block)] = checks;
         });
@@ -824,14 +1025,17 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
     const double threshold =
         method == JoinMethod::kFullScan ? kInf : epsilon;
     if (left_spectral && right_spectral) {
-      // Batched nested-loop scan over the columnar store. Spectral
-      // multipliers are applied to every row ONCE up front (O(N n)), so
-      // the O(N^2) inner loop runs the plain subtract-square kernel --
-      // the per-pair multiplier application of the row-at-a-time
-      // implementation was the dominant cost of early-abandoned pairs.
-      // Parallelized over outer-row blocks; per-block pair buffers merged
-      // in block order keep the output deterministic.
-      const FeatureStore& store = relation->store();
+      // Batched nested-loop scan over the columnar stores. Row pointers
+      // are gathered per global id once, so the O(N^2) loops below are
+      // oblivious to sharding. Spectral multipliers are applied to every
+      // row ONCE up front (O(N n)), so the inner loop runs the plain
+      // subtract-square kernel -- the per-pair multiplier application of
+      // the row-at-a-time implementation was the dominant cost of
+      // early-abandoned pairs. Parallelized over outer-row blocks;
+      // per-block pair buffers merged in block order keep the output
+      // deterministic.
+      const std::vector<const double*> base_rows =
+          GatherSpectrumRows(relation->sharded());
       ThreadPool& pool = ThreadPool::Global();
       const int64_t row_stride = (2 * static_cast<int64_t>(n) + 7) &
                                  ~int64_t{7};  // cache-line aligned rows
@@ -843,7 +1047,7 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
             0, count, RecordGrain(n),
             [&](int64_t /*block*/, int64_t lo, int64_t hi) {
               for (int64_t i = lo; i < hi; ++i) {
-                const double* src = store.SpectrumRow(i);
+                const double* src = base_rows[static_cast<size_t>(i)];
                 double* dst = rows.data() + i * row_stride;
                 for (int f = 0; f < 2 * n; f += 2) {
                   const double ar = src[f], ai = src[f + 1];
@@ -869,11 +1073,11 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
       }
       const auto left_row = [&](int64_t i) {
         return left_mult != nullptr ? left_rows.data() + i * row_stride
-                                    : store.SpectrumRow(i);
+                                    : base_rows[static_cast<size_t>(i)];
       };
       const auto right_row = [&](int64_t j) -> const double* {
         if (right_mult == nullptr) {
-          return store.SpectrumRow(j);
+          return base_rows[static_cast<size_t>(j)];
         }
         return (share_rows ? left_rows : right_rows).data() +
                j * row_stride;
@@ -1015,13 +1219,18 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
     post_right = right_mult;
   }
 
-  // Index nested loop, parallelized over probe blocks: concurrent index
-  // read traversals are safe on both engines (the node-access counters are
-  // atomic, the packed snapshot is immutable), and per-block pair buffers
-  // merged in block order keep the output identical to the serial loop.
-  // RunOnIndexEngine resolves the engine before the fan-out, so workers
-  // never contend on the snapshot rebuild lock.
-  const FeatureStore& store = relation->store();
+  // Index nested loop over the shard grid: every probe record is paired
+  // with every shard's tree (probe side x shard trees), parallelized over
+  // probe blocks -- concurrent index read traversals are safe on both
+  // engines (the node-access counters are atomic, the packed snapshots
+  // immutable), and per-block pair buffers merged in block order keep the
+  // output deterministic. RunOnShardEngines resolves every shard's engine
+  // before the fan-out, so workers never contend on a snapshot rebuild
+  // lock. For each probe, candidates arrive shard by shard; the union
+  // over shards is exactly the unsharded candidate superset, and the
+  // exact checks (over gathered rows) decide membership identically.
+  const std::vector<const double*> base_rows =
+      GatherSpectrumRows(relation->sharded());
   std::vector<double> post_left_ri;
   std::vector<double> post_right_ri;
   const double* post_left_ptr = nullptr;
@@ -1041,8 +1250,8 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
   std::vector<std::vector<PairMatch>> block_pairs(max_blocks);
   std::vector<int64_t> block_checks(max_blocks, 0);
   std::vector<int64_t> block_candidates(max_blocks, 0);
-  out.stats.node_accesses = RunOnIndexEngine(
-      *relation, EffectiveIndexEngine(), [&](const auto& tree) {
+  out.stats.node_accesses = RunOnShardEngines(
+      relation->sharded(), EffectiveIndexEngine(), [&](const auto& trees) {
         pool.ParallelFor(
             0, count, /*min_grain=*/16,
             [&](int64_t block, int64_t lo, int64_t hi) {
@@ -1060,20 +1269,22 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
                 }
                 const SearchRegion region =
                     SearchRegion::MakeRange(query_coeffs, epsilon, config_);
-                candidates.clear();
-                tree.Search(region, affines_ptr, &candidates);
-                candidate_count += static_cast<int64_t>(candidates.size());
-                const double* a = store.SpectrumRow(i);
-                for (const int64_t j : candidates) {
-                  if (j == i) {
-                    continue;
-                  }
-                  ++checks;
-                  const double dist_sq = RowDistanceSqTwoSided(
-                      a, store.SpectrumRow(j), post_left_ptr, post_right_ptr,
-                      n, eps_sq);
-                  if (dist_sq <= eps_sq) {
-                    local.push_back(PairMatch{i, j, std::sqrt(dist_sq)});
+                const double* a = base_rows[static_cast<size_t>(i)];
+                for (const auto* tree : trees) {
+                  candidates.clear();
+                  tree->Search(region, affines_ptr, &candidates);
+                  candidate_count += static_cast<int64_t>(candidates.size());
+                  for (const int64_t j : candidates) {
+                    if (j == i) {
+                      continue;
+                    }
+                    ++checks;
+                    const double dist_sq = RowDistanceSqTwoSided(
+                        a, base_rows[static_cast<size_t>(j)], post_left_ptr,
+                        post_right_ptr, n, eps_sq);
+                    if (dist_sq <= eps_sq) {
+                      local.push_back(PairMatch{i, j, std::sqrt(dist_sq)});
+                    }
                   }
                 }
               }

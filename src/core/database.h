@@ -31,6 +31,7 @@
 
 #include "core/feature_store.h"
 #include "core/query.h"
+#include "core/sharded_relation.h"
 #include "core/transformation.h"
 #include "index/packed_rtree.h"
 #include "index/rtree.h"
@@ -52,25 +53,42 @@ struct Record {
 // A unary relation of series. All members must have one common length
 // (established by the first insert); cross-length similarity is expressed
 // through time-warp transformations, not mixed relations.
+//
+// The relation keeps two synchronized views of its records: the global
+// row store (records(), names, dense insertion-order ids) and a sharded
+// data plane (sharded(): per-shard FeatureStore columns + R*-tree +
+// packed snapshot; see core/sharded_relation.h). With the default
+// ShardingOptions this is one shard and behaves exactly like the
+// pre-sharding engine.
 class Relation {
  public:
   Relation(std::string name, const FeatureConfig& config,
-           RTree::Options index_options);
+           RTree::Options index_options, const ShardingOptions& sharding);
 
   const std::string& name() const { return name_; }
   int64_t size() const { return static_cast<int64_t>(records_.size()); }
   int series_length() const { return series_length_; }
   const Record& record(int64_t id) const;
   const std::vector<Record>& records() const { return records_; }
-  const RTree& index() const { return *index_; }
-  // Columnar mirror of the records' derived data; the scan/join kernels
-  // read from here instead of walking records().
-  const FeatureStore& store() const { return store_; }
 
+  // The sharded data plane: per-shard columnar stores and indexes, the
+  // global-id locator, and the rolled-up relation epoch.
+  const ShardedRelation& sharded() const { return data_; }
+
+  // Monotone data version: the sum of the shard epochs, bumped by every
+  // mutation. The query service keys result-cache entries on it.
+  uint64_t epoch() const { return data_.epoch(); }
+
+  // Single-shard conveniences, kept for tests/benches that inspect the
+  // index or the columnar store directly. Valid only when the relation is
+  // unsharded (num_shards == 1, the default); checked.
+  const RTree& index() const;
+  const FeatureStore& store() const;
   // Packed snapshot of index(): the traversal engine the query hot paths
-  // run on. Mutations (Insert/BulkLoad) mark the snapshot stale; the next
-  // call recompiles it from the pointer tree. Thread-safe against
-  // concurrent queries (mutations already require exclusive access).
+  // run on. Mutations (Insert/BulkLoad) mark the owning shard's snapshot
+  // stale; the next call recompiles it from the pointer tree.
+  // Thread-safe against concurrent queries (mutations already require
+  // exclusive access).
   const PackedRTree& packed_index() const;
 
   // Id of the series inserted under `name`, or NotFound.
@@ -83,10 +101,8 @@ class Relation {
   FeatureConfig config_;
   int series_length_ = 0;
   std::vector<Record> records_;
-  FeatureStore store_;
   std::unordered_map<std::string, int64_t> by_name_;
-  std::unique_ptr<RTree> index_;
-  PackedSnapshotCache packed_;
+  ShardedRelation data_;
 };
 
 // Which traversal engine index strategies run on. kPacked (the default)
@@ -107,9 +123,22 @@ enum class JoinMethod {
 class Database {
  public:
   explicit Database(FeatureConfig config = FeatureConfig(),
-                    RTree::Options index_options = RTree::Options());
+                    RTree::Options index_options = RTree::Options(),
+                    ShardingOptions sharding = ShardingOptions());
 
   const FeatureConfig& config() const { return config_; }
+  const ShardingOptions& sharding() const { return sharding_; }
+
+  // Cross-shard kNN pruning (default on): the scatter-gather nearest-
+  // neighbor driver hands each shard after the first the current merged
+  // k-th distance as an upper bound, so later shards prune subtrees the
+  // earlier shards already beat. Answer-preserving (ties at the bound are
+  // drained; see index/knn_best_first.h); the off switch exists for the
+  // node-access monotonicity tests and ablation benches.
+  bool cross_shard_knn_pruning() const { return cross_shard_knn_pruning_; }
+  void set_cross_shard_knn_pruning(bool enabled) {
+    cross_shard_knn_pruning_ = enabled;
+  }
 
   // Traversal engine for index strategies (default kPacked). Set before
   // issuing queries; benches flip it to report both engines side by side.
@@ -169,7 +198,9 @@ class Database {
 
   FeatureConfig config_;
   RTree::Options index_options_;
+  ShardingOptions sharding_;
   IndexEngine index_engine_ = IndexEngine::kPacked;
+  bool cross_shard_knn_pruning_ = true;
   std::map<std::string, std::unique_ptr<Relation>> relations_;
 };
 

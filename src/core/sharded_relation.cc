@@ -1,0 +1,150 @@
+#include "core/sharded_relation.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "geom/rect.h"
+#include "util/thread_pool.h"
+
+namespace simq {
+
+ShardingOptions ShardingOptions::FromEnv() {
+  ShardingOptions options;
+  if (const char* env = std::getenv("SIMQ_SHARDS")) {
+    const int value = std::atoi(env);
+    if (value > 0) {
+      options.num_shards = value;
+    }
+  }
+  return options;
+}
+
+RelationShard::RelationShard(int dims, const RTree::Options& index_options)
+    : index_(std::make_unique<RTree>(dims, index_options)) {}
+
+ShardedRelation::ShardedRelation(int dims,
+                                 const RTree::Options& index_options,
+                                 const ShardingOptions& options)
+    : options_(options) {
+  options_.num_shards = std::max(1, options_.num_shards);
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<RelationShard>(dims, index_options));
+  }
+}
+
+uint64_t ShardedRelation::epoch() const {
+  uint64_t sum = 0;
+  for (const auto& shard : shards_) {
+    sum += shard->epoch_;
+  }
+  return sum;
+}
+
+int ShardedRelation::RouteNext() const {
+  const int num = num_shards();
+  if (num == 1) {
+    return 0;
+  }
+  if (options_.partition == ShardingOptions::Partition::kHash) {
+    return static_cast<int>(size() % num);
+  }
+  // kRange: fill the smallest shard; ties resolve to the lowest index, so
+  // the routing is deterministic in the insertion sequence.
+  int target = 0;
+  for (int s = 1; s < num; ++s) {
+    if (shards_[static_cast<size_t>(s)]->size() <
+        shards_[static_cast<size_t>(target)]->size()) {
+      target = s;
+    }
+  }
+  return target;
+}
+
+void ShardedRelation::Append(const SeriesFeatures& features,
+                             const std::vector<double>& normal_values,
+                             const std::vector<double>& point) {
+  const int64_t global = size();
+  const int target = RouteNext();
+  RelationShard& shard = *shards_[static_cast<size_t>(target)];
+  shard_of_.push_back(target);
+  local_of_.push_back(shard.size());
+  shard.global_ids_.push_back(global);
+  shard.store_.Append(features, normal_values);
+  shard.index_->InsertPoint(point, global);
+  shard.packed_.Invalidate();
+  ++shard.epoch_;
+}
+
+void ShardedRelation::BulkLoad(int64_t count, const LoadFn& load_row) {
+  if (count <= 0) {
+    return;
+  }
+  const int64_t base = size();
+  const int num = num_shards();
+
+  // Partition the batch: per-shard global-id lists, each ascending.
+  std::vector<std::vector<int64_t>> shard_ids(static_cast<size_t>(num));
+  if (options_.partition == ShardingOptions::Partition::kHash) {
+    for (int64_t i = 0; i < count; ++i) {
+      const int64_t g = base + i;
+      shard_ids[static_cast<size_t>(g % num)].push_back(g);
+    }
+  } else {
+    // kRange: contiguous id blocks, proportionally split.
+    for (int s = 0; s < num; ++s) {
+      const int64_t lo = base + count * s / num;
+      const int64_t hi = base + count * (s + 1) / num;
+      for (int64_t g = lo; g < hi; ++g) {
+        shard_ids[static_cast<size_t>(s)].push_back(g);
+      }
+    }
+  }
+
+  // Locator entries are written up front (they depend only on the
+  // partition, not on the shard builds).
+  shard_of_.resize(static_cast<size_t>(base + count));
+  local_of_.resize(static_cast<size_t>(base + count));
+  for (int s = 0; s < num; ++s) {
+    const int64_t existing = shards_[static_cast<size_t>(s)]->size();
+    const std::vector<int64_t>& ids = shard_ids[static_cast<size_t>(s)];
+    for (size_t i = 0; i < ids.size(); ++i) {
+      shard_of_[static_cast<size_t>(ids[i])] = s;
+      local_of_[static_cast<size_t>(ids[i])] =
+          existing + static_cast<int64_t>(i);
+    }
+  }
+
+  // Build every shard in parallel: derived-data computation, store fill,
+  // and the STR tree build all run inside the shard task, so the load
+  // scales with min(num_shards, pool threads). Each task touches only its
+  // own shard (and, via load_row, only its own records), so the result is
+  // deterministic and identical to a serial build.
+  ThreadPool::Global().ParallelFor(
+      0, num, /*min_grain=*/1, [&](int64_t /*block*/, int64_t lo, int64_t hi) {
+        for (int64_t s = lo; s < hi; ++s) {
+          RelationShard& shard = *shards_[static_cast<size_t>(s)];
+          const std::vector<int64_t>& ids =
+              shard_ids[static_cast<size_t>(s)];
+          if (ids.empty()) {
+            continue;
+          }
+          std::vector<std::pair<Rect, int64_t>> entries;
+          entries.reserve(ids.size());
+          shard.global_ids_.reserve(shard.global_ids_.size() + ids.size());
+          for (const int64_t g : ids) {
+            const RowData row = load_row(g);
+            SIMQ_CHECK(row.features != nullptr && row.normal_values != nullptr);
+            shard.global_ids_.push_back(g);
+            shard.store_.Append(*row.features, *row.normal_values);
+            entries.emplace_back(Rect::FromPoint(row.point), g);
+          }
+          shard.index_->BulkLoad(std::move(entries));
+          shard.packed_.Invalidate();
+          ++shard.epoch_;
+        }
+      });
+}
+
+}  // namespace simq

@@ -1,0 +1,188 @@
+/// Horizontal sharding of a relation's data plane.
+///
+/// A `ShardedRelation` partitions a relation's derived data -- the columnar
+/// FeatureStore and the R*-tree over feature points -- into N
+/// `RelationShard`s. Record identity stays global: ids are dense in
+/// insertion order exactly as in the unsharded engine, shard trees store
+/// *global* ids, and a locator (two flat arrays, global id -> (shard,
+/// local row)) maps between the two spaces in O(1). Because every
+/// per-record computation (normal form, spectrum, distance kernels) is a
+/// pure function of that record alone, partitioning cannot change any
+/// distance the engine computes -- the scatter-gather drivers in
+/// core/database.cc therefore return answers bit-identical to the
+/// unsharded engine (see DESIGN.md "Sharded execution").
+///
+/// Partitioning policies (ShardingOptions::Partition):
+///   * kHash:  shard = global id mod N. Balanced for the dense id
+///             sequence; inserts keep rotating across shards.
+///   * kRange: bulk loads split the batch into N contiguous id ranges;
+///             incremental inserts route to the currently smallest shard
+///             (ties to the lowest shard index). Deterministic.
+///
+/// Mutations follow the unsharded contract: callers must hold exclusive
+/// access (the query service's writer lock). A mutation bumps only the
+/// epoch of the shard it touched and invalidates only that shard's packed
+/// snapshot -- the other N-1 snapshots stay warm, which is the sharded
+/// engine's main win under mutation churn. The relation epoch reported to
+/// the service layer is the sum of the shard epochs: monotone, and it
+/// changes whenever any shard changes, so result-cache keys and snapshot
+/// isolation remain correct (service/query_service.h).
+///
+/// Thread-safety: all const accessors are safe under concurrent readers
+/// (the packed snapshot cache takes its own mutex; node-access counters
+/// are relaxed atomics). `Append`/`BulkLoad` require exclusive access.
+
+#ifndef SIMQ_CORE_SHARDED_RELATION_H_
+#define SIMQ_CORE_SHARDED_RELATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/feature_store.h"
+#include "index/packed_rtree.h"
+#include "index/rtree.h"
+#include "ts/feature.h"
+#include "util/logging.h"
+
+namespace simq {
+
+/// How a Database partitions each relation's data plane.
+struct ShardingOptions {
+  /// Number of horizontal shards per relation; 1 = the unsharded engine
+  /// (a single shard owning everything). Values below 1 clamp to 1.
+  int num_shards = 1;
+
+  enum class Partition {
+    kHash,   ///< shard = global id mod num_shards
+    kRange,  ///< contiguous id ranges per bulk load; inserts fill smallest
+  };
+  Partition partition = Partition::kHash;
+
+  /// Options with num_shards taken from the SIMQ_SHARDS environment
+  /// variable when it is set to a positive integer (benches and the shell
+  /// use this; library callers pass options explicitly).
+  static ShardingOptions FromEnv();
+};
+
+/// One horizontal shard: a FeatureStore slice, the R*-tree over that
+/// slice's feature points (storing global record ids), and a lazily
+/// compiled packed snapshot of it. Rows are indexed by *local* position;
+/// `global_id(local)` maps back to the record id.
+class RelationShard {
+ public:
+  RelationShard(int dims, const RTree::Options& index_options);
+
+  RelationShard(const RelationShard&) = delete;
+  RelationShard& operator=(const RelationShard&) = delete;
+
+  /// Columnar derived data of this shard's records, local row order.
+  const FeatureStore& store() const { return store_; }
+  /// The shard's mutable ground-truth index. Entry ids are global.
+  const RTree& index() const { return *index_; }
+  /// Packed snapshot of index(); recompiled lazily after a mutation of
+  /// *this shard only*. Safe against concurrent queries.
+  const PackedRTree& packed_index() const { return packed_.Get(*index_); }
+
+  int64_t size() const { return static_cast<int64_t>(global_ids_.size()); }
+  int64_t global_id(int64_t local) const {
+    return global_ids_[static_cast<size_t>(local)];
+  }
+  /// Monotone per-shard mutation counter (see file comment).
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  friend class ShardedRelation;
+
+  FeatureStore store_;
+  std::vector<int64_t> global_ids_;  // local row -> global record id
+  std::unique_ptr<RTree> index_;
+  PackedSnapshotCache packed_;
+  uint64_t epoch_ = 0;
+};
+
+class ShardedRelation {
+ public:
+  /// Derived data of one record, handed to BulkLoad's per-record callback.
+  /// The pointers must stay valid until BulkLoad returns (they normally
+  /// point into the caller's Record).
+  struct RowData {
+    const SeriesFeatures* features = nullptr;
+    const std::vector<double>* normal_values = nullptr;
+    std::vector<double> point;  // feature point for the shard index
+  };
+  /// Computes one record's derived data. BulkLoad invokes it from
+  /// concurrent shard tasks, each global id exactly once; the callback
+  /// must only touch state owned by that id (it may write records_[id]).
+  using LoadFn = std::function<RowData(int64_t global_id)>;
+
+  ShardedRelation(int dims, const RTree::Options& index_options,
+                  const ShardingOptions& options);
+
+  ShardedRelation(const ShardedRelation&) = delete;
+  ShardedRelation& operator=(const ShardedRelation&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const RelationShard& shard(int s) const { return *shards_[static_cast<size_t>(s)]; }
+  const ShardingOptions& options() const { return options_; }
+
+  /// Total records across shards (== the relation's record count).
+  int64_t size() const { return static_cast<int64_t>(shard_of_.size()); }
+  /// Relation epoch: the sum of the shard epochs. Monotone; changes on
+  /// every mutation of any shard.
+  uint64_t epoch() const;
+
+  /// Locator: which shard holds global id `g`, and at which local row.
+  int shard_of(int64_t g) const { return shard_of_[static_cast<size_t>(g)]; }
+  int64_t local_of(int64_t g) const { return local_of_[static_cast<size_t>(g)]; }
+
+  /// Row accessors by global id (one locator hop; the scan drivers iterate
+  /// shards locally instead and never pay it).
+  const double* SpectrumRow(int64_t g) const {
+    const RelationShard& s = *shards_[static_cast<size_t>(shard_of(g))];
+    return s.store().SpectrumRow(local_of(g));
+  }
+  const double* NormalRow(int64_t g) const {
+    const RelationShard& s = *shards_[static_cast<size_t>(shard_of(g))];
+    return s.store().NormalRow(local_of(g));
+  }
+  double mean(int64_t g) const {
+    const RelationShard& s = *shards_[static_cast<size_t>(shard_of(g))];
+    return s.store().mean(local_of(g));
+  }
+  double std_dev(int64_t g) const {
+    const RelationShard& s = *shards_[static_cast<size_t>(shard_of(g))];
+    return s.store().std_dev(local_of(g));
+  }
+
+  /// Routes one new record (global id == size()) to its shard: appends to
+  /// the shard store, inserts the feature point into the shard tree under
+  /// the global id, invalidates that shard's snapshot, and bumps that
+  /// shard's epoch. Caller holds exclusive access.
+  void Append(const SeriesFeatures& features,
+              const std::vector<double>& normal_values,
+              const std::vector<double>& point);
+
+  /// Parallel per-shard bulk load of `count` records with global ids
+  /// [size(), size() + count). Partitions the ids per the configured
+  /// policy, then builds every shard concurrently (ThreadPool::Global()):
+  /// each shard task computes its records' derived data via `load_row`,
+  /// fills the shard store in ascending global-id order, and STR
+  /// bulk-loads the shard tree. Each loaded shard's epoch is bumped once.
+  /// Caller holds exclusive access.
+  void BulkLoad(int64_t count, const LoadFn& load_row);
+
+ private:
+  /// Shard that receives the next incremental append.
+  int RouteNext() const;
+
+  ShardingOptions options_;
+  std::vector<std::unique_ptr<RelationShard>> shards_;
+  std::vector<int32_t> shard_of_;  // global id -> shard
+  std::vector<int64_t> local_of_;  // global id -> local row within shard
+};
+
+}  // namespace simq
+
+#endif  // SIMQ_CORE_SHARDED_RELATION_H_

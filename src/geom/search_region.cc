@@ -311,17 +311,31 @@ double NnLowerBound::ToTransformedPoint(
     const double p0 = point[static_cast<int64_t>(d0) * stride];
     const double p1 = point[static_cast<int64_t>(d1) * stride];
     const Complex& q = query_coeffs_[static_cast<size_t>(c)];
-    Complex value;
     if (config_.space == FeatureSpace::kRectangular) {
       const double re = affines[d0].scale * p0 + affines[d0].offset;
       const double im = affines[d1].scale * p1 + affines[d1].offset;
-      value = Complex(re, im);
+      sum_sq += std::norm(Complex(re, im) - q);
     } else {
-      const double mag = affines[d0].scale * p0 + affines[d0].offset;
-      const double angle = p1 + affines[d1].offset;
-      value = std::polar(std::max(0.0, mag), angle);
+      // The degenerate case of the annular-sector bound above, run
+      // through the SAME primitives. Reconstructing the complex value
+      // with std::polar and subtracting would add ~1 ulp of rounding to
+      // an exact-zero distance, so the "lower bound" of a record whose
+      // coordinates equal the query's could exceed its exact distance --
+      // and a kNN tie at the k-th distance would then be broken by tree
+      // shape instead of by id (the sharded scatter-gather kNN depends
+      // on bounds never overshooting exact distances; see DESIGN.md).
+      // Here, equal coordinates take the radial-gap branch and produce
+      // exactly 0.
+      double mag_lo;
+      double mag_hi;
+      TransformLinearInterval(affines[d0], p0, p0, &mag_lo, &mag_hi);
+      mag_lo = std::max(0.0, mag_lo);
+      mag_hi = std::max(0.0, mag_hi);
+      const CircularInterval arc =
+          CircularInterval::FromBounds(p1, p1).Rotated(affines[d1].offset);
+      const double dist = MinDistToAnnularSector(q, mag_lo, mag_hi, arc);
+      sum_sq += dist * dist;
     }
-    sum_sq += std::norm(value - q);
   }
   return std::sqrt(sum_sq);
 }

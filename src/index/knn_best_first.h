@@ -1,26 +1,35 @@
-// Shared best-first k-nearest-neighbor driver for both index engines.
-//
-// The parity guarantees of the packed engine (identical results AND
-// identical node-access counts vs the pointer tree) depend on both
-// engines running exactly this control flow, so it exists once and the
-// engines supply only node expansion:
-//
-//  * Pops from the MINDIST priority queue arrive in nondecreasing
-//    priority (children bound no tighter than their parent, exact
-//    distances no tighter than their lower bound), so resolved entries
-//    stream out sorted by distance and results[k-1] is the running k-th
-//    distance.
-//  * The loop keeps draining while the queue top is <= that distance, so
-//    every boundary tie is collected; the final (distance, id) sort and
-//    cut to k make tie-breaking deterministic (smaller ids win).
-//  * A node is therefore popped iff its MINDIST is <= the final k-th
-//    distance -- a set independent of heap tie order and of the engine,
-//    which is what keeps the node-access counters equal.
-//
-// `expand(node, push_node, push_entry)` must count the node access and
-// push every child subtree (lower bound, child handle) or leaf entry
-// (lower bound, data id); `exact_distance(id)` upgrades an entry's bound
-// when it first surfaces.
+/// Shared best-first k-nearest-neighbor driver for both index engines.
+///
+/// The parity guarantees of the packed engine (identical results AND
+/// identical node-access counts vs the pointer tree) depend on both
+/// engines running exactly this control flow, so it exists once and the
+/// engines supply only node expansion:
+///
+///  * Pops from the MINDIST priority queue arrive in nondecreasing
+///    priority (children bound no tighter than their parent, exact
+///    distances no tighter than their lower bound), so resolved entries
+///    stream out sorted by distance and results[k-1] is the running k-th
+///    distance.
+///  * The loop keeps draining while the queue top is <= that distance, so
+///    every boundary tie is collected; the final (distance, id) sort and
+///    cut to k make tie-breaking deterministic (smaller ids win).
+///  * A node is therefore popped iff its MINDIST is <= the final k-th
+///    distance -- a set independent of heap tie order and of the engine,
+///    which is what keeps the node-access counters equal.
+///
+/// `expand(node, push_node, push_entry)` must count the node access and
+/// push every child subtree (lower bound, child handle) or leaf entry
+/// (lower bound, data id); `exact_distance(id)` upgrades an entry's bound
+/// when it first surfaces.
+///
+/// `initial_bound` supports cross-shard pruning (core/database.cc's
+/// scatter-gather kNN): the driver behaves as if k results at that
+/// distance already exist, so subtrees with MINDIST strictly above it are
+/// never expanded. Candidates exactly AT the bound are still drained --
+/// ties at the global k-th distance may be resolved toward a smaller id
+/// in a later shard, so discarding them would break the deterministic
+/// tie contract. +infinity (the default) disables the cap. Thread-safe:
+/// the driver touches no shared state beyond what `expand` does.
 
 #ifndef SIMQ_INDEX_KNN_BEST_FIRST_H_
 #define SIMQ_INDEX_KNN_BEST_FIRST_H_
@@ -40,7 +49,8 @@ namespace internal {
 template <typename NodeHandle, typename ExpandFn, typename ExactFn>
 std::vector<std::pair<int64_t, double>> BestFirstNearestNeighbors(
     NodeHandle root, int k, size_t queue_reserve, ExpandFn&& expand,
-    ExactFn&& exact_distance) {
+    ExactFn&& exact_distance,
+    double initial_bound = std::numeric_limits<double>::infinity()) {
   SIMQ_CHECK_GT(k, 0);
   struct Item {
     double priority;
@@ -79,6 +89,16 @@ std::vector<std::pair<int64_t, double>> BestFirstNearestNeighbors(
            kth == std::numeric_limits<double>::infinity())) {
         break;
       }
+    } else if (item.priority > initial_bound) {
+      // Fewer than k local results, but the caller already holds k
+      // results at `initial_bound` or better (cross-shard pruning):
+      // nothing past the bound can enter the merged top k. Ties AT the
+      // bound are still drained -- see the file comment. Note the
+      // invariant this break maintains: every resolved result was popped
+      // while its priority passed the active cut, so results[k-1].second
+      // can never exceed initial_bound -- once k results exist, the
+      // branch above is automatically at least as tight as the bound.
+      break;
     }
     queue.pop();
     if (item.is_node) {

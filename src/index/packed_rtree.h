@@ -1,48 +1,55 @@
-// Immutable, cache-friendly snapshot of an R*-tree: the packed traversal
-// engine of the query hot paths.
-//
-// The dynamic RTree (index/rtree.h) stays the mutable build/ground-truth
-// structure, but its heap-scattered nodes (unique_ptr children, per-node
-// std::vector<Rect> with two heap arrays per rectangle) make every
-// traversal a pointer chase. PackedRTree compiles that tree into one
-// contiguous arena of fixed-stride structure-of-arrays nodes:
-//
-//   * Nodes are numbered in breadth-first, level-grouped order (root = 0,
-//     leaves last), so a level-ordered traversal streams the arena and
-//     `node >= first_leaf_` replaces the is_leaf flag.
-//   * Per node, entry coordinates are stored as dimension-major planes:
-//     lo[d][entry] then hi[d][entry], each plane `cap` doubles wide. A
-//     rect-overlap or MINDIST test over one dimension of a whole node is a
-//     unit-stride loop the compiler vectorizes.
-//   * Child node ids (internal) and data ids (leaves) are dense int32 in
-//     one array; data ids are checked to fit at compile time.
-//   * Per node: the exact MBR (union of entry rects, same arithmetic as
-//     RTree::NodeMbr) and, for the plane-sweep join, the entry order
-//     sorted by lo along every dimension (precomputed once per snapshot).
-//
-// Traversals are iterative (explicit stack / priority queue, no recursion):
-//   * Search / SearchGeneric: DFS with an explicit stack, visiting entries
-//     in the same order as the recursive pointer-tree traversal.
-//   * JoinWith: synchronized descent structured exactly like
-//     RTree::JoinWith, but leaf/leaf node pairs are resolved with a plane
-//     sweep along the best (widest) dimension instead of all-pairs entry
-//     tests. See the `slack` contract on JoinWith.
-//   * NearestNeighbors: best-first search over a MINDIST priority queue of
-//     packed nodes, with deterministic (distance, then id) tie-breaking.
-//
-// Node-access accounting matches the pointer tree one-for-one: one
-// increment per packed node visited, with the same visit rules (see
-// DESIGN.md "Node-access accounting" and "Packed traversal engine"). For
-// Search/SearchGeneric/JoinWith the counters are equal to the pointer
-// tree's by construction; for NearestNeighbors both engines visit exactly
-// the nodes whose MINDIST is <= the k-th result distance, so they agree as
-// well.
-//
-// A snapshot is immutable: concurrent traversals from any number of
-// threads are safe (the node-access counter is a relaxed atomic, nothing
-// else mutates). Mutating the source RTree does NOT update the snapshot;
-// owners rebuild it (Relation / SubsequenceIndex mark their snapshot stale
-// on Insert/Delete/BulkLoad and recompile lazily on the next query).
+/// Immutable, cache-friendly snapshot of an R*-tree: the packed traversal
+/// engine of the query hot paths.
+///
+/// The dynamic RTree (index/rtree.h) stays the mutable build/ground-truth
+/// structure, but its heap-scattered nodes (unique_ptr children, per-node
+/// std::vector<Rect> with two heap arrays per rectangle) make every
+/// traversal a pointer chase. PackedRTree compiles that tree into one
+/// contiguous arena of fixed-stride structure-of-arrays nodes:
+///
+///   * Nodes are numbered in breadth-first, level-grouped order (root = 0,
+///     leaves last), so a level-ordered traversal streams the arena and
+///     `node >= first_leaf_` replaces the is_leaf flag.
+///   * Per node, entry coordinates are stored as dimension-major planes:
+///     lo[d][entry] then hi[d][entry], each plane `cap` doubles wide. A
+///     rect-overlap or MINDIST test over one dimension of a whole node is a
+///     unit-stride loop the compiler vectorizes.
+///   * Child node ids (internal) and data ids (leaves) are dense int32 in
+///     one array; data ids are checked to fit at compile time.
+///   * Per node: the exact MBR (union of entry rects, same arithmetic as
+///     RTree::NodeMbr) and, for the plane-sweep join, the entry order
+///     sorted by lo along every dimension (precomputed once per snapshot).
+///
+/// Traversals are iterative (explicit stack / priority queue, no recursion):
+///   * Search / SearchGeneric: DFS with an explicit stack, visiting entries
+///     in the same order as the recursive pointer-tree traversal.
+///   * JoinWith: synchronized descent structured exactly like
+///     RTree::JoinWith, but leaf/leaf node pairs are resolved with a plane
+///     sweep along the best (widest) dimension instead of all-pairs entry
+///     tests. See the `slack` contract on JoinWith.
+///   * NearestNeighbors: best-first search over a MINDIST priority queue of
+///     packed nodes, with deterministic (distance, then id) tie-breaking.
+///
+/// Node-access accounting matches the pointer tree one-for-one: one
+/// increment per packed node visited, with the same visit rules (see
+/// DESIGN.md "Node-access accounting" and "Packed traversal engine"). For
+/// Search/SearchGeneric/JoinWith the counters are equal to the pointer
+/// tree's by construction; for NearestNeighbors both engines visit exactly
+/// the nodes whose MINDIST is <= the k-th result distance, so they agree as
+/// well.
+///
+/// Thread-safety contract: a snapshot is immutable, so every const
+/// method -- Search, SearchGeneric, JoinWith, NearestNeighbors, and all
+/// accessors -- is snapshot-safe: any number of threads may traverse one
+/// snapshot concurrently with no external lock (the node-access counter
+/// is a relaxed atomic, nothing else mutates). ResetNodeAccesses is also
+/// safe at any time, but a reset concurrent with in-flight traversals
+/// makes the counter deltas meaningless; benches reset only between
+/// phases. Mutating the source RTree does NOT update the snapshot;
+/// owners rebuild it through a PackedSnapshotCache (bottom of this file):
+/// mutators call Invalidate() while holding the owner's exclusive lock,
+/// queries call Get() under the owner's shared lock, and Get's internal
+/// mutex serializes only the first post-mutation recompiles.
 
 #ifndef SIMQ_INDEX_PACKED_RTREE_H_
 #define SIMQ_INDEX_PACKED_RTREE_H_
@@ -66,11 +73,11 @@ namespace simq {
 
 class RTree;
 
-// Non-owning rectangle view over packed coordinate storage: dimension d
-// lives at lo[d * stride] / hi[d * stride]. This is what packed traversal
-// predicates receive instead of a Rect; write predicates as generic
-// lambdas ([](const auto& rect) { ... rect.lo(d) ... }) to share them
-// between the pointer and packed engines.
+/// Non-owning rectangle view over packed coordinate storage: dimension d
+/// lives at lo[d * stride] / hi[d * stride]. This is what packed traversal
+/// predicates receive instead of a Rect; write predicates as generic
+/// lambdas ([](const auto& rect) { ... rect.lo(d) ... }) to share them
+/// between the pointer and packed engines.
 class PackedRect {
  public:
   PackedRect(const double* lo, const double* hi, int32_t stride)
@@ -89,13 +96,13 @@ class PackedRect {
   int32_t stride_;
 };
 
-// The canonical epsilon spatial-join predicate: rectangles whose
-// per-dimension gap is at most eps (exact for point entries under the
-// Chebyshev metric, conservative on MBRs). Generic over the rect type so
-// it runs against both Rect and PackedRect, and bounded by eps along
-// every dimension -- i.e. it satisfies PackedRTree::JoinWith's slack
-// contract with slack = eps. Tests and benches use this one definition so
-// the contract cannot drift between engines.
+/// The canonical epsilon spatial-join predicate: rectangles whose
+/// per-dimension gap is at most eps (exact for point entries under the
+/// Chebyshev metric, conservative on MBRs). Generic over the rect type so
+/// it runs against both Rect and PackedRect, and bounded by eps along
+/// every dimension -- i.e. it satisfies PackedRTree::JoinWith's slack
+/// contract with slack = eps. Tests and benches use this one definition so
+/// the contract cannot drift between engines.
 struct EpsilonPairPredicate {
   int dims;
   double eps;
@@ -112,19 +119,19 @@ struct EpsilonPairPredicate {
 
 class PackedRTree {
  public:
-  // Largest node fanout the packed layout supports (sweep orders are uint8
-  // and traversal scratch is stack-allocated at this size). Compiling a
-  // tree with a larger fanout is a checked precondition violation; owners
-  // that accept arbitrary RTree::Options (Database, SubsequenceIndex)
-  // gate on SupportsFanout and stay on the pointer engine instead.
+  /// Largest node fanout the packed layout supports (sweep orders are uint8
+  /// and traversal scratch is stack-allocated at this size). Compiling a
+  /// tree with a larger fanout is a checked precondition violation; owners
+  /// that accept arbitrary RTree::Options (Database, SubsequenceIndex)
+  /// gate on SupportsFanout and stay on the pointer engine instead.
   static constexpr int kMaxFanout = 256;
   static bool SupportsFanout(int max_entries) {
     return max_entries <= kMaxFanout;
   }
 
-  // Compiles a snapshot of `tree`. O(nodes * dims * fanout); the source
-  // tree is not retained. Precondition: every node fanout is at most
-  // kMaxFanout (guaranteed when SupportsFanout(options.max_entries)).
+  /// Compiles a snapshot of `tree`. O(nodes * dims * fanout); the source
+  /// tree is not retained. Precondition: every node fanout is at most
+  /// kMaxFanout (guaranteed when SupportsFanout(options.max_entries)).
   explicit PackedRTree(const RTree& tree);
 
   PackedRTree(const PackedRTree&) = delete;
@@ -134,47 +141,50 @@ class PackedRTree {
   int64_t size() const { return size_; }
   int32_t node_count() const { return static_cast<int32_t>(counts_.size()); }
   int height() const { return height_; }
-  // Bytes of arena storage (coordinates + ids + MBRs + sweep orders).
+  /// Bytes of arena storage (coordinates + ids + MBRs + sweep orders).
   int64_t arena_bytes() const;
 
-  // Range search per Algorithm 2, identical in results and node accesses
-  // to RTree::Search on the source tree. Leaf entries are treated as
-  // points (their lo corner), as in the pointer engine.
+  /// Range search per Algorithm 2, identical in results and node accesses
+  /// to RTree::Search on the source tree. Leaf entries are treated as
+  /// points (their lo corner), as in the pointer engine.
   void Search(const SearchRegion& region, const std::vector<DimAffine>* affines,
               std::vector<int64_t>* results) const;
 
-  // Generic DFS: visits subtrees whose MBR satisfies node_predicate and
-  // emits leaf entries satisfying leaf_predicate, in the same order as
-  // RTree::SearchGeneric. Predicates receive PackedRect views.
+  /// Generic DFS: visits subtrees whose MBR satisfies node_predicate and
+  /// emits leaf entries satisfying leaf_predicate, in the same order as
+  /// RTree::SearchGeneric. Predicates receive PackedRect views.
   template <typename NodePred, typename LeafPred, typename Emit>
   void SearchGeneric(NodePred&& node_predicate, LeafPred&& leaf_predicate,
                      Emit&& emit) const;
 
-  // Synchronized spatial join with `other` (which may be this snapshot: a
-  // self-join). The descent mirrors RTree::JoinWith (same node pairs, same
-  // node-access counts, both orientations and (id, id) pairs on
-  // self-joins); leaf/leaf pairs are resolved by a plane sweep along the
-  // dimension where the two nodes' combined MBR is widest.
-  //
-  // Contract: `pair_predicate` must be conservative on MBRs (as in
-  // RTree::JoinWith) and bounded by `slack` along every dimension --
-  // pair_predicate(a, b) must imply
-  //     a.lo(d) <= b.hi(d) + slack  &&  b.lo(d) <= a.hi(d) + slack
-  // for every d. Plain rect overlap satisfies this with slack = 0; an
-  // epsilon-distance join with slack = epsilon. Pass slack = +infinity to
-  // disable the sweep (all-pairs within each leaf pair, still iterative).
+  /// Synchronized spatial join with `other` (which may be this snapshot: a
+  /// self-join). The descent mirrors RTree::JoinWith (same node pairs, same
+  /// node-access counts, both orientations and (id, id) pairs on
+  /// self-joins); leaf/leaf pairs are resolved by a plane sweep along the
+  /// dimension where the two nodes' combined MBR is widest.
+  ///
+  /// Contract: `pair_predicate` must be conservative on MBRs (as in
+  /// RTree::JoinWith) and bounded by `slack` along every dimension --
+  /// pair_predicate(a, b) must imply
+  ///     a.lo(d) <= b.hi(d) + slack  &&  b.lo(d) <= a.hi(d) + slack
+  /// for every d. Plain rect overlap satisfies this with slack = 0; an
+  /// epsilon-distance join with slack = epsilon. Pass slack = +infinity to
+  /// disable the sweep (all-pairs within each leaf pair, still iterative).
   template <typename PairPred, typename Emit>
   void JoinWith(const PackedRTree& other, PairPred&& pair_predicate,
                 Emit&& emit, double slack) const;
 
-  // Best-first k-nearest neighbors over a MINDIST priority queue. Results
-  // are (id, exact_distance) ordered by (distance, id); ties at the k-th
-  // distance are resolved toward smaller ids. Same algorithm and
-  // accounting as RTree::NearestNeighbors.
+  /// Best-first k-nearest neighbors over a MINDIST priority queue. Results
+  /// are (id, exact_distance) ordered by (distance, id); ties at the k-th
+  /// distance are resolved toward smaller ids. Same algorithm and
+  /// accounting as RTree::NearestNeighbors. `initial_bound` caps the
+  /// search as if k results at that distance already exist (cross-shard
+  /// pruning; see index/knn_best_first.h); +infinity disables the cap.
   template <typename ExactFn>
   std::vector<std::pair<int64_t, double>> NearestNeighbors(
       const NnLowerBound& bound, const std::vector<DimAffine>* affines, int k,
-      ExactFn&& exact_distance) const;
+      ExactFn&& exact_distance,
+      double initial_bound = std::numeric_limits<double>::infinity()) const;
 
   void ResetNodeAccesses() const {
     node_accesses_.store(0, std::memory_order_relaxed);
@@ -183,15 +193,15 @@ class PackedRTree {
     return node_accesses_.load(std::memory_order_relaxed);
   }
 
-  // Entry i of node n as a strided view (stride = capacity). Arena
-  // offsets are computed in 64-bit arithmetic: node * cap_ exceeds int32
-  // well before the int32 data-id limit does.
+  /// Entry i of node n as a strided view (stride = capacity). Arena
+  /// offsets are computed in 64-bit arithmetic: node * cap_ exceeds int32
+  /// well before the int32 data-id limit does.
   PackedRect EntryRect(int32_t node, int entry) const {
     const double* base =
         coords_.data() + static_cast<int64_t>(node) * coord_stride_ + entry;
     return PackedRect(base, base + static_cast<int64_t>(dims_) * cap_, cap_);
   }
-  // Exact MBR of node n (union of its entry rects), stride 1.
+  /// Exact MBR of node n (union of its entry rects), stride 1.
   PackedRect NodeMbr(int32_t node) const {
     const double* base =
         mbrs_.data() + static_cast<int64_t>(node) * 2 * dims_;
@@ -204,7 +214,7 @@ class PackedRTree {
   int32_t Level(int32_t node) const {
     return levels_[static_cast<size_t>(node)];
   }
-  // Child node id (internal) or data id (leaf) of entry i.
+  /// Child node id (internal) or data id (leaf) of entry i.
   int32_t EntryId(int32_t node, int entry) const {
     return kids_[static_cast<size_t>(static_cast<int64_t>(node) * cap_ +
                                      entry)];
@@ -215,8 +225,8 @@ class PackedRTree {
     node_accesses_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  // lo plane of dimension d in node `node` (cap_ doubles; hi plane is
-  // dims_ * cap_ further).
+  /// lo plane of dimension d in node `node` (cap_ doubles; hi plane is
+  /// dims_ * cap_ further).
   const double* LoPlane(int32_t node, int d) const {
     return coords_.data() + node * coord_stride_ + d * cap_;
   }
@@ -227,8 +237,8 @@ class PackedRTree {
     return sweep_order_.data() + (static_cast<int64_t>(node) * dims_ + d) *
                                      cap_;
   }
-  // Dimension along which the union of the two node MBRs is widest -- the
-  // sweep axis for a leaf/leaf pair.
+  /// Dimension along which the union of the two node MBRs is widest -- the
+  /// sweep axis for a leaf/leaf pair.
   int BestSweepDim(const PackedRTree& other, int32_t a, int32_t b) const;
 
   int dims_ = 0;
@@ -375,7 +385,7 @@ void PackedRTree::JoinWith(const PackedRTree& other, PairPred&& pair_predicate,
 template <typename ExactFn>
 std::vector<std::pair<int64_t, double>> PackedRTree::NearestNeighbors(
     const NnLowerBound& bound, const std::vector<DimAffine>* affines, int k,
-    ExactFn&& exact_distance) const {
+    ExactFn&& exact_distance, double initial_bound) const {
   const std::vector<DimAffine> identity(static_cast<size_t>(dims_),
                                         DimAffine{});
   const std::vector<DimAffine>& actions =
@@ -406,15 +416,16 @@ std::vector<std::pair<int64_t, double>> PackedRTree::NearestNeighbors(
           }
         }
       },
-      exact_distance);
+      exact_distance, initial_bound);
 }
 
-// Lazily-compiled snapshot cache, the one rebuild-on-mutation protocol
-// shared by snapshot owners (Relation, SubsequenceIndex): mutators call
-// Invalidate(), queries call Get(tree). Get is safe against concurrent
-// queries; mutators must already hold exclusive access to the owning
-// structure (the same requirement the pointer tree imposes), so a
-// rebuild can never race a mutation.
+/// Lazily-compiled snapshot cache, the one rebuild-on-mutation protocol
+/// shared by snapshot owners (Relation shards, SubsequenceIndex):
+/// mutators call Invalidate(), queries call Get(tree). Thread-safety:
+/// Get is snapshot-safe against concurrent Get calls (internal mutex);
+/// Invalidate and the mutation it reflects must hold exclusive access
+/// to the owning structure (the same requirement the pointer tree
+/// imposes), so a rebuild can never race a mutation.
 class PackedSnapshotCache {
  public:
   void Invalidate() {
@@ -422,9 +433,9 @@ class PackedSnapshotCache {
     stale_ = true;
   }
 
-  // Returns the current snapshot of `tree`, recompiling it first if a
-  // mutation invalidated it (or none was built yet). The reference stays
-  // valid until the next Get() after an Invalidate().
+  /// Returns the current snapshot of `tree`, recompiling it first if a
+  /// mutation invalidated it (or none was built yet). The reference stays
+  /// valid until the next Get() after an Invalidate().
   const PackedRTree& Get(const RTree& tree) const {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stale_ || snapshot_ == nullptr) {

@@ -627,7 +627,8 @@ void RTree::JoinWith(
 std::vector<std::pair<int64_t, double>> RTree::NearestNeighbors(
     const NnLowerBound& bound, const std::vector<DimAffine>* affines, int k,
     const std::function<double(int64_t)>& exact_distance) const {
-  return NearestNeighborsImpl(bound, affines, k, exact_distance);
+  return NearestNeighborsImpl(bound, affines, k, exact_distance,
+                              std::numeric_limits<double>::infinity());
 }
 
 bool RTree::CheckNode(const Node* node, bool is_root,

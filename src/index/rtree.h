@@ -1,32 +1,32 @@
-// In-memory R*-tree over runtime-dimensional rectangles/points.
-//
-// Implements the R-tree of Guttman [Gut84] with the R* improvements of
-// Beckmann et al. [BKSS90]: least-overlap ChooseSubtree at the leaf level,
-// forced reinsertion on first overflow per level, and the margin-driven
-// topological split. This is the index substrate of [RM97] §4-5 (the paper
-// builds on Beckmann's R*-tree V2); disk pages are replaced by heap nodes
-// and a node-access counter stands in for disk accesses (see DESIGN.md).
-//
-// Similarity search plugs in through generic entry points:
-//  * Search(region, affines): Algorithm 2 of [RM97] -- every node MBR and
-//    leaf point is passed through the safe transformation's per-dimension
-//    actions before being tested against the query's search region, which
-//    is exactly "constructing the index I' for T(D) on the fly"
-//    (Algorithm 1) without materializing it.
-//  * SearchGeneric / JoinWith / NearestNeighbors: templated visitor
-//    traversals. Pass any callable (lambda, function object) and the
-//    predicate calls inline into the traversal loop; the std::function
-//    overloads are thin wrappers kept for API compatibility with callers
-//    that store type-erased predicates.
-//  * NearestNeighbors(bound, affines, k, exact): branch-and-bound k-NN in
-//    the style of [RKV95], generalized to transformed entries; candidates
-//    are re-ranked by a caller-supplied exact distance so the index only
-//    needs lower bounds.
-//
-// Concurrent read traversals (Search/SearchGeneric/JoinWith/
-// NearestNeighbors) from multiple threads are safe: the node-access
-// counters are relaxed atomics and nothing else mutates. Mutations
-// (Insert/Delete/BulkLoad) still require exclusive access.
+/// In-memory R*-tree over runtime-dimensional rectangles/points.
+///
+/// Implements the R-tree of Guttman [Gut84] with the R* improvements of
+/// Beckmann et al. [BKSS90]: least-overlap ChooseSubtree at the leaf level,
+/// forced reinsertion on first overflow per level, and the margin-driven
+/// topological split. This is the index substrate of [RM97] §4-5 (the paper
+/// builds on Beckmann's R*-tree V2); disk pages are replaced by heap nodes
+/// and a node-access counter stands in for disk accesses (see DESIGN.md).
+///
+/// Similarity search plugs in through generic entry points:
+///  * Search(region, affines): Algorithm 2 of [RM97] -- every node MBR and
+///    leaf point is passed through the safe transformation's per-dimension
+///    actions before being tested against the query's search region, which
+///    is exactly "constructing the index I' for T(D) on the fly"
+///    (Algorithm 1) without materializing it.
+///  * SearchGeneric / JoinWith / NearestNeighbors: templated visitor
+///    traversals. Pass any callable (lambda, function object) and the
+///    predicate calls inline into the traversal loop; the std::function
+///    overloads are thin wrappers kept for API compatibility with callers
+///    that store type-erased predicates.
+///  * NearestNeighbors(bound, affines, k, exact): branch-and-bound k-NN in
+///    the style of [RKV95], generalized to transformed entries; candidates
+///    are re-ranked by a caller-supplied exact distance so the index only
+///    needs lower bounds.
+///
+/// Concurrent read traversals (Search/SearchGeneric/JoinWith/
+/// NearestNeighbors) from multiple threads are safe: the node-access
+/// counters are relaxed atomics and nothing else mutates. Mutations
+/// (Insert/Delete/BulkLoad) still require exclusive access.
 
 #ifndef SIMQ_INDEX_RTREE_H_
 #define SIMQ_INDEX_RTREE_H_
@@ -34,6 +34,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -127,11 +128,16 @@ class RTree {
   // are (id, exact_distance) pairs ordered by increasing exact distance,
   // where exact_distance comes from the caller's callback (which must be
   // >= the feature-space lower bound, e.g. a full-spectrum distance).
+  // `initial_bound` caps the search as if k results at that distance
+  // already exist (cross-shard pruning; see index/knn_best_first.h);
+  // +infinity disables the cap.
   template <typename ExactFn>
   std::vector<std::pair<int64_t, double>> NearestNeighbors(
       const NnLowerBound& bound, const std::vector<DimAffine>* affines, int k,
-      ExactFn&& exact_distance) const {
-    return NearestNeighborsImpl(bound, affines, k, exact_distance);
+      ExactFn&& exact_distance,
+      double initial_bound = std::numeric_limits<double>::infinity()) const {
+    return NearestNeighborsImpl(bound, affines, k, exact_distance,
+                                initial_bound);
   }
   std::vector<std::pair<int64_t, double>> NearestNeighbors(
       const NnLowerBound& bound, const std::vector<DimAffine>* affines, int k,
@@ -252,7 +258,7 @@ class RTree {
   template <typename ExactFn>
   std::vector<std::pair<int64_t, double>> NearestNeighborsImpl(
       const NnLowerBound& bound, const std::vector<DimAffine>* affines, int k,
-      ExactFn& exact_distance) const {
+      ExactFn& exact_distance, double initial_bound) const {
     const std::vector<DimAffine> identity(static_cast<size_t>(dims_),
                                           DimAffine{});
     const std::vector<DimAffine>& actions =
@@ -284,7 +290,7 @@ class RTree {
             }
           }
         },
-        exact_distance);
+        exact_distance, initial_bound);
   }
 
   int dims_;

@@ -1,24 +1,24 @@
-// Canonical query fingerprints: the result-cache key and the prepared-
-// statement identity of the query service.
-//
-// CanonicalQueryKey renders a parsed Query into a canonical string that is
-// equal iff the two queries denote the same answer set over the same
-// relation contents (modulo execution strategy, which is included because
-// it changes the reported ExecutionStats, and they are part of the cached
-// QueryResult). Properties:
-//
-//  * Purely syntactic inputs that cannot change the result are excluded:
-//    the EXPLAIN flag, keyword case, clause order, whitespace -- all
-//    already normalized away by the parser/AST.
-//  * Floating-point parameters (epsilon, literals, statistic ranges) are
-//    rendered as exact IEEE-754 bit patterns, never decimal round-trips,
-//    so distinct doubles never collide and equal doubles always agree.
-//  * Transformations are rendered via TransformationRule::name(), the
-//    canonical textual form of the rule chain.
-//
-// The service appends "@<relation epoch>" before using the key, pinning
-// every cache entry to the data version it was computed against (see
-// service/query_service.h).
+/// Canonical query fingerprints: the result-cache key and the prepared-
+/// statement identity of the query service.
+///
+/// CanonicalQueryKey renders a parsed Query into a canonical string that is
+/// equal iff the two queries denote the same answer set over the same
+/// relation contents (modulo execution strategy, which is included because
+/// it changes the reported ExecutionStats, and they are part of the cached
+/// QueryResult). Properties:
+///
+///  * Purely syntactic inputs that cannot change the result are excluded:
+///    the EXPLAIN flag, keyword case, clause order, whitespace -- all
+///    already normalized away by the parser/AST.
+///  * Floating-point parameters (epsilon, literals, statistic ranges) are
+///    rendered as exact IEEE-754 bit patterns, never decimal round-trips,
+///    so distinct doubles never collide and equal doubles always agree.
+///  * Transformations are rendered via TransformationRule::name(), the
+///    canonical textual form of the rule chain.
+///
+/// The service appends "@<relation epoch>" before using the key, pinning
+/// every cache entry to the data version it was computed against (see
+/// service/query_service.h).
 
 #ifndef SIMQ_SERVICE_FINGERPRINT_H_
 #define SIMQ_SERVICE_FINGERPRINT_H_
@@ -30,12 +30,12 @@
 
 namespace simq {
 
-// The canonical rendering described above.
+/// The canonical rendering described above.
 std::string CanonicalQueryKey(const Query& query);
 
-// FNV-1a 64-bit hash of CanonicalQueryKey -- a compact identity for logs
-// and the shell's EXPLAIN output. The cache itself keys on the full string
-// (hashes may collide; answers must not).
+/// FNV-1a 64-bit hash of CanonicalQueryKey -- a compact identity for logs
+/// and the shell's EXPLAIN output. The cache itself keys on the full string
+/// (hashes may collide; answers must not).
 uint64_t QueryFingerprint(const Query& query);
 
 }  // namespace simq

@@ -170,7 +170,6 @@ Status QueryService::CreateRelation(const std::string& name) {
   std::unique_lock<std::shared_mutex> lock(data_mutex_);
   const Status status = db_.CreateRelation(name);
   if (status.ok()) {
-    ++epochs_[name];
     lock.unlock();
     cache_.InvalidateRelation(name);
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
@@ -181,10 +180,12 @@ Status QueryService::CreateRelation(const std::string& name) {
 
 Result<int64_t> QueryService::Insert(const std::string& relation,
                                      const TimeSeries& series) {
+  // The insert bumps the routed shard's epoch inside the data plane; the
+  // relation epoch (the shard roll-up) therefore changes before the lock
+  // drops, so no reader can pair the new data with the old version.
   std::unique_lock<std::shared_mutex> lock(data_mutex_);
   Result<int64_t> result = db_.Insert(relation, series);
   if (result.ok()) {
-    ++epochs_[relation];
     lock.unlock();
     cache_.InvalidateRelation(relation);
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
@@ -198,7 +199,6 @@ Status QueryService::BulkLoad(const std::string& relation,
   std::unique_lock<std::shared_mutex> lock(data_mutex_);
   const Status status = db_.BulkLoad(relation, series);
   if (status.ok()) {
-    ++epochs_[relation];
     lock.unlock();
     cache_.InvalidateRelation(relation);
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
@@ -207,10 +207,18 @@ Status QueryService::BulkLoad(const std::string& relation,
   return status;
 }
 
+uint64_t QueryService::EpochLocked(const std::string& relation,
+                                   int* shards) const {
+  const Relation* rel = db_.GetRelation(relation);
+  if (shards != nullptr) {
+    *shards = rel == nullptr ? 0 : rel->sharded().num_shards();
+  }
+  return rel == nullptr ? 0 : rel->epoch();
+}
+
 uint64_t QueryService::RelationEpoch(const std::string& relation) const {
   std::shared_lock<std::shared_mutex> lock(data_mutex_);
-  const auto it = epochs_.find(relation);
-  return it == epochs_.end() ? 0 : it->second;
+  return EpochLocked(relation, nullptr);
 }
 
 Result<Query> QueryService::ParseTracked(const std::string& text) {
@@ -241,12 +249,14 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
   ServiceResult out;
   bool cache_hit = false;
   uint64_t epoch = 0;
+  int shards = 0;
   {
     // Shared lock: the query -- including its cache probe/fill -- runs
-    // against one data version; writers wait, other readers do not.
+    // against one data version; writers wait, other readers do not. The
+    // epoch is the relation's per-shard roll-up, read under the same
+    // acquisition as the data it names.
     std::shared_lock<std::shared_mutex> lock(data_mutex_);
-    const auto it = epochs_.find(query.relation);
-    epoch = it == epochs_.end() ? 0 : it->second;
+    epoch = EpochLocked(query.relation, &shards);
     const std::string key =
         CanonicalQueryKey(query) + "@" + std::to_string(epoch);
     if (!cache_.Get(key, &out.result)) {
@@ -269,6 +279,7 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
   out.plan.cache_hit = cache_hit;
   out.plan.prepared = prepared;
   out.plan.explain = query.explain;
+  out.plan.shards = shards;
   out.plan.relation_epoch = epoch;
   out.plan.fingerprint = QueryFingerprint(query);
   out.elapsed_ms = watch.ElapsedMillis();

@@ -1,44 +1,60 @@
-// The concurrent query service: the layer that turns the single-Database
-// engine into something that serves sustained multi-client traffic.
-//
-// A QueryService owns a Database and serves any number of concurrent
-// Sessions. Four mechanisms, layered (see DESIGN.md "Query service"):
-//
-//  * Snapshot-isolated concurrency. All data-plane reads and writes go
-//    through one reader/writer lock (std::shared_mutex): queries hold it
-//    shared -- any number run fully in parallel, on the immutable packed
-//    index snapshot and the append-only columnar store -- while
-//    Insert/BulkLoad/CreateRelation hold it exclusive. Every relation
-//    carries a monotonically increasing epoch, bumped by each mutation; a
-//    query reads the epoch once under the shared lock, so the epoch it
-//    reports (and caches under) names exactly the (records, FeatureStore,
-//    PackedRTree) version it executed against.
-//
-//  * Prepared queries. Session::Prepare parses and validates once;
-//    ExecutePrepared reuses the AST -- including the compiled
-//    TransformationRule chain and, when the query series is a literal, its
-//    precomputed normal form -- and binds per-execution parameters
-//    (epsilon, k, the query series). Prepared execution returns answers
-//    bit-identical to a cold parse->execute of the same text.
-//
-//  * Result cache. Successful results are cached under the canonical
-//    query fingerprint + relation epoch (service/fingerprint.h,
-//    service/result_cache.h); mutations invalidate per relation. A hit
-//    replays the original answer set without touching the engine.
-//
-//  * Admission scheduler. At most `max_concurrent_queries` queries execute
-//    at once (the rest wait FIFO-ish on a condition variable), and each
-//    admitted query gets a parallelism budget of roughly
-//    pool_threads / running_queries, installed as a
-//    ThreadPool::ScopedParallelismBudget -- one query saturates the
-//    machine when alone, concurrent queries share it instead of
-//    oversubscribing the pool with 4x blocks each.
-//
-// The service also keeps counters and a latency reservoir (p50/p95/p99
-// via util/stats Percentile); see ServiceStats.
-//
-// Lifetime: Sessions hold a pointer to their service. Destroy all
-// sessions before the service (the shell and tests scope them naturally).
+/// The concurrent query service: the layer that turns the single-Database
+/// engine into something that serves sustained multi-client traffic.
+///
+/// A QueryService owns a Database and serves any number of concurrent
+/// Sessions. Four mechanisms, layered (see DESIGN.md "Query service"):
+///
+///  * Snapshot-isolated concurrency. All data-plane reads and writes go
+///    through one reader/writer lock (std::shared_mutex): queries hold it
+///    shared -- any number run fully in parallel, on the immutable packed
+///    index snapshot and the append-only columnar store -- while
+///    Insert/BulkLoad/CreateRelation hold it exclusive. Every relation
+///    carries a monotonically increasing epoch -- the roll-up of its
+///    per-shard mutation counters (core/sharded_relation.h), bumped by
+///    every mutation of any shard; a query reads the epoch once under the
+///    shared lock, so the epoch it reports (and caches under) names
+///    exactly the (records, FeatureStore, PackedRTree) version it
+///    executed against.
+///
+///  * Prepared queries. Session::Prepare parses and validates once;
+///    ExecutePrepared reuses the AST -- including the compiled
+///    TransformationRule chain and, when the query series is a literal, its
+///    precomputed normal form -- and binds per-execution parameters
+///    (epsilon, k, the query series). Prepared execution returns answers
+///    bit-identical to a cold parse->execute of the same text.
+///
+///  * Result cache. Successful results are cached under the canonical
+///    query fingerprint + relation epoch (service/fingerprint.h,
+///    service/result_cache.h); mutations invalidate per relation. A hit
+///    replays the original answer set without touching the engine.
+///
+///  * Admission scheduler. At most `max_concurrent_queries` queries execute
+///    at once (the rest wait FIFO-ish on a condition variable), and each
+///    admitted query gets a parallelism budget of roughly
+///    pool_threads / running_queries, installed as a
+///    ThreadPool::ScopedParallelismBudget -- one query saturates the
+///    machine when alone, concurrent queries share it instead of
+///    oversubscribing the pool with 4x blocks each.
+///
+/// The service also keeps counters and a latency reservoir (p50/p95/p99
+/// via util/stats Percentile); see ServiceStats.
+///
+/// Thread-safety summary (which lock guards what):
+///  * data_mutex_ (std::shared_mutex): the database and its epochs.
+///    Execute/ExecuteText/ExecutePrepared/RelationEpoch take it shared;
+///    CreateRelation/Insert/BulkLoad take it exclusive. Everything that
+///    runs under the shared lock is snapshot-safe: packed index
+///    snapshots are immutable, FeatureStores append-only, node-access
+///    counters relaxed atomics.
+///  * admission_mutex_: the running-query count and its condvar.
+///  * stats_mutex_: counters and the latency reservoir.
+///  * Session::mutex_: that session's prepared-statement map.
+/// All public methods of QueryService and Session are safe to call from
+/// any thread concurrently, EXCEPT database_unlocked() /
+/// mutable_database_unlocked(), which bypass data_mutex_ by design.
+///
+/// Lifetime: Sessions hold a pointer to their service. Destroy all
+/// sessions before the service (the shell and tests scope them naturally).
 
 #ifndef SIMQ_SERVICE_QUERY_SERVICE_H_
 #define SIMQ_SERVICE_QUERY_SERVICE_H_
@@ -64,31 +80,34 @@ namespace simq {
 class QueryService;
 
 struct ServiceOptions {
-  // Maximum queries executing simultaneously; 0 means the thread pool
-  // width (ThreadPool::Global().num_threads()).
+  /// Maximum queries executing simultaneously; 0 means the thread pool
+  /// width (ThreadPool::Global().num_threads()).
   int max_concurrent_queries = 0;
-  // Result cache entries; 0 disables caching entirely.
+  /// Result cache entries; 0 disables caching entirely.
   size_t result_cache_capacity = 256;
   bool enable_result_cache = true;
-  // Latency samples kept for the percentile stats (ring buffer).
+  /// Latency samples kept for the percentile stats (ring buffer).
   size_t latency_reservoir = 4096;
 };
 
-// Per-execution parameter bindings for a prepared statement. Unset fields
-// keep the prepared template's values.
+/// Per-execution parameter bindings for a prepared statement. Unset fields
+/// keep the prepared template's values.
 struct BindParams {
   std::optional<double> epsilon;   // range / all-pairs threshold
   std::optional<int> k;            // nearest-neighbor count
   std::optional<SeriesRef> series; // range / nearest query object
 };
 
-// How one execution was served; EXPLAIN renders this.
+/// How one execution was served; EXPLAIN renders this.
 struct QueryPlan {
   std::string strategy;  // "index" or "scan"
   std::string engine;    // "packed", "pointer", or "columnar"
   bool cache_hit = false;
   bool prepared = false;
   bool explain = false;  // the query carried the EXPLAIN prefix
+  /// Shards of the queried relation (the scatter-gather width); 0 when the
+  /// relation does not exist.
+  int shards = 0;
   uint64_t relation_epoch = 0;
   uint64_t fingerprint = 0;  // QueryFingerprint of the executed AST
 };
@@ -108,16 +127,16 @@ struct ServiceStats {
   int64_t sessions_opened = 0;
   int64_t active_sessions = 0;
   ResultCache::Stats cache;
-  // Latency over the reservoir (milliseconds); 0 when no samples yet.
+  /// Latency over the reservoir (milliseconds); 0 when no samples yet.
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
 };
 
-// A client's handle: a prepared-statement namespace plus entry points for
-// one-shot text queries. Sessions are cheap; open one per client/thread.
-// Each session is internally synchronized, so sharing one across threads
-// is also safe.
+/// A client's handle: a prepared-statement namespace plus entry points for
+/// one-shot text queries. Sessions are cheap; open one per client/thread.
+/// Each session is internally synchronized, so sharing one across threads
+/// is also safe.
 class Session {
  public:
   ~Session();
@@ -126,20 +145,20 @@ class Session {
 
   int64_t id() const { return id_; }
 
-  // Parses and validates `text` once; returns a statement id for
-  // ExecutePrepared. The compiled transformation chain and (for literal
-  // query series in normal-form mode) the precomputed normal form are
-  // reused by every execution.
+  /// Parses and validates `text` once; returns a statement id for
+  /// ExecutePrepared. The compiled transformation chain and (for literal
+  /// query series in normal-form mode) the precomputed normal form are
+  /// reused by every execution.
   Result<int64_t> Prepare(const std::string& text);
 
-  // Executes a prepared statement with optional parameter bindings.
+  /// Executes a prepared statement with optional parameter bindings.
   Result<ServiceResult> ExecutePrepared(int64_t statement_id,
                                         const BindParams& params = {});
 
-  // One-shot: parse + execute (the cold path the bench compares against).
+  /// One-shot: parse + execute (the cold path the bench compares against).
   Result<ServiceResult> Execute(const std::string& text);
 
-  // Drops a prepared statement; subsequent executions return NotFound.
+  /// Drops a prepared statement; subsequent executions return NotFound.
   Status Close(int64_t statement_id);
 
  private:
@@ -148,9 +167,9 @@ class Session {
   struct PreparedStatement {
     std::string text;
     Query query;
-    // Normal form of a literal query series, computed once at Prepare and
-    // substituted (with query_prenormalized set) on execution -- the
-    // normalize+nothing-else part of the per-query setup cost.
+    /// Normal form of a literal query series, computed once at Prepare and
+    /// substituted (with query_prenormalized set) on execution -- the
+    /// normalize+nothing-else part of the per-query setup cost.
     std::vector<double> normalized_literal;
   };
 
@@ -165,8 +184,8 @@ class Session {
 
 class QueryService {
  public:
-  // Takes ownership of the database; all subsequent access goes through
-  // the service's locking discipline.
+  /// Takes ownership of the database; all subsequent access goes through
+  /// the service's locking discipline.
   explicit QueryService(Database db, ServiceOptions options = {});
   ~QueryService();
 
@@ -175,39 +194,48 @@ class QueryService {
 
   std::unique_ptr<Session> OpenSession();
 
-  // Data-plane writes: exclusive lock, epoch bump, cache invalidation.
+  /// Data-plane writes under the exclusive lock, with eager cache
+  /// invalidation. Insert/BulkLoad bump the routed shard epochs (and so
+  /// the relation epoch); CreateRelation makes the relation visible at
+  /// epoch 0 -- its first data mutation produces the first nonzero
+  /// version.
   Status CreateRelation(const std::string& name);
   Result<int64_t> Insert(const std::string& relation,
                          const TimeSeries& series);
   Status BulkLoad(const std::string& relation,
                   const std::vector<TimeSeries>& series);
 
-  // Ad-hoc execution of a parsed query (sessions call this too).
+  /// Ad-hoc execution of a parsed query (sessions call this too).
   Result<ServiceResult> Execute(const Query& query);
-  // Parse + Execute; equivalent to Session::Execute without a session.
+  /// Parse + Execute; equivalent to Session::Execute without a session.
   Result<ServiceResult> ExecuteText(const std::string& text);
 
-  // Current epoch of a relation (0 until its first mutation through the
-  // service).
+  /// Current epoch of a relation: the roll-up of its per-shard epochs
+  /// (core/sharded_relation.h), read under the shared data lock. 0 for a
+  /// relation that does not exist or has never been mutated; bumped by
+  /// every mutation of any shard, whether it happened through this service
+  /// or before the service took ownership of the database.
   uint64_t RelationEpoch(const std::string& relation) const;
 
   ServiceStats stats() const;
 
-  // The owned database, without any locking. Safe only while no other
-  // thread is using the service (setup, teardown, single-threaded tools).
+  /// The owned database, without any locking. Safe only while no other
+  /// thread is using the service (setup, teardown, single-threaded tools).
   const Database& database_unlocked() const { return db_; }
   Database& mutable_database_unlocked() { return db_; }
 
  private:
   friend class Session;
 
-  // RAII admission slot: blocks until the service is below its
-  // concurrency limit, and computes this query's parallelism budget.
+  /// RAII admission slot: blocks until the service is below its
+  /// concurrency limit, and computes this query's parallelism budget.
   class AdmissionSlot;
 
   Result<ServiceResult> ExecuteInternal(const Query& query, bool prepared);
-  // ParseQuery plus the cold-parse counter (every text parse goes here).
+  /// ParseQuery plus the cold-parse counter (every text parse goes here).
   Result<Query> ParseTracked(const std::string& text);
+  /// Relation epoch + shard count; caller holds data_mutex_ (any mode).
+  uint64_t EpochLocked(const std::string& relation, int* shards) const;
   void RecordLatency(double millis);
   void OnSessionClosed();
 
@@ -215,9 +243,10 @@ class QueryService {
   ServiceOptions options_;
   int max_concurrent_;
 
-  // Reader/writer lock over db_ and epochs_ (see file comment).
+  /// Reader/writer lock over db_ (see file comment). Epochs live in the
+  /// data plane itself (per-shard counters rolled up by Relation::epoch),
+  /// so a query reads data and version under one shared-lock acquisition.
   mutable std::shared_mutex data_mutex_;
-  std::unordered_map<std::string, uint64_t> epochs_;
 
   ResultCache cache_;
 

@@ -1,16 +1,16 @@
-// LRU cache of query results, keyed by canonical fingerprint + relation
-// epoch (service/fingerprint.h).
-//
-// The epoch suffix already makes entries from older data versions
-// unreachable; InvalidateRelation additionally evicts them eagerly on
-// mutation so a write never leaves dead entries squatting on capacity.
-// Entries store full QueryResult copies, including the ExecutionStats of
-// the execution that produced them -- a hit replays the original answer
-// set bit-for-bit (asserted by the service tests and the serve bench).
-//
-// Thread-safe; every method takes the internal mutex. Copies in and out
-// are deliberate: the cache never hands out references into itself, so
-// hits stay valid across later evictions.
+/// LRU cache of query results, keyed by canonical fingerprint + relation
+/// epoch (service/fingerprint.h).
+///
+/// The epoch suffix already makes entries from older data versions
+/// unreachable; InvalidateRelation additionally evicts them eagerly on
+/// mutation so a write never leaves dead entries squatting on capacity.
+/// Entries store full QueryResult copies, including the ExecutionStats of
+/// the execution that produced them -- a hit replays the original answer
+/// set bit-for-bit (asserted by the service tests and the serve bench).
+///
+/// Thread-safe; every method takes the internal mutex. Copies in and out
+/// are deliberate: the cache never hands out references into itself, so
+/// hits stay valid across later evictions.
 
 #ifndef SIMQ_SERVICE_RESULT_CACHE_H_
 #define SIMQ_SERVICE_RESULT_CACHE_H_
@@ -35,23 +35,23 @@ class ResultCache {
     int64_t evictions = 0;            // evicted by capacity pressure
   };
 
-  // A capacity of 0 disables the cache (Get always misses, Put drops).
+  /// A capacity of 0 disables the cache (Get always misses, Put drops).
   explicit ResultCache(size_t capacity) : capacity_(capacity) {}
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
-  // On hit, copies the cached result into *out, refreshes recency, and
-  // returns true.
+  /// On hit, copies the cached result into *out, refreshes recency, and
+  /// returns true.
   bool Get(const std::string& key, QueryResult* out);
 
-  // Inserts (or refreshes) `result` under `key`, tagged with the relation
-  // it was computed against; evicts the least recently used entry beyond
-  // capacity.
+  /// Inserts (or refreshes) `result` under `key`, tagged with the relation
+  /// it was computed against; evicts the least recently used entry beyond
+  /// capacity.
   void Put(const std::string& key, const std::string& relation,
            const QueryResult& result);
 
-  // Evicts every entry computed against `relation`.
+  /// Evicts every entry computed against `relation`.
   void InvalidateRelation(const std::string& relation);
 
   void Clear();

@@ -1,29 +1,35 @@
-// Subsequence matching: the ST-index of Faloutsos, Ranganathan &
-// Manolopoulos [FRM94], the second indexing substrate [RM97] builds on
-// ("We show how to use the indexing method in [AFS93] ..."; [FRM94] extends
-// [AFS93] from whole-sequence to subsequence matching).
-//
-// Problem: given a collection of long sequences, find every (sequence,
-// offset) whose length-w window is within epsilon of a length-w query.
-//
-// Method: slide a window of length w over each stored sequence; each
-// position maps to the first k DFT coefficients of the window -- a point in
-// a low-dimensional feature space. Consecutive positions form a *trail*;
-// trails are cut into sub-trails, each covered by an MBR stored in an
-// R*-tree. A range query inflates the query's feature point by epsilon and
-// retrieves intersecting MBRs; every window offset inside a retrieved
-// sub-trail is then verified against the raw data (early-abandoning
-// Euclidean distance). Feature distances lower-bound window distances
-// (Parseval prefix), so there are no false dismissals.
-//
-// Window features are computed incrementally: the unitary DFT of the next
-// window follows from the previous one in O(k) (the sliding-window update),
-// so indexing a sequence of length m costs O(m * k), not O(m * w).
-//
-// Trail packing follows [FRM94]'s I-adaptive idea: greedily extend the
-// current MBR while the marginal cost estimate of covering one more point
-// stays below the cost of opening a fresh MBR (kAdaptive), or simply cut
-// every `max_trail_length` points (kFixed).
+/// Subsequence matching: the ST-index of Faloutsos, Ranganathan &
+/// Manolopoulos [FRM94], the second indexing substrate [RM97] builds on
+/// ("We show how to use the indexing method in [AFS93] ..."; [FRM94] extends
+/// [AFS93] from whole-sequence to subsequence matching).
+///
+/// Problem: given a collection of long sequences, find every (sequence,
+/// offset) whose length-w window is within epsilon of a length-w query.
+///
+/// Method: slide a window of length w over each stored sequence; each
+/// position maps to the first k DFT coefficients of the window -- a point in
+/// a low-dimensional feature space. Consecutive positions form a *trail*;
+/// trails are cut into sub-trails, each covered by an MBR stored in an
+/// R*-tree. A range query inflates the query's feature point by epsilon and
+/// retrieves intersecting MBRs; every window offset inside a retrieved
+/// sub-trail is then verified against the raw data (early-abandoning
+/// Euclidean distance). Feature distances lower-bound window distances
+/// (Parseval prefix), so there are no false dismissals.
+///
+/// Window features are computed incrementally: the unitary DFT of the next
+/// window follows from the previous one in O(k) (the sliding-window update),
+/// so indexing a sequence of length m costs O(m * k), not O(m * w).
+///
+/// Trail packing follows [FRM94]'s I-adaptive idea: greedily extend the
+/// current MBR while the marginal cost estimate of covering one more point
+/// stays below the cost of opening a fresh MBR (kAdaptive), or simply cut
+/// every `max_trail_length` points (kFixed).
+///
+/// Thread-safety: RangeSearch/ScanSearch and all const accessors are
+/// snapshot-safe (concurrent callers share the immutable packed snapshot;
+/// node-access counters are relaxed atomics). AddSeries mutates the trail
+/// table and the R*-tree and requires exclusive access, exactly like
+/// relation mutations (see index/packed_rtree.h, PackedSnapshotCache).
 
 #ifndef SIMQ_SUBSEQ_SUBSEQUENCE_INDEX_H_
 #define SIMQ_SUBSEQ_SUBSEQUENCE_INDEX_H_

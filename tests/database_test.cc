@@ -118,6 +118,29 @@ TEST(DatabaseTest, BulkLoadRequiresEmptyRelation) {
             StatusCode::kFailedPrecondition);
 }
 
+TEST(DatabaseTest, FailedBulkLoadLeavesRelationEmptyAndReloadable) {
+  // All-or-nothing: a batch that fails validation part-way must leave no
+  // records, no names, and no series-length sentinel behind -- a retry
+  // with a DIFFERENT (but internally consistent) length must succeed.
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("r").ok());
+  std::vector<TimeSeries> bad = TestSeries(3, 10, 1);
+  bad.push_back(TimeSeries{});  // empty series -> InvalidArgument
+  EXPECT_EQ(db.BulkLoad("r", bad).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.GetRelation("r")->size(), 0);
+
+  std::vector<TimeSeries> mismatched = TestSeries(2, 10, 2);
+  mismatched.push_back(TestSeries(1, 20, 3)[0]);  // length mismatch
+  EXPECT_EQ(db.BulkLoad("r", mismatched).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.GetRelation("r")->size(), 0);
+
+  const std::vector<TimeSeries> good = TestSeries(4, 20, 4);
+  ASSERT_TRUE(db.BulkLoad("r", good).ok());
+  EXPECT_EQ(db.GetRelation("r")->size(), 4);
+  EXPECT_EQ(db.GetRelation("r")->series_length(), 20);
+}
+
 class RangeQueryEquivalenceTest
     : public ::testing::TestWithParam<const char*> {};
 
