@@ -40,6 +40,8 @@ void PrintHelp() {
       " statement\n"
       "  .stats                                   service counters +"
       " latency percentiles\n"
+      "  .filter on|off [bits]                    quantized filter engine"
+      " toggle\n"
       "  .help | .quit\n"
       "anything else is parsed as a query; prefix with EXPLAIN to see the"
       " plan.\n"
@@ -49,10 +51,11 @@ void PrintHelp() {
 
 void PrintPlan(const ServiceResult& result) {
   std::printf(
-      "plan: strategy=%s engine=%s shards=%d cache=%s epoch=%llu "
+      "plan: strategy=%s engine=%s filter=%s shards=%d cache=%s epoch=%llu "
       "prepared=%s fingerprint=%016llx\n",
       result.plan.strategy.c_str(), result.plan.engine.c_str(),
-      result.plan.shards, result.plan.cache_hit ? "hit" : "miss",
+      result.plan.filter.c_str(), result.plan.shards,
+      result.plan.cache_hit ? "hit" : "miss",
       static_cast<unsigned long long>(result.plan.relation_epoch),
       result.plan.prepared ? "yes" : "no",
       static_cast<unsigned long long>(result.plan.fingerprint));
@@ -63,6 +66,12 @@ void PrintPlan(const ServiceResult& result) {
       static_cast<long long>(result.result.stats.candidates),
       static_cast<long long>(result.result.stats.exact_checks),
       result.elapsed_ms);
+  if (result.plan.filter != "none") {
+    std::printf("filter: scanned=%lld survivors=%lld pruned=%.1f%%\n",
+                static_cast<long long>(result.plan.filter_scanned),
+                static_cast<long long>(result.plan.candidates),
+                100.0 * result.plan.pruning_ratio);
+  }
 }
 
 void PrintResult(const ServiceResult& result, bool explain) {
@@ -174,6 +183,8 @@ class Shell {
       CmdExec(in);
     } else if (head == ".stats") {
       PrintStats(service_->stats());
+    } else if (head == ".filter") {
+      CmdFilter(in);
     } else if (!head.empty() && head[0] == '.') {
       std::printf("unknown command '%s' (try .help)\n", head.c_str());
     } else {
@@ -204,6 +215,44 @@ class Shell {
     }
     std::printf("loaded %d random walks of length %d into '%s'\n", count,
                 length, relation.c_str());
+  }
+
+  // Engine-wide filter toggle (Database::set_filter_engine): `.filter on
+  // [bits]` routes every eligible scan through the quantized
+  // filter-and-refine path; per-query MODE FILTERED / MODE EXACT still
+  // override it. Safe here because the shell is single-threaded.
+  void CmdFilter(std::istringstream& in) {
+    std::string mode;
+    if (!(in >> mode) || (mode != "on" && mode != "off")) {
+      std::printf("usage: .filter on|off [bits_per_dim 4..8]\n");
+      return;
+    }
+    Database& db = service_->mutable_database_unlocked();
+    std::string bits_arg;
+    if (in >> bits_arg) {
+      int bits = 0;
+      size_t consumed = 0;
+      try {
+        bits = std::stoi(bits_arg, &consumed);
+      } catch (...) {
+      }
+      if (consumed != bits_arg.size() || bits < ScalarQuantizer::kMinBits ||
+          bits > ScalarQuantizer::kMaxBits) {
+        std::printf("bits_per_dim '%s' is invalid: expected an integer in "
+                    "[%d, %d]\n",
+                    bits_arg.c_str(), ScalarQuantizer::kMinBits,
+                    ScalarQuantizer::kMaxBits);
+        return;
+      }
+      FilterOptions options;
+      options.bits_per_dim = bits;
+      db.set_filter_options(options);
+    }
+    db.set_filter_engine(mode == "on" ? FilterEngine::kQuantized
+                                      : FilterEngine::kExact);
+    std::printf("filter engine: %s (bits_per_dim=%d)\n",
+                mode == "on" ? "quantized" : "exact",
+                db.filter_options().bits_per_dim);
   }
 
   void CmdStock(std::istringstream& in) {

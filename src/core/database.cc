@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "core/parser.h"
+#include "filter/bound_kernels.h"
+#include "filter/quantized_codes.h"
 #include "geom/search_region.h"
 #include "ts/transforms.h"
 #include "util/logging.h"
@@ -271,6 +273,39 @@ std::vector<const double*> GatherSpectrumRows(const ShardedRelation& data) {
   return rows;
 }
 
+// Per-shard quantized codes plus per-query bound LUTs for the filtered
+// scan paths. Codes are resolved (lazily recompiling any shard a mutation
+// staled) before the parallel fan-out, so workers never contend on a
+// rebuild -- the same discipline as RunOnShardEngines and the packed
+// snapshots. LUTs are built against each shard's own quantile grid.
+struct ShardFilterState {
+  std::vector<const QuantizedCodes*> codes;
+  std::vector<QueryLuts> luts;
+  // Largest absolute FP slack across the shards: the guard for
+  // comparisons that mix bounds from different shards (the kNN tau).
+  double max_slack = 0.0;
+  int bits = 8;
+};
+
+ShardFilterState MakeShardFilterState(const ShardedRelation& data, int bits,
+                                      const double* query_ri,
+                                      const double* mult_ri, int n,
+                                      bool with_upper) {
+  ShardFilterState state;
+  const int num_shards = data.num_shards();
+  state.codes.reserve(static_cast<size_t>(num_shards));
+  state.luts.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    const QuantizedCodes& codes = data.shard(s).quantized_codes(bits);
+    state.codes.push_back(&codes);
+    state.luts.push_back(BuildQueryLuts(codes.quantizer(), query_ri,
+                                        mult_ri, n, with_upper));
+    state.max_slack = std::max(state.max_slack, state.luts.back().slack);
+    state.bits = codes.bits();
+  }
+  return state;
+}
+
 void SortMatches(std::vector<Match>* matches) {
   std::sort(matches->begin(), matches->end(),
             [](const Match& a, const Match& b) {
@@ -330,6 +365,18 @@ Database::Database(FeatureConfig config, RTree::Options index_options,
                    ShardingOptions sharding)
     : config_(config), index_options_(index_options), sharding_(sharding) {
   sharding_.num_shards = std::max(1, sharding_.num_shards);
+}
+
+bool Database::UseQuantizedFilter(FilterMode filter) const {
+  switch (filter) {
+    case FilterMode::kFiltered:
+      return true;
+    case FilterMode::kExact:
+      return false;
+    case FilterMode::kDefault:
+      break;
+  }
+  return filter_engine_ == FilterEngine::kQuantized;
 }
 
 IndexEngine Database::EffectiveIndexEngine() const {
@@ -521,12 +568,21 @@ Result<QueryResult> Database::Execute(const Query& query) const {
                     rule->OutputLength(n) == n;
       }
       const bool any_rule = left_rule != nullptr || right_rule != nullptr;
+      // An explicit MODE FILTERED biases kAuto planning to the filtered
+      // early-abandon scan when the quantized join screen applies (an
+      // untransformed join: identity or normal-form-invariant rules) --
+      // mirroring the range/nearest planners.
+      const bool filter_biased =
+          query.filter == FilterMode::kFiltered &&
+          (left_rule == nullptr || left_rule->IsNormalFormInvariant()) &&
+          (right_rule == nullptr || right_rule->IsNormalFormInvariant());
       JoinMethod method = JoinMethod::kScanEarlyAbandon;
       switch (query.strategy) {
         case ExecutionStrategy::kAuto:
-          method = can_index ? (any_rule ? JoinMethod::kIndexTransform
-                                         : JoinMethod::kIndexNoTransform)
-                             : JoinMethod::kScanEarlyAbandon;
+          method = filter_biased ? JoinMethod::kScanEarlyAbandon
+                   : can_index  ? (any_rule ? JoinMethod::kIndexTransform
+                                            : JoinMethod::kIndexNoTransform)
+                                : JoinMethod::kScanEarlyAbandon;
           break;
         case ExecutionStrategy::kIndex:
           if (!can_index) {
@@ -544,7 +600,7 @@ Result<QueryResult> Database::Execute(const Query& query) const {
           break;
       }
       return SelfJoin(query.relation, query.epsilon, left_rule, right_rule,
-                      method);
+                      method, query.filter);
     }
   }
   return Status::Internal("unknown query kind");
@@ -610,8 +666,16 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
 
   ExecutionStrategy strategy = query.strategy;
   if (strategy == ExecutionStrategy::kAuto) {
-    strategy =
-        can_use_index ? ExecutionStrategy::kIndex : ExecutionStrategy::kScan;
+    // An explicit MODE FILTERED biases planning toward the quantized
+    // filter scan whenever that path is eligible (normal-form spectral
+    // distance over same-length spectra); otherwise the usual
+    // index-first rule.
+    const bool filter_eligible = query.filter == FilterMode::kFiltered &&
+                                 query.mode == DistanceMode::kNormalForm &&
+                                 spectral && out_n == n;
+    strategy = filter_eligible  ? ExecutionStrategy::kScan
+               : can_use_index ? ExecutionStrategy::kIndex
+                                : ExecutionStrategy::kScan;
   }
   if (strategy == ExecutionStrategy::kIndex && !can_use_index) {
     return Status::FailedPrecondition(
@@ -716,6 +780,86 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
       out.matches.insert(out.matches.end(),
                          shard_matches[static_cast<size_t>(s)].begin(),
                          shard_matches[static_cast<size_t>(s)].end());
+    }
+  } else if (strategy == ExecutionStrategy::kScan && columnar && n >= 1 &&
+             UseQuantizedFilter(query.filter)) {
+    // Two-phase quantized filter-and-refine scan (DESIGN.md "Quantized
+    // filter"): phase 1 bound-scans the per-shard bit-packed codes and
+    // drops every record whose lower-bound distance already exceeds eps
+    // (Lemma-1 style: the bound is conservative, so nothing true is
+    // dropped); phase 2 refines only the survivors through the exact
+    // columnar kernels the unfiltered scan runs -- same kernels, same
+    // threshold -- so the answer set and every distance are
+    // bit-identical by construction.
+    const ShardFilterState filter = MakeShardFilterState(
+        data, filter_options_.bits_per_dim, checker.query_ri().data(),
+        checker.mult_ri(), n, /*with_upper=*/false);
+    const double eps_sq = query.epsilon * query.epsilon;
+    ThreadPool& pool = ThreadPool::Global();
+    const std::vector<ScanUnit> units = MakeScanUnits(data, RecordGrain(n));
+    const size_t max_blocks = static_cast<size_t>(pool.max_blocks());
+    std::vector<std::vector<Match>> block_matches(max_blocks);
+    std::vector<int64_t> block_checks(max_blocks, 0);
+    std::vector<int64_t> block_scanned(max_blocks, 0);
+    const bool has_pattern = query.pattern.mean_range.has_value() ||
+                             query.pattern.std_range.has_value();
+    pool.ParallelFor(
+        0, static_cast<int64_t>(units.size()), /*min_grain=*/1,
+        [&](int64_t block, int64_t unit_lo, int64_t unit_hi) {
+          std::vector<Match>& local =
+              block_matches[static_cast<size_t>(block)];
+          int64_t checks = 0;
+          int64_t scanned = 0;
+          std::vector<int32_t> active;
+          std::vector<double> scratch;
+          for (int64_t u = unit_lo; u < unit_hi; ++u) {
+            const ScanUnit& unit = units[static_cast<size_t>(u)];
+            const RelationShard& shard = data.shard(unit.shard);
+            const FeatureStore& store = shard.store();
+            const QuantizedCodes& codes =
+                *filter.codes[static_cast<size_t>(unit.shard)];
+            const QueryLuts& luts =
+                filter.luts[static_cast<size_t>(unit.shard)];
+            // Pattern predicates run before the code scan, so excluded
+            // records are never bound-scanned (mirrors the exact scan).
+            active.clear();
+            if (has_pattern) {
+              for (int64_t i = unit.lo; i < unit.hi; ++i) {
+                if (StatsAdmit(store.mean(i), store.std_dev(i),
+                               query.pattern)) {
+                  active.push_back(static_cast<int32_t>(i - unit.lo));
+                }
+              }
+            } else {
+              active.resize(static_cast<size_t>(unit.hi - unit.lo));
+              for (size_t r = 0; r < active.size(); ++r) {
+                active[r] = static_cast<int32_t>(r);
+              }
+            }
+            scanned += static_cast<int64_t>(active.size());
+            ColumnLowerBoundScan(codes, luts,
+                                 SafeThreshold(eps_sq, luts.slack),
+                                 unit.lo, unit.hi, &active, &scratch);
+            checks += static_cast<int64_t>(active.size());
+            for (const int32_t offset : active) {
+              const int64_t id = shard.global_id(unit.lo + offset);
+              const double distance = checker.Distance(id, query.epsilon);
+              if (distance <= query.epsilon) {
+                local.push_back(
+                    Match{id, relation.record(id).name, distance});
+              }
+            }
+          }
+          block_checks[static_cast<size_t>(block)] = checks;
+          block_scanned[static_cast<size_t>(block)] = scanned;
+        });
+    out.stats.used_filter = true;
+    for (size_t block = 0; block < max_blocks; ++block) {
+      out.stats.exact_checks += block_checks[block];
+      out.stats.candidates += block_checks[block];
+      out.stats.filter_scanned += block_scanned[block];
+      out.matches.insert(out.matches.end(), block_matches[block].begin(),
+                         block_matches[block].end());
     }
   } else {
     const bool abandon = strategy != ExecutionStrategy::kScanNoEarlyAbandon;
@@ -842,8 +986,16 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
 
   ExecutionStrategy strategy = query.strategy;
   if (strategy == ExecutionStrategy::kAuto) {
-    strategy =
-        can_use_index ? ExecutionStrategy::kIndex : ExecutionStrategy::kScan;
+    // An explicit MODE FILTERED biases planning toward the quantized
+    // filter scan whenever that path is eligible (normal-form spectral
+    // distance over same-length spectra); otherwise the usual
+    // index-first rule.
+    const bool filter_eligible = query.filter == FilterMode::kFiltered &&
+                                 query.mode == DistanceMode::kNormalForm &&
+                                 spectral && out_n == n;
+    strategy = filter_eligible  ? ExecutionStrategy::kScan
+               : can_use_index ? ExecutionStrategy::kIndex
+                                : ExecutionStrategy::kScan;
   }
   if (strategy == ExecutionStrategy::kIndex && !can_use_index) {
     return Status::FailedPrecondition(
@@ -918,6 +1070,141 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
       }
       out.matches.push_back(Match{id, relation.record(id).name, distance});
     }
+  } else if (strategy == ExecutionStrategy::kScan && checker.columnar() &&
+             n >= 1 && UseQuantizedFilter(query.filter)) {
+    // Two-phase VA-file-style kNN. Phase 1 bound-scans the codes keeping
+    // a running lower bound per record AND a per-block heap of the k
+    // smallest upper bounds: once k upper bounds <= tau exist, any record
+    // whose lower bound exceeds tau provably cannot enter the top k and
+    // is abandoned mid-scan. Phase 2 refines the surviving candidates in
+    // ascending lower-bound order through the exact kernels, shrinking
+    // the bound to the running k-th exact distance; ties at the k-th
+    // distance resolve by (distance, id), exactly like the unfiltered
+    // ranking, so the answer is bit-identical.
+    const ShardFilterState filter = MakeShardFilterState(
+        data, filter_options_.bits_per_dim, checker.query_ri().data(),
+        checker.mult_ri(), n, /*with_upper=*/true);
+    const int k = query.k;
+    struct Candidate {
+      int64_t id;
+      double lb_sq;
+    };
+    ThreadPool& pool = ThreadPool::Global();
+    const std::vector<ScanUnit> units = MakeScanUnits(data, RecordGrain(n));
+    const size_t max_blocks = static_cast<size_t>(pool.max_blocks());
+    std::vector<std::vector<Candidate>> block_cands(max_blocks);
+    std::vector<std::vector<double>> block_ubs(max_blocks);
+    std::vector<int64_t> block_scanned(max_blocks, 0);
+    WithFilterBits(filter.bits, [&](auto bits_tag) {
+      constexpr int kBits = decltype(bits_tag)::value;
+      pool.ParallelFor(
+          0, static_cast<int64_t>(units.size()), /*min_grain=*/1,
+          [&](int64_t block, int64_t unit_lo, int64_t unit_hi) {
+            std::vector<Candidate>& cands =
+                block_cands[static_cast<size_t>(block)];
+            // Max-heap of the k smallest upper bounds seen by this block.
+            std::vector<double>& ubs = block_ubs[static_cast<size_t>(block)];
+            int64_t scanned = 0;
+            for (int64_t u = unit_lo; u < unit_hi; ++u) {
+              const ScanUnit& unit = units[static_cast<size_t>(u)];
+              const RelationShard& shard = data.shard(unit.shard);
+              const FeatureStore& store = shard.store();
+              const QuantizedCodes& codes =
+                  *filter.codes[static_cast<size_t>(unit.shard)];
+              const QueryLuts& luts =
+                  filter.luts[static_cast<size_t>(unit.shard)];
+              for (int64_t i = unit.lo; i < unit.hi; ++i) {
+                if (!StatsAdmit(store.mean(i), store.std_dev(i),
+                                query.pattern)) {
+                  continue;
+                }
+                ++scanned;
+                const double tau_sq = static_cast<int>(ubs.size()) >= k
+                                          ? ubs.front()
+                                          : kInf;
+                double ub_sq = kInf;
+                // max_slack, not this shard's: a block's heap spans scan
+                // units of several shards, so tau may be an upper bound
+                // computed against another shard's grid.
+                const double lb_sq = LowerUpperBoundSq<kBits>(
+                    codes.CodeRow(i), luts,
+                    SafeThreshold(tau_sq, filter.max_slack), &ub_sq);
+                if (lb_sq == kInf) {
+                  continue;  // provably outside the top k
+                }
+                cands.push_back(Candidate{shard.global_id(i), lb_sq});
+                ubs.push_back(ub_sq);
+                std::push_heap(ubs.begin(), ubs.end());
+                if (static_cast<int>(ubs.size()) > k) {
+                  std::pop_heap(ubs.begin(), ubs.end());
+                  ubs.pop_back();
+                }
+              }
+            }
+            block_scanned[static_cast<size_t>(block)] = scanned;
+          });
+    });
+    // Gather phase: the global tau is the k-th smallest upper bound over
+    // every block (at most as large as any block-local tau, so the
+    // phase-1 pruning above was conservative).
+    std::vector<Candidate> cands;
+    std::vector<double> ubs;
+    for (size_t block = 0; block < max_blocks; ++block) {
+      out.stats.filter_scanned += block_scanned[block];
+      cands.insert(cands.end(), block_cands[block].begin(),
+                   block_cands[block].end());
+      ubs.insert(ubs.end(), block_ubs[block].begin(),
+                 block_ubs[block].end());
+    }
+    out.stats.used_filter = true;
+    double tau_sq = kInf;
+    if (static_cast<int>(ubs.size()) >= k) {
+      std::nth_element(ubs.begin(), ubs.begin() + (k - 1), ubs.end());
+      tau_sq = ubs[static_cast<size_t>(k - 1)];
+    }
+    const double tau_safe = SafeThreshold(tau_sq, filter.max_slack);
+    cands.erase(std::remove_if(cands.begin(), cands.end(),
+                               [&](const Candidate& c) {
+                                 return c.lb_sq > tau_safe;
+                               }),
+                cands.end());
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.lb_sq != b.lb_sq) {
+                  return a.lb_sq < b.lb_sq;
+                }
+                return a.id < b.id;
+              });
+    out.stats.candidates = static_cast<int64_t>(cands.size());
+    // Refine in lower-bound order; `best` stays sorted by (distance, id).
+    std::vector<std::pair<double, int64_t>> best;
+    best.reserve(static_cast<size_t>(k) + 1);
+    for (const Candidate& cand : cands) {
+      if (static_cast<int>(best.size()) >= k) {
+        const double kth = best.back().first;
+        if (cand.lb_sq > SafeThreshold(kth * kth, filter.max_slack)) {
+          break;  // lb ascending: nothing later can enter either
+        }
+      }
+      ++out.stats.exact_checks;
+      // Unbounded exact distance: the unfiltered kNN scan computes every
+      // distance with the no-abandon kernel, whose summation association
+      // differs from the abandoning one -- refining with a finite limit
+      // would change result doubles by ulps. The lower-bound pruning
+      // above already did the work an abandon would.
+      const double distance = checker.Distance(cand.id, kInf);
+      const std::pair<double, int64_t> entry(distance, cand.id);
+      if (static_cast<int>(best.size()) >= k) {
+        if (!(entry < best.back())) {
+          continue;
+        }
+        best.pop_back();
+      }
+      best.insert(std::upper_bound(best.begin(), best.end(), entry), entry);
+    }
+    for (const auto& [distance, id] : best) {
+      out.matches.push_back(Match{id, relation.record(id).name, distance});
+    }
   } else {
     const int64_t count = relation.size();
     // Batched scan: all exact distances are needed (no abandoning), so the
@@ -981,7 +1268,8 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
                                        double epsilon,
                                        const TransformationRule* left_rule,
                                        const TransformationRule* right_rule,
-                                       JoinMethod method) const {
+                                       JoinMethod method,
+                                       FilterMode filter) const {
   const Relation* relation = GetRelation(relation_name);
   if (relation == nullptr) {
     return Status::NotFound("no relation named '" + relation_name + "'");
@@ -1037,6 +1325,102 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
       const std::vector<const double*> base_rows =
           GatherSpectrumRows(relation->sharded());
       ThreadPool& pool = ThreadPool::Global();
+      // Quantized filter-and-refine join (untransformed early-abandoning
+      // method only). Per outer row i, a partial screen LUT over the
+      // codes' most discriminating dimensions (static variance order) is
+      // filled from i's exact spectrum row, and each shard's code
+      // columns are swept column-major against it -- LUT rows and code
+      // columns stay cache-hot across the whole inner side. A
+      // partial-dimension lower bound is still a lower bound, so no true
+      // pair is dropped; survivors are exact-checked in ascending global
+      // j order, so the pair set, distances, and emission order match
+      // the unfiltered join bit-for-bit.
+      if (method == JoinMethod::kScanEarlyAbandon && n >= 1 &&
+          left_mult == nullptr && right_mult == nullptr &&
+          UseQuantizedFilter(filter)) {
+        const ShardedRelation& data = relation->sharded();
+        const int bits = filter_options_.bits_per_dim;
+        const int num_shards = data.num_shards();
+        std::vector<const QuantizedCodes*> shard_codes;
+        shard_codes.reserve(static_cast<size_t>(num_shards));
+        double max_energy = 0.0;
+        for (int s = 0; s < num_shards; ++s) {
+          shard_codes.push_back(&data.shard(s).quantized_codes(bits));
+          max_energy = std::max(
+              max_energy, shard_codes.back()->quantizer().max_row_energy());
+        }
+        const double eps_sq = epsilon * epsilon;
+        const double abandon_sq =
+            SafeThreshold(eps_sq, 1e-9 * 2.0 * max_energy);
+        const int cells = shard_codes[0]->cells();
+        const int ranks = std::min(16, 2 * n);
+        const size_t max_blocks = static_cast<size_t>(pool.max_blocks());
+        std::vector<std::vector<PairMatch>> block_pairs(max_blocks);
+        std::vector<int64_t> block_checks(max_blocks, 0);
+        std::vector<int64_t> block_scanned(max_blocks, 0);
+        const int64_t grain = std::max<int64_t>(
+            1, RecordGrain(n) / std::max<int64_t>(1, count));
+        pool.ParallelFor(
+            0, count, grain, [&](int64_t block, int64_t lo, int64_t hi) {
+              std::vector<PairMatch>& local =
+                  block_pairs[static_cast<size_t>(block)];
+              int64_t checks = 0;
+              int64_t scanned = 0;
+              std::vector<double> lut(static_cast<size_t>(ranks) * cells);
+              std::vector<int32_t> active;
+              std::vector<double> scratch;
+              std::vector<int64_t> survivors;
+              for (int64_t i = lo; i < hi; ++i) {
+                const double* a = base_rows[static_cast<size_t>(i)];
+                survivors.clear();
+                for (int s = 0; s < num_shards; ++s) {
+                  const QuantizedCodes& codes = *shard_codes[s];
+                  const RelationShard& shard = data.shard(s);
+                  if (codes.size() == 0) {
+                    continue;
+                  }
+                  FillPairScreenLut(codes.quantizer(), a,
+                                    codes.scan_order().data(), ranks,
+                                    lut.data());
+                  active.clear();
+                  for (int64_t r = 0; r < shard.size(); ++r) {
+                    const int64_t g = shard.global_id(r);
+                    if (symmetric ? g > i : g != i) {
+                      active.push_back(static_cast<int32_t>(r));
+                    }
+                  }
+                  scanned += static_cast<int64_t>(active.size());
+                  PairScreenScan(codes, lut.data(),
+                                 codes.scan_order().data(), ranks,
+                                 abandon_sq, 0, shard.size(), &active,
+                                 &scratch);
+                  for (const int32_t r : active) {
+                    survivors.push_back(shard.global_id(r));
+                  }
+                }
+                std::sort(survivors.begin(), survivors.end());
+                checks += static_cast<int64_t>(survivors.size());
+                for (const int64_t j : survivors) {
+                  const double dist_sq = RowDistanceSq(
+                      a, base_rows[static_cast<size_t>(j)], n, eps_sq);
+                  if (dist_sq <= eps_sq) {
+                    local.push_back(PairMatch{i, j, std::sqrt(dist_sq)});
+                  }
+                }
+              }
+              block_checks[static_cast<size_t>(block)] = checks;
+              block_scanned[static_cast<size_t>(block)] = scanned;
+            });
+        out.stats.used_filter = true;
+        for (size_t block = 0; block < max_blocks; ++block) {
+          out.stats.exact_checks += block_checks[block];
+          out.stats.candidates += block_checks[block];
+          out.stats.filter_scanned += block_scanned[block];
+          out.pairs.insert(out.pairs.end(), block_pairs[block].begin(),
+                           block_pairs[block].end());
+        }
+        return out;
+      }
       const int64_t row_stride = (2 * static_cast<int64_t>(n) + 7) &
                                  ~int64_t{7};  // cache-line aligned rows
       const auto materialize = [&](const Spectrum& mult) {

@@ -1,23 +1,23 @@
-// The similarity database: named relations of equal-length time series,
-// each backed by an R*-tree over normal-form DFT features (the "k-index" of
-// [AFS93]/[RM97] §4), plus the planner/executor for the query language L.
-//
-// Execution strategies:
-//  * Index (Algorithm 2): build the search rectangle (geom/search_region.h)
-//    from the query's first k coefficients, traverse the R*-tree applying
-//    the safe transformation to every MBR/point on the fly, then postprocess
-//    candidates with the exact full-length frequency-domain distance (early
-//    abandoning). By Lemma 1 this never produces false dismissals.
-//  * Scan: early-abandoning sequential scan over the frequency-domain
-//    relation (the paper's "good implementation" of the baseline), or a
-//    full scan without abandoning (Table 1 method a). Scans and the
-//    nested-loop sides of joins execute as batched columnar kernels over
-//    the relation's FeatureStore, parallelized over record blocks (see
-//    DESIGN.md "Columnar execution").
-// The planner (strategy kAuto) uses the index whenever the distance mode is
-// normal-form and the transformation has a safe spectral lowering;
-// everything else falls back to scanning, including arbitrary non-spectral
-// rules (which are applied in the time domain).
+/// The similarity database: named relations of equal-length time series,
+/// each backed by an R*-tree over normal-form DFT features (the "k-index" of
+/// [AFS93]/[RM97] §4), plus the planner/executor for the query language L.
+///
+/// Execution strategies:
+///  * Index (Algorithm 2): build the search rectangle (geom/search_region.h)
+///    from the query's first k coefficients, traverse the R*-tree applying
+///    the safe transformation to every MBR/point on the fly, then postprocess
+///    candidates with the exact full-length frequency-domain distance (early
+///    abandoning). By Lemma 1 this never produces false dismissals.
+///  * Scan: early-abandoning sequential scan over the frequency-domain
+///    relation (the paper's "good implementation" of the baseline), or a
+///    full scan without abandoning (Table 1 method a). Scans and the
+///    nested-loop sides of joins execute as batched columnar kernels over
+///    the relation's FeatureStore, parallelized over record blocks (see
+///    DESIGN.md "Columnar execution").
+/// The planner (strategy kAuto) uses the index whenever the distance mode is
+/// normal-form and the transformation has a safe spectral lowering;
+/// everything else falls back to scanning, including arbitrary non-spectral
+/// rules (which are applied in the time domain).
 
 #ifndef SIMQ_CORE_DATABASE_H_
 #define SIMQ_CORE_DATABASE_H_
@@ -33,6 +33,7 @@
 #include "core/query.h"
 #include "core/sharded_relation.h"
 #include "core/transformation.h"
+#include "filter/quantizer.h"
 #include "index/packed_rtree.h"
 #include "index/rtree.h"
 #include "ts/feature.h"
@@ -112,6 +113,14 @@ class Relation {
 // equivalence tests).
 enum class IndexEngine { kPointer, kPacked };
 
+// Which scan-side filter the execution engine runs. kQuantized routes
+// eligible scans (normal-form spectral distances) through the two-phase
+// quantized filter-and-refine path: bound-scan the bit-packed codes
+// (filter/), refine only survivors through the exact columnar kernels.
+// Answers are bit-identical to kExact by construction; the per-query
+// MODE FILTERED / MODE EXACT clauses override this engine-wide default.
+enum class FilterEngine { kExact, kQuantized };
+
 // Self-join algorithms (Table 1 of [RM97]).
 enum class JoinMethod {
   kFullScan,           // (a) nested scan, complete distance computation
@@ -144,6 +153,19 @@ class Database {
   // issuing queries; benches flip it to report both engines side by side.
   IndexEngine index_engine() const { return index_engine_; }
   void set_index_engine(IndexEngine engine) { index_engine_ = engine; }
+
+  // Scan-side filter engine (default kExact, the historical behavior).
+  // kQuantized turns every eligible scan into the filter-and-refine path;
+  // per-query MODE FILTERED / MODE EXACT override it either way.
+  FilterEngine filter_engine() const { return filter_engine_; }
+  void set_filter_engine(FilterEngine engine) { filter_engine_ = engine; }
+
+  // Quantized-code layout (bits per dimension, 4..8). Changing it simply
+  // makes the per-shard code caches recompile on next use.
+  const FilterOptions& filter_options() const { return filter_options_; }
+  void set_filter_options(FilterOptions options) {
+    filter_options_ = options;
+  }
 
   // Engine actually used by index strategies: the configured engine,
   // demoted to kPointer when the index options exceed the packed layout's
@@ -178,10 +200,14 @@ class Database {
   // qualifying ordered pair; symmetric scan methods report each unordered
   // pair once -- matching the answer-set accounting of Table 1.
   // kIndexNoTransform ignores the rules (method c is defined that way).
+  // `filter` resolves against filter_engine() exactly like a query's MODE
+  // clause; the quantized filter applies to the early-abandoning scan
+  // method with untransformed spectral sides (other methods ignore it).
   Result<QueryResult> SelfJoin(const std::string& relation, double epsilon,
                                const TransformationRule* left_rule,
                                const TransformationRule* right_rule,
-                               JoinMethod method) const;
+                               JoinMethod method,
+                               FilterMode filter = FilterMode::kDefault) const;
 
   // Convenience: the same rule applied to both sides.
   Result<QueryResult> SelfJoin(const std::string& relation, double epsilon,
@@ -196,10 +222,16 @@ class Database {
   Result<std::vector<double>> ResolveSeries(const Relation& relation,
                                             const SeriesRef& ref) const;
 
+  // True when `filter` (resolved against the engine default) selects the
+  // quantized filter path.
+  bool UseQuantizedFilter(FilterMode filter) const;
+
   FeatureConfig config_;
   RTree::Options index_options_;
   ShardingOptions sharding_;
   IndexEngine index_engine_ = IndexEngine::kPacked;
+  FilterEngine filter_engine_ = FilterEngine::kExact;
+  FilterOptions filter_options_;
   bool cross_shard_knn_pruning_ = true;
   std::map<std::string, std::unique_ptr<Relation>> relations_;
 };

@@ -1,12 +1,12 @@
-// Closed-form reducibility solvers for discrete transformation-rule systems.
-//
-// [JMM95] relates its cost-bounded reducibility to classical sequence
-// comparison: when the rule set consists of local editing rules
-// (insert/delete/replace a sample, or stutter/drop for time warping
-// [SK83]), the cheapest reducing derivation is computed by dynamic
-// programming instead of searching over rule sequences. These solvers are
-// the framework's polynomial special cases; core/similarity.h provides the
-// general branch-and-bound search.
+/// Closed-form reducibility solvers for discrete transformation-rule systems.
+///
+/// [JMM95] relates its cost-bounded reducibility to classical sequence
+/// comparison: when the rule set consists of local editing rules
+/// (insert/delete/replace a sample, or stutter/drop for time warping
+/// [SK83]), the cheapest reducing derivation is computed by dynamic
+/// programming instead of searching over rule sequences. These solvers are
+/// the framework's polynomial special cases; core/similarity.h provides the
+/// general branch-and-bound search.
 
 #ifndef SIMQ_CORE_EDIT_DISTANCE_H_
 #define SIMQ_CORE_EDIT_DISTANCE_H_

@@ -1,35 +1,35 @@
-// Columnar (structure-of-arrays) storage of a relation's derived data, plus
-// the batch distance kernels that run over it.
-//
-// The row-of-structs layout (std::vector<Record>, each record owning its
-// own heap-allocated Spectrum) forces every scan and join to chase a
-// pointer per record and to run a branch-per-coefficient early-abandon
-// loop. The FeatureStore lays the same data out as flat double arrays:
-//
-//   spectra_  : one row per record, the full normal-form unitary DFT as
-//               interleaved (re, im) pairs, rows padded to a 64-byte
-//               multiple so every row starts on a cache-line boundary;
-//   normals_  : one row per record, the Goldin-Kanellakis normal form
-//               (time domain), used by the non-spectral scan path;
-//   means_/stds_: the per-record statistics as dense columns, so pattern
-//               predicates scan without touching the records.
-//
-// The kernels below consume these rows. They accumulate into independent
-// partial sums (breaking the loop-carried dependence of the naive sum so
-// the compiler can vectorize / the CPU can overlap the FMA chains) and
-// check the early-abandon threshold after the first two coefficients --
-// the abandon point of the scalar reference loop, since coefficient 0 of a
-// normal-form spectrum is zero and similarity thresholds are tiny relative
-// to total spectrum energy -- and then once per block of 8 coefficients.
-// Because squared terms are nonnegative the partial sums are nondecreasing,
-// so block-granular abandoning returns +infinity exactly when the
-// per-coefficient version does; only the rounding of the final sum can
-// differ from the scalar reference (by reassociation), which the
-// equivalence tests bound. They are defined inline so the per-row calls in
-// the scan/join loops disappear into the caller.
-//
-// See DESIGN.md "Columnar execution" for how core/database.cc drives these
-// kernels and how blocks map onto the thread pool.
+/// Columnar (structure-of-arrays) storage of a relation's derived data, plus
+/// the batch distance kernels that run over it.
+///
+/// The row-of-structs layout (std::vector<Record>, each record owning its
+/// own heap-allocated Spectrum) forces every scan and join to chase a
+/// pointer per record and to run a branch-per-coefficient early-abandon
+/// loop. The FeatureStore lays the same data out as flat double arrays:
+///
+///   spectra_  : one row per record, the full normal-form unitary DFT as
+///               interleaved (re, im) pairs, rows padded to a 64-byte
+///               multiple so every row starts on a cache-line boundary;
+///   normals_  : one row per record, the Goldin-Kanellakis normal form
+///               (time domain), used by the non-spectral scan path;
+///   means_/stds_: the per-record statistics as dense columns, so pattern
+///               predicates scan without touching the records.
+///
+/// The kernels below consume these rows. They accumulate into independent
+/// partial sums (breaking the loop-carried dependence of the naive sum so
+/// the compiler can vectorize / the CPU can overlap the FMA chains) and
+/// check the early-abandon threshold after the first two coefficients --
+/// the abandon point of the scalar reference loop, since coefficient 0 of a
+/// normal-form spectrum is zero and similarity thresholds are tiny relative
+/// to total spectrum energy -- and then once per block of 8 coefficients.
+/// Because squared terms are nonnegative the partial sums are nondecreasing,
+/// so block-granular abandoning returns +infinity exactly when the
+/// per-coefficient version does; only the rounding of the final sum can
+/// differ from the scalar reference (by reassociation), which the
+/// equivalence tests bound. They are defined inline so the per-row calls in
+/// the scan/join loops disappear into the caller.
+///
+/// See DESIGN.md "Columnar execution" for how core/database.cc drives these
+/// kernels and how blocks map onto the thread pool.
 
 #ifndef SIMQ_CORE_FEATURE_STORE_H_
 #define SIMQ_CORE_FEATURE_STORE_H_

@@ -300,8 +300,15 @@ class Parser {
           query->mode = DistanceMode::kNormalForm;
         } else if (upper == "RAW") {
           query->mode = DistanceMode::kRaw;
+        } else if (upper == "FILTERED") {
+          // Engine toggle, not a distance mode: request the quantized
+          // filter-and-refine path (answers unchanged; see core/query.h).
+          query->filter = FilterMode::kFiltered;
+        } else if (upper == "EXACT") {
+          query->filter = FilterMode::kExact;
         } else {
-          return ErrorAt(arg_position, "MODE expects NORMAL or RAW");
+          return ErrorAt(arg_position,
+                         "MODE expects NORMAL, RAW, FILTERED, or EXACT");
         }
       } else if (keyword == "VIA") {
         Advance();

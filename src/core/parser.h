@@ -1,33 +1,38 @@
-// Textual surface syntax for the query language L.
-//
-// Grammar (keywords case-insensitive, '#' introduces a stored-series name):
-//
-//   query    := [EXPLAIN] (range | pairs | nearest)
-//   range    := RANGE ident WITHIN number OF series clauses
-//   pairs    := PAIRS ident WITHIN number clauses
-//   nearest  := NEAREST integer ident TO series clauses
-//   series   := '#' ident | '[' number (',' number)* ']'
-//   clauses  := [USING texpr [VS texpr]] [MODE (NORMAL|RAW)]
-//               [VIA (AUTO|INDEX|SCAN|FULLSCAN)] [PRENORMALIZED]
-//               [MEAN number number] [STD number number]
-//
-// `USING left VS right` is valid only in PAIRS queries and applies `left`
-// to one side and `right` to the other, expressing the join r >< T(r)
-// (e.g. PAIRS stocks WITHIN 3 USING mavg(20) VS reverse|mavg(20) finds
-// hedging pairs: series moving opposite to each other after smoothing).
-//   texpr    := tcall ('|' tcall)*           -- left-to-right composition
-//   tcall    := ident ['(' number (',' number)* ')']
-//
-// Examples:
-//   RANGE stocks WITHIN 2.5 OF #ibm USING mavg(20)
-//   PAIRS stocks WITHIN 1.0 USING mavg(20)|reverse VIA INDEX
-//   NEAREST 5 stocks TO [1.0, 2.0, 1.5, 0.5] USING warp(2) MODE NORMAL
-//
-// Rule names accepted in tcall are those of core/transformation.h's
-// MakeRuleByName. MEAN/STD clauses attach [GK95] statistic predicates to
-// the pattern. The EXPLAIN prefix sets Query::explain; execution front
-// ends then report the plan (strategy, engine, cache status) with the
-// result.
+/// Textual surface syntax for the query language L.
+///
+/// Grammar (keywords case-insensitive, '#' introduces a stored-series name):
+///
+///   query    := [EXPLAIN] (range | pairs | nearest)
+///   range    := RANGE ident WITHIN number OF series clauses
+///   pairs    := PAIRS ident WITHIN number clauses
+///   nearest  := NEAREST integer ident TO series clauses
+///   series   := '#' ident | '[' number (',' number)* ']'
+///   clauses  := [USING texpr [VS texpr]] [MODE (NORMAL|RAW|FILTERED|EXACT)]
+///               [VIA (AUTO|INDEX|SCAN|FULLSCAN)] [PRENORMALIZED]
+///               [MEAN number number] [STD number number]
+///
+/// MODE NORMAL|RAW picks the distance semantics; MODE FILTERED|EXACT
+/// toggles the quantized filter engine for this query (answers
+/// unchanged; see core/query.h FilterMode and DESIGN.md "Quantized
+/// filter").
+///
+/// `USING left VS right` is valid only in PAIRS queries and applies `left`
+/// to one side and `right` to the other, expressing the join r >< T(r)
+/// (e.g. PAIRS stocks WITHIN 3 USING mavg(20) VS reverse|mavg(20) finds
+/// hedging pairs: series moving opposite to each other after smoothing).
+///   texpr    := tcall ('|' tcall)*           -- left-to-right composition
+///   tcall    := ident ['(' number (',' number)* ')']
+///
+/// Examples:
+///   RANGE stocks WITHIN 2.5 OF #ibm USING mavg(20)
+///   PAIRS stocks WITHIN 1.0 USING mavg(20)|reverse VIA INDEX
+///   NEAREST 5 stocks TO [1.0, 2.0, 1.5, 0.5] USING warp(2) MODE NORMAL
+///
+/// Rule names accepted in tcall are those of core/transformation.h's
+/// MakeRuleByName. MEAN/STD clauses attach [GK95] statistic predicates to
+/// the pattern. The EXPLAIN prefix sets Query::explain; execution front
+/// ends then report the plan (strategy, engine, cache status) with the
+/// result.
 
 #ifndef SIMQ_CORE_PARSER_H_
 #define SIMQ_CORE_PARSER_H_

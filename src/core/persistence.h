@@ -1,34 +1,34 @@
-// Binary snapshots of a Database.
-//
-// The snapshot stores the feature configuration plus every relation's raw
-// series; normal forms, spectra, and R*-trees are derived data and are
-// rebuilt deterministically on load (bulk loading). The format is a
-// single-machine, native-endian snapshot -- a checkpoint/restore facility,
-// not an interchange format.
-//
-// Two on-disk versions exist. SaveDatabase writes SIMQDB2 by default;
-// LoadDatabase reads both (SIMQDB1 snapshots from older builds keep
-// loading unchanged).
-//
-// SIMQDB1 layout (all integers little-endian on the machines we target):
-//   magic "SIMQDB1\n"
-//   i32 num_coefficients, i32 space, u8 include_mean_std
-//   u64 relation_count
-//   per relation:
-//     u32 name_length, bytes name, i32 series_length, u64 record_count
-//     per record: u32 name_length, bytes name, u64 n, n doubles (raw)
-//
-// SIMQDB2 extends every relation with explicit record ids and a summary
-// statistics block, both validated on load (ids must be the dense
-// 0..count-1 sequence the engine assigns; the stats must match the values
-// recomputed from the raw series bit-for-bit):
-//   magic "SIMQDB2\n"
-//   i32 num_coefficients, i32 space, u8 include_mean_std
-//   u64 relation_count
-//   per relation:
-//     u32 name_length, bytes name, i32 series_length, u64 record_count
-//     f64 mean_min, f64 mean_max, f64 std_min, f64 std_max   (0s if empty)
-//     per record: u64 id, u32 name_length, bytes name, u64 n, n doubles
+/// Binary snapshots of a Database.
+///
+/// The snapshot stores the feature configuration plus every relation's raw
+/// series; normal forms, spectra, and R*-trees are derived data and are
+/// rebuilt deterministically on load (bulk loading). The format is a
+/// single-machine, native-endian snapshot -- a checkpoint/restore facility,
+/// not an interchange format.
+///
+/// Two on-disk versions exist. SaveDatabase writes SIMQDB2 by default;
+/// LoadDatabase reads both (SIMQDB1 snapshots from older builds keep
+/// loading unchanged).
+///
+/// SIMQDB1 layout (all integers little-endian on the machines we target):
+///   magic "SIMQDB1\n"
+///   i32 num_coefficients, i32 space, u8 include_mean_std
+///   u64 relation_count
+///   per relation:
+///     u32 name_length, bytes name, i32 series_length, u64 record_count
+///     per record: u32 name_length, bytes name, u64 n, n doubles (raw)
+///
+/// SIMQDB2 extends every relation with explicit record ids and a summary
+/// statistics block, both validated on load (ids must be the dense
+/// 0..count-1 sequence the engine assigns; the stats must match the values
+/// recomputed from the raw series bit-for-bit):
+///   magic "SIMQDB2\n"
+///   i32 num_coefficients, i32 space, u8 include_mean_std
+///   u64 relation_count
+///   per relation:
+///     u32 name_length, bytes name, i32 series_length, u64 record_count
+///     f64 mean_min, f64 mean_max, f64 std_min, f64 std_max   (0s if empty)
+///     per record: u64 id, u32 name_length, bytes name, u64 n, n doubles
 
 #ifndef SIMQ_CORE_PERSISTENCE_H_
 #define SIMQ_CORE_PERSISTENCE_H_

@@ -1,21 +1,21 @@
-// The query language L of the framework: abstract syntax, patterns, and
-// result types.
-//
-// [JMM95] extends relational calculus with predicates asserting that an
-// object can be transformed into (a member of) the set denoted by a pattern
-// expression within a distance bound. The implementation surfaces the three
-// query shapes of [RM97] §1.2 -- range, all-pairs, and nearest neighbor --
-// over unary relations of time series:
-//
-//   RANGE   r WITHIN eps OF q [USING t]   ==  { o in r : D(t(o), q) <= eps }
-//   PAIRS   r WITHIN eps      [USING t]   ==  { (a,b) : D(t(a), t(b)) <= eps }
-//   NEAREST k r TO q          [USING t]   ==  k-argmin_{o in r} D(t(o), q)
-//
-// augmented with the pattern predicates of the trivial pattern language P
-// (a constant object or every object of a relation, optionally filtered by
-// mean/std ranges -- the [GK95] shift/scale predicates). The textual
-// grammar is documented in core/parser.h; core/database.h plans and
-// executes the AST.
+/// The query language L of the framework: abstract syntax, patterns, and
+/// result types.
+///
+/// [JMM95] extends relational calculus with predicates asserting that an
+/// object can be transformed into (a member of) the set denoted by a pattern
+/// expression within a distance bound. The implementation surfaces the three
+/// query shapes of [RM97] §1.2 -- range, all-pairs, and nearest neighbor --
+/// over unary relations of time series:
+///
+///   RANGE   r WITHIN eps OF q [USING t]   ==  { o in r : D(t(o), q) <= eps }
+///   PAIRS   r WITHIN eps      [USING t]   ==  { (a,b) : D(t(a), t(b)) <= eps }
+///   NEAREST k r TO q          [USING t]   ==  k-argmin_{o in r} D(t(o), q)
+///
+/// augmented with the pattern predicates of the trivial pattern language P
+/// (a constant object or every object of a relation, optionally filtered by
+/// mean/std ranges -- the [GK95] shift/scale predicates). The textual
+/// grammar is documented in core/parser.h; core/database.h plans and
+/// executes the AST.
 
 #ifndef SIMQ_CORE_QUERY_H_
 #define SIMQ_CORE_QUERY_H_
@@ -40,6 +40,15 @@ enum class DistanceMode { kNormalForm, kRaw };
 
 // Execution strategy; kAuto lets the planner pick index vs. scan.
 enum class ExecutionStrategy { kAuto, kIndex, kScan, kScanNoEarlyAbandon };
+
+// Per-query quantized-filter toggle (the MODE FILTERED / MODE EXACT
+// clauses). kDefault defers to the engine-wide setting
+// (Database::set_filter_engine); kFiltered requests the two-phase
+// quantized filter-and-refine path (and biases kAuto planning toward the
+// filtered scan); kExact forces the unfiltered kernels. Answers are
+// bit-identical either way -- the filter only prunes exact-distance
+// evaluations that provably cannot match.
+enum class FilterMode { kDefault, kFiltered, kExact };
 
 // The pattern language P: which data objects the query ranges over.
 struct Pattern {
@@ -83,6 +92,7 @@ struct Query {
 
   DistanceMode mode = DistanceMode::kNormalForm;
   ExecutionStrategy strategy = ExecutionStrategy::kAuto;
+  FilterMode filter = FilterMode::kDefault;
 
   // Normal-form mode only: when true, the query series is taken to already
   // live in normal-form space (e.g. a smoothed normal form used as a search
@@ -113,9 +123,14 @@ struct PairMatch {
 // harnesses report these next to wall-clock times.
 struct ExecutionStats {
   bool used_index = false;
+  bool used_filter = false;    // quantized filter-and-refine path taken
   int64_t node_accesses = 0;   // R-tree nodes touched (disk-access proxy)
-  int64_t candidates = 0;      // entries surviving the index filter
+  int64_t candidates = 0;      // entries surviving the index/code filter
   int64_t exact_checks = 0;    // full-distance computations performed
+  // Quantized filter path only: records (or pairs, for joins) whose
+  // packed codes were bound-scanned. candidates / filter_scanned is the
+  // survivor rate; 1 - that is the pruning ratio EXPLAIN reports.
+  int64_t filter_scanned = 0;
 };
 
 struct QueryResult {

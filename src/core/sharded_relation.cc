@@ -1,22 +1,20 @@
 #include "core/sharded_relation.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <utility>
 
 #include "geom/rect.h"
+#include "util/env.h"
 #include "util/thread_pool.h"
 
 namespace simq {
 
 ShardingOptions ShardingOptions::FromEnv() {
   ShardingOptions options;
-  if (const char* env = std::getenv("SIMQ_SHARDS")) {
-    const int value = std::atoi(env);
-    if (value > 0) {
-      options.num_shards = value;
-    }
-  }
+  // A set-but-invalid SIMQ_SHARDS aborts with a clear message instead of
+  // silently running unsharded (util/env.h).
+  options.num_shards =
+      PositiveIntFromEnv("SIMQ_SHARDS", options.num_shards);
   return options;
 }
 
@@ -74,6 +72,7 @@ void ShardedRelation::Append(const SeriesFeatures& features,
   shard.store_.Append(features, normal_values);
   shard.index_->InsertPoint(point, global);
   shard.packed_.Invalidate();
+  shard.quantized_.Invalidate();
   ++shard.epoch_;
 }
 
@@ -142,6 +141,7 @@ void ShardedRelation::BulkLoad(int64_t count, const LoadFn& load_row) {
           }
           shard.index_->BulkLoad(std::move(entries));
           shard.packed_.Invalidate();
+          shard.quantized_.Invalidate();
           ++shard.epoch_;
         }
       });

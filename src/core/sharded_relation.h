@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/feature_store.h"
+#include "filter/quantized_codes.h"
 #include "index/packed_rtree.h"
 #include "index/rtree.h"
 #include "ts/feature.h"
@@ -84,6 +85,15 @@ class RelationShard {
   /// Packed snapshot of index(); recompiled lazily after a mutation of
   /// *this shard only*. Safe against concurrent queries.
   const PackedRTree& packed_index() const { return packed_.Get(*index_); }
+  /// Bit-packed scalar-quantized codes of this shard's spectrum rows at
+  /// `bits` bits per dimension (filter/quantized_codes.h): derived data
+  /// under the same stale-on-mutation contract as the packed snapshot --
+  /// a mutation of this shard invalidates only this shard's codes, and
+  /// the next filtered query recompiles them. Safe against concurrent
+  /// queries.
+  const QuantizedCodes& quantized_codes(int bits) const {
+    return quantized_.Get(store_, bits);
+  }
 
   int64_t size() const { return static_cast<int64_t>(global_ids_.size()); }
   int64_t global_id(int64_t local) const {
@@ -99,6 +109,7 @@ class RelationShard {
   std::vector<int64_t> global_ids_;  // local row -> global record id
   std::unique_ptr<RTree> index_;
   PackedSnapshotCache packed_;
+  QuantizedCodesCache quantized_;
   uint64_t epoch_ = 0;
 };
 

@@ -1,18 +1,18 @@
-// Cost-bounded transformation distance: the dissimilarity measure of the
-// [JMM95] framework (Equation 10 of [RM97]).
-//
-//   D(x, y) = min( D0(x, y),
-//                  min_T  cost(T) + D(T(x), y),
-//                  min_T  cost(T) + D(x, T(y)),
-//                  min_{T1,T2} cost(T1) + cost(T2) + D(T1(x), T2(y)) )
-//
-// where D0 is the Euclidean distance and T ranges over a caller-supplied
-// rule set. Computed by best-first branch-and-bound over rule application
-// sequences: states are (x', y', accumulated cost); a state is pruned when
-// its accumulated cost already reaches the best known total distance or the
-// cost budget. Zero-cost rules are admitted through a depth cap. This is
-// the general (exponential worst case) solver; the polynomial special cases
-// for editing-rule systems live in core/edit_distance.h.
+/// Cost-bounded transformation distance: the dissimilarity measure of the
+/// [JMM95] framework (Equation 10 of [RM97]).
+///
+///   D(x, y) = min( D0(x, y),
+///                  min_T  cost(T) + D(T(x), y),
+///                  min_T  cost(T) + D(x, T(y)),
+///                  min_{T1,T2} cost(T1) + cost(T2) + D(T1(x), T2(y)) )
+///
+/// where D0 is the Euclidean distance and T ranges over a caller-supplied
+/// rule set. Computed by best-first branch-and-bound over rule application
+/// sequences: states are (x', y', accumulated cost); a state is pruned when
+/// its accumulated cost already reaches the best known total distance or the
+/// cost budget. Zero-cost rules are admitted through a depth cap. This is
+/// the general (exponential worst case) solver; the polynomial special cases
+/// for editing-rule systems live in core/edit_distance.h.
 
 #ifndef SIMQ_CORE_SIMILARITY_H_
 #define SIMQ_CORE_SIMILARITY_H_

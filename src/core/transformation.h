@@ -1,13 +1,13 @@
-// The transformation rule language T of the [JMM95] framework, specialized
-// to sequence objects.
-//
-// A rule rewrites a series and carries a nonnegative cost (the framework
-// measures similarity as the cheapest rule sequence that reduces one object
-// to another; see core/similarity.h). Rules that act as element-wise
-// multipliers on DFT coefficients additionally expose their spectral form,
-// which is what makes them *index-accelerable*: the engine lowers the
-// multiplier onto the feature space (geom/linear_transform.h) and evaluates
-// the query through the R*-tree (Algorithm 2 of [RM97]).
+/// The transformation rule language T of the [JMM95] framework, specialized
+/// to sequence objects.
+///
+/// A rule rewrites a series and carries a nonnegative cost (the framework
+/// measures similarity as the cheapest rule sequence that reduces one object
+/// to another; see core/similarity.h). Rules that act as element-wise
+/// multipliers on DFT coefficients additionally expose their spectral form,
+/// which is what makes them *index-accelerable*: the engine lowers the
+/// multiplier onto the feature space (geom/linear_transform.h) and evaluates
+/// the query through the R*-tree (Algorithm 2 of [RM97]).
 
 #ifndef SIMQ_CORE_TRANSFORMATION_H_
 #define SIMQ_CORE_TRANSFORMATION_H_

@@ -1,0 +1,210 @@
+/// Branch-light lower/upper-bound distance kernels over bit-packed
+/// quantized codes, plus the per-query LUT builder that feeds them (the
+/// refine half's gatekeeper; see DESIGN.md "Quantized filter").
+///
+/// Correctness contract. For a query q and a record x encoded as codes
+/// c_d with cell edges [lo_d, hi_d] = [bounds(d)[c_d], bounds(d)[c_d+1]]
+/// (which bracket x_d exactly; filter/quantizer.h):
+///
+///   LB(q, codes(x)) <= |x - q|^2 <= UB(q, codes(x))     (real arithmetic)
+///
+/// per dimension: the squared distance from q_d to the nearest (LB) or
+/// farthest (UB) edge of the cell, zero for LB when q_d lies inside.
+/// Spectral multiplier rules m fold in exactly: per coefficient f,
+/// |x_f*m_f - q_f|^2 == |m_f|^2 * |x_f - q_f/m_f|^2, so the LUT stores
+/// bounds against the transformed query q/m scaled by the weight |m|^2
+/// (coefficients with m_f == 0 contribute the constant |q_f|^2, kept in
+/// `base`).
+///
+/// Floating point. The bounds hold in real arithmetic; the kernels and
+/// the exact columnar kernels round differently (different association,
+/// the multiplier identity above, possible FMA contraction), so a
+/// computed LB may exceed the computed exact distance by a few ulps. All
+/// pruning therefore compares against SafeThreshold(thr_sq): thr_sq
+/// inflated by a relative guard plus an absolute slack proportional to
+/// the query/data energies (~1e-9 relative, five orders of magnitude
+/// above the worst accumulated rounding error of a 2n-term double sum,
+/// and equally far below any pruning power that matters). Survivors are
+/// refined through the unmodified exact kernels, so answers remain
+/// bit-identical to the unfiltered engines by construction: pruning can
+/// only ever be too weak, never wrong.
+///
+/// Per-query LUTs are laid out dimension-major (dims x cells doubles):
+/// the scan touches row d at dimension d, so the handful of leading rows
+/// that decide most records stay cache-hot. The code word is read via
+/// one unaligned 64-bit load per dimension (guard bytes guaranteed by
+/// QuantizedCodes), shifted and masked with compile-time constants --
+/// instantiate the kernels through WithFilterBits so `kBits` is a
+/// template parameter.
+///
+/// Everything here is stateless or immutable after construction; safe
+/// for any number of concurrent query threads.
+
+#ifndef SIMQ_FILTER_BOUND_KERNELS_H_
+#define SIMQ_FILTER_BOUND_KERNELS_H_
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "filter/quantizer.h"
+
+namespace simq {
+
+/// Per-query, per-(dimension, cell) bound tables against one shard's
+/// quantizer grid.
+struct QueryLuts {
+  int dims = 0;
+  int cells = 0;
+  /// Constant distance contribution of zero-multiplier coefficients.
+  double base = 0.0;
+  /// Absolute floating-point safety slack (see SafeThreshold).
+  double slack = 0.0;
+  std::vector<double> lb;  // dims * cells, dimension-major
+  std::vector<double> ub;  // dims * cells when built with upper bounds
+  /// Dimensions sorted by descending mean lower-bound contribution
+  /// (quantile cells are equi-populated, so the unweighted row mean IS
+  /// the expected per-record contribution). The column scan consumes
+  /// dimensions in this order, so the most discriminating ones run
+  /// first and the survivor list collapses after one compaction; the
+  /// full-sum bound is order-independent, so correctness is untouched.
+  std::vector<int32_t> order;
+};
+
+/// Builds the LUTs for `query_ri` (2n interleaved (re, im) doubles, the
+/// exact query the columnar kernels consume) against `quantizer`'s grid.
+/// `mult_ri` is the interleaved spectral multiplier (nullptr = identity).
+/// Upper-bound tables are built only when `with_upper` (the kNN path).
+QueryLuts BuildQueryLuts(const ScalarQuantizer& quantizer,
+                         const double* query_ri, const double* mult_ri,
+                         int n, bool with_upper);
+
+/// Threshold against which pruning decisions compare a computed lower
+/// bound: `thr_sq` inflated so rounding differences between the bound
+/// kernels and the exact kernels can never cause a false dismissal.
+inline double SafeThreshold(double thr_sq, double slack) {
+  return thr_sq + 1e-9 * thr_sq + slack;
+}
+
+namespace internal {
+
+constexpr double kBoundInf = std::numeric_limits<double>::infinity();
+
+template <int kBits>
+inline uint32_t PackedCodeAt(const uint8_t* row, int d) {
+  const int64_t bit = static_cast<int64_t>(d) * kBits;
+  uint64_t word;
+  std::memcpy(&word, row + (bit >> 3), sizeof(word));
+  return static_cast<uint32_t>(word >> (bit & 7)) & ((1u << kBits) - 1u);
+}
+
+}  // namespace internal
+
+/// Lower and upper bound of |x - q|^2 in one row-major pass over the
+/// packed code row (the kNN scan), abandoning once the running lower
+/// bound exceeds `abandon_sq` (pass SafeThreshold(...)): returns
+/// +infinity on abandon -- `*ub_sq` is then not written -- else the full
+/// lower bound. Four dimensions are accumulated per abandon check to
+/// keep the loop branch-light.
+template <int kBits>
+inline double LowerUpperBoundSq(const uint8_t* row, const QueryLuts& luts,
+                                double abandon_sq, double* ub_sq) {
+  const double* lb = luts.lb.data();
+  const double* ub = luts.ub.data();
+  const int cells = luts.cells;
+  const int dims = luts.dims;
+  double acc = luts.base;
+  double acc_ub = luts.base;
+  int d = 0;
+  for (; d + 4 <= dims; d += 4) {
+    for (int j = 0; j < 4; ++j) {
+      const int64_t idx = static_cast<int64_t>(d + j) * cells +
+                          internal::PackedCodeAt<kBits>(row, d + j);
+      acc += lb[idx];
+      acc_ub += ub[idx];
+    }
+    if (acc > abandon_sq) {
+      return internal::kBoundInf;
+    }
+  }
+  for (; d < dims; ++d) {
+    const int64_t idx = static_cast<int64_t>(d) * cells +
+                        internal::PackedCodeAt<kBits>(row, d);
+    acc += lb[idx];
+    acc_ub += ub[idx];
+  }
+  if (acc > abandon_sq) {
+    return internal::kBoundInf;
+  }
+  *ub_sq = acc_ub;
+  return acc;
+}
+
+class QuantizedCodes;
+
+/// Per-outer-row screen LUT of the filtered self-join: lower bounds of
+/// (row[d] - x)^2 for x in each cell of dimension d, for the `ranks`
+/// dimensions listed in `dims` (the codes' static scan_order prefix).
+/// `lut` must hold ranks * cells() doubles, rank-major. A partial-sum
+/// bound over a dimension subset is itself a valid lower bound of the
+/// full distance, so screening on these rows alone never drops a true
+/// pair.
+void FillPairScreenLut(const ScalarQuantizer& quantizer, const double* row,
+                       const int32_t* dims, int ranks, double* lut);
+
+/// Column-major pairwise screen over rows [lo, hi): like
+/// ColumnLowerBoundScan but accumulating only the `ranks` LUT rows of
+/// FillPairScreenLut. `active` holds absolute local-row offsets minus
+/// `lo`; on return only offsets whose partial lower bound is <=
+/// `abandon_sq` remain, ascending.
+void PairScreenScan(const QuantizedCodes& codes, const double* lut,
+                    const int32_t* dims, int ranks, double abandon_sq,
+                    int64_t lo, int64_t hi, std::vector<int32_t>* active,
+                    std::vector<double>* scratch);
+
+/// Column-major lower-bound scan over rows [lo, hi) of `codes` (the range
+/// path's phase 1). `active` holds the unit-relative offsets of the rows
+/// still in play (the caller has already applied pattern predicates);
+/// the scan accumulates one dimension at a time across all active rows --
+/// the dimension's LUT row and code column stay cache-hot for the whole
+/// pass -- and re-compacts the survivor list after every few dimensions,
+/// so work collapses as the running bounds cross `abandon_sq`. On return
+/// `active` holds only the offsets whose full lower bound is <=
+/// `abandon_sq`, in ascending order (the order the refine phase wants).
+/// `scratch` is caller-provided accumulator storage, resized as needed.
+void ColumnLowerBoundScan(const QuantizedCodes& codes, const QueryLuts& luts,
+                          double abandon_sq, int64_t lo, int64_t hi,
+                          std::vector<int32_t>* active,
+                          std::vector<double>* scratch);
+
+/// Runs `fn` with std::integral_constant<int, bits> so kernel loops see
+/// the code width as a compile-time constant: WithFilterBits(codes.bits(),
+/// [&](auto b) { ... LowerUpperBoundSq<b()>(...) ... }).
+template <typename Fn>
+void WithFilterBits(int bits, Fn&& fn) {
+  switch (bits) {
+    case 4:
+      std::forward<Fn>(fn)(std::integral_constant<int, 4>{});
+      break;
+    case 5:
+      std::forward<Fn>(fn)(std::integral_constant<int, 5>{});
+      break;
+    case 6:
+      std::forward<Fn>(fn)(std::integral_constant<int, 6>{});
+      break;
+    case 7:
+      std::forward<Fn>(fn)(std::integral_constant<int, 7>{});
+      break;
+    case 8:
+    default:
+      std::forward<Fn>(fn)(std::integral_constant<int, 8>{});
+      break;
+  }
+}
+
+}  // namespace simq
+
+#endif  // SIMQ_FILTER_BOUND_KERNELS_H_

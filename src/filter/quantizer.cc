@@ -1,0 +1,55 @@
+#include "filter/quantizer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace simq {
+
+ScalarQuantizer ScalarQuantizer::Train(const FeatureStore& store, int bits) {
+  ScalarQuantizer q;
+  q.bits_ = std::clamp(bits, kMinBits, kMaxBits);
+  q.cells_ = 1 << q.bits_;
+  const int64_t count = store.size();
+  if (count == 0) {
+    return q;
+  }
+  q.dims_ = 2 * store.spectrum_length();
+  q.bounds_.resize(static_cast<size_t>(q.dims_) * (q.cells_ + 1));
+  std::vector<double> column(static_cast<size_t>(count));
+  for (int d = 0; d < q.dims_; ++d) {
+    for (int64_t i = 0; i < count; ++i) {
+      column[static_cast<size_t>(i)] = store.SpectrumRow(i)[d];
+    }
+    std::sort(column.begin(), column.end());
+    double* edges = q.bounds_.data() + static_cast<size_t>(d) * (q.cells_ + 1);
+    // Quantile edges over the sorted column: edge c sits at rank
+    // c*(count-1)/cells, so edge 0 is the minimum and edge `cells` the
+    // maximum. Duplicate ranks (count < cells) produce empty cells, which
+    // the bound kernels handle naturally (zero-width intervals).
+    for (int c = 0; c <= q.cells_; ++c) {
+      const int64_t rank =
+          count <= 1 ? 0 : static_cast<int64_t>(c) * (count - 1) / q.cells_;
+      edges[c] = column[static_cast<size_t>(rank)];
+    }
+    const double widest =
+        std::max(std::abs(edges[0]), std::abs(edges[q.cells_]));
+    q.max_row_energy_ += widest * widest;
+  }
+  return q;
+}
+
+uint32_t ScalarQuantizer::Encode(int d, double value) const {
+  const double* edges = bounds(d);
+  // Last edge with edges[c] <= value, i.e. upper_bound minus one.
+  const double* it = std::upper_bound(edges, edges + cells_ + 1, value);
+  int64_t c = (it - edges) - 1;
+  if (c < 0) {
+    c = 0;
+  } else if (c >= cells_) {
+    c = cells_ - 1;
+  }
+  return static_cast<uint32_t>(c);
+}
+
+}  // namespace simq

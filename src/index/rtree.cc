@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <queue>
 
@@ -605,30 +606,6 @@ void RTree::SearchNode(const Node* node, const SearchRegion& region,
                  results);
     }
   }
-}
-
-// Type-erased wrappers: the traversal logic lives in the templated
-// *Impl member functions (rtree.h) so concrete predicates inline.
-void RTree::SearchGeneric(
-    const std::function<bool(const Rect&)>& node_predicate,
-    const std::function<bool(const Rect&, int64_t)>& leaf_predicate,
-    const std::function<void(int64_t)>& emit) const {
-  SearchGenericImpl(root_.get(), node_predicate, leaf_predicate, emit);
-}
-
-void RTree::JoinWith(
-    const RTree& other,
-    const std::function<bool(const Rect&, const Rect&)>& pair_predicate,
-    const std::function<void(int64_t, int64_t)>& emit) const {
-  SIMQ_CHECK_EQ(dims_, other.dims_);
-  JoinWithImpl(root_.get(), other.root_.get(), other, pair_predicate, emit);
-}
-
-std::vector<std::pair<int64_t, double>> RTree::NearestNeighbors(
-    const NnLowerBound& bound, const std::vector<DimAffine>* affines, int k,
-    const std::function<double(int64_t)>& exact_distance) const {
-  return NearestNeighborsImpl(bound, affines, k, exact_distance,
-                              std::numeric_limits<double>::infinity());
 }
 
 bool RTree::CheckNode(const Node* node, bool is_root,

@@ -15,9 +15,10 @@
 ///    (Algorithm 1) without materializing it.
 ///  * SearchGeneric / JoinWith / NearestNeighbors: templated visitor
 ///    traversals. Pass any callable (lambda, function object) and the
-///    predicate calls inline into the traversal loop; the std::function
-///    overloads are thin wrappers kept for API compatibility with callers
-///    that store type-erased predicates.
+///    predicate calls inline into the traversal loop. Callers that store
+///    type-erased predicates can still pass a std::function -- it binds
+///    to the template like any other callable -- but the traversal hot
+///    paths carry no type-erasure of their own.
 ///  * NearestNeighbors(bound, affines, k, exact): branch-and-bound k-NN in
 ///    the style of [RKV95], generalized to transformed entries; candidates
 ///    are re-ranked by a caller-supplied exact distance so the index only
@@ -33,7 +34,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <memory>
 #include <utility>
@@ -102,10 +102,6 @@ class RTree {
                      Emit&& emit) const {
     SearchGenericImpl(root_.get(), node_predicate, leaf_predicate, emit);
   }
-  void SearchGeneric(
-      const std::function<bool(const Rect&)>& node_predicate,
-      const std::function<bool(const Rect&, int64_t)>& leaf_predicate,
-      const std::function<void(int64_t)>& emit) const;
 
   // Synchronized-traversal spatial join with `other` (which may be this
   // tree: a self-join). Descends both trees in lockstep, pruning subtree
@@ -117,12 +113,9 @@ class RTree {
   template <typename PairPred, typename Emit>
   void JoinWith(const RTree& other, PairPred&& pair_predicate,
                 Emit&& emit) const {
+    SIMQ_CHECK_EQ(dims_, other.dims_);
     JoinWithImpl(root_.get(), other.root_.get(), other, pair_predicate, emit);
   }
-  void JoinWith(
-      const RTree& other,
-      const std::function<bool(const Rect&, const Rect&)>& pair_predicate,
-      const std::function<void(int64_t, int64_t)>& emit) const;
 
   // Branch-and-bound k-nearest neighbors under a transformation. Results
   // are (id, exact_distance) pairs ordered by increasing exact distance,
@@ -139,9 +132,6 @@ class RTree {
     return NearestNeighborsImpl(bound, affines, k, exact_distance,
                                 initial_bound);
   }
-  std::vector<std::pair<int64_t, double>> NearestNeighbors(
-      const NnLowerBound& bound, const std::vector<DimAffine>* affines, int k,
-      const std::function<double(int64_t)>& exact_distance) const;
 
   int dims() const { return dims_; }
   int64_t size() const { return size_; }

@@ -75,6 +75,13 @@ std::string CanonicalQueryKey(const Query& query) {
   }
   out << "|m=" << (query.mode == DistanceMode::kNormalForm ? "N" : "R");
   out << "|s=" << static_cast<int>(query.strategy);
+  // Filter mode is answer-preserving, but cached entries replay their
+  // execution stats (candidate counts, pruning ratio), so plans stay
+  // truthful only if modes cache separately. Default mode keeps the
+  // pre-filter key rendering.
+  if (query.filter != FilterMode::kDefault) {
+    out << "|f=" << static_cast<int>(query.filter);
+  }
   if (query.query_prenormalized) {
     out << "|pn";
   }

@@ -257,8 +257,22 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
     // acquisition as the data it names.
     std::shared_lock<std::shared_mutex> lock(data_mutex_);
     epoch = EpochLocked(query.relation, &shards);
+    // Cached entries replay their execution's plan metadata (filter,
+    // pruning counts), and a query's effective filter configuration is
+    // resolved against the engine-wide settings at execution time -- so
+    // when the quantized engine would run, the key must name it AND its
+    // bit width, or an entry cached before a set_filter_engine /
+    // set_filter_options change would keep reporting the old plan. The
+    // exact-engine case keeps the historical key rendering.
+    const bool effectively_quantized =
+        query.filter == FilterMode::kFiltered ||
+        (query.filter == FilterMode::kDefault &&
+         db_.filter_engine() == FilterEngine::kQuantized);
     const std::string key =
-        CanonicalQueryKey(query) + "@" + std::to_string(epoch);
+        CanonicalQueryKey(query) + "@" + std::to_string(epoch) +
+        (effectively_quantized
+             ? "@fq" + std::to_string(db_.filter_options().bits_per_dim)
+             : "");
     if (!cache_.Get(key, &out.result)) {
       Result<QueryResult> executed = db_.Execute(query);
       if (!executed.ok()) {
@@ -276,6 +290,16 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
             : "columnar";
   }
   out.plan.strategy = out.result.stats.used_index ? "index" : "scan";
+  out.plan.filter = out.result.stats.used_filter ? "quantized" : "none";
+  if (out.result.stats.used_filter) {
+    out.plan.filter_scanned = out.result.stats.filter_scanned;
+    out.plan.candidates = out.result.stats.candidates;
+    if (out.result.stats.filter_scanned > 0) {
+      out.plan.pruning_ratio =
+          1.0 - static_cast<double>(out.result.stats.candidates) /
+                    static_cast<double>(out.result.stats.filter_scanned);
+    }
+  }
   out.plan.cache_hit = cache_hit;
   out.plan.prepared = prepared;
   out.plan.explain = query.explain;

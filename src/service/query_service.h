@@ -102,12 +102,21 @@ struct BindParams {
 struct QueryPlan {
   std::string strategy;  // "index" or "scan"
   std::string engine;    // "packed", "pointer", or "columnar"
+  /// Scan-side filter actually used: "quantized" when the execution took
+  /// the filter-and-refine path, "none" otherwise.
+  std::string filter = "none";
   bool cache_hit = false;
   bool prepared = false;
   bool explain = false;  // the query carried the EXPLAIN prefix
   /// Shards of the queried relation (the scatter-gather width); 0 when the
   /// relation does not exist.
   int shards = 0;
+  /// Quantized filter path only (0 / 0 / 0.0 otherwise): records or pairs
+  /// bound-scanned, survivors refined through the exact kernels, and the
+  /// fraction of scanned entries the bounds pruned.
+  int64_t filter_scanned = 0;
+  int64_t candidates = 0;
+  double pruning_ratio = 0.0;
   uint64_t relation_epoch = 0;
   uint64_t fingerprint = 0;  // QueryFingerprint of the executed AST
 };

@@ -1,0 +1,74 @@
+// Validated parsing of the engine's integer environment knobs
+// (SIMQ_THREADS, SIMQ_SHARDS).
+//
+// A mistyped knob used to be silently ignored (std::atoi returning 0 fell
+// through to the default), which turns "I benchmarked with 8 shards" into
+// "I benchmarked with 1 shard and never noticed". The helpers here make
+// misconfiguration loud instead: a set-but-invalid value -- non-numeric,
+// zero, negative, trailing garbage, or overflowing int -- aborts with a
+// message naming the variable and the offending text. An UNSET variable
+// still means "use the default"; only present-and-wrong is fatal.
+//
+// ParsePositiveIntEnv is the pure, unit-testable core (tests/env_test.cc);
+// PositiveIntFromEnv is the getenv-reading wrapper the thread pool and
+// sharding options call.
+
+#ifndef SIMQ_UTIL_ENV_H_
+#define SIMQ_UTIL_ENV_H_
+
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace simq {
+
+// Parses `text` as a strictly positive int. Rejects empty strings,
+// non-numeric text, trailing garbage ("8x"), zero, negatives, and values
+// that do not fit in int.
+inline Result<int> ParsePositiveIntEnv(const std::string& name,
+                                       const std::string& text) {
+  const auto invalid = [&](const char* why) {
+    return Status::InvalidArgument(name + "='" + text + "' is invalid: " +
+                                   why + " (expected an integer >= 1)");
+  };
+  if (text.empty()) {
+    return invalid("empty value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str()) {
+    return invalid("not a number");
+  }
+  if (*end != '\0') {
+    return invalid("trailing characters after the number");
+  }
+  if (errno == ERANGE || value > INT_MAX) {
+    return invalid("overflows int");
+  }
+  if (value <= 0) {
+    return invalid("must be >= 1");
+  }
+  return static_cast<int>(value);
+}
+
+// Reads environment variable `name`: returns `fallback` when unset, the
+// parsed value when valid, and aborts with the parse error when set but
+// invalid -- a misconfigured knob must never silently become the default.
+inline int PositiveIntFromEnv(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) {
+    return fallback;
+  }
+  Result<int> parsed = ParsePositiveIntEnv(name, env);
+  SIMQ_CHECK(parsed.ok()) << " -- " << parsed.status().ToString();
+  return parsed.value();
+}
+
+}  // namespace simq
+
+#endif  // SIMQ_UTIL_ENV_H_

@@ -39,13 +39,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <cstdlib>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/env.h"
 
 namespace simq {
 
@@ -91,14 +92,11 @@ class ThreadPool {
   }
 
   static int DefaultThreadCount() {
-    if (const char* env = std::getenv("SIMQ_THREADS")) {
-      const int value = std::atoi(env);
-      if (value > 0) {
-        return value;
-      }
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : static_cast<int>(hw);
+    const int fallback = hw == 0 ? 1 : static_cast<int>(hw);
+    // A set-but-invalid SIMQ_THREADS aborts with a clear message instead
+    // of silently running at the hardware default (util/env.h).
+    return PositiveIntFromEnv("SIMQ_THREADS", fallback);
   }
 
   // Enqueues one task for asynchronous execution on a worker thread.

@@ -1,0 +1,82 @@
+// Unit tests for the validated environment-knob parsing (util/env.h):
+// SIMQ_THREADS / SIMQ_SHARDS must reject non-numeric, zero, negative,
+// trailing-garbage, and overflowing values with a clear error naming the
+// variable, instead of silently falling back to a default.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/env.h"
+
+namespace simq {
+namespace {
+
+TEST(EnvParsing, AcceptsPositiveIntegers) {
+  for (const auto& [text, expected] :
+       {std::pair<std::string, int>{"1", 1},
+        {"8", 8},
+        {"64", 64},
+        {"2147483647", 2147483647}}) {
+    const Result<int> parsed = ParsePositiveIntEnv("SIMQ_THREADS", text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.value(), expected) << text;
+  }
+}
+
+TEST(EnvParsing, RejectsNonNumeric) {
+  for (const char* text : {"", "abc", "x8", "--", " "}) {
+    const Result<int> parsed = ParsePositiveIntEnv("SIMQ_THREADS", text);
+    EXPECT_FALSE(parsed.ok()) << "'" << text << "'";
+  }
+}
+
+TEST(EnvParsing, RejectsZeroAndNegative) {
+  for (const char* text : {"0", "-1", "-64"}) {
+    const Result<int> parsed = ParsePositiveIntEnv("SIMQ_SHARDS", text);
+    ASSERT_FALSE(parsed.ok()) << text;
+    EXPECT_NE(parsed.status().message().find(">= 1"), std::string::npos)
+        << parsed.status().ToString();
+  }
+}
+
+TEST(EnvParsing, RejectsTrailingGarbage) {
+  for (const char* text : {"8x", "4 shards", "1.5", "0x10"}) {
+    EXPECT_FALSE(ParsePositiveIntEnv("SIMQ_SHARDS", text).ok()) << text;
+  }
+}
+
+TEST(EnvParsing, RejectsOverflow) {
+  for (const char* text :
+       {"2147483648", "99999999999999999999", "9223372036854775808"}) {
+    const Result<int> parsed = ParsePositiveIntEnv("SIMQ_THREADS", text);
+    ASSERT_FALSE(parsed.ok()) << text;
+    EXPECT_NE(parsed.status().message().find("overflow"), std::string::npos)
+        << parsed.status().ToString();
+  }
+}
+
+TEST(EnvParsing, ErrorNamesTheVariableAndValue) {
+  const Result<int> parsed = ParsePositiveIntEnv("SIMQ_SHARDS", "lots");
+  ASSERT_FALSE(parsed.ok());
+  const std::string message = parsed.status().message();
+  EXPECT_NE(message.find("SIMQ_SHARDS"), std::string::npos) << message;
+  EXPECT_NE(message.find("lots"), std::string::npos) << message;
+}
+
+TEST(EnvParsing, FromEnvFallsBackOnlyWhenUnset) {
+  unsetenv("SIMQ_TEST_KNOB");
+  EXPECT_EQ(PositiveIntFromEnv("SIMQ_TEST_KNOB", 7), 7);
+  setenv("SIMQ_TEST_KNOB", "12", 1);
+  EXPECT_EQ(PositiveIntFromEnv("SIMQ_TEST_KNOB", 7), 12);
+  unsetenv("SIMQ_TEST_KNOB");
+}
+
+TEST(EnvParsingDeathTest, SetButInvalidAborts) {
+  setenv("SIMQ_TEST_KNOB", "zero", 1);
+  EXPECT_DEATH(PositiveIntFromEnv("SIMQ_TEST_KNOB", 7), "SIMQ_TEST_KNOB");
+  unsetenv("SIMQ_TEST_KNOB");
+}
+
+}  // namespace
+}  // namespace simq

@@ -223,5 +223,73 @@ TEST(PersistenceTest, RejectsTruncatedSnapshot) {
   EXPECT_FALSE(LoadDatabase(cut_path).ok());
 }
 
+// Quantized codes are derived data: they are not serialized, and a
+// restored database must lazily rebuild them on the first filtered query
+// -- with answers bit-identical both to a fresh build of the same series
+// and to the restored database's own exact execution.
+TEST(PersistenceTest, FilteredQueriesBitIdenticalAfterSimqdb2RoundTrip) {
+  const std::vector<TimeSeries> series = workload::RandomWalkSeries(80, 48, 9);
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("r").ok());
+  ASSERT_TRUE(db.BulkLoad("r", series).ok());
+
+  const std::string path = TempPath("filtered.simqdb");
+  ASSERT_TRUE(SaveDatabase(db, path, /*format_version=*/2).ok());
+  Result<Database> loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Database& restored = loaded.value();
+
+  Database fresh;
+  ASSERT_TRUE(fresh.CreateRelation("r").ok());
+  ASSERT_TRUE(fresh.BulkLoad("r", series).ok());
+
+  for (const char* text :
+       {"RANGE r WITHIN 2.0 OF #walk5 VIA SCAN MODE FILTERED",
+        "NEAREST 9 r TO #walk11 VIA SCAN MODE FILTERED",
+        "PAIRS r WITHIN 1.5 VIA SCAN MODE FILTERED"}) {
+    const Result<QueryResult> via_restored = restored.ExecuteText(text);
+    const Result<QueryResult> via_fresh = fresh.ExecuteText(text);
+    ASSERT_TRUE(via_restored.ok()) << text;
+    ASSERT_TRUE(via_fresh.ok()) << text;
+    // Codes rebuilt after Load: the filter path actually ran.
+    EXPECT_TRUE(via_restored.value().stats.used_filter) << text;
+    ASSERT_EQ(via_restored.value().matches.size(),
+              via_fresh.value().matches.size())
+        << text;
+    for (size_t i = 0; i < via_fresh.value().matches.size(); ++i) {
+      EXPECT_EQ(via_restored.value().matches[i].id,
+                via_fresh.value().matches[i].id)
+          << text;
+      EXPECT_EQ(via_restored.value().matches[i].distance,
+                via_fresh.value().matches[i].distance)
+          << text;
+    }
+    ASSERT_EQ(via_restored.value().pairs.size(),
+              via_fresh.value().pairs.size())
+        << text;
+    for (size_t i = 0; i < via_fresh.value().pairs.size(); ++i) {
+      EXPECT_EQ(via_restored.value().pairs[i].first,
+                via_fresh.value().pairs[i].first)
+          << text;
+      EXPECT_EQ(via_restored.value().pairs[i].second,
+                via_fresh.value().pairs[i].second)
+          << text;
+      EXPECT_EQ(via_restored.value().pairs[i].distance,
+                via_fresh.value().pairs[i].distance)
+          << text;
+    }
+    // And the restored database's filtered answers match its own exact
+    // execution of the same query.
+    const std::string exact_text =
+        std::string(text).substr(0, std::string(text).rfind(" MODE")) +
+        " MODE EXACT";
+    const Result<QueryResult> exact = restored.ExecuteText(exact_text);
+    ASSERT_TRUE(exact.ok()) << exact_text;
+    EXPECT_EQ(exact.value().matches.size(),
+              via_restored.value().matches.size());
+    EXPECT_EQ(exact.value().pairs.size(), via_restored.value().pairs.size());
+  }
+}
+
 }  // namespace
 }  // namespace simq

@@ -8,10 +8,10 @@ Two checks, stdlib only:
    mailto) links and pure #anchors are skipped; a `#fragment` suffix on
    a relative link is stripped before the existence check.
 
-2. Header doc check: every public header under src/service/ and
-   src/index/ must open with a file-level doc comment (`///`) -- the
-   convention that carries the thread-safety contracts (see ISSUE 4 /
-   DESIGN.md).
+2. Header doc check: every public header under src/service/, src/index/,
+   src/filter/, and src/core/ must open with a file-level doc comment
+   (`///`) -- the convention that carries the thread-safety contracts
+   (see DESIGN.md).
 
 Exits nonzero with one line per violation.
 """
@@ -29,7 +29,7 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 CODE_SPAN_RE = re.compile(r"`[^`]*`")
 FENCE_RE = re.compile(r"^\s*(```|~~~)")
 
-DOC_HEADER_DIRS = ["src/service", "src/index"]
+DOC_HEADER_DIRS = ["src/service", "src/index", "src/filter", "src/core"]
 
 
 def markdown_files():
@@ -103,7 +103,8 @@ def main():
         print(f"check_docs: {len(errors)} violation(s)", file=sys.stderr)
         return 1
     print("check_docs: all markdown links resolve and all public headers "
-          "in src/service + src/index carry file-level doc comments")
+          "in " + " + ".join(DOC_HEADER_DIRS) +
+          " carry file-level doc comments")
     return 0
 
 
