@@ -1,0 +1,220 @@
+// [FAULT] Durability-path trajectory: atomic snapshot save/load, WAL
+// append throughput (buffered and synced), WAL replay rate, and the
+// snapshot+WAL recovery composition (core/persistence.h, core/wal.h).
+//
+// Per workload size:
+//   save_ms / load_ms        SaveDatabase (tmp+fsync+rename) and
+//                            LoadDatabase of the v3 checksummed snapshot
+//   wal_append_per_sec       insert frames appended, sync at the end
+//   wal_synced_append_per_sec  fdatasync after every append -- the
+//                            acknowledged-durable mutation rate a
+//                            sync_wal QueryService can sustain
+//   replay_ms / replay_frames_per_sec  ReplayWal of the full log into a
+//                            fresh database
+//   recovery_ms              OpenDurableDatabase over snapshot(prefix) +
+//                            WAL(tail): the crash-restart path
+//
+// Self-check (reported in BENCH_fault.json and grepped by CI): the
+// recovered database must answer a range + kNN probe bit-identically to
+// the never-persisted live database ("mismatch": true fails the build).
+//
+// Usage: fault_recovery [count] [out.json]   (count 0 = default 2000)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/database.h"
+#include "core/persistence.h"
+#include "core/wal.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "workload/generators.h"
+
+namespace simq {
+namespace {
+
+constexpr int kLength = 64;
+
+std::string TempPath(const std::string& name) {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") + "/" + name;
+}
+
+int64_t FileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return 0;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const int64_t size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}
+
+bool SameAnswers(const Database& a, const Database& b) {
+  for (const char* text :
+       {"RANGE r WITHIN 2.0 OF #walk0", "NEAREST 10 r TO #walk1"}) {
+    const Result<QueryResult> ra = a.ExecuteText(text);
+    const Result<QueryResult> rb = b.ExecuteText(text);
+    if (!ra.ok() || !rb.ok() ||
+        ra.value().matches.size() != rb.value().matches.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < ra.value().matches.size(); ++i) {
+      if (ra.value().matches[i].id != rb.value().matches[i].id ||
+          ra.value().matches[i].distance != rb.value().matches[i].distance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Run(int count, const std::string& out_path) {
+  if (count <= 0) {
+    count = 2000;
+  }
+  std::printf("[FAULT] durability paths: %d series x %d\n", count, kLength);
+  const std::vector<TimeSeries> series =
+      workload::RandomWalkSeries(count, kLength, 11);
+
+  Database live;
+  SIMQ_CHECK(live.CreateRelation("r").ok());
+  SIMQ_CHECK(live.BulkLoad("r", series).ok());
+
+  // Atomic snapshot save + checksummed load.
+  const std::string snapshot_path = TempPath("bench_fault.simqdb");
+  Stopwatch sw;
+  SIMQ_CHECK(SaveDatabase(live, snapshot_path).ok());
+  const double save_ms = sw.ElapsedMillis();
+  const int64_t snapshot_bytes = FileBytes(snapshot_path);
+  sw.Restart();
+  Result<Database> loaded = LoadDatabase(snapshot_path);
+  const double load_ms = sw.ElapsedMillis();
+  SIMQ_CHECK(loaded.ok()) << loaded.status().ToString();
+
+  // WAL append throughput, buffered (one sync at the end).
+  const std::string wal_path = TempPath("bench_fault.wal");
+  std::remove(wal_path.c_str());
+  double append_per_sec = 0.0;
+  {
+    Result<WalWriter> writer = WalWriter::Open(wal_path);
+    SIMQ_CHECK(writer.ok());
+    WalWriter wal = std::move(writer).value();
+    SIMQ_CHECK(wal.AppendCreateRelation("r").ok());
+    sw.Restart();
+    for (const TimeSeries& s : series) {
+      SIMQ_CHECK(wal.AppendInsert("r", s).ok());
+    }
+    SIMQ_CHECK(wal.Sync().ok());
+    append_per_sec = count / sw.ElapsedSeconds();
+  }
+
+  // Synced append rate: fdatasync per acknowledged mutation, the
+  // sync_wal service's floor. Far fewer iterations -- each is a disk
+  // round trip.
+  const std::string synced_path = TempPath("bench_fault_synced.wal");
+  std::remove(synced_path.c_str());
+  const int synced_iters = count < 256 ? count : 256;
+  double synced_per_sec = 0.0;
+  {
+    Result<WalWriter> writer = WalWriter::Open(synced_path);
+    SIMQ_CHECK(writer.ok());
+    WalWriter wal = std::move(writer).value();
+    SIMQ_CHECK(wal.AppendCreateRelation("r").ok());
+    sw.Restart();
+    for (int i = 0; i < synced_iters; ++i) {
+      SIMQ_CHECK(wal.AppendInsert("r", series[static_cast<size_t>(i)]).ok());
+      SIMQ_CHECK(wal.Sync().ok());
+    }
+    synced_per_sec = synced_iters / sw.ElapsedSeconds();
+  }
+
+  // Replay the full buffered log into a fresh database.
+  sw.Restart();
+  Database replayed;
+  WalReplayStats replay_stats;
+  SIMQ_CHECK(ReplayWal(wal_path, &replayed, &replay_stats).ok());
+  const double replay_ms = sw.ElapsedMillis();
+  SIMQ_CHECK(replay_stats.frames_applied ==
+             static_cast<uint64_t>(count) + 1);
+
+  // The crash-restart composition: snapshot of the first half, WAL tail
+  // of the second half.
+  const std::string tail_path = TempPath("bench_fault_tail.wal");
+  std::remove(tail_path.c_str());
+  const int half = count / 2;
+  {
+    Database prefix;
+    SIMQ_CHECK(prefix.CreateRelation("r").ok());
+    SIMQ_CHECK(
+        prefix.BulkLoad("r", {series.begin(), series.begin() + half}).ok());
+    SIMQ_CHECK(SaveDatabase(prefix, snapshot_path).ok());
+    Result<WalWriter> writer = WalWriter::Open(tail_path);
+    SIMQ_CHECK(writer.ok());
+    WalWriter wal = std::move(writer).value();
+    for (int i = half; i < count; ++i) {
+      SIMQ_CHECK(wal.AppendInsert("r", series[static_cast<size_t>(i)]).ok());
+    }
+    SIMQ_CHECK(wal.Sync().ok());
+  }
+  sw.Restart();
+  Result<Database> recovered =
+      OpenDurableDatabase(FeatureConfig(), snapshot_path, tail_path, nullptr);
+  const double recovery_ms = sw.ElapsedMillis();
+  SIMQ_CHECK(recovered.ok()) << recovered.status().ToString();
+
+  const bool mismatch = !SameAnswers(live, recovered.value()) ||
+                        !SameAnswers(live, replayed) ||
+                        !SameAnswers(live, loaded.value());
+
+  std::printf("  save %.2f ms (%lld bytes), load %.2f ms\n", save_ms,
+              static_cast<long long>(snapshot_bytes), load_ms);
+  std::printf("  wal append %.0f/s buffered, %.0f/s synced\n", append_per_sec,
+              synced_per_sec);
+  std::printf("  replay %.2f ms (%.0f frames/s), recovery %.2f ms\n",
+              replay_ms, (count + 1) / (replay_ms / 1e3), recovery_ms);
+  std::printf("  recovered answers %s\n",
+              mismatch ? "MISMATCH" : "bit-identical");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  SIMQ_CHECK(out != nullptr) << "cannot write " << out_path;
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"fault_recovery\",\n"
+               "  \"count\": %d,\n"
+               "  \"length\": %d,\n"
+               "  \"save_ms\": %.3f,\n"
+               "  \"snapshot_bytes\": %lld,\n"
+               "  \"load_ms\": %.3f,\n"
+               "  \"wal_append_per_sec\": %.1f,\n"
+               "  \"wal_synced_append_per_sec\": %.1f,\n"
+               "  \"replay_ms\": %.3f,\n"
+               "  \"replay_frames_per_sec\": %.1f,\n"
+               "  \"recovery_ms\": %.3f,\n"
+               "  \"mismatch\": %s\n"
+               "}\n",
+               count, kLength, save_ms,
+               static_cast<long long>(snapshot_bytes), load_ms,
+               append_per_sec, synced_per_sec, replay_ms,
+               (count + 1) / (replay_ms / 1e3), recovery_ms,
+               mismatch ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  if (mismatch) {
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace simq
+
+int main(int argc, char** argv) {
+  const int count = argc > 1 ? std::atoi(argv[1]) : 0;
+  const std::string out = argc > 2 ? argv[2] : "BENCH_fault.json";
+  simq::Run(count, out);
+  return 0;
+}

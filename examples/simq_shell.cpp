@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdint>
+#include <exception>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -121,13 +122,28 @@ void PrintStats(const ServiceStats& stats) {
   const int64_t lookups = stats.cache.hits + stats.cache.misses;
   std::printf(
       "cache: hits=%lld misses=%lld hit_rate=%.1f%% entries_invalidated="
-      "%lld\n",
+      "%lld cache_bytes=%lld\n",
       static_cast<long long>(stats.cache.hits),
       static_cast<long long>(stats.cache.misses),
       lookups > 0 ? 100.0 * static_cast<double>(stats.cache.hits) /
                         static_cast<double>(lookups)
                   : 0.0,
-      static_cast<long long>(stats.cache.invalidated_entries));
+      static_cast<long long>(stats.cache.invalidated_entries),
+      static_cast<long long>(stats.cache.bytes));
+  std::printf(
+      "lifecycle: timeouts=%lld cancellations=%lld overloaded=%lld "
+      "degraded=%lld\n",
+      static_cast<long long>(stats.timeouts),
+      static_cast<long long>(stats.cancellations),
+      static_cast<long long>(stats.overloaded),
+      static_cast<long long>(stats.degraded_queries));
+  if (stats.wal_appends > 0 || stats.wal_failures > 0 ||
+      stats.checkpoints > 0) {
+    std::printf("wal: appends=%lld failures=%lld checkpoints=%lld\n",
+                static_cast<long long>(stats.wal_appends),
+                static_cast<long long>(stats.wal_failures),
+                static_cast<long long>(stats.checkpoints));
+  }
   std::printf("latency: p50=%.3f ms  p95=%.3f ms  p99=%.3f ms\n",
               stats.latency_p50_ms, stats.latency_p95_ms,
               stats.latency_p99_ms);
@@ -144,6 +160,37 @@ bool ConsumeOption(const std::string& token, const std::string& key,
   }
   *value = token.substr(key.size());
   return true;
+}
+
+// Strict numeric parsing for user input: the whole token must convert.
+// std::stod/stoi throw on garbage ("eps=abc") and would unwind the REPL;
+// the shell must print a usage error and keep the session alive instead.
+bool ParseDoubleArg(const std::string& text, double* out) {
+  try {
+    size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) {
+      return false;
+    }
+    *out = value;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool ParseIntArg(const std::string& text, int* out) {
+  try {
+    size_t consumed = 0;
+    const int value = std::stoi(text, &consumed);
+    if (consumed != text.size()) {
+      return false;
+    }
+    *out = value;
+    return true;
+  } catch (...) {
+    return false;
+  }
 }
 
 class Shell {
@@ -296,12 +343,20 @@ class Shell {
 
   void CmdSave(std::istringstream& in) {
     std::string path;
-    int version = 2;
+    int version = 3;
     if (!(in >> path)) {
-      std::printf("usage: .save <path> [version]\n");
+      std::printf("usage: .save <path> [version 1..3]\n");
       return;
     }
-    in >> version;
+    std::string version_arg;
+    if (in >> version_arg && !ParseIntArg(version_arg, &version)) {
+      std::printf("version '%s' is not an integer\n", version_arg.c_str());
+      return;
+    }
+    // An unwritable path or unsupported version comes back as a Status
+    // (kIoError / kInvalidArgument); the session stays alive either way,
+    // and a failed save never leaves a partial file (core/persistence.h
+    // writes a temp file and renames only after fsync).
     const Status status =
         SaveDatabase(service_->database_unlocked(), path, version);
     std::printf("%s\n", status.ok() ? "saved" : status.ToString().c_str());
@@ -360,9 +415,19 @@ class Shell {
     while (in >> token) {
       std::string value;
       if (ConsumeOption(token, "eps=", &value)) {
-        params.epsilon = std::stod(value);
+        double eps = 0.0;
+        if (!ParseDoubleArg(value, &eps)) {
+          std::printf("eps '%s' is not a number\n", value.c_str());
+          return;
+        }
+        params.epsilon = eps;
       } else if (ConsumeOption(token, "k=", &value)) {
-        params.k = std::stoi(value);
+        int k = 0;
+        if (!ParseIntArg(value, &k)) {
+          std::printf("k '%s' is not an integer\n", value.c_str());
+          return;
+        }
+        params.k = k;
       } else if (ConsumeOption(token, "of=#", &value)) {
         params.series.emplace();
         params.series->name = value;
@@ -404,8 +469,15 @@ int Main() {
     if (!std::getline(std::cin, line)) {
       break;
     }
-    if (!shell.HandleLine(line)) {
-      break;
+    // Last-resort guard: no input line may kill the REPL. Commands report
+    // failures as Status already; this catches anything that still
+    // escapes (e.g. an injected fault surfacing as an exception).
+    try {
+      if (!shell.HandleLine(line)) {
+        break;
+      }
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
     }
   }
   std::printf("\n");

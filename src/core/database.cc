@@ -38,6 +38,21 @@ bool PatternAdmits(const Record& record, const Pattern& pattern) {
   return StatsAdmit(record.features.mean, record.features.std_dev, pattern);
 }
 
+// Cooperative-stop poll for the parallel driver loops: workers check this
+// at block boundaries (scan units, shards, outer rows, candidate batches)
+// and bail out early; the driver's epilogue then re-checks the context and
+// returns its typed error (kTimeout/kCancelled). Cancellation is sticky
+// and deadlines are monotone, so the epilogue observes the same verdict
+// the workers did. A null context never stops anything.
+inline bool ShouldStop(const ExecutionContext* exec) {
+  return exec != nullptr && !exec->Check().ok();
+}
+
+// How many index candidates / join rows are refined between polls. Poll
+// cost is one relaxed load + one clock read, so this mainly bounds how
+// much work a cancelled query still does inside one block.
+constexpr int64_t kPollStride = 1024;
+
 // Work granularity for ParallelFor over records: aim for blocks of at
 // least ~2^19 doubles of kernel work so scheduling overhead stays
 // negligible even for short series.
@@ -287,21 +302,26 @@ struct ShardFilterState {
   int bits = 8;
 };
 
-ShardFilterState MakeShardFilterState(const ShardedRelation& data, int bits,
-                                      const double* query_ri,
-                                      const double* mult_ri, int n,
-                                      bool with_upper) {
+// Nullopt when any shard's code compile fails (the "filter.compile"
+// failpoint): the caller counts the degradation and runs the exact scan
+// instead -- same answers, no acceleration.
+std::optional<ShardFilterState> MakeShardFilterState(
+    const ShardedRelation& data, int bits, const double* query_ri,
+    const double* mult_ri, int n, bool with_upper) {
   ShardFilterState state;
   const int num_shards = data.num_shards();
   state.codes.reserve(static_cast<size_t>(num_shards));
   state.luts.reserve(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
-    const QuantizedCodes& codes = data.shard(s).quantized_codes(bits);
-    state.codes.push_back(&codes);
-    state.luts.push_back(BuildQueryLuts(codes.quantizer(), query_ri,
+    const QuantizedCodes* codes = data.shard(s).quantized_codes_or_null(bits);
+    if (codes == nullptr) {
+      return std::nullopt;
+    }
+    state.codes.push_back(codes);
+    state.luts.push_back(BuildQueryLuts(codes->quantizer(), query_ri,
                                         mult_ri, n, with_upper));
     state.max_slack = std::max(state.max_slack, state.luts.back().slack);
-    state.bits = codes.bits();
+    state.bits = codes->bits();
   }
   return state;
 }
@@ -385,6 +405,28 @@ IndexEngine Database::EffectiveIndexEngine() const {
     return IndexEngine::kPacked;
   }
   return IndexEngine::kPointer;
+}
+
+IndexEngine Database::ResolveQueryEngine(const ShardedRelation& data,
+                                         bool* degraded) const {
+  const IndexEngine engine = EffectiveIndexEngine();
+  if (engine != IndexEngine::kPacked) {
+    return engine;
+  }
+  // Compile every shard's snapshot up front (the usual pre-fan-out
+  // discipline); one failed compile demotes the whole query to the pointer
+  // tree so all shards traverse the same engine and the node-access
+  // accounting stays coherent.
+  for (int s = 0; s < data.num_shards(); ++s) {
+    if (data.shard(s).packed_index_or_null() == nullptr) {
+      degradation_->packed_compile_failures.fetch_add(
+          1, std::memory_order_relaxed);
+      degradation_->degraded_queries.fetch_add(1, std::memory_order_relaxed);
+      *degraded = true;
+      return IndexEngine::kPointer;
+    }
+  }
+  return engine;
 }
 
 Status Database::CreateRelation(const std::string& name) {
@@ -600,7 +642,7 @@ Result<QueryResult> Database::Execute(const Query& query) const {
           break;
       }
       return SelfJoin(query.relation, query.epsilon, left_rule, right_rule,
-                      method, query.filter);
+                      method, query.filter, query.exec);
     }
   }
   return Status::Internal("unknown query kind");
@@ -620,6 +662,8 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
   if (query.epsilon < 0.0) {
     return Status::InvalidArgument("epsilon must be nonnegative");
   }
+  SIMQ_RETURN_IF_ERROR(CheckExecution(query.exec));
+  const ExecutionContext* exec = query.exec.get();
   if (relation.size() == 0) {
     return out;
   }
@@ -710,6 +754,24 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
     return out;
   }
 
+  // Quantized-filter eligibility and code compile, resolved before the
+  // strategy branch: a failed compile (the "filter.compile" failpoint)
+  // falls through to the exact scan below with the degradation counted --
+  // same answers, no acceleration, never an abort.
+  std::optional<ShardFilterState> filter_state;
+  if (strategy == ExecutionStrategy::kScan && columnar && n >= 1 &&
+      UseQuantizedFilter(query.filter)) {
+    filter_state = MakeShardFilterState(
+        data, filter_options_.bits_per_dim, checker.query_ri().data(),
+        checker.mult_ri(), n, /*with_upper=*/false);
+    if (!filter_state.has_value()) {
+      degradation_->filter_compile_failures.fetch_add(
+          1, std::memory_order_relaxed);
+      degradation_->degraded_queries.fetch_add(1, std::memory_order_relaxed);
+      out.stats.degraded = true;
+    }
+  }
+
   if (strategy == ExecutionStrategy::kIndex) {
     const std::vector<Complex> query_coeffs =
         ExtractCoefficients(query_spectrum, config_.num_coefficients);
@@ -741,12 +803,16 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
         static_cast<size_t>(num_shards));
     std::vector<int64_t> shard_candidates(static_cast<size_t>(num_shards), 0);
     std::vector<int64_t> shard_checks(static_cast<size_t>(num_shards), 0);
+    const IndexEngine engine = ResolveQueryEngine(data, &out.stats.degraded);
     const int64_t node_accesses = RunOnShardEngines(
-        data, EffectiveIndexEngine(), [&](const auto& trees) {
+        data, engine, [&](const auto& trees) {
           ThreadPool::Global().ParallelFor(
               0, num_shards, /*min_grain=*/1,
               [&](int64_t /*block*/, int64_t lo, int64_t hi) {
                 for (int64_t s = lo; s < hi; ++s) {
+                  if (ShouldStop(exec)) {
+                    break;
+                  }
                   std::vector<int64_t> candidates;
                   trees[static_cast<size_t>(s)]->Search(region, affines_ptr,
                                                         &candidates);
@@ -755,7 +821,13 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
                   std::vector<Match>& local =
                       shard_matches[static_cast<size_t>(s)];
                   int64_t checks = 0;
-                  for (const int64_t id : candidates) {
+                  bool stopped = false;
+                  for (size_t c = 0; c < candidates.size(); ++c) {
+                    if (c % kPollStride == 0 && ShouldStop(exec)) {
+                      stopped = true;
+                      break;
+                    }
+                    const int64_t id = candidates[c];
                     if (!StatsAdmit(data.mean(id), data.std_dev(id),
                                     query.pattern)) {
                       continue;
@@ -769,6 +841,9 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
                     }
                   }
                   shard_checks[static_cast<size_t>(s)] = checks;
+                  if (stopped) {
+                    break;
+                  }
                 }
               });
         });
@@ -781,8 +856,7 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
                          shard_matches[static_cast<size_t>(s)].begin(),
                          shard_matches[static_cast<size_t>(s)].end());
     }
-  } else if (strategy == ExecutionStrategy::kScan && columnar && n >= 1 &&
-             UseQuantizedFilter(query.filter)) {
+  } else if (filter_state.has_value()) {
     // Two-phase quantized filter-and-refine scan (DESIGN.md "Quantized
     // filter"): phase 1 bound-scans the per-shard bit-packed codes and
     // drops every record whose lower-bound distance already exceeds eps
@@ -791,9 +865,7 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
     // columnar kernels the unfiltered scan runs -- same kernels, same
     // threshold -- so the answer set and every distance are
     // bit-identical by construction.
-    const ShardFilterState filter = MakeShardFilterState(
-        data, filter_options_.bits_per_dim, checker.query_ri().data(),
-        checker.mult_ri(), n, /*with_upper=*/false);
+    const ShardFilterState& filter = *filter_state;
     const double eps_sq = query.epsilon * query.epsilon;
     ThreadPool& pool = ThreadPool::Global();
     const std::vector<ScanUnit> units = MakeScanUnits(data, RecordGrain(n));
@@ -813,6 +885,9 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
           std::vector<int32_t> active;
           std::vector<double> scratch;
           for (int64_t u = unit_lo; u < unit_hi; ++u) {
+            if (ShouldStop(exec)) {
+              break;
+            }
             const ScanUnit& unit = units[static_cast<size_t>(u)];
             const RelationShard& shard = data.shard(unit.shard);
             const FeatureStore& store = shard.store();
@@ -895,6 +970,9 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
               block_matches[static_cast<size_t>(block)];
           int64_t checks = 0;
           for (int64_t u = unit_lo; u < unit_hi; ++u) {
+            if (ShouldStop(exec)) {
+              break;
+            }
             const ScanUnit& unit = units[static_cast<size_t>(u)];
             const RelationShard& shard = data.shard(unit.shard);
             const FeatureStore& store = shard.store();
@@ -931,6 +1009,9 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
                          block_matches[block].end());
     }
   }
+  // Workers that observed a stop left partial buffers behind; the typed
+  // error below discards them so callers never see a partial answer.
+  SIMQ_RETURN_IF_ERROR(CheckExecution(query.exec));
   SortMatches(&out.matches);
   return out;
 }
@@ -941,6 +1022,8 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
   if (query.k <= 0) {
     return Status::InvalidArgument("k must be positive");
   }
+  SIMQ_RETURN_IF_ERROR(CheckExecution(query.exec));
+  const ExecutionContext* exec = query.exec.get();
   if (relation.size() == 0) {
     return out;
   }
@@ -1009,6 +1092,22 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
                              query_spectrum, mult, query_values);
   const ShardedRelation& data = relation.sharded();
 
+  // Same degradation discipline as ExecuteRange: resolve the quantized
+  // codes before the branch; a failed compile runs the batched exact scan.
+  std::optional<ShardFilterState> filter_state;
+  if (strategy == ExecutionStrategy::kScan && checker.columnar() && n >= 1 &&
+      UseQuantizedFilter(query.filter)) {
+    filter_state = MakeShardFilterState(
+        data, filter_options_.bits_per_dim, checker.query_ri().data(),
+        checker.mult_ri(), n, /*with_upper=*/true);
+    if (!filter_state.has_value()) {
+      degradation_->filter_compile_failures.fetch_add(
+          1, std::memory_order_relaxed);
+      degradation_->degraded_queries.fetch_add(1, std::memory_order_relaxed);
+      out.stats.degraded = true;
+    }
+  }
+
   if (strategy == ExecutionStrategy::kIndex) {
     const std::vector<Complex> query_coeffs =
         ExtractCoefficients(query_spectrum, config_.num_coefficients);
@@ -1037,14 +1136,16 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
     std::vector<std::pair<int64_t, double>> merged;
     int64_t node_accesses = 0;
     const int num_shards = data.num_shards();
+    const IndexEngine engine = ResolveQueryEngine(data, &out.stats.degraded);
     for (int s = 0; s < num_shards; ++s) {
+      SIMQ_RETURN_IF_ERROR(CheckExecution(query.exec));
       double prune_bound = kInf;
       if (cross_shard_knn_pruning_ &&
           static_cast<int>(merged.size()) >= query.k) {
         prune_bound = merged[static_cast<size_t>(query.k - 1)].second;
       }
       node_accesses += RunOnShardEngine(
-          data.shard(s), EffectiveIndexEngine(), [&](const auto& tree) {
+          data.shard(s), engine, [&](const auto& tree) {
             const auto shard_results = tree.NearestNeighbors(
                 bound, affines_ptr, query.k, exact, prune_bound);
             merged.insert(merged.end(), shard_results.begin(),
@@ -1070,8 +1171,7 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
       }
       out.matches.push_back(Match{id, relation.record(id).name, distance});
     }
-  } else if (strategy == ExecutionStrategy::kScan && checker.columnar() &&
-             n >= 1 && UseQuantizedFilter(query.filter)) {
+  } else if (filter_state.has_value()) {
     // Two-phase VA-file-style kNN. Phase 1 bound-scans the codes keeping
     // a running lower bound per record AND a per-block heap of the k
     // smallest upper bounds: once k upper bounds <= tau exist, any record
@@ -1081,9 +1181,7 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
     // the bound to the running k-th exact distance; ties at the k-th
     // distance resolve by (distance, id), exactly like the unfiltered
     // ranking, so the answer is bit-identical.
-    const ShardFilterState filter = MakeShardFilterState(
-        data, filter_options_.bits_per_dim, checker.query_ri().data(),
-        checker.mult_ri(), n, /*with_upper=*/true);
+    const ShardFilterState& filter = *filter_state;
     const int k = query.k;
     struct Candidate {
       int64_t id;
@@ -1106,6 +1204,9 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
             std::vector<double>& ubs = block_ubs[static_cast<size_t>(block)];
             int64_t scanned = 0;
             for (int64_t u = unit_lo; u < unit_hi; ++u) {
+              if (ShouldStop(exec)) {
+                break;
+              }
               const ScanUnit& unit = units[static_cast<size_t>(u)];
               const RelationShard& shard = data.shard(unit.shard);
               const FeatureStore& store = shard.store();
@@ -1179,7 +1280,11 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
     // Refine in lower-bound order; `best` stays sorted by (distance, id).
     std::vector<std::pair<double, int64_t>> best;
     best.reserve(static_cast<size_t>(k) + 1);
-    for (const Candidate& cand : cands) {
+    for (size_t c = 0; c < cands.size(); ++c) {
+      if (c % static_cast<size_t>(kPollStride) == 0) {
+        SIMQ_RETURN_IF_ERROR(CheckExecution(query.exec));
+      }
+      const Candidate& cand = cands[c];
       if (static_cast<int>(best.size()) >= k) {
         const double kth = best.back().first;
         if (cand.lb_sq > SafeThreshold(kth * kth, filter.max_slack)) {
@@ -1221,6 +1326,9 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
         [&](int64_t block, int64_t unit_lo, int64_t unit_hi) {
           int64_t checks = 0;
           for (int64_t u = unit_lo; u < unit_hi; ++u) {
+            if (ShouldStop(exec)) {
+              break;
+            }
             const ScanUnit& unit = units[static_cast<size_t>(u)];
             const RelationShard& shard = data.shard(unit.shard);
             const FeatureStore& store = shard.store();
@@ -1253,6 +1361,8 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
     }
     out.matches = std::move(all);
   }
+  // Discard any partial answer a stopped worker left behind.
+  SIMQ_RETURN_IF_ERROR(CheckExecution(query.exec));
   SortMatches(&out.matches);
   return out;
 }
@@ -1264,12 +1374,13 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
   return SelfJoin(relation_name, epsilon, rule, rule, method);
 }
 
-Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
-                                       double epsilon,
-                                       const TransformationRule* left_rule,
-                                       const TransformationRule* right_rule,
-                                       JoinMethod method,
-                                       FilterMode filter) const {
+Result<QueryResult> Database::SelfJoin(
+    const std::string& relation_name, double epsilon,
+    const TransformationRule* left_rule,
+    const TransformationRule* right_rule, JoinMethod method,
+    FilterMode filter, std::shared_ptr<const ExecutionContext> exec) const {
+  SIMQ_RETURN_IF_ERROR(CheckExecution(exec));
+  const ExecutionContext* ctx = exec.get();
   const Relation* relation = GetRelation(relation_name);
   if (relation == nullptr) {
     return Status::NotFound("no relation named '" + relation_name + "'");
@@ -1335,20 +1446,38 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
       // pair is dropped; survivors are exact-checked in ascending global
       // j order, so the pair set, distances, and emission order match
       // the unfiltered join bit-for-bit.
-      if (method == JoinMethod::kScanEarlyAbandon && n >= 1 &&
-          left_mult == nullptr && right_mult == nullptr &&
-          UseQuantizedFilter(filter)) {
+      bool join_filter = method == JoinMethod::kScanEarlyAbandon && n >= 1 &&
+                         left_mult == nullptr && right_mult == nullptr &&
+                         UseQuantizedFilter(filter);
+      std::vector<const QuantizedCodes*> shard_codes;
+      double max_energy = 0.0;
+      if (join_filter) {
         const ShardedRelation& data = relation->sharded();
         const int bits = filter_options_.bits_per_dim;
-        const int num_shards = data.num_shards();
-        std::vector<const QuantizedCodes*> shard_codes;
-        shard_codes.reserve(static_cast<size_t>(num_shards));
-        double max_energy = 0.0;
-        for (int s = 0; s < num_shards; ++s) {
-          shard_codes.push_back(&data.shard(s).quantized_codes(bits));
-          max_energy = std::max(
-              max_energy, shard_codes.back()->quantizer().max_row_energy());
+        shard_codes.reserve(static_cast<size_t>(data.num_shards()));
+        for (int s = 0; s < data.num_shards(); ++s) {
+          const QuantizedCodes* codes =
+              data.shard(s).quantized_codes_or_null(bits);
+          if (codes == nullptr) {
+            // Compile failed ("filter.compile"): degrade to the unfiltered
+            // early-abandoning scan below -- identical pairs, no screen.
+            degradation_->filter_compile_failures.fetch_add(
+                1, std::memory_order_relaxed);
+            degradation_->degraded_queries.fetch_add(
+                1, std::memory_order_relaxed);
+            out.stats.degraded = true;
+            shard_codes.clear();
+            join_filter = false;
+            break;
+          }
+          shard_codes.push_back(codes);
+          max_energy =
+              std::max(max_energy, codes->quantizer().max_row_energy());
         }
+      }
+      if (join_filter) {
+        const ShardedRelation& data = relation->sharded();
+        const int num_shards = data.num_shards();
         const double eps_sq = epsilon * epsilon;
         const double abandon_sq =
             SafeThreshold(eps_sq, 1e-9 * 2.0 * max_energy);
@@ -1371,6 +1500,9 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
               std::vector<double> scratch;
               std::vector<int64_t> survivors;
               for (int64_t i = lo; i < hi; ++i) {
+                if (ShouldStop(ctx)) {
+                  break;
+                }
                 const double* a = base_rows[static_cast<size_t>(i)];
                 survivors.clear();
                 for (int s = 0; s < num_shards; ++s) {
@@ -1419,6 +1551,7 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
           out.pairs.insert(out.pairs.end(), block_pairs[block].begin(),
                            block_pairs[block].end());
         }
+        SIMQ_RETURN_IF_ERROR(CheckExecution(exec));
         return out;
       }
       const int64_t row_stride = (2 * static_cast<int64_t>(n) + 7) &
@@ -1501,6 +1634,9 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
                 block_pairs[static_cast<size_t>(block)];
             int64_t checks = 0;
             for (int64_t i = lo; i < hi; ++i) {
+              if (ShouldStop(ctx)) {
+                break;
+              }
               const double* a = left_row(i);
               const double a0 = a[0], a1 = a[1];
               const double a2 = n >= 2 ? a[2] : 0.0;
@@ -1545,6 +1681,7 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
             right_rule != nullptr ? right_rule->Apply(base) : base;
       }
       for (int64_t i = 0; i < count; ++i) {
+        SIMQ_RETURN_IF_ERROR(CheckExecution(exec));
         for (int64_t j = symmetric ? i + 1 : 0; j < count; ++j) {
           if (j == i) {
             continue;
@@ -1563,6 +1700,7 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
         }
       }
     }
+    SIMQ_RETURN_IF_ERROR(CheckExecution(exec));
     return out;
   }
 
@@ -1634,8 +1772,10 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
   std::vector<std::vector<PairMatch>> block_pairs(max_blocks);
   std::vector<int64_t> block_checks(max_blocks, 0);
   std::vector<int64_t> block_candidates(max_blocks, 0);
+  const IndexEngine join_engine =
+      ResolveQueryEngine(relation->sharded(), &out.stats.degraded);
   out.stats.node_accesses = RunOnShardEngines(
-      relation->sharded(), EffectiveIndexEngine(), [&](const auto& trees) {
+      relation->sharded(), join_engine, [&](const auto& trees) {
         pool.ParallelFor(
             0, count, /*min_grain=*/16,
             [&](int64_t block, int64_t lo, int64_t hi) {
@@ -1645,6 +1785,9 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
               int64_t checks = 0;
               int64_t candidate_count = 0;
               for (int64_t i = lo; i < hi; ++i) {
+                if (ShouldStop(ctx)) {
+                  break;
+                }
                 const Record& probe = relation->record(i);
                 std::vector<Complex> query_coeffs = ExtractCoefficients(
                     probe.features.normal_spectrum, config_.num_coefficients);
@@ -1682,6 +1825,7 @@ Result<QueryResult> Database::SelfJoin(const std::string& relation_name,
     out.pairs.insert(out.pairs.end(), block_pairs[block].begin(),
                      block_pairs[block].end());
   }
+  SIMQ_RETURN_IF_ERROR(CheckExecution(exec));
   return out;
 }
 

@@ -22,6 +22,7 @@
 #ifndef SIMQ_CORE_DATABASE_H_
 #define SIMQ_CORE_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -129,6 +130,16 @@ enum class JoinMethod {
   kIndexTransform,     // (d) method c with T applied to index + rectangles
 };
 
+// Snapshot of the graceful-degradation counters: how often a derived-
+// artifact compile (packed snapshot, quantized codes) failed and the
+// engine fell back to the pointer-tree / exact-scan path instead of
+// aborting. Answers are unaffected; only acceleration is lost.
+struct DegradationStats {
+  uint64_t packed_compile_failures = 0;
+  uint64_t filter_compile_failures = 0;
+  uint64_t degraded_queries = 0;
+};
+
 class Database {
  public:
   explicit Database(FeatureConfig config = FeatureConfig(),
@@ -203,16 +214,33 @@ class Database {
   // `filter` resolves against filter_engine() exactly like a query's MODE
   // clause; the quantized filter applies to the early-abandoning scan
   // method with untransformed spectral sides (other methods ignore it).
-  Result<QueryResult> SelfJoin(const std::string& relation, double epsilon,
-                               const TransformationRule* left_rule,
-                               const TransformationRule* right_rule,
-                               JoinMethod method,
-                               FilterMode filter = FilterMode::kDefault) const;
+  // `exec` carries the deadline/cancellation handle (null = unbounded),
+  // polled between outer rows / node pairs like the other drivers.
+  Result<QueryResult> SelfJoin(
+      const std::string& relation, double epsilon,
+      const TransformationRule* left_rule,
+      const TransformationRule* right_rule, JoinMethod method,
+      FilterMode filter = FilterMode::kDefault,
+      std::shared_ptr<const ExecutionContext> exec = nullptr) const;
 
   // Convenience: the same rule applied to both sides.
   Result<QueryResult> SelfJoin(const std::string& relation, double epsilon,
                                const TransformationRule* rule,
                                JoinMethod method) const;
+
+  // Current graceful-degradation counters (see DegradationStats).
+  DegradationStats degradation_stats() const {
+    DegradationStats stats;
+    stats.packed_compile_failures =
+        degradation_->packed_compile_failures.load(
+            std::memory_order_relaxed);
+    stats.filter_compile_failures =
+        degradation_->filter_compile_failures.load(
+            std::memory_order_relaxed);
+    stats.degraded_queries =
+        degradation_->degraded_queries.load(std::memory_order_relaxed);
+    return stats;
+  }
 
  private:
   Result<QueryResult> ExecuteRange(const Relation& relation,
@@ -226,6 +254,21 @@ class Database {
   // quantized filter path.
   bool UseQuantizedFilter(FilterMode filter) const;
 
+  // Resolves the traversal engine for a query over `data`, compiling every
+  // shard's packed snapshot up front. A failed compile demotes the whole
+  // query to the pointer engine and sets *degraded (counted in
+  // degradation_stats).
+  IndexEngine ResolveQueryEngine(const ShardedRelation& data,
+                                 bool* degraded) const;
+
+  // Atomic counters behind a pointer so Database stays movable (the query
+  // service holds it by value).
+  struct DegradationState {
+    std::atomic<uint64_t> packed_compile_failures{0};
+    std::atomic<uint64_t> filter_compile_failures{0};
+    std::atomic<uint64_t> degraded_queries{0};
+  };
+
   FeatureConfig config_;
   RTree::Options index_options_;
   ShardingOptions sharding_;
@@ -234,6 +277,8 @@ class Database {
   FilterOptions filter_options_;
   bool cross_shard_knn_pruning_ = true;
   std::map<std::string, std::unique_ptr<Relation>> relations_;
+  std::unique_ptr<DegradationState> degradation_ =
+      std::make_unique<DegradationState>();
 };
 
 }  // namespace simq

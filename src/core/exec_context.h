@@ -1,0 +1,86 @@
+/// Cooperative deadline and cancellation for query execution.
+///
+/// An ExecutionContext travels with a Query (Query::exec). The execution
+/// drivers in core/database.cc poll Check() at block boundaries -- between
+/// scan units, shards, outer join rows, and index candidates -- and
+/// propagate its typed error (kTimeout or kCancelled) instead of returning
+/// partial garbage. Polling is cooperative: a query stops within one block
+/// of work after the deadline passes or Cancel() is called, never
+/// mid-block, so results are always all-or-nothing.
+///
+/// The context is shared (shared_ptr, atomics only) so a service session
+/// can cancel a query running on another thread. A null context on the
+/// query means "no deadline, not cancellable" and costs nothing.
+
+#ifndef SIMQ_CORE_EXEC_CONTEXT_H_
+#define SIMQ_CORE_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "util/status.h"
+
+namespace simq {
+
+class ExecutionContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ExecutionContext() = default;
+
+  // Sets an absolute deadline; queries polled after it return kTimeout.
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+  void set_deadline_after(std::chrono::nanoseconds budget) {
+    set_deadline(Clock::now() + budget);
+  }
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+  Clock::time_point deadline() const {
+    return Clock::time_point(
+        Clock::duration(deadline_ns_.load(std::memory_order_relaxed)));
+  }
+
+  // Requests cancellation; the running query observes it at its next poll.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  // The poll: OK while the query may continue, kCancelled / kTimeout once
+  // it must stop. Cancellation wins over timeout when both apply.
+  Status Check() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled");
+    }
+    const int64_t deadline_ns =
+        deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline_ns != kNoDeadline &&
+        Clock::now().time_since_epoch().count() >= deadline_ns) {
+      return Status::Timeout("query deadline exceeded");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline = INT64_MAX;
+
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+  std::atomic<bool> cancelled_{false};
+};
+
+// Polls an optional context: a null pointer never stops execution.
+inline Status CheckExecution(
+    const std::shared_ptr<const ExecutionContext>& exec) {
+  return exec == nullptr ? Status::Ok() : exec->Check();
+}
+
+}  // namespace simq
+
+#endif  // SIMQ_CORE_EXEC_CONTEXT_H_

@@ -1,29 +1,35 @@
 #include "core/persistence.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
+
+#include "util/crc32.h"
+#include "util/failpoint.h"
 
 namespace simq {
 namespace {
 
 constexpr char kMagicV1[] = "SIMQDB1\n";
 constexpr char kMagicV2[] = "SIMQDB2\n";
+constexpr char kMagicV3[] = "SIMQDB3\n";
 constexpr size_t kMagicLength = 8;
 
-class Writer {
+// Serializes into an in-memory buffer. The whole snapshot is built in
+// memory first so it can be written to disk atomically; databases are
+// memory-resident anyway, so the transient copy is acceptable.
+class BufferWriter {
  public:
-  explicit Writer(const std::string& path)
-      : stream_(path, std::ios::binary | std::ios::trunc) {}
-
-  bool ok() const { return stream_.good(); }
-
   void Bytes(const void* data, size_t size) {
-    stream_.write(static_cast<const char*>(data),
-                  static_cast<std::streamsize>(size));
+    const char* bytes = static_cast<const char*>(data);
+    buffer_.append(bytes, size);
   }
   void U8(uint8_t value) { Bytes(&value, sizeof(value)); }
   void I32(int32_t value) { Bytes(&value, sizeof(value)); }
@@ -38,23 +44,27 @@ class Writer {
     Bytes(values.data(), values.size() * sizeof(double));
   }
 
+  const std::string& buffer() const { return buffer_; }
+
  private:
-  std::ofstream stream_;
+  std::string buffer_;
 };
 
-class Reader {
+// Parses a byte range with bounds checks: every count read from the bytes
+// is validated against the bytes actually present before any allocation,
+// so a corrupt length field yields kCorruption instead of a huge resize.
+class BufferReader {
  public:
-  explicit Reader(const std::string& path)
-      : stream_(path, std::ios::binary) {}
+  BufferReader(const char* data, size_t size) : data_(data), size_(size) {}
 
-  bool opened() const { return stream_.is_open(); }
+  size_t remaining() const { return size_ - pos_; }
 
-  Status Bytes(void* data, size_t size) {
-    stream_.read(static_cast<char*>(data),
-                 static_cast<std::streamsize>(size));
-    if (!stream_.good()) {
-      return Status::InvalidArgument("snapshot truncated or unreadable");
+  Status Bytes(void* out, size_t size) {
+    if (size > remaining()) {
+      return Status::Corruption("snapshot truncated");
     }
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
     return Status::Ok();
   }
   Status U8(uint8_t* value) { return Bytes(value, sizeof(*value)); }
@@ -64,29 +74,41 @@ class Reader {
   Status String(std::string* value) {
     uint32_t length = 0;
     SIMQ_RETURN_IF_ERROR(U32(&length));
-    if (length > (1u << 20)) {
-      return Status::InvalidArgument("snapshot string implausibly long");
+    if (length > remaining()) {
+      return Status::Corruption("snapshot string extends past end of data");
     }
-    value->resize(length);
-    return length == 0 ? Status::Ok() : Bytes(value->data(), length);
+    value->assign(data_ + pos_, length);
+    pos_ += length;
+    return Status::Ok();
   }
   Status Doubles(std::vector<double>* values) {
     uint64_t count = 0;
     SIMQ_RETURN_IF_ERROR(U64(&count));
-    if (count > (1ull << 32)) {
-      return Status::InvalidArgument("snapshot array implausibly long");
+    if (count > remaining() / sizeof(double)) {
+      return Status::Corruption("snapshot array extends past end of data");
     }
     values->resize(count);
-    return count == 0
-               ? Status::Ok()
-               : Bytes(values->data(), count * sizeof(double));
+    return count == 0 ? Status::Ok()
+                      : Bytes(values->data(), count * sizeof(double));
+  }
+
+  // Returns the next `size` bytes without copying, or kCorruption.
+  Status Span(size_t size, const char** out) {
+    if (size > remaining()) {
+      return Status::Corruption("snapshot section extends past end of file");
+    }
+    *out = data_ + pos_;
+    pos_ += size;
+    return Status::Ok();
   }
 
  private:
-  std::ifstream stream_;
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
 };
 
-// The SIMQDB2 per-relation summary block: min/max of the records' means
+// The SIMQDB2+ per-relation summary block: min/max of the records' means
 // and standard deviations. Derived bit-for-bit from the stored features,
 // so the loader can recompute and compare exactly.
 struct StatsSummary {
@@ -116,128 +138,315 @@ StatsSummary SummarizeRelation(const Relation& relation) {
   return stats;
 }
 
-}  // namespace
-
-Status SaveDatabase(const Database& db, const std::string& path,
-                    int format_version) {
-  if (format_version != 1 && format_version != 2) {
-    return Status::InvalidArgument("unsupported snapshot format version " +
-                                   std::to_string(format_version));
+// Serializes one relation in the version's per-relation layout (ids and
+// stats from version 2 on).
+void AppendRelationBlock(const std::string& name, const Relation& relation,
+                         int version, BufferWriter* writer) {
+  writer->String(name);
+  writer->I32(relation.series_length());
+  writer->U64(static_cast<uint64_t>(relation.size()));
+  if (version >= 2) {
+    const StatsSummary stats = SummarizeRelation(relation);
+    writer->Bytes(&stats, sizeof(stats));
   }
-  Writer writer(path);
-  if (!writer.ok()) {
-    return Status::InvalidArgument("cannot open '" + path + "' for writing");
-  }
-  writer.Bytes(format_version == 2 ? kMagicV2 : kMagicV1, kMagicLength);
-  const FeatureConfig& config = db.config();
-  writer.I32(config.num_coefficients);
-  writer.I32(static_cast<int32_t>(config.space));
-  writer.U8(config.include_mean_std ? 1 : 0);
-
-  const std::vector<std::string> names = db.RelationNames();
-  writer.U64(names.size());
-  for (const std::string& name : names) {
-    const Relation* relation = db.GetRelation(name);
-    writer.String(name);
-    writer.I32(relation->series_length());
-    writer.U64(static_cast<uint64_t>(relation->size()));
-    if (format_version == 2) {
-      const StatsSummary stats = SummarizeRelation(*relation);
-      writer.Bytes(&stats, sizeof(stats));
+  for (const Record& record : relation.records()) {
+    if (version >= 2) {
+      writer->U64(static_cast<uint64_t>(record.id));
     }
-    for (const Record& record : relation->records()) {
-      if (format_version == 2) {
-        writer.U64(static_cast<uint64_t>(record.id));
+    writer->String(record.name);
+    writer->Doubles(record.raw);
+  }
+}
+
+// Parses one relation block and restores it into `db` via bulk load,
+// validating ids and stats for version >= 2.
+Status ParseRelationBlock(BufferReader* reader, int version, Database* db) {
+  std::string relation_name;
+  SIMQ_RETURN_IF_ERROR(reader->String(&relation_name));
+  int32_t series_length = 0;
+  SIMQ_RETURN_IF_ERROR(reader->I32(&series_length));
+  uint64_t record_count = 0;
+  SIMQ_RETURN_IF_ERROR(reader->U64(&record_count));
+  StatsSummary stored_stats;
+  if (version >= 2) {
+    SIMQ_RETURN_IF_ERROR(reader->Bytes(&stored_stats, sizeof(stored_stats)));
+  }
+  SIMQ_RETURN_IF_ERROR(db->CreateRelation(relation_name));
+
+  // Every record carries at least a length-prefixed name and a double
+  // count, so `record_count` cannot exceed the bytes left to parse.
+  if (record_count > reader->remaining() / sizeof(uint64_t)) {
+    return Status::Corruption("snapshot record count extends past end of "
+                              "data in relation '" + relation_name + "'");
+  }
+  std::vector<TimeSeries> series(record_count);
+  for (uint64_t i = 0; i < record_count; ++i) {
+    if (version >= 2) {
+      uint64_t id = 0;
+      SIMQ_RETURN_IF_ERROR(reader->U64(&id));
+      // The engine assigns dense ids in insertion order; a snapshot with
+      // any other sequence is corrupt (and restoring it would silently
+      // renumber the records).
+      if (id != i) {
+        return Status::Corruption(
+            "snapshot record ids are not the dense insertion sequence in "
+            "relation '" + relation_name + "'");
       }
-      writer.String(record.name);
-      writer.Doubles(record.raw);
+    }
+    SIMQ_RETURN_IF_ERROR(reader->String(&series[i].id));
+    SIMQ_RETURN_IF_ERROR(reader->Doubles(&series[i].values));
+    if (series[i].length() != series_length) {
+      return Status::Corruption(
+          "snapshot record length mismatch in relation '" + relation_name +
+          "'");
     }
   }
-  if (!writer.ok()) {
-    return Status::Internal("write to '" + path + "' failed");
+  SIMQ_RETURN_IF_ERROR(db->BulkLoad(relation_name, series));
+  if (version >= 2 && record_count > 0) {
+    const StatsSummary recomputed =
+        SummarizeRelation(*db->GetRelation(relation_name));
+    // Bit-pattern comparison (not ==): NaN stats from NaN-bearing series
+    // must round-trip like any other value.
+    if (std::memcmp(&recomputed, &stored_stats, sizeof(recomputed)) != 0) {
+      return Status::Corruption(
+          "snapshot relation stats do not match the restored records in "
+          "relation '" + relation_name + "'");
+    }
   }
   return Status::Ok();
 }
 
-Result<Database> LoadDatabase(const std::string& path) {
-  Reader reader(path);
-  if (!reader.opened()) {
-    return Status::NotFound("cannot open snapshot '" + path + "'");
+// Appends a [length][crc][payload] section frame to the file buffer.
+void AppendSection(const std::string& payload, BufferWriter* file) {
+  file->U32(static_cast<uint32_t>(payload.size()));
+  file->U32(Crc32(payload.data(), payload.size()));
+  file->Bytes(payload.data(), payload.size());
+}
+
+// Reads one section frame, validates its CRC, and returns the payload as
+// a view into the file buffer.
+Status ReadSection(BufferReader* file, const char** payload, size_t* size) {
+  uint32_t length = 0;
+  uint32_t crc = 0;
+  SIMQ_RETURN_IF_ERROR(file->U32(&length));
+  SIMQ_RETURN_IF_ERROR(file->U32(&crc));
+  SIMQ_RETURN_IF_ERROR(file->Span(length, payload));
+  if (Crc32(*payload, length) != crc) {
+    return Status::Corruption("snapshot section checksum mismatch");
   }
-  char magic[kMagicLength];
-  SIMQ_RETURN_IF_ERROR(reader.Bytes(magic, kMagicLength));
-  const std::string magic_str(magic, kMagicLength);
-  int version = 0;
-  if (magic_str == std::string(kMagicV1, kMagicLength)) {
-    version = 1;
-  } else if (magic_str == std::string(kMagicV2, kMagicLength)) {
-    version = 2;
+  *size = length;
+  return Status::Ok();
+}
+
+// Writes `data` to `path` via the atomic protocol: temp file, fsync,
+// rename, parent-directory fsync. On any failure the temp file is
+// unlinked and the previous contents of `path` are untouched.
+Status AtomicWriteFile(const std::string& path, const std::string& data) {
+  const std::string tmp_path = path + ".tmp";
+  SIMQ_RETURN_IF_FAILPOINT("save.open");
+  const int fd = ::open(tmp_path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + tmp_path +
+                           "' for writing: " + std::strerror(errno));
+  }
+  Status status = [&]() -> Status {
+    size_t offset = 0;
+    while (offset < data.size()) {
+      SIMQ_RETURN_IF_FAILPOINT("save.write");
+      const ssize_t written =
+          ::write(fd, data.data() + offset, data.size() - offset);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("write to '" + tmp_path +
+                               "' failed: " + std::strerror(errno));
+      }
+      offset += static_cast<size_t>(written);
+    }
+    SIMQ_RETURN_IF_FAILPOINT("save.sync");
+    if (::fsync(fd) != 0) {
+      return Status::IoError("fsync of '" + tmp_path +
+                             "' failed: " + std::strerror(errno));
+    }
+    return Status::Ok();
+  }();
+  if (::close(fd) != 0 && status.ok()) {
+    status = Status::IoError("close of '" + tmp_path +
+                             "' failed: " + std::strerror(errno));
+  }
+  if (status.ok()) {
+    if (SIMQ_FAILPOINT_FIRED("save.rename")) {
+      status = Status::IoError("injected failure at failpoint 'save.rename'");
+    } else if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+      status = Status::IoError("rename of '" + tmp_path + "' to '" + path +
+                               "' failed: " + std::strerror(errno));
+    }
+  }
+  if (!status.ok()) {
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  // Persist the rename itself: fsync the parent directory so the new
+  // directory entry survives a crash. Best-effort -- some filesystems
+  // refuse O_RDONLY opens of directories.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::Ok();
+}
+
+// Reads the whole file into `out`, sized from fstat -- allocations are
+// bounded by the bytes actually on disk, never by counts inside them.
+Status ReadFile(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("cannot open snapshot '" + path + "'");
+    }
+    return Status::IoError("cannot open snapshot '" + path +
+                           "': " + std::strerror(errno));
+  }
+  Status status = [&]() -> Status {
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      return Status::IoError("fstat of '" + path +
+                             "' failed: " + std::strerror(errno));
+    }
+    out->resize(static_cast<size_t>(st.st_size));
+    size_t offset = 0;
+    while (offset < out->size()) {
+      const ssize_t n =
+          ::read(fd, out->data() + offset, out->size() - offset);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("read of '" + path +
+                               "' failed: " + std::strerror(errno));
+      }
+      if (n == 0) {
+        // Shrank under us; parse what we got and let validation decide.
+        out->resize(offset);
+        break;
+      }
+      offset += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }();
+  ::close(fd);
+  return status;
+}
+
+}  // namespace
+
+Status SaveDatabase(const Database& db, const std::string& path,
+                    int format_version) {
+  if (format_version < 1 || format_version > 3) {
+    return Status::InvalidArgument("unsupported snapshot format version " +
+                                   std::to_string(format_version));
+  }
+  const FeatureConfig& config = db.config();
+  const std::vector<std::string> names = db.RelationNames();
+
+  BufferWriter file;
+  if (format_version == 3) {
+    file.Bytes(kMagicV3, kMagicLength);
+    BufferWriter header;
+    header.I32(config.num_coefficients);
+    header.I32(static_cast<int32_t>(config.space));
+    header.U8(config.include_mean_std ? 1 : 0);
+    header.U64(names.size());
+    AppendSection(header.buffer(), &file);
+    for (const std::string& name : names) {
+      BufferWriter section;
+      AppendRelationBlock(name, *db.GetRelation(name), format_version,
+                          &section);
+      AppendSection(section.buffer(), &file);
+    }
   } else {
-    return Status::InvalidArgument("'" + path + "' is not a simq snapshot");
+    file.Bytes(format_version == 2 ? kMagicV2 : kMagicV1, kMagicLength);
+    file.I32(config.num_coefficients);
+    file.I32(static_cast<int32_t>(config.space));
+    file.U8(config.include_mean_std ? 1 : 0);
+    file.U64(names.size());
+    for (const std::string& name : names) {
+      AppendRelationBlock(name, *db.GetRelation(name), format_version,
+                          &file);
+    }
   }
+  return AtomicWriteFile(path, file.buffer());
+}
+
+Result<Database> LoadDatabase(const std::string& path) {
+  std::string bytes;
+  SIMQ_RETURN_IF_ERROR(ReadFile(path, &bytes));
+  if (bytes.size() < kMagicLength) {
+    return Status::Corruption("'" + path + "' is not a simq snapshot");
+  }
+  int version = 0;
+  if (std::memcmp(bytes.data(), kMagicV1, kMagicLength) == 0) {
+    version = 1;
+  } else if (std::memcmp(bytes.data(), kMagicV2, kMagicLength) == 0) {
+    version = 2;
+  } else if (std::memcmp(bytes.data(), kMagicV3, kMagicLength) == 0) {
+    version = 3;
+  } else {
+    return Status::Corruption("'" + path + "' is not a simq snapshot");
+  }
+  BufferReader file(bytes.data() + kMagicLength, bytes.size() - kMagicLength);
 
   FeatureConfig config;
   int32_t space = 0;
   uint8_t include_mean_std = 0;
-  SIMQ_RETURN_IF_ERROR(reader.I32(&config.num_coefficients));
-  SIMQ_RETURN_IF_ERROR(reader.I32(&space));
-  SIMQ_RETURN_IF_ERROR(reader.U8(&include_mean_std));
+  uint64_t relation_count = 0;
+
+  if (version == 3) {
+    const char* header_bytes = nullptr;
+    size_t header_size = 0;
+    SIMQ_RETURN_IF_ERROR(ReadSection(&file, &header_bytes, &header_size));
+    BufferReader header(header_bytes, header_size);
+    SIMQ_RETURN_IF_ERROR(header.I32(&config.num_coefficients));
+    SIMQ_RETURN_IF_ERROR(header.I32(&space));
+    SIMQ_RETURN_IF_ERROR(header.U8(&include_mean_std));
+    SIMQ_RETURN_IF_ERROR(header.U64(&relation_count));
+    if (header.remaining() != 0) {
+      return Status::Corruption("snapshot header has trailing bytes");
+    }
+  } else {
+    SIMQ_RETURN_IF_ERROR(file.I32(&config.num_coefficients));
+    SIMQ_RETURN_IF_ERROR(file.I32(&space));
+    SIMQ_RETURN_IF_ERROR(file.U8(&include_mean_std));
+    SIMQ_RETURN_IF_ERROR(file.U64(&relation_count));
+  }
   if (config.num_coefficients <= 0 || space < 0 || space > 1) {
-    return Status::InvalidArgument("snapshot has a corrupt configuration");
+    return Status::Corruption("snapshot has a corrupt configuration");
   }
   config.space = static_cast<FeatureSpace>(space);
   config.include_mean_std = include_mean_std != 0;
 
   Database db(config);
-  uint64_t relation_count = 0;
-  SIMQ_RETURN_IF_ERROR(reader.U64(&relation_count));
   for (uint64_t r = 0; r < relation_count; ++r) {
-    std::string relation_name;
-    SIMQ_RETURN_IF_ERROR(reader.String(&relation_name));
-    int32_t series_length = 0;
-    SIMQ_RETURN_IF_ERROR(reader.I32(&series_length));
-    uint64_t record_count = 0;
-    SIMQ_RETURN_IF_ERROR(reader.U64(&record_count));
-    StatsSummary stored_stats;
-    if (version == 2) {
-      SIMQ_RETURN_IF_ERROR(reader.Bytes(&stored_stats, sizeof(stored_stats)));
-    }
-    SIMQ_RETURN_IF_ERROR(db.CreateRelation(relation_name));
-
-    std::vector<TimeSeries> series(record_count);
-    for (uint64_t i = 0; i < record_count; ++i) {
-      if (version == 2) {
-        uint64_t id = 0;
-        SIMQ_RETURN_IF_ERROR(reader.U64(&id));
-        // The engine assigns dense ids in insertion order; a snapshot with
-        // any other sequence is corrupt (and restoring it would silently
-        // renumber the records).
-        if (id != i) {
-          return Status::InvalidArgument(
-              "snapshot record ids are not the dense insertion sequence in "
-              "relation '" + relation_name + "'");
-        }
+    if (version == 3) {
+      const char* section_bytes = nullptr;
+      size_t section_size = 0;
+      SIMQ_RETURN_IF_ERROR(ReadSection(&file, &section_bytes, &section_size));
+      BufferReader section(section_bytes, section_size);
+      SIMQ_RETURN_IF_ERROR(ParseRelationBlock(&section, version, &db));
+      if (section.remaining() != 0) {
+        return Status::Corruption("snapshot relation section has trailing "
+                                  "bytes");
       }
-      SIMQ_RETURN_IF_ERROR(reader.String(&series[i].id));
-      SIMQ_RETURN_IF_ERROR(reader.Doubles(&series[i].values));
-      if (series[i].length() != series_length) {
-        return Status::InvalidArgument(
-            "snapshot record length mismatch in relation '" + relation_name +
-            "'");
-      }
+    } else {
+      SIMQ_RETURN_IF_ERROR(ParseRelationBlock(&file, version, &db));
     }
-    SIMQ_RETURN_IF_ERROR(db.BulkLoad(relation_name, series));
-    if (version == 2 && record_count > 0) {
-      const StatsSummary recomputed =
-          SummarizeRelation(*db.GetRelation(relation_name));
-      // Bit-pattern comparison (not ==): NaN stats from NaN-bearing series
-      // must round-trip like any other value.
-      if (std::memcmp(&recomputed, &stored_stats, sizeof(recomputed)) != 0) {
-        return Status::InvalidArgument(
-            "snapshot relation stats do not match the restored records in "
-            "relation '" + relation_name + "'");
-      }
-    }
+  }
+  if (version == 3 && file.remaining() != 0) {
+    return Status::Corruption("snapshot has trailing bytes after the last "
+                              "section");
   }
   return db;
 }

@@ -6,9 +6,15 @@
 /// single-machine, native-endian snapshot -- a checkpoint/restore facility,
 /// not an interchange format.
 ///
-/// Two on-disk versions exist. SaveDatabase writes SIMQDB2 by default;
-/// LoadDatabase reads both (SIMQDB1 snapshots from older builds keep
-/// loading unchanged).
+/// Three on-disk versions exist. SaveDatabase writes SIMQDB3 by default;
+/// LoadDatabase reads all three (SIMQDB1/SIMQDB2 snapshots from older
+/// builds keep loading unchanged).
+///
+/// Every save is atomic: the snapshot is serialized in memory, written to
+/// `path + ".tmp"`, fsynced, then renamed over `path` (and the parent
+/// directory fsynced). A crash at any point leaves either the old snapshot
+/// or the new one -- never a truncated hybrid. On failure the temp file is
+/// unlinked and the original snapshot is untouched.
 ///
 /// SIMQDB1 layout (all integers little-endian on the machines we target):
 ///   magic "SIMQDB1\n"
@@ -29,6 +35,20 @@
 ///     u32 name_length, bytes name, i32 series_length, u64 record_count
 ///     f64 mean_min, f64 mean_max, f64 std_min, f64 std_max   (0s if empty)
 ///     per record: u64 id, u32 name_length, bytes name, u64 n, n doubles
+///
+/// SIMQDB3 wraps the SIMQDB2 content in checksummed, length-framed
+/// sections so corruption is detected before any bytes are interpreted:
+///   magic "SIMQDB3\n"
+///   per section: u32 payload_length, u32 crc32(payload), payload bytes
+///   section 0 payload: i32 num_coefficients, i32 space,
+///                      u8 include_mean_std, u64 relation_count
+///   sections 1..relation_count: one per relation, payload identical to
+///                      the SIMQDB2 per-relation block above
+/// A section whose framing runs past end-of-file, whose CRC does not
+/// match, or whose payload has trailing bytes makes the load fail with
+/// kCorruption. All load-time validation failures (any version) return
+/// kCorruption; a missing file returns kNotFound; OS-level read/write
+/// failures return kIoError.
 
 #ifndef SIMQ_CORE_PERSISTENCE_H_
 #define SIMQ_CORE_PERSISTENCE_H_
@@ -40,14 +60,15 @@
 
 namespace simq {
 
-// Writes a snapshot of `db` to `path` (overwriting). `format_version`
-// selects the on-disk layout: 2 (default, SIMQDB2) or 1 (SIMQDB1, for
-// snapshots consumed by older builds).
+// Writes a snapshot of `db` to `path` atomically (overwriting).
+// `format_version` selects the on-disk layout: 3 (default, SIMQDB3,
+// checksummed), 2 (SIMQDB2) or 1 (SIMQDB1) for snapshots consumed by
+// older builds.
 Status SaveDatabase(const Database& db, const std::string& path,
-                    int format_version = 2);
+                    int format_version = 3);
 
-// Restores a database from a snapshot (either version); indexes are
-// rebuilt via bulk load.
+// Restores a database from a snapshot (any version); indexes are rebuilt
+// via bulk load.
 Result<Database> LoadDatabase(const std::string& path);
 
 }  // namespace simq

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/exec_context.h"
 #include "core/transformation.h"
 
 namespace simq {
@@ -105,6 +106,12 @@ struct Query {
   // the chosen strategy, traversal engine, and cache status instead of --
   // or alongside -- the answer set.
   bool explain = false;
+
+  // Deadline / cancellation handle, polled at block boundaries during
+  // execution (core/exec_context.h). Null means unbounded. Not part of the
+  // query's semantic identity: the service's cache / prepared-statement
+  // fingerprints ignore it.
+  std::shared_ptr<const ExecutionContext> exec;
 };
 
 struct Match {
@@ -131,6 +138,10 @@ struct ExecutionStats {
   // packed codes were bound-scanned. candidates / filter_scanned is the
   // survivor rate; 1 - that is the pruning ratio EXPLAIN reports.
   int64_t filter_scanned = 0;
+  // True when a packed-snapshot or quantized-code compile failed and the
+  // engine fell back to the pointer-tree / exact-scan path for this query
+  // (answers are identical; only the acceleration was lost).
+  bool degraded = false;
 };
 
 struct QueryResult {

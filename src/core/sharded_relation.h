@@ -95,6 +95,18 @@ class RelationShard {
     return quantized_.Get(store_, bits);
   }
 
+  /// Degradation-aware variants: null when the (re)compile fails -- the
+  /// "packed.compile" / "filter.compile" failpoints, standing in for any
+  /// future real compile failure. Callers (core/database.cc engine
+  /// resolution) fall back to the pointer tree / exact scan and count the
+  /// degradation instead of aborting.
+  const PackedRTree* packed_index_or_null() const {
+    return packed_.TryGet(*index_);
+  }
+  const QuantizedCodes* quantized_codes_or_null(int bits) const {
+    return quantized_.TryGet(store_, bits);
+  }
+
   int64_t size() const { return static_cast<int64_t>(global_ids_.size()); }
   int64_t global_id(int64_t local) const {
     return global_ids_[static_cast<size_t>(local)];

@@ -1,0 +1,408 @@
+#include "core/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "core/persistence.h"
+#include "util/crc32.h"
+#include "util/failpoint.h"
+
+namespace simq {
+namespace {
+
+constexpr char kWalMagic[] = "SIMQWAL1";
+constexpr size_t kWalMagicLength = 8;
+
+constexpr uint8_t kRecordCreateRelation = 1;
+constexpr uint8_t kRecordInsert = 2;
+constexpr uint8_t kRecordBulkLoad = 3;
+
+void AppendU8(std::string* out, uint8_t value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+void AppendU32(std::string* out, uint32_t value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+void AppendU64(std::string* out, uint64_t value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+void AppendString(std::string* out, const std::string& value) {
+  AppendU32(out, static_cast<uint32_t>(value.size()));
+  out->append(value);
+}
+void AppendSeries(std::string* out, const TimeSeries& series) {
+  AppendString(out, series.id);
+  AppendU64(out, series.values.size());
+  out->append(reinterpret_cast<const char*>(series.values.data()),
+              series.values.size() * sizeof(double));
+}
+
+// Bounds-checked parser over a frame payload whose CRC already passed;
+// any failure here is real corruption, not a torn write.
+class PayloadReader {
+ public:
+  PayloadReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  Status Bytes(void* out, size_t size) {
+    if (size > remaining()) {
+      return Status::Corruption("WAL frame payload truncated");
+    }
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+    return Status::Ok();
+  }
+  Status U8(uint8_t* value) { return Bytes(value, sizeof(*value)); }
+  Status U64(uint64_t* value) { return Bytes(value, sizeof(*value)); }
+  Status String(std::string* value) {
+    uint32_t length = 0;
+    SIMQ_RETURN_IF_ERROR(Bytes(&length, sizeof(length)));
+    if (length > remaining()) {
+      return Status::Corruption("WAL frame string extends past payload");
+    }
+    value->assign(data_ + pos_, length);
+    pos_ += length;
+    return Status::Ok();
+  }
+  Status Series(TimeSeries* series) {
+    SIMQ_RETURN_IF_ERROR(String(&series->id));
+    uint64_t count = 0;
+    SIMQ_RETURN_IF_ERROR(U64(&count));
+    if (count > remaining() / sizeof(double)) {
+      return Status::Corruption("WAL frame array extends past payload");
+    }
+    series->values.resize(count);
+    return count == 0
+               ? Status::Ok()
+               : Bytes(series->values.data(), count * sizeof(double));
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Parses one payload (CRC already verified) and applies it to `db`.
+Status ApplyFrame(const char* payload, size_t size, Database* db) {
+  PayloadReader reader(payload, size);
+  uint8_t type = 0;
+  SIMQ_RETURN_IF_ERROR(reader.U8(&type));
+  switch (type) {
+    case kRecordCreateRelation: {
+      std::string name;
+      SIMQ_RETURN_IF_ERROR(reader.String(&name));
+      return db->CreateRelation(name);
+    }
+    case kRecordInsert: {
+      std::string relation;
+      SIMQ_RETURN_IF_ERROR(reader.String(&relation));
+      TimeSeries series;
+      SIMQ_RETURN_IF_ERROR(reader.Series(&series));
+      Result<int64_t> id = db->Insert(relation, series);
+      return id.ok() ? Status::Ok() : id.status();
+    }
+    case kRecordBulkLoad: {
+      std::string relation;
+      SIMQ_RETURN_IF_ERROR(reader.String(&relation));
+      uint64_t count = 0;
+      SIMQ_RETURN_IF_ERROR(reader.U64(&count));
+      if (count > reader.remaining() / sizeof(uint64_t)) {
+        return Status::Corruption("WAL bulk-load count extends past payload");
+      }
+      std::vector<TimeSeries> series(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        SIMQ_RETURN_IF_ERROR(reader.Series(&series[i]));
+      }
+      return db->BulkLoad(relation, series);
+    }
+    default:
+      return Status::Corruption("WAL frame has unknown record type " +
+                                std::to_string(type));
+  }
+}
+
+Status ReadWholeFile(const std::string& path, std::string* out,
+                     bool* exists) {
+  *exists = false;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::Ok();
+    return Status::IoError("cannot open WAL '" + path +
+                           "': " + std::strerror(errno));
+  }
+  *exists = true;
+  Status status = [&]() -> Status {
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      return Status::IoError("fstat of WAL '" + path +
+                             "' failed: " + std::strerror(errno));
+    }
+    out->resize(static_cast<size_t>(st.st_size));
+    size_t offset = 0;
+    while (offset < out->size()) {
+      const ssize_t n =
+          ::read(fd, out->data() + offset, out->size() - offset);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("read of WAL '" + path +
+                               "' failed: " + std::strerror(errno));
+      }
+      if (n == 0) {
+        out->resize(offset);
+        break;
+      }
+      offset += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }();
+  ::close(fd);
+  return status;
+}
+
+}  // namespace
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path) {
+  SIMQ_RETURN_IF_FAILPOINT("wal.open");
+  const int fd =
+      ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open WAL '" + path +
+                           "': " + std::strerror(errno));
+  }
+  WalWriter writer;
+  writer.fd_ = fd;
+  writer.path_ = path;
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    return Status::IoError("fstat of WAL '" + path +
+                           "' failed: " + std::strerror(errno));
+  }
+  if (st.st_size < static_cast<off_t>(kWalMagicLength)) {
+    // New file, or one whose very first magic write was itself torn (there
+    // cannot have been any frames yet); start it fresh.
+    if (::ftruncate(fd, 0) != 0) {
+      return Status::IoError("ftruncate of WAL '" + path +
+                             "' failed: " + std::strerror(errno));
+    }
+    size_t offset = 0;
+    while (offset < kWalMagicLength) {
+      const ssize_t n =
+          ::write(fd, kWalMagic + offset, kWalMagicLength - offset);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("write of WAL magic to '" + path +
+                               "' failed: " + std::strerror(errno));
+      }
+      offset += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+      return Status::IoError("fsync of WAL '" + path +
+                             "' failed: " + std::strerror(errno));
+    }
+  } else {
+    char magic[kWalMagicLength];
+    if (::pread(fd, magic, kWalMagicLength, 0) !=
+        static_cast<ssize_t>(kWalMagicLength)) {
+      return Status::IoError("read of WAL magic from '" + path +
+                             "' failed: " + std::strerror(errno));
+    }
+    if (std::memcmp(magic, kWalMagic, kWalMagicLength) != 0) {
+      return Status::Corruption("'" + path + "' is not a simq WAL");
+    }
+  }
+  return writer;
+}
+
+Status WalWriter::AppendFrame(const std::string& payload) {
+  SIMQ_CHECK(fd_ >= 0) << "append to a WAL that is not open";
+  SIMQ_RETURN_IF_FAILPOINT("wal.append");
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  AppendU32(&frame, static_cast<uint32_t>(payload.size()));
+  AppendU32(&frame, Crc32(payload.data(), payload.size()));
+  frame.append(payload);
+
+  // The torn-append failpoint writes only a prefix of the frame and then
+  // reports failure -- exactly the on-disk state a crash mid-append
+  // leaves, which replay must detect and truncate.
+  size_t write_length = frame.size();
+  const bool torn = SIMQ_FAILPOINT_FIRED("wal.append.torn");
+  if (torn) {
+    write_length = frame.size() / 2;
+  }
+  size_t offset = 0;
+  while (offset < write_length) {
+    const ssize_t n =
+        ::write(fd_, frame.data() + offset, write_length - offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("append to WAL '" + path_ +
+                             "' failed: " + std::strerror(errno));
+    }
+    offset += static_cast<size_t>(n);
+  }
+  if (torn) {
+    return Status::IoError(
+        "injected torn append at failpoint 'wal.append.torn'");
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::AppendCreateRelation(const std::string& name) {
+  std::string payload;
+  AppendU8(&payload, kRecordCreateRelation);
+  AppendString(&payload, name);
+  return AppendFrame(payload);
+}
+
+Status WalWriter::AppendInsert(const std::string& relation,
+                               const TimeSeries& series) {
+  std::string payload;
+  AppendU8(&payload, kRecordInsert);
+  AppendString(&payload, relation);
+  AppendSeries(&payload, series);
+  return AppendFrame(payload);
+}
+
+Status WalWriter::AppendBulkLoad(const std::string& relation,
+                                 const std::vector<TimeSeries>& series) {
+  std::string payload;
+  AppendU8(&payload, kRecordBulkLoad);
+  AppendString(&payload, relation);
+  AppendU64(&payload, series.size());
+  for (const TimeSeries& s : series) {
+    AppendSeries(&payload, s);
+  }
+  return AppendFrame(payload);
+}
+
+Status WalWriter::Sync() {
+  SIMQ_CHECK(fd_ >= 0) << "sync of a WAL that is not open";
+  SIMQ_RETURN_IF_FAILPOINT("wal.sync");
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError("fdatasync of WAL '" + path_ +
+                           "' failed: " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::Truncate() {
+  SIMQ_CHECK(fd_ >= 0) << "truncate of a WAL that is not open";
+  if (::ftruncate(fd_, static_cast<off_t>(kWalMagicLength)) != 0) {
+    return Status::IoError("ftruncate of WAL '" + path_ +
+                           "' failed: " + std::strerror(errno));
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("fsync of WAL '" + path_ +
+                           "' failed: " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status ReplayWal(const std::string& path, Database* db,
+                 WalReplayStats* stats) {
+  WalReplayStats local;
+  std::string bytes;
+  bool exists = false;
+  SIMQ_RETURN_IF_ERROR(ReadWholeFile(path, &bytes, &exists));
+  if (!exists) {
+    if (stats != nullptr) *stats = local;
+    return Status::Ok();
+  }
+  if (bytes.size() < kWalMagicLength) {
+    // The magic write itself was torn; there cannot have been any frames.
+    local.torn_tail = true;
+    local.truncated_bytes = bytes.size();
+    if (::truncate(path.c_str(), 0) != 0) {
+      return Status::IoError("truncate of WAL '" + path +
+                             "' failed: " + std::strerror(errno));
+    }
+    if (stats != nullptr) *stats = local;
+    return Status::Ok();
+  }
+  if (std::memcmp(bytes.data(), kWalMagic, kWalMagicLength) != 0) {
+    return Status::Corruption("'" + path + "' is not a simq WAL");
+  }
+
+  size_t offset = kWalMagicLength;
+  while (offset < bytes.size()) {
+    // Framing or CRC failure past this point is a torn tail: stop here and
+    // keep everything before it.
+    if (bytes.size() - offset < 8) break;
+    uint32_t length = 0;
+    uint32_t crc = 0;
+    std::memcpy(&length, bytes.data() + offset, 4);
+    std::memcpy(&crc, bytes.data() + offset + 4, 4);
+    if (length > bytes.size() - offset - 8) break;
+    const char* payload = bytes.data() + offset + 8;
+    if (Crc32(payload, length) != crc) break;
+
+    // The frame is intact; a parse or apply failure now means the log does
+    // not match its snapshot -- real corruption, reported, not truncated.
+    Status applied = ApplyFrame(payload, length, db);
+    if (!applied.ok()) {
+      return Status(StatusCode::kCorruption,
+                    "WAL frame " + std::to_string(local.frames_applied) +
+                        " does not apply: " + applied.ToString());
+    }
+    local.frames_applied++;
+    offset += 8 + length;
+  }
+  local.valid_bytes = offset;
+  if (offset < bytes.size()) {
+    local.torn_tail = true;
+    local.truncated_bytes = bytes.size() - offset;
+    if (::truncate(path.c_str(), static_cast<off_t>(offset)) != 0) {
+      return Status::IoError("truncate of WAL '" + path +
+                             "' failed: " + std::strerror(errno));
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::Ok();
+}
+
+Result<Database> OpenDurableDatabase(const FeatureConfig& config,
+                                     const std::string& snapshot_path,
+                                     const std::string& wal_path,
+                                     WalReplayStats* stats) {
+  Result<Database> loaded = LoadDatabase(snapshot_path);
+  if (!loaded.ok() && loaded.status().code() != StatusCode::kNotFound) {
+    return loaded.status();
+  }
+  Database db = loaded.ok() ? std::move(loaded).value() : Database(config);
+  SIMQ_RETURN_IF_ERROR(ReplayWal(wal_path, &db, stats));
+  return db;
+}
+
+}  // namespace simq

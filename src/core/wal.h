@@ -1,0 +1,106 @@
+/// Checksummed append-only write-ahead log for mutations between snapshots.
+///
+/// The durability story (DESIGN.md "Durability & fault handling"): the
+/// snapshot (core/persistence.h) is the checkpoint; the WAL records every
+/// mutation applied since. On open, the snapshot is loaded and the WAL
+/// replayed on top, so a kill -9 at any point loses at most the
+/// unacknowledged tail of the log and never yields a silently wrong
+/// database.
+///
+/// On-disk layout:
+///   magic "SIMQWAL1"
+///   per frame: u32 payload_length, u32 crc32(payload), payload bytes
+///   payload:   u8 record_type, then type-specific fields
+///     type 1 create-relation: u32 name_len, bytes name
+///     type 2 insert:          u32 rel_len, bytes rel, u32 id_len, bytes id,
+///                             u64 n, n doubles
+///     type 3 bulk-load:       u32 rel_len, bytes rel, u64 count,
+///                             per series: u32 id_len, bytes id, u64 n,
+///                             n doubles
+///
+/// Replay rules: frames are applied in order until the first frame whose
+/// framing runs past end-of-file or whose CRC fails -- that is a torn tail
+/// from a crash mid-append, and replay truncates the file back to the last
+/// valid frame so later appends never follow garbage. A frame whose CRC
+/// passes but whose payload cannot be parsed or applied is real corruption
+/// (kCorruption) -- the log does not match its snapshot, and replay stops
+/// without guessing.
+
+#ifndef SIMQ_CORE_WAL_H_
+#define SIMQ_CORE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "ts/time_series.h"
+#include "util/status.h"
+
+namespace simq {
+
+// What ReplayWal found and did.
+struct WalReplayStats {
+  uint64_t frames_applied = 0;   // valid frames applied to the database
+  uint64_t valid_bytes = 0;      // file prefix covered by valid frames
+  bool torn_tail = false;        // trailing bytes failed framing/CRC
+  uint64_t truncated_bytes = 0;  // torn bytes removed from the file
+};
+
+// Appends checksummed mutation frames to a WAL file. Not thread-safe; the
+// owner (the query service) serializes appends under its write lock.
+// Movable, not copyable. Destroying the writer closes the file without
+// syncing -- call Sync() at every acknowledgement point.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Opens `path` for appending, creating it (with the magic) if missing.
+  // An existing file must start with the WAL magic; replay and torn-tail
+  // truncation are ReplayWal's job and must happen before Open so appends
+  // land after the last valid frame.
+  static Result<WalWriter> Open(const std::string& path);
+
+  bool is_open() const { return fd_ >= 0; }
+
+  Status AppendCreateRelation(const std::string& name);
+  Status AppendInsert(const std::string& relation, const TimeSeries& series);
+  Status AppendBulkLoad(const std::string& relation,
+                        const std::vector<TimeSeries>& series);
+
+  // Makes every appended frame durable (fdatasync).
+  Status Sync();
+
+  // Empties the log back to just the magic (after a checkpoint snapshot
+  // has made the logged mutations durable elsewhere) and syncs.
+  Status Truncate();
+
+ private:
+  Status AppendFrame(const std::string& payload);
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+// Applies the valid prefix of the WAL at `path` to `db`, truncating any
+// torn tail (see replay rules above). A missing file is not an error --
+// the stats simply stay zero. `stats` may be null.
+Status ReplayWal(const std::string& path, Database* db,
+                 WalReplayStats* stats);
+
+// Convenience for tests and recovery tools: loads the snapshot at
+// `snapshot_path` if it exists (otherwise starts an empty database with
+// `config`), then replays the WAL at `wal_path` on top.
+Result<Database> OpenDurableDatabase(const FeatureConfig& config,
+                                     const std::string& snapshot_path,
+                                     const std::string& wal_path,
+                                     WalReplayStats* stats);
+
+}  // namespace simq
+
+#endif  // SIMQ_CORE_WAL_H_

@@ -38,6 +38,8 @@
 
 #include "core/feature_store.h"
 #include "filter/quantizer.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
 
 namespace simq {
 
@@ -123,6 +125,17 @@ class QuantizedCodesCache {
   /// after an Invalidate() -- i.e. for as long as the caller may hold it
   /// under the owner's shared lock.
   const QuantizedCodes& Get(const FeatureStore& store, int bits) const {
+    const QuantizedCodes* codes = TryGet(store, bits, /*can_fail=*/false);
+    SIMQ_CHECK(codes != nullptr);
+    return *codes;
+  }
+
+  /// Degradation-aware Get: returns null when the compile fails (the
+  /// "filter.compile" failpoint). The caller falls back to the exact scan
+  /// path. Reusing already-compiled codes never fails -- only compiles
+  /// evaluate the failpoint.
+  const QuantizedCodes* TryGet(const FeatureStore& store, int bits,
+                               bool can_fail = true) const {
     bits = std::clamp(bits, ScalarQuantizer::kMinBits,
                       ScalarQuantizer::kMaxBits);
     std::lock_guard<std::mutex> lock(mutex_);
@@ -135,9 +148,12 @@ class QuantizedCodesCache {
     std::unique_ptr<QuantizedCodes>& slot =
         codes_[static_cast<size_t>(bits - ScalarQuantizer::kMinBits)];
     if (slot == nullptr) {
+      if (can_fail && SIMQ_FAILPOINT_FIRED("filter.compile")) {
+        return nullptr;
+      }
       slot = std::make_unique<QuantizedCodes>(store, bits);
     }
-    return *slot;
+    return slot.get();
   }
 
  private:

@@ -67,6 +67,7 @@
 #include "geom/rect.h"
 #include "geom/search_region.h"
 #include "index/knn_best_first.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace simq {
@@ -437,12 +438,27 @@ class PackedSnapshotCache {
   /// mutation invalidated it (or none was built yet). The reference stays
   /// valid until the next Get() after an Invalidate().
   const PackedRTree& Get(const RTree& tree) const {
+    const PackedRTree* snapshot = TryGet(tree, /*can_fail=*/false);
+    SIMQ_CHECK(snapshot != nullptr);
+    return *snapshot;
+  }
+
+  /// Degradation-aware Get: returns null when the compile fails (today
+  /// that means the "packed.compile" failpoint fired; a real allocation
+  /// failure would land here too if compiles ever became fallible). The
+  /// caller falls back to the pointer tree. A cached snapshot that is
+  /// still fresh is returned without re-evaluating the failpoint -- only
+  /// compiles can fail, not reuse.
+  const PackedRTree* TryGet(const RTree& tree, bool can_fail = true) const {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stale_ || snapshot_ == nullptr) {
+      if (can_fail && SIMQ_FAILPOINT_FIRED("packed.compile")) {
+        return nullptr;
+      }
       snapshot_ = std::make_unique<PackedRTree>(tree);
       stale_ = false;
     }
-    return *snapshot_;
+    return snapshot_.get();
   }
 
  private:

@@ -1,9 +1,12 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
 #include <utility>
 
 #include "core/parser.h"
+#include "core/persistence.h"
 #include "service/fingerprint.h"
 #include "ts/transforms.h"
 #include "util/stats.h"
@@ -11,6 +14,15 @@
 #include "util/thread_pool.h"
 
 namespace simq {
+
+namespace {
+
+std::chrono::steady_clock::duration MillisToDuration(double millis) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(millis));
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Session
@@ -45,8 +57,70 @@ Result<int64_t> Session::Prepare(const std::string& text) {
   return id;
 }
 
+std::shared_ptr<ExecutionContext> Session::BeginExecution(
+    const ExecOptions& options) {
+  auto ctx = std::make_shared<ExecutionContext>();
+  const double deadline_ms = service_->ResolveDeadlineMs(options);
+  if (deadline_ms > 0) {
+    ctx->set_deadline_after(MillisToDuration(deadline_ms));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cancel_requested_) {
+    ctx->Cancel();
+  }
+  inflight_.push_back(ctx);
+  return ctx;
+}
+
+void Session::EndExecution(const ExecutionContext* ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < inflight_.size(); ++i) {
+    if (inflight_[i].get() == ctx) {
+      inflight_[i] = std::move(inflight_.back());
+      inflight_.pop_back();
+      return;
+    }
+  }
+}
+
+void Session::Cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancel_requested_ = true;
+    for (const std::shared_ptr<ExecutionContext>& ctx : inflight_) {
+      ctx->Cancel();
+    }
+  }
+  // Wake queued executions so a cancelled query never waits out the
+  // admission timeout holding a client thread.
+  service_->admission_cv_.notify_all();
+}
+
+void Session::ResetCancel() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cancel_requested_ = false;
+}
+
+// Pairs every BeginExecution with EndExecution, on every return path --
+// including an exception escaping the engine.
+class Session::ScopedExecution {
+ public:
+  ScopedExecution(Session* session, const ExecOptions& options)
+      : session_(session), ctx_(session->BeginExecution(options)) {}
+  ~ScopedExecution() { session_->EndExecution(ctx_.get()); }
+  ScopedExecution(const ScopedExecution&) = delete;
+  ScopedExecution& operator=(const ScopedExecution&) = delete;
+
+  const std::shared_ptr<ExecutionContext>& ctx() const { return ctx_; }
+
+ private:
+  Session* session_;
+  std::shared_ptr<ExecutionContext> ctx_;
+};
+
 Result<ServiceResult> Session::ExecutePrepared(int64_t statement_id,
-                                               const BindParams& params) {
+                                               const BindParams& params,
+                                               const ExecOptions& options) {
   Query query;
   std::vector<double> normalized_literal;
   {
@@ -83,11 +157,21 @@ Result<ServiceResult> Session::ExecutePrepared(int64_t statement_id,
     query.query_series.literal = std::move(normalized_literal);
     query.query_prenormalized = true;
   }
+  ScopedExecution execution(this, options);
+  query.exec = execution.ctx();
   return service_->ExecuteInternal(query, /*prepared=*/true);
 }
 
-Result<ServiceResult> Session::Execute(const std::string& text) {
-  return service_->ExecuteText(text);
+Result<ServiceResult> Session::Execute(const std::string& text,
+                                       const ExecOptions& options) {
+  Result<Query> parsed = service_->ParseTracked(text);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  Query query = std::move(parsed).value();
+  ScopedExecution execution(this, options);
+  query.exec = execution.ctx();
+  return service_->ExecuteInternal(query, /*prepared=*/false);
 }
 
 Status Session::Close(int64_t statement_id) {
@@ -103,25 +187,64 @@ Status Session::Close(int64_t statement_id) {
 // QueryService
 // ---------------------------------------------------------------------------
 
-// Blocks until the service is below its concurrency limit, then divides
+// Waits until the service is below its concurrency limit, then divides
 // the pool between the queries now running: with R running queries the
 // newcomer gets floor(threads / R) threads (at least 1). The budget is
 // computed at admission and kept for the query's lifetime -- a fixed
 // contract per execution rather than a moving target.
+//
+// The wait is bounded by three exits, each yielding its typed error
+// without ever incrementing the running count: the admission timeout
+// (kOverloaded), the query's own deadline (kTimeout -- queue time counts
+// against the budget), and cancellation (kCancelled; Session::Cancel
+// notifies the condvar so the waiter wakes promptly).
 class QueryService::AdmissionSlot {
  public:
-  explicit AdmissionSlot(QueryService* service) : service_(service) {
+  AdmissionSlot(QueryService* service, const ExecutionContext* exec)
+      : service_(service) {
+    using Clock = std::chrono::steady_clock;
+    const double timeout_ms = service_->options_.admission_timeout_ms;
+    const Clock::time_point overload_at =
+        timeout_ms > 0 ? Clock::now() + MillisToDuration(timeout_ms)
+                       : Clock::time_point::max();
+    const Clock::time_point deadline_at =
+        exec != nullptr && exec->has_deadline() ? exec->deadline()
+                                                : Clock::time_point::max();
+    const Clock::time_point wait_until = std::min(overload_at, deadline_at);
+
     std::unique_lock<std::mutex> lock(service_->admission_mutex_);
     waited_ = service_->running_queries_ >= service_->max_concurrent_;
-    service_->admission_cv_.wait(lock, [this] {
-      return service_->running_queries_ < service_->max_concurrent_;
-    });
+    while (service_->running_queries_ >= service_->max_concurrent_) {
+      if (exec != nullptr && exec->cancelled()) {
+        status_ = Status::Cancelled("query cancelled while queued");
+        return;
+      }
+      if (wait_until == Clock::time_point::max()) {
+        service_->admission_cv_.wait(lock);
+      } else if (service_->admission_cv_.wait_until(lock, wait_until) ==
+                 std::cv_status::timeout) {
+        if (Clock::now() >= deadline_at) {
+          status_ = Status::Timeout(
+              "query deadline exceeded while queued for admission");
+        } else {
+          status_ = Status::Overloaded(
+              "admission wait exceeded " +
+              std::to_string(static_cast<int64_t>(timeout_ms)) +
+              " ms; service at max_concurrent_queries");
+        }
+        return;
+      }
+    }
+    admitted_ = true;
     ++service_->running_queries_;
     budget_ = std::max(
         1, ThreadPool::Global().num_threads() / service_->running_queries_);
   }
 
   ~AdmissionSlot() {
+    if (!admitted_) {
+      return;  // a rejected wait holds no slot; nothing to release
+    }
     {
       std::lock_guard<std::mutex> lock(service_->admission_mutex_);
       --service_->running_queries_;
@@ -132,12 +255,16 @@ class QueryService::AdmissionSlot {
   AdmissionSlot(const AdmissionSlot&) = delete;
   AdmissionSlot& operator=(const AdmissionSlot&) = delete;
 
+  bool ok() const { return admitted_; }
+  const Status& status() const { return status_; }
   int budget() const { return budget_; }
   bool waited() const { return waited_; }
 
  private:
   QueryService* service_;
+  Status status_;
   int budget_ = 1;
+  bool admitted_ = false;
   bool waited_ = false;
 };
 
@@ -147,9 +274,19 @@ QueryService::QueryService(Database db, ServiceOptions options)
       max_concurrent_(options.max_concurrent_queries > 0
                           ? options.max_concurrent_queries
                           : ThreadPool::Global().num_threads()),
-      cache_(options.enable_result_cache ? options.result_cache_capacity
-                                         : 0) {
+      cache_(options.enable_result_cache ? options.result_cache_capacity : 0,
+             options.result_cache_max_bytes) {
   latencies_.reserve(std::max<size_t>(options_.latency_reservoir, 1));
+  if (!options_.wal_path.empty()) {
+    Result<WalWriter> wal = WalWriter::Open(options_.wal_path);
+    if (wal.ok()) {
+      wal_ = std::move(wal).value();
+    } else {
+      // Deferred failure: queries run, but every mutation returns this
+      // status (WalGate) -- never silently non-durable.
+      wal_open_status_ = wal.status();
+    }
+  }
 }
 
 QueryService::~QueryService() = default;
@@ -166,9 +303,35 @@ void QueryService::OnSessionClosed() {
   --stats_.active_sessions;
 }
 
+Status QueryService::WalGate() const {
+  if (!options_.wal_path.empty() && !wal_.is_open()) {
+    return wal_open_status_;
+  }
+  return Status::Ok();
+}
+
+Status QueryService::FinishAppend(Status append_status) {
+  if (append_status.ok() && options_.sync_wal) {
+    append_status = wal_.Sync();
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (append_status.ok()) {
+    ++stats_.wal_appends;
+  } else {
+    ++stats_.wal_failures;
+  }
+  return append_status;
+}
+
 Status QueryService::CreateRelation(const std::string& name) {
   std::unique_lock<std::shared_mutex> lock(data_mutex_);
-  const Status status = db_.CreateRelation(name);
+  Status status = WalGate();
+  if (status.ok()) {
+    status = db_.CreateRelation(name);
+  }
+  if (status.ok() && wal_.is_open()) {
+    status = FinishAppend(wal_.AppendCreateRelation(name));
+  }
   if (status.ok()) {
     lock.unlock();
     cache_.InvalidateRelation(name);
@@ -182,9 +345,20 @@ Result<int64_t> QueryService::Insert(const std::string& relation,
                                      const TimeSeries& series) {
   // The insert bumps the routed shard's epoch inside the data plane; the
   // relation epoch (the shard roll-up) therefore changes before the lock
-  // drops, so no reader can pair the new data with the old version.
+  // drops, so no reader can pair the new data with the old version. The
+  // WAL append happens under the same lock, so log order == apply order.
   std::unique_lock<std::shared_mutex> lock(data_mutex_);
+  const Status gate = WalGate();
+  if (!gate.ok()) {
+    return gate;
+  }
   Result<int64_t> result = db_.Insert(relation, series);
+  if (result.ok() && wal_.is_open()) {
+    const Status logged = FinishAppend(wal_.AppendInsert(relation, series));
+    if (!logged.ok()) {
+      return logged;
+    }
+  }
   if (result.ok()) {
     lock.unlock();
     cache_.InvalidateRelation(relation);
@@ -197,12 +371,40 @@ Result<int64_t> QueryService::Insert(const std::string& relation,
 Status QueryService::BulkLoad(const std::string& relation,
                               const std::vector<TimeSeries>& series) {
   std::unique_lock<std::shared_mutex> lock(data_mutex_);
-  const Status status = db_.BulkLoad(relation, series);
+  Status status = WalGate();
+  if (status.ok()) {
+    status = db_.BulkLoad(relation, series);
+  }
+  if (status.ok() && wal_.is_open()) {
+    status = FinishAppend(wal_.AppendBulkLoad(relation, series));
+  }
   if (status.ok()) {
     lock.unlock();
     cache_.InvalidateRelation(relation);
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.mutations;
+  }
+  return status;
+}
+
+Status QueryService::Checkpoint() {
+  if (options_.snapshot_path.empty()) {
+    return Status::InvalidArgument(
+        "checkpointing requires ServiceOptions::snapshot_path");
+  }
+  std::unique_lock<std::shared_mutex> lock(data_mutex_);
+  // Snapshot first, truncate second: a crash between the two leaves the
+  // snapshot plus a WAL whose replay re-applies already-snapshotted
+  // mutations' successors -- never a gap. (The WAL is only truncated
+  // after the snapshot's rename has committed it.)
+  Status status = SaveDatabase(db_, options_.snapshot_path);
+  if (status.ok() && wal_.is_open()) {
+    status = wal_.Truncate();
+  }
+  if (status.ok()) {
+    lock.unlock();
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.checkpoints;
   }
   return status;
 }
@@ -228,22 +430,72 @@ Result<Query> QueryService::ParseTracked(const std::string& text) {
   return parsed;
 }
 
+double QueryService::ResolveDeadlineMs(const ExecOptions& options) const {
+  return options.deadline_ms < 0 ? options_.default_deadline_ms
+                                 : options.deadline_ms;
+}
+
+void QueryService::CountTermination(const Status& status) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  switch (status.code()) {
+    case StatusCode::kTimeout:
+      ++stats_.timeouts;
+      break;
+    case StatusCode::kCancelled:
+      ++stats_.cancellations;
+      break;
+    case StatusCode::kOverloaded:
+      ++stats_.overloaded;
+      break;
+    default:
+      break;
+  }
+}
+
 Result<ServiceResult> QueryService::Execute(const Query& query) {
   return ExecuteInternal(query, /*prepared=*/false);
 }
 
-Result<ServiceResult> QueryService::ExecuteText(const std::string& text) {
+Result<ServiceResult> QueryService::Execute(const Query& query,
+                                            const ExecOptions& options) {
+  const double deadline_ms = ResolveDeadlineMs(options);
+  if (query.exec != nullptr || deadline_ms <= 0) {
+    return ExecuteInternal(query, /*prepared=*/false);
+  }
+  auto ctx = std::make_shared<ExecutionContext>();
+  ctx->set_deadline_after(MillisToDuration(deadline_ms));
+  Query bounded = query;
+  bounded.exec = std::move(ctx);
+  return ExecuteInternal(bounded, /*prepared=*/false);
+}
+
+Result<ServiceResult> QueryService::ExecuteText(const std::string& text,
+                                                const ExecOptions& options) {
   Result<Query> parsed = ParseTracked(text);
   if (!parsed.ok()) {
     return parsed.status();
   }
-  return ExecuteInternal(parsed.value(), /*prepared=*/false);
+  return Execute(parsed.value(), options);
 }
 
 Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
                                                     bool prepared) {
   Stopwatch watch;
-  AdmissionSlot slot(this);
+  const ExecutionContext* exec = query.exec.get();
+  // Fast-fail before admission: born cancelled (session in the cancelled
+  // state) or a deadline already in the past.
+  if (exec != nullptr) {
+    const Status start = exec->Check();
+    if (!start.ok()) {
+      CountTermination(start);
+      return start;
+    }
+  }
+  AdmissionSlot slot(this, exec);
+  if (!slot.ok()) {
+    CountTermination(slot.status());
+    return slot.status();
+  }
   ThreadPool::ScopedParallelismBudget budget(slot.budget());
 
   ServiceResult out;
@@ -274,19 +526,37 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
              ? "@fq" + std::to_string(db_.filter_options().bits_per_dim)
              : "");
     if (!cache_.Get(key, &out.result)) {
-      Result<QueryResult> executed = db_.Execute(query);
+      Result<QueryResult> executed = [&]() -> Result<QueryResult> {
+        try {
+          return db_.Execute(query);
+        } catch (const std::exception& e) {
+          // An exception escaping the engine (e.g. a fault-injected pool
+          // task) fails this query, not the service: the shared lock and
+          // admission slot unwind normally, the session stays usable.
+          return Status::Internal(std::string("query execution failed: ") +
+                                  e.what());
+        }
+      }();
       if (!executed.ok()) {
+        CountTermination(executed.status());
         return executed.status();
       }
       out.result = std::move(executed).value();
       cache_.Put(key, query.relation, out.result);
+      if (out.result.stats.degraded) {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.degraded_queries;
+      }
     } else {
       cache_hit = true;
     }
+    // A degraded index execution actually ran on the pointer tree.
     out.plan.engine =
         out.result.stats.used_index
-            ? (db_.EffectiveIndexEngine() == IndexEngine::kPacked ? "packed"
-                                                                  : "pointer")
+            ? (out.result.stats.degraded ||
+                       db_.EffectiveIndexEngine() == IndexEngine::kPointer
+                   ? "pointer"
+                   : "packed")
             : "columnar";
   }
   out.plan.strategy = out.result.stats.used_index ? "index" : "scan";
@@ -303,6 +573,7 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
   out.plan.cache_hit = cache_hit;
   out.plan.prepared = prepared;
   out.plan.explain = query.explain;
+  out.plan.degraded = out.result.stats.degraded;
   out.plan.shards = shards;
   out.plan.relation_epoch = epoch;
   out.plan.fingerprint = QueryFingerprint(query);

@@ -26,29 +26,73 @@
 ///  * Result cache. Successful results are cached under the canonical
 ///    query fingerprint + relation epoch (service/fingerprint.h,
 ///    service/result_cache.h); mutations invalidate per relation. A hit
-///    replays the original answer set without touching the engine.
+///    replays the original answer set without touching the engine. The
+///    cache is bounded both by entry count and by approximate bytes
+///    (ServiceOptions::result_cache_max_bytes).
 ///
 ///  * Admission scheduler. At most `max_concurrent_queries` queries execute
-///    at once (the rest wait FIFO-ish on a condition variable), and each
+///    at once (the rest wait FIFO-ish on a condition variable, bounded by
+///    ServiceOptions::admission_timeout_ms -> kOverloaded), and each
 ///    admitted query gets a parallelism budget of roughly
 ///    pool_threads / running_queries, installed as a
 ///    ThreadPool::ScopedParallelismBudget -- one query saturates the
 ///    machine when alone, concurrent queries share it instead of
 ///    oversubscribing the pool with 4x blocks each.
 ///
+/// Query-lifecycle hardening (this layer's fault story; DESIGN.md
+/// "Durability & fault handling"):
+///
+///  * Deadlines. Every execution may carry a deadline
+///    (ExecOptions::deadline_ms, defaulting to
+///    ServiceOptions::default_deadline_ms). The service binds it into an
+///    ExecutionContext on the query; the engine polls it at block
+///    boundaries and the admission wait respects it, so an expired query
+///    returns kTimeout within one poll interval -- whether it was running
+///    or still queued -- and never returns partial answers.
+///
+///  * Cancellation. Session::Cancel() cancels every query in flight on
+///    that session (they return kCancelled at their next poll) and makes
+///    the session refuse new executions until ResetCancel(). Admission
+///    waiters are woken and bail out too -- a cancelled query never
+///    consumes an execution slot.
+///
+///  * Overload shedding. When the admission wait exceeds
+///    admission_timeout_ms the execution fails fast with kOverloaded
+///    instead of queueing unboundedly. Slots never leak: only an admitted
+///    execution decrements the running count.
+///
+///  * Graceful degradation. A failed packed-snapshot or quantized-code
+///    compile (fault-injected today, any real resource failure tomorrow)
+///    demotes the query to the pointer-tree / exact-scan path inside the
+///    engine; the service surfaces it in QueryPlan::degraded and the
+///    degraded_queries counter. Answers are identical; only the
+///    acceleration is lost. An exception escaping the engine (e.g. the
+///    "pool.task" failpoint) is caught and returned as kInternal -- one
+///    poisoned query never takes down the service or its sessions.
+///
+///  * Durability. With ServiceOptions::wal_path set, every successful
+///    mutation is appended to the write-ahead log (core/wal.h) under the
+///    same exclusive lock that applied it -- log order is apply order --
+///    and synced before the mutation is acknowledged (sync_wal).
+///    Checkpoint() writes an atomic snapshot (core/persistence.h) and
+///    truncates the log. Build the Database with OpenDurableDatabase over
+///    the same paths to recover: snapshot + WAL replay reconstructs every
+///    acknowledged mutation after a crash at any instruction.
+///
 /// The service also keeps counters and a latency reservoir (p50/p95/p99
 /// via util/stats Percentile); see ServiceStats.
 ///
 /// Thread-safety summary (which lock guards what):
-///  * data_mutex_ (std::shared_mutex): the database and its epochs.
-///    Execute/ExecuteText/ExecutePrepared/RelationEpoch take it shared;
-///    CreateRelation/Insert/BulkLoad take it exclusive. Everything that
-///    runs under the shared lock is snapshot-safe: packed index
-///    snapshots are immutable, FeatureStores append-only, node-access
-///    counters relaxed atomics.
+///  * data_mutex_ (std::shared_mutex): the database, its epochs, and the
+///    WAL writer. Execute/ExecuteText/ExecutePrepared/RelationEpoch take
+///    it shared; CreateRelation/Insert/BulkLoad/Checkpoint take it
+///    exclusive. Everything that runs under the shared lock is
+///    snapshot-safe: packed index snapshots are immutable, FeatureStores
+///    append-only, node-access counters relaxed atomics.
 ///  * admission_mutex_: the running-query count and its condvar.
 ///  * stats_mutex_: counters and the latency reservoir.
-///  * Session::mutex_: that session's prepared-statement map.
+///  * Session::mutex_: that session's prepared-statement map, cancel
+///    flag, and in-flight execution contexts.
 /// All public methods of QueryService and Session are safe to call from
 /// any thread concurrently, EXCEPT database_unlocked() /
 /// mutable_database_unlocked(), which bypass data_mutex_ by design.
@@ -70,7 +114,9 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/exec_context.h"
 #include "core/query.h"
+#include "core/wal.h"
 #include "service/result_cache.h"
 #include "ts/time_series.h"
 #include "util/status.h"
@@ -85,9 +131,43 @@ struct ServiceOptions {
   int max_concurrent_queries = 0;
   /// Result cache entries; 0 disables caching entirely.
   size_t result_cache_capacity = 256;
+  /// Approximate byte budget for the result cache; 0 = unbounded. LRU
+  /// entries are evicted past it, so one huge answer set cannot pin
+  /// unbounded memory (service/result_cache.h).
+  size_t result_cache_max_bytes = 0;
   bool enable_result_cache = true;
   /// Latency samples kept for the percentile stats (ring buffer).
   size_t latency_reservoir = 4096;
+
+  /// Default per-query deadline in milliseconds; 0 = no deadline.
+  /// ExecOptions::deadline_ms overrides it per execution.
+  double default_deadline_ms = 0.0;
+  /// Longest an execution may wait for an admission slot before failing
+  /// with kOverloaded; 0 = wait indefinitely (the historical behavior).
+  double admission_timeout_ms = 0.0;
+
+  /// Durability (off when wal_path is empty): successful mutations are
+  /// appended to the WAL at wal_path before being acknowledged;
+  /// Checkpoint() snapshots to snapshot_path and truncates the log.
+  /// Recover by building the Database with OpenDurableDatabase over the
+  /// same paths before handing it to the service.
+  std::string snapshot_path;
+  std::string wal_path;
+  /// Sync the WAL (fdatasync) on every acknowledged mutation. Turning it
+  /// off trades the tail of acknowledged-but-unsynced mutations for
+  /// append throughput; replay correctness is unaffected.
+  bool sync_wal = true;
+};
+
+/// Per-execution options (deadline today; the natural place for priority
+/// or tracing knobs later). Distinct from BindParams, which binds query
+/// *parameters* -- these knobs never affect the answer set.
+struct ExecOptions {
+  /// Deadline for this execution in milliseconds. Negative = use
+  /// ServiceOptions::default_deadline_ms; 0 = explicitly unbounded;
+  /// positive = this budget, measured from the Execute call (queue time
+  /// counts against it).
+  double deadline_ms = -1.0;
 };
 
 /// Per-execution parameter bindings for a prepared statement. Unset fields
@@ -108,6 +188,10 @@ struct QueryPlan {
   bool cache_hit = false;
   bool prepared = false;
   bool explain = false;  // the query carried the EXPLAIN prefix
+  /// A derived-artifact compile failed and the engine fell back (packed ->
+  /// pointer, filtered -> exact). Answers identical; `engine`/`filter`
+  /// report the path actually taken.
+  bool degraded = false;
   /// Shards of the queried relation (the scatter-gather width); 0 when the
   /// relation does not exist.
   int shards = 0;
@@ -135,6 +219,17 @@ struct ServiceStats {
   int64_t admission_waits = 0;      // executions that queued for a slot
   int64_t sessions_opened = 0;
   int64_t active_sessions = 0;
+  /// Query-lifecycle terminations (each failed execution counts once).
+  int64_t timeouts = 0;       // kTimeout: deadline hit, queued or running
+  int64_t cancellations = 0;  // kCancelled: Session::Cancel observed
+  int64_t overloaded = 0;     // kOverloaded: admission wait timed out
+  /// Executions that completed degraded (QueryPlan::degraded; cache-hit
+  /// replays of a degraded result are not re-counted).
+  int64_t degraded_queries = 0;
+  /// Durability counters (all 0 when wal_path is unset).
+  int64_t wal_appends = 0;   // mutation frames acknowledged to the log
+  int64_t wal_failures = 0;  // appends/syncs that returned an error
+  int64_t checkpoints = 0;   // successful Checkpoint() calls
   ResultCache::Stats cache;
   /// Latency over the reservoir (milliseconds); 0 when no samples yet.
   double latency_p50_ms = 0.0;
@@ -145,7 +240,7 @@ struct ServiceStats {
 /// A client's handle: a prepared-statement namespace plus entry points for
 /// one-shot text queries. Sessions are cheap; open one per client/thread.
 /// Each session is internally synchronized, so sharing one across threads
-/// is also safe.
+/// is also safe -- including Cancel() of a query another thread is running.
 class Session {
  public:
   ~Session();
@@ -162,13 +257,25 @@ class Session {
 
   /// Executes a prepared statement with optional parameter bindings.
   Result<ServiceResult> ExecutePrepared(int64_t statement_id,
-                                        const BindParams& params = {});
+                                        const BindParams& params = {},
+                                        const ExecOptions& options = {});
 
   /// One-shot: parse + execute (the cold path the bench compares against).
-  Result<ServiceResult> Execute(const std::string& text);
+  Result<ServiceResult> Execute(const std::string& text,
+                                const ExecOptions& options = {});
 
   /// Drops a prepared statement; subsequent executions return NotFound.
   Status Close(int64_t statement_id);
+
+  /// Cancels every execution currently in flight on this session (each
+  /// returns kCancelled at its next poll, within one block of work) and
+  /// puts the session in the cancelled state: new executions fail
+  /// immediately with kCancelled until ResetCancel(). Admission waiters
+  /// are woken so a queued query never consumes a slot after cancel.
+  void Cancel();
+  /// Leaves the cancelled state; already-cancelled executions stay
+  /// cancelled (the flag on their context is sticky by design).
+  void ResetCancel();
 
  private:
   friend class QueryService;
@@ -184,17 +291,33 @@ class Session {
 
   Session(QueryService* service, int64_t id) : service_(service), id_(id) {}
 
+  /// RAII pairing of BeginExecution/EndExecution (defined in the .cc).
+  class ScopedExecution;
+
+  /// Creates this execution's context -- deadline resolved from
+  /// `options`, born cancelled if the session is -- and registers it so
+  /// Cancel() can reach it. Every BeginExecution is paired with
+  /// EndExecution (RAII in the call sites).
+  std::shared_ptr<ExecutionContext> BeginExecution(
+      const ExecOptions& options);
+  void EndExecution(const ExecutionContext* ctx);
+
   QueryService* service_;
   int64_t id_;
   std::mutex mutex_;
   std::unordered_map<int64_t, PreparedStatement> statements_;
   int64_t next_statement_id_ = 1;
+  bool cancel_requested_ = false;
+  std::vector<std::shared_ptr<ExecutionContext>> inflight_;
 };
 
 class QueryService {
  public:
   /// Takes ownership of the database; all subsequent access goes through
-  /// the service's locking discipline.
+  /// the service's locking discipline. With ServiceOptions::wal_path set,
+  /// the WAL is opened (created) here; an open failure is deferred --
+  /// every subsequent mutation fails with that status rather than
+  /// silently running non-durable (queries are unaffected).
   explicit QueryService(Database db, ServiceOptions options = {});
   ~QueryService();
 
@@ -207,17 +330,35 @@ class QueryService {
   /// invalidation. Insert/BulkLoad bump the routed shard epochs (and so
   /// the relation epoch); CreateRelation makes the relation visible at
   /// epoch 0 -- its first data mutation produces the first nonzero
-  /// version.
+  /// version. With durability on, the mutation is WAL-appended (and
+  /// synced) under the same lock before it is acknowledged; a WAL failure
+  /// surfaces as the returned status even though the in-memory state has
+  /// advanced -- the caller must treat the service as needing a
+  /// checkpoint or restart, not retry blindly.
   Status CreateRelation(const std::string& name);
   Result<int64_t> Insert(const std::string& relation,
                          const TimeSeries& series);
   Status BulkLoad(const std::string& relation,
                   const std::vector<TimeSeries>& series);
 
-  /// Ad-hoc execution of a parsed query (sessions call this too).
+  /// Ad-hoc execution of a parsed query (sessions call this too). The
+  /// ExecOptions overload binds a deadline context onto the query when it
+  /// does not already carry one.
   Result<ServiceResult> Execute(const Query& query);
+  Result<ServiceResult> Execute(const Query& query,
+                                const ExecOptions& options);
   /// Parse + Execute; equivalent to Session::Execute without a session.
-  Result<ServiceResult> ExecuteText(const std::string& text);
+  Result<ServiceResult> ExecuteText(const std::string& text,
+                                    const ExecOptions& options = {});
+
+  /// Durability checkpoint: atomically snapshots the database to
+  /// ServiceOptions::snapshot_path (core/persistence.h) and truncates the
+  /// WAL, all under the exclusive lock. Requires snapshot_path; the WAL
+  /// is only truncated after the snapshot rename committed, so a crash
+  /// anywhere in between still recovers every acknowledged mutation.
+  Status Checkpoint();
+  /// True when this service was configured with a WAL and it opened.
+  bool durable() const { return wal_.is_open(); }
 
   /// Current epoch of a relation: the roll-up of its per-shard epochs
   /// (core/sharded_relation.h), read under the shared data lock. 0 for a
@@ -236,13 +377,28 @@ class QueryService {
  private:
   friend class Session;
 
-  /// RAII admission slot: blocks until the service is below its
-  /// concurrency limit, and computes this query's parallelism budget.
+  /// RAII admission slot: waits until the service is below its concurrency
+  /// limit -- bounded by the admission timeout, the query's deadline, and
+  /// cancellation -- and computes this query's parallelism budget. When
+  /// the wait fails, ok() is false, status() carries the typed error
+  /// (kOverloaded / kTimeout / kCancelled), and the destructor releases
+  /// nothing: only admitted slots are ever counted, so none can leak.
   class AdmissionSlot;
 
   Result<ServiceResult> ExecuteInternal(const Query& query, bool prepared);
   /// ParseQuery plus the cold-parse counter (every text parse goes here).
   Result<Query> ParseTracked(const std::string& text);
+  /// The effective deadline for `options` in ms; 0 = none.
+  double ResolveDeadlineMs(const ExecOptions& options) const;
+  /// Bumps the termination counter matching a failed execution's status.
+  void CountTermination(const Status& status);
+  /// Durability prologue/epilogue for mutations (caller holds data_mutex_
+  /// exclusively): WalGate() fails fast -- before the mutation applies --
+  /// when a configured WAL is not open; FinishAppend() folds in the sync
+  /// and maintains the wal_appends / wal_failures counters. Both are
+  /// no-op Ok when durability is off.
+  Status WalGate() const;
+  Status FinishAppend(Status append_status);
   /// Relation epoch + shard count; caller holds data_mutex_ (any mode).
   uint64_t EpochLocked(const std::string& relation, int* shards) const;
   void RecordLatency(double millis);
@@ -256,6 +412,12 @@ class QueryService {
   /// data plane itself (per-shard counters rolled up by Relation::epoch),
   /// so a query reads data and version under one shared-lock acquisition.
   mutable std::shared_mutex data_mutex_;
+
+  /// WAL writer (invalid/closed when durability is off); guarded by
+  /// data_mutex_ exclusive like the database it logs.
+  WalWriter wal_;
+  /// Why the WAL failed to open, when it did; mutations return this.
+  Status wal_open_status_;
 
   ResultCache cache_;
 

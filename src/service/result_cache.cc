@@ -2,6 +2,28 @@
 
 namespace simq {
 
+size_t ResultCache::ApproxResultBytes(const QueryResult& result) {
+  size_t bytes = sizeof(QueryResult);
+  bytes += result.matches.capacity() * sizeof(Match);
+  for (const Match& match : result.matches) {
+    bytes += match.name.capacity();
+  }
+  bytes += result.pairs.capacity() * sizeof(PairMatch);
+  return bytes;
+}
+
+size_t ResultCache::ApproxEntryBytes(const Entry& entry) {
+  return sizeof(Entry) + entry.key.capacity() + entry.relation.capacity() +
+         ApproxResultBytes(entry.result);
+}
+
+void ResultCache::EvictBack() {
+  bytes_ -= lru_.back().bytes;
+  index_.erase(lru_.back().key);
+  lru_.pop_back();
+  ++stats_.evictions;
+}
+
 bool ResultCache::Get(const std::string& key, QueryResult* out) {
   if (capacity_ == 0) {
     return false;  // disabled: not even a counted miss
@@ -26,17 +48,26 @@ void ResultCache::Put(const std::string& key, const std::string& relation,
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->result = result;
+    Entry& entry = *it->second;
+    bytes_ -= entry.bytes;
+    entry.result = result;
+    entry.bytes = ApproxEntryBytes(entry);
+    bytes_ += entry.bytes;
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+  } else {
+    lru_.push_front(Entry{key, relation, result, 0});
+    lru_.front().bytes = ApproxEntryBytes(lru_.front());
+    bytes_ += lru_.front().bytes;
+    index_[key] = lru_.begin();
+    ++stats_.insertions;
   }
-  lru_.push_front(Entry{key, relation, result});
-  index_[key] = lru_.begin();
-  ++stats_.insertions;
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++stats_.evictions;
+  // LRU-evict past either bound. An entry larger than the whole byte
+  // budget drains the list and finally evicts itself -- the cache never
+  // holds more than max_bytes_, even transiently across calls.
+  while (!lru_.empty() &&
+         (lru_.size() > capacity_ ||
+          (max_bytes_ > 0 && bytes_ > max_bytes_))) {
+    EvictBack();
   }
 }
 
@@ -44,6 +75,7 @@ void ResultCache::InvalidateRelation(const std::string& relation) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->relation == relation) {
+      bytes_ -= it->bytes;
       index_.erase(it->key);
       it = lru_.erase(it);
       ++stats_.invalidated_entries;
@@ -57,6 +89,7 @@ void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   index_.clear();
   lru_.clear();
+  bytes_ = 0;
 }
 
 size_t ResultCache::size() const {
@@ -64,9 +97,16 @@ size_t ResultCache::size() const {
   return lru_.size();
 }
 
+size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
 ResultCache::Stats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats out = stats_;
+  out.bytes = static_cast<int64_t>(bytes_);
+  return out;
 }
 
 }  // namespace simq

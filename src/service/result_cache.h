@@ -8,6 +8,17 @@
 /// the execution that produced them -- a hit replays the original answer
 /// set bit-for-bit (asserted by the service tests and the serve bench).
 ///
+/// Two independent bounds, both enforced LRU-first:
+///  * capacity: the maximum entry count (0 disables the cache);
+///  * max_bytes: the maximum approximate memory footprint (0 = unbounded).
+/// Footprint is the sum of ApproxEntryBytes over resident entries -- entry
+/// struct + string capacities + match/pair vector capacities, a slight
+/// underestimate of true heap use (allocator headers, map nodes) but
+/// monotone in result size, which is what the bound is for: one query with
+/// a huge answer set cannot pin unbounded memory. An insert whose entry
+/// alone exceeds max_bytes evicts everything and then itself -- oversized
+/// results are simply not cacheable.
+///
 /// Thread-safe; every method takes the internal mutex. Copies in and out
 /// are deliberate: the cache never hands out references into itself, so
 /// hits stay valid across later evictions.
@@ -32,11 +43,14 @@ class ResultCache {
     int64_t misses = 0;
     int64_t insertions = 0;
     int64_t invalidated_entries = 0;  // evicted by InvalidateRelation
-    int64_t evictions = 0;            // evicted by capacity pressure
+    int64_t evictions = 0;            // evicted by capacity/byte pressure
+    int64_t bytes = 0;                // current approximate footprint
   };
 
   /// A capacity of 0 disables the cache (Get always misses, Put drops).
-  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+  /// `max_bytes` of 0 leaves the footprint unbounded (entry count only).
+  explicit ResultCache(size_t capacity, size_t max_bytes = 0)
+      : capacity_(capacity), max_bytes_(max_bytes) {}
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -46,8 +60,8 @@ class ResultCache {
   bool Get(const std::string& key, QueryResult* out);
 
   /// Inserts (or refreshes) `result` under `key`, tagged with the relation
-  /// it was computed against; evicts the least recently used entry beyond
-  /// capacity.
+  /// it was computed against; evicts least-recently-used entries until both
+  /// the entry-count and byte bounds hold again.
   void Put(const std::string& key, const std::string& relation,
            const QueryResult& result);
 
@@ -57,17 +71,29 @@ class ResultCache {
   void Clear();
 
   size_t size() const;
+  /// Current approximate footprint of resident entries, in bytes.
+  size_t bytes() const;
   Stats stats() const;
+
+  /// Approximate heap footprint of one cached result (see file comment).
+  static size_t ApproxResultBytes(const QueryResult& result);
 
  private:
   struct Entry {
     std::string key;
     std::string relation;
     QueryResult result;
+    size_t bytes = 0;  // ApproxEntryBytes at insert/refresh time
   };
+
+  static size_t ApproxEntryBytes(const Entry& entry);
+  /// Drops the least recently used entry; caller holds mutex_.
+  void EvictBack();
 
   mutable std::mutex mutex_;
   size_t capacity_;
+  size_t max_bytes_;
+  size_t bytes_ = 0;  // sum of Entry::bytes over lru_
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   Stats stats_;

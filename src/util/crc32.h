@@ -1,0 +1,27 @@
+// CRC32 (IEEE 802.3 polynomial, reflected) over byte buffers.
+//
+// Used by the durability layer to frame and validate on-disk bytes: every
+// SIMQDB3 snapshot section and every WAL frame carries the CRC of its
+// payload, so a torn write or bit flip is detected at load/replay time
+// instead of being parsed as silent garbage (core/persistence.h,
+// core/wal.h). Software table implementation -- the checksummed paths are
+// IO-bound, not CRC-bound, at this repo's scales.
+//
+// Incremental use: feed the previous return value back in as `seed` to
+// extend a checksum over multiple buffers. The empty-buffer CRC with seed
+// 0 is 0.
+
+#ifndef SIMQ_UTIL_CRC32_H_
+#define SIMQ_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace simq {
+
+// CRC32 of `size` bytes at `data`, chained from `seed` (0 to start).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace simq
+
+#endif  // SIMQ_UTIL_CRC32_H_

@@ -1,0 +1,150 @@
+#include "util/failpoint.h"
+
+#include <csignal>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace simq {
+namespace {
+
+// Parses "[kill:](off|always|one-in-<N>|after-<K>)" into a Trigger.
+Status ParseTrigger(const std::string& text, Failpoints::Trigger* out) {
+  Failpoints::Trigger trigger;
+  std::string body = text;
+  const std::string kKill = "kill:";
+  if (body.rfind(kKill, 0) == 0) {
+    trigger.kill = true;
+    body = body.substr(kKill.size());
+  }
+  auto parse_count = [](const std::string& digits, uint64_t* value) {
+    if (digits.empty()) return false;
+    uint64_t v = 0;
+    for (char c : digits) {
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (v == 0) return false;
+    *value = v;
+    return true;
+  };
+  if (body == "off") {
+    trigger.kind = Failpoints::TriggerKind::kOff;
+  } else if (body == "always") {
+    trigger.kind = Failpoints::TriggerKind::kAlways;
+  } else if (body.rfind("one-in-", 0) == 0) {
+    trigger.kind = Failpoints::TriggerKind::kOneIn;
+    if (!parse_count(body.substr(7), &trigger.param)) {
+      return Status::InvalidArgument("bad one-in-N trigger: " + text);
+    }
+  } else if (body.rfind("after-", 0) == 0) {
+    trigger.kind = Failpoints::TriggerKind::kAfter;
+    if (!parse_count(body.substr(6), &trigger.param)) {
+      return Status::InvalidArgument("bad after-K trigger: " + text);
+    }
+  } else {
+    return Status::InvalidArgument("unknown failpoint trigger: " + text);
+  }
+  *out = trigger;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Failpoints::Failpoints() {
+  const char* spec = std::getenv("SIMQ_FAILPOINTS");
+  if (spec != nullptr && spec[0] != '\0') {
+    Status status = ConfigureFromSpec(spec);
+    SIMQ_CHECK(status.ok()) << "invalid SIMQ_FAILPOINTS: "
+                            << status.ToString();
+  }
+}
+
+Failpoints& Failpoints::Global() {
+  static Failpoints* instance = new Failpoints();
+  return *instance;
+}
+
+void Failpoints::Configure(const std::string& name, Trigger trigger) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State& state = points_[name];
+  const bool was_armed = state.trigger.kind != TriggerKind::kOff;
+  const bool now_armed = trigger.kind != TriggerKind::kOff;
+  state.trigger = trigger;
+  state.hit_count = 0;
+  if (was_armed != now_armed) {
+    armed_.fetch_add(now_armed ? 1 : uint64_t(-1),
+                     std::memory_order_relaxed);
+  }
+}
+
+Status Failpoints::ConfigureFromSpec(const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("bad failpoint clause: " + clause);
+    }
+    Trigger trigger;
+    SIMQ_RETURN_IF_ERROR(ParseTrigger(clause.substr(eq + 1), &trigger));
+    Configure(clause.substr(0, eq), trigger);
+  }
+  return Status::Ok();
+}
+
+void Failpoints::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  armed_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t Failpoints::hits(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hit_count;
+}
+
+bool Failpoints::Evaluate(const char* name) {
+  if (armed_.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  bool kill = false;
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(name);
+    if (it == points_.end() ||
+        it->second.trigger.kind == TriggerKind::kOff) {
+      return false;
+    }
+    State& state = it->second;
+    state.hit_count++;
+    switch (state.trigger.kind) {
+      case TriggerKind::kOff:
+        break;
+      case TriggerKind::kAlways:
+        fired = true;
+        break;
+      case TriggerKind::kOneIn:
+        fired = (state.hit_count % state.trigger.param) == 0;
+        break;
+      case TriggerKind::kAfter:
+        fired = state.hit_count > state.trigger.param;
+        break;
+    }
+    kill = fired && state.trigger.kill;
+  }
+  if (kill) {
+    // The crash harness depends on dying exactly here, before the IO the
+    // failpoint guards. SIGKILL cannot be caught, so no cleanup runs.
+    raise(SIGKILL);
+  }
+  return fired;
+}
+
+}  // namespace simq

@@ -1,0 +1,122 @@
+// Deterministic fault injection for tests and the crash-recovery harness.
+//
+// A failpoint is a named hook compiled into failure-prone code paths
+// (persistence IO, WAL appends, snapshot compilation, thread-pool task
+// boundaries). At runtime each failpoint is `off` unless armed, either
+// programmatically (Failpoints::Global().Configure) or via the
+// SIMQ_FAILPOINTS environment variable, e.g.
+//
+//   SIMQ_FAILPOINTS="save.write=always;wal.append=one-in-7;save.sync=after-3"
+//   SIMQ_FAILPOINTS="wal.append=kill:after-2"
+//
+// Triggers:
+//   off          never fires
+//   always       fires on every hit
+//   one-in-N     fires on hits N, 2N, 3N, ... (deterministic, not random)
+//   after-K      fires on every hit after the first K (hit K+1 onward)
+//
+// A `kill:` prefix makes the failpoint raise SIGKILL instead of returning
+// an error -- this is how the crash harness murders a child process at an
+// exact IO boundary. Without `kill:`, a fired failpoint surfaces as
+// Status::IoError("injected failure at failpoint '<name>'") through
+// SIMQ_RETURN_IF_FAILPOINT, or as a true `Fired` result from
+// SIMQ_FAILPOINT_FIRED for call sites with non-Status signatures.
+//
+// Cost model: when SIMQ_FAILPOINTS_ENABLED is not defined (cmake
+// -DSIMQ_ENABLE_FAILPOINTS=OFF) the macros compile to nothing. When
+// compiled in but no failpoint is armed, a hit is one relaxed atomic load.
+
+#ifndef SIMQ_UTIL_FAILPOINT_H_
+#define SIMQ_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace simq {
+
+// Global registry of named failpoints. Thread-safe; a process-wide
+// singleton so library code can evaluate failpoints without plumbing a
+// handle through every layer.
+class Failpoints {
+ public:
+  enum class TriggerKind : uint8_t { kOff, kAlways, kOneIn, kAfter };
+
+  struct Trigger {
+    TriggerKind kind = TriggerKind::kOff;
+    uint64_t param = 0;  // N for kOneIn, K for kAfter
+    bool kill = false;   // raise SIGKILL instead of returning an error
+  };
+
+  // The singleton. First call also applies SIMQ_FAILPOINTS from the
+  // environment (invalid specs abort loudly -- a misspelled failpoint in a
+  // test harness must not silently test nothing).
+  static Failpoints& Global();
+
+  // Arms `name` with `trigger`; resets its hit counter.
+  void Configure(const std::string& name, Trigger trigger);
+
+  // Parses and applies a spec string: "name=trigger[;name=trigger...]".
+  // Trigger grammar: [kill:](off|always|one-in-<N>|after-<K>).
+  // Returns InvalidArgument on malformed input (nothing applied for the
+  // malformed clause; earlier clauses stay applied).
+  Status ConfigureFromSpec(const std::string& spec);
+
+  // Disarms every failpoint and zeroes all hit counters.
+  void Reset();
+
+  // Number of times `name` has been evaluated since last Configure/Reset.
+  uint64_t hits(const std::string& name) const;
+
+  // Records a hit on `name` and decides whether it fires. If it fires with
+  // `kill` set, this raises SIGKILL and does not return. Otherwise returns
+  // true iff the failpoint fired. Unarmed names return false without
+  // taking the registry lock.
+  bool Evaluate(const char* name);
+
+ private:
+  Failpoints();
+
+  struct State {
+    Trigger trigger;
+    uint64_t hit_count = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, State> points_;
+  // Number of armed (non-off) failpoints; fast-path guard for Evaluate.
+  std::atomic<uint64_t> armed_{0};
+};
+
+}  // namespace simq
+
+#ifdef SIMQ_FAILPOINTS_ENABLED
+
+// True iff the named failpoint fires at this hit (may SIGKILL instead).
+#define SIMQ_FAILPOINT_FIRED(name) \
+  (::simq::Failpoints::Global().Evaluate(name))
+
+// Returns Status::IoError from the enclosing function when `name` fires.
+#define SIMQ_RETURN_IF_FAILPOINT(name)                                \
+  do {                                                                \
+    if (::simq::Failpoints::Global().Evaluate(name)) {                \
+      return ::simq::Status::IoError(                                 \
+          std::string("injected failure at failpoint '") + (name) +  \
+          "'");                                                       \
+    }                                                                 \
+  } while (false)
+
+#else  // !SIMQ_FAILPOINTS_ENABLED
+
+#define SIMQ_FAILPOINT_FIRED(name) (false)
+#define SIMQ_RETURN_IF_FAILPOINT(name) \
+  do {                                 \
+  } while (false)
+
+#endif  // SIMQ_FAILPOINTS_ENABLED
+
+#endif  // SIMQ_UTIL_FAILPOINT_H_

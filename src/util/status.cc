@@ -20,6 +20,16 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }

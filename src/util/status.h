@@ -16,15 +16,24 @@
 
 namespace simq {
 
+// Stable, numbered error codes: callers and tests match on the code, never
+// on message substrings. The numeric values are part of the (intra-process)
+// contract -- append new codes at the end, never renumber.
 enum class StatusCode {
   kOk = 0,
-  kInvalidArgument,
-  kNotFound,
-  kAlreadyExists,
-  kFailedPrecondition,
-  kOutOfRange,
-  kUnimplemented,
-  kInternal,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  // Fault-handling codes (see DESIGN.md "Durability & fault handling"):
+  kCorruption = 8,  // on-disk bytes fail validation (CRC, framing, invariants)
+  kTimeout = 9,     // a query deadline expired (cooperatively observed)
+  kCancelled = 10,  // the caller cancelled the query/session
+  kOverloaded = 11, // admission queue wait exceeded its bound
+  kIoError = 12,    // the OS failed a read/write/sync/rename (or injection)
 };
 
 // Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -59,6 +68,21 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -43,10 +43,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "util/env.h"
+#include "util/failpoint.h"
 
 namespace simq {
 
@@ -239,6 +241,14 @@ class ThreadPool {
       const int64_t hi =
           state.begin + state.total * (block + 1) / state.num_blocks;
       try {
+        // Task-boundary fault injection: a fired "pool.task" failpoint
+        // stands in for any exception escaping a pooled body. It flows
+        // through the normal capture-and-rethrow protocol below, so tests
+        // can assert the pool quiesces and the caller sees the error.
+        if (SIMQ_FAILPOINT_FIRED("pool.task")) {
+          throw std::runtime_error(
+              "injected failure at failpoint 'pool.task'");
+        }
         state.body(block, lo, hi);
       } catch (...) {
         {

@@ -1,0 +1,239 @@
+// Crash-recovery harness: for every registered IO failpoint, fork a child
+// that runs a scripted mutation workload through a durable QueryService
+// and is SIGKILLed (kill: failpoints) at exactly that IO boundary; then
+// recover in the parent via OpenDurableDatabase and assert that
+//
+//  * recovery itself always succeeds (a crash never corrupts the store),
+//  * every acknowledged mutation survived (the ack file, appended to and
+//    fdatasync'd by the child after each successful mutation, is the
+//    ground truth for what was acknowledged), and
+//  * the recovered database answers queries bit-identically to an oracle
+//    database built by replaying the same recovered prefix in-process.
+//
+// Fork-safety: this binary pins SIMQ_THREADS=1 in a static initializer,
+// before any test can touch ThreadPool::Global() -- the process never has
+// worker threads, so fork() in the middle of the test is safe by
+// construction (no lock can be held by a thread that does not survive
+// the fork).
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/wal.h"
+#include "service/query_service.h"
+#include "util/failpoint.h"
+#include "workload/generators.h"
+
+namespace simq {
+namespace {
+
+const bool kSingleThreadPinned = [] {
+  ::setenv("SIMQ_THREADS", "1", 1);
+  return true;
+}();
+
+constexpr int kInserts = 12;
+constexpr int kCheckpointAfter = 6;  // Checkpoint() after this many inserts
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// The scripted workload's data; identical in child, oracle, and checks.
+std::vector<TimeSeries> ScriptSeries() {
+  std::vector<TimeSeries> series = workload::RandomWalkSeries(kInserts, 16, 4);
+  for (int i = 0; i < kInserts; ++i) {
+    series[static_cast<size_t>(i)].id = "s" + std::to_string(i);
+  }
+  return series;
+}
+
+// The child's life: arm the failpoint schedule, run the scripted
+// workload acking each acknowledged mutation, _exit. A kill: failpoint
+// SIGKILLs it somewhere in the middle; a non-kill injection makes a
+// mutation fail, after which the child stops (exit code 3).
+void RunChild(const std::string& spec, const std::string& snapshot_path,
+              const std::string& wal_path, const std::string& ack_path) {
+  if (!spec.empty() &&
+      !Failpoints::Global().ConfigureFromSpec(spec).ok()) {
+    ::_exit(2);
+  }
+  const int ack_fd =
+      ::open(ack_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (ack_fd < 0) {
+    ::_exit(2);
+  }
+
+  Result<Database> opened =
+      OpenDurableDatabase(FeatureConfig(), snapshot_path, wal_path, nullptr);
+  if (!opened.ok()) {
+    ::_exit(2);
+  }
+  ServiceOptions options;
+  options.snapshot_path = snapshot_path;
+  options.wal_path = wal_path;
+  QueryService service(std::move(opened).value(), options);
+
+  const char byte = '+';
+  if (!service.CreateRelation("r").ok()) {
+    ::_exit(3);
+  }
+  if (::write(ack_fd, &byte, 1) != 1 || ::fdatasync(ack_fd) != 0) {
+    ::_exit(2);
+  }
+  const std::vector<TimeSeries> series = ScriptSeries();
+  for (int i = 0; i < kInserts; ++i) {
+    if (!service.Insert("r", series[static_cast<size_t>(i)]).ok()) {
+      ::_exit(3);
+    }
+    if (::write(ack_fd, &byte, 1) != 1 || ::fdatasync(ack_fd) != 0) {
+      ::_exit(2);
+    }
+    if (i + 1 == kCheckpointAfter && !service.Checkpoint().ok()) {
+      ::_exit(3);
+    }
+  }
+  ::_exit(0);
+}
+
+int64_t FileSize(const std::string& path) {
+  struct ::stat st;
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<int64_t>(st.st_size)
+                                        : 0;
+}
+
+void RunSchedule(const std::string& tag, const std::string& spec) {
+  SCOPED_TRACE("schedule '" + spec + "'");
+  const std::string snapshot_path = TempPath("crash_" + tag + ".simqdb");
+  const std::string wal_path = TempPath("crash_" + tag + ".wal");
+  const std::string ack_path = TempPath("crash_" + tag + ".ack");
+  std::remove(snapshot_path.c_str());
+  std::remove(wal_path.c_str());
+  std::remove(ack_path.c_str());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    RunChild(spec, snapshot_path, wal_path, ack_path);  // never returns
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  // The child either finished the script, stopped at an injected error
+  // (3), or was SIGKILLed mid-IO; a 2 means harness breakage.
+  if (WIFEXITED(wstatus)) {
+    ASSERT_NE(WEXITSTATUS(wstatus), 2) << "child harness failure";
+  } else {
+    ASSERT_TRUE(WIFSIGNALED(wstatus));
+    ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+  }
+
+  // Acks: byte 0 is CreateRelation, byte i is insert i-1.
+  const int64_t acked = FileSize(ack_path);
+  ASSERT_LE(acked, 1 + kInserts);
+
+  // Recovery must always succeed -- no crash schedule may corrupt the
+  // snapshot or the (possibly torn) WAL beyond repair.
+  Result<Database> recovered =
+      OpenDurableDatabase(FeatureConfig(), snapshot_path, wal_path, nullptr);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  Database& db = recovered.value();
+
+  const Relation* relation = db.GetRelation("r");
+  if (acked >= 1) {
+    ASSERT_NE(relation, nullptr) << "acknowledged CreateRelation lost";
+  }
+  const int64_t recovered_count = relation == nullptr ? 0 : relation->size();
+  // Every acknowledged insert survived; an unacknowledged tail insert may
+  // or may not have made it (killed between append and ack) -- both are
+  // correct.
+  EXPECT_GE(recovered_count, acked - 1) << "acknowledged insert lost";
+  ASSERT_LE(recovered_count, kInserts);
+
+  // Oracle: the same prefix, applied in-process without any crash. The
+  // recovered database must be indistinguishable from it.
+  const std::vector<TimeSeries> series = ScriptSeries();
+  Database oracle;
+  if (relation != nullptr) {
+    ASSERT_TRUE(oracle.CreateRelation("r").ok());
+    for (int64_t i = 0; i < recovered_count; ++i) {
+      ASSERT_TRUE(oracle.Insert("r", series[static_cast<size_t>(i)]).ok());
+    }
+    const Relation* oracle_rel = oracle.GetRelation("r");
+    for (int64_t id = 0; id < recovered_count; ++id) {
+      EXPECT_EQ(relation->record(id).name, oracle_rel->record(id).name);
+      EXPECT_EQ(relation->record(id).raw, oracle_rel->record(id).raw);
+    }
+    if (recovered_count > 0) {
+      for (const char* text :
+           {"RANGE r WITHIN 3.5 OF #s0", "NEAREST 4 r TO #s0",
+            "PAIRS r WITHIN 2.0"}) {
+        const Result<QueryResult> a = db.ExecuteText(text);
+        const Result<QueryResult> b = oracle.ExecuteText(text);
+        ASSERT_TRUE(a.ok() && b.ok()) << text;
+        ASSERT_EQ(a.value().matches.size(), b.value().matches.size()) << text;
+        for (size_t i = 0; i < a.value().matches.size(); ++i) {
+          EXPECT_EQ(a.value().matches[i].id, b.value().matches[i].id);
+          EXPECT_EQ(a.value().matches[i].distance,
+                    b.value().matches[i].distance);
+        }
+        ASSERT_EQ(a.value().pairs.size(), b.value().pairs.size()) << text;
+        for (size_t i = 0; i < a.value().pairs.size(); ++i) {
+          EXPECT_EQ(a.value().pairs[i].first, b.value().pairs[i].first);
+          EXPECT_EQ(a.value().pairs[i].second, b.value().pairs[i].second);
+          EXPECT_EQ(a.value().pairs[i].distance, b.value().pairs[i].distance);
+        }
+      }
+    }
+  }
+}
+
+TEST(CrashRecoveryTest, NoFaultScriptCompletes) {
+  ASSERT_TRUE(kSingleThreadPinned);
+  RunSchedule("clean", "");
+}
+
+// Kill at every WAL IO boundary, at several depths into the script.
+TEST(CrashRecoveryTest, KillAtWalAppend) {
+  RunSchedule("wa_first", "wal.append=kill:always");
+  RunSchedule("wa_mid", "wal.append=kill:after-3");
+  RunSchedule("wa_late", "wal.append=kill:after-9");
+}
+
+TEST(CrashRecoveryTest, KillAtWalSync) {
+  RunSchedule("ws_first", "wal.sync=kill:always");
+  RunSchedule("ws_mid", "wal.sync=kill:after-4");
+}
+
+TEST(CrashRecoveryTest, KillAtWalOpen) {
+  RunSchedule("wo", "wal.open=kill:always");
+}
+
+// Kill inside the checkpoint's atomic save, at every IO boundary: the
+// snapshot either fully commits (rename) or is invisible, and the WAL
+// still carries everything acknowledged.
+TEST(CrashRecoveryTest, KillDuringCheckpointSave) {
+  RunSchedule("so", "save.open=kill:always");
+  RunSchedule("sw", "save.write=kill:always");
+  RunSchedule("ss", "save.sync=kill:always");
+  RunSchedule("sr", "save.rename=kill:always");
+}
+
+// Non-kill torn append: the child sees the IoError and stops; the torn
+// frame bytes on disk must be invisible after replay.
+TEST(CrashRecoveryTest, TornAppendTailIsDiscarded) {
+  RunSchedule("torn", "wal.append.torn=after-5");
+}
+
+}  // namespace
+}  // namespace simq

@@ -1,0 +1,221 @@
+// Deterministic fault injection (util/failpoint.h): trigger semantics,
+// spec parsing, and the injected-error plumbing through the persistence
+// and execution layers.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/persistence.h"
+#include "util/failpoint.h"
+#include "util/thread_pool.h"
+#include "workload/generators.h"
+
+namespace simq {
+namespace {
+
+// Every test leaves the global registry clean; failpoints are process-wide
+// and a leaked trigger would poison unrelated tests in this binary.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::Global().Reset(); }
+  void TearDown() override { Failpoints::Global().Reset(); }
+};
+
+Failpoints::Trigger Always() {
+  Failpoints::Trigger t;
+  t.kind = Failpoints::TriggerKind::kAlways;
+  return t;
+}
+
+TEST_F(FailpointTest, UnarmedNeverFires) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(Failpoints::Global().Evaluate("test.unarmed"));
+  }
+  // Unarmed evaluations skip the registry entirely -- no hit bookkeeping.
+  EXPECT_EQ(Failpoints::Global().hits("test.unarmed"), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryHit) {
+  Failpoints::Global().Configure("test.always", Always());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(Failpoints::Global().Evaluate("test.always"));
+  }
+  EXPECT_EQ(Failpoints::Global().hits("test.always"), 5u);
+}
+
+TEST_F(FailpointTest, OneInNFiresOnExactMultiples) {
+  Failpoints::Trigger t;
+  t.kind = Failpoints::TriggerKind::kOneIn;
+  t.param = 3;
+  Failpoints::Global().Configure("test.onein", t);
+  // Deterministic: hits 3, 6, 9, ... fire; everything else does not.
+  for (int hit = 1; hit <= 12; ++hit) {
+    EXPECT_EQ(Failpoints::Global().Evaluate("test.onein"), hit % 3 == 0)
+        << "hit " << hit;
+  }
+}
+
+TEST_F(FailpointTest, AfterKFiresFromHitKPlusOne) {
+  Failpoints::Trigger t;
+  t.kind = Failpoints::TriggerKind::kAfter;
+  t.param = 4;
+  Failpoints::Global().Configure("test.after", t);
+  for (int hit = 1; hit <= 8; ++hit) {
+    EXPECT_EQ(Failpoints::Global().Evaluate("test.after"), hit > 4)
+        << "hit " << hit;
+  }
+}
+
+TEST_F(FailpointTest, ConfigureResetsHitCounter) {
+  Failpoints::Global().Configure("test.reset", Always());
+  Failpoints::Global().Evaluate("test.reset");
+  Failpoints::Global().Evaluate("test.reset");
+  EXPECT_EQ(Failpoints::Global().hits("test.reset"), 2u);
+  Failpoints::Global().Configure("test.reset", Always());
+  EXPECT_EQ(Failpoints::Global().hits("test.reset"), 0u);
+}
+
+TEST_F(FailpointTest, SpecGrammarRoundTrips) {
+  ASSERT_TRUE(Failpoints::Global()
+                  .ConfigureFromSpec(
+                      "a.b=always;c.d=one-in-2;e.f=after-1;g.h=off")
+                  .ok());
+  EXPECT_TRUE(Failpoints::Global().Evaluate("a.b"));
+  EXPECT_FALSE(Failpoints::Global().Evaluate("c.d"));  // hit 1 of one-in-2
+  EXPECT_TRUE(Failpoints::Global().Evaluate("c.d"));   // hit 2 fires
+  EXPECT_FALSE(Failpoints::Global().Evaluate("e.f"));  // hit 1 <= K
+  EXPECT_TRUE(Failpoints::Global().Evaluate("e.f"));   // hit 2 > K
+  EXPECT_FALSE(Failpoints::Global().Evaluate("g.h"));
+}
+
+TEST_F(FailpointTest, SpecRejectsMalformedClauses) {
+  EXPECT_EQ(Failpoints::Global().ConfigureFromSpec("nope").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::Global().ConfigureFromSpec("a=sometimes").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Failpoints::Global().ConfigureFromSpec("a=one-in-x").code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Injection through real code paths.
+// ---------------------------------------------------------------------------
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Database SmallDb() {
+  Database db;
+  EXPECT_TRUE(db.CreateRelation("r").ok());
+  EXPECT_TRUE(db.BulkLoad("r", workload::RandomWalkSeries(30, 32, 7)).ok());
+  return db;
+}
+
+TEST_F(FailpointTest, SaveFailpointsSurfaceAsIoErrorAndLeaveNoFile) {
+  const Database db = SmallDb();
+  for (const char* point :
+       {"save.open", "save.write", "save.sync", "save.rename"}) {
+    Failpoints::Global().Reset();
+    Failpoints::Global().Configure(point, Always());
+    const std::string path = TempPath(std::string("inj_") + point);
+    const Status status = SaveDatabase(db, path);
+    EXPECT_EQ(status.code(), StatusCode::kIoError) << point;
+    EXPECT_NE(status.message().find(point), std::string::npos) << point;
+    // Atomic save: a failed save must leave neither the target nor the
+    // temp file behind.
+    Failpoints::Global().Reset();
+    EXPECT_EQ(LoadDatabase(path).status().code(), StatusCode::kNotFound)
+        << point;
+    EXPECT_EQ(LoadDatabase(path + ".tmp").status().code(),
+              StatusCode::kNotFound)
+        << point;
+  }
+}
+
+TEST_F(FailpointTest, CompileFailpointsDegradeWithoutChangingAnswers) {
+  Database db = SmallDb();
+  const char* text = "RANGE r WITHIN 3.0 OF #walk5";
+  const Result<QueryResult> clean = db.ExecuteText(text);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_FALSE(clean.value().stats.degraded);
+
+  // Arm packed.compile and mutate so the snapshot must recompile: the
+  // query demotes to the pointer engine, flags degraded, and returns the
+  // same answer set.
+  TimeSeries extra1 = workload::RandomWalkSeries(1, 32, 99)[0];
+  extra1.id = "extra1";
+  ASSERT_TRUE(db.Insert("r", extra1).ok());
+  const Result<QueryResult> fresh = db.ExecuteText(text);
+  ASSERT_TRUE(fresh.ok());
+
+  TimeSeries extra2 = workload::RandomWalkSeries(1, 32, 100)[0];
+  extra2.id = "extra2";
+  ASSERT_TRUE(db.Insert("r", extra2).ok());
+  Failpoints::Global().Configure("packed.compile", Always());
+  const Result<QueryResult> degraded = db.ExecuteText(text);
+  Failpoints::Global().Reset();
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded.value().stats.degraded);
+  EXPECT_TRUE(degraded.value().stats.used_index);
+  EXPECT_GE(db.degradation_stats().packed_compile_failures, 1u);
+  EXPECT_GE(db.degradation_stats().degraded_queries, 1u);
+
+  const Result<QueryResult> after = db.ExecuteText(text);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.value().stats.degraded);
+  ASSERT_EQ(degraded.value().matches.size(), after.value().matches.size());
+  for (size_t i = 0; i < after.value().matches.size(); ++i) {
+    EXPECT_EQ(degraded.value().matches[i].id, after.value().matches[i].id);
+    EXPECT_EQ(degraded.value().matches[i].distance,
+              after.value().matches[i].distance);
+  }
+}
+
+TEST_F(FailpointTest, FilterCompileFailureFallsBackToExactScan) {
+  Database db = SmallDb();
+  Failpoints::Global().Configure("filter.compile", Always());
+  const Result<QueryResult> degraded =
+      db.ExecuteText("RANGE r WITHIN 3.0 OF #walk5 VIA SCAN MODE FILTERED");
+  Failpoints::Global().Reset();
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded.value().stats.degraded);
+  EXPECT_FALSE(degraded.value().stats.used_filter);  // exact scan ran
+
+  const Result<QueryResult> exact =
+      db.ExecuteText("RANGE r WITHIN 3.0 OF #walk5 VIA SCAN MODE EXACT");
+  ASSERT_TRUE(exact.ok());
+  ASSERT_EQ(degraded.value().matches.size(), exact.value().matches.size());
+  for (size_t i = 0; i < exact.value().matches.size(); ++i) {
+    EXPECT_EQ(degraded.value().matches[i].id, exact.value().matches[i].id);
+  }
+}
+
+TEST_F(FailpointTest, PoolTaskFailpointRethrowsOnCaller) {
+  Failpoints::Trigger t;
+  t.kind = Failpoints::TriggerKind::kAfter;
+  t.param = 1;  // first task boundary passes, second throws
+  Failpoints::Global().Configure("pool.task", t);
+  ThreadPool pool(4);
+  bool threw = false;
+  try {
+    pool.ParallelFor(0, 1 << 16, /*min_grain=*/1,
+                     [](int64_t, int64_t, int64_t) {});
+  } catch (const std::exception& e) {
+    threw = true;
+    EXPECT_NE(std::string(e.what()).find("pool.task"), std::string::npos);
+  }
+  Failpoints::Global().Reset();
+  EXPECT_TRUE(threw);
+  // The pool must stay usable after an injected task failure.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 1000, 1, [&sum](int64_t, int64_t lo, int64_t hi) {
+    sum.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(sum.load(), 1000);
+}
+
+}  // namespace
+}  // namespace simq

@@ -94,8 +94,7 @@ TEST(PersistenceTest, RejectsForeignFile) {
   std::ofstream out(path, std::ios::binary);
   out << "definitely not a snapshot, but long enough to read";
   out.close();
-  EXPECT_EQ(LoadDatabase(path).status().code(),
-            StatusCode::kInvalidArgument);
+  EXPECT_EQ(LoadDatabase(path).status().code(), StatusCode::kCorruption);
 }
 
 std::string ReadAllBytes(const std::string& path) {
@@ -104,13 +103,13 @@ std::string ReadAllBytes(const std::string& path) {
                      std::istreambuf_iterator<char>());
 }
 
-TEST(PersistenceTest, DefaultFormatIsV2WithPreservedIds) {
+TEST(PersistenceTest, DefaultFormatIsV3WithPreservedIds) {
   Database db;
   ASSERT_TRUE(db.CreateRelation("r").ok());
   ASSERT_TRUE(db.BulkLoad("r", workload::RandomWalkSeries(25, 32, 11)).ok());
-  const std::string path = TempPath("v2.simqdb");
+  const std::string path = TempPath("v3.simqdb");
   ASSERT_TRUE(SaveDatabase(db, path).ok());
-  EXPECT_EQ(ReadAllBytes(path).substr(0, 8), "SIMQDB2\n");
+  EXPECT_EQ(ReadAllBytes(path).substr(0, 8), "SIMQDB3\n");
 
   Result<Database> loaded = LoadDatabase(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
@@ -160,8 +159,25 @@ TEST(PersistenceTest, VersionRoundTrip) {
 
 TEST(PersistenceTest, RejectsUnsupportedSaveVersion) {
   Database db;
-  EXPECT_EQ(SaveDatabase(db, TempPath("v3.simqdb"), 3).code(),
+  EXPECT_EQ(SaveDatabase(db, TempPath("v4.simqdb"), 4).code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(PersistenceTest, V3RejectsFlippedSectionByte) {
+  // A v3 snapshot carries a CRC32 per section; any flipped payload byte
+  // must surface as kCorruption, not as a wrong-but-loadable database.
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("r").ok());
+  ASSERT_TRUE(db.BulkLoad("r", workload::RandomWalkSeries(10, 16, 3)).ok());
+  const std::string path = TempPath("v3_crc_base.simqdb");
+  ASSERT_TRUE(SaveDatabase(db, path).ok());
+  std::string bytes = ReadAllBytes(path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
+  const std::string bad_path = TempPath("v3_crc_flip.simqdb");
+  std::ofstream out(bad_path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  EXPECT_EQ(LoadDatabase(bad_path).status().code(), StatusCode::kCorruption);
 }
 
 TEST(PersistenceTest, V2RejectsCorruptIdsAndStats) {
@@ -169,7 +185,7 @@ TEST(PersistenceTest, V2RejectsCorruptIdsAndStats) {
   ASSERT_TRUE(db.CreateRelation("r").ok());
   ASSERT_TRUE(db.BulkLoad("r", workload::RandomWalkSeries(10, 16, 3)).ok());
   const std::string path = TempPath("v2_corrupt_base.simqdb");
-  ASSERT_TRUE(SaveDatabase(db, path).ok());
+  ASSERT_TRUE(SaveDatabase(db, path, /*format_version=*/2).ok());
   const std::string bytes = ReadAllBytes(path);
 
   // Fixed offsets for relation "r" (name length 1), per the layout in

@@ -36,6 +36,19 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kTimeout), "Timeout");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOverloaded), "Overloaded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+}
+
+TEST(StatusTest, LifecycleFactoriesCarryTheirCode) {
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Timeout("x").code(), StatusCode::kTimeout);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Overloaded("x").code(), StatusCode::kOverloaded);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
 }
 
 TEST(ResultTest, HoldsValue) {
