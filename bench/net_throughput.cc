@@ -1,0 +1,393 @@
+// [NET] End-to-end throughput of the network front end (net/server.h) on
+// the Table-1 stock workload: real TCP, SIMQNET1 frames, pipelined
+// clients, answers checked bit-identical against the in-process engine.
+//
+// Two phases against one server:
+//   pipelined   `clients` connections, each keeping `depth` (4) exec
+//               frames in flight -- below the server's pipeline bound,
+//               so nothing is shed and every request is answered. This
+//               is the sustained-qps / latency number.
+//   overload    the same clients burst far past max_pipeline, so the
+//               server must shed with kOverloaded instead of queueing
+//               without bound. The shed rate and the survivors'
+//               correctness are the point, not the qps.
+//
+// Self-checks (reported in BENCH_net.json and grepped by CI):
+//   * every kResult answer set that crosses the wire is bit-identical to
+//     the same query executed in-process ("mismatch": true fails the
+//     build)
+//   * the pipelined phase sheds nothing; every overload shed is a typed
+//     kOverloaded error, never a dropped or garbled response
+//
+// Usage: net_throughput [clients] [requests_per_phase] [probes] [out.json]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/sharded_relation.h"
+#include "core/transformation.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "service/query_service.h"
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+#include "workload/generators.h"
+
+namespace simq {
+namespace {
+
+// Round-trip-exact rendering of the probe series into query text (%.17g),
+// as in serve_throughput: the server parses back bit-identical inputs.
+std::string LiteralQueryText(const std::vector<double>& values,
+                             double epsilon) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", epsilon);
+  std::string text = std::string("RANGE r WITHIN ") + buffer + " OF [";
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", values[i]);
+    if (i > 0) {
+      text += ",";
+    }
+    text += buffer;
+  }
+  text += "] USING mavg(20)";
+  return text;
+}
+
+bool SameMatches(const std::vector<Match>& a, const std::vector<Match>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].distance != b[i].distance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// What one client thread observed. Threads write disjoint slots; no locks.
+struct ClientResult {
+  std::vector<double> latencies_ms;  // answered requests only
+  int64_t answered = 0;
+  int64_t shed = 0;
+  bool failed = false;    // transport/protocol breakage -- hard failure
+  bool mismatch = false;  // an answer differed from the in-process oracle
+};
+
+// One pipelined closed-loop client: keeps up to `depth` exec frames in
+// flight, matches responses by request id, and checks every answer
+// against `oracle`. A kOverloaded error counts as shed; any other error
+// or unreadable frame fails the bench.
+void RunWireClient(uint16_t port, const std::vector<std::string>& texts,
+                   const std::vector<std::vector<Match>>& oracle, int quota,
+                   int depth, int client_index, int clients,
+                   ClientResult* out) {
+  net::NetClient client;
+  net::NetClientOptions copts;
+  copts.io_timeout_ms = 60000.0;
+  if (!client.Connect("127.0.0.1", port, copts).ok()) {
+    out->failed = true;
+    return;
+  }
+  using Clock = std::chrono::steady_clock;
+  std::unordered_map<uint32_t, std::pair<size_t, Clock::time_point>> inflight;
+  int sent = 0;
+  int done = 0;
+  while (done < quota) {
+    while (sent < quota && static_cast<int>(inflight.size()) < depth) {
+      const size_t which = static_cast<size_t>(
+          (sent * clients + client_index) % static_cast<int>(texts.size()));
+      net::ExecRequest req;
+      req.text = texts[which];
+      const uint32_t rid = client.NextRequestId();
+      if (!client.SendFrame(net::Opcode::kExec, rid, net::EncodeExec(req))
+               .ok()) {
+        out->failed = true;
+        return;
+      }
+      inflight.emplace(rid, std::make_pair(which, Clock::now()));
+      ++sent;
+    }
+    net::FrameHeader header;
+    std::vector<uint8_t> payload;
+    if (!client.ReadFrame(&header, &payload).ok()) {
+      out->failed = true;
+      return;
+    }
+    const auto it = inflight.find(header.request_id);
+    if (it == inflight.end()) {
+      out->failed = true;  // a response for a request we never sent
+      return;
+    }
+    const double ms = std::chrono::duration<double, std::milli>(
+                          Clock::now() - it->second.second)
+                          .count();
+    const size_t which = it->second.first;
+    inflight.erase(it);
+    ++done;
+    if (header.opcode == static_cast<uint8_t>(net::Opcode::kResult)) {
+      net::ResultPage page;
+      if (!net::DecodeResultPage(payload.data(), payload.size(), &page)
+               .ok() ||
+          page.has_more) {  // probes answer ~12 rows; one page always fits
+        out->failed = true;
+        return;
+      }
+      if (!SameMatches(page.matches, oracle[which])) {
+        out->mismatch = true;
+      }
+      out->latencies_ms.push_back(ms);
+      ++out->answered;
+    } else if (header.opcode == static_cast<uint8_t>(net::Opcode::kError)) {
+      net::ErrorInfo error;
+      if (!net::DecodeError(payload.data(), payload.size(), &error).ok() ||
+          error.code != static_cast<uint16_t>(StatusCode::kOverloaded)) {
+        out->failed = true;
+        return;
+      }
+      ++out->shed;
+    } else {
+      out->failed = true;
+      return;
+    }
+  }
+  client.Goodbye();
+}
+
+struct PhaseResult {
+  std::string name;
+  int depth = 0;
+  double qps = 0.0;  // answered requests per second
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double total_s = 0.0;
+  int64_t answered = 0;
+  int64_t shed = 0;
+  bool mismatch = false;
+};
+
+PhaseResult RunPhase(const std::string& name, uint16_t port,
+                     const std::vector<std::string>& texts,
+                     const std::vector<std::vector<Match>>& oracle,
+                     int clients, int requests, int depth) {
+  std::vector<ClientResult> results(static_cast<size_t>(clients));
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    const int quota = requests / clients + (c < requests % clients ? 1 : 0);
+    threads.emplace_back(RunWireClient, port, std::cref(texts),
+                         std::cref(oracle), quota, depth, c, clients,
+                         &results[static_cast<size_t>(c)]);
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  PhaseResult phase;
+  phase.name = name;
+  phase.depth = depth;
+  phase.total_s = wall.ElapsedSeconds();
+  std::vector<double> all;
+  for (const ClientResult& r : results) {
+    if (r.failed) {
+      std::fprintf(stderr, "phase %s: client transport failure\n",
+                   name.c_str());
+      std::exit(1);
+    }
+    phase.mismatch = phase.mismatch || r.mismatch;
+    phase.answered += r.answered;
+    phase.shed += r.shed;
+    all.insert(all.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  phase.qps = static_cast<double>(phase.answered) / phase.total_s;
+  phase.p50_ms = Percentile(all, 50.0);
+  phase.p99_ms = Percentile(all, 99.0);
+  return phase;
+}
+
+void Run(int clients, int requests, int probes, const std::string& out_path) {
+  bench::PrintHeader(
+      "NET: pipelined wire throughput (1067 x 128 stock relation, "
+      "T_mavg20 literal range queries over SIMQNET1/TCP)",
+      "claims: pipelined clients below the bound are never shed and get "
+      "bit-identical answers; past the bound the server sheds with typed "
+      "kOverloaded errors instead of queueing without bound");
+
+  const std::vector<TimeSeries> market =
+      workload::StockMarket(workload::StockMarketOptions());
+
+  // Calibrate epsilon once for a ~12-answer operating point, as in the
+  // Table-1 reproduction.
+  double epsilon = 0.0;
+  {
+    const auto db = bench::BuildDatabase(market);
+    const auto mavg20 = MakeMovingAverageRule(20);
+    epsilon = bench::CalibrateRangeEpsilon(*db, "r", 0, mavg20.get(), 12);
+  }
+
+  std::vector<std::string> texts;
+  texts.reserve(static_cast<size_t>(probes));
+  for (int p = 0; p < probes; ++p) {
+    const size_t index =
+        static_cast<size_t>(p) * market.size() / static_cast<size_t>(probes);
+    texts.push_back(LiteralQueryText(market[index].values, epsilon));
+  }
+
+  // One service (default options: result cache on -- the bench measures
+  // the wire, not the engine) behind one server on an ephemeral port.
+  const ShardingOptions sharding = ShardingOptions::FromEnv();
+  Database db(FeatureConfig(), RTree::Options(), sharding);
+  SIMQ_CHECK(db.CreateRelation("r").ok());
+  SIMQ_CHECK(db.BulkLoad("r", market).ok());
+  QueryService service(std::move(db), ServiceOptions());
+
+  // In-process oracle answers; also warms the result cache, so both
+  // phases compare against (and are served from) identical answer sets.
+  std::vector<std::vector<Match>> oracle;
+  oracle.reserve(texts.size());
+  {
+    auto session = service.OpenSession();
+    for (const std::string& text : texts) {
+      const Result<ServiceResult> result = session->Execute(text);
+      SIMQ_CHECK(result.ok()) << result.status().message();
+      oracle.push_back(result.value().result.matches);
+    }
+  }
+
+  net::NetServerOptions sopts;
+  sopts.port = 0;
+  sopts.exec_threads = 4;
+  sopts.max_pipeline = 8;
+  sopts.max_queue = 256;
+  net::NetServer server(&service, sopts);
+  SIMQ_CHECK(server.Start().ok());
+  std::thread loop([&server] { server.Run(); });
+
+  const int steady_depth = 4;    // below max_pipeline: nothing shed
+  const int overload_depth = 32; // 4x max_pipeline: shedding guaranteed
+  std::vector<PhaseResult> phases;
+  phases.push_back(RunPhase("pipelined", server.port(), texts, oracle,
+                            clients, requests, steady_depth));
+  phases.push_back(RunPhase("overload", server.port(), texts, oracle,
+                            clients, requests, overload_depth));
+
+  server.Shutdown();
+  loop.join();
+  const net::NetServerStats sstats = server.stats();
+
+  bool mismatch = false;
+  bool contract_broken = false;
+  for (const PhaseResult& phase : phases) {
+    mismatch = mismatch || phase.mismatch;
+  }
+  // The shedding contract, both directions: below the bound nothing is
+  // shed; past it the server must actually shed.
+  if (phases[0].shed != 0) {
+    contract_broken = true;
+    std::fprintf(stderr, "CONTRACT: pipelined phase shed %lld requests\n",
+                 static_cast<long long>(phases[0].shed));
+  }
+  if (phases[1].shed == 0) {
+    contract_broken = true;
+    std::fprintf(stderr, "CONTRACT: overload phase shed nothing\n");
+  }
+
+  TablePrinter table(
+      {"phase", "depth", "qps", "p50_ms", "p99_ms", "shed", "total_s"});
+  for (const PhaseResult& phase : phases) {
+    table.AddRow({phase.name, TablePrinter::FormatDouble(phase.depth, 0),
+                  TablePrinter::FormatDouble(phase.qps, 0),
+                  TablePrinter::FormatDouble(phase.p50_ms, 3),
+                  TablePrinter::FormatDouble(phase.p99_ms, 3),
+                  TablePrinter::FormatDouble(
+                      static_cast<double>(phase.shed), 0),
+                  TablePrinter::FormatDouble(phase.total_s, 2)});
+  }
+  table.Print();
+  const double shed_rate =
+      static_cast<double>(phases[1].shed) /
+      static_cast<double>(phases[1].answered + phases[1].shed);
+  std::printf(
+      "\noverload shed rate = %.1f%%   server: frames_in=%lld "
+      "frames_out=%lld bytes_in=%lld bytes_out=%lld   answers %s\n",
+      100.0 * shed_rate, static_cast<long long>(sstats.frames_in),
+      static_cast<long long>(sstats.frames_out),
+      static_cast<long long>(sstats.bytes_in),
+      static_cast<long long>(sstats.bytes_out),
+      mismatch ? "MISMATCH" : "identical");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  SIMQ_CHECK(out != nullptr) << "cannot write " << out_path;
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"net_throughput\",\n"
+               "  \"workload\": \"stock_1067x128_mavg20_range_wire\",\n"
+               "  \"clients\": %d,\n"
+               "  \"requests_per_phase\": %d,\n"
+               "  \"probes\": %d,\n"
+               "  \"num_shards\": %d,\n"
+               "  \"pool_threads\": %d,\n"
+               "  \"exec_threads\": %d,\n"
+               "  \"max_pipeline\": %d,\n"
+               "  \"max_queue\": %d,\n"
+               "  \"epsilon\": %.17g,\n"
+               "  \"phases\": [\n",
+               clients, requests, probes, sharding.num_shards,
+               ThreadPool::Global().num_threads(), sopts.exec_threads,
+               sopts.max_pipeline, sopts.max_queue, epsilon);
+  for (size_t p = 0; p < phases.size(); ++p) {
+    std::fprintf(
+        out,
+        "    {\"name\": \"%s\", \"depth\": %d, \"qps\": %.1f, "
+        "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"answered\": %lld, "
+        "\"shed\": %lld, \"total_s\": %.3f}%s\n",
+        phases[p].name.c_str(), phases[p].depth, phases[p].qps,
+        phases[p].p50_ms, phases[p].p99_ms,
+        static_cast<long long>(phases[p].answered),
+        static_cast<long long>(phases[p].shed), phases[p].total_s,
+        p + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"overload_shed_rate\": %.4f,\n"
+               "  \"server_requests_shed\": %lld,\n"
+               "  \"server_bytes_in\": %lld,\n"
+               "  \"server_bytes_out\": %lld,\n"
+               "  \"contract_broken\": %s,\n"
+               "  \"mismatch\": %s\n"
+               "}\n",
+               shed_rate, static_cast<long long>(sstats.requests_shed),
+               static_cast<long long>(sstats.bytes_in),
+               static_cast<long long>(sstats.bytes_out),
+               contract_broken ? "true" : "false",
+               mismatch ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  if (mismatch || contract_broken) {
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace simq
+
+int main(int argc, char** argv) {
+  const int clients = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int requests = argc > 2 ? std::atoi(argv[2]) : 2000;
+  const int probes = argc > 3 ? std::atoi(argv[3]) : 16;
+  const std::string out = argc > 4 ? argv[4] : "BENCH_net.json";
+  simq::Run(clients, requests, probes, out);
+  return 0;
+}

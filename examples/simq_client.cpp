@@ -1,0 +1,156 @@
+// simq_client: runs the Table-1 stock workload over the wire.
+//
+// Connects to a simq_server (which loads the 1067x128 stock market into
+// 'stocks' by default), executes the four worked queries from
+// docs/QUERY_LANGUAGE.md -- the [JMM95] Table-1 workload -- by draining
+// each cursor over SIMQNET1, and prints the answer rows in exactly the
+// format simq_shell uses, so the two transcripts diff clean. Finishes
+// with a stats frame and an orderly goodbye.
+//
+//   simq_client [--host H] [--port N] [--relation NAME] [--page-rows R]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+
+namespace simq {
+namespace {
+
+// Mirrors simq_shell's PrintResult (elapsed is measured client-side: the
+// wire carries rows, not timings).
+void PrintResult(const QueryResult& answer, double elapsed_ms) {
+  if (!answer.pairs.empty() || answer.matches.empty()) {
+    std::printf("%zu pairs, %zu matches", answer.pairs.size(),
+                answer.matches.size());
+  } else {
+    std::printf("%zu matches", answer.matches.size());
+  }
+  std::printf(" in %.3f ms\n", elapsed_ms);
+  const size_t show = std::min<size_t>(answer.matches.size(), 10);
+  for (size_t i = 0; i < show; ++i) {
+    std::printf("  %6lld  %-16s  %.6f\n",
+                static_cast<long long>(answer.matches[i].id),
+                answer.matches[i].name.c_str(), answer.matches[i].distance);
+  }
+  if (answer.matches.size() > show) {
+    std::printf("  ... %zu more\n", answer.matches.size() - show);
+  }
+  const size_t show_pairs = std::min<size_t>(answer.pairs.size(), 10);
+  for (size_t i = 0; i < show_pairs; ++i) {
+    std::printf("  (%lld, %lld)  %.6f\n",
+                static_cast<long long>(answer.pairs[i].first),
+                static_cast<long long>(answer.pairs[i].second),
+                answer.pairs[i].distance);
+  }
+  if (answer.pairs.size() > show_pairs) {
+    std::printf("  ... %zu more\n", answer.pairs.size() - show_pairs);
+  }
+}
+
+int Main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string relation = "stocks";
+  uint32_t page_rows = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = next("--host");
+    } else if (arg == "--port") {
+      port = static_cast<uint16_t>(std::atoi(next("--port")));
+    } else if (arg == "--relation") {
+      relation = next("--relation");
+    } else if (arg == "--page-rows") {
+      page_rows = static_cast<uint32_t>(std::atoi(next("--page-rows")));
+    } else {
+      std::fprintf(stderr,
+                   "usage: simq_client [--host H] [--port N] "
+                   "[--relation NAME] [--page-rows R]\n");
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "--port is required (simq_server prints it)\n");
+    return 2;
+  }
+
+  net::NetClient client;
+  const Status connected = client.Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 connected.ToString().c_str());
+    return 1;
+  }
+  std::printf("connected: protocol v%u, max_payload=%u, page_rows=%u\n",
+              client.server_hello().version,
+              client.server_hello().max_payload,
+              client.server_hello().default_page_rows);
+
+  // The Table-1 workload of docs/QUERY_LANGUAGE.md over relation
+  // `relation`: smoothed range, smoothed all-pairs, whole-match nearest,
+  // and the cross-transformation pairs query.
+  const std::vector<std::string> queries = {
+      "RANGE " + relation + " WITHIN 2.5 OF #smooth_pair0 USING mavg(20)",
+      "PAIRS " + relation + " WITHIN 1.0 USING mavg(20)",
+      "NEAREST 10 " + relation + " TO #stock48",
+      "PAIRS " + relation +
+          " WITHIN 1.0 USING mavg(20) VS reverse|mavg(20)",
+  };
+
+  int failures = 0;
+  for (const std::string& text : queries) {
+    std::printf("simq> %s\n", text.c_str());
+    net::ExecRequest request;
+    request.text = text;
+    request.page_rows = page_rows;
+    const auto begin = std::chrono::steady_clock::now();
+    Result<QueryResult> answer = client.ExecAll(request);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - begin)
+            .count();
+    if (!answer.ok()) {
+      std::printf("error: %s\n", answer.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    PrintResult(answer.value(), elapsed_ms);
+  }
+
+  Result<net::WireStats> stats = client.Stats();
+  if (stats.ok()) {
+    const net::WireStats& s = stats.value();
+    std::printf(
+        "server stats: queries=%llu shed=%llu p50=%.3f ms p99=%.3f ms "
+        "connections=%llu/%llu bytes_in=%llu bytes_out=%llu\n",
+        static_cast<unsigned long long>(s.queries),
+        static_cast<unsigned long long>(s.requests_shed), s.latency_p50_ms,
+        s.latency_p99_ms, static_cast<unsigned long long>(s.connections_active),
+        static_cast<unsigned long long>(s.connections_accepted),
+        static_cast<unsigned long long>(s.bytes_in),
+        static_cast<unsigned long long>(s.bytes_out));
+  }
+  const Status bye = client.Goodbye();
+  if (!bye.ok()) {
+    std::fprintf(stderr, "goodbye failed: %s\n", bye.ToString().c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace simq
+
+int main(int argc, char** argv) { return simq::Main(argc, argv); }

@@ -1,0 +1,146 @@
+// simq_server: the SIMQNET1 network server over a QueryService.
+//
+// Loads a workload (the 1067x128 stock market by default, so simq_client's
+// Table-1 queries work out of the box), binds a TCP port, and serves the
+// binary protocol (docs/PROTOCOL.md) until SIGTERM/SIGINT -- which drains
+// in-flight queries, sends goodbye frames, and (when --wal-dir is given)
+// checkpoints the WAL before exiting.
+//
+//   simq_server [--port N] [--relation NAME] [--gen COUNT LENGTH]
+//               [--wal-dir DIR] [--deadline-ms D] [--admission-timeout-ms A]
+//
+// With --port 0 (the default) the kernel picks a free port; the server
+// prints the choice on a "listening on port N" line, which scripts parse.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/sharded_relation.h"
+#include "core/wal.h"
+#include "net/server.h"
+#include "service/query_service.h"
+#include "workload/generators.h"
+
+namespace simq {
+namespace {
+
+int Main(int argc, char** argv) {
+  uint16_t port = 0;
+  std::string relation = "stocks";
+  int gen_count = 0;
+  int gen_length = 0;
+  std::string wal_dir;
+  double deadline_ms = 0.0;
+  double admission_timeout_ms = 250.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = static_cast<uint16_t>(std::atoi(next("--port")));
+    } else if (arg == "--relation") {
+      relation = next("--relation");
+    } else if (arg == "--gen") {
+      gen_count = std::atoi(next("--gen"));
+      gen_length = std::atoi(next("--gen"));
+    } else if (arg == "--wal-dir") {
+      wal_dir = next("--wal-dir");
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = std::atof(next("--deadline-ms"));
+    } else if (arg == "--admission-timeout-ms") {
+      admission_timeout_ms = std::atof(next("--admission-timeout-ms"));
+    } else {
+      std::fprintf(stderr,
+                   "usage: simq_server [--port N] [--relation NAME] "
+                   "[--gen COUNT LENGTH] [--wal-dir DIR] [--deadline-ms D] "
+                   "[--admission-timeout-ms A]\n");
+      return 2;
+    }
+  }
+
+  ServiceOptions service_options;
+  service_options.default_deadline_ms = deadline_ms;
+  service_options.admission_timeout_ms = admission_timeout_ms;
+  if (!wal_dir.empty()) {
+    service_options.snapshot_path = wal_dir + "/simq.snapshot";
+    service_options.wal_path = wal_dir + "/simq.wal";
+  }
+
+  // Recover from a prior run's snapshot + WAL when durability is on;
+  // otherwise start from an empty in-memory database.
+  Database db(FeatureConfig(), RTree::Options(), ShardingOptions::FromEnv());
+  if (!wal_dir.empty()) {
+    Result<Database> recovered =
+        OpenDurableDatabase(FeatureConfig(), service_options.snapshot_path,
+                            service_options.wal_path, nullptr);
+    if (recovered.ok()) {
+      db = std::move(recovered).value();
+    } else {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+  }
+  QueryService service(std::move(db), service_options);
+
+  if (service.RelationEpoch(relation) == 0 &&
+      service.database_unlocked().GetRelation(relation) == nullptr) {
+    Status status = service.CreateRelation(relation);
+    if (status.ok()) {
+      status = gen_count > 0
+                   ? service.BulkLoad(relation, workload::RandomWalkSeries(
+                                                    gen_count, gen_length, 42))
+                   : service.BulkLoad(relation,
+                                      workload::StockMarket(
+                                          workload::StockMarketOptions()));
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %s workload into '%s'\n",
+                gen_count > 0 ? "random-walk" : "stock", relation.c_str());
+  } else {
+    std::printf("serving recovered relation '%s'\n", relation.c_str());
+  }
+
+  net::NetServerOptions net_options;
+  net_options.port = port;
+  net::NetServer server(&service, net_options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  server.EnableSignalShutdown();
+  std::printf("listening on port %u\n", server.port());
+  std::fflush(stdout);
+  server.Run();
+
+  const net::NetServerStats stats = server.stats();
+  std::printf(
+      "shutdown: accepted=%lld shed=%lld timed_out=%lld frames_in=%lld "
+      "frames_out=%lld protocol_errors=%lld bytes_in=%lld bytes_out=%lld\n",
+      static_cast<long long>(stats.connections_accepted),
+      static_cast<long long>(stats.connections_shed),
+      static_cast<long long>(stats.connections_timed_out),
+      static_cast<long long>(stats.frames_in),
+      static_cast<long long>(stats.frames_out),
+      static_cast<long long>(stats.protocol_errors),
+      static_cast<long long>(stats.bytes_in),
+      static_cast<long long>(stats.bytes_out));
+  return 0;
+}
+
+}  // namespace
+}  // namespace simq
+
+int main(int argc, char** argv) { return simq::Main(argc, argv); }

@@ -150,6 +150,20 @@ void PrintStats(const ServiceStats& stats) {
   std::printf("sessions: open=%lld total=%lld\n",
               static_cast<long long>(stats.active_sessions),
               static_cast<long long>(stats.sessions_opened));
+  const ServiceStats::NetStats& net = stats.net;
+  if (net.connections_accepted > 0 || net.connections_shed > 0 ||
+      net.requests_shed > 0) {
+    std::printf(
+        "net: accepted=%lld active=%lld shed=%lld timed_out=%lld "
+        "requests_shed=%lld bytes_in=%lld bytes_out=%lld\n",
+        static_cast<long long>(net.connections_accepted),
+        static_cast<long long>(net.connections_active),
+        static_cast<long long>(net.connections_shed),
+        static_cast<long long>(net.connections_timed_out),
+        static_cast<long long>(net.requests_shed),
+        static_cast<long long>(net.bytes_in),
+        static_cast<long long>(net.bytes_out));
+  }
 }
 
 // A `key=value`-style token of the .exec command; returns true on match.

@@ -1,0 +1,304 @@
+/// Implementation of the blocking SIMQNET1 client (net/client.h).
+
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace simq {
+namespace net {
+namespace {
+
+timeval TimevalFromMillis(double millis) {
+  timeval tv;
+  if (millis <= 0) {
+    tv.tv_sec = 0;
+    tv.tv_usec = 0;  // 0 disables the socket timeout (blocks forever)
+    return tv;
+  }
+  tv.tv_sec = static_cast<time_t>(millis / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (millis - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1000;
+  return tv;
+}
+
+}  // namespace
+
+NetClient::~NetClient() { Close(); }
+
+Status NetClient::Connect(const std::string& host, uint16_t port,
+                          const Options& options) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const timeval tv = TimevalFromMillis(options.io_timeout_ms);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status =
+        Status::IoError(std::string("connect: ") + std::strerror(errno));
+    Close();
+    return status;
+  }
+  if (!options.handshake) return Status::Ok();
+
+  HelloRequest hello;
+  hello.min_version = options.min_version;
+  hello.max_version = options.max_version;
+  std::vector<uint8_t> ack_payload;
+  const Status called =
+      Call(Opcode::kHello, EncodeHello(hello), Opcode::kHelloAck,
+           &ack_payload);
+  if (!called.ok()) {
+    Close();
+    return called;
+  }
+  const Status decoded =
+      DecodeHelloAck(ack_payload.data(), ack_payload.size(), &server_hello_);
+  if (!decoded.ok()) {
+    Close();
+    return decoded;
+  }
+  return Status::Ok();
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+  inbuf_off_ = 0;
+  server_hello_ = HelloAck();
+}
+
+Status NetClient::SendRaw(const void* data, size_t size) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status NetClient::SendFrame(Opcode opcode, uint32_t request_id,
+                            const std::vector<uint8_t>& payload) {
+  const std::vector<uint8_t> frame = BuildFrame(opcode, request_id, payload);
+  return SendRaw(frame.data(), frame.size());
+}
+
+Status NetClient::ReadFrame(FrameHeader* header,
+                            std::vector<uint8_t>* payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  const uint32_t max_payload =
+      server_hello_.max_payload > 0 ? server_hello_.max_payload
+                                    : kDefaultMaxPayload;
+  uint8_t buf[65536];
+  for (;;) {
+    const uint8_t* base = inbuf_.data() + inbuf_off_;
+    const size_t avail = inbuf_.size() - inbuf_off_;
+    FrameHeader parsed;
+    const HeaderStatus hs = ParseHeader(base, avail, max_payload, &parsed);
+    if (hs == HeaderStatus::kOk &&
+        avail >= kHeaderSize + parsed.payload_len) {
+      const uint8_t* body = base + kHeaderSize;
+      if (!CrcMatches(parsed, body)) {
+        return Status::Corruption("server frame CRC mismatch");
+      }
+      *header = parsed;
+      payload->assign(body, body + parsed.payload_len);
+      inbuf_off_ += kHeaderSize + parsed.payload_len;
+      if (inbuf_off_ == inbuf_.size()) {
+        inbuf_.clear();
+        inbuf_off_ = 0;
+      }
+      return Status::Ok();
+    }
+    if (hs != HeaderStatus::kOk && hs != HeaderStatus::kNeedMore) {
+      return Status::Corruption("malformed frame from server");
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Status::IoError("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Timeout("timed out waiting for a server frame");
+      }
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    inbuf_.insert(inbuf_.end(), buf, buf + n);
+  }
+}
+
+Status NetClient::ShutdownWrite() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (::shutdown(fd_, SHUT_WR) != 0) {
+    return Status::IoError(std::string("shutdown: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status NetClient::Call(Opcode opcode, const std::vector<uint8_t>& payload,
+                       Opcode expected_ack,
+                       std::vector<uint8_t>* ack_payload) {
+  const uint32_t request_id = NextRequestId();
+  Status sent = SendFrame(opcode, request_id, payload);
+  if (!sent.ok()) return sent;
+  for (;;) {
+    FrameHeader header;
+    std::vector<uint8_t> body;
+    const Status read = ReadFrame(&header, &body);
+    if (!read.ok()) return read;
+    const Opcode got = static_cast<Opcode>(header.opcode);
+    if (got == Opcode::kError && header.request_id == request_id) {
+      ErrorInfo error;
+      const Status decoded = DecodeError(body.data(), body.size(), &error);
+      if (!decoded.ok()) return decoded;
+      return StatusFromWire(error);
+    }
+    if (got == expected_ack && header.request_id == request_id) {
+      *ack_payload = std::move(body);
+      return Status::Ok();
+    }
+    if (got == Opcode::kGoodbye) {
+      return Status::IoError("server said goodbye mid-call");
+    }
+    // With one request in flight, anything else is a protocol breach.
+    return Status::Corruption("unexpected frame from server");
+  }
+}
+
+Result<uint64_t> NetClient::Prepare(const std::string& text) {
+  PrepareRequest request;
+  request.text = text;
+  std::vector<uint8_t> body;
+  const Status called =
+      Call(Opcode::kPrepare, EncodePrepare(request), Opcode::kPrepareAck,
+           &body);
+  if (!called.ok()) return called;
+  PrepareAck ack;
+  const Status decoded = DecodePrepareAck(body.data(), body.size(), &ack);
+  if (!decoded.ok()) return decoded;
+  return ack.statement_id;
+}
+
+Result<ResultPage> NetClient::Exec(const ExecRequest& request) {
+  std::vector<uint8_t> body;
+  const Status called =
+      Call(Opcode::kExec, EncodeExec(request), Opcode::kResult, &body);
+  if (!called.ok()) return called;
+  ResultPage page;
+  const Status decoded = DecodeResultPage(body.data(), body.size(), &page);
+  if (!decoded.ok()) return decoded;
+  return page;
+}
+
+Result<QueryResult> NetClient::ExecAll(const ExecRequest& request) {
+  Result<ResultPage> first = Exec(request);
+  if (!first.ok()) return first.status();
+  ResultPage page = std::move(first.value());
+  QueryResult result;
+  result.matches = std::move(page.matches);
+  result.pairs = std::move(page.pairs);
+  while (page.has_more) {
+    Result<ResultPage> next = Fetch(page.cursor_id, 0);
+    if (!next.ok()) return next.status();
+    page = std::move(next.value());
+    result.matches.insert(result.matches.end(), page.matches.begin(),
+                          page.matches.end());
+    result.pairs.insert(result.pairs.end(), page.pairs.begin(),
+                        page.pairs.end());
+  }
+  return result;
+}
+
+Result<ResultPage> NetClient::Fetch(uint64_t cursor_id, uint32_t page_rows) {
+  FetchRequest request;
+  request.cursor_id = cursor_id;
+  request.page_rows = page_rows;
+  std::vector<uint8_t> body;
+  const Status called =
+      Call(Opcode::kFetch, EncodeFetch(request), Opcode::kResult, &body);
+  if (!called.ok()) return called;
+  ResultPage page;
+  const Status decoded = DecodeResultPage(body.data(), body.size(), &page);
+  if (!decoded.ok()) return decoded;
+  return page;
+}
+
+Result<WireStats> NetClient::Stats() {
+  std::vector<uint8_t> body;
+  const Status called = Call(Opcode::kStats, {}, Opcode::kStatsAck, &body);
+  if (!called.ok()) return called;
+  WireStats stats;
+  const Status decoded = DecodeStats(body.data(), body.size(), &stats);
+  if (!decoded.ok()) return decoded;
+  return stats;
+}
+
+Status NetClient::Cancel() {
+  std::vector<uint8_t> body;
+  return Call(Opcode::kCancel, {}, Opcode::kCancelAck, &body);
+}
+
+Status NetClient::CloseCursor(uint64_t cursor_id) {
+  CloseCursorRequest request;
+  request.cursor_id = cursor_id;
+  std::vector<uint8_t> body;
+  return Call(Opcode::kCloseCursor, EncodeCloseCursor(request),
+              Opcode::kCloseCursorAck, &body);
+}
+
+Status NetClient::Goodbye() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  const Status sent = SendFrame(Opcode::kGoodbye, NextRequestId(), {});
+  if (!sent.ok()) return sent;
+  for (;;) {
+    FrameHeader header;
+    std::vector<uint8_t> body;
+    const Status read = ReadFrame(&header, &body);
+    if (!read.ok()) {
+      // Clean EOF counts as an orderly goodbye from an older server.
+      Close();
+      return read.code() == StatusCode::kIoError ? Status::Ok() : read;
+    }
+    if (static_cast<Opcode>(header.opcode) == Opcode::kGoodbye) {
+      Close();
+      return Status::Ok();
+    }
+    // Late responses to cancelled/abandoned requests may still flush
+    // ahead of the goodbye; drain them.
+  }
+}
+
+}  // namespace net
+}  // namespace simq

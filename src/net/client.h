@@ -1,0 +1,108 @@
+/// Blocking SIMQNET1 client (net/protocol.h): the counterpart the
+/// examples, the protocol fuzz tests, and the net bench all drive.
+///
+/// Two API layers on one socket:
+///
+///  * Frame level -- SendFrame / SendRaw / ReadFrame / ShutdownWrite.
+///    This is what the fuzzer and the pipelined bench use: SendRaw can
+///    deliver arbitrary hostile bytes (truncated frames, bad CRCs,
+///    mid-frame disconnects), and SendFrame+ReadFrame decouple request
+///    and response so a caller can keep many requests in flight and
+///    match responses by request id (the server answers execs in FIFO
+///    order per connection).
+///  * Call level -- Prepare / Exec / ExecAll / Fetch / Stats / Cancel /
+///    Goodbye. One request in flight at a time; a server kError for the
+///    request comes back as the typed Status it encodes (prefixed
+///    "[net] ").
+///
+/// Reads honor Options::io_timeout_ms via SO_RCVTIMEO, so a wedged or
+/// murdered server surfaces as kTimeout / kIoError instead of a hang --
+/// the crash harness depends on that. Instances are not thread-safe.
+
+#ifndef SIMQ_NET_CLIENT_H_
+#define SIMQ_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "util/status.h"
+
+namespace simq {
+namespace net {
+
+struct NetClientOptions {
+  /// SO_RCVTIMEO/SO_SNDTIMEO on the socket; <= 0 blocks forever.
+  double io_timeout_ms = 30000.0;
+  /// Version range offered in HELLO.
+  uint16_t min_version = kVersionMin;
+  uint16_t max_version = kVersionMax;
+  /// When false, Connect only opens the TCP connection -- no HELLO.
+  /// The fuzzer uses this to probe the pre-handshake state.
+  bool handshake = true;
+};
+
+class NetClient {
+ public:
+  using Options = NetClientOptions;
+
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port,
+                 const Options& options = Options());
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// The server's HELLO ack (valid after a handshaking Connect).
+  const HelloAck& server_hello() const { return server_hello_; }
+
+  // --- frame level ---
+
+  /// Writes raw bytes verbatim (hostile input for the fuzzer).
+  Status SendRaw(const void* data, size_t size);
+  /// Encodes and writes one well-formed frame.
+  Status SendFrame(Opcode opcode, uint32_t request_id,
+                   const std::vector<uint8_t>& payload);
+  /// Blocks for one complete frame; validates magic, length, and CRC.
+  /// EOF surfaces as kIoError("connection closed by server").
+  Status ReadFrame(FrameHeader* header, std::vector<uint8_t>* payload);
+  /// Half-close (SHUT_WR): the mid-frame-disconnect probe.
+  Status ShutdownWrite();
+  /// Client-chosen request ids for frame-level callers (monotonic, > 0).
+  uint32_t NextRequestId() { return next_request_id_++; }
+
+  // --- call level (one request in flight) ---
+
+  Result<uint64_t> Prepare(const std::string& text);
+  /// One page; page.cursor_id with has_more means more is fetchable.
+  Result<ResultPage> Exec(const ExecRequest& request);
+  /// Exec plus a full cursor drain: the complete answer set.
+  Result<QueryResult> ExecAll(const ExecRequest& request);
+  Result<ResultPage> Fetch(uint64_t cursor_id, uint32_t page_rows = 0);
+  Result<WireStats> Stats();
+  Status Cancel();
+  Status CloseCursor(uint64_t cursor_id);
+  /// Sends GOODBYE and waits for the server's goodbye (or clean EOF).
+  Status Goodbye();
+
+ private:
+  /// Send + wait for the matching (by request id) ack or error frame.
+  Status Call(Opcode opcode, const std::vector<uint8_t>& payload,
+              Opcode expected_ack, std::vector<uint8_t>* ack_payload);
+
+  int fd_ = -1;
+  uint32_t next_request_id_ = 1;
+  HelloAck server_hello_;
+  std::vector<uint8_t> inbuf_;
+  size_t inbuf_off_ = 0;
+};
+
+}  // namespace net
+}  // namespace simq
+
+#endif  // SIMQ_NET_CLIENT_H_

@@ -1,0 +1,439 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "net/wire.h"
+#include "util/crc32.h"
+
+namespace simq {
+namespace net {
+
+namespace {
+
+// Bytes [8, 16) of the header -- opcode, flags, reserved, request id --
+// are covered by the frame CRC alongside the payload.
+uint32_t FrameCrc(uint8_t opcode, uint8_t flags, uint16_t reserved,
+                  uint32_t request_id, const uint8_t* payload,
+                  size_t payload_len) {
+  uint8_t dispatch[8];
+  dispatch[0] = opcode;
+  dispatch[1] = flags;
+  dispatch[2] = static_cast<uint8_t>(reserved);
+  dispatch[3] = static_cast<uint8_t>(reserved >> 8);
+  dispatch[4] = static_cast<uint8_t>(request_id);
+  dispatch[5] = static_cast<uint8_t>(request_id >> 8);
+  dispatch[6] = static_cast<uint8_t>(request_id >> 16);
+  dispatch[7] = static_cast<uint8_t>(request_id >> 24);
+  uint32_t crc = Crc32(dispatch, sizeof(dispatch));
+  if (payload_len > 0) {
+    crc = Crc32(payload, payload_len, crc);
+  }
+  return crc;
+}
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed ") + what +
+                                 " payload");
+}
+
+// Shared epilogue of every decoder: the payload must decode exactly.
+Status FinishDecode(const WireReader& reader, const char* what) {
+  if (!reader.ok() || reader.remaining() != 0) {
+    return Malformed(what);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+bool IsClientOpcode(uint8_t opcode) {
+  switch (static_cast<Opcode>(opcode)) {
+    case Opcode::kHello:
+    case Opcode::kPrepare:
+    case Opcode::kExec:
+    case Opcode::kFetch:
+    case Opcode::kCancel:
+    case Opcode::kStats:
+    case Opcode::kCloseCursor:
+    case Opcode::kGoodbye:
+      return true;
+    default:
+      return false;
+  }
+}
+
+HeaderStatus ParseHeader(const uint8_t* data, size_t size,
+                         uint32_t max_payload, FrameHeader* out) {
+  if (size < kHeaderSize) {
+    return HeaderStatus::kNeedMore;
+  }
+  WireReader reader(data, kHeaderSize);
+  const uint32_t magic = reader.U32();
+  out->payload_len = reader.U32();
+  out->opcode = reader.U8();
+  out->flags = reader.U8();
+  out->reserved = reader.U16();
+  out->request_id = reader.U32();
+  out->crc = reader.U32();
+  if (magic != kMagic) {
+    return HeaderStatus::kBadMagic;
+  }
+  if (out->payload_len > max_payload) {
+    return HeaderStatus::kBadLength;
+  }
+  if (out->flags != 0 || out->reserved != 0) {
+    return HeaderStatus::kBadReserved;
+  }
+  return HeaderStatus::kOk;
+}
+
+bool CrcMatches(const FrameHeader& header, const uint8_t* payload) {
+  return header.crc == FrameCrc(header.opcode, header.flags, header.reserved,
+                                header.request_id, payload,
+                                header.payload_len);
+}
+
+void AppendFrame(std::vector<uint8_t>* out, Opcode opcode,
+                 uint32_t request_id, const uint8_t* payload,
+                 size_t payload_len) {
+  WireWriter w(out);
+  w.U32(kMagic);
+  w.U32(static_cast<uint32_t>(payload_len));
+  w.U8(static_cast<uint8_t>(opcode));
+  w.U8(0);   // flags
+  w.U16(0);  // reserved
+  w.U32(request_id);
+  w.U32(FrameCrc(static_cast<uint8_t>(opcode), 0, 0, request_id, payload,
+                 payload_len));
+  if (payload_len > 0) {
+    w.Bytes(payload, payload_len);
+  }
+}
+
+std::vector<uint8_t> BuildFrame(Opcode opcode, uint32_t request_id,
+                                const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kHeaderSize + payload.size());
+  AppendFrame(&out, opcode, request_id,
+              payload.empty() ? nullptr : payload.data(), payload.size());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeHello(const HelloRequest& hello) {
+  WireWriter w;
+  w.U16(hello.min_version);
+  w.U16(hello.max_version);
+  return w.Take();
+}
+
+Status DecodeHello(const uint8_t* payload, size_t size, HelloRequest* out) {
+  WireReader r(payload, size);
+  out->min_version = r.U16();
+  out->max_version = r.U16();
+  return FinishDecode(r, "HELLO");
+}
+
+std::vector<uint8_t> EncodeHelloAck(const HelloAck& ack) {
+  WireWriter w;
+  w.U16(ack.version);
+  w.U32(ack.max_payload);
+  w.U32(ack.default_page_rows);
+  return w.Take();
+}
+
+Status DecodeHelloAck(const uint8_t* payload, size_t size, HelloAck* out) {
+  WireReader r(payload, size);
+  out->version = r.U16();
+  out->max_payload = r.U32();
+  out->default_page_rows = r.U32();
+  return FinishDecode(r, "HELLO_ACK");
+}
+
+std::vector<uint8_t> EncodePrepare(const PrepareRequest& req) {
+  WireWriter w;
+  w.String(req.text);
+  return w.Take();
+}
+
+Status DecodePrepare(const uint8_t* payload, size_t size,
+                     PrepareRequest* out) {
+  WireReader r(payload, size);
+  out->text = r.String();
+  return FinishDecode(r, "PREPARE");
+}
+
+std::vector<uint8_t> EncodePrepareAck(const PrepareAck& ack) {
+  WireWriter w;
+  w.U64(ack.statement_id);
+  return w.Take();
+}
+
+Status DecodePrepareAck(const uint8_t* payload, size_t size,
+                        PrepareAck* out) {
+  WireReader r(payload, size);
+  out->statement_id = r.U64();
+  return FinishDecode(r, "PREPARE_ACK");
+}
+
+std::vector<uint8_t> EncodeExec(const ExecRequest& req) {
+  WireWriter w;
+  w.U8(req.prepared ? 1 : 0);
+  w.F64(req.deadline_ms);
+  w.U32(req.page_rows);
+  if (!req.prepared) {
+    w.String(req.text);
+  } else {
+    w.U64(req.statement_id);
+    w.U8(req.epsilon.has_value() ? 1 : 0);
+    if (req.epsilon.has_value()) {
+      w.F64(*req.epsilon);
+    }
+    w.U8(req.k.has_value() ? 1 : 0);
+    if (req.k.has_value()) {
+      w.I32(*req.k);
+    }
+    w.U8(req.has_series ? 1 : 0);
+    if (req.has_series) {
+      w.U32(static_cast<uint32_t>(req.series.size()));
+      for (double v : req.series) {
+        w.F64(v);
+      }
+    }
+  }
+  return w.Take();
+}
+
+Status DecodeExec(const uint8_t* payload, size_t size, ExecRequest* out) {
+  WireReader r(payload, size);
+  const uint8_t prepared = r.U8();
+  if (r.ok() && prepared > 1) {
+    return Malformed("EXEC");
+  }
+  out->prepared = prepared == 1;
+  out->deadline_ms = r.F64();
+  out->page_rows = r.U32();
+  if (!out->prepared) {
+    out->text = r.String();
+  } else {
+    out->statement_id = r.U64();
+    if (r.U8() != 0) {
+      out->epsilon = r.F64();
+    }
+    if (r.U8() != 0) {
+      out->k = r.I32();
+    }
+    out->has_series = r.U8() != 0;
+    if (out->has_series) {
+      const uint32_t n = r.U32();
+      // The count must be consistent with the bytes actually present
+      // before anything is allocated for it.
+      if (!r.ok() || static_cast<size_t>(n) * 8 != r.remaining()) {
+        return Malformed("EXEC");
+      }
+      out->series.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        out->series[i] = r.F64();
+      }
+    }
+  }
+  return FinishDecode(r, "EXEC");
+}
+
+std::vector<uint8_t> EncodeResultPage(const ResultPage& page) {
+  WireWriter w;
+  w.U8(page.kind);
+  w.U8(page.has_more ? 1 : 0);
+  w.U64(page.cursor_id);
+  w.U64(page.total_rows);
+  if (page.kind == 0) {
+    const uint32_t n = static_cast<uint32_t>(page.matches.size());
+    w.U32(n);
+    // Column-major: the id and distance columns are written as contiguous
+    // runs straight from the result rows, names after (variable-length).
+    for (const Match& m : page.matches) {
+      w.I64(m.id);
+    }
+    for (const Match& m : page.matches) {
+      w.F64(m.distance);
+    }
+    for (const Match& m : page.matches) {
+      w.U16(static_cast<uint16_t>(
+          m.name.size() > 0xFFFF ? 0xFFFF : m.name.size()));
+      w.Bytes(m.name.data(), m.name.size() > 0xFFFF ? 0xFFFF : m.name.size());
+    }
+  } else {
+    const uint32_t n = static_cast<uint32_t>(page.pairs.size());
+    w.U32(n);
+    for (const PairMatch& p : page.pairs) {
+      w.I64(p.first);
+    }
+    for (const PairMatch& p : page.pairs) {
+      w.I64(p.second);
+    }
+    for (const PairMatch& p : page.pairs) {
+      w.F64(p.distance);
+    }
+  }
+  return w.Take();
+}
+
+Status DecodeResultPage(const uint8_t* payload, size_t size,
+                        ResultPage* out) {
+  WireReader r(payload, size);
+  out->kind = r.U8();
+  if (r.ok() && out->kind > 1) {
+    return Malformed("RESULT");
+  }
+  out->has_more = r.U8() != 0;
+  out->cursor_id = r.U64();
+  out->total_rows = r.U64();
+  const uint32_t n = r.U32();
+  // Reject a row count the remaining bytes cannot possibly hold before
+  // sizing any vector from it (16 bytes/row is the smallest layout).
+  if (!r.ok() || static_cast<size_t>(n) * 16 > r.remaining()) {
+    return Malformed("RESULT");
+  }
+  if (out->kind == 0) {
+    out->matches.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      out->matches[i].id = r.I64();
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      out->matches[i].distance = r.F64();
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint16_t len = r.U16();
+      if (!r.ok() || len > r.remaining()) {
+        return Malformed("RESULT");
+      }
+      out->matches[i].name.assign(
+          reinterpret_cast<const char*>(payload + (size - r.remaining())),
+          len);
+      for (uint16_t b = 0; b < len; ++b) {
+        r.U8();
+      }
+    }
+  } else {
+    out->pairs.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      out->pairs[i].first = r.I64();
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      out->pairs[i].second = r.I64();
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      out->pairs[i].distance = r.F64();
+    }
+  }
+  return FinishDecode(r, "RESULT");
+}
+
+std::vector<uint8_t> EncodeFetch(const FetchRequest& req) {
+  WireWriter w;
+  w.U64(req.cursor_id);
+  w.U32(req.page_rows);
+  return w.Take();
+}
+
+Status DecodeFetch(const uint8_t* payload, size_t size, FetchRequest* out) {
+  WireReader r(payload, size);
+  out->cursor_id = r.U64();
+  out->page_rows = r.U32();
+  return FinishDecode(r, "FETCH");
+}
+
+std::vector<uint8_t> EncodeCloseCursor(const CloseCursorRequest& req) {
+  WireWriter w;
+  w.U64(req.cursor_id);
+  return w.Take();
+}
+
+Status DecodeCloseCursor(const uint8_t* payload, size_t size,
+                         CloseCursorRequest* out) {
+  WireReader r(payload, size);
+  out->cursor_id = r.U64();
+  return FinishDecode(r, "CLOSE_CURSOR");
+}
+
+std::vector<uint8_t> EncodeError(const ErrorInfo& error) {
+  WireWriter w;
+  w.U16(error.code);
+  w.String(error.message);
+  return w.Take();
+}
+
+Status DecodeError(const uint8_t* payload, size_t size, ErrorInfo* out) {
+  WireReader r(payload, size);
+  out->code = r.U16();
+  out->message = r.String();
+  return FinishDecode(r, "ERROR");
+}
+
+std::vector<uint8_t> EncodeStats(const WireStats& stats) {
+  WireWriter w;
+  w.U64(stats.queries);
+  w.U64(stats.mutations);
+  w.U64(stats.timeouts);
+  w.U64(stats.cancellations);
+  w.U64(stats.overloaded);
+  w.U64(stats.cache_hits);
+  w.U64(stats.cache_misses);
+  w.F64(stats.latency_p50_ms);
+  w.F64(stats.latency_p95_ms);
+  w.F64(stats.latency_p99_ms);
+  w.U64(stats.connections_accepted);
+  w.U64(stats.connections_active);
+  w.U64(stats.connections_shed);
+  w.U64(stats.connections_timed_out);
+  w.U64(stats.requests_shed);
+  w.U64(stats.bytes_in);
+  w.U64(stats.bytes_out);
+  return w.Take();
+}
+
+Status DecodeStats(const uint8_t* payload, size_t size, WireStats* out) {
+  WireReader r(payload, size);
+  out->queries = r.U64();
+  out->mutations = r.U64();
+  out->timeouts = r.U64();
+  out->cancellations = r.U64();
+  out->overloaded = r.U64();
+  out->cache_hits = r.U64();
+  out->cache_misses = r.U64();
+  out->latency_p50_ms = r.F64();
+  out->latency_p95_ms = r.F64();
+  out->latency_p99_ms = r.F64();
+  out->connections_accepted = r.U64();
+  out->connections_active = r.U64();
+  out->connections_shed = r.U64();
+  out->connections_timed_out = r.U64();
+  out->requests_shed = r.U64();
+  out->bytes_in = r.U64();
+  out->bytes_out = r.U64();
+  return FinishDecode(r, "STATS_ACK");
+}
+
+Status StatusFromWire(const ErrorInfo& error) {
+  StatusCode code = StatusCode::kInternal;
+  if (error.code <= static_cast<uint16_t>(StatusCode::kIoError)) {
+    code = static_cast<StatusCode>(error.code);
+  }
+  if (code == StatusCode::kOk) {
+    code = StatusCode::kInternal;  // an error frame is never OK
+  }
+  return Status(code, "[net] " + error.message);
+}
+
+ErrorInfo ErrorFromStatus(const Status& status) {
+  ErrorInfo error;
+  error.code = static_cast<uint16_t>(status.code());
+  error.message = status.message();
+  return error;
+}
+
+}  // namespace net
+}  // namespace simq

@@ -1,0 +1,249 @@
+/// SIMQNET1: the length-prefixed, CRC-checked binary protocol the network
+/// server (net/server.h) speaks over TCP. docs/PROTOCOL.md is the
+/// normative wire description; this header is its executable form.
+///
+/// Every frame is
+///
+///   offset  size  field
+///   0       4     magic "SQN1" (0x314E5153 as a little-endian u32)
+///   4       4     payload length (bounded by the negotiated max payload)
+///   8       1     opcode
+///   9       1     flags (must be 0 in version 1)
+///   10      2     reserved (must be 0 in version 1)
+///   12      4     request id (client-chosen; echoed by every response;
+///                 0 on server-initiated frames)
+///   16      4     CRC32 of header bytes [8, 16) plus the payload
+///   20      ...   payload
+///
+/// with all integers little-endian. The CRC covers the dispatch-relevant
+/// header fields and the payload, so a flipped opcode or request id is
+/// detected exactly like a flipped payload byte; magic and length are
+/// validated structurally before the CRC is checked. Validation severity
+/// is two-tier, and the distinction is the contract fuzzing leans on:
+///
+///  * Framing errors (bad magic, oversized length, bad CRC, nonzero
+///    flags/reserved) mean the byte stream cannot be trusted to be in
+///    sync: the server stops reading, answers every request admitted
+///    before the poison bytes, then sends one kError frame (request id
+///    0, kCorruption) and closes the connection.
+///  * Semantic errors inside a well-framed frame (unknown opcode, a
+///    payload that fails to decode, an unknown statement or cursor id, an
+///    engine error) are typed kError responses on a connection that stays
+///    open -- pipelined valid requests before and after are unaffected.
+///
+/// Payload codecs in this header are pure functions over byte vectors
+/// (net/wire.h); they allocate nothing global, and every decoder rejects
+/// trailing garbage, so a frame either decodes exactly or fails cleanly.
+
+#ifndef SIMQ_NET_PROTOCOL_H_
+#define SIMQ_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "util/status.h"
+
+namespace simq {
+namespace net {
+
+/// "SQN1" read as a little-endian u32.
+constexpr uint32_t kMagic = 0x314E5153u;
+/// Protocol versions this build can speak (HELLO negotiates within).
+constexpr uint16_t kVersionMin = 1;
+constexpr uint16_t kVersionMax = 1;
+/// Fixed frame header size in bytes.
+constexpr size_t kHeaderSize = 20;
+/// Default ceiling on a single frame's payload; both sides enforce it.
+constexpr uint32_t kDefaultMaxPayload = 8u << 20;
+
+enum class Opcode : uint8_t {
+  kHello = 1,         // client->server: version range
+  kHelloAck = 2,      // server->client: chosen version + limits
+  kPrepare = 3,       // client->server: statement text
+  kPrepareAck = 4,    // server->client: statement id
+  kExec = 5,          // client->server: one-shot or prepared execution
+  kResult = 6,        // server->client: one page of an answer set
+  kFetch = 7,         // client->server: next page of a cursor
+  kCancel = 8,        // client->server: cancel everything in flight
+  kCancelAck = 9,     // server->client
+  kStats = 10,        // client->server: service + connection counters
+  kStatsAck = 11,     // server->client
+  kCloseCursor = 12,  // client->server: drop a cursor early (idempotent)
+  kCloseCursorAck = 13,  // server->client
+  kGoodbye = 14,      // either direction: orderly close after flush
+  kError = 15,        // server->client: typed Status for a request
+};
+
+/// True for opcodes a client may legally send.
+bool IsClientOpcode(uint8_t opcode);
+
+/// Decoded fixed-size frame header (see the layout above).
+struct FrameHeader {
+  uint32_t payload_len = 0;
+  uint8_t opcode = 0;
+  uint8_t flags = 0;
+  uint16_t reserved = 0;
+  uint32_t request_id = 0;
+  uint32_t crc = 0;
+};
+
+/// Outcome of parsing kHeaderSize bytes; anything but kOk / kNeedMore is a
+/// framing error (connection-fatal by protocol contract).
+enum class HeaderStatus {
+  kOk,
+  kNeedMore,     // fewer than kHeaderSize bytes available
+  kBadMagic,
+  kBadLength,    // payload length exceeds the frame size limit
+  kBadReserved,  // nonzero flags or reserved bits in version 1
+};
+
+/// Parses and structurally validates a frame header from `data`.
+HeaderStatus ParseHeader(const uint8_t* data, size_t size,
+                         uint32_t max_payload, FrameHeader* out);
+
+/// True iff `header.crc` matches the CRC computed over the dispatch
+/// fields and `payload` (which must be `header.payload_len` bytes).
+bool CrcMatches(const FrameHeader& header, const uint8_t* payload);
+
+/// Appends one complete frame (header + payload) to `out`.
+void AppendFrame(std::vector<uint8_t>* out, Opcode opcode,
+                 uint32_t request_id, const uint8_t* payload,
+                 size_t payload_len);
+std::vector<uint8_t> BuildFrame(Opcode opcode, uint32_t request_id,
+                                const std::vector<uint8_t>& payload);
+
+// ---------------------------------------------------------------------------
+// Payloads. Encode* returns payload bytes; Decode* validates that the
+// payload decodes exactly (no truncation, no trailing garbage).
+// ---------------------------------------------------------------------------
+
+struct HelloRequest {
+  uint16_t min_version = kVersionMin;
+  uint16_t max_version = kVersionMax;
+};
+
+struct HelloAck {
+  uint16_t version = kVersionMax;
+  uint32_t max_payload = kDefaultMaxPayload;
+  uint32_t default_page_rows = 0;
+};
+
+struct PrepareRequest {
+  std::string text;
+};
+
+struct PrepareAck {
+  uint64_t statement_id = 0;
+};
+
+/// One execution request: a one-shot query text or a prepared statement
+/// with optional parameter bindings. `deadline_ms <= 0` defers to the
+/// server's default deadline; `page_rows == 0` defers to the server's
+/// default page size.
+struct ExecRequest {
+  bool prepared = false;
+  double deadline_ms = 0.0;
+  uint32_t page_rows = 0;
+  std::string text;            // !prepared
+  uint64_t statement_id = 0;   // prepared
+  std::optional<double> epsilon;
+  std::optional<int32_t> k;
+  bool has_series = false;
+  std::vector<double> series;
+};
+
+/// One page of an answer set. `cursor_id != 0` with `has_more` means the
+/// rest is fetchable; the final page of a cursor carries the id with
+/// has_more == false so the client knows which cursor just completed.
+struct ResultPage {
+  uint8_t kind = 0;  // 0 = matches (range/nearest), 1 = pairs
+  bool has_more = false;
+  uint64_t cursor_id = 0;
+  uint64_t total_rows = 0;
+  std::vector<Match> matches;
+  std::vector<PairMatch> pairs;
+};
+
+struct FetchRequest {
+  uint64_t cursor_id = 0;
+  uint32_t page_rows = 0;
+};
+
+struct CloseCursorRequest {
+  uint64_t cursor_id = 0;
+};
+
+struct ErrorInfo {
+  uint16_t code = 0;  // StatusCode numeric value
+  std::string message;
+};
+
+/// Service + connection counters surfaced over the wire (a stable subset
+/// of ServiceStats; see docs/PROTOCOL.md for field semantics).
+struct WireStats {
+  uint64_t queries = 0;
+  uint64_t mutations = 0;
+  uint64_t timeouts = 0;
+  uint64_t cancellations = 0;
+  uint64_t overloaded = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t connections_shed = 0;
+  uint64_t connections_timed_out = 0;
+  uint64_t requests_shed = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+std::vector<uint8_t> EncodeHello(const HelloRequest& hello);
+Status DecodeHello(const uint8_t* payload, size_t size, HelloRequest* out);
+
+std::vector<uint8_t> EncodeHelloAck(const HelloAck& ack);
+Status DecodeHelloAck(const uint8_t* payload, size_t size, HelloAck* out);
+
+std::vector<uint8_t> EncodePrepare(const PrepareRequest& req);
+Status DecodePrepare(const uint8_t* payload, size_t size,
+                     PrepareRequest* out);
+
+std::vector<uint8_t> EncodePrepareAck(const PrepareAck& ack);
+Status DecodePrepareAck(const uint8_t* payload, size_t size,
+                        PrepareAck* out);
+
+std::vector<uint8_t> EncodeExec(const ExecRequest& req);
+Status DecodeExec(const uint8_t* payload, size_t size, ExecRequest* out);
+
+std::vector<uint8_t> EncodeResultPage(const ResultPage& page);
+Status DecodeResultPage(const uint8_t* payload, size_t size,
+                        ResultPage* out);
+
+std::vector<uint8_t> EncodeFetch(const FetchRequest& req);
+Status DecodeFetch(const uint8_t* payload, size_t size, FetchRequest* out);
+
+std::vector<uint8_t> EncodeCloseCursor(const CloseCursorRequest& req);
+Status DecodeCloseCursor(const uint8_t* payload, size_t size,
+                         CloseCursorRequest* out);
+
+std::vector<uint8_t> EncodeError(const ErrorInfo& error);
+Status DecodeError(const uint8_t* payload, size_t size, ErrorInfo* out);
+
+std::vector<uint8_t> EncodeStats(const WireStats& stats);
+Status DecodeStats(const uint8_t* payload, size_t size, WireStats* out);
+
+/// Reconstructs a typed Status from a wire error frame ("[net] " is
+/// prefixed so a caller can tell a server-reported error from a local
+/// one). An out-of-range code maps to kInternal.
+Status StatusFromWire(const ErrorInfo& error);
+ErrorInfo ErrorFromStatus(const Status& status);
+
+}  // namespace net
+}  // namespace simq
+
+#endif  // SIMQ_NET_PROTOCOL_H_

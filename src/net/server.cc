@@ -1,0 +1,1130 @@
+/// Implementation of the SIMQNET1 epoll server (net/server.h).
+///
+/// Everything except WorkerLoop runs on the Run() thread; the executor
+/// threads touch only the work queue, the completion queue, the wake
+/// eventfd, and their WorkItem's Session (internally synchronized).
+/// Connections are keyed by a monotonically increasing serial id -- the
+/// epoll user data -- never by fd, so a recycled fd can never route a
+/// stale event or completion to the wrong connection.
+
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "util/failpoint.h"
+
+namespace simq {
+namespace net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// epoll user-data tags for the two non-connection fds; connection serial
+// ids start above them.
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kWakeTag = 1;
+constexpr uint64_t kFirstConnId = 2;
+
+constexpr size_t kMaxWritevSegments = 16;
+// recv() calls serviced per readable event before yielding back to the
+// loop, so one firehose connection cannot starve the others.
+constexpr int kMaxReadBurst = 8;
+
+double MillisSince(Clock::time_point then, Clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - then).count();
+}
+
+std::atomic<NetServer*> g_signal_server{nullptr};
+
+void HandleShutdownSignal(int) {
+  NetServer* server = g_signal_server.load(std::memory_order_acquire);
+  if (server != nullptr) {
+    server->Shutdown();
+  }
+}
+
+}  // namespace
+
+struct NetServer::Cursor {
+  uint8_t kind = 0;  // ResultPage::kind of the spilled answer set
+  QueryResult result;
+  size_t offset = 0;  // rows already returned
+};
+
+struct NetServer::PendingExec {
+  uint32_t request_id = 0;
+  ExecRequest request;
+  std::shared_ptr<std::atomic<bool>> cancelled;
+};
+
+struct NetServer::WorkItem {
+  uint64_t conn_id = 0;
+  uint32_t request_id = 0;
+  uint32_t page_rows = 0;
+  std::shared_ptr<Session> session;
+  ExecRequest request;
+  std::shared_ptr<std::atomic<bool>> cancelled;
+};
+
+struct NetServer::Completion {
+  uint64_t conn_id = 0;
+  uint32_t request_id = 0;
+  uint32_t page_rows = 0;
+  Status status;       // non-OK on failure
+  QueryResult result;  // meaningful only when status.ok()
+};
+
+struct NetServer::Conn {
+  struct OutSeg {
+    std::shared_ptr<std::vector<uint8_t>> data;
+    size_t offset = 0;  // bytes of *data already written
+  };
+
+  uint64_t id = 0;
+  int fd = -1;
+  std::shared_ptr<Session> session;
+
+  std::vector<uint8_t> in;
+  size_t in_off = 0;  // consumed prefix of `in`
+
+  std::deque<OutSeg> out;
+  size_t out_bytes = 0;  // total unwritten bytes across `out`
+
+  bool hello_done = false;
+  bool reading_stopped = false;  // goodbye or fatal error: input is discarded
+  bool closing = false;          // close as soon as the output flushes
+  bool goodbye_requested = false;
+  bool goodbye_sent = false;
+  // A framing error was detected; the kError(rid 0) frame and the close
+  // are deferred until admitted requests have been answered.
+  bool fatal_pending = false;
+  Status fatal_status;
+  // The peer half-closed (EOF on read); close after admitted requests
+  // have been answered and flushed.
+  bool peer_closed = false;
+
+  // At most one execution per connection is inside the service at a time;
+  // the rest wait in `pending`. That is what keeps pipelined responses
+  // strictly FIFO without any reordering machinery.
+  bool inflight = false;
+  uint32_t inflight_request_id = 0;
+  std::shared_ptr<std::atomic<bool>> inflight_cancel;
+  bool cancel_pending = false;  // ResetCancel deferred to the completion
+  std::deque<PendingExec> pending;
+
+  std::unordered_map<uint64_t, Cursor> cursors;
+  std::deque<uint64_t> cursor_order;  // insertion order, for eviction
+  uint64_t next_cursor_id = 1;
+
+  Clock::time_point last_read;
+  Clock::time_point last_write;
+  uint32_t interest = ~0u;  // impossible mask: first UpdateInterest applies
+};
+
+NetServer::NetServer(QueryService* service, NetServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+NetServer::~NetServer() {
+  NetServer* self = this;
+  g_signal_server.compare_exchange_strong(self, nullptr);
+  StopWorkers();
+  for (auto& entry : conns_) {
+    if (entry.second->fd >= 0) {
+      ::close(entry.second->fd);
+    }
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status NetServer::Start() {
+  // A dead peer must surface as an EPIPE write error, not a SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IoError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 256) != 0) {
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  std::memset(&bound, 0, sizeof(bound));
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return Status::IoError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::IoError(std::string("epoll_create1: ") +
+                           std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    return Status::IoError(std::string("eventfd: ") + std::strerror(errno));
+  }
+
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return Status::IoError(std::string("epoll_ctl(listen): ") +
+                           std::strerror(errno));
+  }
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return Status::IoError(std::string("epoll_ctl(wake): ") +
+                           std::strerror(errno));
+  }
+
+  next_conn_id_ = kFirstConnId;
+  const int threads = std::max(1, options_.exec_threads);
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+void NetServer::Run() {
+  if (!started_) return;
+  epoll_event events[64];
+  for (;;) {
+    if (shutdown_requested_.load(std::memory_order_acquire) && !draining_) {
+      BeginDrain();
+    }
+    if (draining_ && DrainComplete()) break;
+
+    const int timeout_ms = NextTimeoutMillis();
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable epoll failure: tear down
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        AcceptNew();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        uint64_t counter = 0;
+        while (::read(wake_fd_, &counter, sizeof(counter)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;  // closed earlier in this batch
+      Conn* conn = it->second.get();
+      const uint32_t ev = events[i].events;
+      if ((ev & (EPOLLERR | EPOLLHUP)) != 0 && (ev & EPOLLOUT) == 0) {
+        CloseConn(tag, /*timed_out=*/false);
+        continue;
+      }
+      if ((ev & EPOLLOUT) != 0) {
+        HandleWritable(conn);
+        if (conns_.find(tag) == conns_.end()) continue;
+      }
+      if ((ev & EPOLLIN) != 0) {
+        HandleReadable(conn);
+      }
+    }
+    DrainCompletions();
+    CheckTimeouts();
+  }
+
+  // Teardown: whatever is still open lost the drain race.
+  std::vector<uint64_t> leftover;
+  leftover.reserve(conns_.size());
+  for (auto& entry : conns_) leftover.push_back(entry.first);
+  for (uint64_t id : leftover) CloseConn(id, /*timed_out=*/false);
+  StopWorkers();
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    completions_.clear();
+  }
+  if (options_.checkpoint_on_shutdown && service_->durable()) {
+    // Best-effort: on failure the WAL is intact and replays on restart.
+    (void)service_->Checkpoint();
+  }
+  started_ = false;
+}
+
+void NetServer::Shutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    const ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+    (void)ignored;
+  }
+}
+
+void NetServer::EnableSignalShutdown() {
+  g_signal_server.store(this, std::memory_order_release);
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
+NetServerStats NetServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void NetServer::AcceptNew() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or a transient accept failure epoll will re-report
+    }
+    if (SIMQ_FAILPOINT_FIRED("net.accept")) {
+      ::close(fd);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.connections_shed;
+      }
+      service_->NoteConnectionShed();
+      continue;
+    }
+    if (draining_ ||
+        static_cast<int>(conns_.size()) >= options_.max_connections) {
+      // Best-effort kOverloaded frame so a well-behaved client backs off
+      // instead of retrying into a wall of silent resets.
+      const std::vector<uint8_t> frame =
+          BuildFrame(Opcode::kError, 0,
+                     EncodeError(ErrorFromStatus(Status::Overloaded(
+                         draining_ ? "server is shutting down"
+                                   : "connection limit reached"))));
+      (void)::send(fd, frame.data(), frame.size(),
+                   MSG_DONTWAIT | MSG_NOSIGNAL);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.connections_shed;
+      }
+      service_->NoteConnectionShed();
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    conn->session = std::shared_ptr<Session>(service_->OpenSession());
+    conn->last_read = conn->last_write = Clock::now();
+
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conn->interest = EPOLLIN;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.connections_accepted;
+      ++stats_.connections_active;
+    }
+    service_->NoteConnectionOpened();
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void NetServer::HandleReadable(Conn* conn) {
+  const uint64_t id = conn->id;
+  uint8_t buf[65536];
+  for (int burst = 0; burst < kMaxReadBurst; ++burst) {
+    if (conn->reading_stopped || conn->closing) return;
+    if (SIMQ_FAILPOINT_FIRED("net.read")) {
+      CloseConn(id, /*timed_out=*/false);  // simulated mid-frame reset
+      return;
+    }
+    size_t want = sizeof(buf);
+    if (SIMQ_FAILPOINT_FIRED("net.read.short")) want = 1;
+    const ssize_t n = ::recv(conn->fd, buf, want, 0);
+    if (n == 0) {
+      // Half-close: the peer is done sending, but may still be reading.
+      // Requests already admitted keep their answers; the close happens
+      // once they have been sent and flushed.
+      conn->peer_closed = true;
+      conn->reading_stopped = true;
+      UpdateInterest(conn);
+      MaybeCloseAfterEof(conn);  // may free conn
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      CloseConn(id, /*timed_out=*/false);
+      return;
+    }
+    conn->in.insert(conn->in.end(), buf, buf + n);
+    conn->last_read = Clock::now();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.bytes_in += n;
+    }
+    service_->NoteNetBytes(n, 0);
+    ProcessInput(conn);
+    if (conns_.find(id) == conns_.end()) return;
+    if (static_cast<size_t>(n) < want) return;  // socket drained
+  }
+}
+
+void NetServer::ProcessInput(Conn* conn) {
+  for (;;) {
+    if (conn->reading_stopped) break;
+    const uint8_t* base = conn->in.data() + conn->in_off;
+    const size_t avail = conn->in.size() - conn->in_off;
+    FrameHeader header;
+    const HeaderStatus hs =
+        ParseHeader(base, avail, options_.max_payload, &header);
+    if (hs == HeaderStatus::kNeedMore) break;
+    if (hs != HeaderStatus::kOk) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.protocol_errors;
+      }
+      const char* what = hs == HeaderStatus::kBadMagic
+                             ? "bad frame magic"
+                             : (hs == HeaderStatus::kBadLength
+                                    ? "frame payload exceeds the limit"
+                                    : "nonzero flags/reserved bits");
+      ProtocolFatal(conn, Status::Corruption(what));
+      break;
+    }
+    if (avail < kHeaderSize + header.payload_len) break;  // wait for payload
+    const uint8_t* payload = base + kHeaderSize;
+    if (!CrcMatches(header, payload)) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.protocol_errors;
+      }
+      ProtocolFatal(conn, Status::Corruption("frame CRC mismatch"));
+      break;
+    }
+    conn->in_off += kHeaderSize + header.payload_len;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.frames_in;
+    }
+    HandleFrame(conn, header, payload);
+  }
+  if (conn->reading_stopped || conn->in_off == conn->in.size()) {
+    conn->in.clear();
+    conn->in_off = 0;
+  } else if (conn->in_off > (64u << 10)) {
+    conn->in.erase(conn->in.begin(),
+                   conn->in.begin() + static_cast<ptrdiff_t>(conn->in_off));
+    conn->in_off = 0;
+  }
+}
+
+void NetServer::HandleFrame(Conn* conn, const FrameHeader& header,
+                            const uint8_t* payload) {
+  const size_t size = header.payload_len;
+  const uint32_t rid = header.request_id;
+  if (!IsClientOpcode(header.opcode)) {
+    SendError(conn, rid,
+              Status::Unimplemented("unknown or server-only opcode"));
+    return;
+  }
+  const Opcode op = static_cast<Opcode>(header.opcode);
+  if (!conn->hello_done && op != Opcode::kHello) {
+    // No negotiated version means nothing later can be interpreted
+    // reliably; the frame itself was well-formed, so say why, then close.
+    SendError(conn, rid,
+              Status::FailedPrecondition("first frame must be HELLO"));
+    conn->reading_stopped = true;
+    conn->closing = true;
+    UpdateInterest(conn);
+    return;
+  }
+  switch (op) {
+    case Opcode::kHello: {
+      HelloRequest hello;
+      const Status s = DecodeHello(payload, size, &hello);
+      if (!s.ok()) {
+        SendError(conn, rid, s);
+        return;
+      }
+      const uint16_t lo = std::max(kVersionMin, hello.min_version);
+      const uint16_t hi = std::min(kVersionMax, hello.max_version);
+      if (lo > hi) {
+        SendError(conn, rid,
+                  Status::InvalidArgument(
+                      "no protocol version overlap (server speaks 1)"));
+        conn->reading_stopped = true;
+        conn->closing = true;
+        UpdateInterest(conn);
+        return;
+      }
+      conn->hello_done = true;
+      HelloAck ack;
+      ack.version = hi;
+      ack.max_payload = options_.max_payload;
+      ack.default_page_rows = options_.default_page_rows;
+      SendFrame(conn, Opcode::kHelloAck, rid, EncodeHelloAck(ack));
+      return;
+    }
+    case Opcode::kPrepare: {
+      PrepareRequest req;
+      const Status s = DecodePrepare(payload, size, &req);
+      if (!s.ok()) {
+        SendError(conn, rid, s);
+        return;
+      }
+      // Parse/validate only: cheap enough for the loop thread.
+      Result<int64_t> prepared = conn->session->Prepare(req.text);
+      if (!prepared.ok()) {
+        SendError(conn, rid, prepared.status());
+        return;
+      }
+      PrepareAck ack;
+      ack.statement_id = static_cast<uint64_t>(prepared.value());
+      SendFrame(conn, Opcode::kPrepareAck, rid, EncodePrepareAck(ack));
+      return;
+    }
+    case Opcode::kExec: {
+      ExecRequest req;
+      const Status s = DecodeExec(payload, size, &req);
+      if (!s.ok()) {
+        SendError(conn, rid, s);
+        return;
+      }
+      HandleExec(conn, rid, std::move(req));
+      return;
+    }
+    case Opcode::kFetch: {
+      FetchRequest req;
+      const Status s = DecodeFetch(payload, size, &req);
+      if (!s.ok()) {
+        SendError(conn, rid, s);
+        return;
+      }
+      HandleFetch(conn, rid, req);
+      return;
+    }
+    case Opcode::kCancel:
+      HandleCancel(conn, rid);
+      return;
+    case Opcode::kStats:
+      HandleStats(conn, rid);
+      return;
+    case Opcode::kCloseCursor: {
+      CloseCursorRequest req;
+      const Status s = DecodeCloseCursor(payload, size, &req);
+      if (!s.ok()) {
+        SendError(conn, rid, s);
+        return;
+      }
+      if (conn->cursors.erase(req.cursor_id) > 0) {
+        for (auto it = conn->cursor_order.begin();
+             it != conn->cursor_order.end(); ++it) {
+          if (*it == req.cursor_id) {
+            conn->cursor_order.erase(it);
+            break;
+          }
+        }
+      }
+      SendFrame(conn, Opcode::kCloseCursorAck, rid, {});
+      return;
+    }
+    case Opcode::kGoodbye:
+      conn->goodbye_requested = true;
+      conn->reading_stopped = true;  // in-flight work still completes
+      MaybeQueueGoodbye(conn);
+      UpdateInterest(conn);
+      return;
+    default:
+      SendError(conn, rid, Status::Unimplemented("unhandled opcode"));
+      return;
+  }
+}
+
+void NetServer::HandleExec(Conn* conn, uint32_t request_id, ExecRequest req) {
+  const char* shed_reason = nullptr;
+  if (draining_) {
+    shed_reason = "server is shutting down";
+  } else if (admitted_requests_ >= options_.max_queue) {
+    shed_reason = "server request queue is full";
+  } else if (static_cast<int>(conn->pending.size()) +
+                 (conn->inflight ? 1 : 0) >=
+             options_.max_pipeline) {
+    shed_reason = "connection pipeline limit reached";
+  }
+  if (shed_reason != nullptr) {
+    SendError(conn, request_id, Status::Overloaded(shed_reason));
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.requests_shed;
+    }
+    service_->NoteRequestShed();
+    return;
+  }
+  ++admitted_requests_;
+  PendingExec exec;
+  exec.request_id = request_id;
+  exec.request = std::move(req);
+  exec.cancelled = std::make_shared<std::atomic<bool>>(false);
+  conn->pending.push_back(std::move(exec));
+  TryDispatch(conn);
+}
+
+void NetServer::TryDispatch(Conn* conn) {
+  if (conn->inflight || conn->closing || conn->pending.empty()) return;
+  // Backpressure: while the client is not draining its responses, its
+  // queued requests stay queued -- output stays bounded by the limit plus
+  // one in-flight page.
+  if (conn->out_bytes > options_.output_buffer_limit) return;
+  PendingExec exec = std::move(conn->pending.front());
+  conn->pending.pop_front();
+  DispatchToWorkers(conn, std::move(exec));
+}
+
+void NetServer::DispatchToWorkers(Conn* conn, PendingExec exec) {
+  conn->inflight = true;
+  conn->inflight_request_id = exec.request_id;
+  conn->inflight_cancel = exec.cancelled;
+  WorkItem item;
+  item.conn_id = conn->id;
+  item.request_id = exec.request_id;
+  item.page_rows = exec.request.page_rows;
+  item.session = conn->session;
+  item.request = std::move(exec.request);
+  item.cancelled = std::move(exec.cancelled);
+  {
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    work_queue_.push_back(std::move(item));
+  }
+  work_cv_.notify_one();
+}
+
+void NetServer::WorkerLoop() {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(work_mutex_);
+      work_cv_.wait(lock,
+                    [this] { return workers_stop_ || !work_queue_.empty(); });
+      if (work_queue_.empty()) return;  // stop requested and queue drained
+      item = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+    Completion done;
+    done.conn_id = item.conn_id;
+    done.request_id = item.request_id;
+    done.page_rows = item.page_rows;
+    if (item.cancelled->load(std::memory_order_acquire)) {
+      done.status = Status::Cancelled("cancelled before execution");
+    } else {
+      ExecOptions options;
+      options.deadline_ms =
+          item.request.deadline_ms > 0 ? item.request.deadline_ms : -1.0;
+      Result<ServiceResult> executed = [&]() -> Result<ServiceResult> {
+        if (!item.request.prepared) {
+          return item.session->Execute(item.request.text, options);
+        }
+        BindParams params;
+        params.epsilon = item.request.epsilon;
+        if (item.request.k.has_value()) {
+          params.k = static_cast<int>(*item.request.k);
+        }
+        if (item.request.has_series) {
+          SeriesRef series;
+          series.literal = std::move(item.request.series);
+          params.series = std::move(series);
+        }
+        return item.session->ExecutePrepared(
+            static_cast<int64_t>(item.request.statement_id), params, options);
+      }();
+      if (executed.ok()) {
+        done.status = Status::Ok();
+        done.result = std::move(executed.value().result);
+      } else {
+        done.status = executed.status();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(completion_mutex_);
+      completions_.push_back(std::move(done));
+    }
+    const uint64_t one = 1;
+    const ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+    (void)ignored;
+  }
+}
+
+void NetServer::DrainCompletions() {
+  std::deque<Completion> ready;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    ready.swap(completions_);
+  }
+  for (Completion& done : ready) {
+    auto it = conns_.find(done.conn_id);
+    // A completion for a closed connection is dropped; CloseConn already
+    // settled the admitted-request accounting for it.
+    if (it == conns_.end()) continue;
+    FinishExec(it->second.get(), done);
+  }
+}
+
+void NetServer::FinishExec(Conn* conn, Completion& done) {
+  --admitted_requests_;
+  conn->inflight = false;
+  conn->inflight_cancel.reset();
+  if (conn->cancel_pending) {
+    // Deferred until here so ResetCancel cannot race the execution it was
+    // meant to cancel (the sticky flag on the context keeps it cancelled).
+    conn->session->ResetCancel();
+    conn->cancel_pending = false;
+  }
+  if (done.status.ok()) {
+    const ResultPage page =
+        PageFromResult(conn, done.page_rows, std::move(done.result));
+    SendFrame(conn, Opcode::kResult, done.request_id, EncodeResultPage(page));
+  } else {
+    SendError(conn, done.request_id, done.status);
+  }
+  // A legitimately slow query must not count against the read-idle timer.
+  conn->last_read = Clock::now();
+  TryDispatch(conn);
+  MaybeFinishFatal(conn);
+  MaybeQueueGoodbye(conn);
+  UpdateInterest(conn);
+  MaybeCloseAfterEof(conn);  // may free conn; must stay last
+}
+
+ResultPage NetServer::PageFromResult(Conn* conn, uint32_t request_rows,
+                                     QueryResult result) {
+  uint32_t rows = request_rows > 0 ? request_rows : options_.default_page_rows;
+  rows = std::min(rows, options_.max_page_rows);
+  rows = std::max<uint32_t>(rows, 1);
+
+  const bool is_pairs = !result.pairs.empty();
+  const size_t total = is_pairs ? result.pairs.size() : result.matches.size();
+  ResultPage page;
+  page.kind = is_pairs ? 1 : 0;
+  page.total_rows = total;
+  if (total <= rows) {
+    page.matches = std::move(result.matches);
+    page.pairs = std::move(result.pairs);
+    page.has_more = false;
+    page.cursor_id = 0;
+    return page;
+  }
+  // Spill to a cursor, evicting the oldest at the per-connection cap.
+  const int max_cursors = std::max(1, options_.max_cursors_per_connection);
+  while (static_cast<int>(conn->cursors.size()) >= max_cursors) {
+    const uint64_t victim = conn->cursor_order.front();
+    conn->cursor_order.pop_front();
+    conn->cursors.erase(victim);
+  }
+  const uint64_t cursor_id = conn->next_cursor_id++;
+  Cursor cursor;
+  cursor.kind = page.kind;
+  cursor.result = std::move(result);
+  cursor.offset = 0;
+  auto inserted = conn->cursors.emplace(cursor_id, std::move(cursor));
+  conn->cursor_order.push_back(cursor_id);
+  return PageFromCursor(&inserted.first->second, cursor_id, rows);
+}
+
+ResultPage NetServer::PageFromCursor(Cursor* cursor, uint64_t cursor_id,
+                                     uint32_t request_rows) {
+  uint32_t rows = request_rows > 0 ? request_rows : options_.default_page_rows;
+  rows = std::min(rows, options_.max_page_rows);
+  rows = std::max<uint32_t>(rows, 1);
+
+  ResultPage page;
+  page.kind = cursor->kind;
+  const size_t total = cursor->kind == 1 ? cursor->result.pairs.size()
+                                         : cursor->result.matches.size();
+  page.total_rows = total;
+  const size_t begin = std::min(cursor->offset, total);
+  const size_t end = std::min(begin + rows, total);
+  if (cursor->kind == 1) {
+    page.pairs.assign(cursor->result.pairs.begin() + begin,
+                      cursor->result.pairs.begin() + end);
+  } else {
+    page.matches.assign(cursor->result.matches.begin() + begin,
+                        cursor->result.matches.begin() + end);
+  }
+  cursor->offset = end;
+  page.has_more = end < total;
+  page.cursor_id = cursor_id;
+  return page;
+}
+
+void NetServer::HandleFetch(Conn* conn, uint32_t request_id,
+                            const FetchRequest& req) {
+  auto it = conn->cursors.find(req.cursor_id);
+  if (it == conn->cursors.end()) {
+    SendError(conn, request_id,
+              Status::NotFound(
+                  "unknown cursor (completed, closed, or evicted)"));
+    return;
+  }
+  ResultPage page = PageFromCursor(&it->second, req.cursor_id, req.page_rows);
+  if (!page.has_more) {
+    conn->cursors.erase(it);
+    for (auto order = conn->cursor_order.begin();
+         order != conn->cursor_order.end(); ++order) {
+      if (*order == req.cursor_id) {
+        conn->cursor_order.erase(order);
+        break;
+      }
+    }
+  }
+  SendFrame(conn, Opcode::kResult, request_id, EncodeResultPage(page));
+}
+
+void NetServer::HandleCancel(Conn* conn, uint32_t request_id) {
+  for (PendingExec& exec : conn->pending) {
+    exec.cancelled->store(true, std::memory_order_release);
+    SendError(conn, exec.request_id, Status::Cancelled("cancelled by client"));
+    --admitted_requests_;
+  }
+  conn->pending.clear();
+  if (conn->inflight) {
+    conn->inflight_cancel->store(true, std::memory_order_release);
+    conn->session->Cancel();
+    conn->cancel_pending = true;  // ResetCancel when the completion lands
+  }
+  SendFrame(conn, Opcode::kCancelAck, request_id, {});
+}
+
+void NetServer::HandleStats(Conn* conn, uint32_t request_id) {
+  const ServiceStats service = service_->stats();
+  WireStats wire;
+  wire.queries = static_cast<uint64_t>(service.queries);
+  wire.mutations = static_cast<uint64_t>(service.mutations);
+  wire.timeouts = static_cast<uint64_t>(service.timeouts);
+  wire.cancellations = static_cast<uint64_t>(service.cancellations);
+  wire.overloaded = static_cast<uint64_t>(service.overloaded);
+  wire.cache_hits = static_cast<uint64_t>(service.cache.hits);
+  wire.cache_misses = static_cast<uint64_t>(service.cache.misses);
+  wire.latency_p50_ms = service.latency_p50_ms;
+  wire.latency_p95_ms = service.latency_p95_ms;
+  wire.latency_p99_ms = service.latency_p99_ms;
+  wire.connections_accepted =
+      static_cast<uint64_t>(service.net.connections_accepted);
+  wire.connections_active =
+      static_cast<uint64_t>(service.net.connections_active);
+  wire.connections_shed = static_cast<uint64_t>(service.net.connections_shed);
+  wire.connections_timed_out =
+      static_cast<uint64_t>(service.net.connections_timed_out);
+  wire.requests_shed = static_cast<uint64_t>(service.net.requests_shed);
+  wire.bytes_in = static_cast<uint64_t>(service.net.bytes_in);
+  wire.bytes_out = static_cast<uint64_t>(service.net.bytes_out);
+  SendFrame(conn, Opcode::kStatsAck, request_id, EncodeStats(wire));
+}
+
+void NetServer::SendFrame(Conn* conn, Opcode opcode, uint32_t request_id,
+                          const std::vector<uint8_t>& payload) {
+  auto segment = std::make_shared<std::vector<uint8_t>>();
+  segment->reserve(kHeaderSize + payload.size());
+  AppendFrame(segment.get(), opcode, request_id, payload.data(),
+              payload.size());
+  conn->out_bytes += segment->size();
+  conn->out.push_back(Conn::OutSeg{std::move(segment), 0});
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.frames_out;
+  }
+  UpdateInterest(conn);
+}
+
+void NetServer::SendError(Conn* conn, uint32_t request_id,
+                          const Status& status) {
+  SendFrame(conn, Opcode::kError, request_id,
+            EncodeError(ErrorFromStatus(status)));
+}
+
+void NetServer::ProtocolFatal(Conn* conn, const Status& status) {
+  // The stream is out of sync, so no further input can be trusted -- but
+  // requests admitted before the poison bytes were well-formed, and the
+  // pipelining contract promises them answers. Stop reading now; the
+  // error frame and the close wait until in-flight and queued work has
+  // responded (MaybeFinishFatal, driven from FinishExec).
+  conn->reading_stopped = true;
+  conn->fatal_pending = true;
+  conn->fatal_status = status;
+  MaybeFinishFatal(conn);
+  UpdateInterest(conn);
+}
+
+void NetServer::MaybeFinishFatal(Conn* conn) {
+  if (!conn->fatal_pending || conn->closing) return;
+  if (conn->inflight || !conn->pending.empty()) return;
+  conn->fatal_pending = false;
+  SendError(conn, 0, conn->fatal_status);
+  conn->closing = true;
+  UpdateInterest(conn);
+}
+
+void NetServer::MaybeCloseAfterEof(Conn* conn) {
+  if (!conn->peer_closed || conn->closing) return;
+  if (conn->inflight || !conn->pending.empty()) return;
+  if (conn->out.empty()) {
+    CloseConn(conn->id, /*timed_out=*/false);
+    return;
+  }
+  conn->closing = true;  // flush the queued responses, then close
+  UpdateInterest(conn);
+}
+
+void NetServer::MaybeQueueGoodbye(Conn* conn) {
+  if (!(conn->goodbye_requested || draining_)) return;
+  if (conn->goodbye_sent || conn->closing) return;
+  if (conn->inflight || !conn->pending.empty()) return;
+  conn->goodbye_sent = true;
+  SendFrame(conn, Opcode::kGoodbye, 0, {});
+  conn->closing = true;
+  UpdateInterest(conn);
+}
+
+void NetServer::UpdateInterest(Conn* conn) {
+  uint32_t events = 0;
+  const bool want_read = !conn->reading_stopped && !conn->closing &&
+                         !draining_ &&
+                         conn->out_bytes <= options_.output_buffer_limit;
+  if (want_read) events |= EPOLLIN;
+  if (!conn->out.empty()) events |= EPOLLOUT;
+  if (events == conn->interest) return;
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.u64 = conn->id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+    conn->interest = events;
+  }
+}
+
+void NetServer::HandleWritable(Conn* conn) {
+  const uint64_t id = conn->id;
+  while (!conn->out.empty()) {
+    if (SIMQ_FAILPOINT_FIRED("net.write")) {
+      CloseConn(id, /*timed_out=*/false);  // simulated EPIPE (or kill:)
+      return;
+    }
+    iovec iov[kMaxWritevSegments];
+    int iov_count = 0;
+    if (SIMQ_FAILPOINT_FIRED("net.write.short")) {
+      Conn::OutSeg& seg = conn->out.front();
+      iov[0].iov_base = seg.data->data() + seg.offset;
+      iov[0].iov_len = 1;
+      iov_count = 1;
+    } else {
+      for (const Conn::OutSeg& seg : conn->out) {
+        if (iov_count == static_cast<int>(kMaxWritevSegments)) break;
+        iov[iov_count].iov_base =
+            const_cast<uint8_t*>(seg.data->data()) + seg.offset;
+        iov[iov_count].iov_len = seg.data->size() - seg.offset;
+        ++iov_count;
+      }
+    }
+    const ssize_t n = ::writev(conn->fd, iov, iov_count);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(id, /*timed_out=*/false);
+      return;
+    }
+    conn->last_write = Clock::now();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.bytes_out += n;
+    }
+    service_->NoteNetBytes(0, n);
+    size_t left = static_cast<size_t>(n);
+    conn->out_bytes -= left;
+    while (left > 0) {
+      Conn::OutSeg& seg = conn->out.front();
+      const size_t seg_left = seg.data->size() - seg.offset;
+      if (left < seg_left) {
+        seg.offset += left;
+        left = 0;
+      } else {
+        left -= seg_left;
+        conn->out.pop_front();
+      }
+    }
+  }
+  if (conn->out.empty() && conn->closing) {
+    CloseConn(id, /*timed_out=*/false);
+    return;
+  }
+  TryDispatch(conn);  // backpressure may have lifted
+  UpdateInterest(conn);
+}
+
+void NetServer::CloseConn(uint64_t conn_id, bool timed_out) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Conn* conn = it->second.get();
+  admitted_requests_ -=
+      static_cast<int>(conn->pending.size()) + (conn->inflight ? 1 : 0);
+  if (conn->inflight) {
+    // The worker still runs this execution; cancel it so the service slot
+    // frees quickly. Its completion finds the connection gone and is
+    // dropped (the accounting was settled on the line above).
+    conn->inflight_cancel->store(true, std::memory_order_release);
+    conn->session->Cancel();
+  }
+  // Counters are published before the socket closes, so a peer that has
+  // observed the EOF also observes the close in the stats.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    --stats_.connections_active;
+    if (timed_out) ++stats_.connections_timed_out;
+  }
+  service_->NoteConnectionClosed(timed_out);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns_.erase(it);
+}
+
+void NetServer::CheckTimeouts() {
+  const auto now = Clock::now();
+  std::vector<uint64_t> expired;
+  for (const auto& entry : conns_) {
+    const Conn& conn = *entry.second;
+    const bool quiescent = !conn.inflight && conn.pending.empty() &&
+                           conn.out.empty() && !conn.closing;
+    if (options_.read_idle_ms > 0 && quiescent &&
+        MillisSince(conn.last_read, now) >= options_.read_idle_ms) {
+      expired.push_back(entry.first);
+      continue;
+    }
+    if (options_.write_idle_ms > 0 && !conn.out.empty() &&
+        MillisSince(conn.last_write, now) >= options_.write_idle_ms) {
+      expired.push_back(entry.first);
+    }
+  }
+  for (uint64_t id : expired) CloseConn(id, /*timed_out=*/true);
+  if (draining_ && now >= drain_deadline_) {
+    std::vector<uint64_t> rest;
+    rest.reserve(conns_.size());
+    for (const auto& entry : conns_) rest.push_back(entry.first);
+    for (uint64_t id : rest) CloseConn(id, /*timed_out=*/false);
+  }
+}
+
+int NetServer::NextTimeoutMillis() const {
+  if (shutdown_requested_.load(std::memory_order_acquire) && !draining_) {
+    return 0;
+  }
+  const auto now = Clock::now();
+  double best = 60000.0;  // periodic tick upper bound
+  if (draining_) {
+    best = std::min(
+        best,
+        std::chrono::duration<double, std::milli>(drain_deadline_ - now)
+            .count());
+  }
+  for (const auto& entry : conns_) {
+    const Conn& conn = *entry.second;
+    const bool quiescent = !conn.inflight && conn.pending.empty() &&
+                           conn.out.empty() && !conn.closing;
+    if (options_.read_idle_ms > 0 && quiescent) {
+      best = std::min(best,
+                      options_.read_idle_ms - MillisSince(conn.last_read, now));
+    }
+    if (options_.write_idle_ms > 0 && !conn.out.empty()) {
+      best = std::min(
+          best, options_.write_idle_ms - MillisSince(conn.last_write, now));
+    }
+  }
+  if (best <= 0) return 0;
+  return static_cast<int>(std::min(60000.0, std::ceil(best)));
+}
+
+void NetServer::BeginDrain() {
+  draining_ = true;
+  drain_deadline_ =
+      Clock::now() + std::chrono::milliseconds(static_cast<int64_t>(
+                         std::max(0.0, options_.drain_timeout_ms)));
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& entry : conns_) ids.push_back(entry.first);
+  for (uint64_t id : ids) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Conn* conn = it->second.get();
+    conn->reading_stopped = true;
+    conn->in.clear();
+    conn->in_off = 0;
+    MaybeQueueGoodbye(conn);  // queued/in-flight work still completes first
+    UpdateInterest(conn);
+  }
+}
+
+bool NetServer::DrainComplete() const { return conns_.empty(); }
+
+void NetServer::StopWorkers() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    workers_stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+}  // namespace net
+}  // namespace simq

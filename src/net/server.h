@@ -1,0 +1,256 @@
+/// The network front end: a single-threaded epoll event loop serving the
+/// SIMQNET1 binary protocol (net/protocol.h) over TCP, in front of a
+/// QueryService.
+///
+/// Architecture (DESIGN.md "net — the wire front end"):
+///
+///  * One event-loop thread owns every connection: the listener, all
+///    socket reads/writes, frame parsing/encoding, cursors, and timeouts.
+///    Level-triggered epoll; nothing in the loop blocks.
+///  * Query execution is offloaded to a small pool of executor threads
+///    (NetServerOptions::exec_threads) that drive the QueryService exactly
+///    like any other multi-threaded client -- each connection owns a
+///    Session, so the service's admission scheduler, deadlines,
+///    cancellation, and snapshot isolation all apply unchanged. Requests
+///    on one connection execute strictly in arrival order (responses are
+///    pipelined FIFO); connections execute concurrently.
+///
+/// Robustness contract, enforced per byte-boundary:
+///
+///  * Framing errors (bad magic / oversized length / bad CRC / reserved
+///    bits) get one kError frame and a close -- the stream is out of
+///    sync -- but only after every request admitted before the poison
+///    bytes has been answered: pipelined valid work is never dropped.
+///    Semantic errors in well-framed frames (unknown opcode, bad
+///    payload, engine errors) are typed kError responses on a connection
+///    that keeps working. No input byte sequence crashes or wedges the
+///    loop (tests/net_protocol_test.cc fuzzes this under ASan/UBSan).
+///  * Byte-bounded buffers with backpressure: each connection's pending
+///    output is capped (output_buffer_limit). Past the cap the loop stops
+///    reading from that socket (read interest dropped) and defers
+///    dispatching its queued requests, so a slow reader holds at most
+///    cap + one page of memory and naturally stalls its own request
+///    stream instead of ballooning the server.
+///  * Overload shedding: at most max_pipeline requests may be queued per
+///    connection and max_queue across the server; beyond either bound a
+///    request is answered immediately with kError(kOverloaded), and the
+///    service's own admission timeout surfaces the same way -- bounded
+///    queues everywhere, never silent buildup. Accepts beyond
+///    max_connections are shed with a best-effort kOverloaded frame.
+///  * Idle timeouts: a connection with nothing in flight that sends no
+///    byte for read_idle_ms, or one with pending output that accepts no
+///    byte for write_idle_ms, is closed (slow-loris defense).
+///  * Cursor-based pagination bounds any single response to page_rows
+///    rows; larger answer sets are held server-side (at most
+///    max_cursors_per_connection, oldest evicted) and drained by kFetch.
+///  * Graceful shutdown (Shutdown(), or SIGTERM/SIGINT after
+///    EnableSignalShutdown): stop accepting, let queued + in-flight
+///    requests finish (bounded by drain_timeout_ms), flush responses,
+///    send kGoodbye, close, then checkpoint a durable service so the WAL
+///    state on disk is current.
+///
+/// Fault injection: the socket paths carry named failpoints --
+/// net.accept, net.read, net.read.short, net.write, net.write.short --
+/// so the harness can force EAGAIN-like storms, short reads/writes,
+/// mid-frame resets, and kill: crashes at exact syscall boundaries.
+///
+/// Thread-safety: Start()/Run() are called from the owning thread;
+/// Shutdown() may be called from any thread or signal handler. Everything
+/// else is loop-internal. The QueryService outlives the server.
+
+#ifndef SIMQ_NET_SERVER_H_
+#define SIMQ_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.h"
+#include "service/query_service.h"
+
+namespace simq {
+namespace net {
+
+struct NetServerOptions {
+  /// Listen address. Port 0 binds an ephemeral port (NetServer::port()
+  /// reports the choice -- tests and the bench rely on it).
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;
+
+  /// Connection and queue bounds (the shedding contract).
+  int max_connections = 256;
+  /// Requests in flight per connection, the executing one included; the
+  /// (max_pipeline + 1)-th concurrent request on a connection is shed.
+  int max_pipeline = 32;
+  /// Requests admitted server-wide (executing + queued); beyond it every
+  /// new request is shed with kOverloaded.
+  int max_queue = 128;
+
+  /// Byte bounds.
+  uint32_t max_payload = kDefaultMaxPayload;
+  /// Pending-output cap per connection; past it read interest is dropped
+  /// and queued requests are not dispatched until the client drains.
+  size_t output_buffer_limit = 256 * 1024;
+
+  /// Idle timeouts in milliseconds (0 disables that timer).
+  double read_idle_ms = 600000.0;
+  double write_idle_ms = 30000.0;
+
+  /// Result paging.
+  uint32_t default_page_rows = 1024;
+  uint32_t max_page_rows = 65536;
+  int max_cursors_per_connection = 8;
+
+  /// Executor threads driving the QueryService.
+  int exec_threads = 2;
+
+  /// Graceful-shutdown budget for draining in-flight work.
+  double drain_timeout_ms = 5000.0;
+  /// Checkpoint a durable service (WAL open + snapshot path configured)
+  /// after the loop drains, so a clean SIGTERM leaves a fresh snapshot
+  /// and an empty log.
+  bool checkpoint_on_shutdown = true;
+};
+
+/// Server-side connection counters (mirrored into ServiceStats::net and
+/// the kStats frame; the service's copy is the source of truth reported
+/// to clients).
+struct NetServerStats {
+  int64_t connections_accepted = 0;
+  int64_t connections_active = 0;
+  int64_t connections_shed = 0;
+  int64_t connections_timed_out = 0;
+  int64_t requests_shed = 0;
+  int64_t frames_in = 0;
+  int64_t frames_out = 0;
+  int64_t protocol_errors = 0;  // framing errors that closed a connection
+  int64_t bytes_in = 0;
+  int64_t bytes_out = 0;
+};
+
+class NetServer {
+ public:
+  /// `service` must outlive the server and is shared with any other
+  /// threads the caller drives (the service is internally synchronized).
+  NetServer(QueryService* service, NetServerOptions options = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, creates the epoll instance, starts the executor
+  /// threads. On failure the server is unusable (Run returns at once).
+  Status Start();
+
+  /// The bound port (valid after Start; resolves port 0 bindings).
+  uint16_t port() const { return port_; }
+
+  /// Runs the event loop until Shutdown(); returns after the drain.
+  void Run();
+
+  /// Requests graceful shutdown from any thread (async-signal-safe: one
+  /// atomic store and one eventfd write).
+  void Shutdown();
+
+  /// Routes SIGTERM/SIGINT to Shutdown() for this instance (at most one
+  /// instance per process may enable this; later calls override earlier
+  /// ones).
+  void EnableSignalShutdown();
+
+  /// Loop-thread counters, snapshotted (safe from any thread).
+  NetServerStats stats() const;
+
+ private:
+  struct Conn;
+  struct WorkItem;
+  struct Completion;
+  struct Cursor;
+  struct PendingExec;
+
+  // --- loop-side handlers (all run on the Run() thread) ---
+  void AcceptNew();
+  void HandleReadable(Conn* conn);
+  void HandleWritable(Conn* conn);
+  void ProcessInput(Conn* conn);
+  void HandleFrame(Conn* conn, const FrameHeader& header,
+                   const uint8_t* payload);
+  void HandleExec(Conn* conn, uint32_t request_id, ExecRequest req);
+  void HandleFetch(Conn* conn, uint32_t request_id, const FetchRequest& req);
+  void HandleCancel(Conn* conn, uint32_t request_id);
+  void HandleStats(Conn* conn, uint32_t request_id);
+  void DrainCompletions();
+  void FinishExec(Conn* conn, Completion& completion);
+  void TryDispatch(Conn* conn);
+  void DispatchToWorkers(Conn* conn, PendingExec exec);
+  ResultPage PageFromResult(Conn* conn, uint32_t request_rows,
+                            QueryResult result);
+  ResultPage PageFromCursor(Cursor* cursor, uint64_t cursor_id,
+                            uint32_t request_rows);
+  void SendFrame(Conn* conn, Opcode opcode, uint32_t request_id,
+                 const std::vector<uint8_t>& payload);
+  void SendError(Conn* conn, uint32_t request_id, const Status& status);
+  /// Framing violation: stop reading; the kError(rid 0) frame and the
+  /// close are deferred until admitted requests have been answered.
+  void ProtocolFatal(Conn* conn, const Status& status);
+  void MaybeFinishFatal(Conn* conn);
+  /// Peer half-closed: close once admitted requests have answered and
+  /// flushed. May free `conn`; callers must not touch it afterwards.
+  void MaybeCloseAfterEof(Conn* conn);
+  void MaybeQueueGoodbye(Conn* conn);
+  void UpdateInterest(Conn* conn);
+  void CloseConn(uint64_t conn_id, bool timed_out);
+  void CheckTimeouts();
+  int NextTimeoutMillis() const;
+  void BeginDrain();
+  bool DrainComplete() const;
+
+  // --- executor-side ---
+  void WorkerLoop();
+  /// Idempotent: drains the work queue, then joins the executor threads.
+  void StopWorkers();
+
+  QueryService* service_;
+  NetServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  bool started_ = false;
+
+  std::atomic<bool> shutdown_requested_{false};
+  bool draining_ = false;
+  std::chrono::steady_clock::time_point drain_deadline_{};
+
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  /// Requests admitted server-wide (executing + queued), loop-owned.
+  int admitted_requests_ = 0;
+
+  // Executor pool: a bounded handoff (the real bound is admitted_requests_
+  // <= max_queue, enforced by the loop before anything is queued here).
+  std::vector<std::thread> workers_;
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;
+  std::deque<WorkItem> work_queue_;
+  bool workers_stop_ = false;
+
+  // Completions flow back to the loop; wake_fd_ interrupts epoll_wait.
+  std::mutex completion_mutex_;
+  std::deque<Completion> completions_;
+
+  mutable std::mutex stats_mutex_;
+  NetServerStats stats_;
+};
+
+}  // namespace net
+}  // namespace simq
+
+#endif  // SIMQ_NET_SERVER_H_

@@ -1,0 +1,158 @@
+/// Little-endian wire primitives for the SIMQNET1 protocol
+/// (net/protocol.h): a growing byte writer and a bounds-checked reader.
+///
+/// Every multi-byte integer and double on the wire is little-endian,
+/// assembled and disassembled byte-by-byte so the codec is
+/// endianness-portable and never reads through a misaligned pointer
+/// (important under UBSan -- frame payloads arrive at arbitrary offsets
+/// inside the connection's input buffer).
+///
+/// WireReader follows the "poisoned stream" idiom: the first out-of-bounds
+/// read marks the reader failed and every subsequent read returns zeros.
+/// Decoders check ok() once at the end (plus remaining() == 0 when the
+/// payload must be consumed exactly) instead of branching per field, which
+/// keeps malformed-input handling uniform: no partial state ever escapes a
+/// decoder whose reader failed. Both types are header-only and allocation
+/// is confined to the writer's vector.
+
+#ifndef SIMQ_NET_WIRE_H_
+#define SIMQ_NET_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace simq {
+namespace net {
+
+/// Appends little-endian scalars to a byte buffer.
+class WireWriter {
+ public:
+  WireWriter() = default;
+  explicit WireWriter(std::vector<uint8_t>* out) : external_(out) {}
+
+  void U8(uint8_t v) { buf().push_back(v); }
+  void U16(uint16_t v) {
+    buf().push_back(static_cast<uint8_t>(v));
+    buf().push_back(static_cast<uint8_t>(v >> 8));
+  }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf().push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf().push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Bytes(const void* data, size_t size) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buf().insert(buf().end(), p, p + size);
+  }
+  /// u32 length prefix + bytes.
+  void String(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Bytes(s.data(), s.size());
+  }
+
+  const std::vector<uint8_t>& data() const { return *buffer(); }
+  std::vector<uint8_t> Take() { return std::move(owned_); }
+
+ private:
+  std::vector<uint8_t>& buf() { return *buffer(); }
+  const std::vector<uint8_t>* buffer() const {
+    return external_ != nullptr ? external_ : &owned_;
+  }
+  std::vector<uint8_t>* buffer() {
+    return external_ != nullptr ? external_ : &owned_;
+  }
+
+  std::vector<uint8_t> owned_;
+  std::vector<uint8_t>* external_ = nullptr;
+};
+
+/// Bounds-checked little-endian reader over a borrowed byte range.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - off_; }
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Copy(&v, 1);
+    return v;
+  }
+  uint16_t U16() {
+    uint8_t b[2] = {0, 0};
+    Copy(b, 2);
+    return static_cast<uint16_t>(b[0] | (b[1] << 8));
+  }
+  uint32_t U32() {
+    uint8_t b[4] = {0, 0, 0, 0};
+    Copy(b, 4);
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | b[i];
+    }
+    return v;
+  }
+  uint64_t U64() {
+    uint8_t b[8] = {0};
+    Copy(b, 8);
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | b[i];
+    }
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64() {
+    const uint64_t bits = U64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  /// u32 length prefix + bytes; an over-long length poisons the reader.
+  std::string String() {
+    const uint32_t len = U32();
+    if (!ok_ || len > remaining()) {
+      ok_ = false;
+      return std::string();
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + off_), len);
+    off_ += len;
+    return s;
+  }
+
+ private:
+  void Copy(void* out, size_t n) {
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(out, data_ + off_, n);
+    off_ += n;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t off_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace net
+}  // namespace simq
+
+#endif  // SIMQ_NET_WIRE_H_

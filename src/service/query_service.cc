@@ -303,6 +303,36 @@ void QueryService::OnSessionClosed() {
   --stats_.active_sessions;
 }
 
+void QueryService::NoteConnectionOpened() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.net.connections_accepted;
+  ++stats_.net.connections_active;
+}
+
+void QueryService::NoteConnectionClosed(bool timed_out) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  --stats_.net.connections_active;
+  if (timed_out) {
+    ++stats_.net.connections_timed_out;
+  }
+}
+
+void QueryService::NoteConnectionShed() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.net.connections_shed;
+}
+
+void QueryService::NoteRequestShed() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.net.requests_shed;
+}
+
+void QueryService::NoteNetBytes(int64_t bytes_in, int64_t bytes_out) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.net.bytes_in += bytes_in;
+  stats_.net.bytes_out += bytes_out;
+}
+
 Status QueryService::WalGate() const {
   if (!options_.wal_path.empty() && !wal_.is_open()) {
     return wal_open_status_;

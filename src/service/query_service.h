@@ -235,6 +235,18 @@ struct ServiceStats {
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
+  /// Network front-end counters, folded in by src/net/server.cc through
+  /// the Note* hooks below (all 0 when no NetServer fronts this service).
+  struct NetStats {
+    int64_t connections_accepted = 0;
+    int64_t connections_active = 0;
+    int64_t connections_shed = 0;      // refused at accept (overload)
+    int64_t connections_timed_out = 0; // closed by idle/stall timers
+    int64_t requests_shed = 0;         // kOverloaded before reaching a slot
+    int64_t bytes_in = 0;
+    int64_t bytes_out = 0;
+  };
+  NetStats net;
 };
 
 /// A client's handle: a prepared-statement namespace plus entry points for
@@ -368,6 +380,16 @@ class QueryService {
   uint64_t RelationEpoch(const std::string& relation) const;
 
   ServiceStats stats() const;
+
+  /// Network front-end hooks (called by net::NetServer): fold connection
+  /// and byte counters into ServiceStats::net so the shell's `.stats` and
+  /// the wire kStats frame report them alongside the query counters. Safe
+  /// from any thread; no-ops never occur -- every call counts.
+  void NoteConnectionOpened();
+  void NoteConnectionClosed(bool timed_out);
+  void NoteConnectionShed();
+  void NoteRequestShed();
+  void NoteNetBytes(int64_t bytes_in, int64_t bytes_out);
 
   /// The owned database, without any locking. Safe only while no other
   /// thread is using the service (setup, teardown, single-threaded tools).

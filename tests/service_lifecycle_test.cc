@@ -340,6 +340,30 @@ TEST(ServiceLifecycleTest, WalAppendFailureSurfacesOnTheMutation) {
   EXPECT_GE(service.stats().wal_failures, 1);
 }
 
+TEST(ServiceLifecycleTest, NetConnectionCountersFoldIntoStats) {
+  // The Note* hooks are the contract net::NetServer maintains (one call
+  // per event, under stats_mutex_); the end-to-end path is covered over a
+  // real socket in net_protocol_test.cc.
+  QueryService service(MakeDatabase(10, 16));
+  EXPECT_EQ(service.stats().net.connections_accepted, 0);
+  service.NoteConnectionOpened();
+  service.NoteConnectionOpened();
+  service.NoteConnectionClosed(/*timed_out=*/false);
+  service.NoteConnectionClosed(/*timed_out=*/true);
+  service.NoteConnectionShed();
+  service.NoteRequestShed();
+  service.NoteNetBytes(100, 40);
+  service.NoteNetBytes(20, 5);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.net.connections_accepted, 2);
+  EXPECT_EQ(stats.net.connections_active, 0);
+  EXPECT_EQ(stats.net.connections_shed, 1);
+  EXPECT_EQ(stats.net.connections_timed_out, 1);
+  EXPECT_EQ(stats.net.requests_shed, 1);
+  EXPECT_EQ(stats.net.bytes_in, 120);
+  EXPECT_EQ(stats.net.bytes_out, 45);
+}
+
 TEST(ResultCacheByteBudgetTest, EvictsPastTheByteBudget) {
   QueryResult big;
   for (int i = 0; i < 1000; ++i) {

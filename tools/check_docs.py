@@ -9,7 +9,8 @@ Two checks, stdlib only:
    a relative link is stripped before the existence check.
 
 2. Header doc check: every public header under src/service/, src/index/,
-   src/filter/, and src/core/ must open with a file-level doc comment
+   src/filter/, src/net/, and src/core/ must open with a file-level doc
+   comment
    (`///`) -- the convention that carries the thread-safety contracts
    (see DESIGN.md).
 
@@ -29,7 +30,9 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 CODE_SPAN_RE = re.compile(r"`[^`]*`")
 FENCE_RE = re.compile(r"^\s*(```|~~~)")
 
-DOC_HEADER_DIRS = ["src/service", "src/index", "src/filter", "src/core"]
+DOC_HEADER_DIRS = [
+    "src/service", "src/index", "src/filter", "src/net", "src/core"
+]
 
 
 def markdown_files():
