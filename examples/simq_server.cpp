@@ -8,9 +8,15 @@
 //
 //   simq_server [--port N] [--relation NAME] [--gen COUNT LENGTH]
 //               [--wal-dir DIR] [--deadline-ms D] [--admission-timeout-ms A]
+//               [--metrics-port N] [--slow-query-log PATH]
+//               [--slow-query-threshold-ms T] [--trace-sample-every N]
 //
 // With --port 0 (the default) the kernel picks a free port; the server
 // prints the choice on a "listening on port N" line, which scripts parse.
+// --metrics-port starts the Prometheus-style scrape endpoint
+// (obs/http_exporter.h) and prints "metrics on port N" the same way
+// (tools/check_metrics.py parses it); --slow-query-log appends one JSON
+// line per traced query past the threshold (obs/slow_query_log.h).
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +26,7 @@
 #include "core/sharded_relation.h"
 #include "core/wal.h"
 #include "net/server.h"
+#include "obs/http_exporter.h"
 #include "service/query_service.h"
 #include "workload/generators.h"
 
@@ -34,6 +41,10 @@ int Main(int argc, char** argv) {
   std::string wal_dir;
   double deadline_ms = 0.0;
   double admission_timeout_ms = 250.0;
+  int metrics_port = -1;  // -1 = no scrape endpoint; 0 = ephemeral port
+  std::string slow_query_log;
+  double slow_query_threshold_ms = 100.0;
+  int trace_sample_every = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -57,11 +68,21 @@ int Main(int argc, char** argv) {
       deadline_ms = std::atof(next("--deadline-ms"));
     } else if (arg == "--admission-timeout-ms") {
       admission_timeout_ms = std::atof(next("--admission-timeout-ms"));
+    } else if (arg == "--metrics-port") {
+      metrics_port = std::atoi(next("--metrics-port"));
+    } else if (arg == "--slow-query-log") {
+      slow_query_log = next("--slow-query-log");
+    } else if (arg == "--slow-query-threshold-ms") {
+      slow_query_threshold_ms = std::atof(next("--slow-query-threshold-ms"));
+    } else if (arg == "--trace-sample-every") {
+      trace_sample_every = std::atoi(next("--trace-sample-every"));
     } else {
       std::fprintf(stderr,
                    "usage: simq_server [--port N] [--relation NAME] "
                    "[--gen COUNT LENGTH] [--wal-dir DIR] [--deadline-ms D] "
-                   "[--admission-timeout-ms A]\n");
+                   "[--admission-timeout-ms A] [--metrics-port N] "
+                   "[--slow-query-log PATH] [--slow-query-threshold-ms T] "
+                   "[--trace-sample-every N]\n");
       return 2;
     }
   }
@@ -69,6 +90,16 @@ int Main(int argc, char** argv) {
   ServiceOptions service_options;
   service_options.default_deadline_ms = deadline_ms;
   service_options.admission_timeout_ms = admission_timeout_ms;
+  service_options.trace_sample_every = trace_sample_every;
+  if (!slow_query_log.empty()) {
+    service_options.slow_query_log_path = slow_query_log;
+    service_options.slow_query_threshold_ms = slow_query_threshold_ms;
+    // Only traced executions can reach the slow-query log; if the caller
+    // asked for the log but not for sampling, trace everything.
+    if (service_options.trace_sample_every == 0) {
+      service_options.trace_sample_every = 1;
+    }
+  }
   if (!wal_dir.empty()) {
     service_options.snapshot_path = wal_dir + "/simq.snapshot";
     service_options.wal_path = wal_dir + "/simq.wal";
@@ -121,9 +152,28 @@ int Main(int argc, char** argv) {
     return 1;
   }
   server.EnableSignalShutdown();
+
+  // Prometheus-style scrape endpoint; the refresh hook is stats(), which
+  // mirrors the cache counters into registry gauges before each render.
+  obs::MetricsHttpExporter exporter(service.metrics_registry(),
+                                    [&service] { (void)service.stats(); });
+  if (metrics_port >= 0) {
+    if (!exporter.Start(static_cast<uint16_t>(metrics_port))) {
+      std::fprintf(stderr, "metrics endpoint failed to bind port %d\n",
+                   metrics_port);
+      return 1;
+    }
+    std::printf("metrics on port %u\n", exporter.port());
+  }
+  if (!slow_query_log.empty()) {
+    std::printf("slow-query log: %s (threshold %.1f ms)\n",
+                slow_query_log.c_str(), slow_query_threshold_ms);
+  }
+
   std::printf("listening on port %u\n", server.port());
   std::fflush(stdout);
   server.Run();
+  exporter.Stop();
 
   const net::NetServerStats stats = server.stats();
   std::printf(

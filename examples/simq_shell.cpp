@@ -1,10 +1,14 @@
 // simq_shell: an interactive shell over the concurrent query service.
 //
 // Lines are either dot-commands (data management, prepared statements,
-// service stats) or query text in the language of core/parser.h, with the
-// EXPLAIN prefix rendering the plan (strategy, traversal engine, cache
-// status, relation epoch) instead of the answer rows. See
-// examples/README.md for a quickstart transcript.
+// service stats, telemetry) or query text in the language of
+// core/parser.h, with the EXPLAIN prefix rendering the plan (strategy,
+// traversal engine, cache status, relation epoch) instead of the answer
+// rows and EXPLAIN ANALYZE additionally printing the execution's span
+// tree with actual per-stage wall times. `.trace on|N` forces/samples
+// tracing for ordinary queries, `.metrics` dumps the service's metric
+// registry in Prometheus text exposition. See examples/README.md for a
+// quickstart transcript.
 
 #include <algorithm>
 #include <cstdio>
@@ -20,6 +24,8 @@
 
 #include "core/persistence.h"
 #include "core/sharded_relation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/query_service.h"
 #include "workload/generators.h"
 
@@ -41,11 +47,17 @@ void PrintHelp() {
       " statement\n"
       "  .stats                                   service counters +"
       " latency percentiles\n"
+      "  .metrics                                 metric registry in"
+      " Prometheus text format\n"
+      "  .trace on|off|N                          trace every query /"
+      " none / 1-in-N\n"
       "  .filter on|off [bits]                    quantized filter engine"
       " toggle\n"
       "  .help | .quit\n"
       "anything else is parsed as a query; prefix with EXPLAIN to see the"
-      " plan.\n"
+      " plan, or\n"
+      "EXPLAIN ANALYZE to run it and print the span tree with actual"
+      " timings.\n"
       "query language reference (grammar + worked examples):"
       " docs/QUERY_LANGUAGE.md\n");
 }
@@ -72,6 +84,25 @@ void PrintPlan(const ServiceResult& result) {
                 static_cast<long long>(result.plan.filter_scanned),
                 static_cast<long long>(result.plan.candidates),
                 100.0 * result.plan.pruning_ratio);
+  }
+  // Per-shard cardinalities: the estimated column is planner-side, the
+  // actual columns come from the execution -- the same rows back both
+  // EXPLAIN and EXPLAIN ANALYZE, so the columns always line up. Empty on
+  // cache hits replaying a pre-observability entry.
+  if (!result.plan.per_shard.empty()) {
+    std::printf("  %5s %10s %12s %12s %12s\n", "shard", "rows",
+                "est_cand", "candidates", "exact");
+    for (const ExecutionStats::ShardStats& shard : result.plan.per_shard) {
+      std::printf("  %5d %10lld %12lld %12lld %12lld\n", shard.shard,
+                  static_cast<long long>(shard.rows),
+                  static_cast<long long>(shard.estimated_candidates),
+                  static_cast<long long>(shard.candidates),
+                  static_cast<long long>(shard.exact_checks));
+    }
+  }
+  // EXPLAIN ANALYZE: the span tree with actual per-stage wall times.
+  if (result.trace != nullptr) {
+    std::fputs(obs::RenderTraceTree(result.trace->spans()).c_str(), stdout);
   }
 }
 
@@ -107,6 +138,10 @@ void PrintResult(const ServiceResult& result, bool explain) {
   }
   if (answer.pairs.size() > show_pairs) {
     std::printf("  ... %zu more\n", answer.pairs.size() - show_pairs);
+  }
+  // `.trace on|N` elected this execution: show where the time went.
+  if (result.trace != nullptr) {
+    std::fputs(obs::RenderTraceTree(result.trace->spans()).c_str(), stdout);
   }
 }
 
@@ -244,6 +279,10 @@ class Shell {
       CmdExec(in);
     } else if (head == ".stats") {
       PrintStats(service_->stats());
+    } else if (head == ".metrics") {
+      CmdMetrics();
+    } else if (head == ".trace") {
+      CmdTrace(in);
     } else if (head == ".filter") {
       CmdFilter(in);
     } else if (!head.empty() && head[0] == '.') {
@@ -314,6 +353,55 @@ class Shell {
     std::printf("filter engine: %s (bits_per_dim=%d)\n",
                 mode == "on" ? "quantized" : "exact",
                 db.filter_options().bits_per_dim);
+  }
+
+  // Full registry scrape, in the same text exposition the HTTP endpoint
+  // serves. stats() first: it refreshes the mirrored cache gauges.
+  void CmdMetrics() {
+    (void)service_->stats();
+    std::fputs(service_->metrics_registry()->RenderPrometheusText().c_str(),
+               stdout);
+  }
+
+  // `.trace on` traces every subsequent query, `.trace N` one in N,
+  // `.trace off` none. Shell-side election: elected queries run with
+  // ExecOptions::force_trace, so this is independent of the service's own
+  // sampler and never changes the answer set.
+  void CmdTrace(std::istringstream& in) {
+    std::string mode;
+    if (!(in >> mode)) {
+      std::printf("usage: .trace on|off|N  (N traces 1 in N queries)\n");
+      return;
+    }
+    if (mode == "on") {
+      trace_every_ = 1;
+    } else if (mode == "off") {
+      trace_every_ = 0;
+    } else {
+      int every = 0;
+      if (!ParseIntArg(mode, &every) || every < 1) {
+        std::printf("usage: .trace on|off|N  (N traces 1 in N queries)\n");
+        return;
+      }
+      trace_every_ = every;
+    }
+    trace_seq_ = 0;
+    if (trace_every_ == 0) {
+      std::printf("tracing off\n");
+    } else if (trace_every_ == 1) {
+      std::printf("tracing every query\n");
+    } else {
+      std::printf("tracing 1 in %d queries\n", trace_every_);
+    }
+  }
+
+  // The ExecOptions for the next query under the `.trace` setting.
+  ExecOptions NextExecOptions() {
+    ExecOptions options;
+    if (trace_every_ > 0) {
+      options.force_trace = (trace_seq_++ % trace_every_) == 0;
+    }
+    return options;
   }
 
   void CmdStock(std::istringstream& in) {
@@ -451,7 +539,7 @@ class Shell {
       }
     }
     const Result<ServiceResult> result =
-        session_->ExecutePrepared(it->second, params);
+        session_->ExecutePrepared(it->second, params, NextExecOptions());
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       return;
@@ -460,7 +548,8 @@ class Shell {
   }
 
   void CmdQuery(const std::string& text) {
-    const Result<ServiceResult> result = session_->Execute(text);
+    const Result<ServiceResult> result =
+        session_->Execute(text, NextExecOptions());
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       return;
@@ -471,6 +560,8 @@ class Shell {
   std::unique_ptr<QueryService> service_;
   std::unique_ptr<Session> session_;
   std::map<std::string, int64_t> statements_;
+  int trace_every_ = 0;    // 0 = off, 1 = every query, N = 1 in N
+  int64_t trace_seq_ = 0;  // shell-side election counter for `.trace N`
 };
 
 int Main() {

@@ -6,6 +6,7 @@
 
 #include "core/parser.h"
 #include "filter/bound_kernels.h"
+#include "obs/trace.h"
 #include "filter/quantized_codes.h"
 #include "geom/search_region.h"
 #include "ts/transforms.h"
@@ -336,6 +337,52 @@ void SortMatches(std::vector<Match>* matches) {
             });
 }
 
+// The query's trace, or null (the common case: one pointer load).
+inline obs::Trace* QueryTrace(const Query& query) {
+  return query.exec != nullptr ? query.exec->trace() : nullptr;
+}
+
+// Pre-execution per-shard cardinality estimates for EXPLAIN / EXPLAIN
+// ANALYZE -- computed only for explained or traced queries, never on the
+// hot path. Range estimates (`k` == 0) read the shard quantizer's cell
+// occupancy when codes are already compiled (the if_fresh peek: a plan
+// estimate must not trigger -- or fail -- a code build) and fall back to
+// the shard row count; nearest estimates are min(rows, k), since each
+// shard contributes at most k candidates to the merge and there is no
+// radius to estimate against. Estimates feed the reported plan only; no
+// pruning decision reads them.
+void FillShardEstimates(const ShardedRelation& data, int bits,
+                        const ExactChecker& checker, int n, double epsilon,
+                        int k, ExecutionStats* stats) {
+  const int num_shards = data.num_shards();
+  stats->shard_stats.assign(static_cast<size_t>(num_shards),
+                            ExecutionStats::ShardStats{});
+  for (int s = 0; s < num_shards; ++s) {
+    ExecutionStats::ShardStats& ss =
+        stats->shard_stats[static_cast<size_t>(s)];
+    ss.shard = s;
+    ss.rows = data.shard(s).size();
+    if (k > 0) {
+      ss.estimated_candidates = std::min<int64_t>(ss.rows, k);
+      continue;
+    }
+    ss.estimated_candidates = ss.rows;
+    if (!checker.columnar()) {
+      continue;
+    }
+    const QuantizedCodes* codes =
+        data.shard(s).quantized_codes_if_fresh(bits);
+    if (codes != nullptr && codes->dims() > 0) {
+      const double fraction = EstimateRangeSurvivorFraction(
+          codes->quantizer(), checker.query_ri().data(), checker.mult_ri(),
+          n, epsilon);
+      ss.estimated_candidates = std::min<int64_t>(
+          ss.rows, static_cast<int64_t>(std::ceil(
+                       fraction * static_cast<double>(ss.rows))));
+    }
+  }
+}
+
 }  // namespace
 
 Relation::Relation(std::string name, const FeatureConfig& config,
@@ -641,8 +688,29 @@ Result<QueryResult> Database::Execute(const Query& query) const {
           method = JoinMethod::kFullScan;
           break;
       }
-      return SelfJoin(query.relation, query.epsilon, left_rule, right_rule,
-                      method, query.filter, query.exec);
+      // Joins trace as one stage: the join drivers have their own
+      // internal phasing, but the service-level question ("where did the
+      // time go?") is answered by one span with the pair accounting.
+      obs::Trace* const trace = QueryTrace(query);
+      const double span_start = trace != nullptr ? trace->NowMs() : 0.0;
+      Result<QueryResult> result =
+          SelfJoin(query.relation, query.epsilon, left_rule, right_rule,
+                   method, query.filter, query.exec);
+      if (trace != nullptr && result.ok()) {
+        const ExecutionStats& stats = result.value().stats;
+        const int span =
+            trace->AddCompleted("join", trace->engine_parent(), span_start,
+                                trace->NowMs() - span_start);
+        trace->SetRows(
+            span,
+            stats.filter_scanned > 0 ? stats.filter_scanned
+                                     : stats.exact_checks,
+            stats.filter_scanned > 0
+                ? stats.filter_scanned - stats.candidates
+                : 0,
+            static_cast<int64_t>(result.value().pairs.size()));
+      }
+      return result;
     }
   }
   return Status::Internal("unknown query kind");
@@ -664,6 +732,7 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
   }
   SIMQ_RETURN_IF_ERROR(CheckExecution(query.exec));
   const ExecutionContext* exec = query.exec.get();
+  obs::Trace* const trace = QueryTrace(query);
   if (relation.size() == 0) {
     return out;
   }
@@ -772,6 +841,16 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
     }
   }
 
+  // Per-shard estimates (after the code compile above, so the quantizer
+  // grid is visible to the estimator on the filtered path) and actuals
+  // are produced only for explained or traced queries.
+  const bool want_shard_stats = query.explain || trace != nullptr;
+  if (want_shard_stats) {
+    FillShardEstimates(data, filter_options_.bits_per_dim, checker, n,
+                       query.epsilon, /*k=*/0, &out.stats);
+  }
+  const int trace_parent = trace != nullptr ? trace->engine_parent() : 0;
+
   if (strategy == ExecutionStrategy::kIndex) {
     const std::vector<Complex> query_coeffs =
         ExtractCoefficients(query_spectrum, config_.num_coefficients);
@@ -813,6 +892,8 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
                   if (ShouldStop(exec)) {
                     break;
                   }
+                  const double span_start =
+                      trace != nullptr ? trace->NowMs() : 0.0;
                   std::vector<int64_t> candidates;
                   trees[static_cast<size_t>(s)]->Search(region, affines_ptr,
                                                         &candidates);
@@ -841,6 +922,16 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
                     }
                   }
                   shard_checks[static_cast<size_t>(s)] = checks;
+                  if (trace != nullptr) {
+                    const int span = trace->AddCompleted(
+                        "index shard", trace_parent, span_start,
+                        trace->NowMs() - span_start);
+                    trace->SetShard(span, static_cast<int>(s));
+                    trace->SetRows(
+                        span, shard_candidates[static_cast<size_t>(s)],
+                        shard_candidates[static_cast<size_t>(s)] - checks,
+                        static_cast<int64_t>(local.size()));
+                  }
                   if (stopped) {
                     break;
                   }
@@ -855,6 +946,12 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
       out.matches.insert(out.matches.end(),
                          shard_matches[static_cast<size_t>(s)].begin(),
                          shard_matches[static_cast<size_t>(s)].end());
+      if (want_shard_stats) {
+        ExecutionStats::ShardStats& ss =
+            out.stats.shard_stats[static_cast<size_t>(s)];
+        ss.candidates = shard_candidates[static_cast<size_t>(s)];
+        ss.exact_checks = shard_checks[static_cast<size_t>(s)];
+      }
     }
   } else if (filter_state.has_value()) {
     // Two-phase quantized filter-and-refine scan (DESIGN.md "Quantized
@@ -873,6 +970,17 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
     std::vector<std::vector<Match>> block_matches(max_blocks);
     std::vector<int64_t> block_checks(max_blocks, 0);
     std::vector<int64_t> block_scanned(max_blocks, 0);
+    // Phase 1 and 2 are fused per scan unit on this path, so one span
+    // covers both; scanned/pruned/returned separate the phases in the
+    // rendered tree. Per-shard survivor counts accumulate into a
+    // (block, shard) matrix so blocks never share a cache line or need
+    // atomics -- allocated only for explained/traced queries.
+    obs::ScopedSpan filter_span(trace, "filter+refine", trace_parent);
+    const size_t stat_shards = static_cast<size_t>(data.num_shards());
+    std::vector<int64_t> block_shard_checks;
+    if (want_shard_stats) {
+      block_shard_checks.assign(max_blocks * stat_shards, 0);
+    }
     const bool has_pattern = query.pattern.mean_range.has_value() ||
                              query.pattern.std_range.has_value();
     pool.ParallelFor(
@@ -916,6 +1024,11 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
                                  SafeThreshold(eps_sq, luts.slack),
                                  unit.lo, unit.hi, &active, &scratch);
             checks += static_cast<int64_t>(active.size());
+            if (want_shard_stats) {
+              block_shard_checks[static_cast<size_t>(block) * stat_shards +
+                                 static_cast<size_t>(unit.shard)] +=
+                  static_cast<int64_t>(active.size());
+            }
             for (const int32_t offset : active) {
               const int64_t id = shard.global_id(unit.lo + offset);
               const double distance = checker.Distance(id, query.epsilon);
@@ -936,6 +1049,19 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
       out.matches.insert(out.matches.end(), block_matches[block].begin(),
                          block_matches[block].end());
     }
+    if (want_shard_stats) {
+      for (size_t block = 0; block < max_blocks; ++block) {
+        for (size_t s = 0; s < stat_shards; ++s) {
+          const int64_t survivors =
+              block_shard_checks[block * stat_shards + s];
+          out.stats.shard_stats[s].candidates += survivors;
+          out.stats.shard_stats[s].exact_checks += survivors;
+        }
+      }
+    }
+    filter_span.Rows(out.stats.filter_scanned,
+                     out.stats.filter_scanned - out.stats.candidates,
+                     static_cast<int64_t>(out.matches.size()));
   } else {
     const bool abandon = strategy != ExecutionStrategy::kScanNoEarlyAbandon;
     const double threshold = abandon ? query.epsilon : kInf;
@@ -963,6 +1089,12 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
     const size_t max_blocks = static_cast<size_t>(pool.max_blocks());
     std::vector<std::vector<Match>> block_matches(max_blocks);
     std::vector<int64_t> block_checks(max_blocks, 0);
+    obs::ScopedSpan scan_span(trace, "scan", trace_parent);
+    const size_t stat_shards = static_cast<size_t>(data.num_shards());
+    std::vector<int64_t> block_shard_checks;
+    if (want_shard_stats) {
+      block_shard_checks.assign(max_blocks * stat_shards, 0);
+    }
     pool.ParallelFor(
         0, static_cast<int64_t>(units.size()), /*min_grain=*/1,
         [&](int64_t block, int64_t unit_lo, int64_t unit_hi) {
@@ -976,6 +1108,7 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
             const ScanUnit& unit = units[static_cast<size_t>(u)];
             const RelationShard& shard = data.shard(unit.shard);
             const FeatureStore& store = shard.store();
+            const int64_t unit_checks_before = checks;
             for (int64_t i = unit.lo; i < unit.hi; ++i) {
               if (!StatsAdmit(store.mean(i), store.std_dev(i),
                               query.pattern)) {
@@ -1000,6 +1133,11 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
                     Match{id, relation.record(id).name, distance});
               }
             }
+            if (want_shard_stats) {
+              block_shard_checks[static_cast<size_t>(block) * stat_shards +
+                                 static_cast<size_t>(unit.shard)] +=
+                  checks - unit_checks_before;
+            }
           }
           block_checks[static_cast<size_t>(block)] = checks;
         });
@@ -1008,11 +1146,26 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
       out.matches.insert(out.matches.end(), block_matches[block].begin(),
                          block_matches[block].end());
     }
+    if (want_shard_stats) {
+      for (size_t block = 0; block < max_blocks; ++block) {
+        for (size_t s = 0; s < stat_shards; ++s) {
+          const int64_t c = block_shard_checks[block * stat_shards + s];
+          out.stats.shard_stats[s].candidates += c;
+          out.stats.shard_stats[s].exact_checks += c;
+        }
+      }
+    }
+    scan_span.Rows(out.stats.exact_checks, 0,
+                   static_cast<int64_t>(out.matches.size()));
   }
   // Workers that observed a stop left partial buffers behind; the typed
   // error below discards them so callers never see a partial answer.
   SIMQ_RETURN_IF_ERROR(CheckExecution(query.exec));
-  SortMatches(&out.matches);
+  {
+    obs::ScopedSpan merge(trace, "merge", trace_parent);
+    SortMatches(&out.matches);
+    merge.Rows(0, 0, static_cast<int64_t>(out.matches.size()));
+  }
   return out;
 }
 
@@ -1024,6 +1177,7 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
   }
   SIMQ_RETURN_IF_ERROR(CheckExecution(query.exec));
   const ExecutionContext* exec = query.exec.get();
+  obs::Trace* const trace = QueryTrace(query);
   if (relation.size() == 0) {
     return out;
   }
@@ -1108,6 +1262,15 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
     }
   }
 
+  // Shard estimates / actuals only for explained or traced queries (see
+  // ExecuteRange); nearest estimates are min(rows, k) per shard.
+  const bool want_shard_stats = query.explain || trace != nullptr;
+  if (want_shard_stats) {
+    FillShardEstimates(data, filter_options_.bits_per_dim, checker, n,
+                       /*epsilon=*/0.0, query.k, &out.stats);
+  }
+  const int trace_parent = trace != nullptr ? trace->engine_parent() : 0;
+
   if (strategy == ExecutionStrategy::kIndex) {
     const std::vector<Complex> query_coeffs =
         ExtractCoefficients(query_spectrum, config_.num_coefficients);
@@ -1144,13 +1307,31 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
           static_cast<int>(merged.size()) >= query.k) {
         prune_bound = merged[static_cast<size_t>(query.k - 1)].second;
       }
+      const double span_start = trace != nullptr ? trace->NowMs() : 0.0;
+      const int64_t checks_before = out.stats.exact_checks;
+      int64_t shard_returned = 0;
       node_accesses += RunOnShardEngine(
           data.shard(s), engine, [&](const auto& tree) {
             const auto shard_results = tree.NearestNeighbors(
                 bound, affines_ptr, query.k, exact, prune_bound);
+            shard_returned = static_cast<int64_t>(shard_results.size());
             merged.insert(merged.end(), shard_results.begin(),
                           shard_results.end());
           });
+      if (trace != nullptr) {
+        const int span =
+            trace->AddCompleted("index shard", trace_parent, span_start,
+                                trace->NowMs() - span_start);
+        trace->SetShard(span, s);
+        trace->SetRows(span, out.stats.exact_checks - checks_before, 0,
+                       shard_returned);
+      }
+      if (want_shard_stats) {
+        ExecutionStats::ShardStats& ss =
+            out.stats.shard_stats[static_cast<size_t>(s)];
+        ss.candidates = shard_returned;
+        ss.exact_checks = out.stats.exact_checks - checks_before;
+      }
       std::sort(merged.begin(), merged.end(),
                 [](const std::pair<int64_t, double>& a,
                    const std::pair<int64_t, double>& b) {
@@ -1193,6 +1374,16 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
     std::vector<std::vector<Candidate>> block_cands(max_blocks);
     std::vector<std::vector<double>> block_ubs(max_blocks);
     std::vector<int64_t> block_scanned(max_blocks, 0);
+    // Phase spans: the bound scan and the refine are distinct stages on
+    // this path, so each gets its own span (opened/closed around the
+    // phase, not RAII -- the boundary falls mid-block).
+    const int filter_span =
+        trace != nullptr ? trace->StartSpan("filter", trace_parent) : -1;
+    const size_t stat_shards = static_cast<size_t>(data.num_shards());
+    std::vector<int64_t> block_shard_cands;
+    if (want_shard_stats) {
+      block_shard_cands.assign(max_blocks * stat_shards, 0);
+    }
     WithFilterBits(filter.bits, [&](auto bits_tag) {
       constexpr int kBits = decltype(bits_tag)::value;
       pool.ParallelFor(
@@ -1232,6 +1423,11 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
                     SafeThreshold(tau_sq, filter.max_slack), &ub_sq);
                 if (lb_sq == kInf) {
                   continue;  // provably outside the top k
+                }
+                if (want_shard_stats) {
+                  block_shard_cands[static_cast<size_t>(block) *
+                                        stat_shards +
+                                    static_cast<size_t>(unit.shard)] += 1;
                 }
                 cands.push_back(Candidate{shard.global_id(i), lb_sq});
                 ubs.push_back(ub_sq);
@@ -1277,6 +1473,22 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
                 return a.id < b.id;
               });
     out.stats.candidates = static_cast<int64_t>(cands.size());
+    if (trace != nullptr) {
+      trace->SetRows(filter_span, out.stats.filter_scanned,
+                     out.stats.filter_scanned - out.stats.candidates,
+                     out.stats.candidates);
+      trace->EndSpan(filter_span);
+    }
+    if (want_shard_stats) {
+      for (size_t block = 0; block < max_blocks; ++block) {
+        for (size_t s = 0; s < stat_shards; ++s) {
+          out.stats.shard_stats[s].candidates +=
+              block_shard_cands[block * stat_shards + s];
+        }
+      }
+    }
+    const int refine_span =
+        trace != nullptr ? trace->StartSpan("refine", trace_parent) : -1;
     // Refine in lower-bound order; `best` stays sorted by (distance, id).
     std::vector<std::pair<double, int64_t>> best;
     best.reserve(static_cast<size_t>(k) + 1);
@@ -1292,6 +1504,11 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
         }
       }
       ++out.stats.exact_checks;
+      if (want_shard_stats) {
+        ++out.stats
+              .shard_stats[static_cast<size_t>(data.shard_of(cand.id))]
+              .exact_checks;
+      }
       // Unbounded exact distance: the unfiltered kNN scan computes every
       // distance with the no-abandon kernel, whose summation association
       // differs from the abandoning one -- refining with a finite limit
@@ -1307,6 +1524,11 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
       }
       best.insert(std::upper_bound(best.begin(), best.end(), entry), entry);
     }
+    if (trace != nullptr) {
+      trace->SetRows(refine_span, out.stats.exact_checks, 0,
+                     static_cast<int64_t>(best.size()));
+      trace->EndSpan(refine_span);
+    }
     for (const auto& [distance, id] : best) {
       out.matches.push_back(Match{id, relation.record(id).name, distance});
     }
@@ -1321,6 +1543,12 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
     const std::vector<ScanUnit> units = MakeScanUnits(data, RecordGrain(n));
     const size_t max_blocks = static_cast<size_t>(pool.max_blocks());
     std::vector<int64_t> block_checks(max_blocks, 0);
+    obs::ScopedSpan scan_span(trace, "scan", trace_parent);
+    const size_t stat_shards = static_cast<size_t>(data.num_shards());
+    std::vector<int64_t> block_shard_checks;
+    if (want_shard_stats) {
+      block_shard_checks.assign(max_blocks * stat_shards, 0);
+    }
     pool.ParallelFor(
         0, static_cast<int64_t>(units.size()), /*min_grain=*/1,
         [&](int64_t block, int64_t unit_lo, int64_t unit_hi) {
@@ -1332,6 +1560,7 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
             const ScanUnit& unit = units[static_cast<size_t>(u)];
             const RelationShard& shard = data.shard(unit.shard);
             const FeatureStore& store = shard.store();
+            const int64_t unit_checks_before = checks;
             for (int64_t i = unit.lo; i < unit.hi; ++i) {
               if (!StatsAdmit(store.mean(i), store.std_dev(i),
                               query.pattern)) {
@@ -1341,12 +1570,28 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
               const int64_t id = shard.global_id(i);
               distances[static_cast<size_t>(id)] = checker.Distance(id, kInf);
             }
+            if (want_shard_stats) {
+              block_shard_checks[static_cast<size_t>(block) * stat_shards +
+                                 static_cast<size_t>(unit.shard)] +=
+                  checks - unit_checks_before;
+            }
           }
           block_checks[static_cast<size_t>(block)] = checks;
         });
     for (size_t block = 0; block < max_blocks; ++block) {
       out.stats.exact_checks += block_checks[block];
     }
+    if (want_shard_stats) {
+      for (size_t block = 0; block < max_blocks; ++block) {
+        for (size_t s = 0; s < stat_shards; ++s) {
+          const int64_t c = block_shard_checks[block * stat_shards + s];
+          out.stats.shard_stats[s].candidates += c;
+          out.stats.shard_stats[s].exact_checks += c;
+        }
+      }
+    }
+    scan_span.Rows(out.stats.exact_checks, 0, std::min<int64_t>(
+        static_cast<int64_t>(query.k), out.stats.exact_checks));
     std::vector<Match> all;
     all.reserve(static_cast<size_t>(count));
     for (int64_t i = 0; i < count; ++i) {
@@ -1363,7 +1608,11 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
   }
   // Discard any partial answer a stopped worker left behind.
   SIMQ_RETURN_IF_ERROR(CheckExecution(query.exec));
-  SortMatches(&out.matches);
+  {
+    obs::ScopedSpan merge(trace, "merge", trace_parent);
+    SortMatches(&out.matches);
+    merge.Rows(0, 0, static_cast<int64_t>(out.matches.size()));
+  }
   return out;
 }
 

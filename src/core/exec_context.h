@@ -11,6 +11,12 @@
 /// The context is shared (shared_ptr, atomics only) so a service session
 /// can cancel a query running on another thread. A null context on the
 /// query means "no deadline, not cancellable" and costs nothing.
+///
+/// The context also carries the query's optional trace (obs/trace.h):
+/// the service attaches one before execution when the query is EXPLAIN
+/// ANALYZE, tracing is forced, or the sampler fires, and the engine reads
+/// it through trace() at stage boundaries. A null trace (the common case)
+/// keeps every instrumentation site at one pointer load.
 
 #ifndef SIMQ_CORE_EXEC_CONTEXT_H_
 #define SIMQ_CORE_EXEC_CONTEXT_H_
@@ -23,6 +29,10 @@
 #include "util/status.h"
 
 namespace simq {
+
+namespace obs {
+class Trace;
+}  // namespace obs
 
 class ExecutionContext {
  public:
@@ -53,6 +63,18 @@ class ExecutionContext {
     return cancelled_.load(std::memory_order_relaxed);
   }
 
+  // Attaches / reads the per-query trace. The service sets it before the
+  // engine runs and detaches it after (never mid-flight), so there is a
+  // single writer with happens-before edges to every engine reader. The
+  // Trace itself is internally synchronized, and attaching observational
+  // metadata does not mutate the context's execution semantics -- hence
+  // const, so the service can attach through Query::exec's const pointer.
+  void set_trace(std::shared_ptr<obs::Trace> trace) const {
+    trace_ = std::move(trace);
+  }
+  obs::Trace* trace() const { return trace_.get(); }
+  std::shared_ptr<obs::Trace> shared_trace() const { return trace_; }
+
   // The poll: OK while the query may continue, kCancelled / kTimeout once
   // it must stop. Cancellation wins over timeout when both apply.
   Status Check() const {
@@ -73,6 +95,7 @@ class ExecutionContext {
 
   std::atomic<int64_t> deadline_ns_{kNoDeadline};
   std::atomic<bool> cancelled_{false};
+  mutable std::shared_ptr<obs::Trace> trace_;
 };
 
 // Polls an optional context: a null pointer never stops execution.

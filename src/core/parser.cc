@@ -107,6 +107,13 @@ class Parser {
     if (Peek().kind == TokenKind::kIdent && ToUpper(Peek().text) == "EXPLAIN") {
       Advance();
       query.explain = true;
+      // EXPLAIN ANALYZE: execute and report actual timings/cardinalities
+      // beside the plan. ANALYZE alone is not a query prefix.
+      if (Peek().kind == TokenKind::kIdent &&
+          ToUpper(Peek().text) == "ANALYZE") {
+        Advance();
+        query.analyze = true;
+      }
     }
     const Token& head = Peek();
     if (head.kind != TokenKind::kIdent) {

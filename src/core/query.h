@@ -107,6 +107,12 @@ struct Query {
   // or alongside -- the answer set.
   bool explain = false;
 
+  // Set by EXPLAIN ANALYZE: execute normally (answers stay bit-identical
+  // and cacheable -- analyze is not part of the semantic identity either)
+  // but force a trace so front ends can render the span tree with actual
+  // timings and cardinalities next to the plan.
+  bool analyze = false;
+
   // Deadline / cancellation handle, polled at block boundaries during
   // execution (core/exec_context.h). Null means unbounded. Not part of the
   // query's semantic identity: the service's cache / prepared-statement
@@ -142,6 +148,20 @@ struct ExecutionStats {
   // engine fell back to the pointer-tree / exact-scan path for this query
   // (answers are identical; only the acceleration was lost).
   bool degraded = false;
+
+  // Per-shard breakdown, filled by the sharded executors for range and
+  // nearest queries. `estimated_candidates` is the planner-side estimate
+  // (relation stats plus quantizer cell occupancy when codes exist) and
+  // is produced even for EXPLAIN without ANALYZE, so the estimated and
+  // actual columns of the two outputs always line up.
+  struct ShardStats {
+    int shard = 0;
+    int64_t rows = 0;                  // rows resident in the shard
+    int64_t estimated_candidates = 0;  // pre-execution estimate
+    int64_t candidates = 0;            // actual filter/index survivors
+    int64_t exact_checks = 0;          // actual full-distance evaluations
+  };
+  std::vector<ShardStats> shard_stats;
 };
 
 struct QueryResult {

@@ -21,6 +21,11 @@ ShardingOptions ShardingOptions::FromEnv() {
 RelationShard::RelationShard(int dims, const RTree::Options& index_options)
     : index_(std::make_unique<RTree>(dims, index_options)) {}
 
+const QuantizedCodes* RelationShard::quantized_codes_if_fresh(
+    int bits) const {
+  return quantized_.Peek(bits);
+}
+
 ShardedRelation::ShardedRelation(int dims,
                                  const RTree::Options& index_options,
                                  const ShardingOptions& options)

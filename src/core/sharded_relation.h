@@ -106,6 +106,10 @@ class RelationShard {
   const QuantizedCodes* quantized_codes_or_null(int bits) const {
     return quantized_.TryGet(store_, bits);
   }
+  /// Already-compiled fresh codes at `bits`, or null -- never compiles.
+  /// The EXPLAIN cardinality estimator reads the quantizer grid through
+  /// this so estimating never does (or fails) a code build.
+  const QuantizedCodes* quantized_codes_if_fresh(int bits) const;
 
   int64_t size() const { return static_cast<int64_t>(global_ids_.size()); }
   int64_t global_id(int64_t local) const {

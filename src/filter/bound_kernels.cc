@@ -203,4 +203,58 @@ QueryLuts BuildQueryLuts(const ScalarQuantizer& quantizer,
   return luts;
 }
 
+double EstimateRangeSurvivorFraction(const ScalarQuantizer& quantizer,
+                                     const double* query_ri,
+                                     const double* mult_ri, int n,
+                                     double epsilon) {
+  const int dims = quantizer.dims();
+  const int cells = quantizer.cells();
+  if (dims <= 0 || cells <= 0 || n <= 0) {
+    return 1.0;
+  }
+  double fraction = 1.0;
+  for (int d = 0; d < dims; ++d) {
+    // Per-dimension target and radius. With a spectral multiplier m the
+    // record contributes |m|^2 * |x - q/m|^2 per coefficient, so the
+    // cell test runs against q/m with the radius scaled by 1/|m|; a zero
+    // multiplier leaves the dimension unconstrained. The radius is the
+    // FULL epsilon per dimension -- a row inside the ball is inside
+    // every per-dimension slab -- so each factor is itself conservative
+    // and only the independence assumption makes the product estimative.
+    const int f = d / 2;
+    double target = query_ri[d];
+    double radius = epsilon;
+    if (mult_ri != nullptr) {
+      const double mr = mult_ri[2 * (f % n)];
+      const double mi = mult_ri[2 * (f % n) + 1];
+      const double m_sq = mr * mr + mi * mi;
+      if (m_sq == 0.0) {
+        continue;
+      }
+      const double qr = query_ri[2 * f];
+      const double qi = query_ri[2 * f + 1];
+      // q / m, the component matching this real dimension.
+      const double tr = (qr * mr + qi * mi) / m_sq;
+      const double ti = (qi * mr - qr * mi) / m_sq;
+      target = (d % 2 == 0) ? tr : ti;
+      radius = epsilon / std::sqrt(m_sq);
+    }
+    const double* b = quantizer.bounds(d);
+    const double lo = target - radius;
+    const double hi = target + radius;
+    // Cells whose interval [b[c], b[c+1]] intersects [lo, hi].
+    const int c_lo = static_cast<int>(
+        std::lower_bound(b + 1, b + 1 + cells, lo) - (b + 1));
+    const int c_hi =
+        static_cast<int>(std::upper_bound(b, b + cells, hi) - b) - 1;
+    const int count =
+        std::max(0, std::min(cells - 1, c_hi) - std::min(cells, c_lo) + 1);
+    fraction *= static_cast<double>(count) / static_cast<double>(cells);
+    if (fraction == 0.0) {
+      break;
+    }
+  }
+  return std::min(1.0, std::max(0.0, fraction));
+}
+
 }  // namespace simq

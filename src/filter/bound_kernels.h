@@ -180,6 +180,23 @@ void ColumnLowerBoundScan(const QuantizedCodes& codes, const QueryLuts& luts,
                           std::vector<int32_t>* active,
                           std::vector<double>* scratch);
 
+/// Planner-side selectivity estimate of a range query against one
+/// shard's quantizer grid: the estimated fraction of rows within
+/// `epsilon` of the query, as the product over dimensions of each
+/// dimension's surviving-cell fraction. Quantile cells are
+/// equi-populated, so the fraction of cells whose interval intersects
+/// [q_d - eps_d, q_d + eps_d] is (to one cell of resolution) the
+/// fraction of rows surviving that dimension alone; the product assumes
+/// dimension independence, making this an estimate, not a bound. Feeds
+/// the per-shard estimated cardinalities of EXPLAIN / EXPLAIN ANALYZE
+/// only -- no pruning decision ever reads it. `query_ri` / `mult_ri` are
+/// the interleaved query spectrum and spectral multiplier the exact
+/// kernels consume (mult_ri nullptr = identity).
+double EstimateRangeSurvivorFraction(const ScalarQuantizer& quantizer,
+                                     const double* query_ri,
+                                     const double* mult_ri, int n,
+                                     double epsilon);
+
 /// Runs `fn` with std::integral_constant<int, bits> so kernel loops see
 /// the code width as a compile-time constant: WithFilterBits(codes.bits(),
 /// [&](auto b) { ... LowerUpperBoundSq<b()>(...) ... }).

@@ -130,6 +130,22 @@ class QuantizedCodesCache {
     return *codes;
   }
 
+  /// Read-only peek: the codes at `bits` only if they are already
+  /// compiled and fresh; never triggers a compile. The EXPLAIN
+  /// cardinality estimator uses this so estimating a plan cannot charge
+  /// a query the cost (or the failpoint) of a code build it may never
+  /// run.
+  const QuantizedCodes* Peek(int bits) const {
+    bits = std::clamp(bits, ScalarQuantizer::kMinBits,
+                      ScalarQuantizer::kMaxBits);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stale_) {
+      return nullptr;
+    }
+    return codes_[static_cast<size_t>(bits - ScalarQuantizer::kMinBits)]
+        .get();
+  }
+
   /// Degradation-aware Get: returns null when the compile fails (the
   /// "filter.compile" failpoint). The caller falls back to the exact scan
   /// path. Reusing already-compiled codes never fails -- only compiles

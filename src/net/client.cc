@@ -265,6 +265,17 @@ Result<WireStats> NetClient::Stats() {
   return stats;
 }
 
+Result<std::vector<WireMetric>> NetClient::Metrics() {
+  std::vector<uint8_t> body;
+  const Status called =
+      Call(Opcode::kMetrics, {}, Opcode::kMetricsAck, &body);
+  if (!called.ok()) return called;
+  std::vector<WireMetric> metrics;
+  const Status decoded = DecodeMetrics(body.data(), body.size(), &metrics);
+  if (!decoded.ok()) return decoded;
+  return metrics;
+}
+
 Status NetClient::Cancel() {
   std::vector<uint8_t> body;
   return Call(Opcode::kCancel, {}, Opcode::kCancelAck, &body);

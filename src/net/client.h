@@ -85,6 +85,10 @@ class NetClient {
   Result<QueryResult> ExecAll(const ExecRequest& request);
   Result<ResultPage> Fetch(uint64_t cursor_id, uint32_t page_rows = 0);
   Result<WireStats> Stats();
+  /// Full metric-registry snapshot (kMetrics), flattened to (name, type,
+  /// value) samples; histograms arrive as derived _count/_sum_ms/_p50/
+  /// _p95/_p99 gauges.
+  Result<std::vector<WireMetric>> Metrics();
   Status Cancel();
   Status CloseCursor(uint64_t cursor_id);
   /// Sends GOODBYE and waits for the server's goodbye (or clean EOF).

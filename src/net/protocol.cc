@@ -54,6 +54,7 @@ bool IsClientOpcode(uint8_t opcode) {
     case Opcode::kFetch:
     case Opcode::kCancel:
     case Opcode::kStats:
+    case Opcode::kMetrics:
     case Opcode::kCloseCursor:
     case Opcode::kGoodbye:
       return true;
@@ -415,6 +416,38 @@ Status DecodeStats(const uint8_t* payload, size_t size, WireStats* out) {
   out->bytes_in = r.U64();
   out->bytes_out = r.U64();
   return FinishDecode(r, "STATS_ACK");
+}
+
+std::vector<uint8_t> EncodeMetrics(const std::vector<WireMetric>& metrics) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(metrics.size()));
+  for (const WireMetric& metric : metrics) {
+    w.String(metric.name);
+    w.U8(metric.type);
+    w.F64(metric.value);
+  }
+  return w.Take();
+}
+
+Status DecodeMetrics(const uint8_t* payload, size_t size,
+                     std::vector<WireMetric>* out) {
+  WireReader r(payload, size);
+  const uint32_t count = r.U32();
+  // Cheapest possible sample is an empty name (4 bytes) + type + value:
+  // reject counts the payload cannot possibly hold before reserving.
+  if (!r.ok() || static_cast<uint64_t>(count) * 13 > r.remaining()) {
+    return Malformed("METRICS_ACK");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireMetric metric;
+    metric.name = r.String();
+    metric.type = r.U8();
+    metric.value = r.F64();
+    out->push_back(std::move(metric));
+  }
+  return FinishDecode(r, "METRICS_ACK");
 }
 
 Status StatusFromWire(const ErrorInfo& error) {

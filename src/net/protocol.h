@@ -75,6 +75,8 @@ enum class Opcode : uint8_t {
   kCloseCursorAck = 13,  // server->client
   kGoodbye = 14,      // either direction: orderly close after flush
   kError = 15,        // server->client: typed Status for a request
+  kMetrics = 16,      // client->server: full metric registry snapshot
+  kMetricsAck = 17,   // server->client
 };
 
 /// True for opcodes a client may legally send.
@@ -203,6 +205,18 @@ struct WireStats {
   uint64_t bytes_out = 0;
 };
 
+/// One metric in a kMetricsAck payload: the registry snapshot flattened
+/// to (name, type, value) samples. Histograms are exported as derived
+/// scalar samples (`_count`, `_sum_ms`, `_p50`, `_p95`, `_p99` suffixes)
+/// so the frame stays a flat list; the Prometheus text exposition is the
+/// lossless surface. `type` is the MetricSample::Type numeric value of
+/// the sample as sent (derived histogram scalars are gauges).
+struct WireMetric {
+  std::string name;
+  uint8_t type = 0;  // 0 = counter, 1 = gauge
+  double value = 0.0;
+};
+
 std::vector<uint8_t> EncodeHello(const HelloRequest& hello);
 Status DecodeHello(const uint8_t* payload, size_t size, HelloRequest* out);
 
@@ -236,6 +250,10 @@ Status DecodeError(const uint8_t* payload, size_t size, ErrorInfo* out);
 
 std::vector<uint8_t> EncodeStats(const WireStats& stats);
 Status DecodeStats(const uint8_t* payload, size_t size, WireStats* out);
+
+std::vector<uint8_t> EncodeMetrics(const std::vector<WireMetric>& metrics);
+Status DecodeMetrics(const uint8_t* payload, size_t size,
+                     std::vector<WireMetric>* out);
 
 /// Reconstructs a typed Status from a wire error frame ("[net] " is
 /// prefixed so a caller can tell a server-reported error from a local

@@ -25,6 +25,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/failpoint.h"
 
 namespace simq {
@@ -558,6 +559,9 @@ void NetServer::HandleFrame(Conn* conn, const FrameHeader& header,
     case Opcode::kStats:
       HandleStats(conn, rid);
       return;
+    case Opcode::kMetrics:
+      HandleMetrics(conn, rid);
+      return;
     case Opcode::kCloseCursor: {
       CloseCursorRequest req;
       const Status s = DecodeCloseCursor(payload, size, &req);
@@ -866,6 +870,41 @@ void NetServer::HandleStats(Conn* conn, uint32_t request_id) {
   wire.bytes_in = static_cast<uint64_t>(service.net.bytes_in);
   wire.bytes_out = static_cast<uint64_t>(service.net.bytes_out);
   SendFrame(conn, Opcode::kStatsAck, request_id, EncodeStats(wire));
+}
+
+void NetServer::HandleMetrics(Conn* conn, uint32_t request_id) {
+  // stats() first: it refreshes the registry's mirrored cache gauges, so
+  // the frame reflects the same moment a kStats probe would.
+  (void)service_->stats();
+  const std::vector<obs::MetricSample> snapshot =
+      service_->metrics_registry()->Snapshot();
+  std::vector<WireMetric> wire;
+  wire.reserve(snapshot.size());
+  for (const obs::MetricSample& sample : snapshot) {
+    if (sample.type == obs::MetricSample::Type::kHistogram) {
+      // Flatten each histogram to derived gauges; the text exposition
+      // (Prometheus) keeps the full bucket series.
+      const auto add = [&](const char* suffix, double value) {
+        WireMetric m;
+        m.name = sample.name + suffix;
+        m.type = 1;
+        m.value = value;
+        wire.push_back(std::move(m));
+      };
+      add("_count", static_cast<double>(sample.histogram.count));
+      add("_sum_ms", sample.histogram.sum_ms);
+      add("_p50", sample.histogram.Percentile(50.0));
+      add("_p95", sample.histogram.Percentile(95.0));
+      add("_p99", sample.histogram.Percentile(99.0));
+      continue;
+    }
+    WireMetric m;
+    m.name = sample.name;
+    m.type = sample.type == obs::MetricSample::Type::kCounter ? 0 : 1;
+    m.value = sample.value;
+    wire.push_back(std::move(m));
+  }
+  SendFrame(conn, Opcode::kMetricsAck, request_id, EncodeMetrics(wire));
 }
 
 void NetServer::SendFrame(Conn* conn, Opcode opcode, uint32_t request_id,

@@ -186,6 +186,7 @@ class NetServer {
   void HandleFetch(Conn* conn, uint32_t request_id, const FetchRequest& req);
   void HandleCancel(Conn* conn, uint32_t request_id);
   void HandleStats(Conn* conn, uint32_t request_id);
+  void HandleMetrics(Conn* conn, uint32_t request_id);
   void DrainCompletions();
   void FinishExec(Conn* conn, Completion& completion);
   void TryDispatch(Conn* conn);

@@ -1,0 +1,170 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace simq {
+namespace obs {
+
+namespace {
+
+void CloseIfOpen(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+/// Writes the whole buffer, tolerating short writes; returns false on
+/// error. The peer is a scraper on loopback, so blocking is fine.
+bool WriteAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::write(fd, data + sent, size - sent);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+MetricsHttpExporter::MetricsHttpExporter(const MetricRegistry* registry,
+                                         RefreshFn refresh)
+    : registry_(registry), refresh_(std::move(refresh)) {}
+
+MetricsHttpExporter::~MetricsHttpExporter() { Stop(); }
+
+bool MetricsHttpExporter::Start(uint16_t port) {
+  if (running_.load(std::memory_order_acquire) || registry_ == nullptr) {
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0 || ::pipe(wake_pipe_) != 0) {
+    CloseIfOpen(&listen_fd_);
+    CloseIfOpen(&wake_pipe_[0]);
+    CloseIfOpen(&wake_pipe_[1]);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return true;
+}
+
+void MetricsHttpExporter::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+    return;
+  }
+  const char byte = 'x';
+  (void)!::write(wake_pipe_[1], &byte, 1);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  CloseIfOpen(&listen_fd_);
+  CloseIfOpen(&wake_pipe_[0]);
+  CloseIfOpen(&wake_pipe_[1]);
+  port_ = 0;
+}
+
+void MetricsHttpExporter::Serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = wake_pipe_[0];
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    const int n = ::poll(fds, 2, -1);
+    if (n <= 0) {
+      continue;  // EINTR
+    }
+    if (fds[1].revents != 0) {
+      return;  // Stop() woke us
+    }
+    if ((fds[0].revents & POLLIN) == 0) {
+      continue;
+    }
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      continue;
+    }
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void MetricsHttpExporter::HandleConnection(int fd) {
+  // Read until the header terminator or a small cap; the request line is
+  // all we need and we answer every path identically.
+  char buf[2048];
+  size_t got = 0;
+  while (got < sizeof(buf) - 1) {
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    if (::poll(&pfd, 1, 2000) <= 0) {
+      return;  // slow or dead client: drop it
+    }
+    const ssize_t n = ::read(fd, buf + got, sizeof(buf) - 1 - got);
+    if (n <= 0) {
+      return;
+    }
+    got += static_cast<size_t>(n);
+    buf[got] = '\0';
+    if (std::strstr(buf, "\r\n\r\n") != nullptr ||
+        std::strstr(buf, "\n\n") != nullptr) {
+      break;
+    }
+  }
+  if (refresh_) {
+    refresh_();
+  }
+  const std::string body = registry_->RenderPrometheusText();
+  char header[160];
+  const int header_len = std::snprintf(
+      header, sizeof(header),
+      "HTTP/1.1 200 OK\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      body.size());
+  if (header_len > 0 &&
+      WriteAll(fd, header, static_cast<size_t>(header_len))) {
+    WriteAll(fd, body.data(), body.size());
+    requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace obs
+}  // namespace simq

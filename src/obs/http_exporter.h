@@ -1,0 +1,72 @@
+/// Minimal Prometheus-style scrape endpoint: a background thread that
+/// answers every HTTP GET on its port with the owning registry's text
+/// exposition (metrics.h RenderPrometheusText).
+///
+/// Scope is deliberately small -- this is a scrape surface, not a web
+/// server: one thread, blocking accept via poll (so Stop() can interrupt
+/// it through a self-pipe), one request served per connection, request
+/// path ignored. A scrape happens every few seconds at most; per-request
+/// latency is measured by bench/obs_overhead.cc, not optimized.
+///
+/// The optional refresh callback runs before each render so callers can
+/// sync derived gauges first (QueryService::stats() mirrors cache and
+/// degradation counters into the registry on read; simq_server passes
+/// exactly that).
+
+#ifndef SIMQ_OBS_HTTP_EXPORTER_H_
+#define SIMQ_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace simq {
+namespace obs {
+
+class MetricsHttpExporter {
+ public:
+  using RefreshFn = std::function<void()>;
+
+  /// `registry` must outlive the exporter. `refresh` may be null.
+  MetricsHttpExporter(const MetricRegistry* registry, RefreshFn refresh);
+  ~MetricsHttpExporter();
+
+  MetricsHttpExporter(const MetricsHttpExporter&) = delete;
+  MetricsHttpExporter& operator=(const MetricsHttpExporter&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
+  /// serving thread. Returns false if the socket could not be set up.
+  bool Start(uint16_t port);
+
+  /// Stops the thread and closes the socket. Safe to call twice.
+  void Stop();
+
+  /// The bound port (resolves port 0); 0 before Start succeeds.
+  uint16_t port() const { return port_; }
+
+  int64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  const MetricRegistry* registry_;
+  RefreshFn refresh_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: Stop() interrupts poll()
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace simq
+
+#endif  // SIMQ_OBS_HTTP_EXPORTER_H_

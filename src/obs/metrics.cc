@@ -1,0 +1,272 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace simq {
+namespace obs {
+
+namespace internal {
+
+int ThreadShard(int shards) {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(slot % static_cast<unsigned>(shards));
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Precomputed bucket bounds so BucketIndex and UpperBound agree exactly
+// (both read the same doubles; no re-derivation through pow()).
+struct BucketBounds {
+  double bounds[Histogram::kBuckets];
+  BucketBounds() {
+    double b = Histogram::kFirstBoundMs;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      bounds[i] = b;
+      b *= 2.0;
+    }
+  }
+};
+
+const BucketBounds& Bounds() {
+  static const BucketBounds bounds;
+  return bounds;
+}
+
+}  // namespace
+
+double Histogram::UpperBound(int i) {
+  if (i >= kBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return Bounds().bounds[std::max(0, i)];
+}
+
+int Histogram::BucketIndex(double value_ms) {
+  const double* bounds = Bounds().bounds;
+  // First bucket whose (inclusive) upper bound is >= value. NaN and
+  // negatives clamp into bucket 0 rather than poisoning the overflow.
+  if (!(value_ms > bounds[0])) {
+    return 0;
+  }
+  const double* it =
+      std::lower_bound(bounds, bounds + kBuckets, value_ms);
+  return static_cast<int>(it - bounds);  // == kBuckets -> overflow
+}
+
+void Histogram::Observe(double value_ms) {
+  Shard& shard = shards_[internal::ThreadShard(kShards)];
+  shard.counts[BucketIndex(value_ms)].fetch_add(1,
+                                                std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  const double us = value_ms * 1000.0;
+  const int64_t us_int =
+      std::isfinite(us) && us > 0
+          ? static_cast<int64_t>(std::min(us, 9.0e18))
+          : 0;
+  shard.sum_us.fetch_add(us_int, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  int64_t sum_us = 0;
+  for (const Shard& shard : shards_) {
+    for (int i = 0; i <= kBuckets; ++i) {
+      out.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+    out.count += shard.count.load(std::memory_order_relaxed);
+    sum_us += shard.sum_us.load(std::memory_order_relaxed);
+  }
+  out.sum_ms = static_cast<double>(sum_us) / 1000.0;
+  return out;
+}
+
+double Histogram::Snapshot::Percentile(double p) const {
+  if (count <= 0) {
+    return 0.0;
+  }
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  // Rank in [1, count]: the sample the percentile names, matching the
+  // nearest-rank convention the old reservoir used.
+  const double rank = std::max(1.0, clamped / 100.0 *
+                                        static_cast<double>(count));
+  int64_t cumulative = 0;
+  for (int i = 0; i <= kBuckets; ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    const int64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank) {
+      const double lo = i == 0 ? 0.0 : UpperBound(i - 1);
+      double hi = UpperBound(i);
+      if (!std::isfinite(hi)) {
+        hi = lo * 2.0;  // overflow bucket: report one band above the top
+      }
+      const double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, within));
+    }
+    cumulative = next;
+  }
+  return UpperBound(kBuckets - 1);
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+// ---------------------------------------------------------------------------
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.type = MetricSample::Type::kCounter;
+    entry.counter = std::make_unique<Counter>();
+    it = metrics_.emplace(name, std::move(entry)).first;
+  }
+  if (it->second.type == MetricSample::Type::kCounter) {
+    return it->second.counter.get();
+  }
+  // Type mismatch: hand back a private metric so the caller still has a
+  // valid object; the original keeps the name.
+  auto orphan = std::make_unique<Entry>();
+  orphan->type = MetricSample::Type::kCounter;
+  orphan->counter = std::make_unique<Counter>();
+  Counter* out = orphan->counter.get();
+  orphans_.push_back(std::move(orphan));
+  return out;
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.type = MetricSample::Type::kGauge;
+    entry.gauge = std::make_unique<Gauge>();
+    it = metrics_.emplace(name, std::move(entry)).first;
+  }
+  if (it->second.type == MetricSample::Type::kGauge) {
+    return it->second.gauge.get();
+  }
+  auto orphan = std::make_unique<Entry>();
+  orphan->type = MetricSample::Type::kGauge;
+  orphan->gauge = std::make_unique<Gauge>();
+  Gauge* out = orphan->gauge.get();
+  orphans_.push_back(std::move(orphan));
+  return out;
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.type = MetricSample::Type::kHistogram;
+    entry.histogram = std::make_unique<Histogram>();
+    it = metrics_.emplace(name, std::move(entry)).first;
+  }
+  if (it->second.type == MetricSample::Type::kHistogram) {
+    return it->second.histogram.get();
+  }
+  auto orphan = std::make_unique<Entry>();
+  orphan->type = MetricSample::Type::kHistogram;
+  orphan->histogram = std::make_unique<Histogram>();
+  Histogram* out = orphan->histogram.get();
+  orphans_.push_back(std::move(orphan));
+  return out;
+}
+
+std::vector<MetricSample> MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(metrics_.size());
+  for (const auto& entry : metrics_) {
+    MetricSample sample;
+    sample.name = entry.first;
+    sample.type = entry.second.type;
+    switch (entry.second.type) {
+      case MetricSample::Type::kCounter:
+        sample.value = static_cast<double>(entry.second.counter->Value());
+        break;
+      case MetricSample::Type::kGauge:
+        sample.value = static_cast<double>(entry.second.gauge->Value());
+        break;
+      case MetricSample::Type::kHistogram:
+        sample.histogram = entry.second.histogram->snapshot();
+        sample.value = sample.histogram.sum_ms;
+        break;
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+std::string FormatMetricValue(double value) {
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      std::abs(value) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string MetricRegistry::RenderPrometheusText() const {
+  const std::vector<MetricSample> samples = Snapshot();
+  std::string out;
+  out.reserve(samples.size() * 64);
+  for (const MetricSample& sample : samples) {
+    switch (sample.type) {
+      case MetricSample::Type::kCounter:
+        out += "# TYPE " + sample.name + " counter\n";
+        out += sample.name + " " + FormatMetricValue(sample.value) + "\n";
+        break;
+      case MetricSample::Type::kGauge:
+        out += "# TYPE " + sample.name + " gauge\n";
+        out += sample.name + " " + FormatMetricValue(sample.value) + "\n";
+        break;
+      case MetricSample::Type::kHistogram: {
+        out += "# TYPE " + sample.name + " histogram\n";
+        int64_t cumulative = 0;
+        for (int i = 0; i <= Histogram::kBuckets; ++i) {
+          cumulative += sample.histogram.counts[i];
+          // Only emit the populated prefix plus +Inf: 41 series per
+          // histogram is scrape noise when most buckets are empty.
+          if (sample.histogram.counts[i] == 0 && i < Histogram::kBuckets) {
+            continue;
+          }
+          const double bound = Histogram::UpperBound(i);
+          const std::string le =
+              std::isfinite(bound) ? FormatMetricValue(bound) : "+Inf";
+          out += sample.name + "_bucket{le=\"" + le + "\"} " +
+                 FormatMetricValue(static_cast<double>(cumulative)) + "\n";
+        }
+        out += sample.name + "_sum " +
+               FormatMetricValue(sample.histogram.sum_ms) + "\n";
+        out += sample.name + "_count " +
+               FormatMetricValue(static_cast<double>(
+                   sample.histogram.count)) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace simq

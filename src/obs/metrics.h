@@ -1,0 +1,192 @@
+/// Lock-cheap metrics registry: named counters, gauges, and log-bucketed
+/// latency histograms for the whole stack (service, engine, net front
+/// end), exported as Prometheus-style text and over the kMetrics wire
+/// frame.
+///
+/// Design constraints, in order:
+///
+///  * Writes are hot-path safe. A Counter is sharded across a small fixed
+///    set of cache-line-padded atomics; each thread picks a home shard
+///    once (round-robin at first use) and increments it with a relaxed
+///    fetch_add -- no lock, no false sharing between unrelated threads.
+///    A Histogram is the same idea per bucket. Gauges are single atomics
+///    (they are set, not contended-incremented).
+///  * Reads merge. Value() / snapshot() sum the shards; readers pay the
+///    O(shards) walk so writers never pay anything. Reads are racy-exact:
+///    a concurrent snapshot observes every increment that happened-before
+///    it and possibly some in-flight ones, never torn values.
+///  * Registration is rare and locked; use is lock-free. GetCounter /
+///    GetGauge / GetHistogram take a mutex to intern the name, but the
+///    returned pointer is stable for the registry's lifetime -- callers
+///    cache it at construction and never touch the map on a query path.
+///
+/// Histogram buckets are fixed exponential (powers of two starting at
+/// kFirstBoundMs = 1 microsecond, kBuckets of them, plus an overflow
+/// bucket), so two histograms are always mergeable and a percentile read
+/// is O(buckets) with linear interpolation inside the winning bucket --
+/// this is what replaced the unbounded latency sample vector behind
+/// ServiceStats p50/p95/p99.
+///
+/// Thread-safety: every method on every type here is safe from any
+/// thread. Metrics are never deleted; the registry owns them until it is
+/// destroyed. Each QueryService owns its own registry by default, so
+/// counters never bleed across service instances (tests rely on that);
+/// pass ServiceOptions::metrics_registry to share one.
+
+#ifndef SIMQ_OBS_METRICS_H_
+#define SIMQ_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace simq {
+namespace obs {
+
+namespace internal {
+/// Round-robin home-shard index for the calling thread, in [0, shards).
+/// One thread always maps to the same slot; distinct threads spread out.
+int ThreadShard(int shards);
+}  // namespace internal
+
+/// Monotonically increasing counter, sharded across padded atomics.
+class Counter {
+ public:
+  static constexpr int kShards = 16;
+
+  void Add(int64_t delta = 1) {
+    shards_[internal::ThreadShard(kShards)].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Merge-on-read: the sum over all shards.
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Point-in-time value (set or adjusted; not write-contended enough to
+/// shard).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-bucketed histogram of nonnegative values (milliseconds by
+/// convention). Bucket i spans (UpperBound(i-1), UpperBound(i)] with
+/// UpperBound(i) = kFirstBoundMs * 2^i; values beyond the last bound land
+/// in the overflow bucket. Observe() is sharded like Counter::Add.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;        // 1us .. ~6.4 days, x2 steps
+  static constexpr double kFirstBoundMs = 0.001;
+  static constexpr int kShards = 8;
+
+  /// Upper (inclusive) bound of bucket i; i == kBuckets is the overflow
+  /// bucket with bound +infinity.
+  static double UpperBound(int i);
+  /// Index of the bucket that contains `value_ms` (overflow included).
+  static int BucketIndex(double value_ms);
+
+  void Observe(double value_ms);
+
+  /// Merged read of all shards. Percentile() walks the cumulative counts
+  /// and interpolates linearly inside the winning bucket; it is an
+  /// approximation bounded by the bucket width (a factor-of-two band),
+  /// monotone in p, and exact for the degenerate 0/1-sample cases.
+  struct Snapshot {
+    int64_t counts[kBuckets + 1] = {};  // [kBuckets] = overflow
+    int64_t count = 0;
+    double sum_ms = 0.0;
+
+    double Percentile(double p) const;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> counts[kBuckets + 1] = {};
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> sum_us{0};  // sum in integer microseconds
+  };
+  Shard shards_[kShards];
+};
+
+/// One rendered metric in a registry snapshot.
+struct MetricSample {
+  enum class Type { kCounter, kGauge, kHistogram };
+  std::string name;
+  Type type = Type::kCounter;
+  double value = 0.0;           // counter / gauge
+  Histogram::Snapshot histogram;  // type == kHistogram only
+};
+
+/// Name -> metric interning table. Names follow Prometheus conventions
+/// ([a-zA-Z_][a-zA-Z0-9_]*, *_total suffix on counters); the catalog
+/// lives in docs/OBSERVABILITY.md.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Interns `name`; returns the same pointer for the same name every
+  /// time. A name registered as one type must not be requested as
+  /// another (the mismatch returns a distinct private metric so callers
+  /// never alias through the wrong type, and the first registration wins
+  /// the name in snapshots).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Every registered metric, sorted by name.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Prometheus text exposition format: "# TYPE" comments, counter and
+  /// gauge sample lines, and per-histogram cumulative _bucket{le="..."}
+  /// series plus _sum and _count.
+  std::string RenderPrometheusText() const;
+
+ private:
+  struct Entry {
+    MetricSample::Type type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> metrics_;
+  /// Type-mismatched re-registrations park here, off the snapshot path.
+  std::vector<std::unique_ptr<Entry>> orphans_;
+};
+
+/// Formats `value` the way the exposition text does (shortest round-trip
+/// double; integers without a trailing ".0").
+std::string FormatMetricValue(double value);
+
+}  // namespace obs
+}  // namespace simq
+
+#endif  // SIMQ_OBS_METRICS_H_

@@ -1,0 +1,211 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace simq {
+namespace obs {
+
+namespace {
+
+double MillisBetween(Trace::Clock::time_point a, Trace::Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+Trace::Trace() : start_(Clock::now()) {
+  TraceSpan root;
+  root.name = "query";
+  root.parent = -1;
+  spans_.push_back(std::move(root));
+  opened_.push_back(start_);
+  open_.push_back(1);
+}
+
+int Trace::StartSpan(const std::string& name, int parent) {
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceSpan span;
+  span.name = name;
+  span.parent = parent;
+  span.start_ms = MillisBetween(start_, now);
+  const int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  opened_.push_back(now);
+  open_.push_back(1);
+  return id;
+}
+
+void Trace::EndSpan(int id) {
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) {
+    return;
+  }
+  spans_[static_cast<size_t>(id)].elapsed_ms =
+      MillisBetween(opened_[static_cast<size_t>(id)], now);
+  open_[static_cast<size_t>(id)] = 0;
+}
+
+int Trace::AddCompleted(const std::string& name, int parent,
+                        double start_ms, double elapsed_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceSpan span;
+  span.name = name;
+  span.parent = parent;
+  span.start_ms = start_ms;
+  span.elapsed_ms = elapsed_ms;
+  const int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  opened_.push_back(start_);
+  open_.push_back(0);
+  return id;
+}
+
+void Trace::SetShard(int id, int shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= 0 && id < static_cast<int>(spans_.size())) {
+    spans_[static_cast<size_t>(id)].shard = shard;
+  }
+}
+
+void Trace::SetRows(int id, int64_t scanned, int64_t pruned,
+                    int64_t returned) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= 0 && id < static_cast<int>(spans_.size())) {
+    TraceSpan& span = spans_[static_cast<size_t>(id)];
+    span.rows_scanned = scanned;
+    span.rows_pruned = pruned;
+    span.rows_returned = returned;
+  }
+}
+
+void Trace::SetNote(int id, const std::string& note) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= 0 && id < static_cast<int>(spans_.size())) {
+    spans_[static_cast<size_t>(id)].note = note;
+  }
+}
+
+double Trace::NowMs() const {
+  return MillisBetween(start_, Clock::now());
+}
+
+void Trace::SetEngineParent(int id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  engine_parent_ = id;
+}
+
+int Trace::engine_parent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return engine_parent_;
+}
+
+std::vector<TraceSpan> Trace::spans() const {
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceSpan> out = spans_;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (open_[i] != 0) {
+      // Still open: report the elapsed time up to now so a snapshot
+      // mid-flight is never misleadingly zero.
+      out[i].elapsed_ms = MillisBetween(opened_[i], now);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendSpanLine(const TraceSpan& span, int depth, std::string* out) {
+  char buf[160];
+  std::string label;
+  for (int i = 0; i < depth; ++i) {
+    label += "  ";
+  }
+  label += span.name;
+  if (span.shard >= 0) {
+    std::snprintf(buf, sizeof(buf), " %d", span.shard);
+    label += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%-34s %10.3f ms", label.c_str(),
+                span.elapsed_ms);
+  *out += buf;
+  if (span.rows_scanned > 0) {
+    std::snprintf(buf, sizeof(buf), "  scanned=%lld",
+                  static_cast<long long>(span.rows_scanned));
+    *out += buf;
+  }
+  if (span.rows_pruned > 0) {
+    std::snprintf(buf, sizeof(buf), " pruned=%lld",
+                  static_cast<long long>(span.rows_pruned));
+    *out += buf;
+  }
+  if (span.rows_returned > 0) {
+    std::snprintf(buf, sizeof(buf), " rows=%lld",
+                  static_cast<long long>(span.rows_returned));
+    *out += buf;
+  }
+  if (!span.note.empty()) {
+    *out += "  ";
+    *out += span.note;
+  }
+  *out += "\n";
+}
+
+void RenderSubtree(const std::vector<TraceSpan>& spans,
+                   const std::vector<std::vector<int>>& children, int id,
+                   int depth, std::string* out) {
+  AppendSpanLine(spans[static_cast<size_t>(id)], depth, out);
+  for (int child : children[static_cast<size_t>(id)]) {
+    RenderSubtree(spans, children, child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderTraceTree(const std::vector<TraceSpan>& spans) {
+  std::string out;
+  if (spans.empty()) {
+    return out;
+  }
+  std::vector<std::vector<int>> children(spans.size());
+  std::vector<int> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const int parent = spans[i].parent;
+    if (parent >= 0 && parent < static_cast<int>(spans.size()) &&
+        parent != static_cast<int>(i)) {
+      children[static_cast<size_t>(parent)].push_back(
+          static_cast<int>(i));
+    } else {
+      roots.push_back(static_cast<int>(i));
+    }
+  }
+  // Parallel workers close per-shard spans in completion order; render in
+  // (shard, start time, id) order so the tree is deterministic per query
+  // shape even when timings race.
+  for (std::vector<int>& kids : children) {
+    std::stable_sort(kids.begin(), kids.end(), [&](int a, int b) {
+      const TraceSpan& sa = spans[static_cast<size_t>(a)];
+      const TraceSpan& sb = spans[static_cast<size_t>(b)];
+      if ((sa.shard >= 0) != (sb.shard >= 0)) {
+        return sa.start_ms < sb.start_ms;
+      }
+      if (sa.shard >= 0 && sa.shard != sb.shard) {
+        return sa.shard < sb.shard;
+      }
+      if (sa.start_ms != sb.start_ms) {
+        return sa.start_ms < sb.start_ms;
+      }
+      return a < b;
+    });
+  }
+  for (int root : roots) {
+    RenderSubtree(spans, children, root, 0, &out);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace simq

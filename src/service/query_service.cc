@@ -9,7 +9,6 @@
 #include "core/persistence.h"
 #include "service/fingerprint.h"
 #include "ts/transforms.h"
-#include "util/stats.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -20,6 +19,12 @@ namespace {
 std::chrono::steady_clock::duration MillisToDuration(double millis) {
   return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
       std::chrono::duration<double, std::milli>(millis));
+}
+
+int64_t WallClockUnixMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -63,6 +68,9 @@ std::shared_ptr<ExecutionContext> Session::BeginExecution(
   const double deadline_ms = service_->ResolveDeadlineMs(options);
   if (deadline_ms > 0) {
     ctx->set_deadline_after(MillisToDuration(deadline_ms));
+  }
+  if (options.force_trace) {
+    ctx->set_trace(std::make_shared<obs::Trace>());
   }
   std::lock_guard<std::mutex> lock(mutex_);
   if (cancel_requested_) {
@@ -164,14 +172,15 @@ Result<ServiceResult> Session::ExecutePrepared(int64_t statement_id,
 
 Result<ServiceResult> Session::Execute(const std::string& text,
                                        const ExecOptions& options) {
-  Result<Query> parsed = service_->ParseTracked(text);
+  double parse_ms = 0.0;
+  Result<Query> parsed = service_->ParseTracked(text, &parse_ms);
   if (!parsed.ok()) {
     return parsed.status();
   }
   Query query = std::move(parsed).value();
   ScopedExecution execution(this, options);
   query.exec = execution.ctx();
-  return service_->ExecuteInternal(query, /*prepared=*/false);
+  return service_->ExecuteInternal(query, /*prepared=*/false, parse_ms);
 }
 
 Status Session::Close(int64_t statement_id) {
@@ -275,8 +284,63 @@ QueryService::QueryService(Database db, ServiceOptions options)
                           ? options.max_concurrent_queries
                           : ThreadPool::Global().num_threads()),
       cache_(options.enable_result_cache ? options.result_cache_capacity : 0,
-             options.result_cache_max_bytes) {
-  latencies_.reserve(std::max<size_t>(options_.latency_reservoir, 1));
+             options.result_cache_max_bytes),
+      owned_registry_(options.metrics_registry == nullptr
+                          ? std::make_unique<obs::MetricRegistry>()
+                          : nullptr),
+      registry_(options.metrics_registry != nullptr ? options.metrics_registry
+                                                    : owned_registry_.get()) {
+  // Intern every metric once; the query paths only ever touch these
+  // cached pointers (sharded atomic writes, no registry lock).
+  metrics_.queries = registry_->GetCounter("simq_queries_total");
+  metrics_.prepared_executions =
+      registry_->GetCounter("simq_prepared_executions_total");
+  metrics_.cold_parses = registry_->GetCounter("simq_cold_parses_total");
+  metrics_.mutations = registry_->GetCounter("simq_mutations_total");
+  metrics_.admission_waits =
+      registry_->GetCounter("simq_admission_waits_total");
+  metrics_.sessions_opened =
+      registry_->GetCounter("simq_sessions_opened_total");
+  metrics_.active_sessions = registry_->GetGauge("simq_active_sessions");
+  metrics_.timeouts = registry_->GetCounter("simq_timeouts_total");
+  metrics_.cancellations = registry_->GetCounter("simq_cancellations_total");
+  metrics_.overloaded = registry_->GetCounter("simq_overloaded_total");
+  metrics_.degraded_queries =
+      registry_->GetCounter("simq_degraded_queries_total");
+  metrics_.traced_queries =
+      registry_->GetCounter("simq_traced_queries_total");
+  metrics_.wal_appends = registry_->GetCounter("simq_wal_appends_total");
+  metrics_.wal_failures = registry_->GetCounter("simq_wal_failures_total");
+  metrics_.checkpoints = registry_->GetCounter("simq_checkpoints_total");
+  metrics_.slow_query_lines =
+      registry_->GetCounter("simq_slow_query_log_lines_total");
+  metrics_.latency = registry_->GetHistogram("simq_query_latency_ms");
+  metrics_.net_connections_accepted =
+      registry_->GetCounter("simq_net_connections_accepted_total");
+  metrics_.net_connections_active =
+      registry_->GetGauge("simq_net_connections_active");
+  metrics_.net_connections_shed =
+      registry_->GetCounter("simq_net_connections_shed_total");
+  metrics_.net_connections_timed_out =
+      registry_->GetCounter("simq_net_connections_timed_out_total");
+  metrics_.net_requests_shed =
+      registry_->GetCounter("simq_net_requests_shed_total");
+  metrics_.net_bytes_in = registry_->GetCounter("simq_net_bytes_in_total");
+  metrics_.net_bytes_out = registry_->GetCounter("simq_net_bytes_out_total");
+  metrics_.cache_hits = registry_->GetGauge("simq_cache_hits");
+  metrics_.cache_misses = registry_->GetGauge("simq_cache_misses");
+  metrics_.cache_insertions = registry_->GetGauge("simq_cache_insertions");
+  metrics_.cache_invalidated =
+      registry_->GetGauge("simq_cache_invalidated_entries");
+  metrics_.cache_evictions = registry_->GetGauge("simq_cache_evictions");
+  metrics_.cache_bytes = registry_->GetGauge("simq_cache_bytes");
+  if (!options_.slow_query_log_path.empty()) {
+    obs::SlowQueryLogOptions slow;
+    slow.path = options_.slow_query_log_path;
+    slow.threshold_ms = options_.slow_query_threshold_ms;
+    slow.sample_every = options_.slow_query_sample_every;
+    slow_log_ = std::make_unique<obs::SlowQueryLog>(std::move(slow));
+  }
   if (!options_.wal_path.empty()) {
     Result<WalWriter> wal = WalWriter::Open(options_.wal_path);
     if (wal.ok()) {
@@ -292,45 +356,37 @@ QueryService::QueryService(Database db, ServiceOptions options)
 QueryService::~QueryService() = default;
 
 std::unique_ptr<Session> QueryService::OpenSession() {
+  metrics_.sessions_opened->Add();
+  metrics_.active_sessions->Add(1);
   std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.sessions_opened;
-  ++stats_.active_sessions;
   return std::unique_ptr<Session>(new Session(this, next_session_id_++));
 }
 
 void QueryService::OnSessionClosed() {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  --stats_.active_sessions;
+  metrics_.active_sessions->Add(-1);
 }
 
 void QueryService::NoteConnectionOpened() {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.net.connections_accepted;
-  ++stats_.net.connections_active;
+  metrics_.net_connections_accepted->Add();
+  metrics_.net_connections_active->Add(1);
 }
 
 void QueryService::NoteConnectionClosed(bool timed_out) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  --stats_.net.connections_active;
+  metrics_.net_connections_active->Add(-1);
   if (timed_out) {
-    ++stats_.net.connections_timed_out;
+    metrics_.net_connections_timed_out->Add();
   }
 }
 
 void QueryService::NoteConnectionShed() {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.net.connections_shed;
+  metrics_.net_connections_shed->Add();
 }
 
-void QueryService::NoteRequestShed() {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.net.requests_shed;
-}
+void QueryService::NoteRequestShed() { metrics_.net_requests_shed->Add(); }
 
 void QueryService::NoteNetBytes(int64_t bytes_in, int64_t bytes_out) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_.net.bytes_in += bytes_in;
-  stats_.net.bytes_out += bytes_out;
+  metrics_.net_bytes_in->Add(bytes_in);
+  metrics_.net_bytes_out->Add(bytes_out);
 }
 
 Status QueryService::WalGate() const {
@@ -344,11 +400,10 @@ Status QueryService::FinishAppend(Status append_status) {
   if (append_status.ok() && options_.sync_wal) {
     append_status = wal_.Sync();
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
   if (append_status.ok()) {
-    ++stats_.wal_appends;
+    metrics_.wal_appends->Add();
   } else {
-    ++stats_.wal_failures;
+    metrics_.wal_failures->Add();
   }
   return append_status;
 }
@@ -365,8 +420,7 @@ Status QueryService::CreateRelation(const std::string& name) {
   if (status.ok()) {
     lock.unlock();
     cache_.InvalidateRelation(name);
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    ++stats_.mutations;
+    metrics_.mutations->Add();
   }
   return status;
 }
@@ -392,8 +446,7 @@ Result<int64_t> QueryService::Insert(const std::string& relation,
   if (result.ok()) {
     lock.unlock();
     cache_.InvalidateRelation(relation);
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    ++stats_.mutations;
+    metrics_.mutations->Add();
   }
   return result;
 }
@@ -411,8 +464,7 @@ Status QueryService::BulkLoad(const std::string& relation,
   if (status.ok()) {
     lock.unlock();
     cache_.InvalidateRelation(relation);
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    ++stats_.mutations;
+    metrics_.mutations->Add();
   }
   return status;
 }
@@ -433,8 +485,7 @@ Status QueryService::Checkpoint() {
   }
   if (status.ok()) {
     lock.unlock();
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    ++stats_.checkpoints;
+    metrics_.checkpoints->Add();
   }
   return status;
 }
@@ -453,11 +504,23 @@ uint64_t QueryService::RelationEpoch(const std::string& relation) const {
   return EpochLocked(relation, nullptr);
 }
 
-Result<Query> QueryService::ParseTracked(const std::string& text) {
+Result<Query> QueryService::ParseTracked(const std::string& text,
+                                         double* parse_ms) {
+  Stopwatch watch;
   Result<Query> parsed = ParseQuery(text);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.cold_parses;
+  if (parse_ms != nullptr) {
+    *parse_ms = watch.ElapsedMillis();
+  }
+  metrics_.cold_parses->Add();
   return parsed;
+}
+
+bool QueryService::SampleTrace() {
+  const int every = options_.trace_sample_every;
+  if (every <= 0) {
+    return false;
+  }
+  return trace_tick_.fetch_add(1, std::memory_order_relaxed) % every == 0;
 }
 
 double QueryService::ResolveDeadlineMs(const ExecOptions& options) const {
@@ -466,16 +529,15 @@ double QueryService::ResolveDeadlineMs(const ExecOptions& options) const {
 }
 
 void QueryService::CountTermination(const Status& status) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
   switch (status.code()) {
     case StatusCode::kTimeout:
-      ++stats_.timeouts;
+      metrics_.timeouts->Add();
       break;
     case StatusCode::kCancelled:
-      ++stats_.cancellations;
+      metrics_.cancellations->Add();
       break;
     case StatusCode::kOverloaded:
-      ++stats_.overloaded;
+      metrics_.overloaded->Add();
       break;
     default:
       break;
@@ -488,41 +550,97 @@ Result<ServiceResult> QueryService::Execute(const Query& query) {
 
 Result<ServiceResult> QueryService::Execute(const Query& query,
                                             const ExecOptions& options) {
+  return ExecuteBound(query, options, /*parse_ms=*/0.0);
+}
+
+Result<ServiceResult> QueryService::ExecuteBound(const Query& query,
+                                                 const ExecOptions& options,
+                                                 double parse_ms) {
   const double deadline_ms = ResolveDeadlineMs(options);
-  if (query.exec != nullptr || deadline_ms <= 0) {
-    return ExecuteInternal(query, /*prepared=*/false);
+  if (query.exec != nullptr) {
+    if (options.force_trace && query.exec->trace() == nullptr) {
+      query.exec->set_trace(std::make_shared<obs::Trace>());
+    }
+    return ExecuteInternal(query, /*prepared=*/false, parse_ms);
+  }
+  if (deadline_ms <= 0 && !options.force_trace) {
+    return ExecuteInternal(query, /*prepared=*/false, parse_ms);
   }
   auto ctx = std::make_shared<ExecutionContext>();
-  ctx->set_deadline_after(MillisToDuration(deadline_ms));
+  if (deadline_ms > 0) {
+    ctx->set_deadline_after(MillisToDuration(deadline_ms));
+  }
+  if (options.force_trace) {
+    ctx->set_trace(std::make_shared<obs::Trace>());
+  }
   Query bounded = query;
   bounded.exec = std::move(ctx);
-  return ExecuteInternal(bounded, /*prepared=*/false);
+  return ExecuteInternal(bounded, /*prepared=*/false, parse_ms);
 }
 
 Result<ServiceResult> QueryService::ExecuteText(const std::string& text,
                                                 const ExecOptions& options) {
-  Result<Query> parsed = ParseTracked(text);
+  double parse_ms = 0.0;
+  Result<Query> parsed = ParseTracked(text, &parse_ms);
   if (!parsed.ok()) {
     return parsed.status();
   }
-  return Execute(parsed.value(), options);
+  return ExecuteBound(parsed.value(), options, parse_ms);
 }
 
 Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
-                                                    bool prepared) {
+                                                    bool prepared,
+                                                    double parse_ms) {
   Stopwatch watch;
-  const ExecutionContext* exec = query.exec.get();
+  // Tracing decision: an already-attached trace (force_trace) wins;
+  // otherwise EXPLAIN ANALYZE and the 1-in-N sampler each attach one.
+  // The trace rides the ExecutionContext, so a query without one gets a
+  // context just to carry it. Tracing never changes the answer set.
+  std::shared_ptr<obs::Trace> trace;
+  if (query.exec != nullptr && query.exec->trace() != nullptr) {
+    trace = query.exec->shared_trace();
+  } else if (query.analyze || SampleTrace()) {
+    trace = std::make_shared<obs::Trace>();
+  }
+  Query traced_copy;
+  const Query* effective = &query;
+  if (trace != nullptr) {
+    if (query.exec == nullptr) {
+      traced_copy = query;  // cheap: shares the compiled rule chain
+      traced_copy.exec = std::make_shared<ExecutionContext>();
+      effective = &traced_copy;
+    }
+    effective->exec->set_trace(trace);
+    if (parse_ms > 0.0) {
+      // The parse finished before the trace existed; record it at the
+      // origin with its measured duration.
+      trace->AddCompleted("parse", obs::Trace::kRoot, 0.0, parse_ms);
+    }
+    metrics_.traced_queries->Add();
+  }
+  const ExecutionContext* exec = effective->exec.get();
   // Fast-fail before admission: born cancelled (session in the cancelled
   // state) or a deadline already in the past.
   if (exec != nullptr) {
     const Status start = exec->Check();
     if (!start.ok()) {
+      if (trace != nullptr) {
+        effective->exec->set_trace(nullptr);
+      }
       CountTermination(start);
       return start;
     }
   }
+  const double admit_start_ms = trace != nullptr ? trace->NowMs() : 0.0;
   AdmissionSlot slot(this, exec);
+  if (trace != nullptr) {
+    trace->AddCompleted("admission", obs::Trace::kRoot, admit_start_ms,
+                        trace->NowMs() - admit_start_ms);
+  }
   if (!slot.ok()) {
+    if (trace != nullptr) {
+      effective->exec->set_trace(nullptr);
+    }
     CountTermination(slot.status());
     return slot.status();
   }
@@ -532,13 +650,21 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
   bool cache_hit = false;
   uint64_t epoch = 0;
   int shards = 0;
+  std::string canonical;
+  const int execute_span =
+      trace != nullptr ? trace->StartSpan("execute") : -1;
+  if (trace != nullptr) {
+    // The engine attaches its stage spans (per-shard index descents,
+    // filter/refine, scan, merge) under the execute span.
+    trace->SetEngineParent(execute_span);
+  }
   {
     // Shared lock: the query -- including its cache probe/fill -- runs
     // against one data version; writers wait, other readers do not. The
     // epoch is the relation's per-shard roll-up, read under the same
     // acquisition as the data it names.
     std::shared_lock<std::shared_mutex> lock(data_mutex_);
-    epoch = EpochLocked(query.relation, &shards);
+    epoch = EpochLocked(effective->relation, &shards);
     // Cached entries replay their execution's plan metadata (filter,
     // pruning counts), and a query's effective filter configuration is
     // resolved against the engine-wide settings at execution time -- so
@@ -547,18 +673,19 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
     // set_filter_options change would keep reporting the old plan. The
     // exact-engine case keeps the historical key rendering.
     const bool effectively_quantized =
-        query.filter == FilterMode::kFiltered ||
-        (query.filter == FilterMode::kDefault &&
+        effective->filter == FilterMode::kFiltered ||
+        (effective->filter == FilterMode::kDefault &&
          db_.filter_engine() == FilterEngine::kQuantized);
+    canonical = CanonicalQueryKey(*effective);
     const std::string key =
-        CanonicalQueryKey(query) + "@" + std::to_string(epoch) +
+        canonical + "@" + std::to_string(epoch) +
         (effectively_quantized
              ? "@fq" + std::to_string(db_.filter_options().bits_per_dim)
              : "");
     if (!cache_.Get(key, &out.result)) {
       Result<QueryResult> executed = [&]() -> Result<QueryResult> {
         try {
-          return db_.Execute(query);
+          return db_.Execute(*effective);
         } catch (const std::exception& e) {
           // An exception escaping the engine (e.g. a fault-injected pool
           // task) fails this query, not the service: the shared lock and
@@ -568,14 +695,16 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
         }
       }();
       if (!executed.ok()) {
+        if (trace != nullptr) {
+          effective->exec->set_trace(nullptr);
+        }
         CountTermination(executed.status());
         return executed.status();
       }
       out.result = std::move(executed).value();
-      cache_.Put(key, query.relation, out.result);
+      cache_.Put(key, effective->relation, out.result);
       if (out.result.stats.degraded) {
-        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-        ++stats_.degraded_queries;
+        metrics_.degraded_queries->Add();
       }
     } else {
       cache_hit = true;
@@ -602,51 +731,111 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
   }
   out.plan.cache_hit = cache_hit;
   out.plan.prepared = prepared;
-  out.plan.explain = query.explain;
+  out.plan.explain = effective->explain;
+  out.plan.analyze = effective->analyze;
   out.plan.degraded = out.result.stats.degraded;
   out.plan.shards = shards;
   out.plan.relation_epoch = epoch;
-  out.plan.fingerprint = QueryFingerprint(query);
+  out.plan.fingerprint = QueryFingerprint(*effective);
+  out.plan.per_shard = out.result.stats.shard_stats;
   out.elapsed_ms = watch.ElapsedMillis();
 
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.queries;
-    if (prepared) {
-      ++stats_.prepared_executions;
+  if (trace != nullptr) {
+    std::string note = out.plan.strategy + "/" + out.plan.engine;
+    if (out.result.stats.used_filter) {
+      note += "+quantized";
     }
-    if (slot.waited()) {
-      ++stats_.admission_waits;
+    if (cache_hit) {
+      note += " (cache hit)";
     }
+    if (out.plan.degraded) {
+      note += " (degraded)";
+    }
+    trace->SetNote(execute_span, note);
+    trace->EndSpan(execute_span);
+    const int64_t rows =
+        static_cast<int64_t>(out.result.matches.size()) +
+        static_cast<int64_t>(out.result.pairs.size());
+    trace->SetRows(obs::Trace::kRoot, 0, 0, rows);
+    trace->EndSpan(obs::Trace::kRoot);
+    // Detach before returning: contexts can outlive this execution (the
+    // ad-hoc Execute(query) path reuses caller-owned contexts), and the
+    // trace's ownership moves to the result.
+    effective->exec->set_trace(nullptr);
+    out.trace = trace;
   }
-  RecordLatency(out.elapsed_ms);
-  return out;
-}
 
-void QueryService::RecordLatency(double millis) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  const size_t capacity = std::max<size_t>(options_.latency_reservoir, 1);
-  if (latencies_.size() < capacity) {
-    latencies_.push_back(millis);
-  } else {
-    latencies_[latency_next_] = millis;
+  metrics_.queries->Add();
+  if (prepared) {
+    metrics_.prepared_executions->Add();
   }
-  latency_next_ = (latency_next_ + 1) % capacity;
+  if (slot.waited()) {
+    metrics_.admission_waits->Add();
+  }
+  metrics_.latency->Observe(out.elapsed_ms);
+
+  if (trace != nullptr && slow_log_ != nullptr &&
+      slow_log_->ShouldLog(out.elapsed_ms)) {
+    obs::SlowQueryEntry entry;
+    entry.unix_ms = WallClockUnixMs();
+    entry.fingerprint = canonical;
+    entry.epoch = epoch;
+    entry.relation = effective->relation;
+    entry.elapsed_ms = out.elapsed_ms;
+    entry.strategy = out.plan.strategy;
+    entry.engine = out.plan.engine;
+    entry.filtered = out.result.stats.used_filter;
+    entry.cache_hit = cache_hit;
+    entry.degraded = out.plan.degraded;
+    entry.shards = shards;
+    entry.spans = trace->spans();
+    slow_log_->Append(entry);
+    metrics_.slow_query_lines->Add();
+  }
+  return out;
 }
 
 ServiceStats QueryService::stats() const {
   ServiceStats out;
-  std::vector<double> samples;
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    out = stats_;
-    samples = latencies_;
-  }
+  out.queries = metrics_.queries->Value();
+  out.prepared_executions = metrics_.prepared_executions->Value();
+  out.cold_parses = metrics_.cold_parses->Value();
+  out.mutations = metrics_.mutations->Value();
+  out.admission_waits = metrics_.admission_waits->Value();
+  out.sessions_opened = metrics_.sessions_opened->Value();
+  out.active_sessions = metrics_.active_sessions->Value();
+  out.timeouts = metrics_.timeouts->Value();
+  out.cancellations = metrics_.cancellations->Value();
+  out.overloaded = metrics_.overloaded->Value();
+  out.degraded_queries = metrics_.degraded_queries->Value();
+  out.traced_queries = metrics_.traced_queries->Value();
+  out.slow_query_log_lines = metrics_.slow_query_lines->Value();
+  out.wal_appends = metrics_.wal_appends->Value();
+  out.wal_failures = metrics_.wal_failures->Value();
+  out.checkpoints = metrics_.checkpoints->Value();
+  out.net.connections_accepted = metrics_.net_connections_accepted->Value();
+  out.net.connections_active = metrics_.net_connections_active->Value();
+  out.net.connections_shed = metrics_.net_connections_shed->Value();
+  out.net.connections_timed_out =
+      metrics_.net_connections_timed_out->Value();
+  out.net.requests_shed = metrics_.net_requests_shed->Value();
+  out.net.bytes_in = metrics_.net_bytes_in->Value();
+  out.net.bytes_out = metrics_.net_bytes_out->Value();
   out.cache = cache_.stats();
-  if (!samples.empty()) {
-    out.latency_p50_ms = Percentile(samples, 50.0);
-    out.latency_p95_ms = Percentile(samples, 95.0);
-    out.latency_p99_ms = Percentile(samples, 99.0);
+  // Mirror the cache's own counters into registry gauges so a registry
+  // scrape (Prometheus text, kMetrics frame) sees them without a
+  // ResultCache dependency; stats() is the scrape refresh hook.
+  metrics_.cache_hits->Set(out.cache.hits);
+  metrics_.cache_misses->Set(out.cache.misses);
+  metrics_.cache_insertions->Set(out.cache.insertions);
+  metrics_.cache_invalidated->Set(out.cache.invalidated_entries);
+  metrics_.cache_evictions->Set(out.cache.evictions);
+  metrics_.cache_bytes->Set(out.cache.bytes);
+  const obs::Histogram::Snapshot latency = metrics_.latency->snapshot();
+  if (latency.count > 0) {
+    out.latency_p50_ms = latency.Percentile(50.0);
+    out.latency_p95_ms = latency.Percentile(95.0);
+    out.latency_p99_ms = latency.Percentile(99.0);
   }
   return out;
 }

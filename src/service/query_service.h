@@ -79,8 +79,18 @@
 ///    the same paths to recover: snapshot + WAL replay reconstructs every
 ///    acknowledged mutation after a crash at any instruction.
 ///
-/// The service also keeps counters and a latency reservoir (p50/p95/p99
-/// via util/stats Percentile); see ServiceStats.
+/// Observability (DESIGN.md "Observability"): every counter the service
+/// keeps lives in an obs::MetricRegistry -- owned per service by default
+/// so instances never bleed into each other, shareable via
+/// ServiceOptions::metrics_registry. Latency percentiles come from a
+/// bounded log-bucketed histogram (simq_query_latency_ms), not a sample
+/// vector. Executions are traced (a span tree on the ExecutionContext)
+/// when the query is EXPLAIN ANALYZE, when ExecOptions::force_trace is
+/// set, or when the 1-in-N sampler (ServiceOptions::trace_sample_every)
+/// fires; traced queries that cross the slow-query threshold are appended
+/// to the structured JSONL slow-query log (obs/slow_query_log.h).
+/// ServiceStats remains the aggregated read API; stats() assembles it
+/// from the registry.
 ///
 /// Thread-safety summary (which lock guards what):
 ///  * data_mutex_ (std::shared_mutex): the database, its epochs, and the
@@ -90,7 +100,8 @@
 ///    snapshot-safe: packed index snapshots are immutable, FeatureStores
 ///    append-only, node-access counters relaxed atomics.
 ///  * admission_mutex_: the running-query count and its condvar.
-///  * stats_mutex_: counters and the latency reservoir.
+///  * stats_mutex_: session-id allocation. Counters live in the metrics
+///    registry (sharded atomics; obs/metrics.h) and need no lock.
 ///  * Session::mutex_: that session's prepared-statement map, cancel
 ///    flag, and in-flight execution contexts.
 /// All public methods of QueryService and Session are safe to call from
@@ -103,6 +114,7 @@
 #ifndef SIMQ_SERVICE_QUERY_SERVICE_H_
 #define SIMQ_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -117,6 +129,9 @@
 #include "core/exec_context.h"
 #include "core/query.h"
 #include "core/wal.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "service/result_cache.h"
 #include "ts/time_series.h"
 #include "util/status.h"
@@ -136,8 +151,28 @@ struct ServiceOptions {
   /// unbounded memory (service/result_cache.h).
   size_t result_cache_max_bytes = 0;
   bool enable_result_cache = true;
-  /// Latency samples kept for the percentile stats (ring buffer).
+  /// Historical knob for the latency sample ring buffer. The percentile
+  /// stats now come from a bounded log-bucketed histogram
+  /// (obs/metrics.h), so this field is ignored; it remains so existing
+  /// callers keep compiling.
   size_t latency_reservoir = 4096;
+
+  /// Metrics registry to record into. Null (the default) means the
+  /// service constructs and owns a private registry -- counters never
+  /// bleed across service instances. Pass one to share a registry across
+  /// services or to scrape it from outside; it must outlive the service.
+  obs::MetricRegistry* metrics_registry = nullptr;
+  /// Trace 1 in N executions (0 = never sample). Independent of EXPLAIN
+  /// ANALYZE and ExecOptions::force_trace, which always trace.
+  int trace_sample_every = 0;
+  /// Structured slow-query log (obs/slow_query_log.h); empty = disabled.
+  /// Only traced executions are considered -- a slow line always carries
+  /// its span tree.
+  std::string slow_query_log_path;
+  /// Minimum elapsed time for a traced query to reach the slow-query log.
+  double slow_query_threshold_ms = 100.0;
+  /// Keep 1 in N of the qualifying (slow) queries; 1 logs them all.
+  int slow_query_sample_every = 1;
 
   /// Default per-query deadline in milliseconds; 0 = no deadline.
   /// ExecOptions::deadline_ms overrides it per execution.
@@ -168,6 +203,10 @@ struct ExecOptions {
   /// positive = this budget, measured from the Execute call (queue time
   /// counts against it).
   double deadline_ms = -1.0;
+  /// Trace this execution regardless of the sampler (the shell's `.trace
+  /// on`). The span tree comes back on ServiceResult::trace. Tracing
+  /// never affects the answer set.
+  bool force_trace = false;
 };
 
 /// Per-execution parameter bindings for a prepared statement. Unset fields
@@ -188,6 +227,7 @@ struct QueryPlan {
   bool cache_hit = false;
   bool prepared = false;
   bool explain = false;  // the query carried the EXPLAIN prefix
+  bool analyze = false;  // EXPLAIN ANALYZE: executed and traced
   /// A derived-artifact compile failed and the engine fell back (packed ->
   /// pointer, filtered -> exact). Answers identical; `engine`/`filter`
   /// report the path actually taken.
@@ -203,12 +243,22 @@ struct QueryPlan {
   double pruning_ratio = 0.0;
   uint64_t relation_epoch = 0;
   uint64_t fingerprint = 0;  // QueryFingerprint of the executed AST
+  /// Per-shard cardinalities (ExecutionStats::ShardStats): estimated
+  /// candidates always (EXPLAIN and EXPLAIN ANALYZE render the
+  /// estimated-vs-actual columns from the same rows), actuals filled by
+  /// the execution. Empty on cache hits replaying a pre-observability
+  /// entry and on queries that never reached the engine.
+  std::vector<ExecutionStats::ShardStats> per_shard;
 };
 
 struct ServiceResult {
   QueryResult result;
   QueryPlan plan;
   double elapsed_ms = 0.0;
+  /// Span tree of this execution; non-null only when it was traced
+  /// (EXPLAIN ANALYZE, ExecOptions::force_trace, or the sampler).
+  /// RenderTraceTree(trace->spans()) prints it.
+  std::shared_ptr<obs::Trace> trace;
 };
 
 struct ServiceStats {
@@ -226,12 +276,17 @@ struct ServiceStats {
   /// Executions that completed degraded (QueryPlan::degraded; cache-hit
   /// replays of a degraded result are not re-counted).
   int64_t degraded_queries = 0;
+  /// Executions that carried a trace (ANALYZE, force_trace, or sampled).
+  int64_t traced_queries = 0;
+  /// Lines appended to the slow-query log (0 when it is disabled).
+  int64_t slow_query_log_lines = 0;
   /// Durability counters (all 0 when wal_path is unset).
   int64_t wal_appends = 0;   // mutation frames acknowledged to the log
   int64_t wal_failures = 0;  // appends/syncs that returned an error
   int64_t checkpoints = 0;   // successful Checkpoint() calls
   ResultCache::Stats cache;
-  /// Latency over the reservoir (milliseconds); 0 when no samples yet.
+  /// Latency percentiles from the simq_query_latency_ms histogram
+  /// (milliseconds); 0 when no samples yet.
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
@@ -381,6 +436,12 @@ class QueryService {
 
   ServiceStats stats() const;
 
+  /// The registry this service records into: the injected one
+  /// (ServiceOptions::metrics_registry) or the service's own. Scrape it
+  /// with RenderPrometheusText(); call stats() first to refresh the
+  /// mirrored cache gauges. Never null; stable for the service lifetime.
+  obs::MetricRegistry* metrics_registry() const { return registry_; }
+
   /// Network front-end hooks (called by net::NetServer): fold connection
   /// and byte counters into ServiceStats::net so the shell's `.stats` and
   /// the wire kStats frame report them alongside the query counters. Safe
@@ -407,9 +468,22 @@ class QueryService {
   /// nothing: only admitted slots are ever counted, so none can leak.
   class AdmissionSlot;
 
-  Result<ServiceResult> ExecuteInternal(const Query& query, bool prepared);
+  /// `parse_ms` is the cold-parse duration when the caller parsed text
+  /// for this execution (recorded as the trace's "parse" span); 0 for
+  /// prepared/ad-hoc executions.
+  Result<ServiceResult> ExecuteInternal(const Query& query, bool prepared,
+                                        double parse_ms = 0.0);
+  /// Execute with options resolved into a context (deadline, forced
+  /// trace) plus the parse duration for the trace's "parse" span.
+  Result<ServiceResult> ExecuteBound(const Query& query,
+                                     const ExecOptions& options,
+                                     double parse_ms);
   /// ParseQuery plus the cold-parse counter (every text parse goes here).
-  Result<Query> ParseTracked(const std::string& text);
+  /// `parse_ms`, when non-null, receives the parse duration.
+  Result<Query> ParseTracked(const std::string& text,
+                             double* parse_ms = nullptr);
+  /// True when the 1-in-N sampler elects the next execution for tracing.
+  bool SampleTrace();
   /// The effective deadline for `options` in ms; 0 = none.
   double ResolveDeadlineMs(const ExecOptions& options) const;
   /// Bumps the termination counter matching a failed execution's status.
@@ -423,7 +497,6 @@ class QueryService {
   Status FinishAppend(Status append_status);
   /// Relation epoch + shard count; caller holds data_mutex_ (any mode).
   uint64_t EpochLocked(const std::string& relation, int* shards) const;
-  void RecordLatency(double millis);
   void OnSessionClosed();
 
   Database db_;
@@ -447,10 +520,51 @@ class QueryService {
   std::condition_variable admission_cv_;
   int running_queries_ = 0;
 
-  mutable std::mutex stats_mutex_;
-  ServiceStats stats_;  // cache + percentiles filled in stats()
-  std::vector<double> latencies_;  // ring buffer
-  size_t latency_next_ = 0;
+  /// Registry plumbing: the service owns owned_registry_ unless one was
+  /// injected; registry_ points at whichever is live. The Metrics struct
+  /// caches the interned metric pointers at construction so no query
+  /// path ever touches the registry's name map (obs/metrics.h).
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;
+  obs::MetricRegistry* registry_ = nullptr;
+  struct Metrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* prepared_executions = nullptr;
+    obs::Counter* cold_parses = nullptr;
+    obs::Counter* mutations = nullptr;
+    obs::Counter* admission_waits = nullptr;
+    obs::Counter* sessions_opened = nullptr;
+    obs::Gauge* active_sessions = nullptr;
+    obs::Counter* timeouts = nullptr;
+    obs::Counter* cancellations = nullptr;
+    obs::Counter* overloaded = nullptr;
+    obs::Counter* degraded_queries = nullptr;
+    obs::Counter* traced_queries = nullptr;
+    obs::Counter* wal_appends = nullptr;
+    obs::Counter* wal_failures = nullptr;
+    obs::Counter* checkpoints = nullptr;
+    obs::Counter* slow_query_lines = nullptr;
+    obs::Histogram* latency = nullptr;
+    obs::Counter* net_connections_accepted = nullptr;
+    obs::Gauge* net_connections_active = nullptr;
+    obs::Counter* net_connections_shed = nullptr;
+    obs::Counter* net_connections_timed_out = nullptr;
+    obs::Counter* net_requests_shed = nullptr;
+    obs::Counter* net_bytes_in = nullptr;
+    obs::Counter* net_bytes_out = nullptr;
+    /// Cache mirror gauges, refreshed from ResultCache::stats() inside
+    /// stats() so a registry scrape sees current cache state.
+    obs::Gauge* cache_hits = nullptr;
+    obs::Gauge* cache_misses = nullptr;
+    obs::Gauge* cache_insertions = nullptr;
+    obs::Gauge* cache_invalidated = nullptr;
+    obs::Gauge* cache_evictions = nullptr;
+    obs::Gauge* cache_bytes = nullptr;
+  };
+  Metrics metrics_;
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
+  std::atomic<int64_t> trace_tick_{0};  // 1-in-N trace sampler state
+
+  mutable std::mutex stats_mutex_;  // guards next_session_id_ only
   int64_t next_session_id_ = 1;
 };
 

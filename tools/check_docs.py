@@ -31,7 +31,8 @@ CODE_SPAN_RE = re.compile(r"`[^`]*`")
 FENCE_RE = re.compile(r"^\s*(```|~~~)")
 
 DOC_HEADER_DIRS = [
-    "src/service", "src/index", "src/filter", "src/net", "src/core"
+    "src/service", "src/index", "src/filter", "src/net", "src/core",
+    "src/obs"
 ]
 
 

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Smoke-checks the metrics scrape surface end to end.
+
+Starts the example server with --metrics-port 0, parses the "metrics on
+port N" line it prints, scrapes the endpoint over HTTP, and validates:
+
+  * the response is well-formed Prometheus text exposition (every sample
+    line parses, every sample's base metric carries a # TYPE declaration
+    of a known type);
+  * every metric in the service catalog (docs/OBSERVABILITY.md) is
+    present, including the histogram's _bucket/_sum/_count series;
+  * counter and gauge values are finite numbers.
+
+Usage: check_metrics.py [path/to/example_simq_server]
+Exits nonzero with a message on the first violation (CI runs this).
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# The service metric catalog (docs/OBSERVABILITY.md). Histograms expand
+# to _bucket/_sum/_count series in the exposition.
+REQUIRED_COUNTERS = [
+    "simq_queries_total",
+    "simq_prepared_executions_total",
+    "simq_cold_parses_total",
+    "simq_mutations_total",
+    "simq_admission_waits_total",
+    "simq_sessions_opened_total",
+    "simq_timeouts_total",
+    "simq_cancellations_total",
+    "simq_overloaded_total",
+    "simq_degraded_queries_total",
+    "simq_traced_queries_total",
+    "simq_wal_appends_total",
+    "simq_wal_failures_total",
+    "simq_checkpoints_total",
+    "simq_slow_query_log_lines_total",
+    "simq_net_connections_accepted_total",
+    "simq_net_connections_shed_total",
+    "simq_net_connections_timed_out_total",
+    "simq_net_requests_shed_total",
+    "simq_net_bytes_in_total",
+    "simq_net_bytes_out_total",
+]
+REQUIRED_GAUGES = [
+    "simq_active_sessions",
+    "simq_net_connections_active",
+    "simq_cache_hits",
+    "simq_cache_misses",
+    "simq_cache_insertions",
+    "simq_cache_invalidated_entries",
+    "simq_cache_evictions",
+    "simq_cache_bytes",
+]
+REQUIRED_HISTOGRAMS = ["simq_query_latency_ms"]
+
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})?\s+(\S+)$")
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (\w+)$")
+
+
+def fail(message):
+    print("check_metrics: FAIL: " + message)
+    sys.exit(1)
+
+
+def base_name(sample_name, histogram_names):
+    """Maps a histogram's derived series back to its declared name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            stem = sample_name[: -len(suffix)]
+            if stem in histogram_names:
+                return stem
+    return sample_name
+
+
+def validate_exposition(text):
+    declared = {}  # name -> type
+    samples = {}  # name -> list of values
+    histogram_names = set()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            match = TYPE_RE.match(line)
+            if match is None:
+                if line.startswith("# TYPE"):
+                    fail("malformed TYPE comment on line %d: %r"
+                         % (line_number, line))
+                continue  # other comments (e.g. HELP) are fine
+            name, kind = match.groups()
+            if kind not in ("counter", "gauge", "histogram"):
+                fail("unknown metric type %r on line %d" % (kind, line_number))
+            if name in declared:
+                fail("duplicate TYPE declaration for %s" % name)
+            declared[name] = kind
+            if kind == "histogram":
+                histogram_names.add(name)
+            continue
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            fail("unparseable sample on line %d: %r" % (line_number, line))
+        name, _labels, value = match.groups()
+        stem = base_name(name, histogram_names)
+        if stem not in declared:
+            fail("sample %s (line %d) has no preceding # TYPE declaration"
+                 % (name, line_number))
+        try:
+            parsed = float(value)
+        except ValueError:
+            fail("sample %s has non-numeric value %r" % (name, value))
+        if parsed != parsed:  # NaN never belongs in a scrape
+            fail("sample %s is NaN" % name)
+        samples.setdefault(stem, []).append(parsed)
+
+    for name in REQUIRED_COUNTERS:
+        if declared.get(name) != "counter":
+            fail("missing or mistyped counter %s" % name)
+        if not samples.get(name):
+            fail("counter %s declared but has no sample" % name)
+    for name in REQUIRED_GAUGES:
+        if declared.get(name) != "gauge":
+            fail("missing or mistyped gauge %s" % name)
+        if not samples.get(name):
+            fail("gauge %s declared but has no sample" % name)
+    for name in REQUIRED_HISTOGRAMS:
+        if declared.get(name) != "histogram":
+            fail("missing or mistyped histogram %s" % name)
+        series = samples.get(name, [])
+        # At minimum the +Inf bucket, _sum, and _count.
+        if len(series) < 3:
+            fail("histogram %s is missing its derived series" % name)
+    return declared
+
+
+def main():
+    server = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        REPO, "build", "example_simq_server")
+    if not os.path.exists(server):
+        fail("server binary not found: %s" % server)
+
+    process = subprocess.Popen(
+        [server, "--port", "0", "--metrics-port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    port = None
+    try:
+        deadline = time.time() + 30.0
+        while time.time() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                fail("server exited before printing its metrics port")
+            match = re.search(r"metrics on port (\d+)", line)
+            if match:
+                port = int(match.group(1))
+                break
+        if port is None:
+            fail("timed out waiting for the metrics port line")
+
+        body = urllib.request.urlopen(
+            "http://127.0.0.1:%d/metrics" % port, timeout=10).read().decode()
+        declared = validate_exposition(body)
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+
+    print("check_metrics: ok -- %d metrics declared, catalog complete, "
+          "exposition well-formed" % len(declared))
+
+
+if __name__ == "__main__":
+    main()
