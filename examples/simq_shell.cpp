@@ -65,11 +65,13 @@ void PrintHelp() {
 void PrintPlan(const ServiceResult& result) {
   std::printf(
       "plan: strategy=%s engine=%s filter=%s shards=%d cache=%s epoch=%llu "
-      "prepared=%s fingerprint=%016llx\n",
+      "generation=%llu delta_rows=%lld prepared=%s fingerprint=%016llx\n",
       result.plan.strategy.c_str(), result.plan.engine.c_str(),
       result.plan.filter.c_str(), result.plan.shards,
       result.plan.cache_hit ? "hit" : "miss",
       static_cast<unsigned long long>(result.plan.relation_epoch),
+      static_cast<unsigned long long>(result.plan.generation),
+      static_cast<long long>(result.plan.delta_rows),
       result.plan.prepared ? "yes" : "no",
       static_cast<unsigned long long>(result.plan.fingerprint));
   std::printf(

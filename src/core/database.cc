@@ -421,7 +421,10 @@ const PackedRTree& Relation::packed_index() const {
 
 Result<int64_t> Relation::FindByName(const std::string& series_name) const {
   const auto it = by_name_.find(series_name);
-  if (it == by_name_.end()) {
+  if (it == by_name_.end() || !data_.alive(it->second)) {
+    // Deleted series resolve like never-inserted ones; the name itself
+    // stays reserved (re-inserting it is still AlreadyExists) because ids
+    // are dense and the tombstoned row keeps its slot.
     return Status::NotFound("no series named '" + series_name +
                             "' in relation '" + name_ + "'");
   }
@@ -480,9 +483,60 @@ Status Database::CreateRelation(const std::string& name) {
   if (relations_.count(name) > 0) {
     return Status::AlreadyExists("relation '" + name + "' already exists");
   }
-  relations_[name] =
+  auto relation =
       std::make_unique<Relation>(name, config_, index_options_, sharding_);
+  relation->data_.set_delta_enabled(delta_options_.enabled);
+  relations_[name] = std::move(relation);
   return Status::Ok();
+}
+
+void Database::set_delta_options(const DeltaOptions& options) {
+  delta_options_ = options;
+  for (auto& [name, relation] : relations_) {
+    relation->data_.set_delta_enabled(options.enabled);
+  }
+}
+
+Status Database::Delete(const std::string& relation, int64_t id) {
+  const auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + relation + "'");
+  }
+  Relation* rel = it->second.get();
+  if (id < 0 || id >= rel->size()) {
+    return Status::OutOfRange("series id out of range");
+  }
+  if (!rel->data_.Delete(id)) {
+    return Status::NotFound("series #" + std::to_string(id) +
+                            " is already deleted");
+  }
+  return Status::Ok();
+}
+
+Status Database::BuildRecompaction(
+    const std::string& relation,
+    std::vector<RelationShard::Recompaction>* out) const {
+  const Relation* rel = GetRelation(relation);
+  if (rel == nullptr) {
+    return Status::NotFound("no relation named '" + relation + "'");
+  }
+  return rel->data_.BuildRecompaction(filter_options_.bits_per_dim, out);
+}
+
+Status Database::PublishRecompaction(
+    const std::string& relation,
+    std::vector<RelationShard::Recompaction> built) {
+  const auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + relation + "'");
+  }
+  return it->second->data_.PublishRecompaction(std::move(built));
+}
+
+Status Database::Recompact(const std::string& relation) {
+  std::vector<RelationShard::Recompaction> built;
+  SIMQ_RETURN_IF_ERROR(BuildRecompaction(relation, &built));
+  return PublishRecompaction(relation, std::move(built));
 }
 
 Result<int64_t> Database::Insert(const std::string& relation,
@@ -606,6 +660,10 @@ Result<std::vector<double>> Database::ResolveSeries(
   if (ref.id.has_value()) {
     if (*ref.id < 0 || *ref.id >= relation.size()) {
       return Status::OutOfRange("series id out of range");
+    }
+    if (!relation.sharded().alive(*ref.id)) {
+      return Status::NotFound("series #" + std::to_string(*ref.id) +
+                              " is deleted");
     }
     return relation.record(*ref.id).raw;
   }
@@ -813,7 +871,7 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
       return Status::OutOfRange("pattern constant id out of range");
     }
     const Record& record = relation.record(*query.pattern.constant_id);
-    if (PatternAdmits(record, query.pattern)) {
+    if (data.alive(record.id) && PatternAdmits(record, query.pattern)) {
       ++out.stats.exact_checks;
       const double distance = checker.Distance(record.id, query.epsilon);
       if (distance <= query.epsilon) {
@@ -909,7 +967,8 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
                       break;
                     }
                     const int64_t id = candidates[c];
-                    if (!StatsAdmit(data.mean(id), data.std_dev(id),
+                    if (!data.alive(id) ||
+                        !StatsAdmit(data.mean(id), data.std_dev(id),
                                     query.pattern)) {
                       continue;
                     }
@@ -919,6 +978,34 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
                     if (distance <= query.epsilon) {
                       local.push_back(
                           Match{id, relation.record(id).name, distance});
+                    }
+                  }
+                  if (engine == IndexEngine::kPacked && !stopped) {
+                    // Delta scan: rows appended after the shard's packed
+                    // snapshot was compiled are not in it -- check them
+                    // exactly. The pointer tree (kPointer) always holds
+                    // every row, so only the packed engine has a delta.
+                    const RelationShard& shard =
+                        data.shard(static_cast<int>(s));
+                    for (int64_t r = shard.packed_covered();
+                         r < shard.size(); ++r) {
+                      if (checks % kPollStride == 0 && ShouldStop(exec)) {
+                        stopped = true;
+                        break;
+                      }
+                      const int64_t id = shard.global_id(r);
+                      if (!shard.alive(r) ||
+                          !StatsAdmit(data.mean(id), data.std_dev(id),
+                                      query.pattern)) {
+                        continue;
+                      }
+                      ++checks;
+                      const double distance =
+                          checker.Distance(id, query.epsilon);
+                      if (distance <= query.epsilon) {
+                        local.push_back(
+                            Match{id, relation.record(id).name, distance});
+                      }
                     }
                   }
                   shard_checks[static_cast<size_t>(s)] = checks;
@@ -1003,32 +1090,37 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
                 *filter.codes[static_cast<size_t>(unit.shard)];
             const QueryLuts& luts =
                 filter.luts[static_cast<size_t>(unit.shard)];
-            // Pattern predicates run before the code scan, so excluded
-            // records are never bound-scanned (mirrors the exact scan).
+            // The codes cover a row prefix frozen at their compile; rows
+            // past it are the codes' delta and skip the screen entirely
+            // (exact-checked below), so a mutation never invalidates the
+            // compiled codes.
+            const int64_t screen_hi = std::min(unit.hi, codes.size());
+            // Pattern and tombstone predicates run before the code scan,
+            // so excluded records are never bound-scanned (mirrors the
+            // exact scan).
             active.clear();
             if (has_pattern) {
-              for (int64_t i = unit.lo; i < unit.hi; ++i) {
-                if (StatsAdmit(store.mean(i), store.std_dev(i),
+              for (int64_t i = unit.lo; i < screen_hi; ++i) {
+                if (shard.alive(i) &&
+                    StatsAdmit(store.mean(i), store.std_dev(i),
                                query.pattern)) {
                   active.push_back(static_cast<int32_t>(i - unit.lo));
                 }
               }
             } else {
-              active.resize(static_cast<size_t>(unit.hi - unit.lo));
-              for (size_t r = 0; r < active.size(); ++r) {
-                active[r] = static_cast<int32_t>(r);
+              for (int64_t i = unit.lo; i < screen_hi; ++i) {
+                if (shard.alive(i)) {
+                  active.push_back(static_cast<int32_t>(i - unit.lo));
+                }
               }
             }
             scanned += static_cast<int64_t>(active.size());
-            ColumnLowerBoundScan(codes, luts,
-                                 SafeThreshold(eps_sq, luts.slack),
-                                 unit.lo, unit.hi, &active, &scratch);
-            checks += static_cast<int64_t>(active.size());
-            if (want_shard_stats) {
-              block_shard_checks[static_cast<size_t>(block) * stat_shards +
-                                 static_cast<size_t>(unit.shard)] +=
-                  static_cast<int64_t>(active.size());
+            if (!active.empty()) {
+              ColumnLowerBoundScan(codes, luts,
+                                   SafeThreshold(eps_sq, luts.slack),
+                                   unit.lo, screen_hi, &active, &scratch);
             }
+            int64_t unit_checks = static_cast<int64_t>(active.size());
             for (const int32_t offset : active) {
               const int64_t id = shard.global_id(unit.lo + offset);
               const double distance = checker.Distance(id, query.epsilon);
@@ -1036,6 +1128,30 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
                 local.push_back(
                     Match{id, relation.record(id).name, distance});
               }
+            }
+            // Delta rows of this unit: always exact-checked, never
+            // screened -- the unmodified kernels keep the answer
+            // bit-identical to the unfiltered scan.
+            for (int64_t i = std::max(unit.lo, screen_hi); i < unit.hi;
+                 ++i) {
+              if (!shard.alive(i) ||
+                  !StatsAdmit(store.mean(i), store.std_dev(i),
+                              query.pattern)) {
+                continue;
+              }
+              ++unit_checks;
+              const int64_t id = shard.global_id(i);
+              const double distance = checker.Distance(id, query.epsilon);
+              if (distance <= query.epsilon) {
+                local.push_back(
+                    Match{id, relation.record(id).name, distance});
+              }
+            }
+            checks += unit_checks;
+            if (want_shard_stats) {
+              block_shard_checks[static_cast<size_t>(block) * stat_shards +
+                                 static_cast<size_t>(unit.shard)] +=
+                  unit_checks;
             }
           }
           block_checks[static_cast<size_t>(block)] = checks;
@@ -1110,7 +1226,8 @@ Result<QueryResult> Database::ExecuteRange(const Relation& relation,
             const FeatureStore& store = shard.store();
             const int64_t unit_checks_before = checks;
             for (int64_t i = unit.lo; i < unit.hi; ++i) {
-              if (!StatsAdmit(store.mean(i), store.std_dev(i),
+              if (!shard.alive(i) ||
+                  !StatsAdmit(store.mean(i), store.std_dev(i),
                               query.pattern)) {
                 continue;
               }
@@ -1282,7 +1399,8 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
       affines_ptr = &affines;
     }
     const auto exact = [&](int64_t id) {
-      if (!StatsAdmit(data.mean(id), data.std_dev(id), query.pattern)) {
+      if (!data.alive(id) ||
+          !StatsAdmit(data.mean(id), data.std_dev(id), query.pattern)) {
         return kInf;  // excluded entries sort to the end and are dropped
       }
       ++out.stats.exact_checks;
@@ -1318,6 +1436,20 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
             merged.insert(merged.end(), shard_results.begin(),
                           shard_results.end());
           });
+      if (engine == IndexEngine::kPacked) {
+        // Delta scan: rows appended after the shard's packed snapshot was
+        // compiled are invisible to it -- exact-check each and let the
+        // canonical (distance, id) re-sort + cut below rank them. The
+        // pointer tree always holds every row, so kPointer has no delta.
+        const RelationShard& shard = data.shard(s);
+        for (int64_t r = shard.packed_covered(); r < shard.size(); ++r) {
+          const int64_t id = shard.global_id(r);
+          const double distance = exact(id);
+          if (distance != kInf) {
+            merged.emplace_back(id, distance);
+          }
+        }
+      }
       if (trace != nullptr) {
         const int span =
             trace->AddCompleted("index shard", trace_parent, span_start,
@@ -1405,8 +1537,13 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
                   *filter.codes[static_cast<size_t>(unit.shard)];
               const QueryLuts& luts =
                   filter.luts[static_cast<size_t>(unit.shard)];
-              for (int64_t i = unit.lo; i < unit.hi; ++i) {
-                if (!StatsAdmit(store.mean(i), store.std_dev(i),
+              // Rows past the codes' coverage are the codes' delta; they
+              // are exact-checked up front in the refine phase below and
+              // never bound-scanned.
+              const int64_t screen_hi = std::min(unit.hi, codes.size());
+              for (int64_t i = unit.lo; i < screen_hi; ++i) {
+                if (!shard.alive(i) ||
+                    !StatsAdmit(store.mean(i), store.std_dev(i),
                                 query.pattern)) {
                   continue;
                 }
@@ -1492,6 +1629,39 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
     // Refine in lower-bound order; `best` stays sorted by (distance, id).
     std::vector<std::pair<double, int64_t>> best;
     best.reserve(static_cast<size_t>(k) + 1);
+    // Delta rows (past each shard's code coverage) first, exact-checked
+    // unconditionally: they have no code lower bound, so giving them one
+    // (e.g. zero) could not legally participate in the early break below.
+    // Seeding them as finished exact distances keeps the break sound, and
+    // the final top-k by (distance, id) is insertion-order independent,
+    // so answers stay bit-identical.
+    for (int s = 0; s < data.num_shards(); ++s) {
+      const RelationShard& shard = data.shard(s);
+      const FeatureStore& store = shard.store();
+      const int64_t covered =
+          filter.codes[static_cast<size_t>(s)]->size();
+      for (int64_t i = covered; i < shard.size(); ++i) {
+        if (!shard.alive(i) ||
+            !StatsAdmit(store.mean(i), store.std_dev(i), query.pattern)) {
+          continue;
+        }
+        const int64_t id = shard.global_id(i);
+        ++out.stats.exact_checks;
+        if (want_shard_stats) {
+          ++out.stats.shard_stats[static_cast<size_t>(s)].exact_checks;
+        }
+        const std::pair<double, int64_t> entry(checker.Distance(id, kInf),
+                                               id);
+        if (static_cast<int>(best.size()) >= k) {
+          if (!(entry < best.back())) {
+            continue;
+          }
+          best.pop_back();
+        }
+        best.insert(std::upper_bound(best.begin(), best.end(), entry),
+                    entry);
+      }
+    }
     for (size_t c = 0; c < cands.size(); ++c) {
       if (c % static_cast<size_t>(kPollStride) == 0) {
         SIMQ_RETURN_IF_ERROR(CheckExecution(query.exec));
@@ -1562,7 +1732,8 @@ Result<QueryResult> Database::ExecuteNearest(const Relation& relation,
             const FeatureStore& store = shard.store();
             const int64_t unit_checks_before = checks;
             for (int64_t i = unit.lo; i < unit.hi; ++i) {
-              if (!StatsAdmit(store.mean(i), store.std_dev(i),
+              if (!shard.alive(i) ||
+                  !StatsAdmit(store.mean(i), store.std_dev(i),
                               query.pattern)) {
                 continue;  // sentinel -1 marks excluded records
               }
@@ -1643,6 +1814,13 @@ Result<QueryResult> Database::SelfJoin(
     return out;
   }
   const int n = relation->series_length();
+  // Flat tombstone flags by global id: the O(N^2) pair loops below test
+  // aliveness per pair, so pay the locator hop once per row up front.
+  std::vector<uint8_t> alive(static_cast<size_t>(count), 1);
+  for (int64_t g = 0; g < count; ++g) {
+    alive[static_cast<size_t>(g)] =
+        relation->sharded().alive(g) ? 1 : 0;
+  }
   const bool symmetric = left_rule == right_rule;
   if (left_rule != nullptr && left_rule->IsNormalFormInvariant()) {
     left_rule = nullptr;
@@ -1752,31 +1930,45 @@ Result<QueryResult> Database::SelfJoin(
                 if (ShouldStop(ctx)) {
                   break;
                 }
+                if (alive[static_cast<size_t>(i)] == 0) {
+                  continue;
+                }
                 const double* a = base_rows[static_cast<size_t>(i)];
                 survivors.clear();
                 for (int s = 0; s < num_shards; ++s) {
                   const QuantizedCodes& codes = *shard_codes[s];
                   const RelationShard& shard = data.shard(s);
-                  if (codes.size() == 0) {
-                    continue;
-                  }
-                  FillPairScreenLut(codes.quantizer(), a,
-                                    codes.scan_order().data(), ranks,
-                                    lut.data());
-                  active.clear();
-                  for (int64_t r = 0; r < shard.size(); ++r) {
-                    const int64_t g = shard.global_id(r);
-                    if (symmetric ? g > i : g != i) {
-                      active.push_back(static_cast<int32_t>(r));
+                  // The screen covers the codes' frozen row prefix; the
+                  // shard's delta rows below skip it and go straight to
+                  // the exact check (the check decides membership, so the
+                  // pair set is unchanged).
+                  const int64_t screen_hi =
+                      std::min(shard.size(), codes.size());
+                  if (screen_hi > 0) {
+                    FillPairScreenLut(codes.quantizer(), a,
+                                      codes.scan_order().data(), ranks,
+                                      lut.data());
+                    active.clear();
+                    for (int64_t r = 0; r < screen_hi; ++r) {
+                      const int64_t g = shard.global_id(r);
+                      if (shard.alive(r) && (symmetric ? g > i : g != i)) {
+                        active.push_back(static_cast<int32_t>(r));
+                      }
+                    }
+                    scanned += static_cast<int64_t>(active.size());
+                    PairScreenScan(codes, lut.data(),
+                                   codes.scan_order().data(), ranks,
+                                   abandon_sq, 0, screen_hi, &active,
+                                   &scratch);
+                    for (const int32_t r : active) {
+                      survivors.push_back(shard.global_id(r));
                     }
                   }
-                  scanned += static_cast<int64_t>(active.size());
-                  PairScreenScan(codes, lut.data(),
-                                 codes.scan_order().data(), ranks,
-                                 abandon_sq, 0, shard.size(), &active,
-                                 &scratch);
-                  for (const int32_t r : active) {
-                    survivors.push_back(shard.global_id(r));
+                  for (int64_t r = screen_hi; r < shard.size(); ++r) {
+                    const int64_t g = shard.global_id(r);
+                    if (shard.alive(r) && (symmetric ? g > i : g != i)) {
+                      survivors.push_back(g);
+                    }
                   }
                 }
                 std::sort(survivors.begin(), survivors.end());
@@ -1886,12 +2078,15 @@ Result<QueryResult> Database::SelfJoin(
               if (ShouldStop(ctx)) {
                 break;
               }
+              if (alive[static_cast<size_t>(i)] == 0) {
+                continue;
+              }
               const double* a = left_row(i);
               const double a0 = a[0], a1 = a[1];
               const double a2 = n >= 2 ? a[2] : 0.0;
               const double a3 = n >= 2 ? a[3] : 0.0;
               for (int64_t j = symmetric ? i + 1 : 0; j < count; ++j) {
-                if (j == i) {
+                if (j == i || alive[static_cast<size_t>(j)] == 0) {
                   continue;
                 }
                 ++checks;
@@ -1923,6 +2118,9 @@ Result<QueryResult> Database::SelfJoin(
       std::vector<std::vector<double>> right_values(
           static_cast<size_t>(count));
       for (int64_t i = 0; i < count; ++i) {
+        if (alive[static_cast<size_t>(i)] == 0) {
+          continue;  // dead rows never join; skip their transforms too
+        }
         const std::vector<double>& base = relation->record(i).normal_values;
         left_values[static_cast<size_t>(i)] =
             left_rule != nullptr ? left_rule->Apply(base) : base;
@@ -1930,9 +2128,12 @@ Result<QueryResult> Database::SelfJoin(
             right_rule != nullptr ? right_rule->Apply(base) : base;
       }
       for (int64_t i = 0; i < count; ++i) {
+        if (alive[static_cast<size_t>(i)] == 0) {
+          continue;
+        }
         SIMQ_RETURN_IF_ERROR(CheckExecution(exec));
         for (int64_t j = symmetric ? i + 1 : 0; j < count; ++j) {
-          if (j == i) {
+          if (j == i || alive[static_cast<size_t>(j)] == 0) {
             continue;
           }
           ++out.stats.exact_checks;
@@ -2037,6 +2238,9 @@ Result<QueryResult> Database::SelfJoin(
                 if (ShouldStop(ctx)) {
                   break;
                 }
+                if (alive[static_cast<size_t>(i)] == 0) {
+                  continue;
+                }
                 const Record& probe = relation->record(i);
                 std::vector<Complex> query_coeffs = ExtractCoefficients(
                     probe.features.normal_spectrum, config_.num_coefficients);
@@ -2051,7 +2255,7 @@ Result<QueryResult> Database::SelfJoin(
                   tree->Search(region, affines_ptr, &candidates);
                   candidate_count += static_cast<int64_t>(candidates.size());
                   for (const int64_t j : candidates) {
-                    if (j == i) {
+                    if (j == i || alive[static_cast<size_t>(j)] == 0) {
                       continue;
                     }
                     ++checks;
@@ -2060,6 +2264,30 @@ Result<QueryResult> Database::SelfJoin(
                         post_right_ptr, n, eps_sq);
                     if (dist_sq <= eps_sq) {
                       local.push_back(PairMatch{i, j, std::sqrt(dist_sq)});
+                    }
+                  }
+                }
+                if (join_engine == IndexEngine::kPacked) {
+                  // Delta scan per probe: inner rows past each shard's
+                  // packed coverage are invisible to the snapshots --
+                  // exact-check them directly (the check decides
+                  // membership, so the pair set is unchanged).
+                  const ShardedRelation& data = relation->sharded();
+                  for (int s = 0; s < data.num_shards(); ++s) {
+                    const RelationShard& shard = data.shard(s);
+                    for (int64_t r = shard.packed_covered();
+                         r < shard.size(); ++r) {
+                      const int64_t j = shard.global_id(r);
+                      if (j == i || !shard.alive(r)) {
+                        continue;
+                      }
+                      ++checks;
+                      const double dist_sq = RowDistanceSqTwoSided(
+                          a, base_rows[static_cast<size_t>(j)],
+                          post_left_ptr, post_right_ptr, n, eps_sq);
+                      if (dist_sq <= eps_sq) {
+                        local.push_back(PairMatch{i, j, std::sqrt(dist_sq)});
+                      }
                     }
                   }
                 }

@@ -140,6 +140,18 @@ struct DegradationStats {
   uint64_t degraded_queries = 0;
 };
 
+// Delta-layer configuration (DESIGN.md "Delta layer & MVCC generations").
+// With `enabled` (the default) mutations never invalidate a shard's
+// compiled artifacts: new rows become the artifacts' delta, scanned
+// exactly by every driver, and deletes are tombstones filtered at read
+// time. `recompact_threshold` is the per-shard mutation count past which
+// the service folds the delta into a fresh generation (the library's
+// Database::Recompact is always explicit).
+struct DeltaOptions {
+  bool enabled = true;
+  int64_t recompact_threshold = 256;
+};
+
 class Database {
  public:
   explicit Database(FeatureConfig config = FeatureConfig(),
@@ -178,6 +190,13 @@ class Database {
     filter_options_ = options;
   }
 
+  // Delta-layer configuration. Disabling it restores the legacy
+  // invalidate-on-mutation behavior (every relation's shards follow the
+  // new setting immediately); the differential fuzz harness runs its
+  // oracle that way. Set under exclusive access.
+  const DeltaOptions& delta_options() const { return delta_options_; }
+  void set_delta_options(const DeltaOptions& options);
+
   // Engine actually used by index strategies: the configured engine,
   // demoted to kPointer when the index options exceed the packed layout's
   // fanout limit (PackedRTree::SupportsFanout). Public so execution front
@@ -191,6 +210,32 @@ class Database {
   // Inserts a batch into an empty relation using STR bulk loading.
   Status BulkLoad(const std::string& relation,
                   const std::vector<TimeSeries>& series);
+
+  // Tombstones the record with this id: it disappears from every query
+  // answer immediately; its row (and name, which stays reserved) remain
+  // in place until a recompaction sheds the tree entry. OutOfRange for an
+  // unknown id, NotFound when it is already deleted.
+  Status Delete(const std::string& relation, int64_t id);
+
+  // Synchronous recompaction of one relation: folds every shard's delta
+  // and tombstones into a fresh generation (live-only tree, new packed
+  // snapshot and quantized codes). Answers are unaffected; generation()
+  // advances. The service runs the same two phases split across its
+  // shared/exclusive locks (BuildRecompaction/PublishRecompaction on the
+  // relation's ShardedRelation); this entry point is for single-threaded
+  // callers that hold exclusive access.
+  Status Recompact(const std::string& relation);
+
+  // The two recompaction phases, split so the service can run the build
+  // under its shared lock (readers keep executing) and only the brief
+  // publish under the exclusive lock. Code width comes from
+  // filter_options(). NotFound for an unknown relation.
+  Status BuildRecompaction(
+      const std::string& relation,
+      std::vector<RelationShard::Recompaction>* out) const;
+  Status PublishRecompaction(
+      const std::string& relation,
+      std::vector<RelationShard::Recompaction> built);
 
   const Relation* GetRelation(const std::string& name) const;
 
@@ -275,6 +320,7 @@ class Database {
   IndexEngine index_engine_ = IndexEngine::kPacked;
   FilterEngine filter_engine_ = FilterEngine::kExact;
   FilterOptions filter_options_;
+  DeltaOptions delta_options_;
   bool cross_shard_knn_pruning_ = true;
   std::map<std::string, std::unique_ptr<Relation>> relations_;
   std::unique_ptr<DegradationState> degradation_ =

@@ -20,6 +20,7 @@ namespace {
 constexpr char kMagicV1[] = "SIMQDB1\n";
 constexpr char kMagicV2[] = "SIMQDB2\n";
 constexpr char kMagicV3[] = "SIMQDB3\n";
+constexpr char kMagicV4[] = "SIMQDB4\n";
 constexpr size_t kMagicLength = 8;
 
 // Serializes into an in-memory buffer. The whole snapshot is built in
@@ -156,6 +157,21 @@ void AppendRelationBlock(const std::string& name, const Relation& relation,
     writer->String(record.name);
     writer->Doubles(record.raw);
   }
+  if (version >= 4) {
+    // Tombstone block: ids of deleted records. The records themselves are
+    // still stored above (their names stay reserved), so the loader
+    // restores by bulk-loading everything and re-deleting these ids.
+    std::vector<uint64_t> dead;
+    for (const Record& record : relation.records()) {
+      if (!relation.sharded().alive(record.id)) {
+        dead.push_back(static_cast<uint64_t>(record.id));
+      }
+    }
+    writer->U64(dead.size());
+    for (const uint64_t id : dead) {
+      writer->U64(id);
+    }
+  }
 }
 
 // Parses one relation block and restores it into `db` via bulk load,
@@ -211,6 +227,27 @@ Status ParseRelationBlock(BufferReader* reader, int version, Database* db) {
       return Status::Corruption(
           "snapshot relation stats do not match the restored records in "
           "relation '" + relation_name + "'");
+    }
+  }
+  if (version >= 4) {
+    uint64_t tombstone_count = 0;
+    SIMQ_RETURN_IF_ERROR(reader->U64(&tombstone_count));
+    if (tombstone_count > reader->remaining() / sizeof(uint64_t) ||
+        tombstone_count > record_count) {
+      return Status::Corruption(
+          "snapshot tombstone count extends past end of data in relation '" +
+          relation_name + "'");
+    }
+    for (uint64_t i = 0; i < tombstone_count; ++i) {
+      uint64_t id = 0;
+      SIMQ_RETURN_IF_ERROR(reader->U64(&id));
+      if (id >= record_count) {
+        return Status::Corruption(
+            "snapshot tombstone id out of range in relation '" +
+            relation_name + "'");
+      }
+      SIMQ_RETURN_IF_ERROR(
+          db->Delete(relation_name, static_cast<int64_t>(id)));
     }
   }
   return Status::Ok();
@@ -345,7 +382,7 @@ Status ReadFile(const std::string& path, std::string* out) {
 
 Status SaveDatabase(const Database& db, const std::string& path,
                     int format_version) {
-  if (format_version < 1 || format_version > 3) {
+  if (format_version < 1 || format_version > 4) {
     return Status::InvalidArgument("unsupported snapshot format version " +
                                    std::to_string(format_version));
   }
@@ -353,8 +390,8 @@ Status SaveDatabase(const Database& db, const std::string& path,
   const std::vector<std::string> names = db.RelationNames();
 
   BufferWriter file;
-  if (format_version == 3) {
-    file.Bytes(kMagicV3, kMagicLength);
+  if (format_version >= 3) {
+    file.Bytes(format_version == 4 ? kMagicV4 : kMagicV3, kMagicLength);
     BufferWriter header;
     header.I32(config.num_coefficients);
     header.I32(static_cast<int32_t>(config.space));
@@ -394,6 +431,8 @@ Result<Database> LoadDatabase(const std::string& path) {
     version = 2;
   } else if (std::memcmp(bytes.data(), kMagicV3, kMagicLength) == 0) {
     version = 3;
+  } else if (std::memcmp(bytes.data(), kMagicV4, kMagicLength) == 0) {
+    version = 4;
   } else {
     return Status::Corruption("'" + path + "' is not a simq snapshot");
   }
@@ -404,7 +443,7 @@ Result<Database> LoadDatabase(const std::string& path) {
   uint8_t include_mean_std = 0;
   uint64_t relation_count = 0;
 
-  if (version == 3) {
+  if (version >= 3) {
     const char* header_bytes = nullptr;
     size_t header_size = 0;
     SIMQ_RETURN_IF_ERROR(ReadSection(&file, &header_bytes, &header_size));
@@ -430,7 +469,7 @@ Result<Database> LoadDatabase(const std::string& path) {
 
   Database db(config);
   for (uint64_t r = 0; r < relation_count; ++r) {
-    if (version == 3) {
+    if (version >= 3) {
       const char* section_bytes = nullptr;
       size_t section_size = 0;
       SIMQ_RETURN_IF_ERROR(ReadSection(&file, &section_bytes, &section_size));
@@ -444,7 +483,7 @@ Result<Database> LoadDatabase(const std::string& path) {
       SIMQ_RETURN_IF_ERROR(ParseRelationBlock(&file, version, &db));
     }
   }
-  if (version == 3 && file.remaining() != 0) {
+  if (version >= 3 && file.remaining() != 0) {
     return Status::Corruption("snapshot has trailing bytes after the last "
                               "section");
   }

@@ -6,9 +6,9 @@
 /// single-machine, native-endian snapshot -- a checkpoint/restore facility,
 /// not an interchange format.
 ///
-/// Three on-disk versions exist. SaveDatabase writes SIMQDB3 by default;
-/// LoadDatabase reads all three (SIMQDB1/SIMQDB2 snapshots from older
-/// builds keep loading unchanged).
+/// Four on-disk versions exist. SaveDatabase writes SIMQDB4 by default;
+/// LoadDatabase reads all four (SIMQDB1/SIMQDB2/SIMQDB3 snapshots from
+/// older builds keep loading unchanged).
 ///
 /// Every save is atomic: the snapshot is serialized in memory, written to
 /// `path + ".tmp"`, fsynced, then renamed over `path` (and the parent
@@ -49,6 +49,15 @@
 /// kCorruption. All load-time validation failures (any version) return
 /// kCorruption; a missing file returns kNotFound; OS-level read/write
 /// failures return kIoError.
+///
+/// SIMQDB4 keeps the SIMQDB3 section framing and appends one tombstone
+/// block to every per-relation payload, after the records:
+///   u64 tombstone_count, then tombstone_count u64 ids of deleted records
+/// Deleted records are still serialized in full (their names stay
+/// reserved); the loader bulk-loads every record and then re-deletes the
+/// listed ids, so the restored database matches the saved one exactly.
+/// Saving with format_version <= 3 drops tombstones (deleted records come
+/// back alive) -- only do that for snapshots consumed by older builds.
 
 #ifndef SIMQ_CORE_PERSISTENCE_H_
 #define SIMQ_CORE_PERSISTENCE_H_
@@ -61,11 +70,11 @@
 namespace simq {
 
 // Writes a snapshot of `db` to `path` atomically (overwriting).
-// `format_version` selects the on-disk layout: 3 (default, SIMQDB3,
-// checksummed), 2 (SIMQDB2) or 1 (SIMQDB1) for snapshots consumed by
-// older builds.
+// `format_version` selects the on-disk layout: 4 (default, SIMQDB4,
+// checksummed + tombstones), or 3/2/1 for snapshots consumed by older
+// builds (tombstones are dropped -- deleted records reload as alive).
 Status SaveDatabase(const Database& db, const std::string& path,
-                    int format_version = 3);
+                    int format_version = 4);
 
 // Restores a database from a snapshot (any version); indexes are rebuilt
 // via bulk load.

@@ -5,6 +5,7 @@
 
 #include "geom/rect.h"
 #include "util/env.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 
 namespace simq {
@@ -29,7 +30,7 @@ const QuantizedCodes* RelationShard::quantized_codes_if_fresh(
 ShardedRelation::ShardedRelation(int dims,
                                  const RTree::Options& index_options,
                                  const ShardingOptions& options)
-    : options_(options) {
+    : dims_(dims), index_options_(index_options), options_(options) {
   options_.num_shards = std::max(1, options_.num_shards);
   shards_.reserve(static_cast<size_t>(options_.num_shards));
   for (int s = 0; s < options_.num_shards; ++s) {
@@ -43,6 +44,38 @@ uint64_t ShardedRelation::epoch() const {
     sum += shard->epoch_;
   }
   return sum;
+}
+
+uint64_t ShardedRelation::generation() const {
+  uint64_t sum = 0;
+  for (const auto& shard : shards_) {
+    sum += shard->generation_;
+  }
+  return sum;
+}
+
+int64_t ShardedRelation::delta_rows() const {
+  int64_t sum = 0;
+  for (const auto& shard : shards_) {
+    sum += shard->size() - shard->packed_.covered();
+  }
+  return sum;
+}
+
+int64_t ShardedRelation::pending_tombstones() const {
+  int64_t sum = 0;
+  for (const auto& shard : shards_) {
+    sum += shard->pending_tombstones_;
+  }
+  return sum;
+}
+
+int64_t ShardedRelation::delta_pressure() const {
+  int64_t max = 0;
+  for (const auto& shard : shards_) {
+    max = std::max(max, shard->mutations_since_publish_);
+  }
+  return max;
 }
 
 int ShardedRelation::RouteNext() const {
@@ -74,11 +107,34 @@ void ShardedRelation::Append(const SeriesFeatures& features,
   shard_of_.push_back(target);
   local_of_.push_back(shard.size());
   shard.global_ids_.push_back(global);
+  shard.alive_.push_back(1);
+  shard.points_.insert(shard.points_.end(), point.begin(), point.end());
   shard.store_.Append(features, normal_values);
   shard.index_->InsertPoint(point, global);
-  shard.packed_.Invalidate();
-  shard.quantized_.Invalidate();
+  if (!delta_enabled_) {
+    shard.packed_.Invalidate();
+    shard.quantized_.Invalidate();
+  }
+  ++shard.mutations_since_publish_;
   ++shard.epoch_;
+}
+
+bool ShardedRelation::Delete(int64_t g) {
+  RelationShard& shard = *shards_[static_cast<size_t>(shard_of(g))];
+  uint8_t& alive = shard.alive_[static_cast<size_t>(local_of(g))];
+  if (alive == 0) {
+    return false;
+  }
+  alive = 0;
+  ++dead_;
+  ++shard.pending_tombstones_;
+  if (!delta_enabled_) {
+    shard.packed_.Invalidate();
+    shard.quantized_.Invalidate();
+  }
+  ++shard.mutations_since_publish_;
+  ++shard.epoch_;
+  return true;
 }
 
 void ShardedRelation::BulkLoad(int64_t count, const LoadFn& load_row) {
@@ -141,15 +197,90 @@ void ShardedRelation::BulkLoad(int64_t count, const LoadFn& load_row) {
             const RowData row = load_row(g);
             SIMQ_CHECK(row.features != nullptr && row.normal_values != nullptr);
             shard.global_ids_.push_back(g);
+            shard.alive_.push_back(1);
+            shard.points_.insert(shard.points_.end(), row.point.begin(),
+                                 row.point.end());
             shard.store_.Append(*row.features, *row.normal_values);
             entries.emplace_back(Rect::FromPoint(row.point), g);
           }
           shard.index_->BulkLoad(std::move(entries));
+          // A bulk load replaces the shard tree wholesale, so the compiled
+          // artifacts go stale even with the delta layer on; the next
+          // compile covers everything, so no delta pressure accrues.
           shard.packed_.Invalidate();
           shard.quantized_.Invalidate();
+          shard.mutations_since_publish_ = 0;
           ++shard.epoch_;
         }
       });
+}
+
+Status ShardedRelation::BuildRecompaction(
+    int bits, std::vector<RelationShard::Recompaction>* out) const {
+  SIMQ_RETURN_IF_FAILPOINT("recompact.build");
+  out->clear();
+  out->reserve(shards_.size());
+  for (const auto& shard_ptr : shards_) {
+    const RelationShard& shard = *shard_ptr;
+    RelationShard::Recompaction built;
+    built.build_rows = shard.size();
+    built.bits = bits;
+    std::vector<std::pair<Rect, int64_t>> entries;
+    entries.reserve(static_cast<size_t>(built.build_rows));
+    for (int64_t r = 0; r < built.build_rows; ++r) {
+      if (!shard.alive(r)) {
+        continue;
+      }
+      const double* point = shard.points_.data() + r * dims_;
+      entries.emplace_back(
+          Rect::FromPoint(std::vector<double>(point, point + dims_)),
+          shard.global_id(r));
+    }
+    built.shed =
+        built.build_rows - static_cast<int64_t>(entries.size());
+    built.tree = std::make_unique<RTree>(dims_, index_options_);
+    if (!entries.empty()) {
+      built.tree->BulkLoad(std::move(entries));
+    }
+    built.packed = std::make_unique<PackedRTree>(*built.tree);
+    if (bits >= ScalarQuantizer::kMinBits &&
+        bits <= ScalarQuantizer::kMaxBits && built.build_rows > 0) {
+      built.codes = std::make_unique<QuantizedCodes>(shard.store_, bits);
+    }
+    out->push_back(std::move(built));
+  }
+  return Status::Ok();
+}
+
+Status ShardedRelation::PublishRecompaction(
+    std::vector<RelationShard::Recompaction> built) {
+  SIMQ_CHECK_EQ(static_cast<int>(built.size()), num_shards());
+  SIMQ_RETURN_IF_FAILPOINT("recompact.publish.before");
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    RelationShard& shard = *shards_[s];
+    RelationShard::Recompaction& plan = built[s];
+    if (s > 0) {
+      // Between-shard boundary: a crash here leaves some shards on the
+      // new generation and the rest on the old one -- each shard's
+      // artifacts stay self-consistent, so answers are unaffected.
+      SIMQ_RETURN_IF_FAILPOINT("recompact.publish.mid");
+    }
+    // Catch up rows appended since the build (dead or not: the tree keeps
+    // an entry per un-shed row; tombstones filter at read time).
+    for (int64_t r = plan.build_rows; r < shard.size(); ++r) {
+      const double* point = shard.points_.data() + r * dims_;
+      plan.tree->InsertPoint(std::vector<double>(point, point + dims_),
+                             shard.global_id(r));
+    }
+    shard.index_ = std::move(plan.tree);
+    shard.packed_.Install(std::move(plan.packed), plan.build_rows);
+    shard.quantized_.Install(plan.bits, std::move(plan.codes));
+    shard.pending_tombstones_ -= plan.shed;
+    shard.mutations_since_publish_ = shard.size() - plan.build_rows;
+    ++shard.generation_;
+  }
+  SIMQ_RETURN_IF_FAILPOINT("recompact.publish.after");
+  return Status::Ok();
 }
 
 }  // namespace simq

@@ -21,16 +21,32 @@
 ///
 /// Mutations follow the unsharded contract: callers must hold exclusive
 /// access (the query service's writer lock). A mutation bumps only the
-/// epoch of the shard it touched and invalidates only that shard's packed
-/// snapshot -- the other N-1 snapshots stay warm, which is the sharded
-/// engine's main win under mutation churn. The relation epoch reported to
-/// the service layer is the sum of the shard epochs: monotone, and it
-/// changes whenever any shard changes, so result-cache keys and snapshot
+/// epoch of the shard it touched. The relation epoch reported to the
+/// service layer is the sum of the shard epochs: monotone, and it changes
+/// whenever any shard changes, so result-cache keys and snapshot
 /// isolation remain correct (service/query_service.h).
+///
+/// Delta layer (DESIGN.md "Delta layer & MVCC generations"): with the
+/// delta layer enabled (the default), a mutation does NOT invalidate the
+/// shard's compiled artifacts. The packed snapshot and quantized codes
+/// each cover a row prefix [0, covered) frozen at their compile; rows at
+/// or past an artifact's coverage are that artifact's *delta* and the
+/// scatter-gather drivers scan them exactly (the pointer tree and the
+/// columnar store always cover every row, so the delta needs no second
+/// index). Deletes are tombstones in a per-shard aliveness bitmap,
+/// filtered on every read path and shed from the tree at recompaction.
+/// `BuildRecompaction` (under a shared lock: readers keep running, the
+/// store is frozen) compiles a fresh live-only tree + snapshot + codes
+/// per shard; `PublishRecompaction` (under the exclusive lock, brief)
+/// catches up rows appended since the build, swaps the artifacts in, and
+/// bumps the shard *generation* -- a second monotone counter, summed like
+/// the epoch, that counts published snapshot generations.
 ///
 /// Thread-safety: all const accessors are safe under concurrent readers
 /// (the packed snapshot cache takes its own mutex; node-access counters
-/// are relaxed atomics). `Append`/`BulkLoad` require exclusive access.
+/// are relaxed atomics). `Append`/`BulkLoad`/`Delete`/
+/// `PublishRecompaction` require exclusive access; `BuildRecompaction`
+/// requires shared access (no concurrent mutation).
 
 #ifndef SIMQ_CORE_SHARDED_RELATION_H_
 #define SIMQ_CORE_SHARDED_RELATION_H_
@@ -46,6 +62,7 @@
 #include "index/rtree.h"
 #include "ts/feature.h"
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace simq {
 
@@ -75,6 +92,18 @@ class RelationShard {
  public:
   RelationShard(int dims, const RTree::Options& index_options);
 
+  /// One shard's freshly compiled recompaction artifacts, built under a
+  /// shared lock and handed to PublishRecompaction under the exclusive
+  /// lock.
+  struct Recompaction {
+    std::unique_ptr<RTree> tree;            // live rows of [0, build_rows)
+    std::unique_ptr<PackedRTree> packed;    // snapshot of `tree`
+    std::unique_ptr<QuantizedCodes> codes;  // all rows of [0, build_rows)
+    int64_t build_rows = 0;   // shard size frozen at build time
+    int64_t shed = 0;         // dead rows omitted from `tree`
+    int bits = 0;             // code width `codes` was built at
+  };
+
   RelationShard(const RelationShard&) = delete;
   RelationShard& operator=(const RelationShard&) = delete;
 
@@ -82,9 +111,13 @@ class RelationShard {
   const FeatureStore& store() const { return store_; }
   /// The shard's mutable ground-truth index. Entry ids are global.
   const RTree& index() const { return *index_; }
-  /// Packed snapshot of index(); recompiled lazily after a mutation of
-  /// *this shard only*. Safe against concurrent queries.
-  const PackedRTree& packed_index() const { return packed_.Get(*index_); }
+  /// Packed snapshot of index(); recompiled lazily when stale. With the
+  /// delta layer enabled it goes stale only on bulk load -- appends and
+  /// deletes leave it in place and grow its delta instead (see
+  /// packed_covered()). Safe against concurrent queries.
+  const PackedRTree& packed_index() const {
+    return packed_.Get(*index_, size());
+  }
   /// Bit-packed scalar-quantized codes of this shard's spectrum rows at
   /// `bits` bits per dimension (filter/quantized_codes.h): derived data
   /// under the same stale-on-mutation contract as the packed snapshot --
@@ -101,7 +134,7 @@ class RelationShard {
   /// resolution) fall back to the pointer tree / exact scan and count the
   /// degradation instead of aborting.
   const PackedRTree* packed_index_or_null() const {
-    return packed_.TryGet(*index_);
+    return packed_.TryGet(*index_, /*can_fail=*/true, size());
   }
   const QuantizedCodes* quantized_codes_or_null(int bits) const {
     return quantized_.TryGet(store_, bits);
@@ -117,16 +150,40 @@ class RelationShard {
   }
   /// Monotone per-shard mutation counter (see file comment).
   uint64_t epoch() const { return epoch_; }
+  /// Monotone count of published recompaction generations (file comment).
+  uint64_t generation() const { return generation_; }
+
+  /// Tombstone filter: false once local row `local` has been deleted.
+  /// Every read path must drop dead rows; their store/code rows stay in
+  /// place (ids are dense and rows never move) until recompaction sheds
+  /// them from the tree.
+  bool alive(int64_t local) const {
+    return alive_[static_cast<size_t>(local)] != 0;
+  }
+  /// Dead rows still present as entries of the current pointer tree
+  /// (i.e. not yet shed by a recompaction publish).
+  int64_t pending_tombstones() const { return pending_tombstones_; }
+  /// Rows covered by the current packed snapshot; rows at or past this
+  /// are the snapshot's delta (0 when no fresh snapshot exists).
+  int64_t packed_covered() const { return packed_.covered(); }
+  /// Mutations (inserts + deletes) applied since the last recompaction
+  /// publish -- the delta-pressure signal the service thresholds on.
+  int64_t mutations_since_publish() const { return mutations_since_publish_; }
 
  private:
   friend class ShardedRelation;
 
   FeatureStore store_;
   std::vector<int64_t> global_ids_;  // local row -> global record id
+  std::vector<uint8_t> alive_;       // local row -> 0 once deleted
+  std::vector<double> points_;       // local row-major feature points
   std::unique_ptr<RTree> index_;
   PackedSnapshotCache packed_;
   QuantizedCodesCache quantized_;
   uint64_t epoch_ = 0;
+  uint64_t generation_ = 0;
+  int64_t pending_tombstones_ = 0;
+  int64_t mutations_since_publish_ = 0;
 };
 
 class ShardedRelation {
@@ -159,6 +216,30 @@ class ShardedRelation {
   /// Relation epoch: the sum of the shard epochs. Monotone; changes on
   /// every mutation of any shard.
   uint64_t epoch() const;
+  /// Relation generation: the sum of the shard generations. Monotone;
+  /// changes on every recompaction publish of any shard.
+  uint64_t generation() const;
+
+  /// Whether mutations leave compiled artifacts in place (delta layer) or
+  /// invalidate them (legacy rebuild-per-query; the fuzz oracle). Flip
+  /// only under exclusive access.
+  bool delta_enabled() const { return delta_enabled_; }
+  void set_delta_enabled(bool enabled) { delta_enabled_ = enabled; }
+
+  /// Tombstone filter by global id.
+  bool alive(int64_t g) const {
+    return shards_[static_cast<size_t>(shard_of(g))]->alive(local_of(g));
+  }
+  /// Live records across shards.
+  int64_t live_size() const { return size() - dead_; }
+  /// Rows not covered by any shard's packed snapshot (EXPLAIN
+  /// `delta_rows`).
+  int64_t delta_rows() const;
+  /// Dead rows not yet shed from any shard's tree.
+  int64_t pending_tombstones() const;
+  /// Largest per-shard mutations_since_publish -- the recompaction
+  /// trigger signal.
+  int64_t delta_pressure() const;
 
   /// Locator: which shard holds global id `g`, and at which local row.
   int shard_of(int64_t g) const { return shard_of_[static_cast<size_t>(g)]; }
@@ -185,8 +266,10 @@ class ShardedRelation {
 
   /// Routes one new record (global id == size()) to its shard: appends to
   /// the shard store, inserts the feature point into the shard tree under
-  /// the global id, invalidates that shard's snapshot, and bumps that
-  /// shard's epoch. Caller holds exclusive access.
+  /// the global id, and bumps that shard's epoch. With the delta layer
+  /// enabled the shard's compiled artifacts stay valid (the new row is
+  /// their delta); otherwise they are invalidated. Caller holds exclusive
+  /// access.
   void Append(const SeriesFeatures& features,
               const std::vector<double>& normal_values,
               const std::vector<double>& point);
@@ -200,14 +283,41 @@ class ShardedRelation {
   /// Caller holds exclusive access.
   void BulkLoad(int64_t count, const LoadFn& load_row);
 
+  /// Tombstones global id `g` (false when it is already dead): marks the
+  /// row dead, bumps the owning shard's epoch, and -- with the delta
+  /// layer enabled -- leaves every compiled artifact in place (read paths
+  /// filter on alive()). Caller holds exclusive access.
+  bool Delete(int64_t g);
+
+  /// Compiles fresh recompaction artifacts for every shard: a live-only
+  /// STR-built tree, its packed snapshot, and quantized codes at `bits`
+  /// bits per dimension (skipped when `bits` is outside the supported
+  /// widths). Requires shared access -- concurrent readers are fine, the
+  /// store must not grow underneath. Fails only at the "recompact.build"
+  /// failpoint.
+  Status BuildRecompaction(int bits,
+                           std::vector<RelationShard::Recompaction>* out) const;
+
+  /// Publishes `built` artifacts: per shard, inserts rows appended since
+  /// the build into the fresh tree, swaps it in, installs the snapshot
+  /// and codes at their build coverage, bumps the shard generation, and
+  /// resets the delta-pressure counter. Requires exclusive access. The
+  /// "recompact.publish.before" / ".mid" / ".after" failpoints bracket
+  /// the swap (mid fires between shards).
+  Status PublishRecompaction(std::vector<RelationShard::Recompaction> built);
+
  private:
   /// Shard that receives the next incremental append.
   int RouteNext() const;
 
+  int dims_;
+  RTree::Options index_options_;  // for recompaction's fresh trees
   ShardingOptions options_;
   std::vector<std::unique_ptr<RelationShard>> shards_;
   std::vector<int32_t> shard_of_;  // global id -> shard
   std::vector<int64_t> local_of_;  // global id -> local row within shard
+  int64_t dead_ = 0;               // total tombstoned rows
+  bool delta_enabled_ = true;
 };
 
 }  // namespace simq

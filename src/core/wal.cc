@@ -21,6 +21,7 @@ constexpr size_t kWalMagicLength = 8;
 constexpr uint8_t kRecordCreateRelation = 1;
 constexpr uint8_t kRecordInsert = 2;
 constexpr uint8_t kRecordBulkLoad = 3;
+constexpr uint8_t kRecordDelete = 4;
 
 void AppendU8(std::string* out, uint8_t value) {
   out->append(reinterpret_cast<const char*>(&value), sizeof(value));
@@ -107,6 +108,13 @@ Status ApplyFrame(const char* payload, size_t size, Database* db) {
       SIMQ_RETURN_IF_ERROR(reader.Series(&series));
       Result<int64_t> id = db->Insert(relation, series);
       return id.ok() ? Status::Ok() : id.status();
+    }
+    case kRecordDelete: {
+      std::string relation;
+      SIMQ_RETURN_IF_ERROR(reader.String(&relation));
+      uint64_t id = 0;
+      SIMQ_RETURN_IF_ERROR(reader.U64(&id));
+      return db->Delete(relation, static_cast<int64_t>(id));
     }
     case kRecordBulkLoad: {
       std::string relation;
@@ -292,6 +300,14 @@ Status WalWriter::AppendInsert(const std::string& relation,
   AppendU8(&payload, kRecordInsert);
   AppendString(&payload, relation);
   AppendSeries(&payload, series);
+  return AppendFrame(payload);
+}
+
+Status WalWriter::AppendDelete(const std::string& relation, int64_t id) {
+  std::string payload;
+  AppendU8(&payload, kRecordDelete);
+  AppendString(&payload, relation);
+  AppendU64(&payload, static_cast<uint64_t>(id));
   return AppendFrame(payload);
 }
 

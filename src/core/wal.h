@@ -17,6 +17,7 @@
 ///     type 3 bulk-load:       u32 rel_len, bytes rel, u64 count,
 ///                             per series: u32 id_len, bytes id, u64 n,
 ///                             n doubles
+///     type 4 delete:          u32 rel_len, bytes rel, u64 series_id
 ///
 /// Replay rules: frames are applied in order until the first frame whose
 /// framing runs past end-of-file or whose CRC fails -- that is a torn tail
@@ -70,6 +71,7 @@ class WalWriter {
 
   Status AppendCreateRelation(const std::string& name);
   Status AppendInsert(const std::string& relation, const TimeSeries& series);
+  Status AppendDelete(const std::string& relation, int64_t id);
   Status AppendBulkLoad(const std::string& relation,
                         const std::vector<TimeSeries>& series);
 

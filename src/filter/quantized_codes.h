@@ -172,6 +172,25 @@ class QuantizedCodesCache {
     return slot.get();
   }
 
+  /// Installs externally compiled codes at `bits`, dropping every other
+  /// width's entry, and marks the cache fresh. Recompaction publish uses
+  /// this to swap in the new generation's codes; the caller must hold the
+  /// owner's exclusive lock (same requirement as Invalidate), so no
+  /// reader can still be scanning the entries being dropped. Passing null
+  /// leaves the cache empty-but-fresh: the next Get at any width compiles
+  /// from the store as usual.
+  void Install(int bits, std::unique_ptr<QuantizedCodes> codes) {
+    bits = std::clamp(bits, ScalarQuantizer::kMinBits,
+                      ScalarQuantizer::kMaxBits);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::unique_ptr<QuantizedCodes>& slot : codes_) {
+      slot.reset();
+    }
+    codes_[static_cast<size_t>(bits - ScalarQuantizer::kMinBits)] =
+        std::move(codes);
+    stale_ = false;
+  }
+
  private:
   static constexpr size_t kWidths =
       ScalarQuantizer::kMaxBits - ScalarQuantizer::kMinBits + 1;

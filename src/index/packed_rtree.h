@@ -436,9 +436,11 @@ class PackedSnapshotCache {
 
   /// Returns the current snapshot of `tree`, recompiling it first if a
   /// mutation invalidated it (or none was built yet). The reference stays
-  /// valid until the next Get() after an Invalidate().
-  const PackedRTree& Get(const RTree& tree) const {
-    const PackedRTree* snapshot = TryGet(tree, /*can_fail=*/false);
+  /// valid until the next Get() after an Invalidate(). `rows` is the
+  /// owner's row count the compile covers (see covered()); owners that
+  /// never consult covered() (the subsequence index) may omit it.
+  const PackedRTree& Get(const RTree& tree, int64_t rows = -1) const {
+    const PackedRTree* snapshot = TryGet(tree, /*can_fail=*/false, rows);
     SIMQ_CHECK(snapshot != nullptr);
     return *snapshot;
   }
@@ -449,21 +451,47 @@ class PackedSnapshotCache {
   /// caller falls back to the pointer tree. A cached snapshot that is
   /// still fresh is returned without re-evaluating the failpoint -- only
   /// compiles can fail, not reuse.
-  const PackedRTree* TryGet(const RTree& tree, bool can_fail = true) const {
+  const PackedRTree* TryGet(const RTree& tree, bool can_fail = true,
+                            int64_t rows = -1) const {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stale_ || snapshot_ == nullptr) {
       if (can_fail && SIMQ_FAILPOINT_FIRED("packed.compile")) {
         return nullptr;
       }
       snapshot_ = std::make_unique<PackedRTree>(tree);
+      covered_ = rows;
       stale_ = false;
     }
     return snapshot_.get();
   }
 
+  /// Installs an externally compiled snapshot covering the owner's first
+  /// `rows` rows, marking the cache fresh. Recompaction publish uses this
+  /// to swap in the new generation's snapshot; the caller must hold the
+  /// owner's exclusive lock (same requirement as Invalidate), so no
+  /// reader can still be traversing the snapshot being replaced.
+  void Install(std::unique_ptr<PackedRTree> snapshot, int64_t rows) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot_ = std::move(snapshot);
+    covered_ = rows;
+    stale_ = snapshot_ == nullptr;
+  }
+
+  /// Number of owner rows the cached snapshot covers: rows at or past this
+  /// offset are the owner's delta and must be scanned exactly alongside
+  /// the snapshot. 0 when no fresh snapshot exists, or when the last
+  /// compile did not state its row count (then every row is delta --
+  /// callers that compile through TryGet first never observe this for a
+  /// non-empty owner).
+  int64_t covered() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return (stale_ || snapshot_ == nullptr || covered_ < 0) ? 0 : covered_;
+  }
+
  private:
   mutable std::mutex mutex_;
   mutable std::unique_ptr<PackedRTree> snapshot_;
+  mutable int64_t covered_ = 0;
   mutable bool stale_ = true;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <thread>
 #include <utility>
 
 #include "core/parser.h"
@@ -312,6 +313,11 @@ QueryService::QueryService(Database db, ServiceOptions options)
   metrics_.wal_appends = registry_->GetCounter("simq_wal_appends_total");
   metrics_.wal_failures = registry_->GetCounter("simq_wal_failures_total");
   metrics_.checkpoints = registry_->GetCounter("simq_checkpoints_total");
+  metrics_.recompactions = registry_->GetCounter("simq_recompactions_total");
+  metrics_.recompaction_ms =
+      registry_->GetHistogram("simq_recompaction_duration_ms");
+  metrics_.delta_rows = registry_->GetGauge("simq_delta_rows");
+  metrics_.delta_tombstones = registry_->GetGauge("simq_delta_tombstones");
   metrics_.slow_query_lines =
       registry_->GetCounter("simq_slow_query_log_lines_total");
   metrics_.latency = registry_->GetHistogram("simq_query_latency_ms");
@@ -353,7 +359,14 @@ QueryService::QueryService(Database db, ServiceOptions options)
   }
 }
 
-QueryService::~QueryService() = default;
+QueryService::~QueryService() {
+  // Drain background recompactions. A worker's very last touch of this
+  // object is its notify under recompact_mutex_; the wait below only
+  // returns once it can reacquire that mutex, i.e. after the worker has
+  // released it for good, so no detached thread outlives the service.
+  std::unique_lock<std::mutex> lock(recompact_mutex_);
+  recompact_cv_.wait(lock, [this] { return recompactions_inflight_ == 0; });
+}
 
 std::unique_ptr<Session> QueryService::OpenSession() {
   metrics_.sessions_opened->Add();
@@ -444,11 +457,36 @@ Result<int64_t> QueryService::Insert(const std::string& relation,
     }
   }
   if (result.ok()) {
+    RefreshDeltaGauges();
     lock.unlock();
     cache_.InvalidateRelation(relation);
     metrics_.mutations->Add();
+    MaybeScheduleRecompaction(relation);
   }
   return result;
+}
+
+Status QueryService::Delete(const std::string& relation, int64_t id) {
+  // Same discipline as Insert: the tombstone bumps the shard epoch under
+  // the exclusive lock, the WAL append happens under the same lock (log
+  // order == apply order), and the cache entries of the relation are
+  // invalidated before the mutation is acknowledged.
+  std::unique_lock<std::shared_mutex> lock(data_mutex_);
+  Status status = WalGate();
+  if (status.ok()) {
+    status = db_.Delete(relation, id);
+  }
+  if (status.ok() && wal_.is_open()) {
+    status = FinishAppend(wal_.AppendDelete(relation, id));
+  }
+  if (status.ok()) {
+    RefreshDeltaGauges();
+    lock.unlock();
+    cache_.InvalidateRelation(relation);
+    metrics_.mutations->Add();
+    MaybeScheduleRecompaction(relation);
+  }
+  return status;
 }
 
 Status QueryService::BulkLoad(const std::string& relation,
@@ -462,11 +500,85 @@ Status QueryService::BulkLoad(const std::string& relation,
     status = FinishAppend(wal_.AppendBulkLoad(relation, series));
   }
   if (status.ok()) {
+    RefreshDeltaGauges();
     lock.unlock();
     cache_.InvalidateRelation(relation);
     metrics_.mutations->Add();
   }
   return status;
+}
+
+Status QueryService::Recompact(const std::string& relation) {
+  return RunRecompaction(relation);
+}
+
+void QueryService::MaybeScheduleRecompaction(const std::string& relation) {
+  const DeltaOptions& delta = db_.delta_options();
+  if (!delta.enabled || delta.recompact_threshold <= 0) {
+    return;
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(data_mutex_);
+    const Relation* rel = db_.GetRelation(relation);
+    if (rel == nullptr ||
+        rel->sharded().delta_pressure() < delta.recompact_threshold) {
+      return;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(recompact_mutex_);
+    if (!recompacting_.insert(relation).second) {
+      return;  // one in-flight recompaction per relation is enough
+    }
+    ++recompactions_inflight_;
+  }
+  // Detached on purpose: the worker's lifetime is bounded by the
+  // destructor's drain (see ~QueryService), and a dedicated thread keeps
+  // the long build off the query thread pool. A failed run (fault
+  // injection, resource trouble) is dropped here -- the delta layer keeps
+  // answering exactly; the next mutation past the threshold retries.
+  std::thread([this, relation]() {
+    (void)RunRecompaction(relation);
+    std::lock_guard<std::mutex> lock(recompact_mutex_);
+    recompacting_.erase(relation);
+    --recompactions_inflight_;
+    recompact_cv_.notify_all();
+  }).detach();
+}
+
+Status QueryService::RunRecompaction(const std::string& relation) {
+  Stopwatch watch;
+  std::vector<RelationShard::Recompaction> built;
+  {
+    // Build under the shared lock: queries keep running, writers wait.
+    // The shard stores are frozen, so the built artifacts cover exactly
+    // the rows present now; publish catches up any appended later.
+    std::shared_lock<std::shared_mutex> lock(data_mutex_);
+    SIMQ_RETURN_IF_ERROR(db_.BuildRecompaction(relation, &built));
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(data_mutex_);
+    SIMQ_RETURN_IF_ERROR(db_.PublishRecompaction(relation, std::move(built)));
+    RefreshDeltaGauges();
+  }
+  metrics_.recompactions->Add();
+  metrics_.recompaction_ms->Observe(watch.ElapsedMillis());
+  return Status::Ok();
+}
+
+void QueryService::RefreshDeltaGauges() const {
+  int64_t rows = 0;
+  int64_t tombstones = 0;
+  for (const std::string& name : db_.RelationNames()) {
+    const Relation* rel = db_.GetRelation(name);
+    if (rel == nullptr) {
+      continue;
+    }
+    rows += rel->sharded().delta_rows();
+    tombstones += rel->sharded().pending_tombstones();
+  }
+  metrics_.delta_rows->Set(rows);
+  metrics_.delta_tombstones->Set(tombstones);
 }
 
 Status QueryService::Checkpoint() {
@@ -497,6 +609,21 @@ uint64_t QueryService::EpochLocked(const std::string& relation,
     *shards = rel == nullptr ? 0 : rel->sharded().num_shards();
   }
   return rel == nullptr ? 0 : rel->epoch();
+}
+
+uint64_t QueryService::GenerationLocked(const std::string& relation,
+                                        int64_t* delta_rows) const {
+  const Relation* rel = db_.GetRelation(relation);
+  if (rel == nullptr) {
+    if (delta_rows != nullptr) {
+      *delta_rows = 0;
+    }
+    return 0;
+  }
+  if (delta_rows != nullptr) {
+    *delta_rows = rel->sharded().delta_rows();
+  }
+  return rel->sharded().generation();
 }
 
 uint64_t QueryService::RelationEpoch(const std::string& relation) const {
@@ -649,6 +776,8 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
   ServiceResult out;
   bool cache_hit = false;
   uint64_t epoch = 0;
+  uint64_t generation = 0;
+  int64_t delta_rows = 0;
   int shards = 0;
   std::string canonical;
   const int execute_span =
@@ -665,6 +794,7 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
     // acquisition as the data it names.
     std::shared_lock<std::shared_mutex> lock(data_mutex_);
     epoch = EpochLocked(effective->relation, &shards);
+    generation = GenerationLocked(effective->relation, &delta_rows);
     // Cached entries replay their execution's plan metadata (filter,
     // pruning counts), and a query's effective filter configuration is
     // resolved against the engine-wide settings at execution time -- so
@@ -677,8 +807,13 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
         (effective->filter == FilterMode::kDefault &&
          db_.filter_engine() == FilterEngine::kQuantized);
     canonical = CanonicalQueryKey(*effective);
+    // The generation joins the key because cached entries replay their
+    // execution's plan metadata: answers are identical across
+    // generations, but an entry cached before a recompaction would keep
+    // reporting the old generation's delta_rows.
     const std::string key =
-        canonical + "@" + std::to_string(epoch) +
+        canonical + "@" + std::to_string(epoch) + "@g" +
+        std::to_string(generation) +
         (effectively_quantized
              ? "@fq" + std::to_string(db_.filter_options().bits_per_dim)
              : "");
@@ -736,6 +871,8 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
   out.plan.degraded = out.result.stats.degraded;
   out.plan.shards = shards;
   out.plan.relation_epoch = epoch;
+  out.plan.generation = generation;
+  out.plan.delta_rows = delta_rows;
   out.plan.fingerprint = QueryFingerprint(*effective);
   out.plan.per_shard = out.result.stats.shard_stats;
   out.elapsed_ms = watch.ElapsedMillis();
@@ -813,6 +950,15 @@ ServiceStats QueryService::stats() const {
   out.wal_appends = metrics_.wal_appends->Value();
   out.wal_failures = metrics_.wal_failures->Value();
   out.checkpoints = metrics_.checkpoints->Value();
+  out.recompactions = metrics_.recompactions->Value();
+  {
+    // Refresh the delta gauges from the data plane so a stats() or
+    // registry scrape sees current state even between mutations.
+    std::shared_lock<std::shared_mutex> lock(data_mutex_);
+    RefreshDeltaGauges();
+  }
+  out.delta_rows = metrics_.delta_rows->Value();
+  out.delta_tombstones = metrics_.delta_tombstones->Value();
   out.net.connections_accepted = metrics_.net_connections_accepted->Value();
   out.net.connections_active = metrics_.net_connections_active->Value();
   out.net.connections_shed = metrics_.net_connections_shed->Value();

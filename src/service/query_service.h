@@ -123,6 +123,7 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/database.h"
@@ -242,6 +243,14 @@ struct QueryPlan {
   int64_t candidates = 0;
   double pruning_ratio = 0.0;
   uint64_t relation_epoch = 0;
+  /// Artifact generation of the queried relation: bumped by every
+  /// recompaction publish (core/sharded_relation.h), never by mutations.
+  /// Answers are bit-identical across generations; the generation names
+  /// which compiled snapshot served the query.
+  uint64_t generation = 0;
+  /// Rows currently in the relation's delta layer -- appended since its
+  /// packed snapshots were compiled, merged into answers by exact scans.
+  int64_t delta_rows = 0;
   uint64_t fingerprint = 0;  // QueryFingerprint of the executed AST
   /// Per-shard cardinalities (ExecutionStats::ShardStats): estimated
   /// candidates always (EXPLAIN and EXPLAIN ANALYZE render the
@@ -284,6 +293,11 @@ struct ServiceStats {
   int64_t wal_appends = 0;   // mutation frames acknowledged to the log
   int64_t wal_failures = 0;  // appends/syncs that returned an error
   int64_t checkpoints = 0;   // successful Checkpoint() calls
+  /// Delta-layer state and maintenance (all 0 when the delta layer is
+  /// off or nothing has been mutated since the last recompaction).
+  int64_t recompactions = 0;     // successful recompaction publishes
+  int64_t delta_rows = 0;        // rows currently in delta layers
+  int64_t delta_tombstones = 0;  // deletes not yet shed by recompaction
   ResultCache::Stats cache;
   /// Latency percentiles from the simq_query_latency_ms histogram
   /// (milliseconds); 0 when no samples yet.
@@ -407,6 +421,19 @@ class QueryService {
                          const TimeSeries& series);
   Status BulkLoad(const std::string& relation,
                   const std::vector<TimeSeries>& series);
+  /// Deletes one series by id: a tombstone in the data plane (the record
+  /// stays stored and its name stays reserved; core/database.h), logged
+  /// to the WAL like any other mutation. Queries stop returning the
+  /// series immediately; the tombstone is shed by the next recompaction.
+  Status Delete(const std::string& relation, int64_t id);
+
+  /// Synchronously folds `relation`'s delta layer into a fresh artifact
+  /// generation: build under the shared lock (readers keep running),
+  /// publish under the exclusive lock (a brief swap). The service also
+  /// runs this in the background once a relation's delta pressure
+  /// crosses DeltaOptions::recompact_threshold -- at most one in-flight
+  /// recompaction per relation; the destructor waits for them.
+  Status Recompact(const std::string& relation);
 
   /// Ad-hoc execution of a parsed query (sessions call this too). The
   /// ExecOptions overload binds a deadline context onto the query when it
@@ -497,6 +524,19 @@ class QueryService {
   Status FinishAppend(Status append_status);
   /// Relation epoch + shard count; caller holds data_mutex_ (any mode).
   uint64_t EpochLocked(const std::string& relation, int* shards) const;
+  /// Relation generation + current delta rows; caller holds data_mutex_.
+  uint64_t GenerationLocked(const std::string& relation,
+                            int64_t* delta_rows) const;
+  /// Spawns a background recompaction of `relation` when its delta
+  /// pressure has crossed the threshold and none is already in flight.
+  /// Called after mutations, outside the data lock.
+  void MaybeScheduleRecompaction(const std::string& relation);
+  /// Build (shared lock) + publish (exclusive lock) + metrics; the body
+  /// of both Recompact() and the background path.
+  Status RunRecompaction(const std::string& relation);
+  /// Re-derives the delta gauges from the data plane; caller holds
+  /// data_mutex_ (any mode -- the gauges are atomics).
+  void RefreshDeltaGauges() const;
   void OnSessionClosed();
 
   Database db_;
@@ -542,6 +582,10 @@ class QueryService {
     obs::Counter* wal_appends = nullptr;
     obs::Counter* wal_failures = nullptr;
     obs::Counter* checkpoints = nullptr;
+    obs::Counter* recompactions = nullptr;
+    obs::Histogram* recompaction_ms = nullptr;
+    obs::Gauge* delta_rows = nullptr;
+    obs::Gauge* delta_tombstones = nullptr;
     obs::Counter* slow_query_lines = nullptr;
     obs::Histogram* latency = nullptr;
     obs::Counter* net_connections_accepted = nullptr;
@@ -563,6 +607,15 @@ class QueryService {
   Metrics metrics_;
   std::unique_ptr<obs::SlowQueryLog> slow_log_;
   std::atomic<int64_t> trace_tick_{0};  // 1-in-N trace sampler state
+
+  /// Background recompaction bookkeeping: at most one in-flight
+  /// recompaction per relation (recompacting_ holds their names); the
+  /// destructor blocks until recompactions_inflight_ drains to zero so a
+  /// detached worker never outlives the service it points into.
+  std::mutex recompact_mutex_;
+  std::condition_variable recompact_cv_;
+  int recompactions_inflight_ = 0;
+  std::unordered_set<std::string> recompacting_;
 
   mutable std::mutex stats_mutex_;  // guards next_session_id_ only
   int64_t next_session_id_ = 1;

@@ -22,6 +22,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -233,6 +234,239 @@ TEST(CrashRecoveryTest, KillDuringCheckpointSave) {
 // frame bytes on disk must be invisible after replay.
 TEST(CrashRecoveryTest, TornAppendTailIsDiscarded) {
   RunSchedule("torn", "wal.append.torn=after-5");
+}
+
+// ---------------------------------------------------------------------------
+// Delta-layer crash schedules: a script of inserts, deletes, and explicit
+// recompactions, killed at every recompaction boundary (build, and the
+// publish's before / between-shards / after points). Recompaction is a
+// purely in-memory fold -- the WAL already carries every acknowledged
+// insert and delete -- so no matter where the fold dies, recovery must
+// reproduce the acked mutation prefix bit-identically, tombstones
+// included.
+
+enum class DeltaOp { kCreate, kInsert, kDelete, kRecompact };
+struct DeltaStep {
+  DeltaOp op;
+  int arg = 0;  // series index for kInsert, series id for kDelete
+};
+
+// Deterministic script shared by child, oracle, and checks. Two shards in
+// the child make the publish.mid (between-shards) boundary reachable.
+std::vector<DeltaStep> DeltaScript() {
+  return {
+      {DeltaOp::kCreate},     {DeltaOp::kInsert, 0}, {DeltaOp::kInsert, 1},
+      {DeltaOp::kInsert, 2},  {DeltaOp::kInsert, 3}, {DeltaOp::kDelete, 1},
+      {DeltaOp::kRecompact},  {DeltaOp::kInsert, 4}, {DeltaOp::kInsert, 5},
+      {DeltaOp::kDelete, 4},  {DeltaOp::kInsert, 6}, {DeltaOp::kRecompact},
+      {DeltaOp::kInsert, 7},  {DeltaOp::kInsert, 8}, {DeltaOp::kInsert, 9},
+      {DeltaOp::kDelete, 0},  {DeltaOp::kRecompact},
+  };
+}
+
+void RunDeltaChild(const std::string& spec, const std::string& snapshot_path,
+                   const std::string& wal_path, const std::string& ack_path) {
+  if (!spec.empty() &&
+      !Failpoints::Global().ConfigureFromSpec(spec).ok()) {
+    ::_exit(2);
+  }
+  const int ack_fd =
+      ::open(ack_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (ack_fd < 0) {
+    ::_exit(2);
+  }
+
+  // Built by hand rather than via OpenDurableDatabase so the child runs
+  // two shards (the script starts from scratch; the WAL is empty).
+  ShardingOptions sharding;
+  sharding.num_shards = 2;
+  Database base(FeatureConfig(), RTree::Options(), sharding);
+  DeltaOptions delta;
+  delta.recompact_threshold = 0;  // folds happen only where the script says
+  base.set_delta_options(delta);
+  ServiceOptions options;
+  options.snapshot_path = snapshot_path;
+  options.wal_path = wal_path;
+  QueryService service(std::move(base), options);
+
+  const std::vector<TimeSeries> series = ScriptSeries();
+  const char byte = '+';
+  for (const DeltaStep& step : DeltaScript()) {
+    Status applied = Status::Ok();
+    switch (step.op) {
+      case DeltaOp::kCreate:
+        applied = service.CreateRelation("r");
+        break;
+      case DeltaOp::kInsert:
+        applied =
+            service.Insert("r", series[static_cast<size_t>(step.arg)])
+                .status();
+        break;
+      case DeltaOp::kDelete:
+        applied = service.Delete("r", step.arg);
+        break;
+      case DeltaOp::kRecompact:
+        // Not a durable mutation: no ack. A kill: failpoint dies inside;
+        // a non-kill injection surfaces here and stops the script.
+        if (!service.Recompact("r").ok()) {
+          ::_exit(3);
+        }
+        continue;
+    }
+    if (!applied.ok()) {
+      ::_exit(3);
+    }
+    if (::write(ack_fd, &byte, 1) != 1 || ::fdatasync(ack_fd) != 0) {
+      ::_exit(2);
+    }
+  }
+  ::_exit(0);
+}
+
+void RunDeltaSchedule(const std::string& tag, const std::string& spec) {
+  SCOPED_TRACE("delta schedule '" + spec + "'");
+  const std::string snapshot_path = TempPath("dcrash_" + tag + ".simqdb");
+  const std::string wal_path = TempPath("dcrash_" + tag + ".wal");
+  const std::string ack_path = TempPath("dcrash_" + tag + ".ack");
+  std::remove(snapshot_path.c_str());
+  std::remove(wal_path.c_str());
+  std::remove(ack_path.c_str());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    RunDeltaChild(spec, snapshot_path, wal_path, ack_path);  // never returns
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  if (WIFEXITED(wstatus)) {
+    ASSERT_NE(WEXITSTATUS(wstatus), 2) << "child harness failure";
+  } else {
+    ASSERT_TRUE(WIFSIGNALED(wstatus));
+    ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+  }
+
+  const std::vector<DeltaStep> script = DeltaScript();
+  int64_t total_mutations = 0;
+  for (const DeltaStep& step : script) {
+    total_mutations += step.op == DeltaOp::kRecompact ? 0 : 1;
+  }
+  const int64_t acked = FileSize(ack_path);
+  ASSERT_LE(acked, total_mutations);
+
+  Result<Database> recovered =
+      OpenDurableDatabase(FeatureConfig(), snapshot_path, wal_path, nullptr);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  Database& db = recovered.value();
+  const Relation* relation = db.GetRelation("r");
+  if (acked >= 1) {
+    ASSERT_NE(relation, nullptr) << "acknowledged CreateRelation lost";
+  }
+  if (relation == nullptr) {
+    return;  // killed before anything durable: nothing more to check
+  }
+
+  // The recovered state is some mutation prefix of the script: at least
+  // everything acked, at most one unacked trailing mutation (killed
+  // between WAL sync and ack). Find the prefix the recovery equals --
+  // insert count AND per-id liveness (FindByName is NotFound for a
+  // tombstoned row) must both match -- then demand bit-identical answers.
+  const std::vector<TimeSeries> series = ScriptSeries();
+  bool matched = false;
+  for (int64_t prefix = acked;
+       prefix <= std::min(acked + 1, total_mutations) && !matched; ++prefix) {
+    Database oracle;
+    int64_t applied = 0;
+    for (const DeltaStep& step : script) {
+      if (applied == prefix) {
+        break;
+      }
+      switch (step.op) {
+        case DeltaOp::kCreate:
+          ASSERT_TRUE(oracle.CreateRelation("r").ok());
+          break;
+        case DeltaOp::kInsert:
+          ASSERT_TRUE(
+              oracle.Insert("r", series[static_cast<size_t>(step.arg)]).ok());
+          break;
+        case DeltaOp::kDelete:
+          ASSERT_TRUE(oracle.Delete("r", step.arg).ok());
+          break;
+        case DeltaOp::kRecompact:
+          continue;  // not a mutation; the fold never changes answers
+      }
+      ++applied;
+    }
+    const Relation* oracle_rel = oracle.GetRelation("r");
+    if (oracle_rel == nullptr || oracle_rel->size() != relation->size()) {
+      continue;
+    }
+    bool liveness_equal = true;
+    for (int64_t id = 0; id < relation->size(); ++id) {
+      const std::string& name = oracle_rel->record(id).name;
+      if (relation->record(id).name != name ||
+          relation->FindByName(name).ok() !=
+              oracle_rel->FindByName(name).ok()) {
+        liveness_equal = false;
+        break;
+      }
+    }
+    if (!liveness_equal) {
+      continue;
+    }
+    matched = true;
+    for (const char* text :
+         {"RANGE r WITHIN 3.5 OF #s2", "NEAREST 4 r TO #s2",
+          "PAIRS r WITHIN 2.0"}) {
+      if (relation->size() <= 2 || !relation->FindByName("s2").ok()) {
+        break;  // killed before the anchor existed
+      }
+      const Result<QueryResult> a = db.ExecuteText(text);
+      const Result<QueryResult> b = oracle.ExecuteText(text);
+      ASSERT_TRUE(a.ok() && b.ok()) << text;
+      ASSERT_EQ(a.value().matches.size(), b.value().matches.size()) << text;
+      for (size_t i = 0; i < a.value().matches.size(); ++i) {
+        EXPECT_EQ(a.value().matches[i].id, b.value().matches[i].id) << text;
+        EXPECT_EQ(a.value().matches[i].distance,
+                  b.value().matches[i].distance)
+            << text;
+      }
+      ASSERT_EQ(a.value().pairs.size(), b.value().pairs.size()) << text;
+      for (size_t i = 0; i < a.value().pairs.size(); ++i) {
+        EXPECT_EQ(a.value().pairs[i].first, b.value().pairs[i].first);
+        EXPECT_EQ(a.value().pairs[i].second, b.value().pairs[i].second);
+        EXPECT_EQ(a.value().pairs[i].distance, b.value().pairs[i].distance);
+      }
+    }
+  }
+  EXPECT_TRUE(matched)
+      << "recovered state matches no acked-bounded prefix of the script";
+}
+
+TEST(CrashRecoveryTest, DeltaScriptCompletesWithoutFaults) {
+  RunDeltaSchedule("clean", "");
+}
+
+TEST(CrashRecoveryTest, KillDuringRecompactionBuild) {
+  // Two shards -> two build hits per fold; kill at the first and the
+  // second fold's builds.
+  RunDeltaSchedule("rb_first", "recompact.build=kill:always");
+  RunDeltaSchedule("rb_second", "recompact.build=kill:after-2");
+}
+
+TEST(CrashRecoveryTest, KillAtRecompactionPublishBoundaries) {
+  RunDeltaSchedule("rp_before", "recompact.publish.before=kill:always");
+  RunDeltaSchedule("rp_mid", "recompact.publish.mid=kill:always");
+  RunDeltaSchedule("rp_after", "recompact.publish.after=kill:always");
+  // Later folds: the same boundaries after earlier folds succeeded.
+  RunDeltaSchedule("rp_mid_late", "recompact.publish.mid=kill:after-1");
+  RunDeltaSchedule("rp_after_late", "recompact.publish.after=kill:after-2");
+}
+
+// Non-kill injection at the build: the child stops at the injected error;
+// everything acked before it must still recover bit-identically.
+TEST(CrashRecoveryTest, InjectedRecompactionBuildFailureStopsCleanly) {
+  RunDeltaSchedule("rb_inject", "recompact.build=after-3");
 }
 
 }  // namespace

@@ -103,13 +103,13 @@ std::string ReadAllBytes(const std::string& path) {
                      std::istreambuf_iterator<char>());
 }
 
-TEST(PersistenceTest, DefaultFormatIsV3WithPreservedIds) {
+TEST(PersistenceTest, DefaultFormatIsV4WithPreservedIds) {
   Database db;
   ASSERT_TRUE(db.CreateRelation("r").ok());
   ASSERT_TRUE(db.BulkLoad("r", workload::RandomWalkSeries(25, 32, 11)).ok());
-  const std::string path = TempPath("v3.simqdb");
+  const std::string path = TempPath("v4_default.simqdb");
   ASSERT_TRUE(SaveDatabase(db, path).ok());
-  EXPECT_EQ(ReadAllBytes(path).substr(0, 8), "SIMQDB3\n");
+  EXPECT_EQ(ReadAllBytes(path).substr(0, 8), "SIMQDB4\n");
 
   Result<Database> loaded = LoadDatabase(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
@@ -157,9 +157,45 @@ TEST(PersistenceTest, VersionRoundTrip) {
   EXPECT_EQ(MatchIds(a.value()), MatchIds(b.value()));
 }
 
+TEST(PersistenceTest, TombstonesRoundTripInV4) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("r").ok());
+  ASSERT_TRUE(db.BulkLoad("r", workload::RandomWalkSeries(20, 32, 13)).ok());
+  ASSERT_TRUE(db.Delete("r", 3).ok());
+  ASSERT_TRUE(db.Delete("r", 17).ok());
+
+  const std::string path = TempPath("v4_tombstones.simqdb");
+  ASSERT_TRUE(SaveDatabase(db, path).ok());
+  Result<Database> loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Deleted series stay deleted across the round trip: answers are
+  // bit-identical to the pre-save database and never contain them.
+  const char* text = "RANGE r WITHIN 100.0 OF #walk0";
+  const Result<QueryResult> before = db.ExecuteText(text);
+  const Result<QueryResult> after = loaded.value().ExecuteText(text);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_EQ(MatchIds(before.value()), MatchIds(after.value()));
+  EXPECT_EQ(MatchIds(after.value()).count(3), 0u);
+  EXPECT_EQ(MatchIds(after.value()).count(17), 0u);
+  // Their names stay reserved after the round trip, exactly as live.
+  EXPECT_EQ(loaded.value().Delete("r", 3).code(), StatusCode::kNotFound);
+
+  // A v3 save drops tombstones by design: the deleted records reload
+  // alive (documented legacy-format behavior).
+  const std::string v3_path = TempPath("v3_tombstones.simqdb");
+  ASSERT_TRUE(SaveDatabase(db, v3_path, /*format_version=*/3).ok());
+  Result<Database> legacy = LoadDatabase(v3_path);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  const Result<QueryResult> revived = legacy.value().ExecuteText(text);
+  ASSERT_TRUE(revived.ok());
+  EXPECT_EQ(revived.value().matches.size(),
+            before.value().matches.size() + 2);
+}
+
 TEST(PersistenceTest, RejectsUnsupportedSaveVersion) {
   Database db;
-  EXPECT_EQ(SaveDatabase(db, TempPath("v4.simqdb"), 4).code(),
+  EXPECT_EQ(SaveDatabase(db, TempPath("v5.simqdb"), 5).code(),
             StatusCode::kInvalidArgument);
 }
 

@@ -229,7 +229,14 @@ TEST(ServiceLifecycleTest, CompileFailureSurfacesAsDegradedPlan) {
   // would report the cached degraded plan instead of a fresh healthy run.
   ServiceOptions cache_off;
   cache_off.enable_result_cache = false;
-  QueryService service(MakeDatabase(60, 32), cache_off);
+  Database db = MakeDatabase(60, 32);
+  // With the delta layer on, inserts no longer invalidate the packed
+  // snapshot, so the armed failpoint would never be reached; run this
+  // test in legacy invalidate-on-mutation mode.
+  DeltaOptions legacy;
+  legacy.enabled = false;
+  db.set_delta_options(legacy);
+  QueryService service(std::move(db), cache_off);
   Failpoints::Global().Reset();
   const std::string text = "RANGE r WITHIN 2.0 OF #walk3";
   const Result<ServiceResult> clean = service.ExecuteText(text);

@@ -83,6 +83,51 @@ TEST_F(WalTest, AppendReplayRoundTrip) {
   }
 }
 
+TEST_F(WalTest, DeleteFramesReplayAsTombstones) {
+  const std::string path = TempPath("deletes.wal");
+  std::remove(path.c_str());
+  const std::vector<TimeSeries> series = workload::RandomWalkSeries(6, 24, 7);
+  {
+    Result<WalWriter> writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    WalWriter wal = std::move(writer).value();
+    ASSERT_TRUE(wal.AppendCreateRelation("r").ok());
+    ASSERT_TRUE(wal.AppendBulkLoad("r", series).ok());
+    ASSERT_TRUE(wal.AppendDelete("r", 2).ok());
+    ASSERT_TRUE(wal.AppendDelete("r", 5).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+
+  Database replayed;
+  WalReplayStats stats;
+  ASSERT_TRUE(ReplayWal(path, &replayed, &stats).ok());
+  EXPECT_EQ(stats.frames_applied, 4u);
+
+  Database direct;
+  ASSERT_TRUE(direct.CreateRelation("r").ok());
+  ASSERT_TRUE(direct.BulkLoad("r", series).ok());
+  ASSERT_TRUE(direct.Delete("r", 2).ok());
+  ASSERT_TRUE(direct.Delete("r", 5).ok());
+
+  const char* text = "RANGE r WITHIN 100.0 OF #walk0";
+  const Result<QueryResult> a = replayed.ExecuteText(text);
+  const Result<QueryResult> b = direct.ExecuteText(text);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().matches.size(), b.value().matches.size());
+  for (size_t i = 0; i < a.value().matches.size(); ++i) {
+    EXPECT_EQ(a.value().matches[i].id, b.value().matches[i].id);
+    EXPECT_NE(a.value().matches[i].id, 2);
+    EXPECT_NE(a.value().matches[i].id, 5);
+  }
+  // Deleting an already-deleted id fails to apply -- and a WAL carrying
+  // such a frame is corrupt (log does not match its snapshot).
+  Database again;
+  ASSERT_TRUE(again.CreateRelation("r").ok());
+  ASSERT_TRUE(again.BulkLoad("r", series).ok());
+  ASSERT_TRUE(again.Delete("r", 2).ok());
+  EXPECT_EQ(again.Delete("r", 2).code(), StatusCode::kNotFound);
+}
+
 TEST_F(WalTest, TornTailIsTruncatedAndReplayContinuesAfterIt) {
   const std::string path = TempPath("torn.wal");
   std::remove(path.c_str());

@@ -42,6 +42,7 @@ REQUIRED_COUNTERS = [
     "simq_wal_appends_total",
     "simq_wal_failures_total",
     "simq_checkpoints_total",
+    "simq_recompactions_total",
     "simq_slow_query_log_lines_total",
     "simq_net_connections_accepted_total",
     "simq_net_connections_shed_total",
@@ -59,8 +60,13 @@ REQUIRED_GAUGES = [
     "simq_cache_invalidated_entries",
     "simq_cache_evictions",
     "simq_cache_bytes",
+    "simq_delta_rows",
+    "simq_delta_tombstones",
 ]
-REQUIRED_HISTOGRAMS = ["simq_query_latency_ms"]
+REQUIRED_HISTOGRAMS = [
+    "simq_query_latency_ms",
+    "simq_recompaction_duration_ms",
+]
 
 SAMPLE_RE = re.compile(
     r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})?\s+(\S+)$")
