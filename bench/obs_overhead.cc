@@ -10,16 +10,21 @@
 //                  NEAREST 10 VIA SCAN MODE FILTERED
 //
 // Modes per workload:
-//   baseline   Query::exec == nullptr -- no context, every trace branch
-//              short-circuits on the null pointer
-//   off        an ExecutionContext is attached but carries no trace: the
-//              dormant-instrumentation path every production query pays
-//   sampled    1 in 64 executions carries a Trace
-//   always     every execution carries a Trace
+//   baseline    Query::exec == nullptr -- no context, every trace branch
+//               short-circuits on the null pointer
+//   off         an ExecutionContext is attached but carries no trace: the
+//               dormant-instrumentation path every production query pays
+//   accounting  a QueryAccounting is attached and the pool CPU sink +
+//               calling-thread CLOCK_THREAD_CPUTIME_ID delta are metered,
+//               exactly what enable_resource_accounting pays per query
+//   sampled     1 in 64 executions carries a Trace
+//   always      every execution carries a Trace
 //
 // Self-checks (reported in BENCH_obs.json and grepped by CI):
 //   * overhead_off_pct (baseline vs off) stays under 2% on both
 //     workloads -- the tracing-off budget. "gate_failed": true fails CI.
+//   * overhead_accounting_pct (baseline vs accounting) stays under 2% --
+//     the resource-accounting budget, gated the same way.
 //   * traced and untraced answer sets are bit-identical ("mismatch").
 // The sampled/always overheads and the metrics scrape latency (median
 // HTTP GET against obs::MetricsHttpExporter) are recorded, not gated.
@@ -46,8 +51,10 @@
 #include "core/transformation.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/resource_usage.h"
 #include "obs/trace.h"
 #include "service/query_service.h"
+#include "util/thread_pool.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/stopwatch.h"
@@ -57,12 +64,14 @@
 namespace simq {
 namespace {
 
-enum class Mode { kBaseline, kOff, kSampled, kAlways };
+enum class Mode { kBaseline, kOff, kAccounting, kSampled, kAlways };
+constexpr int kModeCount = 5;
 
 const char* ModeName(Mode mode) {
   switch (mode) {
     case Mode::kBaseline: return "baseline";
     case Mode::kOff: return "off";
+    case Mode::kAccounting: return "accounting";
     case Mode::kSampled: return "sampled";
     case Mode::kAlways: return "always";
   }
@@ -71,8 +80,9 @@ const char* ModeName(Mode mode) {
 
 struct WorkloadReport {
   std::string name;
-  double qps[4] = {0.0, 0.0, 0.0, 0.0};  // indexed by Mode
+  double qps[kModeCount] = {};  // indexed by Mode
   double overhead_off_pct = 0.0;
+  double overhead_accounting_pct = 0.0;
   double overhead_sampled_pct = 0.0;
   double overhead_always_pct = 0.0;
 };
@@ -106,18 +116,42 @@ double TimeOne(Database* db, const Query& query, Mode mode,
                const std::shared_ptr<const ExecutionContext>& ctx,
                int64_t* tick) {
   Query bound = query;  // cheap: shares the compiled rule chain
+  std::shared_ptr<obs::QueryAccounting> accounting;
   if (mode != Mode::kBaseline) {
     bound.exec = ctx;
     const bool traced =
         mode == Mode::kAlways ||
         (mode == Mode::kSampled && ((*tick)++ % 64) == 0);
     ctx->set_trace(traced ? std::make_shared<obs::Trace>() : nullptr);
+    if (mode == Mode::kAccounting) {
+      accounting = std::make_shared<obs::QueryAccounting>();
+      ctx->set_accounting(accounting);
+    }
   }
   Stopwatch watch;
-  const Result<QueryResult> result = db->Execute(bound);
+  // Accounting mode pays exactly what the service pays per metered query:
+  // the pool workers' CPU sink plus the calling thread's own delta.
+  const Result<QueryResult> result = [&] {
+    if (accounting == nullptr) {
+      return db->Execute(bound);
+    }
+    ThreadPool::ScopedCpuAccounting meter(&accounting->cpu_ns,
+                                          &accounting->pool_tasks);
+    const int64_t cpu_begin = ThreadPool::ThreadCpuNs();
+    Result<QueryResult> r = db->Execute(bound);
+    accounting->cpu_ns.fetch_add(ThreadPool::ThreadCpuNs() - cpu_begin,
+                                 std::memory_order_relaxed);
+    return r;
+  }();
   const double elapsed = watch.ElapsedMillis();
   SIMQ_CHECK(result.ok()) << result.status().ToString();
-  if (mode != Mode::kBaseline) ctx->set_trace(nullptr);
+  if (mode != Mode::kBaseline) {
+    ctx->set_trace(nullptr);
+    if (accounting != nullptr) {
+      SIMQ_CHECK(accounting->cpu_ns.load() > 0) << "accounting metered no CPU";
+      ctx->set_accounting(nullptr);
+    }
+  }
   return elapsed;
 }
 
@@ -151,23 +185,23 @@ WorkloadReport MeasureWorkload(const std::string& name, Database* db,
   // Medians per probe, summed across probes, yield each mode's cost; this
   // is what survives a noisy shared machine where round-level A/B
   // interleaving does not.
-  const Mode kModes[] = {Mode::kBaseline, Mode::kOff, Mode::kSampled,
-                         Mode::kAlways};
+  const Mode kModes[] = {Mode::kBaseline, Mode::kOff, Mode::kAccounting,
+                         Mode::kSampled, Mode::kAlways};
   int64_t tick = 0;
-  std::vector<std::vector<double>> samples[4];
+  std::vector<std::vector<double>> samples[kModeCount];
   for (auto& per_mode : samples) {
     per_mode.assign(queries.size(), {});
   }
   for (int round = 0; round < rounds; ++round) {
     for (size_t i = 0; i < queries.size(); ++i) {
-      for (int slot = 0; slot < 4; ++slot) {
-        const Mode mode = kModes[(slot + round) % 4];
+      for (int slot = 0; slot < kModeCount; ++slot) {
+        const Mode mode = kModes[(slot + round) % kModeCount];
         samples[static_cast<int>(mode)][i].push_back(
             TimeOne(db, queries[i], mode, ctx, &tick));
       }
     }
   }
-  double total_ms[4] = {0.0, 0.0, 0.0, 0.0};
+  double total_ms[kModeCount] = {};
   for (const Mode mode : kModes) {
     const int m = static_cast<int>(mode);
     for (size_t i = 0; i < queries.size(); ++i) {
@@ -176,12 +210,15 @@ WorkloadReport MeasureWorkload(const std::string& name, Database* db,
     report.qps[m] =
         1000.0 * static_cast<double>(queries.size()) / total_ms[m];
   }
+  const double base = total_ms[static_cast<int>(Mode::kBaseline)];
   report.overhead_off_pct =
-      100.0 * (total_ms[1] - total_ms[0]) / total_ms[0];
+      100.0 * (total_ms[static_cast<int>(Mode::kOff)] - base) / base;
+  report.overhead_accounting_pct =
+      100.0 * (total_ms[static_cast<int>(Mode::kAccounting)] - base) / base;
   report.overhead_sampled_pct =
-      100.0 * (total_ms[2] - total_ms[0]) / total_ms[0];
+      100.0 * (total_ms[static_cast<int>(Mode::kSampled)] - base) / base;
   report.overhead_always_pct =
-      100.0 * (total_ms[3] - total_ms[0]) / total_ms[0];
+      100.0 * (total_ms[static_cast<int>(Mode::kAlways)] - base) / base;
   return report;
 }
 
@@ -226,8 +263,9 @@ bool MeasureScrape(int requests, double* p50_ms, double* p95_ms) {
   for (int i = 0; i < 50; ++i) {
     SIMQ_CHECK(service.ExecuteText("NEAREST 3 r TO #walk1").ok());
   }
-  obs::MetricsHttpExporter exporter(service.metrics_registry(),
-                                    [&service] { (void)service.stats(); });
+  obs::MetricsHttpExporter exporter(
+      service.metrics_registry(),
+      [&service] { service.RefreshScrapeGauges(); });
   if (!exporter.Start(0)) return false;
   std::vector<double> latencies;
   latencies.reserve(static_cast<size_t>(requests));
@@ -247,9 +285,11 @@ bool MeasureScrape(int requests, double* p50_ms, double* p95_ms) {
 
 void Run(int rounds, const std::string& out_path) {
   bench::PrintHeader(
-      "OBS: observability overhead (tracing off / sampled / always)",
-      "claims: dormant instrumentation costs <2% on the Table-1 range and "
-      "filtered-kNN hot paths; traced answers are bit-identical");
+      "OBS: observability overhead (tracing off / accounting / sampled / "
+      "always)",
+      "claims: dormant instrumentation and resource accounting each cost "
+      "<2% on the Table-1 range and filtered-kNN hot paths; traced answers "
+      "are bit-identical");
 
   std::vector<WorkloadReport> reports;
 
@@ -300,21 +340,26 @@ void Run(int rounds, const std::string& out_path) {
       MeasureScrape(kScrapeRequests, &scrape_p50, &scrape_p95);
   SIMQ_CHECK(scrape_ok) << "metrics scrape failed";
 
-  TablePrinter table({"workload", "baseline_qps", "off_qps", "sampled_qps",
-                      "always_qps", "off_%", "always_%"});
+  TablePrinter table({"workload", "baseline_qps", "off_qps", "acct_qps",
+                      "sampled_qps", "always_qps", "off_%", "acct_%",
+                      "always_%"});
   bool gate_failed = false;
   for (const WorkloadReport& report : reports) {
-    table.AddRow({report.name, TablePrinter::FormatDouble(report.qps[0], 0),
-                  TablePrinter::FormatDouble(report.qps[1], 0),
-                  TablePrinter::FormatDouble(report.qps[2], 0),
-                  TablePrinter::FormatDouble(report.qps[3], 0),
-                  TablePrinter::FormatDouble(report.overhead_off_pct, 2),
-                  TablePrinter::FormatDouble(report.overhead_always_pct, 2)});
+    table.AddRow(
+        {report.name, TablePrinter::FormatDouble(report.qps[0], 0),
+         TablePrinter::FormatDouble(report.qps[1], 0),
+         TablePrinter::FormatDouble(report.qps[2], 0),
+         TablePrinter::FormatDouble(report.qps[3], 0),
+         TablePrinter::FormatDouble(report.qps[4], 0),
+         TablePrinter::FormatDouble(report.overhead_off_pct, 2),
+         TablePrinter::FormatDouble(report.overhead_accounting_pct, 2),
+         TablePrinter::FormatDouble(report.overhead_always_pct, 2)});
     if (report.overhead_off_pct >= 2.0) gate_failed = true;
+    if (report.overhead_accounting_pct >= 2.0) gate_failed = true;
   }
   table.Print();
   std::printf("\nscrape: p50=%.3f ms p95=%.3f ms (%d requests)   "
-              "tracing-off gate %s\n",
+              "tracing-off + accounting gates %s\n",
               scrape_p50, scrape_p95, kScrapeRequests,
               gate_failed ? "FAILED (>= 2%)" : "ok (< 2%)");
 
@@ -331,11 +376,13 @@ void Run(int rounds, const std::string& out_path) {
     std::fprintf(
         out,
         "    {\"name\": \"%s\", \"qps_baseline\": %.1f, \"qps_off\": %.1f, "
-        "\"qps_sampled\": %.1f, \"qps_always\": %.1f, "
-        "\"overhead_off_pct\": %.3f, \"overhead_sampled_pct\": %.3f, "
+        "\"qps_accounting\": %.1f, \"qps_sampled\": %.1f, "
+        "\"qps_always\": %.1f, \"overhead_off_pct\": %.3f, "
+        "\"overhead_accounting_pct\": %.3f, \"overhead_sampled_pct\": %.3f, "
         "\"overhead_always_pct\": %.3f}%s\n",
-        r.name.c_str(), r.qps[0], r.qps[1], r.qps[2], r.qps[3],
-        r.overhead_off_pct, r.overhead_sampled_pct, r.overhead_always_pct,
+        r.name.c_str(), r.qps[0], r.qps[1], r.qps[2], r.qps[3], r.qps[4],
+        r.overhead_off_pct, r.overhead_accounting_pct,
+        r.overhead_sampled_pct, r.overhead_always_pct,
         i + 1 < reports.size() ? "," : "");
   }
   std::fprintf(out,

@@ -10,13 +10,23 @@
 //               [--wal-dir DIR] [--deadline-ms D] [--admission-timeout-ms A]
 //               [--metrics-port N] [--slow-query-log PATH]
 //               [--slow-query-threshold-ms T] [--trace-sample-every N]
+//               [--watchdog-stall-ms W] [--flight-dump PATH]
 //
 // With --port 0 (the default) the kernel picks a free port; the server
 // prints the choice on a "listening on port N" line, which scripts parse.
 // --metrics-port starts the Prometheus-style scrape endpoint
 // (obs/http_exporter.h) and prints "metrics on port N" the same way
-// (tools/check_metrics.py parses it); --slow-query-log appends one JSON
-// line per traced query past the threshold (obs/slow_query_log.h).
+// (tools/check_metrics.py parses it), also serving /statements (the
+// statements table as JSON) and /flightrecorder (the flight recorder as
+// JSONL); --slow-query-log appends one JSON line per traced query past
+// the threshold (obs/slow_query_log.h).
+//
+// The process flight recorder is always on: SIGUSR1 dumps it to the
+// crash-dump path and continues, and any fatal signal / std::terminate
+// dumps it before dying. --flight-dump sets that path explicitly; with
+// --wal-dir it defaults to <wal-dir>/simq.flight.jsonl.
+// --watchdog-stall-ms W arms the stall watchdog: if queries are pending
+// but none completes for W ms, the recorder is dumped automatically.
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,7 +36,9 @@
 #include "core/sharded_relation.h"
 #include "core/wal.h"
 #include "net/server.h"
+#include "obs/flight_recorder.h"
 #include "obs/http_exporter.h"
+#include "obs/statements.h"
 #include "service/query_service.h"
 #include "workload/generators.h"
 
@@ -45,6 +57,8 @@ int Main(int argc, char** argv) {
   std::string slow_query_log;
   double slow_query_threshold_ms = 100.0;
   int trace_sample_every = 0;
+  double watchdog_stall_ms = 0.0;  // 0 = watchdog off
+  std::string flight_dump;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -76,13 +90,18 @@ int Main(int argc, char** argv) {
       slow_query_threshold_ms = std::atof(next("--slow-query-threshold-ms"));
     } else if (arg == "--trace-sample-every") {
       trace_sample_every = std::atoi(next("--trace-sample-every"));
+    } else if (arg == "--watchdog-stall-ms") {
+      watchdog_stall_ms = std::atof(next("--watchdog-stall-ms"));
+    } else if (arg == "--flight-dump") {
+      flight_dump = next("--flight-dump");
     } else {
       std::fprintf(stderr,
                    "usage: simq_server [--port N] [--relation NAME] "
                    "[--gen COUNT LENGTH] [--wal-dir DIR] [--deadline-ms D] "
                    "[--admission-timeout-ms A] [--metrics-port N] "
                    "[--slow-query-log PATH] [--slow-query-threshold-ms T] "
-                   "[--trace-sample-every N]\n");
+                   "[--trace-sample-every N] [--watchdog-stall-ms W] "
+                   "[--flight-dump PATH]\n");
       return 2;
     }
   }
@@ -91,6 +110,7 @@ int Main(int argc, char** argv) {
   service_options.default_deadline_ms = deadline_ms;
   service_options.admission_timeout_ms = admission_timeout_ms;
   service_options.trace_sample_every = trace_sample_every;
+  service_options.watchdog_stall_after_ms = watchdog_stall_ms;
   if (!slow_query_log.empty()) {
     service_options.slow_query_log_path = slow_query_log;
     service_options.slow_query_threshold_ms = slow_query_threshold_ms;
@@ -121,6 +141,19 @@ int Main(int argc, char** argv) {
     }
   }
   QueryService service(std::move(db), service_options);
+
+  // Black box: the process recorder dumps on SIGUSR1, on any fatal
+  // signal, and when the stall watchdog trips. The dump lands next to
+  // the WAL unless --flight-dump says otherwise.
+  obs::FlightRecorder& flight = obs::FlightRecorder::Global();
+  if (flight_dump.empty() && !wal_dir.empty()) {
+    flight_dump = wal_dir + "/simq.flight.jsonl";
+  }
+  if (!flight_dump.empty()) {
+    flight.SetCrashDumpPath(flight_dump);
+    std::printf("flight-recorder dump path: %s\n", flight_dump.c_str());
+  }
+  obs::FlightRecorder::InstallCrashHandlers(&flight);
 
   if (service.RelationEpoch(relation) == 0 &&
       service.database_unlocked().GetRelation(relation) == nullptr) {
@@ -153,10 +186,34 @@ int Main(int argc, char** argv) {
   }
   server.EnableSignalShutdown();
 
-  // Prometheus-style scrape endpoint; the refresh hook is stats(), which
-  // mirrors the cache counters into registry gauges before each render.
-  obs::MetricsHttpExporter exporter(service.metrics_registry(),
-                                    [&service] { (void)service.stats(); });
+  // Prometheus-style scrape endpoint; RefreshScrapeGauges before each
+  // render so every scrape -- not only stats() calls -- sees current
+  // delta, cache, and statements gauges.
+  obs::MetricsHttpExporter exporter(
+      service.metrics_registry(),
+      [&service] { service.RefreshScrapeGauges(); });
+  exporter.AddHandler("/statements", [&service] {
+    obs::MetricsHttpExporter::Response response;
+    response.content_type = "application/json";
+    response.body =
+        obs::RenderStatementsJson(service.statements()->Top(0));
+    return response;
+  });
+  exporter.AddHandler("/flightrecorder", [&service] {
+    obs::MetricsHttpExporter::Response response;
+    response.content_type = "application/x-ndjson";
+    response.body = service.flight_recorder()->DumpJsonl();
+    return response;
+  });
+  exporter.SetHealthCheck([&service](std::string* detail) {
+    const ServiceStats probe = service.stats();
+    if (probe.wal_failures > 0) {
+      *detail = "degraded: " + std::to_string(probe.wal_failures) +
+                " wal append failures";
+      return false;
+    }
+    return true;
+  });
   if (metrics_port >= 0) {
     if (!exporter.Start(static_cast<uint16_t>(metrics_port))) {
       std::fprintf(stderr, "metrics endpoint failed to bind port %d\n",

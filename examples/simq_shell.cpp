@@ -24,7 +24,10 @@
 
 #include "core/persistence.h"
 #include "core/sharded_relation.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/resource_usage.h"
+#include "obs/statements.h"
 #include "obs/trace.h"
 #include "service/query_service.h"
 #include "workload/generators.h"
@@ -49,6 +52,12 @@ void PrintHelp() {
       " latency percentiles\n"
       "  .metrics                                 metric registry in"
       " Prometheus text format\n"
+      "  .top [n]                                 statements table, top n"
+      " by total time (0=all)\n"
+      "  .usage                                   this session's cumulative"
+      " resource usage\n"
+      "  .flight                                  dump the flight recorder"
+      " as JSONL\n"
       "  .trace on|off|N                          trace every query /"
       " none / 1-in-N\n"
       "  .filter on|off [bits]                    quantized filter engine"
@@ -283,6 +292,12 @@ class Shell {
       PrintStats(service_->stats());
     } else if (head == ".metrics") {
       CmdMetrics();
+    } else if (head == ".top") {
+      CmdTop(in);
+    } else if (head == ".usage") {
+      CmdUsage();
+    } else if (head == ".flight") {
+      CmdFlight();
     } else if (head == ".trace") {
       CmdTrace(in);
     } else if (head == ".filter") {
@@ -358,11 +373,61 @@ class Shell {
   }
 
   // Full registry scrape, in the same text exposition the HTTP endpoint
-  // serves. stats() first: it refreshes the mirrored cache gauges.
+  // serves; RefreshScrapeGauges first so the mirrored delta/cache/
+  // statements gauges reflect this scrape's moment.
   void CmdMetrics() {
-    (void)service_->stats();
+    service_->RefreshScrapeGauges();
     std::fputs(service_->metrics_registry()->RenderPrometheusText().c_str(),
                stdout);
+  }
+
+  // `.top [n]`: the statements table (pg_stat_statements-style), top n
+  // rows by total time (default 10, 0 = all). The same Top() snapshot
+  // backs the kStatements wire frame and the HTTP /statements endpoint.
+  void CmdTop(std::istringstream& in) {
+    int n = 10;
+    std::string arg;
+    if (in >> arg && (!ParseIntArg(arg, &n) || n < 0)) {
+      std::printf("usage: .top [n]  (0 shows all)\n");
+      return;
+    }
+    const std::vector<obs::StatementStats> rows =
+        service_->statements()->Top(static_cast<size_t>(n));
+    if (rows.empty()) {
+      std::printf("no statements recorded yet\n");
+      return;
+    }
+    std::printf("  %-16s %6s %4s %5s %10s %8s %8s %9s  %s\n", "fingerprint",
+                "calls", "fail", "hits", "total_ms", "mean_ms", "p95_ms",
+                "cpu_ms", "text");
+    for (const obs::StatementStats& row : rows) {
+      const double mean_ms =
+          row.calls > 0 ? row.total_ms / static_cast<double>(row.calls) : 0.0;
+      const double p95_ms =
+          row.latency.count > 0 ? row.latency.Percentile(95.0) : 0.0;
+      const int64_t failures =
+          row.errors + row.timeouts + row.cancellations + row.sheds;
+      std::printf(
+          "  %016llx %6lld %4lld %5lld %10.3f %8.3f %8.3f %9.3f  %s\n",
+          static_cast<unsigned long long>(row.fingerprint),
+          static_cast<long long>(row.calls),
+          static_cast<long long>(failures),
+          static_cast<long long>(row.cache_hits), row.total_ms, mean_ms,
+          p95_ms, static_cast<double>(row.total.cpu_ns) / 1e6,
+          row.text.c_str());
+    }
+  }
+
+  // `.usage`: this session's cumulative ResourceUsage roll-up.
+  void CmdUsage() {
+    const obs::ResourceUsage usage = session_->cumulative_usage();
+    std::printf("{%s}\n", obs::FormatResourceUsageJson(usage).c_str());
+  }
+
+  // `.flight`: the flight recorder's current contents as JSONL -- the
+  // same bytes HTTP /flightrecorder serves and the crash path writes.
+  void CmdFlight() {
+    std::fputs(service_->flight_recorder()->DumpJsonl().c_str(), stdout);
   }
 
   // `.trace on` traces every subsequent query, `.trace N` one in N,

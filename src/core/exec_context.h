@@ -32,6 +32,7 @@ namespace simq {
 
 namespace obs {
 class Trace;
+struct QueryAccounting;
 }  // namespace obs
 
 class ExecutionContext {
@@ -75,6 +76,16 @@ class ExecutionContext {
   obs::Trace* trace() const { return trace_.get(); }
   std::shared_ptr<obs::Trace> shared_trace() const { return trace_; }
 
+  // Attaches / reads the per-query resource-accounting cells
+  // (obs/resource_usage.h). Same single-writer discipline and const
+  // rationale as the trace: the service attaches before the engine runs
+  // and detaches after; the cells themselves are atomics, written by
+  // pool workers through the thread pool's CPU sink.
+  void set_accounting(std::shared_ptr<obs::QueryAccounting> acct) const {
+    accounting_ = std::move(acct);
+  }
+  obs::QueryAccounting* accounting() const { return accounting_.get(); }
+
   // The poll: OK while the query may continue, kCancelled / kTimeout once
   // it must stop. Cancellation wins over timeout when both apply.
   Status Check() const {
@@ -96,6 +107,7 @@ class ExecutionContext {
   std::atomic<int64_t> deadline_ns_{kNoDeadline};
   std::atomic<bool> cancelled_{false};
   mutable std::shared_ptr<obs::Trace> trace_;
+  mutable std::shared_ptr<obs::QueryAccounting> accounting_;
 };
 
 // Polls an optional context: a null pointer never stops execution.

@@ -276,6 +276,21 @@ Result<std::vector<WireMetric>> NetClient::Metrics() {
   return metrics;
 }
 
+Result<std::vector<WireStatementRow>> NetClient::Statements(
+    uint32_t top_n) {
+  StatementsRequest request;
+  request.top_n = top_n;
+  std::vector<uint8_t> body;
+  const Status called = Call(Opcode::kStatements,
+                             EncodeStatementsRequest(request),
+                             Opcode::kStatementsAck, &body);
+  if (!called.ok()) return called;
+  std::vector<WireStatementRow> rows;
+  const Status decoded = DecodeStatements(body.data(), body.size(), &rows);
+  if (!decoded.ok()) return decoded;
+  return rows;
+}
+
 Status NetClient::Cancel() {
   std::vector<uint8_t> body;
   return Call(Opcode::kCancel, {}, Opcode::kCancelAck, &body);

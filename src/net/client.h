@@ -89,6 +89,10 @@ class NetClient {
   /// value) samples; histograms arrive as derived _count/_sum_ms/_p50/
   /// _p95/_p99 gauges.
   Result<std::vector<WireMetric>> Metrics();
+  /// Statements-table snapshot (kStatements): the top `top_n` rows by
+  /// total_ms (0 = all), aggregates bit-identical to the shell's `.top`
+  /// and the HTTP /statements endpoint.
+  Result<std::vector<WireStatementRow>> Statements(uint32_t top_n = 0);
   Status Cancel();
   Status CloseCursor(uint64_t cursor_id);
   /// Sends GOODBYE and waits for the server's goodbye (or clean EOF).

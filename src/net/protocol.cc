@@ -55,6 +55,7 @@ bool IsClientOpcode(uint8_t opcode) {
     case Opcode::kCancel:
     case Opcode::kStats:
     case Opcode::kMetrics:
+    case Opcode::kStatements:
     case Opcode::kCloseCursor:
     case Opcode::kGoodbye:
       return true;
@@ -448,6 +449,104 @@ Status DecodeMetrics(const uint8_t* payload, size_t size,
     out->push_back(std::move(metric));
   }
   return FinishDecode(r, "METRICS_ACK");
+}
+
+namespace {
+
+void WriteUsage(WireWriter* w, const obs::ResourceUsage& usage) {
+  w->I64(usage.rows_scanned);
+  w->I64(usage.candidates);
+  w->I64(usage.exact_checks);
+  w->I64(usage.delta_rows_merged);
+  w->I64(usage.result_bytes);
+  w->I64(usage.cpu_ns);
+  w->I64(usage.pool_tasks);
+  w->I64(usage.peak_parallelism);
+}
+
+void ReadUsage(WireReader* r, obs::ResourceUsage* usage) {
+  usage->rows_scanned = r->I64();
+  usage->candidates = r->I64();
+  usage->exact_checks = r->I64();
+  usage->delta_rows_merged = r->I64();
+  usage->result_bytes = r->I64();
+  usage->cpu_ns = r->I64();
+  usage->pool_tasks = r->I64();
+  usage->peak_parallelism = r->I64();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeStatementsRequest(
+    const StatementsRequest& request) {
+  WireWriter w;
+  w.U32(request.top_n);
+  return w.Take();
+}
+
+Status DecodeStatementsRequest(const uint8_t* payload, size_t size,
+                               StatementsRequest* out) {
+  WireReader r(payload, size);
+  out->top_n = r.U32();
+  return FinishDecode(r, "STATEMENTS");
+}
+
+std::vector<uint8_t> EncodeStatements(
+    const std::vector<WireStatementRow>& rows) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(rows.size()));
+  for (const WireStatementRow& row : rows) {
+    w.U64(row.fingerprint);
+    w.String(row.text);
+    w.U64(row.calls);
+    w.U64(row.errors);
+    w.U64(row.timeouts);
+    w.U64(row.cancellations);
+    w.U64(row.sheds);
+    w.U64(row.cache_hits);
+    w.F64(row.total_ms);
+    w.F64(row.max_ms);
+    w.F64(row.p50_ms);
+    w.F64(row.p95_ms);
+    w.F64(row.p99_ms);
+    WriteUsage(&w, row.total);
+    WriteUsage(&w, row.max);
+  }
+  return w.Take();
+}
+
+Status DecodeStatements(const uint8_t* payload, size_t size,
+                        std::vector<WireStatementRow>* out) {
+  WireReader r(payload, size);
+  const uint32_t count = r.U32();
+  // Cheapest possible row is 228 bytes (empty text): fingerprint + length
+  // prefix + 6 counters + 5 doubles + two 8-field usage blocks. Reject
+  // counts the payload cannot possibly hold before reserving for them.
+  if (!r.ok() || static_cast<uint64_t>(count) * 228 > r.remaining()) {
+    return Malformed("STATEMENTS_ACK");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireStatementRow row;
+    row.fingerprint = r.U64();
+    row.text = r.String();
+    row.calls = r.U64();
+    row.errors = r.U64();
+    row.timeouts = r.U64();
+    row.cancellations = r.U64();
+    row.sheds = r.U64();
+    row.cache_hits = r.U64();
+    row.total_ms = r.F64();
+    row.max_ms = r.F64();
+    row.p50_ms = r.F64();
+    row.p95_ms = r.F64();
+    row.p99_ms = r.F64();
+    ReadUsage(&r, &row.total);
+    ReadUsage(&r, &row.max);
+    out->push_back(std::move(row));
+  }
+  return FinishDecode(r, "STATEMENTS_ACK");
 }
 
 Status StatusFromWire(const ErrorInfo& error) {

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "core/query.h"
+#include "obs/resource_usage.h"
 #include "util/status.h"
 
 namespace simq {
@@ -77,6 +78,8 @@ enum class Opcode : uint8_t {
   kError = 15,        // server->client: typed Status for a request
   kMetrics = 16,      // client->server: full metric registry snapshot
   kMetricsAck = 17,   // server->client
+  kStatements = 18,   // client->server: statements-table snapshot
+  kStatementsAck = 19,  // server->client
 };
 
 /// True for opcodes a client may legally send.
@@ -217,6 +220,35 @@ struct WireMetric {
   double value = 0.0;
 };
 
+/// kStatements request: how many rows the client wants (0 = all).
+struct StatementsRequest {
+  uint32_t top_n = 0;
+};
+
+/// One statements-table row in a kStatementsAck payload. Rows arrive in
+/// exactly StatementsTable::Top's order (total_ms descending; ties by
+/// calls, then fingerprint). The latency percentiles ride pre-derived so
+/// every surface -- shell, wire, HTTP JSON -- reports identical doubles,
+/// and the two ResourceUsage blocks are the table's exact summed /
+/// maximum integers (docs/PROTOCOL.md "STATEMENTS").
+struct WireStatementRow {
+  uint64_t fingerprint = 0;
+  std::string text;  // canonical text sample, <= kStatementTextCap
+  uint64_t calls = 0;
+  uint64_t errors = 0;
+  uint64_t timeouts = 0;
+  uint64_t cancellations = 0;
+  uint64_t sheds = 0;
+  uint64_t cache_hits = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  obs::ResourceUsage total;
+  obs::ResourceUsage max;
+};
+
 std::vector<uint8_t> EncodeHello(const HelloRequest& hello);
 Status DecodeHello(const uint8_t* payload, size_t size, HelloRequest* out);
 
@@ -254,6 +286,16 @@ Status DecodeStats(const uint8_t* payload, size_t size, WireStats* out);
 std::vector<uint8_t> EncodeMetrics(const std::vector<WireMetric>& metrics);
 Status DecodeMetrics(const uint8_t* payload, size_t size,
                      std::vector<WireMetric>* out);
+
+std::vector<uint8_t> EncodeStatementsRequest(
+    const StatementsRequest& request);
+Status DecodeStatementsRequest(const uint8_t* payload, size_t size,
+                               StatementsRequest* out);
+
+std::vector<uint8_t> EncodeStatements(
+    const std::vector<WireStatementRow>& rows);
+Status DecodeStatements(const uint8_t* payload, size_t size,
+                        std::vector<WireStatementRow>* out);
 
 /// Reconstructs a typed Status from a wire error frame ("[net] " is
 /// prefixed so a caller can tell a server-reported error from a local

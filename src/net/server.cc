@@ -562,6 +562,16 @@ void NetServer::HandleFrame(Conn* conn, const FrameHeader& header,
     case Opcode::kMetrics:
       HandleMetrics(conn, rid);
       return;
+    case Opcode::kStatements: {
+      StatementsRequest req;
+      const Status s = DecodeStatementsRequest(payload, size, &req);
+      if (!s.ok()) {
+        SendError(conn, rid, s);
+        return;
+      }
+      HandleStatements(conn, rid, req);
+      return;
+    }
     case Opcode::kCloseCursor: {
       CloseCursorRequest req;
       const Status s = DecodeCloseCursor(payload, size, &req);
@@ -873,9 +883,9 @@ void NetServer::HandleStats(Conn* conn, uint32_t request_id) {
 }
 
 void NetServer::HandleMetrics(Conn* conn, uint32_t request_id) {
-  // stats() first: it refreshes the registry's mirrored cache gauges, so
-  // the frame reflects the same moment a kStats probe would.
-  (void)service_->stats();
+  // Refresh first so the mirrored delta/cache/statements gauges reflect
+  // this scrape's moment, whether or not anything called stats() before.
+  service_->RefreshScrapeGauges();
   const std::vector<obs::MetricSample> snapshot =
       service_->metrics_registry()->Snapshot();
   std::vector<WireMetric> wire;
@@ -905,6 +915,37 @@ void NetServer::HandleMetrics(Conn* conn, uint32_t request_id) {
     wire.push_back(std::move(m));
   }
   SendFrame(conn, Opcode::kMetricsAck, request_id, EncodeMetrics(wire));
+}
+
+void NetServer::HandleStatements(Conn* conn, uint32_t request_id,
+                                 const StatementsRequest& req) {
+  const std::vector<obs::StatementStats> rows =
+      service_->statements()->Top(req.top_n);
+  std::vector<WireStatementRow> wire;
+  wire.reserve(rows.size());
+  for (const obs::StatementStats& row : rows) {
+    WireStatementRow w;
+    w.fingerprint = row.fingerprint;
+    w.text = row.text;
+    w.calls = static_cast<uint64_t>(row.calls);
+    w.errors = static_cast<uint64_t>(row.errors);
+    w.timeouts = static_cast<uint64_t>(row.timeouts);
+    w.cancellations = static_cast<uint64_t>(row.cancellations);
+    w.sheds = static_cast<uint64_t>(row.sheds);
+    w.cache_hits = static_cast<uint64_t>(row.cache_hits);
+    w.total_ms = row.total_ms;
+    w.max_ms = row.max_ms;
+    if (row.latency.count > 0) {
+      w.p50_ms = row.latency.Percentile(50.0);
+      w.p95_ms = row.latency.Percentile(95.0);
+      w.p99_ms = row.latency.Percentile(99.0);
+    }
+    w.total = row.total;
+    w.max = row.max;
+    wire.push_back(std::move(w));
+  }
+  SendFrame(conn, Opcode::kStatementsAck, request_id,
+            EncodeStatements(wire));
 }
 
 void NetServer::SendFrame(Conn* conn, Opcode opcode, uint32_t request_id,

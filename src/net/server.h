@@ -187,6 +187,8 @@ class NetServer {
   void HandleCancel(Conn* conn, uint32_t request_id);
   void HandleStats(Conn* conn, uint32_t request_id);
   void HandleMetrics(Conn* conn, uint32_t request_id);
+  void HandleStatements(Conn* conn, uint32_t request_id,
+                        const StatementsRequest& req);
   void DrainCompletions();
   void FinishExec(Conn* conn, Completion& completion);
   void TryDispatch(Conn* conn);

@@ -36,6 +36,39 @@ bool WriteAll(int fd, const char* data, size_t size) {
   return true;
 }
 
+const char* Reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+/// Parses "METHOD SP TARGET SP HTTP/x.y" out of `line` (no CR/LF).
+/// Returns false when the line is not that shape.
+bool ParseRequestLine(const std::string& line, std::string* method,
+                      std::string* target) {
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || sp1 == 0) {
+    return false;
+  }
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) {
+    return false;
+  }
+  const std::string version = line.substr(sp2 + 1);
+  if (version.compare(0, 5, "HTTP/") != 0) {
+    return false;
+  }
+  *method = line.substr(0, sp1);
+  *target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  return !target->empty() && (*target)[0] == '/';
+}
+
 }  // namespace
 
 MetricsHttpExporter::MetricsHttpExporter(const MetricRegistry* registry,
@@ -43,6 +76,15 @@ MetricsHttpExporter::MetricsHttpExporter(const MetricRegistry* registry,
     : registry_(registry), refresh_(std::move(refresh)) {}
 
 MetricsHttpExporter::~MetricsHttpExporter() { Stop(); }
+
+void MetricsHttpExporter::AddHandler(const std::string& path,
+                                     HandlerFn handler) {
+  handlers_[path] = std::move(handler);
+}
+
+void MetricsHttpExporter::SetHealthCheck(HealthFn health) {
+  health_ = std::move(health);
+}
 
 bool MetricsHttpExporter::Start(uint16_t port) {
   if (running_.load(std::memory_order_acquire) || registry_ == nullptr) {
@@ -123,11 +165,45 @@ void MetricsHttpExporter::Serve() {
   }
 }
 
+MetricsHttpExporter::Response MetricsHttpExporter::Dispatch(
+    const std::string& path) {
+  const auto it = handlers_.find(path);
+  if (it != handlers_.end()) {
+    return it->second();
+  }
+  if (path == "/metrics") {
+    if (refresh_) {
+      refresh_();
+    }
+    Response response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = registry_->RenderPrometheusText();
+    return response;
+  }
+  if (path == "/healthz") {
+    Response response;
+    std::string detail;
+    if (health_ && !health_(&detail)) {
+      response.status = 503;
+      response.body = detail.empty() ? "unavailable\n" : detail + "\n";
+    } else {
+      response.body = "ok\n";
+    }
+    return response;
+  }
+  Response response;
+  response.status = 404;
+  response.body = "unknown path\n";
+  return response;
+}
+
 void MetricsHttpExporter::HandleConnection(int fd) {
-  // Read until the header terminator or a small cap; the request line is
-  // all we need and we answer every path identically.
-  char buf[2048];
+  // Read until the header terminator. The cap bounds a hostile peer: a
+  // request whose headers do not fit is rejected with 431, never
+  // buffered further.
+  char buf[4096];
   size_t got = 0;
+  bool complete = false;
   while (got < sizeof(buf) - 1) {
     pollfd pfd;
     pfd.fd = fd;
@@ -144,25 +220,55 @@ void MetricsHttpExporter::HandleConnection(int fd) {
     buf[got] = '\0';
     if (std::strstr(buf, "\r\n\r\n") != nullptr ||
         std::strstr(buf, "\n\n") != nullptr) {
+      complete = true;
       break;
     }
   }
-  if (refresh_) {
-    refresh_();
+
+  Response response;
+  if (!complete) {
+    response.status = 431;
+    response.body = "headers too large\n";
+  } else {
+    // Isolate the request line.
+    const char* eol = std::strpbrk(buf, "\r\n");
+    const std::string line(buf, eol != nullptr
+                                    ? static_cast<size_t>(eol - buf)
+                                    : got);
+    std::string method;
+    std::string target;
+    if (!ParseRequestLine(line, &method, &target)) {
+      response.status = 400;
+      response.body = "malformed request line\n";
+    } else if (method != "GET") {
+      response.status = 405;
+      response.body = "only GET is served\n";
+    } else {
+      const size_t query = target.find('?');
+      response = Dispatch(query == std::string::npos
+                              ? target
+                              : target.substr(0, query));
+    }
   }
-  const std::string body = registry_->RenderPrometheusText();
-  char header[160];
+
+  char header[224];
   const int header_len = std::snprintf(
       header, sizeof(header),
-      "HTTP/1.1 200 OK\r\n"
-      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "HTTP/1.1 %d %s\r\n"
+      "Content-Type: %s\r\n"
       "Content-Length: %zu\r\n"
+      "%s"
       "Connection: close\r\n\r\n",
-      body.size());
+      response.status, Reason(response.status),
+      response.content_type.c_str(), response.body.size(),
+      response.status == 405 ? "Allow: GET\r\n" : "");
   if (header_len > 0 &&
       WriteAll(fd, header, static_cast<size_t>(header_len))) {
-    WriteAll(fd, body.data(), body.size());
+    WriteAll(fd, response.body.data(), response.body.size());
     requests_.fetch_add(1, std::memory_order_relaxed);
+    if (response.status != 200) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 

@@ -1,17 +1,20 @@
-/// Minimal Prometheus-style scrape endpoint: a background thread that
-/// answers every HTTP GET on its port with the owning registry's text
-/// exposition (metrics.h RenderPrometheusText).
+/// Minimal observability HTTP endpoint: a background thread serving the
+/// registry's Prometheus text exposition on /metrics, a readiness probe
+/// on /healthz, and any caller-registered paths (the server wires
+/// /statements and /flightrecorder here).
 ///
 /// Scope is deliberately small -- this is a scrape surface, not a web
 /// server: one thread, blocking accept via poll (so Stop() can interrupt
-/// it through a self-pipe), one request served per connection, request
-/// path ignored. A scrape happens every few seconds at most; per-request
-/// latency is measured by bench/obs_overhead.cc, not optimized.
+/// it through a self-pipe), one request served per connection. It is
+/// hardened the way an exposed port must be, not feature-rich: the
+/// request line is parsed and validated (405 for non-GET, 400 for a
+/// malformed line, 431 for headers that exceed the read cap, 404 for an
+/// unknown path), never trusted.
 ///
-/// The optional refresh callback runs before each render so callers can
-/// sync derived gauges first (QueryService::stats() mirrors cache and
-/// degradation counters into the registry on read; simq_server passes
-/// exactly that).
+/// The optional refresh callback runs before rendering /metrics so
+/// callers can sync derived gauges first (simq_server passes
+/// QueryService::RefreshScrapeGauges, so every scrape -- not only
+/// stats() calls -- sees current delta and cache state).
 
 #ifndef SIMQ_OBS_HTTP_EXPORTER_H_
 #define SIMQ_OBS_HTTP_EXPORTER_H_
@@ -19,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <thread>
 
@@ -31,12 +35,35 @@ class MetricsHttpExporter {
  public:
   using RefreshFn = std::function<void()>;
 
+  /// A registered endpoint's reply. `status` must be a code Reason()
+  /// knows (200, 400, 404, 405, 431, 503); body is sent verbatim.
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  using HandlerFn = std::function<Response()>;
+
+  /// Readiness probe: return true when the service can take traffic;
+  /// on false, fill `detail` with why (degraded/overloaded state) --
+  /// /healthz answers 503 with it.
+  using HealthFn = std::function<bool(std::string* detail)>;
+
   /// `registry` must outlive the exporter. `refresh` may be null.
   MetricsHttpExporter(const MetricRegistry* registry, RefreshFn refresh);
   ~MetricsHttpExporter();
 
   MetricsHttpExporter(const MetricsHttpExporter&) = delete;
   MetricsHttpExporter& operator=(const MetricsHttpExporter&) = delete;
+
+  /// Registers `handler` for GET `path` (exact match after stripping any
+  /// query string). Call before Start; /metrics and /healthz are built
+  /// in, and registering them replaces the built-in behavior.
+  void AddHandler(const std::string& path, HandlerFn handler);
+
+  /// Installs the /healthz readiness callback; without one, /healthz
+  /// answers 200 "ok" whenever the thread serves at all.
+  void SetHealthCheck(HealthFn health);
 
   /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
   /// serving thread. Returns false if the socket could not be set up.
@@ -51,18 +78,27 @@ class MetricsHttpExporter {
   int64_t requests_served() const {
     return requests_.load(std::memory_order_relaxed);
   }
+  /// Requests answered with a non-200 status (hardening rejections and
+  /// unknown paths).
+  int64_t requests_rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
 
  private:
   void Serve();
   void HandleConnection(int fd);
+  Response Dispatch(const std::string& path);
 
   const MetricRegistry* registry_;
   RefreshFn refresh_;
+  HealthFn health_;
+  std::map<std::string, HandlerFn> handlers_;  // frozen once Start runs
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  // self-pipe: Stop() interrupts poll()
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> rejected_{0};
   std::thread thread_;
 };
 

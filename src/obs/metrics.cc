@@ -91,6 +91,22 @@ Histogram::Snapshot Histogram::snapshot() const {
   return out;
 }
 
+void Histogram::Snapshot::Observe(double value_ms) {
+  counts[BucketIndex(value_ms)] += 1;
+  count += 1;
+  if (std::isfinite(value_ms) && value_ms > 0.0) {
+    sum_ms += value_ms;
+  }
+}
+
+void Histogram::Snapshot::Merge(const Snapshot& other) {
+  for (int i = 0; i <= kBuckets; ++i) {
+    counts[i] += other.counts[i];
+  }
+  count += other.count;
+  sum_ms += other.sum_ms;
+}
+
 double Histogram::Snapshot::Percentile(double p) const {
   if (count <= 0) {
     return 0.0;

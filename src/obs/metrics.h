@@ -121,6 +121,17 @@ class Histogram {
     double sum_ms = 0.0;
 
     double Percentile(double p) const;
+
+    /// Adds one observation directly into the snapshot. For
+    /// single-writer accumulators that live under their own lock (the
+    /// statements table's per-statement latency distribution); the live
+    /// Histogram stays the concurrent surface.
+    void Observe(double value_ms);
+
+    /// Adds `other` bucket-for-bucket. Always valid: every histogram in
+    /// the process shares the same fixed exponential bounds, which is
+    /// precisely why the bounds are compile-time constants.
+    void Merge(const Snapshot& other);
   };
   Snapshot snapshot() const;
 

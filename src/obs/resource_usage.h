@@ -1,0 +1,116 @@
+/// Per-query resource accounting: what one execution actually cost, in
+/// engine units rather than wall-clock alone.
+///
+/// A ResourceUsage is assembled by the query service when an execution
+/// finishes -- the engine-effort fields come from ExecutionStats and the
+/// QueryPlan (rows scanned, candidates, exact checks, delta rows merged),
+/// the memory field from the result-cache byte approximation, and the CPU
+/// fields from the live QueryAccounting cells below, which the thread
+/// pool's per-task CLOCK_THREAD_CPUTIME_ID metering feeds while the query
+/// runs. The finished struct is plain data: it rides on ServiceResult,
+/// rolls up per session and per connection, and aggregates (sum + max)
+/// into the statements table (obs/statements.h).
+///
+/// These are exactly the per-fingerprint selectivity measurements the
+/// ROADMAP's cost-based `VIA AUTO` planner will consume -- keep the fields
+/// integral and additive so aggregation stays exact.
+
+#ifndef SIMQ_OBS_RESOURCE_USAGE_H_
+#define SIMQ_OBS_RESOURCE_USAGE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace simq {
+namespace obs {
+
+/// Cost of one finished execution. All fields are additive except
+/// peak_parallelism, which aggregates by max.
+struct ResourceUsage {
+  /// Rows whose stored data the execution touched: the quantized filter's
+  /// bound-scan count when that path ran, otherwise the rows the exact
+  /// scan or index walk evaluated.
+  int64_t rows_scanned = 0;
+  /// Entries surviving the index / code filter into refinement.
+  int64_t candidates = 0;
+  /// Full-distance computations performed.
+  int64_t exact_checks = 0;
+  /// Delta-layer rows merged into the answer by exact side scans.
+  int64_t delta_rows_merged = 0;
+  /// Approximate bytes of the answer set (ResultCache::ApproxResultBytes).
+  int64_t result_bytes = 0;
+  /// Thread CPU consumed, summed over every pool task plus the calling
+  /// thread (CLOCK_THREAD_CPUTIME_ID deltas; 0 when accounting is off).
+  int64_t cpu_ns = 0;
+  /// Parallel-for blocks executed on behalf of this query.
+  int64_t pool_tasks = 0;
+  /// The admission scheduler's parallelism budget for this execution --
+  /// the widest the query was allowed to fan out.
+  int64_t peak_parallelism = 0;
+
+  /// Aggregation used by the statements table and the session roll-up:
+  /// component-wise sum, except peak_parallelism which takes the max.
+  void Add(const ResourceUsage& other) {
+    rows_scanned += other.rows_scanned;
+    candidates += other.candidates;
+    exact_checks += other.exact_checks;
+    delta_rows_merged += other.delta_rows_merged;
+    result_bytes += other.result_bytes;
+    cpu_ns += other.cpu_ns;
+    pool_tasks += other.pool_tasks;
+    peak_parallelism = std::max(peak_parallelism, other.peak_parallelism);
+  }
+
+  /// Component-wise max (the statements table's per-statement maxima).
+  void MaxWith(const ResourceUsage& other) {
+    rows_scanned = std::max(rows_scanned, other.rows_scanned);
+    candidates = std::max(candidates, other.candidates);
+    exact_checks = std::max(exact_checks, other.exact_checks);
+    delta_rows_merged = std::max(delta_rows_merged, other.delta_rows_merged);
+    result_bytes = std::max(result_bytes, other.result_bytes);
+    cpu_ns = std::max(cpu_ns, other.cpu_ns);
+    pool_tasks = std::max(pool_tasks, other.pool_tasks);
+    peak_parallelism = std::max(peak_parallelism, other.peak_parallelism);
+  }
+};
+
+/// Live accounting cells one execution writes while it runs. The service
+/// attaches a QueryAccounting to the ExecutionContext and installs its
+/// cells as the thread pool's CPU sink (util/thread_pool.h,
+/// ThreadPool::ScopedCpuAccounting); pool workers add their per-block CPU
+/// deltas here from any thread, hence the atomics. Folded into the final
+/// ResourceUsage when the execution finishes.
+struct QueryAccounting {
+  std::atomic<int64_t> cpu_ns{0};
+  std::atomic<int64_t> pool_tasks{0};
+};
+
+/// Renders `usage` as a flat JSON object fragment (no surrounding braces),
+/// e.g. `"rows_scanned":12,"candidates":3,...` -- shared by the
+/// /statements endpoint and the flight recorder so every surface spells
+/// the schema identically (docs/OBSERVABILITY.md "Resource usage").
+inline std::string FormatResourceUsageJson(const ResourceUsage& usage) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"rows_scanned\":%lld,\"candidates\":%lld,\"exact_checks\":%lld,"
+      "\"delta_rows_merged\":%lld,\"result_bytes\":%lld,\"cpu_ns\":%lld,"
+      "\"pool_tasks\":%lld,\"peak_parallelism\":%lld",
+      static_cast<long long>(usage.rows_scanned),
+      static_cast<long long>(usage.candidates),
+      static_cast<long long>(usage.exact_checks),
+      static_cast<long long>(usage.delta_rows_merged),
+      static_cast<long long>(usage.result_bytes),
+      static_cast<long long>(usage.cpu_ns),
+      static_cast<long long>(usage.pool_tasks),
+      static_cast<long long>(usage.peak_parallelism));
+  return buf;
+}
+
+}  // namespace obs
+}  // namespace simq
+
+#endif  // SIMQ_OBS_RESOURCE_USAGE_H_

@@ -1,0 +1,105 @@
+/// pg_stat_statements for similarity queries: a bounded LRU table keyed
+/// by AST fingerprint (service/fingerprint.h) aggregating, per statement
+/// shape, call counts, failure counts by kind, a full latency
+/// distribution, and summed + maximum ResourceUsage.
+///
+/// The service records one row update per finished execution -- success,
+/// cache hit, timeout, cancellation, shed, or error alike -- under the
+/// table's own mutex (one short critical section per query; the map
+/// lookup is the cost). Capacity-bounded: when a new fingerprint would
+/// exceed the capacity, the least-recently-updated statement is evicted,
+/// so one-off ad-hoc shapes cannot grow the table without bound while
+/// the shapes that carry the traffic stay hot.
+///
+/// Read surfaces -- the shell's `.top`, the kStatements wire frame, and
+/// the HTTP /statements JSON endpoint -- all render from the same
+/// Top() snapshot, which is how the aggregates stay bit-identical across
+/// them (the acceptance test in tests/statements_test.cc pins this).
+
+#ifndef SIMQ_OBS_STATEMENTS_H_
+#define SIMQ_OBS_STATEMENTS_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/resource_usage.h"
+#include "util/status.h"
+
+namespace simq {
+namespace obs {
+
+/// Aggregated statistics for one statement shape. `mean` usage is not
+/// stored -- it is `total` divided by `calls`, derived at render time so
+/// every surface computes it from the same exact integers.
+struct StatementStats {
+  uint64_t fingerprint = 0;
+  /// Canonical text sample (first execution's canonical key, truncated
+  /// to kStatementTextCap); identifies the shape for humans.
+  std::string text;
+  int64_t calls = 0;          // every recorded execution, any outcome
+  int64_t errors = 0;         // failures other than the three below
+  int64_t timeouts = 0;       // kTimeout
+  int64_t cancellations = 0;  // kCancelled
+  int64_t sheds = 0;          // kOverloaded (admission refused)
+  int64_t cache_hits = 0;     // served from the result cache
+  double total_ms = 0.0;      // summed wall-clock
+  double max_ms = 0.0;        // slowest single call
+  /// Full latency distribution (fixed exponential buckets; merge-safe).
+  Histogram::Snapshot latency;
+  ResourceUsage total;  // summed ResourceUsage over all calls
+  ResourceUsage max;    // component-wise maxima over all calls
+};
+
+/// Longest canonical-text sample a row keeps (and ships on the wire).
+constexpr size_t kStatementTextCap = 200;
+
+class StatementsTable {
+ public:
+  /// `capacity` == 0 disables the table (Record becomes a no-op).
+  explicit StatementsTable(size_t capacity) : capacity_(capacity) {}
+
+  StatementsTable(const StatementsTable&) = delete;
+  StatementsTable& operator=(const StatementsTable&) = delete;
+
+  bool enabled() const { return capacity_ > 0; }
+
+  /// Folds one finished execution into its statement row (creating or
+  /// reviving the row; evicting the coldest if at capacity). `status` is
+  /// the execution outcome; `elapsed_ms` is wall-clock including queue
+  /// time; `usage` may be all-zero when accounting is off.
+  void Record(uint64_t fingerprint, const std::string& text,
+              const Status& status, bool cache_hit, double elapsed_ms,
+              const ResourceUsage& usage);
+
+  /// The top `n` statements by total_ms (ties: more calls first, then
+  /// smaller fingerprint -- fully deterministic). n == 0 returns all.
+  std::vector<StatementStats> Top(size_t n) const;
+
+  size_t size() const;
+  int64_t evictions() const;
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Recency list, most recently updated at the front; the map indexes it.
+  std::list<StatementStats> lru_;
+  std::unordered_map<uint64_t, std::list<StatementStats>::iterator> index_;
+  int64_t evictions_ = 0;
+};
+
+/// Renders rows as a JSON array (RFC 8259; text escaped like the
+/// slow-query log) -- the /statements HTTP body. Doubles use shortest
+/// round-trip formatting so parsing the JSON recovers the exact values
+/// the wire frame carries.
+std::string RenderStatementsJson(const std::vector<StatementStats>& rows);
+
+}  // namespace obs
+}  // namespace simq
+
+#endif  // SIMQ_OBS_STATEMENTS_H_

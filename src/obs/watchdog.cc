@@ -1,0 +1,78 @@
+#include "obs/watchdog.h"
+
+#include <chrono>
+
+namespace simq {
+namespace obs {
+
+StallWatchdog::StallWatchdog(Options options, ProbeFn probe,
+                             StallFn on_stall)
+    : options_(options),
+      probe_(std::move(probe)),
+      on_stall_(std::move(on_stall)) {}
+
+StallWatchdog::~StallWatchdog() { Stop(); }
+
+void StallWatchdog::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void StallWatchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) {
+      return;
+    }
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void StallWatchdog::Loop() {
+  using Clock = std::chrono::steady_clock;
+  const auto interval = std::chrono::duration<double, std::milli>(
+      options_.poll_interval_ms);
+  int64_t last_completed = -1;
+  Clock::time_point progress_at = Clock::now();
+  bool fired = false;  // one action per stall; re-armed by progress
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (running_) {
+    cv_.wait_for(lock, interval, [this] { return !running_; });
+    if (!running_) {
+      return;
+    }
+    lock.unlock();
+    const Probe probe = probe_();
+    const Clock::time_point now = Clock::now();
+    if (probe.completed != last_completed || probe.pending == 0) {
+      // Progress (or nothing to wait for): reset the stall clock. An
+      // idle service never counts as stalled no matter how quiet it is.
+      last_completed = probe.completed;
+      progress_at = now;
+      fired = false;
+    } else if (!fired) {
+      const double stalled_ms =
+          std::chrono::duration<double, std::milli>(now - progress_at)
+              .count();
+      if (stalled_ms >= options_.stall_after_ms) {
+        fired = true;
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        if (on_stall_) {
+          on_stall_(stalled_ms, probe);
+        }
+      }
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace obs
+}  // namespace simq

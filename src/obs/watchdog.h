@@ -1,0 +1,83 @@
+/// Stall watchdog: a background thread that detects "work is pending but
+/// nothing completes" and captures the evidence while the hang is live.
+///
+/// The owner supplies a probe (a cheap snapshot of progress: a monotone
+/// count of finished executions plus the number of queries currently
+/// running or queued) and a stall action. The watchdog polls the probe on
+/// its interval; when the pending count stays positive while the finished
+/// count does not move for `stall_after_ms`, it fires the action once --
+/// the query service's action records a "stall" event with the
+/// admission-state snapshot and dumps the flight recorder, so the black
+/// box lands on disk while the stall is observable rather than after the
+/// operator kills the process. The watchdog re-arms after progress
+/// resumes, so a machine that stalls twice dumps twice.
+///
+/// Tuning (docs/OBSERVABILITY.md "Stall watchdog"): stall_after_ms must
+/// comfortably exceed the slowest legitimate query; the poll interval
+/// only bounds detection latency and can stay coarse.
+
+#ifndef SIMQ_OBS_WATCHDOG_H_
+#define SIMQ_OBS_WATCHDOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace simq {
+namespace obs {
+
+class StallWatchdog {
+ public:
+  struct Options {
+    /// How often the probe runs. Bounds detection latency only.
+    double poll_interval_ms = 250.0;
+    /// No completion while work is pending for this long == a stall.
+    double stall_after_ms = 5000.0;
+  };
+
+  /// One progress snapshot. `completed` must be monotone non-decreasing;
+  /// `pending` is the instantaneous running + queued count.
+  struct Probe {
+    int64_t completed = 0;
+    int64_t pending = 0;
+  };
+
+  using ProbeFn = std::function<Probe()>;
+  /// Invoked once per detected stall with how long progress has been
+  /// absent and the probe that tripped it. Runs on the watchdog thread.
+  using StallFn = std::function<void(double stalled_ms, const Probe& probe)>;
+
+  StallWatchdog(Options options, ProbeFn probe, StallFn on_stall);
+  ~StallWatchdog();
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  void Start();
+  void Stop();
+
+  int64_t stalls_detected() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  const Options options_;
+  const ProbeFn probe_;
+  const StallFn on_stall_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  std::thread thread_;
+  std::atomic<int64_t> stalls_{0};
+};
+
+}  // namespace obs
+}  // namespace simq
+
+#endif  // SIMQ_OBS_WATCHDOG_H_

@@ -28,6 +28,36 @@ int64_t WallClockUnixMs() {
       .count();
 }
 
+// Flight-recorder event label for an execution outcome.
+const char* StatusLabel(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kTimeout:
+      return "timeout";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kOverloaded:
+      return "overloaded";
+    default:
+      return "error";
+  }
+}
+
+// Relation names flow into flight-recorder lines verbatim; cap the length
+// and strip anything that could break the one-JSON-object-per-line
+// guarantee (quotes, backslashes, control bytes).
+std::string FlightSafe(const std::string& name) {
+  std::string out = name.substr(0, 64);
+  for (char& c : out) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20 || u >= 0x7f || c == '"' || c == '\\') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -168,7 +198,10 @@ Result<ServiceResult> Session::ExecutePrepared(int64_t statement_id,
   }
   ScopedExecution execution(this, options);
   query.exec = execution.ctx();
-  return service_->ExecuteInternal(query, /*prepared=*/true);
+  Result<ServiceResult> result =
+      service_->ExecuteInternal(query, /*prepared=*/true);
+  NoteUsage(result);
+  return result;
 }
 
 Result<ServiceResult> Session::Execute(const std::string& text,
@@ -181,7 +214,23 @@ Result<ServiceResult> Session::Execute(const std::string& text,
   Query query = std::move(parsed).value();
   ScopedExecution execution(this, options);
   query.exec = execution.ctx();
-  return service_->ExecuteInternal(query, /*prepared=*/false, parse_ms);
+  Result<ServiceResult> result =
+      service_->ExecuteInternal(query, /*prepared=*/false, parse_ms);
+  NoteUsage(result);
+  return result;
+}
+
+void Session::NoteUsage(const Result<ServiceResult>& result) {
+  if (!result.ok()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  usage_.Add(result.value().usage);
+}
+
+obs::ResourceUsage Session::cumulative_usage() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return usage_;
 }
 
 Status Session::Close(int64_t statement_id) {
@@ -290,7 +339,8 @@ QueryService::QueryService(Database db, ServiceOptions options)
                           ? std::make_unique<obs::MetricRegistry>()
                           : nullptr),
       registry_(options.metrics_registry != nullptr ? options.metrics_registry
-                                                    : owned_registry_.get()) {
+                                                    : owned_registry_.get()),
+      statements_(options.statements_capacity) {
   // Intern every metric once; the query paths only ever touch these
   // cached pointers (sharded atomic writes, no registry lock).
   metrics_.queries = registry_->GetCounter("simq_queries_total");
@@ -340,6 +390,10 @@ QueryService::QueryService(Database db, ServiceOptions options)
       registry_->GetGauge("simq_cache_invalidated_entries");
   metrics_.cache_evictions = registry_->GetGauge("simq_cache_evictions");
   metrics_.cache_bytes = registry_->GetGauge("simq_cache_bytes");
+  metrics_.statements_tracked =
+      registry_->GetGauge("simq_statements_tracked");
+  metrics_.watchdog_stalls =
+      registry_->GetCounter("simq_watchdog_stalls_total");
   if (!options_.slow_query_log_path.empty()) {
     obs::SlowQueryLogOptions slow;
     slow.path = options_.slow_query_log_path;
@@ -357,9 +411,33 @@ QueryService::QueryService(Database db, ServiceOptions options)
       wal_open_status_ = wal.status();
     }
   }
+  if (options_.watchdog_stall_after_ms > 0) {
+    obs::StallWatchdog::Options wopts;
+    wopts.poll_interval_ms = options_.watchdog_poll_interval_ms;
+    wopts.stall_after_ms = options_.watchdog_stall_after_ms;
+    watchdog_ = std::make_unique<obs::StallWatchdog>(
+        wopts,
+        [this] {
+          obs::StallWatchdog::Probe probe;
+          probe.completed =
+              executions_finished_.load(std::memory_order_relaxed);
+          probe.pending =
+              executions_pending_.load(std::memory_order_relaxed);
+          return probe;
+        },
+        [this](double stalled_ms, const obs::StallWatchdog::Probe& probe) {
+          OnStallDetected(stalled_ms, probe);
+        });
+    watchdog_->Start();
+  }
 }
 
 QueryService::~QueryService() {
+  // The watchdog thread probes service state; retire it before anything
+  // else unwinds.
+  if (watchdog_ != nullptr) {
+    watchdog_->Stop();
+  }
   // Drain background recompactions. A worker's very last touch of this
   // object is its notify under recompact_mutex_; the wait below only
   // returns once it can reacquire that mutex, i.e. after the worker has
@@ -382,6 +460,11 @@ void QueryService::OnSessionClosed() {
 void QueryService::NoteConnectionOpened() {
   metrics_.net_connections_accepted->Add();
   metrics_.net_connections_active->Add(1);
+  if (options_.flight_recorder != nullptr) {
+    options_.flight_recorder->Recordf(
+        "conn", "\"event\":\"open\",\"active\":%lld",
+        static_cast<long long>(metrics_.net_connections_active->Value()));
+  }
 }
 
 void QueryService::NoteConnectionClosed(bool timed_out) {
@@ -389,10 +472,19 @@ void QueryService::NoteConnectionClosed(bool timed_out) {
   if (timed_out) {
     metrics_.net_connections_timed_out->Add();
   }
+  if (options_.flight_recorder != nullptr) {
+    options_.flight_recorder->Recordf(
+        "conn", "\"event\":\"close\",\"timed_out\":%d,\"active\":%lld",
+        timed_out ? 1 : 0,
+        static_cast<long long>(metrics_.net_connections_active->Value()));
+  }
 }
 
 void QueryService::NoteConnectionShed() {
   metrics_.net_connections_shed->Add();
+  if (options_.flight_recorder != nullptr) {
+    options_.flight_recorder->Record("conn", "\"event\":\"shed\"");
+  }
 }
 
 void QueryService::NoteRequestShed() { metrics_.net_requests_shed->Add(); }
@@ -434,6 +526,11 @@ Status QueryService::CreateRelation(const std::string& name) {
     lock.unlock();
     cache_.InvalidateRelation(name);
     metrics_.mutations->Add();
+    if (options_.flight_recorder != nullptr) {
+      options_.flight_recorder->Recordf(
+          "mutation", "\"op\":\"create\",\"relation\":\"%s\"",
+          FlightSafe(name).c_str());
+    }
   }
   return status;
 }
@@ -461,6 +558,12 @@ Result<int64_t> QueryService::Insert(const std::string& relation,
     lock.unlock();
     cache_.InvalidateRelation(relation);
     metrics_.mutations->Add();
+    if (options_.flight_recorder != nullptr) {
+      options_.flight_recorder->Recordf(
+          "mutation", "\"op\":\"insert\",\"relation\":\"%s\",\"id\":%lld",
+          FlightSafe(relation).c_str(),
+          static_cast<long long>(result.value()));
+    }
     MaybeScheduleRecompaction(relation);
   }
   return result;
@@ -484,6 +587,11 @@ Status QueryService::Delete(const std::string& relation, int64_t id) {
     lock.unlock();
     cache_.InvalidateRelation(relation);
     metrics_.mutations->Add();
+    if (options_.flight_recorder != nullptr) {
+      options_.flight_recorder->Recordf(
+          "mutation", "\"op\":\"delete\",\"relation\":\"%s\",\"id\":%lld",
+          FlightSafe(relation).c_str(), static_cast<long long>(id));
+    }
     MaybeScheduleRecompaction(relation);
   }
   return status;
@@ -504,6 +612,11 @@ Status QueryService::BulkLoad(const std::string& relation,
     lock.unlock();
     cache_.InvalidateRelation(relation);
     metrics_.mutations->Add();
+    if (options_.flight_recorder != nullptr) {
+      options_.flight_recorder->Recordf(
+          "mutation", "\"op\":\"bulk_load\",\"relation\":\"%s\",\"rows\":%zu",
+          FlightSafe(relation).c_str(), series.size());
+    }
   }
   return status;
 }
@@ -548,7 +661,14 @@ void QueryService::MaybeScheduleRecompaction(const std::string& relation) {
 
 Status QueryService::RunRecompaction(const std::string& relation) {
   Stopwatch watch;
+  // Recompactions are service-internal, so their span tree surfaces via
+  // last_recompaction_trace() instead of any ServiceResult: the two
+  // phases -- long concurrent build, brief exclusive publish -- become
+  // visible in RenderTraceTree.
+  auto trace = std::make_shared<obs::Trace>();
   std::vector<RelationShard::Recompaction> built;
+  uint64_t generation = 0;
+  const int build_span = trace->StartSpan("recompact.build");
   {
     // Build under the shared lock: queries keep running, writers wait.
     // The shard stores are frozen, so the built artifacts cover exactly
@@ -556,14 +676,36 @@ Status QueryService::RunRecompaction(const std::string& relation) {
     std::shared_lock<std::shared_mutex> lock(data_mutex_);
     SIMQ_RETURN_IF_ERROR(db_.BuildRecompaction(relation, &built));
   }
+  trace->EndSpan(build_span);
+  const int publish_span = trace->StartSpan("recompact.publish");
   {
     std::unique_lock<std::shared_mutex> lock(data_mutex_);
     SIMQ_RETURN_IF_ERROR(db_.PublishRecompaction(relation, std::move(built)));
     RefreshDeltaGauges();
+    generation = GenerationLocked(relation, nullptr);
+  }
+  trace->EndSpan(publish_span);
+  trace->EndSpan(obs::Trace::kRoot);
+  {
+    std::lock_guard<std::mutex> lock(recompaction_trace_mutex_);
+    last_recompaction_trace_ = trace;
   }
   metrics_.recompactions->Add();
-  metrics_.recompaction_ms->Observe(watch.ElapsedMillis());
+  const double elapsed_ms = watch.ElapsedMillis();
+  metrics_.recompaction_ms->Observe(elapsed_ms);
+  if (options_.flight_recorder != nullptr) {
+    options_.flight_recorder->Recordf(
+        "recompact",
+        "\"relation\":\"%s\",\"generation\":%llu,\"ms\":%.3f",
+        FlightSafe(relation).c_str(),
+        static_cast<unsigned long long>(generation), elapsed_ms);
+  }
   return Status::Ok();
+}
+
+std::shared_ptr<obs::Trace> QueryService::last_recompaction_trace() const {
+  std::lock_guard<std::mutex> lock(recompaction_trace_mutex_);
+  return last_recompaction_trace_;
 }
 
 void QueryService::RefreshDeltaGauges() const {
@@ -598,6 +740,9 @@ Status QueryService::Checkpoint() {
   if (status.ok()) {
     lock.unlock();
     metrics_.checkpoints->Add();
+    if (options_.flight_recorder != nullptr) {
+      options_.flight_recorder->Record("checkpoint", "");
+    }
   }
   return status;
 }
@@ -719,6 +864,19 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
                                                     bool prepared,
                                                     double parse_ms) {
   Stopwatch watch;
+  // Watchdog probe bookkeeping: this execution is pending (queued or
+  // running) until any exit path below, where the destructor marks it
+  // finished -- the monotone count the stall detector watches.
+  struct PendingGuard {
+    QueryService* service;
+    explicit PendingGuard(QueryService* s) : service(s) {
+      service->executions_pending_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~PendingGuard() {
+      service->executions_pending_.fetch_sub(1, std::memory_order_relaxed);
+      service->executions_finished_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } pending_guard(this);
   // Tracing decision: an already-attached trace (force_trace) wins;
   // otherwise EXPLAIN ANALYZE and the 1-in-N sampler each attach one.
   // The trace rides the ExecutionContext, so a query without one gets a
@@ -746,6 +904,10 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
     metrics_.traced_queries->Add();
   }
   const ExecutionContext* exec = effective->exec.get();
+  // The fingerprint keys the statements-table row and names the query in
+  // flight-recorder events, so every outcome path below needs it.
+  const uint64_t fingerprint = QueryFingerprint(*effective);
+  obs::ResourceUsage usage;
   // Fast-fail before admission: born cancelled (session in the cancelled
   // state) or a deadline already in the past.
   if (exec != nullptr) {
@@ -755,6 +917,8 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
         effective->exec->set_trace(nullptr);
       }
       CountTermination(start);
+      RecordQueryOutcome(*effective, fingerprint, start, false,
+                         watch.ElapsedMillis(), usage);
       return start;
     }
   }
@@ -769,9 +933,28 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
       effective->exec->set_trace(nullptr);
     }
     CountTermination(slot.status());
+    RecordQueryOutcome(*effective, fingerprint, slot.status(), false,
+                       watch.ElapsedMillis(), usage);
     return slot.status();
   }
+  if (options_.flight_recorder != nullptr) {
+    options_.flight_recorder->Recordf(
+        "query_admit", "\"fp\":\"%016llx\",\"budget\":%d,\"waited\":%d",
+        static_cast<unsigned long long>(fingerprint), slot.budget(),
+        slot.waited() ? 1 : 0);
+  }
   ThreadPool::ScopedParallelismBudget budget(slot.budget());
+  usage.peak_parallelism = slot.budget();
+  // Live accounting cells: pool workers add their per-block CPU deltas
+  // through the thread-pool sink; the calling thread's own delta is
+  // measured end-to-end around the engine call below.
+  std::shared_ptr<obs::QueryAccounting> accounting;
+  if (options_.enable_resource_accounting) {
+    accounting = std::make_shared<obs::QueryAccounting>();
+    if (exec != nullptr) {
+      exec->set_accounting(accounting);
+    }
+  }
 
   ServiceResult out;
   bool cache_hit = false;
@@ -820,7 +1003,20 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
     if (!cache_.Get(key, &out.result)) {
       Result<QueryResult> executed = [&]() -> Result<QueryResult> {
         try {
-          return db_.Execute(*effective);
+          ThreadPool::ScopedCpuAccounting meter(
+              accounting != nullptr ? &accounting->cpu_ns : nullptr,
+              accounting != nullptr ? &accounting->pool_tasks : nullptr);
+          const int64_t cpu_begin =
+              accounting != nullptr ? ThreadPool::ThreadCpuNs() : 0;
+          Result<QueryResult> r = db_.Execute(*effective);
+          if (accounting != nullptr) {
+            // The calling thread participates in its own fan-outs; its
+            // delta covers those blocks, the sink covered the helpers'.
+            accounting->cpu_ns.fetch_add(
+                ThreadPool::ThreadCpuNs() - cpu_begin,
+                std::memory_order_relaxed);
+          }
+          return r;
         } catch (const std::exception& e) {
           // An exception escaping the engine (e.g. a fault-injected pool
           // task) fails this query, not the service: the shared lock and
@@ -833,7 +1029,17 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
         if (trace != nullptr) {
           effective->exec->set_trace(nullptr);
         }
+        if (accounting != nullptr) {
+          usage.cpu_ns = accounting->cpu_ns.load(std::memory_order_relaxed);
+          usage.pool_tasks =
+              accounting->pool_tasks.load(std::memory_order_relaxed);
+          if (exec != nullptr) {
+            exec->set_accounting(nullptr);
+          }
+        }
         CountTermination(executed.status());
+        RecordQueryOutcome(*effective, fingerprint, executed.status(), false,
+                           watch.ElapsedMillis(), usage);
         return executed.status();
       }
       out.result = std::move(executed).value();
@@ -873,9 +1079,39 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
   out.plan.relation_epoch = epoch;
   out.plan.generation = generation;
   out.plan.delta_rows = delta_rows;
-  out.plan.fingerprint = QueryFingerprint(*effective);
+  out.plan.fingerprint = fingerprint;
   out.plan.per_shard = out.result.stats.shard_stats;
   out.elapsed_ms = watch.ElapsedMillis();
+
+  // Assemble this execution's ResourceUsage. Engine effort counters stay
+  // zero on a cache hit -- the replayed stats describe the *original*
+  // execution's work, not this one's -- while result_bytes and the CPU
+  // cells always describe this execution.
+  const ExecutionStats& est = out.result.stats;
+  if (!cache_hit) {
+    // Rows examined: the quantized filter's scan when it ran, else
+    // whichever refinement counter the strategy populated (the index
+    // nearest path counts exact_checks only; range paths count
+    // candidates).
+    usage.rows_scanned =
+        est.filter_scanned > 0
+            ? est.filter_scanned
+            : std::max(est.candidates, est.exact_checks);
+    usage.candidates = est.candidates;
+    usage.exact_checks = est.exact_checks;
+    usage.delta_rows_merged = delta_rows;
+  }
+  usage.result_bytes = ResultCache::ApproxResultBytes(out.result);
+  if (accounting != nullptr) {
+    usage.cpu_ns = accounting->cpu_ns.load(std::memory_order_relaxed);
+    usage.pool_tasks =
+        accounting->pool_tasks.load(std::memory_order_relaxed);
+    if (exec != nullptr) {
+      // Detach like the trace below: contexts can outlive this execution.
+      exec->set_accounting(nullptr);
+    }
+  }
+  out.usage = usage;
 
   if (trace != nullptr) {
     std::string note = out.plan.strategy + "/" + out.plan.engine;
@@ -910,6 +1146,8 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
     metrics_.admission_waits->Add();
   }
   metrics_.latency->Observe(out.elapsed_ms);
+  RecordQueryOutcome(*effective, fingerprint, Status::Ok(), cache_hit,
+                     out.elapsed_ms, usage);
 
   if (trace != nullptr && slow_log_ != nullptr &&
       slow_log_->ShouldLog(out.elapsed_ms)) {
@@ -932,6 +1170,65 @@ Result<ServiceResult> QueryService::ExecuteInternal(const Query& query,
   return out;
 }
 
+void QueryService::RecordQueryOutcome(const Query& query,
+                                      uint64_t fingerprint,
+                                      const Status& status, bool cache_hit,
+                                      double elapsed_ms,
+                                      const obs::ResourceUsage& usage) {
+  if (statements_.enabled()) {
+    statements_.Record(fingerprint, CanonicalQueryKey(query), status,
+                       cache_hit, elapsed_ms, usage);
+  }
+  if (options_.flight_recorder != nullptr) {
+    options_.flight_recorder->Recordf(
+        "query",
+        "\"fp\":\"%016llx\",\"status\":\"%s\",\"ms\":%.3f,"
+        "\"cache_hit\":%d,%s",
+        static_cast<unsigned long long>(fingerprint),
+        StatusLabel(status.code()), elapsed_ms, cache_hit ? 1 : 0,
+        obs::FormatResourceUsageJson(usage).c_str());
+  }
+}
+
+void QueryService::OnStallDetected(double stalled_ms,
+                                   const obs::StallWatchdog::Probe& probe) {
+  metrics_.watchdog_stalls->Add();
+  int running = 0;
+  {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    running = running_queries_;
+  }
+  if (options_.flight_recorder != nullptr) {
+    // Record the admission snapshot first so it is part of the dump that
+    // lands on disk while the stall is still live.
+    options_.flight_recorder->Recordf(
+        "stall",
+        "\"stalled_ms\":%.0f,\"pending\":%lld,\"completed\":%lld,"
+        "\"running\":%d,\"max_concurrent\":%d",
+        stalled_ms, static_cast<long long>(probe.pending),
+        static_cast<long long>(probe.completed), running, max_concurrent_);
+    (void)options_.flight_recorder->DumpToCrashPath();
+  }
+}
+
+void QueryService::RefreshScrapeGauges() const {
+  {
+    std::shared_lock<std::shared_mutex> lock(data_mutex_);
+    RefreshDeltaGauges();
+  }
+  // Mirror the cache's own counters into registry gauges so a registry
+  // scrape (Prometheus text, kMetrics frame) sees them without a
+  // ResultCache dependency.
+  const ResultCache::Stats cache = cache_.stats();
+  metrics_.cache_hits->Set(cache.hits);
+  metrics_.cache_misses->Set(cache.misses);
+  metrics_.cache_insertions->Set(cache.insertions);
+  metrics_.cache_invalidated->Set(cache.invalidated_entries);
+  metrics_.cache_evictions->Set(cache.evictions);
+  metrics_.cache_bytes->Set(cache.bytes);
+  metrics_.statements_tracked->Set(static_cast<int64_t>(statements_.size()));
+}
+
 ServiceStats QueryService::stats() const {
   ServiceStats out;
   out.queries = metrics_.queries->Value();
@@ -951,12 +1248,9 @@ ServiceStats QueryService::stats() const {
   out.wal_failures = metrics_.wal_failures->Value();
   out.checkpoints = metrics_.checkpoints->Value();
   out.recompactions = metrics_.recompactions->Value();
-  {
-    // Refresh the delta gauges from the data plane so a stats() or
-    // registry scrape sees current state even between mutations.
-    std::shared_lock<std::shared_mutex> lock(data_mutex_);
-    RefreshDeltaGauges();
-  }
+  // One refresh covers the delta gauges and the cache/statements mirrors
+  // (the same hook every scrape surface calls).
+  RefreshScrapeGauges();
   out.delta_rows = metrics_.delta_rows->Value();
   out.delta_tombstones = metrics_.delta_tombstones->Value();
   out.net.connections_accepted = metrics_.net_connections_accepted->Value();
@@ -968,15 +1262,6 @@ ServiceStats QueryService::stats() const {
   out.net.bytes_in = metrics_.net_bytes_in->Value();
   out.net.bytes_out = metrics_.net_bytes_out->Value();
   out.cache = cache_.stats();
-  // Mirror the cache's own counters into registry gauges so a registry
-  // scrape (Prometheus text, kMetrics frame) sees them without a
-  // ResultCache dependency; stats() is the scrape refresh hook.
-  metrics_.cache_hits->Set(out.cache.hits);
-  metrics_.cache_misses->Set(out.cache.misses);
-  metrics_.cache_insertions->Set(out.cache.insertions);
-  metrics_.cache_invalidated->Set(out.cache.invalidated_entries);
-  metrics_.cache_evictions->Set(out.cache.evictions);
-  metrics_.cache_bytes->Set(out.cache.bytes);
   const obs::Histogram::Snapshot latency = metrics_.latency->snapshot();
   if (latency.count > 0) {
     out.latency_p50_ms = latency.Percentile(50.0);

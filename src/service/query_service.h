@@ -130,9 +130,13 @@
 #include "core/exec_context.h"
 #include "core/query.h"
 #include "core/wal.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/resource_usage.h"
 #include "obs/slow_query_log.h"
+#include "obs/statements.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "service/result_cache.h"
 #include "ts/time_series.h"
 #include "util/status.h"
@@ -181,6 +185,28 @@ struct ServiceOptions {
   /// Longest an execution may wait for an admission slot before failing
   /// with kOverloaded; 0 = wait indefinitely (the historical behavior).
   double admission_timeout_ms = 0.0;
+
+  /// Per-query resource accounting (obs/resource_usage.h): thread-CPU
+  /// metering through the pool's per-task CLOCK_THREAD_CPUTIME_ID deltas
+  /// plus the engine effort counters, returned on ServiceResult::usage
+  /// and aggregated into the statements table. Off leaves every usage
+  /// field zero and skips the clock reads (bench/obs_overhead.cc gates
+  /// the on-cost at < 2%).
+  bool enable_resource_accounting = true;
+  /// Statement shapes the statements table tracks (LRU-bounded;
+  /// obs/statements.h). 0 disables the table entirely.
+  size_t statements_capacity = 256;
+  /// Flight recorder receiving query/mutation/lifecycle events
+  /// (obs/flight_recorder.h). Defaults to the process-wide black box;
+  /// tests pass a private recorder, nullptr disables recording.
+  obs::FlightRecorder* flight_recorder = &obs::FlightRecorder::Global();
+  /// Stall watchdog (obs/watchdog.h): when > 0, a background thread
+  /// fires -- records a "stall" event with the admission snapshot and
+  /// dumps the flight recorder to its crash path -- whenever no query
+  /// completes for this long while executions are pending. 0 = off.
+  double watchdog_stall_after_ms = 0.0;
+  /// Watchdog probe cadence (bounds detection latency only).
+  double watchdog_poll_interval_ms = 250.0;
 
   /// Durability (off when wal_path is empty): successful mutations are
   /// appended to the WAL at wal_path before being acknowledged;
@@ -268,6 +294,11 @@ struct ServiceResult {
   /// (EXPLAIN ANALYZE, ExecOptions::force_trace, or the sampler).
   /// RenderTraceTree(trace->spans()) prints it.
   std::shared_ptr<obs::Trace> trace;
+  /// What this execution cost (obs/resource_usage.h). Engine effort
+  /// counters are zero on cache hits -- the replay did no engine work --
+  /// while result_bytes and cpu_ns always reflect this execution. All
+  /// zero when ServiceOptions::enable_resource_accounting is off.
+  obs::ResourceUsage usage;
 };
 
 struct ServiceStats {
@@ -358,6 +389,11 @@ class Session {
   /// cancelled (the flag on their context is sticky by design).
   void ResetCancel();
 
+  /// Cumulative ResourceUsage of every successful execution finished on
+  /// this session -- the per-session (and, for the network server, whose
+  /// connections own exactly one session each, per-connection) roll-up.
+  obs::ResourceUsage cumulative_usage() const;
+
  private:
   friend class QueryService;
 
@@ -383,13 +419,17 @@ class Session {
       const ExecOptions& options);
   void EndExecution(const ExecutionContext* ctx);
 
+  /// Folds a finished execution's usage into the session roll-up.
+  void NoteUsage(const Result<ServiceResult>& result);
+
   QueryService* service_;
   int64_t id_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::unordered_map<int64_t, PreparedStatement> statements_;
   int64_t next_statement_id_ = 1;
   bool cancel_requested_ = false;
   std::vector<std::shared_ptr<ExecutionContext>> inflight_;
+  obs::ResourceUsage usage_;  // guarded by mutex_
 };
 
 class QueryService {
@@ -465,9 +505,33 @@ class QueryService {
 
   /// The registry this service records into: the injected one
   /// (ServiceOptions::metrics_registry) or the service's own. Scrape it
-  /// with RenderPrometheusText(); call stats() first to refresh the
-  /// mirrored cache gauges. Never null; stable for the service lifetime.
+  /// with RenderPrometheusText() after RefreshScrapeGauges(). Never
+  /// null; stable for the service lifetime.
   obs::MetricRegistry* metrics_registry() const { return registry_; }
+
+  /// Re-derives every gauge a scrape reads -- delta/generation state,
+  /// result-cache mirrors, statements-table size -- without assembling a
+  /// full ServiceStats. The HTTP exporter's refresh callback and the
+  /// wire kMetrics handler call this so scrapes are never stale, whether
+  /// or not anything called stats() in between.
+  void RefreshScrapeGauges() const;
+
+  /// The statements table (pg_stat_statements-style per-shape
+  /// aggregates; obs/statements.h). Never null; a zero
+  /// ServiceOptions::statements_capacity leaves it permanently empty.
+  const obs::StatementsTable* statements() const { return &statements_; }
+  obs::StatementsTable* statements() { return &statements_; }
+
+  /// The flight recorder this service records into; may be null
+  /// (recording disabled).
+  obs::FlightRecorder* flight_recorder() const {
+    return options_.flight_recorder;
+  }
+
+  /// Span tree of the most recent recompaction (build/publish phases),
+  /// null until one has run. Recompactions are service-internal, so
+  /// their traces surface here rather than on any ServiceResult.
+  std::shared_ptr<obs::Trace> last_recompaction_trace() const;
 
   /// Network front-end hooks (called by net::NetServer): fold connection
   /// and byte counters into ServiceStats::net so the shell's `.stats` and
@@ -538,6 +602,16 @@ class QueryService {
   /// data_mutex_ (any mode -- the gauges are atomics).
   void RefreshDeltaGauges() const;
   void OnSessionClosed();
+  /// Statements-table row + flight-recorder event for one finished
+  /// execution (success and every typed failure alike).
+  void RecordQueryOutcome(const Query& query, uint64_t fingerprint,
+                          const Status& status, bool cache_hit,
+                          double elapsed_ms,
+                          const obs::ResourceUsage& usage);
+  /// Watchdog callback: snapshot admission state into a "stall" event
+  /// and dump the flight recorder to its crash path.
+  void OnStallDetected(double stalled_ms,
+                       const obs::StallWatchdog::Probe& probe);
 
   Database db_;
   ServiceOptions options_;
@@ -603,6 +677,10 @@ class QueryService {
     obs::Gauge* cache_invalidated = nullptr;
     obs::Gauge* cache_evictions = nullptr;
     obs::Gauge* cache_bytes = nullptr;
+    /// Statements-table size mirror, refreshed on every scrape.
+    obs::Gauge* statements_tracked = nullptr;
+    /// Stalls the watchdog detected (0 while the watchdog is off).
+    obs::Counter* watchdog_stalls = nullptr;
   };
   Metrics metrics_;
   std::unique_ptr<obs::SlowQueryLog> slow_log_;
@@ -619,6 +697,18 @@ class QueryService {
 
   mutable std::mutex stats_mutex_;  // guards next_session_id_ only
   int64_t next_session_id_ = 1;
+
+  obs::StatementsTable statements_;
+
+  /// Watchdog probe state: executions in flight (admitted or queued for
+  /// admission) and a monotone finished count. Maintained by a RAII
+  /// guard around ExecuteInternal so every exit path counts.
+  std::atomic<int64_t> executions_pending_{0};
+  std::atomic<int64_t> executions_finished_{0};
+  std::unique_ptr<obs::StallWatchdog> watchdog_;
+
+  mutable std::mutex recompaction_trace_mutex_;
+  std::shared_ptr<obs::Trace> last_recompaction_trace_;
 };
 
 }  // namespace simq

@@ -35,6 +35,8 @@
 #ifndef SIMQ_UTIL_THREAD_POOL_H_
 #define SIMQ_UTIL_THREAD_POOL_H_
 
+#include <time.h>
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -139,6 +141,46 @@ class ThreadPool {
     int previous_;
   };
 
+  // This thread's CPU time so far (CLOCK_THREAD_CPUTIME_ID), in
+  // nanoseconds; 0 if the clock is unavailable.
+  static int64_t ThreadCpuNs() {
+    timespec ts;
+    if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) {
+      return 0;
+    }
+    return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+  }
+
+  // Installs per-query resource accounting for ParallelFor calls issued
+  // from the current thread until the scope exits: every block a *helper*
+  // thread runs adds its CLOCK_THREAD_CPUTIME_ID delta to `cpu_ns`, and
+  // every block (any thread, including the degenerate inline path) bumps
+  // `tasks`. The calling thread's own CPU is deliberately not metered
+  // here -- the installer is expected to measure its thread's delta
+  // around the whole engine call, which already covers the blocks it
+  // personally executes; metering them again would double-count.
+  // Scopes nest like the parallelism budget; null sinks mean "off" and
+  // cost one thread-local load per fan-out.
+  class ScopedCpuAccounting {
+   public:
+    ScopedCpuAccounting(std::atomic<int64_t>* cpu_ns,
+                        std::atomic<int64_t>* tasks)
+        : prev_cpu_(CpuSinkFlag()), prev_tasks_(TaskSinkFlag()) {
+      CpuSinkFlag() = cpu_ns;
+      TaskSinkFlag() = tasks;
+    }
+    ~ScopedCpuAccounting() {
+      CpuSinkFlag() = prev_cpu_;
+      TaskSinkFlag() = prev_tasks_;
+    }
+    ScopedCpuAccounting(const ScopedCpuAccounting&) = delete;
+    ScopedCpuAccounting& operator=(const ScopedCpuAccounting&) = delete;
+
+   private:
+    std::atomic<int64_t>* prev_cpu_;
+    std::atomic<int64_t>* prev_tasks_;
+  };
+
   // Splits [begin, end) into contiguous blocks of at least `min_grain`
   // items and runs `body` over them on the pool (the calling thread
   // participates). Returns after every block has finished. Blocks are
@@ -156,6 +198,9 @@ class ThreadPool {
     const int threads =
         budget > 0 ? std::min(num_threads(), budget) : num_threads();
     if (threads == 1 || total <= min_grain || InWorkerFlag()) {
+      if (TaskSinkFlag() != nullptr) {
+        TaskSinkFlag()->fetch_add(1, std::memory_order_relaxed);
+      }
       body(0, begin, end);
       return;
     }
@@ -171,6 +216,10 @@ class ThreadPool {
     state->total = total;
     state->num_blocks = num_blocks;
     state->body = body;
+    // Captured at fan-out on the calling thread; helpers read them from
+    // the shared state since the sinks are thread-locals of the caller.
+    state->cpu_sink = CpuSinkFlag();
+    state->task_sink = TaskSinkFlag();
 
     const auto work = [state] { RunBlocks(*state); };
     // One helper per block beyond the caller's own; extra helpers would
@@ -206,6 +255,8 @@ class ThreadPool {
     int64_t total = 0;
     int64_t num_blocks = 0;
     BlockFn body;
+    std::atomic<int64_t>* cpu_sink = nullptr;   // helper-thread CPU deltas
+    std::atomic<int64_t>* task_sink = nullptr;  // blocks executed
     std::atomic<int64_t> next_block{0};
     std::atomic<int64_t> active{0};  // workers inside RunBlocks
     std::mutex done_mutex;
@@ -225,6 +276,17 @@ class ThreadPool {
   static int& BudgetFlag() {
     static thread_local int budget = 0;
     return budget;
+  }
+
+  // Per-thread accounting sinks installed by ScopedCpuAccounting; null
+  // means accounting is off for fan-outs from this thread.
+  static std::atomic<int64_t>*& CpuSinkFlag() {
+    static thread_local std::atomic<int64_t>* sink = nullptr;
+    return sink;
+  }
+  static std::atomic<int64_t>*& TaskSinkFlag() {
+    static thread_local std::atomic<int64_t>* sink = nullptr;
+    return sink;
   }
 
   static void RunBlocks(ForState& state) {
@@ -249,7 +311,22 @@ class ThreadPool {
           throw std::runtime_error(
               "injected failure at failpoint 'pool.task'");
         }
-        state.body(block, lo, hi);
+        if (state.task_sink != nullptr) {
+          state.task_sink->fetch_add(1, std::memory_order_relaxed);
+        }
+        // CPU metering covers helper threads only: on the fan-out thread
+        // CpuSinkFlag() still holds the same sink, and that thread's CPU
+        // is measured end-to-end by whoever installed the accounting
+        // scope (see ScopedCpuAccounting).
+        if (state.cpu_sink != nullptr &&
+            CpuSinkFlag() != state.cpu_sink) {
+          const int64_t cpu_begin = ThreadCpuNs();
+          state.body(block, lo, hi);
+          state.cpu_sink->fetch_add(ThreadCpuNs() - cpu_begin,
+                                    std::memory_order_relaxed);
+        } else {
+          state.body(block, lo, hi);
+        }
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(state.done_mutex);

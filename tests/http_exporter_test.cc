@@ -1,0 +1,271 @@
+// HTTP scrape-surface tests: the exporter's hardening matrix (405/400/
+// 431/404, Allow header, query-string stripping), /healthz readiness,
+// caller-registered routes (/statements, /flightrecorder), and the
+// gauge-freshness regression -- every scrape (HTTP and the wire
+// kMetrics frame) must see current delta/cache/statements gauges
+// without anything calling stats() in between.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/flight_recorder.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+#include "obs/statements.h"
+#include "service/query_service.h"
+#include "workload/generators.h"
+
+namespace simq {
+namespace {
+
+Database MakeDatabase(int count = 64, int length = 32, uint64_t seed = 7) {
+  Database db;
+  EXPECT_TRUE(db.CreateRelation("r").ok());
+  EXPECT_TRUE(
+      db.BulkLoad("r", workload::RandomWalkSeries(count, length, seed)).ok());
+  return db;
+}
+
+// One-shot HTTP exchange: write `raw` verbatim, read to EOF. Raw bytes
+// in, raw bytes out -- the hardening tests need full control of the
+// request line.
+std::string HttpExchange(uint16_t port, const std::string& raw) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    ADD_FAILURE() << "connect failed";
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < raw.size()) {
+    // MSG_NOSIGNAL: the 431 test keeps writing after the server has
+    // replied and closed; a plain write would raise SIGPIPE.
+    const ssize_t n = ::send(fd, raw.data() + sent, raw.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      break;
+    }
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& path) {
+  return HttpExchange(port,
+                      "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+TEST(HttpExporterTest, MetricsScrapeRendersRegistryAndRunsRefresh) {
+  obs::MetricRegistry registry;
+  registry.GetCounter("test_requests_total")->Add(3);
+  std::atomic<int> refreshes{0};
+  obs::MetricsHttpExporter exporter(
+      &registry, [&refreshes] { refreshes.fetch_add(1); });
+  ASSERT_TRUE(exporter.Start(0));
+  ASSERT_GT(exporter.port(), 0);
+
+  const std::string response = Get(exporter.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("test_requests_total 3"), std::string::npos);
+  EXPECT_EQ(refreshes.load(), 1);
+  // The refresh hook runs per scrape, not once.
+  (void)Get(exporter.port(), "/metrics");
+  EXPECT_EQ(refreshes.load(), 2);
+  EXPECT_EQ(exporter.requests_served(), 2);
+  EXPECT_EQ(exporter.requests_rejected(), 0);
+  exporter.Stop();
+}
+
+TEST(HttpExporterTest, HealthzReflectsReadiness) {
+  obs::MetricRegistry registry;
+  obs::MetricsHttpExporter exporter(&registry, nullptr);
+  std::atomic<bool> healthy{true};
+  exporter.SetHealthCheck([&healthy](std::string* detail) {
+    if (!healthy.load()) {
+      *detail = "draining";
+      return false;
+    }
+    return true;
+  });
+  ASSERT_TRUE(exporter.Start(0));
+  std::string response = Get(exporter.port(), "/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("ok"), std::string::npos);
+  healthy.store(false);
+  response = Get(exporter.port(), "/healthz");
+  EXPECT_NE(response.find("503 Service Unavailable"), std::string::npos);
+  EXPECT_NE(response.find("draining"), std::string::npos);
+  exporter.Stop();
+}
+
+TEST(HttpExporterTest, RoutesCustomHandlersByPath) {
+  obs::MetricRegistry registry;
+  obs::MetricsHttpExporter exporter(&registry, nullptr);
+  obs::StatementsTable table(4);
+  table.Record(7, "q", Status::Ok(), false, 1.0, {});
+  obs::FlightRecorder flight(16);
+  flight.Record("checkpoint", nullptr);
+  exporter.AddHandler("/statements", [&table] {
+    obs::MetricsHttpExporter::Response response;
+    response.content_type = "application/json";
+    response.body = obs::RenderStatementsJson(table.Top(0));
+    return response;
+  });
+  exporter.AddHandler("/flightrecorder", [&flight] {
+    obs::MetricsHttpExporter::Response response;
+    response.content_type = "application/x-ndjson";
+    response.body = flight.DumpJsonl();
+    return response;
+  });
+  ASSERT_TRUE(exporter.Start(0));
+
+  std::string response = Get(exporter.port(), "/statements");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(response.find("\"fingerprint\":\"0000000000000007\""),
+            std::string::npos);
+  // Query strings are stripped before routing.
+  response = Get(exporter.port(), "/statements?top=5");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+
+  response = Get(exporter.port(), "/flightrecorder");
+  EXPECT_NE(response.find("application/x-ndjson"), std::string::npos);
+  EXPECT_NE(response.find("\"ev\":\"checkpoint\""), std::string::npos);
+
+  response = Get(exporter.port(), "/nope");
+  EXPECT_NE(response.find("404 Not Found"), std::string::npos);
+  EXPECT_EQ(exporter.requests_rejected(), 1);
+  exporter.Stop();
+}
+
+TEST(HttpExporterTest, HardeningRejectsHostileRequests) {
+  obs::MetricRegistry registry;
+  obs::MetricsHttpExporter exporter(&registry, nullptr);
+  ASSERT_TRUE(exporter.Start(0));
+  const uint16_t port = exporter.port();
+
+  // Non-GET: 405 with the Allow header.
+  std::string response =
+      HttpExchange(port, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("405 Method Not Allowed"), std::string::npos);
+  EXPECT_NE(response.find("Allow: GET"), std::string::npos);
+
+  // Malformed request lines: 400.
+  response = HttpExchange(port, "garbage\r\n\r\n");
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos);
+  response = HttpExchange(port, "GET noslash HTTP/1.1\r\n\r\n");
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos);
+  response = HttpExchange(port, "GET /metrics\r\n\r\n");  // no version
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos);
+
+  // Headers past the read cap: 431.
+  std::string oversized = "GET /metrics HTTP/1.1\r\nX-Pad: ";
+  oversized.append(8192, 'a');
+  response = HttpExchange(port, oversized);
+  EXPECT_NE(response.find("431 Request Header Fields Too Large"),
+            std::string::npos);
+
+  EXPECT_EQ(exporter.requests_rejected(), 5);
+  // The exporter still serves after every rejection.
+  response = Get(port, "/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  exporter.Stop();
+}
+
+// --- gauge freshness (the staleness regression) ---
+
+TEST(ScrapeFreshnessTest, HttpScrapeSeesCurrentGaugesWithoutStats) {
+  QueryService service(MakeDatabase());
+  obs::MetricsHttpExporter exporter(
+      service.metrics_registry(),
+      [&service] { service.RefreshScrapeGauges(); });
+  ASSERT_TRUE(exporter.Start(0));
+
+  // One miss, one hit, one delta row -- and deliberately no stats()
+  // call anywhere: the scrape itself must refresh the mirrors.
+  ASSERT_TRUE(service.ExecuteText("NEAREST 3 r TO #walk1").ok());
+  ASSERT_TRUE(service.ExecuteText("NEAREST 3 r TO #walk1").ok());
+  TimeSeries extra;
+  extra.id = "extra";
+  extra.values.assign(32, 0.25);
+  ASSERT_TRUE(service.Insert("r", extra).ok());
+
+  const std::string response = Get(exporter.port(), "/metrics");
+  EXPECT_NE(response.find("simq_cache_hits 1"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("simq_cache_misses 1"), std::string::npos);
+  EXPECT_NE(response.find("simq_delta_rows 1"), std::string::npos);
+  EXPECT_NE(response.find("simq_statements_tracked 1"), std::string::npos);
+  exporter.Stop();
+}
+
+TEST(ScrapeFreshnessTest, WireMetricsFrameSeesCurrentGaugesWithoutStats) {
+  QueryService service(MakeDatabase());
+  net::NetServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread loop([&server] { server.Run(); });
+
+  net::NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  net::ExecRequest exec;
+  exec.text = "NEAREST 3 r TO #walk1";
+  ASSERT_TRUE(client.Exec(exec).ok());
+  ASSERT_TRUE(client.Exec(exec).ok());  // cache hit
+  TimeSeries extra;
+  extra.id = "extra";
+  extra.values.assign(32, 0.25);
+  ASSERT_TRUE(service.Insert("r", extra).ok());
+
+  const Result<std::vector<net::WireMetric>> metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  double cache_hits = -1.0;
+  double delta_rows = -1.0;
+  double statements_tracked = -1.0;
+  for (const net::WireMetric& m : metrics.value()) {
+    if (m.name == "simq_cache_hits") cache_hits = m.value;
+    if (m.name == "simq_delta_rows") delta_rows = m.value;
+    if (m.name == "simq_statements_tracked") statements_tracked = m.value;
+  }
+  EXPECT_EQ(cache_hits, 1.0);
+  EXPECT_EQ(delta_rows, 1.0);
+  EXPECT_EQ(statements_tracked, 1.0);
+
+  ASSERT_TRUE(client.Goodbye().ok());
+  server.Shutdown();
+  loop.join();
+}
+
+}  // namespace
+}  // namespace simq

@@ -585,5 +585,111 @@ TEST(ServiceMetricsTest, ConcurrentQueriesKeepCountersExact) {
   EXPECT_EQ(stats.active_sessions, 0);
 }
 
+// --- snapshot accumulation (the statements table's rollup primitives) ---
+
+TEST(MetricsTest, SnapshotObserveAndMergeAddBucketForBucket) {
+  using H = obs::Histogram;
+  H::Snapshot a;
+  a.Observe(1.0);
+  a.Observe(1.0);
+  a.Observe(1.0);
+  H::Snapshot b;
+  b.Observe(10.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count, 4);
+  EXPECT_DOUBLE_EQ(a.sum_ms, 13.0);
+  EXPECT_EQ(a.counts[H::BucketIndex(1.0)], 3);
+  EXPECT_EQ(a.counts[H::BucketIndex(10.0)], 1);
+
+  // Merging a live histogram's snapshot lands in the same buckets: every
+  // histogram in the process shares the fixed exponential bounds.
+  H live;
+  live.Observe(1.0);
+  live.Observe(10.0);
+  a.Merge(live.snapshot());
+  EXPECT_EQ(a.count, 6);
+  EXPECT_EQ(a.counts[H::BucketIndex(1.0)], 4);
+  EXPECT_EQ(a.counts[H::BucketIndex(10.0)], 2);
+  // The merged distribution is unchanged in shape, so percentiles stay
+  // inside the same buckets.
+  EXPECT_EQ(H::BucketIndex(a.Percentile(50.0)), H::BucketIndex(1.0));
+  EXPECT_EQ(H::BucketIndex(a.Percentile(100.0)), H::BucketIndex(10.0));
+}
+
+TEST(MetricsTest, PercentileInterpolatesLinearlyAtBucketBoundaries) {
+  using H = obs::Histogram;
+  H::Snapshot empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(50.0), 0.0);
+
+  // Four identical samples pin one bucket, making the interpolation
+  // arithmetic exact: rank r of n samples in a bucket (lo, hi] reads
+  // back lo + (r/n)(hi - lo).
+  H::Snapshot snap;
+  for (int i = 0; i < 4; ++i) {
+    snap.Observe(3.0);
+  }
+  const int bucket = H::BucketIndex(3.0);
+  const double lo = H::UpperBound(bucket - 1);
+  const double hi = H::UpperBound(bucket);
+  ASSERT_LT(lo, 3.0);
+  ASSERT_LE(3.0, hi);
+  EXPECT_DOUBLE_EQ(snap.Percentile(100.0), hi);           // rank 4: bucket top
+  EXPECT_DOUBLE_EQ(snap.Percentile(75.0), lo + 0.75 * (hi - lo));
+  EXPECT_DOUBLE_EQ(snap.Percentile(50.0), lo + 0.5 * (hi - lo));
+  // Ranks clamp at 1, so every percentile at or below 1/n reads the
+  // same point -- and none ever reads below the bucket's first rank.
+  EXPECT_DOUBLE_EQ(snap.Percentile(25.0), lo + 0.25 * (hi - lo));
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), lo + 0.25 * (hi - lo));
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.0), lo + 0.25 * (hi - lo));
+
+  // Overflow bucket: the report is one band above the top finite bound.
+  H::Snapshot overflow;
+  overflow.Observe(1e300);
+  const double top = H::UpperBound(H::kBuckets - 1);
+  EXPECT_DOUBLE_EQ(overflow.Percentile(99.0), top * 2.0);
+}
+
+// --- recompaction tracing ---
+
+TEST(TraceTest, RecompactionPhasesVisibleInRenderedTree) {
+  QueryService service(MakeDatabase());
+  EXPECT_EQ(service.last_recompaction_trace(), nullptr);
+
+  TimeSeries extra;
+  extra.id = "extra";
+  extra.values.assign(64, 0.5);
+  ASSERT_TRUE(service.Insert("r", extra).ok());
+  ASSERT_TRUE(service.Recompact("r").ok());
+
+  const std::shared_ptr<obs::Trace> trace =
+      service.last_recompaction_trace();
+  ASSERT_NE(trace, nullptr);
+  const std::vector<obs::TraceSpan> spans = trace->spans();
+  bool build = false;
+  bool publish = false;
+  for (const obs::TraceSpan& span : spans) {
+    if (span.name == "recompact.build") {
+      build = true;
+      EXPECT_GE(span.elapsed_ms, 0.0);
+    }
+    if (span.name == "recompact.publish") {
+      publish = true;
+    }
+  }
+  EXPECT_TRUE(build);
+  EXPECT_TRUE(publish);
+
+  const std::string tree = obs::RenderTraceTree(spans);
+  EXPECT_NE(tree.find("recompact.build"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("recompact.publish"), std::string::npos) << tree;
+
+  // A second recompaction replaces the trace, not appends to it.
+  ASSERT_TRUE(service.Recompact("r").ok());
+  const std::shared_ptr<obs::Trace> second =
+      service.last_recompaction_trace();
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(second, trace);
+}
+
 }  // namespace
 }  // namespace simq

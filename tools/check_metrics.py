@@ -9,7 +9,10 @@ port N" line it prints, scrapes the endpoint over HTTP, and validates:
     of a known type);
   * every metric in the service catalog (docs/OBSERVABILITY.md) is
     present, including the histogram's _bucket/_sum/_count series;
-  * counter and gauge values are finite numbers.
+  * counter and gauge values are finite numbers;
+  * docs and binary agree in both directions: every metric the server
+    exports is named in docs/OBSERVABILITY.md, and every `simq_*` name
+    the doc mentions is exported by the server (doc drift fails CI).
 
 Usage: check_metrics.py [path/to/example_simq_server]
 Exits nonzero with a message on the first violation (CI runs this).
@@ -44,6 +47,7 @@ REQUIRED_COUNTERS = [
     "simq_checkpoints_total",
     "simq_recompactions_total",
     "simq_slow_query_log_lines_total",
+    "simq_watchdog_stalls_total",
     "simq_net_connections_accepted_total",
     "simq_net_connections_shed_total",
     "simq_net_connections_timed_out_total",
@@ -62,6 +66,7 @@ REQUIRED_GAUGES = [
     "simq_cache_bytes",
     "simq_delta_rows",
     "simq_delta_tombstones",
+    "simq_statements_tracked",
 ]
 REQUIRED_HISTOGRAMS = [
     "simq_query_latency_ms",
@@ -71,6 +76,11 @@ REQUIRED_HISTOGRAMS = [
 SAMPLE_RE = re.compile(
     r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})?\s+(\S+)$")
 TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (\w+)$")
+
+DOC_PATH = os.path.join(REPO, "docs", "OBSERVABILITY.md")
+# A metric name in the doc: simq_* not embedded in a longer identifier
+# (so `example_simq_server` does not count as `simq_server`).
+DOC_NAME_RE = re.compile(r"(?<![A-Za-z0-9_])simq_[a-z0-9_]+")
 
 
 def fail(message):
@@ -147,6 +157,25 @@ def validate_exposition(text):
     return declared
 
 
+def check_doc_drift(declared):
+    """Diffs the doc's metric names against the live scrape, both ways."""
+    if not os.path.exists(DOC_PATH):
+        fail("metric catalog doc not found: %s" % DOC_PATH)
+    with open(DOC_PATH) as doc_file:
+        documented = set(DOC_NAME_RE.findall(doc_file.read()))
+    live = set(declared)
+    undocumented = sorted(n for n in live if n.startswith("simq_")
+                          and n not in documented)
+    if undocumented:
+        fail("exported but absent from docs/OBSERVABILITY.md: %s"
+             % ", ".join(undocumented))
+    phantom = sorted(n for n in documented if n not in live)
+    if phantom:
+        fail("named in docs/OBSERVABILITY.md but not exported: %s"
+             % ", ".join(phantom))
+    return len(documented)
+
+
 def main():
     server = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
         REPO, "build", "example_simq_server")
@@ -173,6 +202,7 @@ def main():
         body = urllib.request.urlopen(
             "http://127.0.0.1:%d/metrics" % port, timeout=10).read().decode()
         declared = validate_exposition(body)
+        documented = check_doc_drift(declared)
     finally:
         process.send_signal(signal.SIGTERM)
         try:
@@ -181,8 +211,9 @@ def main():
             process.kill()
             process.wait()
 
-    print("check_metrics: ok -- %d metrics declared, catalog complete, "
-          "exposition well-formed" % len(declared))
+    print("check_metrics: ok -- %d metrics declared, %d documented, "
+          "catalog complete, no doc drift, exposition well-formed"
+          % (len(declared), documented))
 
 
 if __name__ == "__main__":
